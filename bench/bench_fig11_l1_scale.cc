@@ -1,0 +1,35 @@
+// Figure 11 / Experiment 4: loop L1 from workload W1 with varying iteration
+// counts.
+//
+// Paper shape to reproduce: the benefits of Aggify grow with scale —
+// pipelining (no worktable materialization) plus reduced interpretation.
+#include "bench_util.h"
+#include "workloads/real_workloads.h"
+
+using namespace aggify;
+using namespace aggify::bench;
+
+int main() {
+  RealWorkloadConfig config;
+  config.base_rows = QuickMode() ? 5000 : 50000;
+  Database db;
+  RequireOk(PopulateRealWorkloads(&db, config), "PopulateRealWorkloads");
+  const int64_t max_iters = config.base_rows * 2;
+
+  std::printf("Figure 11: loop L1 (W1) scalability, up to %lld iterations\n\n",
+              static_cast<long long>(max_iters));
+
+  TextTable table({"Iterations", "Original", "Aggify", "Speedup"});
+  for (int64_t n = 100; n <= max_iters; n *= 10) {
+    WorkloadQuery q = MakeL1Query(n);
+    RunMetrics original =
+        RequireOk(RunWorkloadQuery(&db, q, RunMode::kOriginal), "original");
+    RunMetrics aggify =
+        RequireOk(RunWorkloadQuery(&db, q, RunMode::kAggify), "aggify");
+    table.AddRow({std::to_string(n), FormatSeconds(original.modeled_seconds),
+                  FormatSeconds(aggify.modeled_seconds),
+                  FormatSpeedup(original.modeled_seconds, aggify.modeled_seconds)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9(a): TPC-H cursor-loop workload — execution time of the six
+// workload queries under Original / Aggify / Aggify+ ("Aggify+" = Froid
+// applied after Aggify enables it, §8.2).
+//
+// Paper shape to reproduce: Aggify alone gives >=10x on Q2, Q14, Q18, Q21;
+// Aggify+ gives further large gains on Q2, Q13, Q18; Q14 gains come from
+// Aggify alone (Froid is not applicable to its multi-variable loop); Q21
+// gains are bounded by the per-row subqueries remaining in the loop body.
+#include "bench_util.h"
+#include "tpch/tpch_gen.h"
+#include "workloads/tpch_adapter.h"
+
+using namespace aggify;
+using namespace aggify::bench;
+
+int main() {
+  TpchConfig config;
+  config.scale_factor = GetScaleFactor(QuickMode() ? 0.002 : 0.01);
+  std::printf("Figure 9(a): TPC-H cursor workload, SF=%.4g "
+              "(paper: SF 10, warm buffer pool)\n\n",
+              config.scale_factor);
+
+  Database db;
+  RequireOk(PopulateTpch(&db, config), "PopulateTpch");
+
+  TextTable table({"Query", "Original", "Aggify", "Aggify+",
+                   "Aggify speedup", "Aggify+ speedup"});
+  for (const auto& q : TpchCursorQueries()) {
+    WorkloadQuery w = ToWorkloadQuery(q);
+    RunMetrics original =
+        RequireOk(RunWorkloadQuery(&db, w, RunMode::kOriginal), "original");
+    RunMetrics aggify =
+        RequireOk(RunWorkloadQuery(&db, w, RunMode::kAggify), "aggify");
+    RunMetrics plus =
+        RequireOk(RunWorkloadQuery(&db, w, RunMode::kAggifyPlus), "aggify+");
+    table.AddRow({q.id, FormatSeconds(original.modeled_seconds),
+                  FormatSeconds(aggify.modeled_seconds), FormatSeconds(plus.modeled_seconds),
+                  FormatSpeedup(original.modeled_seconds, aggify.modeled_seconds),
+                  FormatSpeedup(original.modeled_seconds, plus.modeled_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nTimes are modeled: wall time + the CursorCostModel charge for the\n"
+      "cursor machinery (per-FETCH dispatch, worktable pages) this in-memory\n"
+      "substrate undercosts relative to a disk-based DBMS; rewritten plans\n"
+      "produce none of those events. Raw wall numbers: EXPERIMENTS.md.\n"
+      "The paper had to forcibly terminate Original Q2 (>10 days), Q13\n"
+      "(>22 days) and Q21 (>9 hours) at SF 10; at this scale they complete,\n"
+      "but the configuration ordering matches.\n");
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Engine micro-benchmarks (google-benchmark): operator throughput, the
+// aggregation-contract overhead of interpreted (synthesized) aggregates vs
+// built-ins, parser throughput, and cursor fetch cost. These calibrate the
+// substrate so the macro results in the figure benches can be interpreted.
+#include <benchmark/benchmark.h>
+
+#include "aggify/rewriter.h"
+#include "bench_util.h"
+#include "procedural/session.h"
+#include "tpch/tpch_gen.h"
+
+namespace aggify {
+namespace {
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    bench::RequireOk(PopulateTpch(d, config), "PopulateTpch");
+    return d;
+  }();
+  return db;
+}
+
+void BM_SeqScanSum(benchmark::State& state) {
+  Session session(SharedDb());
+  for (auto _ : state) {
+    auto r = session.Query("SELECT SUM(l_extendedprice) FROM lineitem");
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+  auto lineitem = SharedDb()->catalog().GetTable("lineitem");
+  state.SetItemsProcessed(state.iterations() * (*lineitem)->num_rows());
+}
+BENCHMARK(BM_SeqScanSum);
+
+void BM_HashJoin(benchmark::State& state) {
+  Session session(SharedDb());
+  for (auto _ : state) {
+    auto r = session.Query(
+        "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey");
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_HashAggregateGroupBy(benchmark::State& state) {
+  Session session(SharedDb());
+  for (auto _ : state) {
+    auto r = session.Query(
+        "SELECT l_returnflag, SUM(l_quantity), AVG(l_discount) "
+        "FROM lineitem GROUP BY l_returnflag");
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+}
+BENCHMARK(BM_HashAggregateGroupBy);
+
+void BM_SortTopN(benchmark::State& state) {
+  Session session(SharedDb());
+  for (auto _ : state) {
+    auto r = session.Query(
+        "SELECT TOP 10 l_orderkey, l_extendedprice FROM lineitem "
+        "ORDER BY l_extendedprice DESC");
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+}
+BENCHMARK(BM_SortTopN);
+
+void BM_IndexSeek(benchmark::State& state) {
+  Session session(SharedDb());
+  int64_t key = 1;
+  for (auto _ : state) {
+    auto r = session.Query("SELECT COUNT(*) FROM lineitem WHERE l_orderkey = " +
+                           std::to_string(1 + key++ % 100));
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+}
+BENCHMARK(BM_IndexSeek);
+
+void BM_BuiltinAggregate(benchmark::State& state) {
+  // MIN over partsupp via the built-in.
+  Session session(SharedDb());
+  for (auto _ : state) {
+    auto r = session.Query("SELECT MIN(ps_supplycost) FROM partsupp");
+    bench::RequireOk(r.status(), "query");
+    benchmark::DoNotOptimize(r->rows);
+  }
+}
+BENCHMARK(BM_BuiltinAggregate);
+
+void BM_SynthesizedAggregate(benchmark::State& state) {
+  // The same MIN computed by an Aggify-synthesized (interpreted) aggregate:
+  // measures the interpretation overhead of the Accumulate contract.
+  static Database* db = [] {
+    auto* d = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    bench::RequireOk(PopulateTpch(d, config), "PopulateTpch");
+    Session s(d);
+    bench::RequireOk(s.RunSql(R"(
+      CREATE FUNCTION min_cost() RETURNS FLOAT AS
+      BEGIN
+        DECLARE @c FLOAT;
+        DECLARE @m FLOAT = 100000000.0;
+        DECLARE cur CURSOR FOR SELECT ps_supplycost FROM partsupp;
+        OPEN cur;
+        FETCH NEXT FROM cur INTO @c;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@c < @m)
+            SET @m = @c;
+          FETCH NEXT FROM cur INTO @c;
+        END
+        CLOSE cur; DEALLOCATE cur;
+        RETURN @m;
+      END
+    )").status(), "create");
+    Aggify aggify(d);
+    bench::RequireOk(aggify.RewriteFunction("min_cost").status(), "aggify");
+    return d;
+  }();
+  Session session(db);
+  for (auto _ : state) {
+    auto r = session.Call("min_cost", {});
+    bench::RequireOk(r.status(), "call");
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_SynthesizedAggregate);
+
+void BM_CursorLoopInterpreted(benchmark::State& state) {
+  // The original cursor loop for the same MIN: the full curse.
+  static Database* db = [] {
+    auto* d = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    bench::RequireOk(PopulateTpch(d, config), "PopulateTpch");
+    Session s(d);
+    bench::RequireOk(s.RunSql(R"(
+      CREATE FUNCTION min_cost_cursor() RETURNS FLOAT AS
+      BEGIN
+        DECLARE @c FLOAT;
+        DECLARE @m FLOAT = 100000000.0;
+        DECLARE cur CURSOR FOR SELECT ps_supplycost FROM partsupp;
+        OPEN cur;
+        FETCH NEXT FROM cur INTO @c;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@c < @m)
+            SET @m = @c;
+          FETCH NEXT FROM cur INTO @c;
+        END
+        CLOSE cur; DEALLOCATE cur;
+        RETURN @m;
+      END
+    )").status(), "create");
+    return d;
+  }();
+  Session session(db);
+  for (auto _ : state) {
+    auto r = session.Call("min_cost_cursor", {});
+    bench::RequireOk(r.status(), "call");
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_CursorLoopInterpreted);
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT p_partkey, MIN(ps_supplycost) AS c FROM part, partsupp "
+      "WHERE p_partkey = ps_partkey AND p_size <= 15 "
+      "GROUP BY p_partkey HAVING MIN(ps_supplycost) > 100 "
+      "ORDER BY c DESC";
+  for (auto _ : state) {
+    auto r = ParseSelect(sql);
+    bench::RequireOk(r.status(), "parse");
+    benchmark::DoNotOptimize(*r);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(sql.size()));
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_AggifyRewrite(benchmark::State& state) {
+  // Cost of the analysis + rewrite itself (Algorithm 1 end-to-end).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Session s(&db);
+    bench::RequireOk(s.RunSql(R"(
+      CREATE FUNCTION f(@k INT) RETURNS FLOAT AS
+      BEGIN
+        DECLARE @x FLOAT;
+        DECLARE @m FLOAT = 0.0;
+        DECLARE c CURSOR FOR SELECT ps_supplycost FROM partsupp
+                             WHERE ps_partkey = @k ORDER BY ps_supplycost;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@x > @m)
+            SET @m = @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @m;
+      END
+    )").status(), "create");
+    state.ResumeTiming();
+    Aggify aggify(&db);
+    auto report = aggify.RewriteFunction("f");
+    bench::RequireOk(report.status(), "rewrite");
+    benchmark::DoNotOptimize(report->loops_rewritten);
+  }
+}
+BENCHMARK(BM_AggifyRewrite);
+
+}  // namespace
+}  // namespace aggify
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 1 and §10.2: applicability of Aggify.
+//
+// Runs the real analyzer (cursor-loop finder + applicability checks +
+// rewriter) over the bundled corpora whose loop-category proportions mirror
+// RUBiS / RUBBoS / Adempiere, and the synthetic Azure census.
+#include "bench_util.h"
+#include "workloads/corpus.h"
+
+using namespace aggify;
+using namespace aggify::bench;
+
+int main() {
+  std::printf("Table 1: analysis of while loops in application corpora\n\n");
+  TextTable table({"Workload", "Total # of while loops", "# of cursor loops",
+                   "Aggify-able"});
+  for (const auto& corpus : ApplicabilityCorpora()) {
+    CorpusStats stats = RequireOk(AnalyzeCorpus(corpus), corpus.name.c_str());
+    char cursor_cell[64];
+    std::snprintf(cursor_cell, sizeof(cursor_cell), "%d (%.1f%%)",
+                  stats.cursor_loops,
+                  100.0 * stats.cursor_loops /
+                      std::max(1, stats.total_while_loops));
+    table.AddRow({corpus.name, std::to_string(stats.total_while_loops),
+                  cursor_cell, std::to_string(stats.aggifyable)});
+  }
+  table.Print();
+
+  int64_t dbs = 5720;
+  int64_t cursors = SimulateAzureCensus(dbs);
+  std::printf(
+      "\nSection 10.2 census analogue: %lld databases using UDFs declare "
+      "%lld cursors inside UDFs\n(paper: 5,720 databases, >77,294 cursors; "
+      "all are rewritable by Theorem 4.2).\n",
+      static_cast<long long>(dbs), static_cast<long long>(cursors));
+  return 0;
+}

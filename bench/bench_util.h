@@ -1,0 +1,130 @@
+// Shared utilities for the paper-reproduction bench binaries.
+//
+// Each binary regenerates one table or figure of the paper's evaluation:
+// it prints the same rows/series the paper reports (absolute numbers differ
+// — this substrate is an interpreter, not SQL Server on a Quad Core i7 —
+// but the shape: who wins, by what factor, where crossovers fall, should
+// hold; see EXPERIMENTS.md).
+//
+// Environment knobs:
+//   AGGIFY_SF     TPC-H scale factor (default 0.01)
+//   AGGIFY_QUICK  if set, shrink sweeps for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aggify {
+namespace bench {
+
+inline double GetScaleFactor(double fallback = 0.01) {
+  const char* sf = std::getenv("AGGIFY_SF");
+  return sf != nullptr ? std::atof(sf) : fallback;
+}
+
+inline bool QuickMode() { return std::getenv("AGGIFY_QUICK") != nullptr; }
+
+/// Aborts with a message if `status` is not OK (benches have no recovery
+/// path; a failure means the reproduction is broken).
+inline void RequireOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T RequireOk(Result<T> result, const char* what) {
+  RequireOk(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+/// Fixed-width text table, paper style.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s|", std::string(widths[i] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+inline std::string FormatCount(int64_t n) {
+  char buf[32];
+  if (n >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+  }
+  return buf;
+}
+
+inline std::string FormatBytes(int64_t n) {
+  char buf[32];
+  if (n >= 1 << 20) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(n) / (1 << 20));
+  } else if (n >= 1 << 10) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(n) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(n));
+  }
+  return buf;
+}
+
+inline std::string FormatSpeedup(double original, double improved) {
+  if (improved <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", original / improved);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace aggify

@@ -1,0 +1,107 @@
+// Quickstart: the paper's Figure 1 end-to-end.
+//
+//   1. create a tiny PARTSUPP/SUPPLIER schema
+//   2. register the minCostSupp UDF containing a cursor loop
+//   3. call it (the slow way), watching the cursor counters
+//   4. run Aggify: the loop becomes a custom aggregate + Eq. 5 query
+//   5. call it again — same answers, no cursor, no worktable
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "aggify/rewriter.h"
+#include "procedural/session.h"
+
+using namespace aggify;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  Session session(&db);
+
+  // (1) Schema + data.
+  Check(session.RunSql(R"(
+    CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT,
+                           ps_supplycost DECIMAL(15,2));
+    CREATE TABLE supplier (s_suppkey INT, s_name CHAR(25));
+    INSERT INTO partsupp VALUES (1, 10, 50.0), (1, 11, 30.0), (1, 12, 70.0),
+                                (2, 10, 5.0), (2, 12, 8.0);
+    INSERT INTO supplier VALUES (10, 'Supplier#10'), (11, 'Supplier#11'),
+                                (12, 'Supplier#12');
+    CREATE INDEX idx_ps ON partsupp (ps_partkey);
+  )").status(), "schema setup");
+
+  // (2) The Figure 1 UDF: a cursor loop computing the min-cost supplier.
+  Check(session.RunSql(R"(
+    CREATE FUNCTION mincostsupp(@pkey INT, @lb INT = -1) RETURNS CHAR(25) AS
+    BEGIN
+      DECLARE @pcost DECIMAL(15,2);
+      DECLARE @sname CHAR(25);
+      DECLARE @mincost DECIMAL(15,2) = 100000;
+      DECLARE @suppname CHAR(25);
+      IF (@lb = -1)
+        SET @lb = 0;
+      DECLARE c CURSOR FOR
+        SELECT ps_supplycost, s_name FROM partsupp, supplier
+        WHERE ps_partkey = @pkey AND ps_suppkey = s_suppkey;
+      OPEN c;
+      FETCH NEXT FROM c INTO @pcost, @sname;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@pcost < @mincost AND @pcost >= @lb)
+        BEGIN
+          SET @mincost = @pcost;
+          SET @suppname = @sname;
+        END
+        FETCH NEXT FROM c INTO @pcost, @sname;
+      END
+      CLOSE c;
+      DEALLOCATE c;
+      RETURN @suppname;
+    END
+  )").status(), "create function");
+
+  // (3) Call it with the cursor loop in place.
+  db.stats().Reset();
+  auto before = session.Call("mincostsupp", {Value::Int(1)});
+  Check(before.status(), "call (original)");
+  std::printf("Original cursor loop:   mincostsupp(1) = %s\n",
+              before->ToString().c_str());
+  std::printf("  ... but it cost: %s\n\n", db.stats().ToString().c_str());
+
+  // (4) Aggify.
+  Aggify aggify(&db);
+  auto report = aggify.RewriteFunction("mincostsupp");
+  Check(report.status(), "aggify");
+  std::printf("Aggify rewrote %d loop(s). Synthesized aggregate (Figure 5):\n\n%s\n",
+              report->loops_rewritten,
+              report->rewrites[0].aggregate_source.c_str());
+  std::printf("Rewritten statement (Figure 7):\n  %s\n",
+              report->rewrites[0].rewritten_statement.c_str());
+
+  // (5) Same answers, zero cursor traffic.
+  db.stats().Reset();
+  auto after = session.Call("mincostsupp", {Value::Int(1)});
+  Check(after.status(), "call (rewritten)");
+  std::printf("Rewritten aggregate:    mincostsupp(1) = %s\n",
+              after->ToString().c_str());
+  std::printf("  ... and it cost: %s\n", db.stats().ToString().c_str());
+
+  if (!before->StructurallyEquals(*after)) {
+    std::fprintf(stderr, "MISMATCH! The rewrite changed the answer.\n");
+    return 1;
+  }
+  std::printf("\nAnswers match; the cursor is gone. "
+              "(Theorem 4.2 in action.)\n");
+  return 0;
+}

@@ -1,0 +1,333 @@
+#include "aggify/analysis_sets.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aggify {
+
+namespace {
+
+bool IsTempTableName(const std::string& name) {
+  return !name.empty() && (name[0] == '@' || name[0] == '#');
+}
+
+Status CheckBodyStmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kInsert: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      if (!IsTempTableName(s.table)) {
+        return Status::NotApplicable(
+            "loop body INSERTs into persistent table '" + s.table + "'");
+      }
+      return Status::OK();
+    }
+    case StmtKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStmt&>(stmt);
+      if (!IsTempTableName(s.table)) {
+        return Status::NotApplicable(
+            "loop body UPDATEs persistent table '" + s.table + "'");
+      }
+      return Status::OK();
+    }
+    case StmtKind::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      if (!IsTempTableName(s.table)) {
+        return Status::NotApplicable(
+            "loop body DELETEs from persistent table '" + s.table + "'");
+      }
+      return Status::OK();
+    }
+    case StmtKind::kReturn:
+      return Status::NotApplicable(
+          "loop body contains RETURN (early function exit)");
+    case StmtKind::kBlock: {
+      const auto& b = static_cast<const BlockStmt&>(stmt);
+      for (const auto& s : b.statements) RETURN_NOT_OK(CheckBodyStmt(*s));
+      return Status::OK();
+    }
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      RETURN_NOT_OK(CheckBodyStmt(*i.then_branch));
+      if (i.else_branch != nullptr) RETURN_NOT_OK(CheckBodyStmt(*i.else_branch));
+      return Status::OK();
+    }
+    case StmtKind::kWhile:
+      return CheckBodyStmt(*static_cast<const WhileStmt&>(stmt).body);
+    case StmtKind::kFor:
+      return CheckBodyStmt(*static_cast<const ForStmt&>(stmt).body);
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      RETURN_NOT_OK(CheckBodyStmt(*tc.try_block));
+      return CheckBodyStmt(*tc.catch_block);
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace
+
+Status CheckApplicability(const CursorLoopInfo& loop) {
+  if (loop.query().select_star) {
+    return Status::NotApplicable(
+        "cursor query uses SELECT *; the rewrite needs a named column list");
+  }
+  if (loop.priming_fetch->into.size() > loop.query().items.size()) {
+    return Status::NotApplicable(
+        "FETCH INTO has more variables than the cursor query projects");
+  }
+  // The trailing fetch must assign the same variables as the priming fetch,
+  // or the parameter binding would be ambiguous.
+  const BlockStmt& body = loop.body();
+  for (const auto& s : body.statements) {
+    if (s->kind == StmtKind::kFetch) {
+      const auto& f = static_cast<const FetchStmt&>(*s);
+      if (f.cursor == loop.cursor_name && f.into != loop.priming_fetch->into) {
+        return Status::NotApplicable(
+            "FETCH statements on the cursor assign different variables");
+      }
+    }
+  }
+  return CheckBodyStmt(body);
+}
+
+namespace {
+
+void CollectDeclaredVars(const Stmt& stmt, std::set<std::string>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kDeclareVar:
+      out->insert(static_cast<const DeclareVarStmt&>(stmt).name);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectDeclaredVars(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectDeclaredVars(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectDeclaredVars(*i.else_branch, out);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectDeclaredVars(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      out->insert(f.var);
+      CollectDeclaredVars(*f.body, out);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectDeclaredVars(*tc.try_block, out);
+      CollectDeclaredVars(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool IsPseudoVariable(const std::string& v) {
+  return v.rfind("@@", 0) == 0;  // @@FETCH_STATUS and friends
+}
+
+/// Names of table variables declared anywhere in the program. These are not
+/// value variables: the synthesized aggregate reaches them through the
+/// session catalog (shared state), so they never become fields or
+/// parameters.
+void CollectTableVars(const Stmt& stmt, std::set<std::string>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kDeclareTempTable:
+      out->insert(static_cast<const DeclareTempTableStmt&>(stmt).name);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectTableVars(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectTableVars(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectTableVars(*i.else_branch, out);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectTableVars(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kFor:
+      CollectTableVars(*static_cast<const ForStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectTableVars(*tc.try_block, out);
+      CollectTableVars(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> TopLevelVariables(const BlockStmt& block) {
+  std::set<std::string> out;
+  for (const auto& stmt : block.statements) {
+    switch (stmt->kind) {
+      case StmtKind::kDeclareVar:
+        out.insert(static_cast<const DeclareVarStmt&>(*stmt).name);
+        break;
+      case StmtKind::kBlock: {
+        auto inner = TopLevelVariables(static_cast<const BlockStmt&>(*stmt));
+        out.insert(inner.begin(), inner.end());
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(*stmt);
+        if (i.then_branch->kind == StmtKind::kBlock) {
+          auto inner =
+              TopLevelVariables(static_cast<const BlockStmt&>(*i.then_branch));
+          out.insert(inner.begin(), inner.end());
+        }
+        if (i.else_branch != nullptr &&
+            i.else_branch->kind == StmtKind::kBlock) {
+          auto inner =
+              TopLevelVariables(static_cast<const BlockStmt&>(*i.else_branch));
+          out.insert(inner.begin(), inner.end());
+        }
+        break;
+      }
+      default:
+        break;  // loop bodies are per-iteration scope, not outputs
+    }
+  }
+  return out;
+}
+
+Result<LoopSets> ComputeLoopSets(const BlockStmt& program_body,
+                                 const std::vector<std::string>& params,
+                                 const CursorLoopInfo& loop,
+                                 const std::set<std::string>* observable_vars) {
+  ASSIGN_OR_RETURN(auto cfg, Cfg::Build(program_body, params));
+  DataflowResult flow = DataflowResult::Run(*cfg);
+
+  std::vector<int> loop_nodes = cfg->NodesInSubtree(*loop.loop);
+  std::set<int> loop_node_set(loop_nodes.begin(), loop_nodes.end());
+  ASSIGN_OR_RETURN(int exit_node, cfg->LoopExitNode(*loop.loop));
+  std::set<std::string> live_at_exit = flow.LiveIn(exit_node);
+  if (observable_vars != nullptr) {
+    std::set<std::string> fetch_vars(loop.priming_fetch->into.begin(),
+                                     loop.priming_fetch->into.end());
+    for (const auto& v : *observable_vars) {
+      if (fetch_vars.count(v) == 0) live_at_exit.insert(v);
+    }
+  }
+
+  LoopSets sets;
+  sets.ordered = loop.query().HasOrderBy();
+
+  std::set<std::string> table_vars;
+  CollectTableVars(program_body, &table_vars);
+  auto is_value_var = [&](const std::string& v) {
+    return !IsPseudoVariable(v) && table_vars.count(v) == 0;
+  };
+
+  // V_fetch: FETCH INTO order (priming fetch; applicability guarantees the
+  // trailing fetch matches).
+  sets.v_fetch = loop.priming_fetch->into;
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+
+  // V_Δ: all variables referenced (defined or used) in the loop subtree.
+  std::set<std::string> delta;
+  for (int id : loop_nodes) {
+    const CfgNode& n = cfg->node(id);
+    for (const auto& v : n.defs) {
+      if (is_value_var(v)) delta.insert(v);
+    }
+    for (const auto& v : n.uses) {
+      if (is_value_var(v)) delta.insert(v);
+    }
+  }
+  sets.v_delta.assign(delta.begin(), delta.end());
+
+  // V_local: declared inside Δ and dead at loop exit.
+  std::set<std::string> declared_in_loop;
+  CollectDeclaredVars(*loop.loop->body, &declared_in_loop);
+  std::set<std::string> local;
+  for (const auto& v : declared_in_loop) {
+    if (live_at_exit.count(v) == 0) local.insert(v);
+  }
+  sets.v_local.assign(local.begin(), local.end());
+
+  // Eq. 1: V_F = (V_Δ − (V_fetch ∪ V_local)).
+  std::set<std::string> fields;
+  for (const auto& v : delta) {
+    if (fetch_set.count(v) == 0 && local.count(v) == 0) fields.insert(v);
+  }
+  sets.v_fields.assign(fields.begin(), fields.end());
+
+  // Eqs. 2–3: P_accum = vars used in Δ with a reaching definition outside
+  // the loop. Ordered: fetch vars first, then the rest sorted.
+  std::set<std::string> accum;
+  for (const Use& use : flow.UsesIn(loop_nodes)) {
+    if (!is_value_var(use.var)) continue;
+    for (const Definition& def : flow.UdChain(use.node, use.var)) {
+      if (loop_node_set.count(def.node) == 0) {
+        accum.insert(use.var);
+        break;
+      }
+    }
+  }
+  for (const auto& v : sets.v_fetch) {
+    if (accum.count(v) != 0) sets.p_accum.push_back(v);
+  }
+  for (const auto& v : accum) {
+    if (fetch_set.count(v) == 0) sets.p_accum.push_back(v);
+  }
+
+  // Eq. 4: V_init = P_accum − V_fetch.
+  for (const auto& v : sets.p_accum) {
+    if (fetch_set.count(v) == 0) sets.v_init.push_back(v);
+  }
+
+  // §5.4: V_term = fields live at loop exit.
+  for (const auto& v : sets.v_fields) {
+    if (live_at_exit.count(v) != 0) sets.v_term.push_back(v);
+  }
+
+  // A V_term variable declared inside the loop has no declaration at the
+  // rewrite site: the MultiAssign target (and its entry-value argument)
+  // would be unresolvable. Such loops keep per-iteration state observable
+  // after the loop — outside the model.
+  for (const auto& v : sets.v_term) {
+    if (declared_in_loop.count(v) != 0) {
+      return Status::NotApplicable(
+          "variable " + v +
+          " is declared inside the loop but observable after it");
+    }
+  }
+
+  // Soundness extension (see header): V_term fields whose entry value is not
+  // already carried by a V_init parameter.
+  {
+    std::set<std::string> covered(sets.v_init.begin(), sets.v_init.end());
+    for (const auto& v : sets.v_term) {
+      if (covered.count(v) == 0) sets.v_extra_init.push_back(v);
+    }
+  }
+
+  // Soundness check beyond the paper: a fetch variable live after the loop
+  // would observe the last fetched value, which the rewrite does not
+  // reproduce (fetch vars are not fields by Eq. 1).
+  for (const auto& v : sets.v_fetch) {
+    if (live_at_exit.count(v) != 0) {
+      return Status::NotApplicable("fetch variable " + v +
+                                   " is live after the loop");
+    }
+  }
+  return sets;
+}
+
+}  // namespace aggify

@@ -1,0 +1,59 @@
+// Algorithm 1's data-flow-derived sets (Eqs. 1–4, §5) and the §4
+// applicability check.
+#pragma once
+
+#include "aggify/cursor_loop.h"
+#include "analysis/dataflow.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+/// \brief Every variable set Algorithm 1 computes for one cursor loop.
+/// All names are lowercase with '@'. Orders are deterministic: V_fetch in
+/// FETCH INTO order; the rest sorted.
+struct LoopSets {
+  std::vector<std::string> v_delta;  ///< vars referenced in Δ
+  std::vector<std::string> v_fetch;  ///< vars assigned by FETCH
+  std::vector<std::string> v_local;  ///< declared in Δ, dead at loop exit
+  std::vector<std::string> v_fields; ///< Eq. 1 (minus implicit isInitialized)
+  std::vector<std::string> p_accum;  ///< Eq. 3: V_fetch first, then the rest
+  std::vector<std::string> v_init;   ///< Eq. 4
+  std::vector<std::string> v_term;   ///< fields live at loop exit (§5.4)
+  /// Soundness extension beyond the paper's equations: V_term fields not in
+  /// V_init. Eq. 3 only parameterizes values some loop use can read, but a
+  /// field the loop *conditionally never assigns* must still come back with
+  /// its pre-loop value from Terminate. These are passed as extra trailing
+  /// Accumulate arguments and initialized alongside V_init. (Found by the
+  /// Theorem 4.2 property test; the paper's C#-defaults prototype returns
+  /// wrong values for such loops.)
+  std::vector<std::string> v_extra_init;
+  bool ordered = false;              ///< cursor query has ORDER BY (Eq. 6)
+};
+
+/// \brief §4.2 applicability: rejects loops containing DML against
+/// persistent tables, RETURN statements, transactions-like constructs, or a
+/// SELECT * cursor query (positional fetch against an unknown shape).
+/// Returns OK when Aggify may rewrite; NotApplicable with a reason otherwise.
+Status CheckApplicability(const CursorLoopInfo& loop);
+
+/// \brief Runs CFG construction + data-flow analyses on the whole enclosing
+/// body and evaluates Eqs. 1–4 and V_term for `loop`.
+/// \param program_body the function/block containing the loop
+/// \param params parameter names of the enclosing function (defs at entry)
+/// \param observable_vars additionally-live-at-exit variables. For
+///   anonymous client programs (no RETURN), the environment itself is the
+///   output, so the block's top-level variables are observable; for UDFs
+///   pass nullptr and let liveness from RETURN decide. The loop's own fetch
+///   variables are never added (they are not fields by Eq. 1).
+Result<LoopSets> ComputeLoopSets(const BlockStmt& program_body,
+                                 const std::vector<std::string>& params,
+                                 const CursorLoopInfo& loop,
+                                 const std::set<std::string>* observable_vars
+                                 = nullptr);
+
+/// \brief Variables declared at the top level of `block` (descending into
+/// IF branches and plain nested blocks, but not into loop bodies): the
+/// observable outputs of an anonymous client program.
+std::set<std::string> TopLevelVariables(const BlockStmt& block);
+
+}  // namespace aggify

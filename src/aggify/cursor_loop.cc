@@ -1,0 +1,151 @@
+#include "aggify/cursor_loop.h"
+
+namespace aggify {
+
+bool IsFetchStatusCondition(const Expr& cond) {
+  std::vector<std::string> vars;
+  CollectVariableRefs(cond, &vars);
+  for (const auto& v : vars) {
+    if (v == "@@fetch_status") return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// The trailing FETCH for cursor `name` inside body (last statement of the
+/// body block, possibly nested one level under IF? — we require top level).
+const FetchStmt* FindTrailingFetch(const BlockStmt& body,
+                                   const std::string& name) {
+  for (auto it = body.statements.rbegin(); it != body.statements.rend(); ++it) {
+    if ((*it)->kind == StmtKind::kFetch) {
+      const auto& f = static_cast<const FetchStmt&>(**it);
+      if (f.cursor == name) return &f;
+    }
+  }
+  return nullptr;
+}
+
+void FindInBlock(BlockStmt* block, std::vector<CursorLoopInfo>* out) {
+  // Recurse first so inner loops are emitted before outer ones.
+  for (auto& stmt : block->statements) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock:
+        FindInBlock(static_cast<BlockStmt*>(stmt.get()), out);
+        break;
+      case StmtKind::kIf: {
+        auto* i = static_cast<IfStmt*>(stmt.get());
+        if (i->then_branch->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(i->then_branch.get()), out);
+        }
+        if (i->else_branch != nullptr &&
+            i->else_branch->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(i->else_branch.get()), out);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* w = static_cast<WhileStmt*>(stmt.get());
+        if (w->body->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(w->body.get()), out);
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        auto* f = static_cast<ForStmt*>(stmt.get());
+        if (f->body->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(f->body.get()), out);
+        }
+        break;
+      }
+      case StmtKind::kTryCatch: {
+        auto* tc = static_cast<TryCatchStmt*>(stmt.get());
+        if (tc->try_block->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(tc->try_block.get()), out);
+        }
+        if (tc->catch_block->kind == StmtKind::kBlock) {
+          FindInBlock(static_cast<BlockStmt*>(tc->catch_block.get()), out);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Pattern-match cursor loops at this level.
+  auto& stmts = block->statements;
+  for (size_t d = 0; d < stmts.size(); ++d) {
+    if (stmts[d]->kind != StmtKind::kDeclareCursor) continue;
+    const auto* declare = static_cast<const DeclareCursorStmt*>(stmts[d].get());
+    const std::string& name = declare->name;
+
+    CursorLoopInfo info;
+    info.container = block;
+    info.cursor_name = name;
+    info.declare = declare;
+    info.declare_index = d;
+
+    // OPEN after DECLARE (intervening statements allowed).
+    for (size_t j = d + 1; j < stmts.size(); ++j) {
+      if (stmts[j]->kind == StmtKind::kOpenCursor &&
+          static_cast<const OpenCursorStmt&>(*stmts[j]).name == name) {
+        info.open = static_cast<const OpenCursorStmt*>(stmts[j].get());
+        info.open_index = j;
+        break;
+      }
+    }
+    if (info.open == nullptr) continue;
+
+    // Priming FETCH immediately after OPEN.
+    size_t f = info.open_index + 1;
+    if (f >= stmts.size() || stmts[f]->kind != StmtKind::kFetch) continue;
+    {
+      const auto& fetch = static_cast<const FetchStmt&>(*stmts[f]);
+      if (fetch.cursor != name) continue;
+      info.priming_fetch = &fetch;
+      info.fetch_index = f;
+    }
+
+    // WHILE @@FETCH_STATUS loop immediately after the priming fetch.
+    size_t w = f + 1;
+    if (w >= stmts.size() || stmts[w]->kind != StmtKind::kWhile) continue;
+    auto* loop = static_cast<WhileStmt*>(stmts[w].get());
+    if (!IsFetchStatusCondition(*loop->condition)) continue;
+    if (loop->body->kind != StmtKind::kBlock) continue;
+    if (FindTrailingFetch(static_cast<const BlockStmt&>(*loop->body), name) ==
+        nullptr) {
+      continue;
+    }
+    info.loop = loop;
+    info.while_index = w;
+
+    // CLOSE / DEALLOCATE after the loop (optional, possibly separated).
+    for (size_t j = w + 1; j < stmts.size(); ++j) {
+      if (stmts[j]->kind == StmtKind::kCloseCursor &&
+          static_cast<const CloseCursorStmt&>(*stmts[j]).name == name &&
+          info.close == nullptr) {
+        info.close = static_cast<const CloseCursorStmt*>(stmts[j].get());
+        info.close_index = j;
+      }
+      if (stmts[j]->kind == StmtKind::kDeallocateCursor &&
+          static_cast<const DeallocateCursorStmt&>(*stmts[j]).name == name &&
+          info.deallocate == nullptr) {
+        info.deallocate =
+            static_cast<const DeallocateCursorStmt*>(stmts[j].get());
+        info.deallocate_index = j;
+      }
+    }
+    out->push_back(std::move(info));
+  }
+}
+
+}  // namespace
+
+std::vector<CursorLoopInfo> FindCursorLoops(BlockStmt* root) {
+  std::vector<CursorLoopInfo> out;
+  FindInBlock(root, &out);
+  return out;
+}
+
+}  // namespace aggify

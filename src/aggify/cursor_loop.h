@@ -1,0 +1,56 @@
+// Cursor-loop detection: finds the Definition 4.1 pattern
+//
+//   DECLARE c CURSOR FOR Q;
+//   ... ;
+//   OPEN c;
+//   FETCH NEXT FROM c INTO vars;          -- priming fetch
+//   WHILE @@FETCH_STATUS = 0
+//   BEGIN  Δ  ... FETCH NEXT FROM c INTO vars;  END
+//   CLOSE c;  DEALLOCATE c;
+//
+// in a statement block. Nested loops are reported innermost-first so
+// Algorithm 1 can be applied inner loops first (§6.3.1).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+struct CursorLoopInfo {
+  /// Block whose statement list contains the pattern.
+  BlockStmt* container = nullptr;
+  std::string cursor_name;
+
+  const DeclareCursorStmt* declare = nullptr;
+  const OpenCursorStmt* open = nullptr;
+  const FetchStmt* priming_fetch = nullptr;
+  WhileStmt* loop = nullptr;
+  const CloseCursorStmt* close = nullptr;           // may be absent
+  const DeallocateCursorStmt* deallocate = nullptr;  // may be absent
+
+  /// Indices into container->statements of each matched statement
+  /// (for removal during rewrite).
+  size_t declare_index = 0;
+  size_t open_index = 0;
+  size_t fetch_index = 0;
+  size_t while_index = 0;
+  /// SIZE_MAX when absent.
+  size_t close_index = SIZE_MAX;
+  size_t deallocate_index = SIZE_MAX;
+
+  const SelectStmt& query() const { return *declare->query; }
+  BlockStmt& body() const { return static_cast<BlockStmt&>(*loop->body); }
+};
+
+/// \brief Finds every cursor loop in `root`, innermost first. Loops whose
+/// WHILE body is not a BEGIN..END block, or whose condition is not a
+/// @@FETCH_STATUS test, are not matched.
+std::vector<CursorLoopInfo> FindCursorLoops(BlockStmt* root);
+
+/// True if `cond` is a test of @@FETCH_STATUS (e.g. `@@FETCH_STATUS = 0`).
+bool IsFetchStatusCondition(const Expr& cond);
+
+}  // namespace aggify

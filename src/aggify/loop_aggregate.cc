@@ -1,0 +1,152 @@
+#include "aggify/loop_aggregate.h"
+
+#include "procedural/interpreter.h"
+
+namespace aggify {
+
+namespace {
+
+struct LoopAggState : AggregateState {
+  VariableEnv fields;
+  /// Per-row scope reused across Accumulate calls (fetch variables are
+  /// re-bound each row; Δ-local declarations are overwritten by Δ itself).
+  VariableEnv row_env{&fields};
+  bool initialized = false;
+  bool done = false;  // BREAK executed; ignore further rows
+};
+
+}  // namespace
+
+LoopAggregate::LoopAggregate(std::string name,
+                             std::shared_ptr<const BlockStmt> body,
+                             LoopSets sets)
+    : name_(std::move(name)), body_(std::move(body)), sets_(std::move(sets)) {}
+
+Result<std::unique_ptr<AggregateState>> LoopAggregate::Init() const {
+  // Field initialization is deferred to the first Accumulate (§5.2).
+  return std::make_unique<LoopAggState>();
+}
+
+Status LoopAggregate::Accumulate(AggregateState* state,
+                                 const std::vector<Value>& args,
+                                 ExecContext* ctx) const {
+  auto* s = static_cast<LoopAggState*>(state);
+  if (s->done) return Status::OK();
+  size_t expected = sets_.p_accum.size() + sets_.v_extra_init.size();
+  if (args.size() != expected) {
+    return Status::ExecutionError(
+        "aggregate " + name_ + " expects " + std::to_string(expected) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+  if (!s->initialized) {
+    // Declare all fields (NULL), then initialize V_init from the matching
+    // arguments and the V_term soundness extras from the trailing ones —
+    // the runtime values the variables held at loop entry.
+    for (const auto& f : sets_.v_fields) s->fields.Declare(f, Value::Null());
+    for (const auto& f : sets_.v_init) {
+      for (size_t i = 0; i < sets_.p_accum.size(); ++i) {
+        if (sets_.p_accum[i] == f) {
+          s->fields.Declare(f, args[i]);
+          break;
+        }
+      }
+    }
+    for (size_t j = 0; j < sets_.v_extra_init.size(); ++j) {
+      s->fields.Declare(sets_.v_extra_init[j],
+                        args[sets_.p_accum.size() + j]);
+    }
+    s->initialized = true;
+  }
+  // Per-row scope: fetch variables bound to their arguments (matched by
+  // name — a fetch variable unused in Δ is absent from P_accum and simply
+  // gets NULL; Δ never reads it).
+  VariableEnv& row_env = s->row_env;
+  for (const auto& fetch_var : sets_.v_fetch) {
+    Value bound;
+    for (size_t i = 0; i < sets_.p_accum.size(); ++i) {
+      if (sets_.p_accum[i] == fetch_var) {
+        bound = args[i];
+        break;
+      }
+    }
+    row_env.Declare(fetch_var, std::move(bound));
+  }
+  row_env.Declare("@@fetch_status", Value::Int(0));
+
+  // Hot path: swap the correlation frame in place (Δ statements are not
+  // correlated to query rows) rather than copying the context per row.
+  const RowFrame* saved_frame = ctx->frame();
+  ctx->set_frame(nullptr);
+  Interpreter interp;  // engine-less: queries go via the context hook
+  auto outcome = interp.ExecuteLoopBody(*body_, &row_env, *ctx);
+  ctx->set_frame(saved_frame);
+  RETURN_NOT_OK(outcome.status());
+  if (*outcome == Interpreter::LoopBodyOutcome::kBreak) s->done = true;
+  return Status::OK();
+}
+
+Result<Value> LoopAggregate::Terminate(AggregateState* state,
+                                       ExecContext* ctx) const {
+  AGGIFY_UNUSED(ctx);
+  auto* s = static_cast<LoopAggState*>(state);
+  if (!s->initialized) {
+    // Zero iterations: NULL tells MultiAssign to keep prior values.
+    return Value::Null();
+  }
+  // Single-attribute V_term returns the bare value (§5.4: "we avoid using a
+  // tuple"); multi-attribute V_term returns the Record UDT. A single-target
+  // MultiAssign thus sees a scalar — note the one semantic wrinkle: a loop
+  // that ran and legitimately left its only live variable NULL is
+  // indistinguishable from a zero-iteration loop, and the target keeps its
+  // prior value (which for the reproduced workloads is the same NULL).
+  if (sets_.v_term.size() == 1) {
+    return s->fields.Get(sets_.v_term[0]);
+  }
+  std::vector<Value> out;
+  out.reserve(sets_.v_term.size());
+  for (const auto& f : sets_.v_term) {
+    ASSIGN_OR_RETURN(Value v, s->fields.Get(f));
+    out.push_back(std::move(v));
+  }
+  return Value::Record(std::move(out));
+}
+
+std::string LoopAggregate::GenerateSource() const {
+  std::string out = "CREATE AGGREGATE " + name_ + " (";
+  for (size_t i = 0; i < sets_.p_accum.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sets_.p_accum[i];
+  }
+  for (const auto& v : sets_.v_extra_init) {
+    out += ", " + v + " /* entry value */";
+  }
+  out += ")\nAS BEGIN\n";
+  out += "  -- fields (V_F)\n";
+  out += "  DECLARE isInitialized BIT;\n";
+  for (const auto& f : sets_.v_fields) {
+    out += "  DECLARE " + f + ";\n";
+  }
+  out += "  Init() BEGIN\n    SET isInitialized = 0;\n  END\n";
+  out += "  Accumulate(";
+  for (size_t i = 0; i < sets_.p_accum.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sets_.p_accum[i];
+  }
+  out += ") BEGIN\n    IF (isInitialized = 0)\n    BEGIN\n";
+  for (const auto& f : sets_.v_init) {
+    out += "      SET " + f + " = " + f + "_arg;\n";
+  }
+  out += "      SET isInitialized = 1;\n    END\n";
+  out += "    -- loop body Δ (FETCH removed)\n";
+  out += body_->ToString(2);
+  out += "  END\n";
+  out += "  Terminate() BEGIN\n    RETURN (";
+  for (size_t i = 0; i < sets_.v_term.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sets_.v_term[i];
+  }
+  out += ");\n  END\nEND\n";
+  return out;
+}
+
+}  // namespace aggify

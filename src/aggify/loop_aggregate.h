@@ -1,0 +1,62 @@
+// LoopAggregate: the custom aggregate Aggify synthesizes from a cursor-loop
+// body (§5, Figure 4 template).
+//
+//   fields   V_F (+ the implicit isInitialized flag)
+//   Init     marks the state uninitialized — field initialization is
+//            deferred to the first Accumulate because initial values are
+//            runtime values, not compile-time constants (§5.2)
+//   Accumulate(P_accum)  on first call initializes V_init fields from the
+//            corresponding arguments, then executes the loop body Δ (with
+//            FETCH statements stripped; fetch variables are bound to the
+//            leading arguments, i.e. the cursor query's columns)
+//   Terminate  returns the V_term tuple as a Record — or NULL when no row
+//            was ever accumulated, signalling the rewrite to leave the
+//            target variables untouched (zero-iteration loop semantics)
+//   Merge    unsupported: an arbitrary loop body is not decomposable (§3.1
+//            says Merge is optional)
+//
+// BREAK in Δ sets a `done` flag; subsequent Accumulate calls are no-ops,
+// which is exactly the original loop's "stop processing further rows".
+#pragma once
+
+#include <memory>
+
+#include "aggify/analysis_sets.h"
+#include "aggregates/aggregate_function.h"
+
+namespace aggify {
+
+class LoopAggregate : public AggregateFunction {
+ public:
+  /// \param body loop body Δ with FETCH statements on the loop's cursor
+  /// removed; shared because the catalog-held aggregate outlives the rewrite.
+  LoopAggregate(std::string name, std::shared_ptr<const BlockStmt> body,
+                LoopSets sets);
+
+  const std::string& name() const override { return name_; }
+  int arity() const override {
+    return static_cast<int>(sets_.p_accum.size() + sets_.v_extra_init.size());
+  }
+
+  Result<std::unique_ptr<AggregateState>> Init() const override;
+  Status Accumulate(AggregateState* state, const std::vector<Value>& args,
+                    ExecContext* ctx) const override;
+  Result<Value> Terminate(AggregateState* state,
+                          ExecContext* ctx) const override;
+  bool SupportsMerge() const override { return false; }
+  bool IsOrderSensitive() const override { return sets_.ordered; }
+
+  const LoopSets& sets() const { return sets_; }
+  const BlockStmt& body() const { return *body_; }
+
+  /// \brief Renders the aggregate definition in the paper's Figure 5/6
+  /// style — what the generated C# / T-SQL artifact would look like.
+  std::string GenerateSource() const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const BlockStmt> body_;
+  LoopSets sets_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,459 @@
+#include "aggify/rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace aggify {
+
+namespace {
+
+/// Removes the (single, trailing) FETCH on `cursor` from a cloned body.
+void StripFetches(BlockStmt* body, const std::string& cursor) {
+  auto& stmts = body->statements;
+  stmts.erase(std::remove_if(stmts.begin(), stmts.end(),
+                             [&](const StmtPtr& s) {
+                               return s->kind == StmtKind::kFetch &&
+                                      static_cast<const FetchStmt&>(*s)
+                                              .cursor == cursor;
+                             }),
+              stmts.end());
+}
+
+/// Builds the Eq. 5 / Eq. 6 rewritten query:
+///   SELECT Agg(q.c<j>..., @vars...) FROM (Q') q
+/// where Q' is the cursor query with its select items aliased c0..cN so the
+/// outer aggregate arguments can reference them unambiguously.
+std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
+                                                const LoopSets& sets,
+                                                const std::string& agg_name) {
+  auto derived = loop.query().Clone();
+  for (size_t i = 0; i < derived->items.size(); ++i) {
+    derived->items[i].alias = "c" + std::to_string(i);
+  }
+
+  // Map fetch variable -> projected column name (positional, like FETCH).
+  auto column_for_fetch_var = [&](const std::string& var) -> std::string {
+    for (size_t j = 0; j < loop.priming_fetch->into.size(); ++j) {
+      if (loop.priming_fetch->into[j] == var) {
+        return "q.c" + std::to_string(j);
+      }
+    }
+    return "";  // unreachable: P_accum fetch vars come from FETCH INTO
+  };
+
+  std::vector<ExprPtr> args;
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+  for (const auto& v : sets.p_accum) {
+    if (fetch_set.count(v) != 0) {
+      args.push_back(MakeColumnRef(column_for_fetch_var(v)));
+    } else {
+      args.push_back(MakeVarRef(v));
+    }
+  }
+  // Entry values for V_term fields Eq. 3 does not cover (soundness
+  // extension; see LoopSets::v_extra_init).
+  for (const auto& v : sets.v_extra_init) {
+    args.push_back(MakeVarRef(v));
+  }
+
+  auto outer = std::make_unique<SelectStmt>();
+  SelectItem item;
+  item.expr = std::make_unique<AggregateCallExpr>(agg_name, std::move(args));
+  item.alias = "aggval";
+  outer->items.push_back(std::move(item));
+  outer->from.push_back(TableRef::Derived(std::move(derived), "q"));
+  // Eq. 6: ORDER BY in Q forces the streaming aggregate over the sorted
+  // derived input so Accumulate sees rows in cursor order.
+  outer->force_stream_aggregate = sets.ordered;
+  return outer;
+}
+
+/// Requires the loop to advance via exactly one FETCH, as the last top-level
+/// statement of the body (the canonical cursor-loop shape Definition 4.1's
+/// "one row at a time" evaluation assumes).
+Status CheckFetchShape(const CursorLoopInfo& loop) {
+  int count = 0;
+  std::function<void(const Stmt&)> count_fetches = [&](const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kFetch:
+        if (static_cast<const FetchStmt&>(s).cursor == loop.cursor_name) {
+          ++count;
+        }
+        break;
+      case StmtKind::kBlock:
+        for (const auto& c : static_cast<const BlockStmt&>(s).statements) {
+          count_fetches(*c);
+        }
+        break;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        count_fetches(*i.then_branch);
+        if (i.else_branch != nullptr) count_fetches(*i.else_branch);
+        break;
+      }
+      case StmtKind::kWhile:
+        count_fetches(*static_cast<const WhileStmt&>(s).body);
+        break;
+      case StmtKind::kFor:
+        count_fetches(*static_cast<const ForStmt&>(s).body);
+        break;
+      case StmtKind::kTryCatch: {
+        const auto& tc = static_cast<const TryCatchStmt&>(s);
+        count_fetches(*tc.try_block);
+        count_fetches(*tc.catch_block);
+        break;
+      }
+      default:
+        break;
+    }
+  };
+  count_fetches(loop.body());
+  if (count != 1) {
+    return Status::NotApplicable(
+        "loop advances its cursor with " + std::to_string(count) +
+        " FETCH statements; the canonical single trailing FETCH is required");
+  }
+  const auto& stmts = loop.body().statements;
+  if (stmts.empty() || stmts.back()->kind != StmtKind::kFetch ||
+      static_cast<const FetchStmt&>(*stmts.back()).cursor !=
+          loop.cursor_name) {
+    return Status::NotApplicable(
+        "the cursor FETCH is not the last statement of the loop body");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
+                                    const std::vector<std::string>& params,
+                                    const std::set<std::string>* observable_vars,
+                                    std::set<const WhileStmt*>* skipped_loops,
+                                    AggifyReport* report,
+                                    const std::string& name_hint) {
+  std::vector<CursorLoopInfo> loops = FindCursorLoops(root);
+  for (CursorLoopInfo& loop : loops) {
+    if (skipped_loops->count(loop.loop) != 0) continue;
+
+    Status applicable = CheckApplicability(loop);
+    if (applicable.ok()) applicable = CheckFetchShape(loop);
+    if (!applicable.ok()) {
+      if (!applicable.IsNotApplicable()) return applicable;
+      skipped_loops->insert(loop.loop);
+      report->skipped.push_back(applicable.message());
+      continue;
+    }
+
+    auto sets_result = ComputeLoopSets(*root, params, loop, observable_vars);
+    if (!sets_result.ok()) {
+      if (!sets_result.status().IsNotApplicable()) return sets_result.status();
+      skipped_loops->insert(loop.loop);
+      report->skipped.push_back(sets_result.status().message());
+      continue;
+    }
+    LoopSets sets = std::move(sets_result).ValueOrDie();
+
+    // Synthesize the aggregate from the FETCH-stripped body.
+    std::string agg_name =
+        name_hint + "_agg" + std::to_string(db_->NextObjectId());
+    StmtPtr body_clone = loop.loop->body->Clone();
+    auto* body_block = static_cast<BlockStmt*>(body_clone.release());
+    StripFetches(body_block, loop.cursor_name);
+    std::shared_ptr<const BlockStmt> shared_body(body_block);
+    auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
+                                                     sets);
+    db_->catalog().RegisterAggregate(agg_name, aggregate);
+
+    // Eq. 5/6 rewrite.
+    auto query = BuildRewrittenQuery(loop, sets, agg_name);
+    auto replacement =
+        std::make_unique<MultiAssignStmt>(sets.v_term, std::move(query));
+
+    LoopRewrite record;
+    record.aggregate_name = agg_name;
+    record.sets = sets;
+    record.rewritten_statement = replacement->ToString(0);
+    record.aggregate_source = aggregate->GenerateSource();
+    report->rewrites.push_back(std::move(record));
+
+    // Surgery on the container block: replace the WHILE with the rewritten
+    // statement; delete DECLARE CURSOR / OPEN / priming FETCH / CLOSE /
+    // DEALLOCATE.
+    auto& stmts = loop.container->statements;
+    stmts[loop.while_index] = std::move(replacement);
+    std::vector<size_t> to_erase{loop.declare_index, loop.open_index,
+                                 loop.fetch_index};
+    if (loop.close_index != SIZE_MAX) to_erase.push_back(loop.close_index);
+    if (loop.deallocate_index != SIZE_MAX) {
+      to_erase.push_back(loop.deallocate_index);
+    }
+    std::sort(to_erase.rbegin(), to_erase.rend());
+    for (size_t idx : to_erase) {
+      stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ++report->loops_rewritten;
+    return true;
+  }
+  return false;
+}
+
+Result<AggifyReport> Aggify::RewriteBlock(BlockStmt* block,
+                                          const std::vector<std::string>& params) {
+  AggifyReport report;
+  if (options_.convert_for_loops) {
+    RETURN_NOT_OK(ConvertForLoopsToCursorLoops(block, db_));
+  }
+  report.loops_found = static_cast<int>(FindCursorLoops(block).size());
+  // Anonymous client programs have no RETURN: their top-level variables are
+  // the observable outputs and must survive the rewrite.
+  std::set<std::string> observable = TopLevelVariables(*block);
+  for (const auto& p : params) observable.insert(p);
+  std::set<const WhileStmt*> skipped;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool rewrote, RewriteOneLoop(block, params, &observable,
+                                                  &skipped, &report, "block"));
+    if (!rewrote) break;
+  }
+  return report;
+}
+
+Result<AggifyReport> Aggify::RewriteFunction(const std::string& name) {
+  ASSIGN_OR_RETURN(auto original, db_->catalog().GetFunction(name));
+  std::shared_ptr<FunctionDef> def = original->Clone();
+
+  AggifyReport report;
+  if (options_.convert_for_loops) {
+    RETURN_NOT_OK(ConvertForLoopsToCursorLoops(def->body.get(), db_));
+  }
+  report.loops_found =
+      static_cast<int>(FindCursorLoops(def->body.get()).size());
+
+  std::vector<std::string> params;
+  for (const auto& p : def->params) params.push_back(p.name);
+
+  std::set<const WhileStmt*> skipped;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool rewrote,
+                     RewriteOneLoop(def->body.get(), params,
+                                    /*observable_vars=*/nullptr, &skipped,
+                                    &report, name));
+    if (!rewrote) break;
+  }
+  if (options_.remove_dead_declarations && report.loops_rewritten > 0) {
+    RemoveDeadDeclarations(def->body.get());
+  }
+  db_->catalog().RegisterFunction(name, def);
+  return report;
+}
+
+namespace {
+
+void CollectLiveNames(const Stmt& stmt, std::set<std::string>* used,
+                      std::set<std::string>* assigned) {
+  std::vector<std::string> uses;
+  StatementUses(stmt, &uses);
+  used->insert(uses.begin(), uses.end());
+  if (stmt.kind != StmtKind::kDeclareVar) {
+    std::vector<std::string> defs;
+    StatementDefs(stmt, &defs);
+    assigned->insert(defs.begin(), defs.end());
+  }
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectLiveNames(*s, used, assigned);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectLiveNames(*i.then_branch, used, assigned);
+      if (i.else_branch != nullptr) {
+        CollectLiveNames(*i.else_branch, used, assigned);
+      }
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectLiveNames(*static_cast<const WhileStmt&>(stmt).body, used,
+                       assigned);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      std::vector<std::string> vars;
+      CollectVariableRefs(*f.init, &vars);
+      CollectVariableRefs(*f.bound, &vars);
+      if (f.step != nullptr) CollectVariableRefs(*f.step, &vars);
+      used->insert(vars.begin(), vars.end());
+      assigned->insert(f.var);
+      CollectLiveNames(*f.body, used, assigned);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectLiveNames(*tc.try_block, used, assigned);
+      CollectLiveNames(*tc.catch_block, used, assigned);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+int RemoveDeadDeclarationsIn(BlockStmt* block, const std::set<std::string>& used,
+                             const std::set<std::string>& assigned) {
+  int removed = 0;
+  auto& stmts = block->statements;
+  for (auto it = stmts.begin(); it != stmts.end();) {
+    Stmt* s = it->get();
+    if (s->kind == StmtKind::kDeclareVar) {
+      const auto& d = static_cast<const DeclareVarStmt&>(*s);
+      if (used.count(d.name) == 0 && assigned.count(d.name) == 0) {
+        it = stmts.erase(it);
+        ++removed;
+        continue;
+      }
+    } else if (s->kind == StmtKind::kBlock) {
+      removed += RemoveDeadDeclarationsIn(static_cast<BlockStmt*>(s), used,
+                                          assigned);
+    } else if (s->kind == StmtKind::kIf) {
+      auto* i = static_cast<IfStmt*>(s);
+      if (i->then_branch->kind == StmtKind::kBlock) {
+        removed += RemoveDeadDeclarationsIn(
+            static_cast<BlockStmt*>(i->then_branch.get()), used, assigned);
+      }
+      if (i->else_branch != nullptr &&
+          i->else_branch->kind == StmtKind::kBlock) {
+        removed += RemoveDeadDeclarationsIn(
+            static_cast<BlockStmt*>(i->else_branch.get()), used, assigned);
+      }
+    } else if (s->kind == StmtKind::kWhile) {
+      auto* w = static_cast<WhileStmt*>(s);
+      if (w->body->kind == StmtKind::kBlock) {
+        removed += RemoveDeadDeclarationsIn(
+            static_cast<BlockStmt*>(w->body.get()), used, assigned);
+      }
+    }
+    ++it;
+  }
+  return removed;
+}
+
+}  // namespace
+
+int RemoveDeadDeclarations(BlockStmt* block) {
+  std::set<std::string> used;
+  std::set<std::string> assigned;
+  CollectLiveNames(*block, &used, &assigned);
+  return RemoveDeadDeclarationsIn(block, used, assigned);
+}
+
+Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db) {
+  for (auto& stmt : block->statements) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock:
+        RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+            static_cast<BlockStmt*>(stmt.get()), db));
+        break;
+      case StmtKind::kIf: {
+        auto* i = static_cast<IfStmt*>(stmt.get());
+        if (i->then_branch->kind == StmtKind::kBlock) {
+          RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+              static_cast<BlockStmt*>(i->then_branch.get()), db));
+        }
+        if (i->else_branch != nullptr &&
+            i->else_branch->kind == StmtKind::kBlock) {
+          RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+              static_cast<BlockStmt*>(i->else_branch.get()), db));
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* w = static_cast<WhileStmt*>(stmt.get());
+        if (w->body->kind == StmtKind::kBlock) {
+          RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+              static_cast<BlockStmt*>(w->body.get()), db));
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        auto* f = static_cast<ForStmt*>(stmt.get());
+        if (f->body->kind == StmtKind::kBlock) {
+          RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+              static_cast<BlockStmt*>(f->body.get()), db));
+        }
+        // Build: WITH iter (v) AS (SELECT init AS v UNION ALL
+        //        SELECT v + step FROM iter WHERE v + step <= bound)
+        //        SELECT v FROM iter
+        std::string cursor = "__for_cur" + std::to_string(db->NextObjectId());
+        ExprPtr step = f->step != nullptr ? f->step->Clone()
+                                          : MakeLiteral(Value::Int(1));
+
+        auto base = std::make_unique<SelectStmt>();
+        base->items.push_back(SelectItem{f->init->Clone(), "v"});
+
+        auto rec = std::make_unique<SelectStmt>();
+        rec->items.push_back(SelectItem{
+            MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
+            "v"});
+        rec->from.push_back(TableRef::Base("__iter" + cursor));
+        rec->where = MakeBinary(
+            BinaryOp::kLe,
+            MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
+            f->bound->Clone());
+        base->union_all = std::move(rec);
+
+        auto query = std::make_unique<SelectStmt>();
+        CteDef cte;
+        cte.name = "__iter" + cursor;
+        cte.column_names = {"v"};
+        cte.recursive = true;
+        cte.query = std::move(base);
+        query->ctes.push_back(std::move(cte));
+        query->items.push_back(SelectItem{MakeColumnRef("v"), ""});
+        query->from.push_back(TableRef::Base("__iter" + cursor));
+
+        // Assemble the canonical cursor loop.
+        auto region = std::make_unique<BlockStmt>();
+        region->statements.push_back(std::make_unique<DeclareVarStmt>(
+            f->var, DataType::Int(), nullptr));
+        region->statements.push_back(
+            std::make_unique<DeclareCursorStmt>(cursor, std::move(query)));
+        region->statements.push_back(std::make_unique<OpenCursorStmt>(cursor));
+        region->statements.push_back(std::make_unique<FetchStmt>(
+            cursor, std::vector<std::string>{f->var}));
+        StmtPtr new_body = f->body->Clone();
+        if (new_body->kind != StmtKind::kBlock) {
+          auto wrapper = std::make_unique<BlockStmt>();
+          wrapper->statements.push_back(std::move(new_body));
+          new_body = std::move(wrapper);
+        }
+        auto* body_block = static_cast<BlockStmt*>(new_body.get());
+        body_block->statements.push_back(std::make_unique<FetchStmt>(
+            cursor, std::vector<std::string>{f->var}));
+        region->statements.push_back(std::make_unique<WhileStmt>(
+            MakeBinary(BinaryOp::kEq, MakeVarRef("@@fetch_status"),
+                       MakeLiteral(Value::Int(0))),
+            std::move(new_body)));
+        region->statements.push_back(
+            std::make_unique<CloseCursorStmt>(cursor));
+        region->statements.push_back(
+            std::make_unique<DeallocateCursorStmt>(cursor));
+        stmt = std::move(region);
+        break;
+      }
+      case StmtKind::kTryCatch: {
+        auto* tc = static_cast<TryCatchStmt*>(stmt.get());
+        RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+            static_cast<BlockStmt*>(tc->try_block.get()), db));
+        RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
+            static_cast<BlockStmt*>(tc->catch_block.get()), db));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aggify

@@ -1,0 +1,85 @@
+// The Aggify driver: Algorithm 1.
+//
+// Finds cursor loops, checks applicability, computes the Eq. 1–4 sets,
+// synthesizes and registers the custom aggregate, and rewrites the loop into
+// the Eq. 5 / Eq. 6 query. Nested loops are handled innermost-first
+// (§6.3.1); FOR loops can first be converted to cursor loops over recursive
+// CTE iteration spaces (§8.1).
+#pragma once
+
+#include <set>
+
+#include "aggify/loop_aggregate.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+struct AggifyOptions {
+  /// §8.1: convert iterative FOR loops into cursor loops over recursive-CTE
+  /// iteration spaces before looking for cursor loops.
+  bool convert_for_loops = false;
+  /// §6.2: after rewriting, remove declarations of variables the transform
+  /// rendered dead (e.g. the fetch variables @pCost/@sName of Figure 1).
+  /// Applied to rewritten functions only — anonymous client programs keep
+  /// their declarations because the environment is their observable output.
+  bool remove_dead_declarations = true;
+};
+
+/// \brief What happened to one loop.
+struct LoopRewrite {
+  std::string aggregate_name;
+  LoopSets sets;
+  /// The Eq. 5/6 statement that replaced the loop, as dialect text.
+  std::string rewritten_statement;
+  /// The synthesized aggregate, rendered in the paper's Figure 5/6 style.
+  std::string aggregate_source;
+};
+
+struct AggifyReport {
+  int loops_found = 0;
+  int loops_rewritten = 0;
+  std::vector<LoopRewrite> rewrites;
+  /// Reasons loops were left alone (applicability failures).
+  std::vector<std::string> skipped;
+};
+
+class Aggify {
+ public:
+  explicit Aggify(Database* db, AggifyOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// \brief Rewrites every applicable cursor loop in the registered function
+  /// `name`, registers the synthesized aggregates, and re-registers the
+  /// rewritten function under the same name (the original definition is
+  /// replaced). Errors: NotFound if the function is not registered.
+  Result<AggifyReport> RewriteFunction(const std::string& name);
+
+  /// \brief Rewrites every applicable cursor loop in an anonymous block
+  /// (client program) in place. `params` are treated as defined at entry.
+  Result<AggifyReport> RewriteBlock(BlockStmt* block,
+                                    const std::vector<std::string>& params = {});
+
+ private:
+  /// Rewrites the first eligible loop; returns true if one was rewritten.
+  Result<bool> RewriteOneLoop(BlockStmt* root,
+                              const std::vector<std::string>& params,
+                              const std::set<std::string>* observable_vars,
+                              std::set<const WhileStmt*>* skipped_loops,
+                              AggifyReport* report,
+                              const std::string& name_hint);
+
+  Database* db_;
+  AggifyOptions options_;
+};
+
+/// \brief §8.1: rewrites every FOR loop in `block` into an equivalent cursor
+/// loop over a recursive-CTE iteration space. `db` supplies unique cursor
+/// names.
+Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db);
+
+/// \brief §6.2 cleanup: removes DECLAREs of variables that are never read
+/// and never assigned outside their declaration. Returns how many were
+/// removed.
+int RemoveDeadDeclarations(BlockStmt* block);
+
+}  // namespace aggify

@@ -1,0 +1,88 @@
+// The aggregation contract of §3.1: Init / Accumulate / Terminate / Merge.
+//
+// Custom aggregates (including the ones Aggify synthesizes) and the built-in
+// aggregates all implement this interface; the executor's aggregation
+// operators are agnostic to which kind they drive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace aggify {
+
+class ExecContext;  // exec/exec_context.h
+
+/// \brief Per-group mutable state of one aggregate evaluation.
+/// Concrete aggregates subclass this; the operators only move it around.
+class AggregateState {
+ public:
+  virtual ~AggregateState() = default;
+};
+
+/// \brief An aggregate function implementing the four-method contract.
+///
+/// Thread-compatible: the function object itself is immutable after
+/// registration; all mutable evaluation state lives in AggregateState.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Number of arguments Accumulate expects; -1 for COUNT(*)-style zero/any.
+  virtual int arity() const = 0;
+
+  /// (1) Init: creates the per-group state. Invoked once per group. Field
+  /// initialization that depends on runtime values is deferred to the first
+  /// Accumulate call (§5.2) — Init takes no arguments by contract.
+  virtual Result<std::unique_ptr<AggregateState>> Init() const = 0;
+
+  /// (2) Accumulate: folds one qualifying tuple into the state. `ctx` gives
+  /// synthesized aggregates access to the session (nested queries, temp
+  /// tables); built-ins ignore it.
+  virtual Status Accumulate(AggregateState* state,
+                            const std::vector<Value>& args,
+                            ExecContext* ctx) const = 0;
+
+  /// (3) Terminate: produces the final value (a Record for multi-variable
+  /// V_term tuples).
+  virtual Result<Value> Terminate(AggregateState* state,
+                                  ExecContext* ctx) const = 0;
+
+  /// (4) Merge: combines a partially-accumulated `other` into `state`
+  /// (parallel execution). Optional by contract.
+  virtual Status Merge(AggregateState* state, AggregateState* other,
+                       ExecContext* ctx) const {
+    AGGIFY_UNUSED(state);
+    AGGIFY_UNUSED(other);
+    AGGIFY_UNUSED(ctx);
+    return Status::NotSupported("aggregate '" + name() +
+                                "' does not implement Merge");
+  }
+
+  /// True if Merge is implemented and the aggregate is deterministic
+  /// (order-insensitive), so parallel partial aggregation is legal.
+  virtual bool SupportsMerge() const { return false; }
+
+  /// True if results depend on input order (e.g. a synthesized aggregate
+  /// for an ORDER BY cursor). Such aggregates must run under a streaming
+  /// aggregate fed by a Sort (Eq. 6) and must not be parallelized.
+  virtual bool IsOrderSensitive() const { return false; }
+};
+
+/// \brief Creates the built-in aggregate for `name` (min/max/sum/count/avg,
+/// count with is_star). Errors: NotFound for unknown names.
+Result<std::shared_ptr<const AggregateFunction>> MakeBuiltinAggregate(
+    const std::string& name);
+
+/// \brief Creates the zero-argument COUNT(*) aggregate.
+Result<std::shared_ptr<const AggregateFunction>> MakeCountStarAggregate();
+
+/// True if `name` is a built-in aggregate.
+bool IsBuiltinAggregateName(const std::string& name);
+
+}  // namespace aggify

@@ -1,0 +1,181 @@
+// Built-in aggregates: MIN, MAX, SUM, COUNT, COUNT(*), AVG.
+//
+// All are deterministic and implement Merge, so they are legal under both
+// hash and streaming aggregation and under parallel partial aggregation.
+#include "aggregates/aggregate_function.h"
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+namespace {
+
+struct ScalarState : AggregateState {
+  Value value;            // running min/max/sum
+  int64_t count = 0;      // rows seen (non-null for column aggregates)
+  double sum = 0.0;       // for AVG
+  bool sum_is_int = true;
+};
+
+enum class BuiltinKind { kMin, kMax, kSum, kCount, kCountStar, kAvg };
+
+class BuiltinAggregate : public AggregateFunction {
+ public:
+  BuiltinAggregate(std::string name, BuiltinKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const override { return name_; }
+
+  int arity() const override {
+    return kind_ == BuiltinKind::kCountStar ? 0 : 1;
+  }
+
+  Result<std::unique_ptr<AggregateState>> Init() const override {
+    return std::make_unique<ScalarState>();
+  }
+
+  Status Accumulate(AggregateState* state, const std::vector<Value>& args,
+                    ExecContext* /*ctx*/) const override {
+    auto* s = static_cast<ScalarState*>(state);
+    if (kind_ == BuiltinKind::kCountStar) {
+      ++s->count;
+      return Status::OK();
+    }
+    if (args.size() != 1) {
+      return Status::ExecutionError("aggregate '" + name_ +
+                                    "' expects one argument");
+    }
+    const Value& v = args[0];
+    if (v.is_null()) return Status::OK();  // SQL: NULLs ignored
+    switch (kind_) {
+      case BuiltinKind::kCount:
+        ++s->count;
+        break;
+      case BuiltinKind::kMin:
+      case BuiltinKind::kMax: {
+        if (s->count == 0) {
+          s->value = v;
+        } else {
+          ASSIGN_OR_RETURN(Value cmp, Compare(v, s->value));
+          bool replace = kind_ == BuiltinKind::kMin ? cmp.int_value() < 0
+                                                    : cmp.int_value() > 0;
+          if (replace) s->value = v;
+        }
+        ++s->count;
+        break;
+      }
+      case BuiltinKind::kSum:
+      case BuiltinKind::kAvg: {
+        if (!v.is_numeric()) {
+          return Status::TypeError(name_ + " over non-numeric value " +
+                                   v.ToString());
+        }
+        s->sum += v.AsDouble();
+        if (!v.is_int()) s->sum_is_int = false;
+        ++s->count;
+        break;
+      }
+      case BuiltinKind::kCountStar:
+        break;
+    }
+    return Status::OK();
+  }
+
+  Result<Value> Terminate(AggregateState* state,
+                          ExecContext* /*ctx*/) const override {
+    auto* s = static_cast<ScalarState*>(state);
+    switch (kind_) {
+      case BuiltinKind::kCount:
+      case BuiltinKind::kCountStar:
+        return Value::Int(s->count);
+      case BuiltinKind::kMin:
+      case BuiltinKind::kMax:
+        return s->count == 0 ? Value::Null() : s->value;
+      case BuiltinKind::kSum:
+        if (s->count == 0) return Value::Null();
+        if (s->sum_is_int) return Value::Int(static_cast<int64_t>(s->sum));
+        return Value::Double(s->sum);
+      case BuiltinKind::kAvg:
+        if (s->count == 0) return Value::Null();
+        return Value::Double(s->sum / static_cast<double>(s->count));
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Merge(AggregateState* state, AggregateState* other,
+               ExecContext* /*ctx*/) const override {
+    auto* a = static_cast<ScalarState*>(state);
+    auto* b = static_cast<ScalarState*>(other);
+    switch (kind_) {
+      case BuiltinKind::kCount:
+      case BuiltinKind::kCountStar:
+        a->count += b->count;
+        break;
+      case BuiltinKind::kMin:
+      case BuiltinKind::kMax: {
+        if (b->count == 0) break;
+        if (a->count == 0) {
+          a->value = b->value;
+        } else {
+          ASSIGN_OR_RETURN(Value cmp, Compare(b->value, a->value));
+          bool replace = kind_ == BuiltinKind::kMin ? cmp.int_value() < 0
+                                                    : cmp.int_value() > 0;
+          if (replace) a->value = b->value;
+        }
+        a->count += b->count;
+        break;
+      }
+      case BuiltinKind::kSum:
+      case BuiltinKind::kAvg:
+        a->sum += b->sum;
+        a->sum_is_int = a->sum_is_int && b->sum_is_int;
+        a->count += b->count;
+        break;
+    }
+    return Status::OK();
+  }
+
+  bool SupportsMerge() const override { return true; }
+
+ private:
+  std::string name_;
+  BuiltinKind kind_;
+};
+
+}  // namespace
+
+bool IsBuiltinAggregateName(const std::string& name) {
+  std::string n = ToLower(name);
+  return n == "min" || n == "max" || n == "sum" || n == "count" ||
+         n == "avg" || n == "count_big";
+}
+
+Result<std::shared_ptr<const AggregateFunction>> MakeBuiltinAggregate(
+    const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "min") {
+    return std::make_shared<const BuiltinAggregate>("min", BuiltinKind::kMin);
+  }
+  if (n == "max") {
+    return std::make_shared<const BuiltinAggregate>("max", BuiltinKind::kMax);
+  }
+  if (n == "sum") {
+    return std::make_shared<const BuiltinAggregate>("sum", BuiltinKind::kSum);
+  }
+  if (n == "count" || n == "count_big") {
+    return std::make_shared<const BuiltinAggregate>("count",
+                                                    BuiltinKind::kCount);
+  }
+  if (n == "avg") {
+    return std::make_shared<const BuiltinAggregate>("avg", BuiltinKind::kAvg);
+  }
+  return Status::NotFound("no built-in aggregate named '" + name + "'");
+}
+
+/// Separate factory for COUNT(*) (zero-argument form).
+Result<std::shared_ptr<const AggregateFunction>> MakeCountStarAggregate() {
+  return std::make_shared<const BuiltinAggregate>("count",
+                                                  BuiltinKind::kCountStar);
+}
+
+}  // namespace aggify

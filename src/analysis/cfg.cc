@@ -1,0 +1,459 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aggify {
+
+namespace {
+
+void CollectExprVars(const Expr* e, std::vector<std::string>* out) {
+  if (e != nullptr) CollectVariableRefs(*e, out);
+}
+
+void CollectSelectVars(const SelectStmt* q, std::vector<std::string>* out) {
+  if (q == nullptr) return;
+  // Reuse the expression walker by wrapping: CollectVariableRefs descends
+  // into subqueries, so a scalar-subquery shim covers the whole SELECT.
+  // Cheaper: walk the clauses directly.
+  for (const auto& cte : q->ctes) CollectSelectVars(cte.query.get(), out);
+  if (q->top_n) CollectExprVars(q->top_n.get(), out);
+  for (const auto& item : q->items) CollectExprVars(item.expr.get(), out);
+  for (const auto& t : q->from) {
+    if (t->kind == TableRef::Kind::kSubquery) {
+      CollectSelectVars(t->subquery.get(), out);
+    } else if (t->kind == TableRef::Kind::kJoin) {
+      // Join trees: walk via ToString-free recursion.
+      std::vector<const TableRef*> stack{t.get()};
+      while (!stack.empty()) {
+        const TableRef* cur = stack.back();
+        stack.pop_back();
+        if (cur->kind == TableRef::Kind::kSubquery) {
+          CollectSelectVars(cur->subquery.get(), out);
+        } else if (cur->kind == TableRef::Kind::kJoin) {
+          stack.push_back(cur->left.get());
+          stack.push_back(cur->right.get());
+          CollectExprVars(cur->join_condition.get(), out);
+        }
+      }
+    }
+  }
+  CollectExprVars(q->where.get(), out);
+  for (const auto& g : q->group_by) CollectExprVars(g.get(), out);
+  CollectExprVars(q->having.get(), out);
+  for (const auto& o : q->order_by) CollectExprVars(o.expr.get(), out);
+  CollectSelectVars(q->union_all.get(), out);
+}
+
+}  // namespace
+
+void StatementDefs(const Stmt& stmt, std::vector<std::string>* defs) {
+  switch (stmt.kind) {
+    case StmtKind::kDeclareVar:
+      defs->push_back(static_cast<const DeclareVarStmt&>(stmt).name);
+      break;
+    case StmtKind::kSet:
+      defs->push_back(static_cast<const SetStmt&>(stmt).name);
+      break;
+    case StmtKind::kFetch: {
+      const auto& f = static_cast<const FetchStmt&>(stmt);
+      for (const auto& v : f.into) defs->push_back(v);
+      defs->push_back("@@fetch_status");
+      break;
+    }
+    case StmtKind::kDeclareTempTable:
+      defs->push_back(static_cast<const DeclareTempTableStmt&>(stmt).name);
+      break;
+    case StmtKind::kMultiAssign: {
+      const auto& ma = static_cast<const MultiAssignStmt&>(stmt);
+      for (const auto& t : ma.targets) defs->push_back(t);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StatementUses(const Stmt& stmt, std::vector<std::string>* uses) {
+  switch (stmt.kind) {
+    case StmtKind::kDeclareVar:
+      CollectExprVars(static_cast<const DeclareVarStmt&>(stmt).initializer.get(),
+                      uses);
+      break;
+    case StmtKind::kSet:
+      CollectExprVars(static_cast<const SetStmt&>(stmt).value.get(), uses);
+      break;
+    case StmtKind::kDeclareCursor:
+      CollectSelectVars(static_cast<const DeclareCursorStmt&>(stmt).query.get(),
+                        uses);
+      break;
+    case StmtKind::kIf:
+      CollectExprVars(static_cast<const IfStmt&>(stmt).condition.get(), uses);
+      break;
+    case StmtKind::kWhile:
+      CollectExprVars(static_cast<const WhileStmt&>(stmt).condition.get(), uses);
+      break;
+    case StmtKind::kReturn:
+      CollectExprVars(static_cast<const ReturnStmt&>(stmt).value.get(), uses);
+      break;
+    case StmtKind::kInsert: {
+      const auto& ins = static_cast<const InsertStmt&>(stmt);
+      for (const auto& row : ins.values_rows) {
+        for (const auto& e : row) CollectExprVars(e.get(), uses);
+      }
+      CollectSelectVars(ins.select.get(), uses);
+      if (!ins.table.empty() && ins.table[0] == '@') uses->push_back(ins.table);
+      break;
+    }
+    case StmtKind::kUpdate: {
+      const auto& upd = static_cast<const UpdateStmt&>(stmt);
+      for (const auto& [col, e] : upd.assignments) CollectExprVars(e.get(), uses);
+      CollectExprVars(upd.where.get(), uses);
+      if (!upd.table.empty() && upd.table[0] == '@') uses->push_back(upd.table);
+      break;
+    }
+    case StmtKind::kDelete: {
+      const auto& del = static_cast<const DeleteStmt&>(stmt);
+      CollectExprVars(del.where.get(), uses);
+      if (!del.table.empty() && del.table[0] == '@') uses->push_back(del.table);
+      break;
+    }
+    case StmtKind::kExecQuery:
+      CollectSelectVars(static_cast<const ExecQueryStmt&>(stmt).query.get(),
+                        uses);
+      break;
+    case StmtKind::kMultiAssign:
+      CollectSelectVars(static_cast<const MultiAssignStmt&>(stmt).query.get(),
+                        uses);
+      break;
+    default:
+      break;
+  }
+}
+
+// Not in an anonymous namespace: Cfg befriends this class by name.
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(Cfg* cfg) : cfg_(cfg) {}
+
+  Status Run(const BlockStmt& body, const std::vector<std::string>& params) {
+    int entry = NewNode(CfgNodeKind::kEntry, nullptr, nullptr);
+    for (const auto& p : params) cfg_->nodes_[entry].defs.push_back(p);
+    cfg_->entry_ = entry;
+    std::vector<int> preds{entry};
+    RETURN_NOT_OK(BuildBlock(body, &preds));
+    int exit = NewNode(CfgNodeKind::kExit, nullptr, nullptr);
+    cfg_->exit_ = exit;
+    for (int p : preds) Edge(p, exit);
+    for (int r : pending_returns_) Edge(r, exit);
+    return Status::OK();
+  }
+
+ private:
+  struct LoopCtx {
+    int continue_target;
+    std::vector<int>* breaks;
+  };
+
+  int NewNode(CfgNodeKind kind, const Stmt* stmt, const Expr* cond) {
+    CfgNode n;
+    n.id = static_cast<int>(cfg_->nodes_.size());
+    n.kind = kind;
+    n.stmt = stmt;
+    n.condition = cond;
+    if (stmt != nullptr) {
+      if (kind == CfgNodeKind::kCondition) {
+        CollectExprVars(cond, &n.uses);
+      } else {
+        StatementDefs(*stmt, &n.defs);
+        StatementUses(*stmt, &n.uses);
+      }
+      cfg_->stmt_to_node_.emplace(stmt, n.id);
+    }
+    cfg_->nodes_.push_back(std::move(n));
+    return cfg_->nodes_.back().id;
+  }
+
+  void Edge(int from, int to) {
+    cfg_->nodes_[from].successors.push_back(to);
+    cfg_->nodes_[to].predecessors.push_back(from);
+  }
+
+  void Connect(const std::vector<int>& preds, int to) {
+    for (int p : preds) Edge(p, to);
+  }
+
+  Status BuildBlock(const BlockStmt& block, std::vector<int>* preds) {
+    for (const auto& s : block.statements) {
+      RETURN_NOT_OK(BuildStmt(*s, preds));
+    }
+    return Status::OK();
+  }
+
+  Status BuildStmt(const Stmt& stmt, std::vector<int>* preds) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        return BuildBlock(static_cast<const BlockStmt&>(stmt), preds);
+
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        int cond = NewNode(CfgNodeKind::kCondition, &stmt,
+                           if_stmt.condition.get());
+        Connect(*preds, cond);
+        std::vector<int> then_preds{cond};
+        RETURN_NOT_OK(BuildStmt(*if_stmt.then_branch, &then_preds));
+        std::vector<int> else_preds{cond};
+        if (if_stmt.else_branch != nullptr) {
+          RETURN_NOT_OK(BuildStmt(*if_stmt.else_branch, &else_preds));
+        }
+        preds->clear();
+        preds->insert(preds->end(), then_preds.begin(), then_preds.end());
+        preds->insert(preds->end(), else_preds.begin(), else_preds.end());
+        return Status::OK();
+      }
+
+      case StmtKind::kWhile: {
+        const auto& loop = static_cast<const WhileStmt&>(stmt);
+        int cond = NewNode(CfgNodeKind::kCondition, &stmt,
+                           loop.condition.get());
+        Connect(*preds, cond);
+        std::vector<int> breaks;
+        loop_stack_.push_back(LoopCtx{cond, &breaks});
+        std::vector<int> body_preds{cond};
+        size_t body_entry_marker = cfg_->nodes_.size();
+        RETURN_NOT_OK(BuildStmt(*loop.body, &body_preds));
+        loop_stack_.pop_back();
+        Connect(body_preds, cond);  // back edge
+        // Record the body-entry node (first node created for the body) so
+        // LoopExitNode can identify the false successor.
+        int body_entry = body_entry_marker < cfg_->nodes_.size()
+                             ? static_cast<int>(body_entry_marker)
+                             : cond;
+        cfg_->loop_exit_.emplace(&stmt, body_entry);
+        preds->clear();
+        preds->push_back(cond);
+        preds->insert(preds->end(), breaks.begin(), breaks.end());
+        return Status::OK();
+      }
+
+      case StmtKind::kFor: {
+        const auto& loop = static_cast<const ForStmt&>(stmt);
+        // Desugared: init; while (cond) { body; incr; }
+        int init = NewNode(CfgNodeKind::kStatement, &stmt, nullptr);
+        cfg_->nodes_[init].defs.push_back(loop.var);
+        CollectExprVars(loop.init.get(), &cfg_->nodes_[init].uses);
+        Connect(*preds, init);
+        int cond = NewNode(CfgNodeKind::kCondition, nullptr, loop.bound.get());
+        cfg_->nodes_[cond].uses.push_back(loop.var);
+        CollectExprVars(loop.bound.get(), &cfg_->nodes_[cond].uses);
+        Edge(init, cond);
+        // Increment node built up-front so CONTINUE can target it.
+        std::vector<int> breaks;
+        int incr = NewNode(CfgNodeKind::kStatement, nullptr, nullptr);
+        cfg_->nodes_[incr].defs.push_back(loop.var);
+        cfg_->nodes_[incr].uses.push_back(loop.var);
+        CollectExprVars(loop.step.get(), &cfg_->nodes_[incr].uses);
+        loop_stack_.push_back(LoopCtx{incr, &breaks});
+        std::vector<int> body_preds{cond};
+        size_t body_entry_marker = cfg_->nodes_.size();
+        RETURN_NOT_OK(BuildStmt(*loop.body, &body_preds));
+        loop_stack_.pop_back();
+        Connect(body_preds, incr);
+        Edge(incr, cond);
+        int body_entry = body_entry_marker < cfg_->nodes_.size()
+                             ? static_cast<int>(body_entry_marker)
+                             : incr;
+        cfg_->loop_exit_.emplace(&stmt, body_entry);
+        preds->clear();
+        preds->push_back(cond);
+        preds->insert(preds->end(), breaks.begin(), breaks.end());
+        return Status::OK();
+      }
+
+      case StmtKind::kBreak: {
+        int n = NewNode(CfgNodeKind::kStatement, &stmt, nullptr);
+        Connect(*preds, n);
+        if (loop_stack_.empty()) {
+          return Status::BindError("BREAK outside of a loop");
+        }
+        loop_stack_.back().breaks->push_back(n);
+        preds->clear();
+        return Status::OK();
+      }
+
+      case StmtKind::kContinue: {
+        int n = NewNode(CfgNodeKind::kStatement, &stmt, nullptr);
+        Connect(*preds, n);
+        if (loop_stack_.empty()) {
+          return Status::BindError("CONTINUE outside of a loop");
+        }
+        Edge(n, loop_stack_.back().continue_target);
+        preds->clear();
+        return Status::OK();
+      }
+
+      case StmtKind::kReturn: {
+        int n = NewNode(CfgNodeKind::kStatement, &stmt, nullptr);
+        Connect(*preds, n);
+        pending_returns_.push_back(n);
+        preds->clear();
+        return Status::OK();
+      }
+
+      case StmtKind::kTryCatch: {
+        const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+        size_t try_start = cfg_->nodes_.size();
+        std::vector<int> try_preds = *preds;
+        RETURN_NOT_OK(BuildStmt(*tc.try_block, &try_preds));
+        size_t try_end = cfg_->nodes_.size();
+        // Conservatively, any statement in the try block may transfer
+        // control to the catch block.
+        std::vector<int> catch_preds = *preds;  // empty try: entry edges
+        for (size_t i = try_start; i < try_end; ++i) {
+          catch_preds.push_back(static_cast<int>(i));
+        }
+        RETURN_NOT_OK(BuildStmt(*tc.catch_block, &catch_preds));
+        preds->clear();
+        preds->insert(preds->end(), try_preds.begin(), try_preds.end());
+        preds->insert(preds->end(), catch_preds.begin(), catch_preds.end());
+        return Status::OK();
+      }
+
+      default: {
+        int n = NewNode(CfgNodeKind::kStatement, &stmt, nullptr);
+        Connect(*preds, n);
+        preds->clear();
+        preds->push_back(n);
+        return Status::OK();
+      }
+    }
+  }
+
+  Cfg* cfg_;
+  std::vector<LoopCtx> loop_stack_;
+  std::vector<int> pending_returns_;
+};
+
+namespace {
+
+void CollectSubtreeStmts(const Stmt& root, std::set<const Stmt*>* out) {
+  out->insert(&root);
+  switch (root.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(root).statements) {
+        CollectSubtreeStmts(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& if_stmt = static_cast<const IfStmt&>(root);
+      CollectSubtreeStmts(*if_stmt.then_branch, out);
+      if (if_stmt.else_branch != nullptr) {
+        CollectSubtreeStmts(*if_stmt.else_branch, out);
+      }
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectSubtreeStmts(*static_cast<const WhileStmt&>(root).body, out);
+      break;
+    case StmtKind::kFor:
+      CollectSubtreeStmts(*static_cast<const ForStmt&>(root).body, out);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(root);
+      CollectSubtreeStmts(*tc.try_block, out);
+      CollectSubtreeStmts(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<int> Cfg::NodesInSubtree(const Stmt& root) const {
+  std::set<const Stmt*> stmts;
+  CollectSubtreeStmts(root, &stmts);
+  std::vector<int> out;
+  for (const CfgNode& n : nodes_) {
+    if (n.stmt != nullptr && stmts.count(n.stmt) != 0) out.push_back(n.id);
+  }
+  // FOR-loop synthetic init/cond/incr nodes carry stmt == &for or nullptr;
+  // include the nullptr ones that lie in the node-id range of the subtree.
+  // (They are created strictly between the FOR's own nodes, so the id range
+  // of matched nodes covers them.)
+  if (!out.empty()) {
+    int lo = *std::min_element(out.begin(), out.end());
+    int hi = *std::max_element(out.begin(), out.end());
+    for (const CfgNode& n : nodes_) {
+      if (n.stmt == nullptr && n.kind != CfgNodeKind::kEntry &&
+          n.kind != CfgNodeKind::kExit && n.id > lo && n.id < hi) {
+        out.push_back(n.id);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+Result<int> Cfg::NodeFor(const Stmt& stmt) const {
+  auto it = stmt_to_node_.find(&stmt);
+  if (it == stmt_to_node_.end()) {
+    return Status::Internal("statement has no CFG node");
+  }
+  return it->second;
+}
+
+Result<int> Cfg::LoopExitNode(const WhileStmt& loop) const {
+  auto cond_it = stmt_to_node_.find(&loop);
+  auto body_it = loop_exit_.find(&loop);
+  if (cond_it == stmt_to_node_.end() || body_it == loop_exit_.end()) {
+    return Status::Internal("loop has no CFG node");
+  }
+  int body_entry = body_it->second;
+  const CfgNode& cond = nodes_[cond_it->second];
+  for (int succ : cond.successors) {
+    if (succ != body_entry) return succ;
+  }
+  return Status::Internal("loop has no exit successor");
+}
+
+std::string Cfg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph cfg {\n";
+  for (const CfgNode& n : nodes_) {
+    std::string label;
+    switch (n.kind) {
+      case CfgNodeKind::kEntry: label = "ENTRY"; break;
+      case CfgNodeKind::kExit: label = "EXIT"; break;
+      case CfgNodeKind::kCondition:
+        label = n.condition != nullptr ? n.condition->ToString() : "cond";
+        break;
+      case CfgNodeKind::kStatement:
+        label = n.stmt != nullptr ? n.stmt->ToString(0) : "synthetic";
+        break;
+    }
+    // Escape quotes and newlines for dot.
+    std::string esc;
+    for (char c : label) {
+      if (c == '"') esc += "\\\"";
+      else if (c == '\n') esc += "\\n";
+      else esc += c;
+    }
+    os << "  n" << n.id << " [label=\"" << n.id << ": " << esc << "\"];\n";
+    for (int s : n.successors) os << "  n" << n.id << " -> n" << s << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Result<std::unique_ptr<Cfg>> Cfg::Build(const BlockStmt& body,
+                                        const std::vector<std::string>& params) {
+  auto cfg = std::make_unique<Cfg>();
+  CfgBuilder builder(cfg.get());
+  RETURN_NOT_OK(builder.Run(body, params));
+  return cfg;
+}
+
+}  // namespace aggify

@@ -1,0 +1,91 @@
+// Control Flow Graph over the procedural statement AST (§3.2).
+//
+// Following the paper, every simple statement is its own basic block
+// (one CFG node). Control statements contribute a condition node plus edges.
+// The graph has synthetic entry/exit nodes; function parameters are modeled
+// as definitions at the entry node.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+enum class CfgNodeKind : uint8_t {
+  kEntry,
+  kExit,
+  kStatement,  ///< a simple statement (SET, FETCH, DECLARE, DML, ...)
+  kCondition,  ///< an IF / WHILE / FOR condition evaluation
+};
+
+struct CfgNode {
+  int id = -1;
+  CfgNodeKind kind = CfgNodeKind::kStatement;
+  /// Underlying statement; for kCondition this is the IF/WHILE/FOR statement
+  /// whose condition the node evaluates. Null for entry/exit.
+  const Stmt* stmt = nullptr;
+  /// Condition expression for kCondition nodes.
+  const Expr* condition = nullptr;
+
+  std::vector<int> successors;
+  std::vector<int> predecessors;
+
+  /// Variables this node defines (assigns), lowercase with '@'.
+  std::vector<std::string> defs;
+  /// Variables this node uses (reads).
+  std::vector<std::string> uses;
+};
+
+class Cfg {
+ public:
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  const CfgNode& node(int id) const { return nodes_[id]; }
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// All node ids whose underlying statement lies in the AST subtree rooted
+  /// at `root` (including condition nodes of nested control statements).
+  std::vector<int> NodesInSubtree(const Stmt& root) const;
+
+  /// Node ids for a specific statement (a statement has exactly one node;
+  /// IF/WHILE/FOR map to their condition node).
+  Result<int> NodeFor(const Stmt& stmt) const;
+
+  /// The unique node executed after the loop exits (false-successor of the
+  /// loop condition).
+  Result<int> LoopExitNode(const WhileStmt& loop) const;
+
+  /// Graphviz rendering for debugging and docs.
+  std::string ToDot() const;
+
+  /// \brief Builds the CFG of a function body.
+  /// \param params parameter names treated as definitions at entry.
+  static Result<std::unique_ptr<Cfg>> Build(const BlockStmt& body,
+                                            const std::vector<std::string>& params);
+
+ private:
+  friend class CfgBuilder;
+  std::vector<CfgNode> nodes_;
+  int entry_ = -1;
+  int exit_ = -1;
+  std::map<const Stmt*, int> stmt_to_node_;
+  /// False-branch successor of each loop condition node.
+  std::map<const Stmt*, int> loop_exit_;
+};
+
+/// \brief Variables defined by a simple statement (non-recursive: control
+/// statements report nothing; their bodies have their own nodes).
+void StatementDefs(const Stmt& stmt, std::vector<std::string>* defs);
+
+/// \brief Variables used by a simple statement (non-recursive). For control
+/// statements this reports only the condition's uses.
+void StatementUses(const Stmt& stmt, std::vector<std::string>* uses);
+
+}  // namespace aggify

@@ -1,0 +1,142 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace aggify {
+
+DataflowResult DataflowResult::Run(const Cfg& cfg) {
+  DataflowResult r;
+  r.cfg_ = &cfg;
+  const int n = cfg.size();
+  r.live_in_.assign(n, {});
+  r.live_out_.assign(n, {});
+  r.rd_in_.assign(n, {});
+  r.rd_out_.assign(n, {});
+
+  // --- Reaching definitions: forward, OUT = GEN ∪ (IN − KILL). ---
+  {
+    std::deque<int> worklist;
+    std::vector<bool> queued(n, false);
+    for (int i = 0; i < n; ++i) {
+      worklist.push_back(i);
+      queued[i] = true;
+    }
+    while (!worklist.empty()) {
+      int id = worklist.front();
+      worklist.pop_front();
+      queued[id] = false;
+      const CfgNode& node = cfg.node(id);
+
+      std::set<Definition> in;
+      for (int p : node.predecessors) {
+        in.insert(r.rd_out_[p].begin(), r.rd_out_[p].end());
+      }
+      std::set<Definition> out = in;
+      for (const std::string& var : node.defs) {
+        // KILL: all other definitions of var.
+        for (auto it = out.begin(); it != out.end();) {
+          if (it->var == var) {
+            it = out.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        out.insert(Definition{id, var});
+      }
+      bool changed = (in != r.rd_in_[id]) || (out != r.rd_out_[id]);
+      r.rd_in_[id] = std::move(in);
+      r.rd_out_[id] = std::move(out);
+      if (changed) {
+        for (int s : node.successors) {
+          if (!queued[s]) {
+            worklist.push_back(s);
+            queued[s] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Live variables: backward, IN = USE ∪ (OUT − DEF). ---
+  {
+    std::deque<int> worklist;
+    std::vector<bool> queued(n, false);
+    for (int i = n - 1; i >= 0; --i) {
+      worklist.push_back(i);
+      queued[i] = true;
+    }
+    while (!worklist.empty()) {
+      int id = worklist.front();
+      worklist.pop_front();
+      queued[id] = false;
+      const CfgNode& node = cfg.node(id);
+
+      std::set<std::string> out;
+      for (int s : node.successors) {
+        out.insert(r.live_in_[s].begin(), r.live_in_[s].end());
+      }
+      std::set<std::string> in = out;
+      for (const std::string& var : node.defs) in.erase(var);
+      for (const std::string& var : node.uses) in.insert(var);
+      bool changed = (in != r.live_in_[id]) || (out != r.live_out_[id]);
+      r.live_in_[id] = std::move(in);
+      r.live_out_[id] = std::move(out);
+      if (changed) {
+        for (int p : node.predecessors) {
+          if (!queued[p]) {
+            worklist.push_back(p);
+            queued[p] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // --- UD / DU chains. A use of v at node u is reached by every
+  // definition of v in RD-IN[u]. (Statement-level granularity: uses within
+  // a statement happen before its own definitions, e.g. SET @x = @x + 1.)
+  for (int id = 0; id < n; ++id) {
+    const CfgNode& node = cfg.node(id);
+    for (const std::string& var : node.uses) {
+      Use use{id, var};
+      for (const Definition& d : r.rd_in_[id]) {
+        if (d.var == var) {
+          r.ud_[use].push_back(d);
+          r.du_[d].push_back(use);
+        }
+      }
+    }
+  }
+
+  return r;
+}
+
+std::vector<Definition> DataflowResult::UdChain(int node,
+                                                const std::string& var) const {
+  auto it = ud_.find(Use{node, var});
+  return it == ud_.end() ? std::vector<Definition>{} : it->second;
+}
+
+std::vector<Use> DataflowResult::DuChain(const Definition& d) const {
+  auto it = du_.find(d);
+  return it == du_.end() ? std::vector<Use>{} : it->second;
+}
+
+std::vector<Use> DataflowResult::UsesIn(const std::vector<int>& nodes) const {
+  std::vector<Use> out;
+  for (int id : nodes) {
+    for (const std::string& var : cfg_->node(id).uses) {
+      out.push_back(Use{id, var});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Use& a, const Use& b) {
+                          return a.node == b.node && a.var == b.var;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace aggify

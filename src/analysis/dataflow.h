@@ -1,0 +1,88 @@
+// Iterative data-flow analyses over the CFG (§3.2.1–3.2.4):
+// reaching definitions, live variables, and the UD / DU chains derived
+// from them. These are the inputs to Algorithm 1's set computations.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace aggify {
+
+/// \brief A definition site: variable `var` is assigned at CFG node `node`.
+struct Definition {
+  int node;
+  std::string var;
+
+  bool operator<(const Definition& o) const {
+    return node != o.node ? node < o.node : var < o.var;
+  }
+  bool operator==(const Definition& o) const {
+    return node == o.node && var == o.var;
+  }
+};
+
+/// \brief A use site: variable `var` is read at CFG node `node`.
+struct Use {
+  int node;
+  std::string var;
+
+  bool operator<(const Use& o) const {
+    return node != o.node ? node < o.node : var < o.var;
+  }
+};
+
+/// \brief Results of running all data-flow analyses to fixpoint on one CFG.
+///
+/// The object holds a reference to the CFG; it must not outlive it.
+class DataflowResult {
+ public:
+  /// Runs reaching definitions (forward, may-union) and live variables
+  /// (backward, may-union) to fixpoint, then materializes UD/DU chains.
+  static DataflowResult Run(const Cfg& cfg);
+
+  const Cfg& cfg() const { return *cfg_; }
+
+  // --- Live variables (§3.2.4) ---
+  const std::set<std::string>& LiveIn(int node) const { return live_in_[node]; }
+  const std::set<std::string>& LiveOut(int node) const {
+    return live_out_[node];
+  }
+
+  /// True if `var` is live at the entry of `node`.
+  bool IsLiveAt(const std::string& var, int node) const {
+    return live_in_[node].count(var) != 0;
+  }
+
+  // --- Reaching definitions (§3.2.3) ---
+  const std::set<Definition>& ReachingIn(int node) const {
+    return rd_in_[node];
+  }
+  const std::set<Definition>& ReachingOut(int node) const {
+    return rd_out_[node];
+  }
+
+  // --- UD / DU chains (§3.2.2) ---
+  /// Definitions of `var` that reach the use of `var` at `node` (RD(u)).
+  std::vector<Definition> UdChain(int node, const std::string& var) const;
+
+  /// Uses reached by the definition `d`.
+  std::vector<Use> DuChain(const Definition& d) const;
+
+  /// All uses of any variable inside the given node set.
+  std::vector<Use> UsesIn(const std::vector<int>& nodes) const;
+
+ private:
+  const Cfg* cfg_ = nullptr;
+  std::vector<std::set<std::string>> live_in_;
+  std::vector<std::set<std::string>> live_out_;
+  std::vector<std::set<Definition>> rd_in_;
+  std::vector<std::set<Definition>> rd_out_;
+  std::map<Use, std::vector<Definition>> ud_;
+  std::map<Definition, std::vector<Use>> du_;
+};
+
+}  // namespace aggify

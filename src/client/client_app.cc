@@ -1,0 +1,48 @@
+#include "client/client_app.h"
+
+namespace aggify {
+
+std::string NetworkStats::ToString() const {
+  return "round_trips=" + std::to_string(round_trips) +
+         " bytes_to_client=" + std::to_string(bytes_to_client) +
+         " bytes_to_server=" + std::to_string(bytes_to_server) +
+         " rows=" + std::to_string(rows_transferred) +
+         " statements=" + std::to_string(statements_sent);
+}
+
+Result<ClientRunResult> ClientApp::Run(const BlockStmt& program) {
+  ClientRunResult result;
+  result.env = std::make_shared<VariableEnv>();
+
+  ExecContext ctx = engine_.MakeContext();
+  ctx.set_udf_invoker([this](const std::string& name,
+                             const std::vector<Value>& args,
+                             ExecContext& inner) -> Result<Value> {
+    // UDFs invoked from within queries run server-side: plain interpreter
+    // semantics, no network accounting.
+    ASSIGN_OR_RETURN(auto def, inner.catalog().GetFunction(name));
+    Interpreter server_side(&engine_);
+    return server_side.CallFunction(*def, args, inner);
+  });
+  ctx.set_vars(result.env.get());
+
+  interpreter_.stats().Reset();
+  auto start = std::chrono::steady_clock::now();
+  ASSIGN_OR_RETURN(Value v,
+                   interpreter_.ExecuteBlock(program, result.env.get(), ctx));
+  AGGIFY_UNUSED(v);
+  auto end = std::chrono::steady_clock::now();
+
+  result.compute_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.network = interpreter_.stats();
+  result.network_seconds = result.network.SimulatedSeconds(model_);
+  return result;
+}
+
+Result<ClientRunResult> ClientApp::RunSql(const std::string& program) {
+  ASSIGN_OR_RETURN(StmtPtr block, ParseStatements(program));
+  return Run(static_cast<const BlockStmt&>(*block));
+}
+
+}  // namespace aggify

@@ -1,0 +1,53 @@
+// ClientApp: runs a client program (dialect block) against a database over
+// the simulated network, reporting wall time, simulated network time, and
+// data-movement statistics — the measurement harness behind Figs. 9(b),
+// 10(b), 10(c).
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "client/remote_interpreter.h"
+#include "parser/parser.h"
+
+namespace aggify {
+
+struct ClientRunResult {
+  /// Variables after the run (program outputs).
+  std::shared_ptr<VariableEnv> env;
+  NetworkStats network;
+  /// Local wall-clock seconds of the run (server + client compute).
+  double compute_seconds = 0;
+  /// Simulated network seconds for the run.
+  double network_seconds = 0;
+
+  double TotalSeconds() const { return compute_seconds + network_seconds; }
+};
+
+class ClientApp {
+ public:
+  ClientApp(Database* db, NetworkModel model = {},
+            PlannerOptions planner_options = {})
+      : db_(db),
+        model_(model),
+        engine_(db, planner_options),
+        interpreter_(&engine_, model) {}
+
+  Database* db() const { return db_; }
+  const QueryEngine& engine() const { return engine_; }
+  RemoteInterpreter& interpreter() { return interpreter_; }
+
+  /// \brief Runs a parsed client program block.
+  Result<ClientRunResult> Run(const BlockStmt& program);
+
+  /// \brief Parses and runs a client program.
+  Result<ClientRunResult> RunSql(const std::string& program);
+
+ private:
+  Database* db_;
+  NetworkModel model_;
+  QueryEngine engine_;
+  RemoteInterpreter interpreter_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,48 @@
+// Network model for client applications (the paper's Java/JDBC experiments).
+//
+// The original programs iterate over query results on the client: every row
+// crosses the network, and row-at-a-time fetching pays a round trip per
+// batch. Aggify pushes the loop into the DBMS, so only the final value
+// crosses. §10.6 measures exactly this; the model makes it deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aggify {
+
+struct NetworkModel {
+  /// Round-trip latency in milliseconds (LAN default).
+  double rtt_ms = 0.5;
+  /// Bandwidth in megabits/second.
+  double bandwidth_mbps = 1000.0;
+  /// Rows delivered per fetch round trip (JDBC default fetch size is
+  /// row-at-a-time for forward-only cursors; drivers batch more).
+  int64_t rows_per_fetch = 1;
+  /// Fixed per-message protocol overhead in bytes.
+  int64_t per_message_bytes = 32;
+};
+
+struct NetworkStats {
+  int64_t round_trips = 0;
+  int64_t bytes_to_client = 0;
+  int64_t bytes_to_server = 0;
+  int64_t rows_transferred = 0;
+  int64_t statements_sent = 0;
+
+  void Reset() { *this = NetworkStats{}; }
+
+  int64_t TotalBytes() const { return bytes_to_client + bytes_to_server; }
+
+  /// Simulated network time: latency per round trip + transfer time.
+  double SimulatedSeconds(const NetworkModel& model) const {
+    double latency = static_cast<double>(round_trips) * model.rtt_ms / 1e3;
+    double transfer = static_cast<double>(TotalBytes()) * 8.0 /
+                      (model.bandwidth_mbps * 1e6);
+    return latency + transfer;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace aggify

@@ -1,0 +1,72 @@
+// RemoteInterpreter: executes a client program against a "remote" database.
+//
+// Control flow (loops, variables, arithmetic) runs on the client for free;
+// every query is a statement sent to the server (1 round trip), and cursor
+// iteration streams the result set to the client one fetch-batch at a time —
+// the Figure 2 execution model. Aggify-rewritten programs instead ship one
+// query and receive one row.
+#pragma once
+
+#include "client/network.h"
+#include "procedural/interpreter.h"
+
+namespace aggify {
+
+class RemoteInterpreter : public Interpreter {
+ public:
+  RemoteInterpreter(const QueryEngine* engine, NetworkModel model)
+      : Interpreter(engine), model_(model) {}
+
+  const NetworkModel& model() const { return model_; }
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ protected:
+  Result<QueryResult> RunCursorQuery(const SelectStmt& query,
+                                     ExecContext& ctx) override {
+    // Statement send + server execution. Rows stream back per fetch.
+    ++stats_.statements_sent;
+    ++stats_.round_trips;
+    stats_.bytes_to_server += StatementBytes(query);
+    ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunCursorQuery(query, ctx));
+    pending_fetch_rows_ = 0;
+    return result;
+  }
+
+  void OnCursorFetch(const Schema& schema, const Row& row) override {
+    ++stats_.rows_transferred;
+    stats_.bytes_to_client += schema.RowWireSize();
+    // One round trip per fetch batch.
+    if (pending_fetch_rows_ == 0) {
+      ++stats_.round_trips;
+      stats_.bytes_to_client += model_.per_message_bytes;
+      pending_fetch_rows_ = model_.rows_per_fetch;
+    }
+    --pending_fetch_rows_;
+  }
+
+  Result<QueryResult> RunQuery(const SelectStmt& query,
+                               ExecContext& ctx) override {
+    ++stats_.statements_sent;
+    ++stats_.round_trips;
+    stats_.bytes_to_server += StatementBytes(query);
+    ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunQuery(query, ctx));
+    stats_.bytes_to_client += model_.per_message_bytes;
+    stats_.bytes_to_client +=
+        static_cast<int64_t>(result.rows.size()) * result.schema.RowWireSize();
+    stats_.rows_transferred += static_cast<int64_t>(result.rows.size());
+    return result;
+  }
+
+ private:
+  int64_t StatementBytes(const SelectStmt& query) const {
+    return model_.per_message_bytes +
+           static_cast<int64_t>(query.ToString().size());
+  }
+
+  NetworkModel model_;
+  NetworkStats stats_;
+  int64_t pending_fetch_rows_ = 0;
+};
+
+}  // namespace aggify

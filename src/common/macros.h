@@ -1,0 +1,26 @@
+// Error-propagation macros (Arrow/RocksDB idiom).
+#pragma once
+
+#define AGGIFY_CONCAT_IMPL(x, y) x##y
+#define AGGIFY_CONCAT(x, y) AGGIFY_CONCAT_IMPL(x, y)
+
+/// Evaluates a Status-returning expression; returns it from the enclosing
+/// function if not OK.
+#define RETURN_NOT_OK(expr)                 \
+  do {                                      \
+    ::aggify::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Evaluates a Result<T>-returning expression; on error returns its status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(AGGIFY_CONCAT(_result_, __COUNTER__), lhs, rexpr)
+
+/// Marks a value intentionally unused.
+#define AGGIFY_UNUSED(x) (void)(x)

@@ -1,0 +1,58 @@
+// Deterministic PRNG used by the data generators and property tests.
+//
+// A fixed, seedable generator (xorshift128+) keeps benchmark datasets and
+// property-test inputs reproducible across platforms, unlike std::mt19937
+// distributions whose outputs are not standardized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aggify {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ^ 0x9E3779B97F4A7C15ull;
+    s1_ = seed * 0xBF58476D1CE4E5B9ull + 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random lowercase alpha string of length `len`.
+  std::string AlphaString(size_t len) {
+    std::string out(len, 'a');
+    for (auto& c : out) c = static_cast<char>('a' + Uniform(26));
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+//
+// Mirrors arrow::Result. Use the RETURN_NOT_OK / ASSIGN_OR_RETURN macros in
+// macros.h to propagate errors.
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace aggify {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit by design, like arrow::Result).
+  Result(T value)  // NOLINT(runtime/explicit)
+      : repr_(std::in_place_index<1>, std::move(value)) {}
+
+  /// Converting constructor, e.g. unique_ptr<Derived> -> Result<unique_ptr<Base>>.
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_constructible_v<T, U&&> &&
+                !std::is_same_v<std::decay_t<U>, T> &&
+                !std::is_same_v<std::decay_t<U>, Result<T>> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value)  // NOLINT(runtime/explicit)
+      : repr_(std::in_place_index<1>, T(std::forward<U>(value))) {}
+
+  /// Constructs from a non-OK status. Passing an OK status is a bug and is
+  /// converted to an internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace aggify

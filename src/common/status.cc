@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace aggify {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kBindError:
+      return "bind error";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kNotApplicable:
+      return "not applicable";
+    case StatusCode::kExecutionError:
+      return "execution error";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace aggify

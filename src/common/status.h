@@ -1,0 +1,104 @@
+// Status: the error model used throughout the library.
+//
+// Follows the Arrow / RocksDB convention: fallible functions return a Status
+// (or Result<T>, see result.h) instead of throwing. Statuses carry a coarse
+// machine-readable code plus a human-readable message.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aggify {
+
+/// Coarse classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< SQL / procedural text failed to parse
+  kBindError,         ///< name resolution / type checking failed
+  kNotFound,          ///< catalog object missing
+  kAlreadyExists,     ///< catalog object duplicated
+  kTypeError,         ///< runtime value of unexpected type
+  kNotSupported,      ///< valid input outside the supported language model
+  kNotApplicable,     ///< Aggify precondition violated (e.g. persistent DML)
+  kExecutionError,    ///< runtime failure while executing a plan / program
+  kInternal,          ///< invariant violation; indicates a library bug
+};
+
+/// \brief Returns the canonical lowercase name of a status code
+/// (e.g. "parse error").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// Cheap to copy in the OK case (no allocation); error state is heap
+/// allocated, matching the expectation that errors are rare.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status NotApplicable(std::string msg) {
+    return Status(StatusCode::kNotApplicable, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsNotApplicable() const { return code() == StatusCode::kNotApplicable; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+}  // namespace aggify

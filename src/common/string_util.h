@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggify {
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+}  // namespace aggify

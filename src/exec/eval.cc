@@ -1,0 +1,427 @@
+#include "exec/eval.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+namespace {
+
+Result<Value> ResolveColumn(const ColumnRefExpr& col, ExecContext& ctx) {
+  const RowFrame* frame = ctx.frame();
+  if (frame == nullptr) {
+    return Status::BindError("column reference '" + col.name +
+                             "' with no row context");
+  }
+  // Fast path: the planner bound this reference against the innermost
+  // frame's schema.
+  if (col.bound_index >= 0 && frame->schema != nullptr &&
+      static_cast<size_t>(col.bound_index) < frame->schema->num_columns()) {
+    return (*frame->row)[col.bound_index];
+  }
+  for (const RowFrame* f = frame; f != nullptr; f = f->parent) {
+    if (f->schema == nullptr) continue;
+    auto idx = f->schema->IndexOf(col.name);
+    if (idx.ok()) return (*f->row)[*idx];
+    if (idx.status().code() == StatusCode::kBindError) return idx.status();
+  }
+  return Status::BindError("cannot resolve column '" + col.name + "'");
+}
+
+Result<Value> EvalBinary(const BinaryExpr& bin, ExecContext& ctx) {
+  // Short-circuiting Kleene connectives.
+  if (bin.op == BinaryOp::kAnd) {
+    ASSIGN_OR_RETURN(Value l, EvalExpr(*bin.left, ctx));
+    if (!l.is_null() && l.is_bool() && !l.bool_value()) {
+      return Value::Bool(false);
+    }
+    ASSIGN_OR_RETURN(Value r, EvalExpr(*bin.right, ctx));
+    return And(l, r);
+  }
+  if (bin.op == BinaryOp::kOr) {
+    ASSIGN_OR_RETURN(Value l, EvalExpr(*bin.left, ctx));
+    if (!l.is_null() && l.is_bool() && l.bool_value()) {
+      return Value::Bool(true);
+    }
+    ASSIGN_OR_RETURN(Value r, EvalExpr(*bin.right, ctx));
+    return Or(l, r);
+  }
+  ASSIGN_OR_RETURN(Value l, EvalExpr(*bin.left, ctx));
+  ASSIGN_OR_RETURN(Value r, EvalExpr(*bin.right, ctx));
+  switch (bin.op) {
+    case BinaryOp::kAdd: return Add(l, r);
+    case BinaryOp::kSub: return Subtract(l, r);
+    case BinaryOp::kMul: return Multiply(l, r);
+    case BinaryOp::kDiv: return Divide(l, r);
+    case BinaryOp::kMod: return Modulo(l, r);
+    case BinaryOp::kEq: return Eq(l, r);
+    case BinaryOp::kNe: return Ne(l, r);
+    case BinaryOp::kLt: return Lt(l, r);
+    case BinaryOp::kLe: return Le(l, r);
+    case BinaryOp::kGt: return Gt(l, r);
+    case BinaryOp::kGe: return Ge(l, r);
+    case BinaryOp::kConcat: return Concat(l, r);
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, ExecContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value;
+
+    case ExprKind::kColumnRef:
+      return ResolveColumn(static_cast<const ColumnRefExpr&>(expr), ctx);
+
+    case ExprKind::kVarRef: {
+      const auto& var = static_cast<const VarRefExpr&>(expr);
+      if (ctx.vars() == nullptr) {
+        return Status::BindError("variable reference '" + var.name +
+                                 "' with no variable environment");
+      }
+      return ctx.vars()->Get(var.name);
+    }
+
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*un.operand, ctx));
+      return un.op == UnaryOp::kNeg ? Negate(v) : Not(v);
+    }
+
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(expr), ctx);
+
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const auto& a : call.args) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*a, ctx));
+        args.push_back(std::move(v));
+      }
+      if (IsScalarBuiltinName(call.name)) {
+        return ApplyScalarBuiltin(call.name, args);
+      }
+      if (ctx.udf_invoker()) {
+        return ctx.udf_invoker()(call.name, args, ctx);
+      }
+      return Status::NotFound("unknown function '" + call.name +
+                              "' (no UDF invoker installed)");
+    }
+
+    case ExprKind::kAggregateCall:
+      return Status::Internal(
+          "aggregate call evaluated outside an aggregation operator: " +
+          expr.ToString());
+
+    case ExprKind::kScalarSubquery: {
+      const auto& sub = static_cast<const ScalarSubqueryExpr&>(expr);
+      ASSIGN_OR_RETURN(QueryResult result, ctx.ExecuteSubquery(*sub.query));
+      return result.ScalarValue();
+    }
+
+    case ExprKind::kExists: {
+      const auto& ex = static_cast<const ExistsExpr&>(expr);
+      ASSIGN_OR_RETURN(QueryResult result, ctx.ExecuteSubquery(*ex.query));
+      bool exists = !result.rows.empty();
+      return Value::Bool(ex.negated ? !exists : exists);
+    }
+
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      ASSIGN_OR_RETURN(Value needle, EvalExpr(*in.operand, ctx));
+      bool found = false;
+      bool saw_null = false;
+      if (in.subquery != nullptr) {
+        ASSIGN_OR_RETURN(QueryResult result, ctx.ExecuteSubquery(*in.subquery));
+        for (const Row& r : result.rows) {
+          if (r.empty()) continue;
+          ASSIGN_OR_RETURN(Value eq, Eq(needle, r[0]));
+          if (eq.is_null()) {
+            saw_null = true;
+          } else if (eq.bool_value()) {
+            found = true;
+            break;
+          }
+        }
+      } else {
+        for (const auto& item : in.list) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*item, ctx));
+          ASSIGN_OR_RETURN(Value eq, Eq(needle, v));
+          if (eq.is_null()) {
+            saw_null = true;
+          } else if (eq.bool_value()) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (found) return Value::Bool(!in.negated);
+      if (saw_null || needle.is_null()) return Value::Null();
+      return Value::Bool(in.negated);
+    }
+
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(expr);
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*isn.operand, ctx));
+      return Value::Bool(isn.negated ? !v.is_null() : v.is_null());
+    }
+
+    case ExprKind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+      for (const auto& arm : cw.arms) {
+        ASSIGN_OR_RETURN(bool cond, EvalPredicate(*arm.condition, ctx));
+        if (cond) return EvalExpr(*arm.result, ctx);
+      }
+      if (cw.else_result != nullptr) return EvalExpr(*cw.else_result, ctx);
+      return Value::Null();
+    }
+
+    case ExprKind::kCast: {
+      const auto& cast = static_cast<const CastExpr&>(expr);
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*cast.operand, ctx));
+      return v.CastTo(cast.target.id);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, ExecContext& ctx) {
+  ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ctx));
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.bool_value();
+  if (v.is_numeric()) return v.AsDouble() != 0.0;
+  return Status::TypeError("predicate evaluated to non-boolean: " +
+                           v.ToString());
+}
+
+// ---------- scalar builtins ----------
+
+namespace {
+
+Status WrongArity(const std::string& name, size_t got, const char* want) {
+  return Status::ExecutionError("function " + name + " expects " + want +
+                                " argument(s), got " + std::to_string(got));
+}
+
+}  // namespace
+
+bool IsScalarBuiltinName(const std::string& name) {
+  static const std::unordered_map<std::string, int>* kNames = [] {
+    auto* m = new std::unordered_map<std::string, int>{
+        {"abs", 1},      {"power", 2},   {"round", 2},    {"floor", 1},
+        {"ceiling", 1},  {"sqrt", 1},    {"exp", 1},      {"log", 1},
+        {"upper", 1},    {"lower", 1},   {"len", 1},      {"substring", 3},
+        {"ltrim", 1},    {"rtrim", 1},   {"coalesce", -1}, {"isnull", 2},
+        {"nullif", 2},   {"sign", 1},    {"year", 1},     {"month", 1},
+        {"day", 1},      {"datediff_day", 2}, {"dateadd_day", 2},
+        {"charindex", 2}, {"replicate", 2}, {"like", 2},
+    };
+    return m;
+  }();
+  return kNames->count(ToLower(name)) != 0;
+}
+
+Result<Value> ApplyScalarBuiltin(const std::string& raw_name,
+                                 const std::vector<Value>& args) {
+  std::string name = ToLower(raw_name);
+
+  auto need = [&](size_t n, const char* w) -> Status {
+    if (args.size() != n) return WrongArity(name, args.size(), w);
+    return Status::OK();
+  };
+
+  if (name == "coalesce") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (name == "isnull") {
+    RETURN_NOT_OK(need(2, "2"));
+    return args[0].is_null() ? args[1] : args[0];
+  }
+  if (name == "nullif") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value eq, Eq(args[0], args[1]));
+    if (!eq.is_null() && eq.bool_value()) return Value::Null();
+    return args[0];
+  }
+
+  // Remaining functions: NULL in propagates NULL out.
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+  }
+
+  if (name == "abs") {
+    RETURN_NOT_OK(need(1, "1"));
+    if (args[0].is_int()) return Value::Int(std::llabs(args[0].int_value()));
+    if (args[0].is_double()) return Value::Double(std::fabs(args[0].double_value()));
+    return Status::TypeError("abs over non-numeric value");
+  }
+  if (name == "sign") {
+    RETURN_NOT_OK(need(1, "1"));
+    if (!args[0].is_numeric()) return Status::TypeError("sign over non-numeric");
+    double d = args[0].AsDouble();
+    return Value::Int(d > 0 ? 1 : (d < 0 ? -1 : 0));
+  }
+  if (name == "power") {
+    RETURN_NOT_OK(need(2, "2"));
+    if (!args[0].is_numeric() || !args[1].is_numeric()) {
+      return Status::TypeError("power over non-numeric");
+    }
+    return Value::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+  }
+  if (name == "round") {
+    RETURN_NOT_OK(need(2, "2"));
+    if (!args[0].is_numeric() || !args[1].is_int()) {
+      return Status::TypeError("round(x, digits) type mismatch");
+    }
+    double scale = std::pow(10.0, static_cast<double>(args[1].int_value()));
+    return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (name == "floor") {
+    RETURN_NOT_OK(need(1, "1"));
+    return Value::Double(std::floor(args[0].AsDouble()));
+  }
+  if (name == "ceiling") {
+    RETURN_NOT_OK(need(1, "1"));
+    return Value::Double(std::ceil(args[0].AsDouble()));
+  }
+  if (name == "sqrt") {
+    RETURN_NOT_OK(need(1, "1"));
+    return Value::Double(std::sqrt(args[0].AsDouble()));
+  }
+  if (name == "exp") {
+    RETURN_NOT_OK(need(1, "1"));
+    return Value::Double(std::exp(args[0].AsDouble()));
+  }
+  if (name == "log") {
+    RETURN_NOT_OK(need(1, "1"));
+    return Value::Double(std::log(args[0].AsDouble()));
+  }
+  if (name == "upper" || name == "lower") {
+    RETURN_NOT_OK(need(1, "1"));
+    ASSIGN_OR_RETURN(Value s, args[0].CastTo(TypeId::kString));
+    return Value::String(name == "upper" ? ToUpper(s.string_value())
+                                         : ToLower(s.string_value()));
+  }
+  if (name == "len") {
+    RETURN_NOT_OK(need(1, "1"));
+    ASSIGN_OR_RETURN(Value s, args[0].CastTo(TypeId::kString));
+    return Value::Int(static_cast<int64_t>(s.string_value().size()));
+  }
+  if (name == "ltrim" || name == "rtrim") {
+    RETURN_NOT_OK(need(1, "1"));
+    ASSIGN_OR_RETURN(Value sv, args[0].CastTo(TypeId::kString));
+    std::string s = sv.string_value();
+    if (name == "ltrim") {
+      size_t b = s.find_first_not_of(' ');
+      return Value::String(b == std::string::npos ? "" : s.substr(b));
+    }
+    size_t e = s.find_last_not_of(' ');
+    return Value::String(e == std::string::npos ? "" : s.substr(0, e + 1));
+  }
+  if (name == "substring") {
+    RETURN_NOT_OK(need(3, "3"));
+    ASSIGN_OR_RETURN(Value sv, args[0].CastTo(TypeId::kString));
+    if (!args[1].is_int() || !args[2].is_int()) {
+      return Status::TypeError("substring(s, start, len) type mismatch");
+    }
+    const std::string& s = sv.string_value();
+    int64_t start = args[1].int_value() - 1;  // 1-based like T-SQL
+    int64_t len = args[2].int_value();
+    if (start < 0) start = 0;
+    if (start >= static_cast<int64_t>(s.size()) || len <= 0) {
+      return Value::String("");
+    }
+    return Value::String(s.substr(static_cast<size_t>(start),
+                                  static_cast<size_t>(len)));
+  }
+  if (name == "like") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value sv, args[0].CastTo(TypeId::kString));
+    ASSIGN_OR_RETURN(Value pv, args[1].CastTo(TypeId::kString));
+    const std::string& s = sv.string_value();
+    const std::string& p = pv.string_value();
+    // SQL LIKE: '%' matches any run, '_' any single char. Iterative matcher
+    // with backtracking over the last '%'.
+    size_t si = 0, pi = 0;
+    size_t star_p = std::string::npos, star_s = 0;
+    while (si < s.size()) {
+      if (pi < p.size() && (p[pi] == '_' || p[pi] == s[si])) {
+        ++si;
+        ++pi;
+      } else if (pi < p.size() && p[pi] == '%') {
+        star_p = pi++;
+        star_s = si;
+      } else if (star_p != std::string::npos) {
+        pi = star_p + 1;
+        si = ++star_s;
+      } else {
+        return Value::Bool(false);
+      }
+    }
+    while (pi < p.size() && p[pi] == '%') ++pi;
+    return Value::Bool(pi == p.size());
+  }
+  if (name == "charindex") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value pat, args[0].CastTo(TypeId::kString));
+    ASSIGN_OR_RETURN(Value s, args[1].CastTo(TypeId::kString));
+    size_t pos = s.string_value().find(pat.string_value());
+    return Value::Int(pos == std::string::npos
+                          ? 0
+                          : static_cast<int64_t>(pos) + 1);
+  }
+  if (name == "replicate") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value s, args[0].CastTo(TypeId::kString));
+    if (!args[1].is_int()) return Status::TypeError("replicate count");
+    std::string out;
+    for (int64_t i = 0; i < args[1].int_value(); ++i) out += s.string_value();
+    return Value::String(out);
+  }
+  if (name == "year" || name == "month" || name == "day") {
+    RETURN_NOT_OK(need(1, "1"));
+    ASSIGN_OR_RETURN(Value d, args[0].CastTo(TypeId::kDate));
+    std::string s = DateToString(d.date_value());  // YYYY-MM-DD
+    if (name == "year") return Value::Int(std::stoll(s.substr(0, 4)));
+    if (name == "month") return Value::Int(std::stoll(s.substr(5, 2)));
+    return Value::Int(std::stoll(s.substr(8, 2)));
+  }
+  if (name == "datediff_day") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value a, args[0].CastTo(TypeId::kDate));
+    ASSIGN_OR_RETURN(Value b, args[1].CastTo(TypeId::kDate));
+    return Value::Int(b.date_value().days - a.date_value().days);
+  }
+  if (name == "dateadd_day") {
+    RETURN_NOT_OK(need(2, "2"));
+    ASSIGN_OR_RETURN(Value d, args[0].CastTo(TypeId::kDate));
+    if (!args[1].is_int()) return Status::TypeError("dateadd_day count");
+    return Value::FromDate(
+        Date{d.date_value().days + static_cast<int32_t>(args[1].int_value())});
+  }
+  return Status::NotFound("unknown scalar builtin '" + name + "'");
+}
+
+void BindColumns(Expr* expr, const Schema& schema) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kColumnRef) {
+    auto* col = static_cast<ColumnRefExpr*>(expr);
+    auto idx = schema.IndexOf(col->name);
+    col->bound_index = idx.ok() ? static_cast<int>(*idx) : -1;
+    return;
+  }
+  for (Expr* child : expr->MutableChildren()) BindColumns(child, schema);
+}
+
+}  // namespace aggify

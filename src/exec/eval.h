@@ -1,0 +1,36 @@
+// Expression evaluation against a row frame + variable environment.
+#pragma once
+
+#include "exec/exec_context.h"
+#include "parser/expr.h"
+
+namespace aggify {
+
+/// \brief Evaluates `expr` in `ctx`, resolving column references against
+/// `ctx.frame()` (innermost first, then enclosing frames — correlated
+/// subqueries), variables against `ctx.vars()`, scalar subqueries through
+/// `ctx.ExecuteSubquery`, and scalar UDFs through `ctx.udf_invoker`.
+///
+/// AggregateCallExpr nodes are not evaluable here; the aggregation operators
+/// strip them out before row-level evaluation. Hitting one is an internal
+/// error (planner bug).
+Result<Value> EvalExpr(const Expr& expr, ExecContext& ctx);
+
+/// \brief Evaluates a predicate: NULL counts as false (SQL WHERE semantics).
+Result<bool> EvalPredicate(const Expr& expr, ExecContext& ctx);
+
+/// \brief Resolves and applies a built-in scalar function (ABS, UPPER,
+/// COALESCE, DATEDIFF, ...). Errors: NotFound for unknown names.
+Result<Value> ApplyScalarBuiltin(const std::string& name,
+                                 const std::vector<Value>& args);
+
+/// True if `name` is a built-in scalar function.
+bool IsScalarBuiltinName(const std::string& name);
+
+/// \brief Binds column references in `expr` against `schema`: sets
+/// bound_index for names that resolve; leaves others untouched (they may
+/// resolve against outer frames at eval time). Does not descend into
+/// subqueries (their columns bind against their own plans).
+void BindColumns(Expr* expr, const Schema& schema);
+
+}  // namespace aggify

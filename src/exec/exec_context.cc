@@ -1,0 +1,61 @@
+#include "exec/exec_context.h"
+
+namespace aggify {
+
+Status VariableEnv::Set(const std::string& name, Value v) {
+  for (VariableEnv* env = this; env != nullptr; env = env->parent_) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) {
+      it->second = std::move(v);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("variable not declared: " + name);
+}
+
+Result<Value> VariableEnv::Get(const std::string& name) const {
+  for (const VariableEnv* env = this; env != nullptr; env = env->parent_) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) return it->second;
+  }
+  return Status::NotFound("variable not declared: " + name);
+}
+
+bool VariableEnv::Has(const std::string& name) const {
+  for (const VariableEnv* env = this; env != nullptr; env = env->parent_) {
+    if (env->vars_.count(name) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> VariableEnv::LocalNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : vars_) names.push_back(k);
+  return names;
+}
+
+Result<Value> QueryResult::ScalarValue() const {
+  if (rows.empty()) return Value::Null();
+  if (rows.size() > 1) {
+    return Status::ExecutionError(
+        "scalar subquery returned more than one row (" +
+        std::to_string(rows.size()) + ")");
+  }
+  if (rows[0].empty()) {
+    return Status::ExecutionError("scalar subquery returned zero columns");
+  }
+  return rows[0][0];
+}
+
+Result<QueryResult> ExecContext::ExecuteSubquery(const SelectStmt& stmt) {
+  if (!subquery_exec_) {
+    return Status::Internal("no subquery executor installed in ExecContext");
+  }
+  if (depth > kMaxDepth) {
+    return Status::ExecutionError(
+        "query nesting too deep (possible runaway recursion)");
+  }
+  return subquery_exec_(stmt, *this);
+}
+
+}  // namespace aggify

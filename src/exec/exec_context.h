@@ -1,0 +1,156 @@
+// ExecContext: everything one query/program execution needs to reach —
+// the database, the procedural variable environment, correlated outer rows,
+// CTE bindings, and late-bound hooks for subquery execution and scalar UDF
+// invocation (installed by higher layers; keeps the module graph acyclic).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "types/schema.h"
+
+namespace aggify {
+
+struct SelectStmt;
+
+/// \brief Scoped variable bindings (@x -> Value) with lexical parent chain.
+class VariableEnv {
+ public:
+  explicit VariableEnv(VariableEnv* parent = nullptr) : parent_(parent) {}
+
+  /// Declares (or shadows) a variable in this scope.
+  void Declare(const std::string& name, Value v) {
+    vars_[name] = std::move(v);
+  }
+
+  /// Assigns an existing variable, searching enclosing scopes.
+  /// Errors: NotFound if never declared.
+  Status Set(const std::string& name, Value v);
+
+  /// Reads a variable, searching enclosing scopes. Errors: NotFound.
+  Result<Value> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Names declared in this scope only (not parents).
+  std::vector<std::string> LocalNames() const;
+
+ private:
+  std::map<std::string, Value> vars_;
+  VariableEnv* parent_;
+};
+
+/// \brief A frame of correlated evaluation: the current row of some operator
+/// plus its schema, chained to enclosing query frames for correlated
+/// subqueries.
+struct RowFrame {
+  const Row* row = nullptr;
+  const Schema* schema = nullptr;
+  const RowFrame* parent = nullptr;
+};
+
+/// \brief A fully materialized query result.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+
+  /// The single value of a scalar result (first column of first row);
+  /// NULL for an empty result. Errors: ExecutionError if more than one row.
+  Result<Value> ScalarValue() const;
+};
+
+/// \brief Named materialized rowsets visible to CTE scans during execution.
+struct CteBinding {
+  Schema schema;
+  const std::vector<Row>* rows;
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(Database* db) : db_(db) {}
+
+  Database* db() const { return db_; }
+  Catalog& catalog() const { return db_->catalog(); }
+  IoStats& stats() const { return db_->stats(); }
+
+  VariableEnv* vars() const { return vars_; }
+  void set_vars(VariableEnv* v) { vars_ = v; }
+
+  const RowFrame* frame() const { return frame_; }
+  void set_frame(const RowFrame* f) { frame_ = f; }
+
+  // --- CTE bindings (scoped per query execution) ---
+  void BindCte(const std::string& name, CteBinding binding) {
+    ctes_[name] = binding;
+  }
+  void UnbindCte(const std::string& name) { ctes_.erase(name); }
+  const CteBinding* FindCte(const std::string& name) const {
+    auto it = ctes_.find(name);
+    return it == ctes_.end() ? nullptr : &it->second;
+  }
+  bool HasCteBindings() const { return !ctes_.empty(); }
+
+  // --- late-bound hooks ---
+  using SubqueryExecutor =
+      std::function<Result<QueryResult>(const SelectStmt&, ExecContext&)>;
+  using UdfInvoker = std::function<Result<Value>(
+      const std::string& name, const std::vector<Value>& args, ExecContext&)>;
+
+  const SubqueryExecutor& subquery_executor() const { return subquery_exec_; }
+  void set_subquery_executor(SubqueryExecutor fn) {
+    subquery_exec_ = std::move(fn);
+  }
+
+  const UdfInvoker& udf_invoker() const { return udf_invoker_; }
+  void set_udf_invoker(UdfInvoker fn) { udf_invoker_ = std::move(fn); }
+
+  /// Executes a nested SELECT with this context. Errors: Internal if no
+  /// subquery executor was installed.
+  Result<QueryResult> ExecuteSubquery(const SelectStmt& stmt);
+
+  /// \brief Child context sharing hooks/db but with its own frame.
+  /// Used when evaluating correlated subqueries.
+  ExecContext WithFrame(const RowFrame* f) const {
+    ExecContext child = *this;
+    child.frame_ = f;
+    return child;
+  }
+
+  /// \brief RAII frame swap for per-row expression evaluation: cheaper than
+  /// copying the context in operator inner loops, restores on destruction.
+  class FrameScope {
+   public:
+    FrameScope(ExecContext* ctx, const RowFrame* frame)
+        : ctx_(ctx), saved_(ctx->frame()) {
+      ctx_->set_frame(frame);
+    }
+    ~FrameScope() { ctx_->set_frame(saved_); }
+    FrameScope(const FrameScope&) = delete;
+    FrameScope& operator=(const FrameScope&) = delete;
+
+   private:
+    ExecContext* ctx_;
+    const RowFrame* saved_;
+  };
+
+  // --- recursion/iteration guards ---
+  int depth = 0;
+  static constexpr int kMaxDepth = 128;
+  /// Max iterations of a recursive CTE before erroring (runaway guard).
+  int64_t max_recursion = 10'000'000;
+
+ private:
+  Database* db_;
+  VariableEnv* vars_ = nullptr;
+  const RowFrame* frame_ = nullptr;
+  std::map<std::string, CteBinding> ctes_;
+  SubqueryExecutor subquery_exec_;
+  UdfInvoker udf_invoker_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,49 @@
+// Volcano-style physical operator interface.
+//
+// Open/Next/Close lifecycle; operators are re-openable (Open after Close
+// restarts the stream). Operators never mutate the ExecContext they receive:
+// ctx.frame() is the correlation frame of the *enclosing* query, and
+// operators that evaluate expressions build a local frame chained to it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exec/exec_context.h"
+
+namespace aggify {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output schema (valid before Open).
+  virtual const Schema& schema() const = 0;
+
+  virtual Status Open(ExecContext& ctx) = 0;
+
+  /// Produces the next row into `out`. Returns false when exhausted.
+  virtual Result<bool> Next(ExecContext& ctx, Row* out) = 0;
+
+  virtual Status Close(ExecContext& ctx) = 0;
+
+  /// One-line physical-plan description, e.g. "HashJoin(ps_suppkey=s_suppkey)".
+  virtual std::string Describe() const = 0;
+
+  /// Multi-line plan tree (EXPLAIN).
+  std::string ExplainTree(int indent = 0) const;
+
+  /// Children for plan introspection (non-owning).
+  virtual std::vector<const Operator*> children() const { return {}; }
+
+  /// The base table a leaf scans, if any (plan-cache fencing).
+  virtual const class Table* base_table() const { return nullptr; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// True if any leaf of the plan scans a temp worktable — such plans are
+/// fenced by Catalog::temp_generation().
+bool PlanTouchesWorktables(const Operator& root);
+
+}  // namespace aggify

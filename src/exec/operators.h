@@ -1,0 +1,390 @@
+// The physical operator zoo.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+#include "exec/operator.h"
+#include "parser/expr.h"
+
+namespace aggify {
+
+class Table;
+class HashIndex;
+
+/// \brief Full table scan with buffer-pool page accounting.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const Table* table, std::string alias);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  const Table* base_table() const override { return table_; }
+
+ private:
+  const Table* table_;
+  Schema schema_;
+  int64_t pos_ = 0;
+  int64_t last_page_ = -1;
+};
+
+/// \brief Hash-index equality seek. The key expression is evaluated at Open
+/// against the enclosing correlation frame / variables, which is how
+/// parameterized per-invocation cursor queries hit the index.
+class IndexSeekOp : public Operator {
+ public:
+  IndexSeekOp(const Table* table, std::string alias, const HashIndex* index,
+              ExprPtr key);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  const Table* base_table() const override { return table_; }
+
+ private:
+  const Table* table_;
+  Schema schema_;
+  const HashIndex* index_;
+  ExprPtr key_;
+  const std::vector<int64_t>* matches_ = nullptr;
+  size_t pos_ = 0;
+  int64_t last_page_ = -1;
+};
+
+/// \brief Scans an in-memory rowset (CTE bindings, VALUES, spools).
+/// Does not charge I/O: these are query-lifetime memory structures.
+class RowsScanOp : public Operator {
+ public:
+  RowsScanOp(Schema schema, std::shared_ptr<const std::vector<Row>> rows,
+             std::string label);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+
+ private:
+  Schema schema_;
+  std::shared_ptr<const std::vector<Row>> rows_;
+  std::string label_;
+  size_t pos_ = 0;
+};
+
+/// \brief Pass-through that re-qualifies the child schema with a derived
+/// table's alias. This is what makes `FROM (Q) q` fully pipelined: the
+/// subquery's plan streams through instead of being materialized — the
+/// "single pipelined query execution" benefit of §6.2.
+class RenameOp : public Operator {
+ public:
+  RenameOp(OperatorPtr child, Schema schema)
+      : child_(std::move(child)), schema_(std::move(schema)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override { return child_->Open(ctx); }
+  Result<bool> Next(ExecContext& ctx, Row* out) override {
+    return child_->Next(ctx, out);
+  }
+  Status Close(ExecContext& ctx) override { return child_->Close(ctx); }
+  std::string Describe() const override {
+    return "Rename(" +
+           (schema_.num_columns() > 0 ? schema_.column(0).qualifier
+                                      : std::string()) +
+           ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  Schema schema_;
+};
+
+/// \brief Row filter; NULL predicate results drop the row (SQL WHERE).
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// \brief Computes the SELECT list.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, Schema out_schema);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// \brief Equi hash join (build side = right). Supports inner and left
+/// outer; an optional residual predicate runs on the concatenated row.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> left_keys,
+             std::vector<ExprPtr> right_keys, bool left_outer,
+             ExprPtr residual);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+  };
+
+  Result<bool> EvalKeys(ExecContext& ctx, const std::vector<ExprPtr>& keys,
+                        const Row& row, const Schema& schema, Row* out_key);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  bool left_outer_;
+  ExprPtr residual_;
+  Schema schema_;
+
+  std::unordered_map<Row, std::vector<Row>, KeyHash, KeyEq> build_;
+  Row current_left_;
+  const std::vector<Row>* probe_matches_ = nullptr;
+  size_t probe_pos_ = 0;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+};
+
+/// \brief Nested-loop join; right side is materialized at Open. Handles
+/// cross joins and arbitrary (non-equi) predicates; inner and left outer.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
+                   bool left_outer);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  bool left_outer_;
+  Schema schema_;
+
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  size_t right_pos_ = 0;
+  bool left_valid_ = false;
+  bool left_matched_ = false;
+};
+
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// \brief Full in-memory sort; stable, NULLs first ascending.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys);
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// \brief TOP n: count expression evaluated at Open (supports TOP (@var)).
+class TopNOp : public Operator {
+ public:
+  TopNOp(OperatorPtr child, ExprPtr count);
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr count_;
+  int64_t remaining_ = 0;
+};
+
+/// \brief Hash-based DISTINCT.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+  };
+  OperatorPtr child_;
+  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+};
+
+/// \brief Concatenation of children (UNION ALL). Schemas must be
+/// arity-compatible; the first child's schema is reported.
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+  const Schema& schema() const override { return children_[0]->schema(); }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// \brief One aggregate to compute: the function, its argument expressions
+/// (evaluated against the input row), and the output column name.
+struct AggregateSpec {
+  std::shared_ptr<const AggregateFunction> function;
+  std::vector<ExprPtr> args;
+  std::string output_name;
+};
+
+/// \brief Hash aggregation (GROUP BY or scalar). With no GROUP BY and empty
+/// input, emits one row of empty-state Terminate() results (SQL semantics).
+///
+/// With `partitions > 1`, rows are accumulated round-robin into per-group
+/// partition states and combined with Merge() at emission — the §3.1
+/// parallel-execution protocol ("If the query invoking the aggregate
+/// function does not use parallelism, the Merge method is never invoked"),
+/// simulated deterministically. The planner only enables it when every
+/// aggregate SupportsMerge().
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<AggregateSpec> aggs, Schema out_schema,
+                  int partitions = 1);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+  };
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggs_;
+  Schema schema_;
+
+  using GroupStates = std::vector<std::unique_ptr<AggregateState>>;
+  struct GroupEntry {
+    std::vector<GroupStates> partitions;  // [partition][agg]
+    int64_t rows_seen = 0;
+  };
+  std::unordered_map<Row, GroupEntry, RowHash, RowEq> groups_;
+  std::vector<Row> group_keys_;  // emission order
+  size_t emit_pos_ = 0;
+  int partitions_;
+};
+
+/// \brief Streaming (order-preserving) aggregation: the physical operator
+/// Eq. 6 forces for ORDER BY cursor rewrites. Accumulates in input order;
+/// with GROUP BY, input must arrive clustered by the group expressions.
+class StreamAggregateOp : public Operator {
+ public:
+  StreamAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                    std::vector<AggregateSpec> aggs, Schema out_schema);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggs_;
+  Schema schema_;
+
+  bool child_exhausted_ = false;
+  bool emitted_scalar_ = false;
+  bool have_pending_ = false;
+  Row pending_row_;  // first row of the next group
+  Row pending_key_;
+};
+
+/// Helper shared by the aggregation operators: evaluates one aggregate's
+/// argument expressions against an input row and accumulates.
+Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
+                      const Row& row, const Schema& in_schema,
+                      ExecContext& ctx);
+
+}  // namespace aggify

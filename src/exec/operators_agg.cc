@@ -1,0 +1,286 @@
+// Aggregation operators: HashAggregate and StreamAggregate.
+//
+// Both drive the §3.1 contract. StreamAggregate is the operator Eq. 6
+// forces under ORDER BY cursor rewrites: it consumes its input in order and
+// calls Accumulate in exactly that order, which is what makes order-sensitive
+// synthesized aggregates correct.
+#include "exec/eval.h"
+#include "exec/operators.h"
+
+namespace aggify {
+
+Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
+                      const Row& row, const Schema& in_schema,
+                      ExecContext& ctx) {
+  RowFrame frame{&row, &in_schema, ctx.frame()};
+  ExecContext::FrameScope scope(&ctx, &frame);
+  std::vector<Value> args;
+  args.reserve(spec.args.size());
+  for (const auto& a : spec.args) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*a, ctx));
+    args.push_back(std::move(v));
+  }
+  return spec.function->Accumulate(state, args, &ctx);
+}
+
+namespace {
+
+Result<Row> EvalGroupKey(const std::vector<ExprPtr>& group_exprs,
+                         const Row& row, const Schema& in_schema,
+                         ExecContext& ctx) {
+  RowFrame frame{&row, &in_schema, ctx.frame()};
+  ExecContext::FrameScope scope(&ctx, &frame);
+  Row key;
+  key.reserve(group_exprs.size());
+  for (const auto& g : group_exprs) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---- HashAggregateOp ----
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<ExprPtr> group_exprs,
+                                 std::vector<AggregateSpec> aggs,
+                                 Schema out_schema, int partitions)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(out_schema)),
+      partitions_(partitions < 1 ? 1 : partitions) {}
+
+namespace {
+
+Result<std::vector<std::unique_ptr<AggregateState>>> InitStates(
+    const std::vector<AggregateSpec>& aggs) {
+  std::vector<std::unique_ptr<AggregateState>> states;
+  states.reserve(aggs.size());
+  for (const auto& spec : aggs) {
+    ASSIGN_OR_RETURN(auto state, spec.function->Init());
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+}  // namespace
+
+Status HashAggregateOp::Open(ExecContext& ctx) {
+  groups_.clear();
+  group_keys_.clear();
+  emit_pos_ = 0;
+  RETURN_NOT_OK(child_->Open(ctx));
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) break;
+    ASSIGN_OR_RETURN(Row key,
+                     EvalGroupKey(group_exprs_, row, child_->schema(), ctx));
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      GroupEntry entry;
+      entry.partitions.reserve(static_cast<size_t>(partitions_));
+      for (int p = 0; p < partitions_; ++p) {
+        ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+        entry.partitions.push_back(std::move(states));
+      }
+      it = groups_.emplace(key, std::move(entry)).first;
+      group_keys_.push_back(key);
+    }
+    // Round-robin over partitions simulates parallel partial aggregation.
+    GroupStates& states =
+        it->second.partitions[it->second.rows_seen++ % partitions_];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), row,
+                                   child_->schema(), ctx));
+    }
+  }
+  RETURN_NOT_OK(child_->Close(ctx));
+  // Scalar aggregate over empty input still emits one row.
+  if (group_exprs_.empty() && groups_.empty()) {
+    GroupEntry entry;
+    for (int p = 0; p < partitions_; ++p) {
+      ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+      entry.partitions.push_back(std::move(states));
+    }
+    Row key;  // empty
+    groups_.emplace(key, std::move(entry));
+    group_keys_.push_back(key);
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(ExecContext& ctx, Row* out) {
+  if (emit_pos_ >= group_keys_.size()) return false;
+  const Row& key = group_keys_[emit_pos_++];
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return Status::Internal("aggregate group vanished");
+  GroupEntry& entry = it->second;
+  // Combine the partition partials into partition 0 (§3.1 Merge).
+  for (size_t p = 1; p < entry.partitions.size(); ++p) {
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      RETURN_NOT_OK(aggs_[i].function->Merge(entry.partitions[0][i].get(),
+                                             entry.partitions[p][i].get(),
+                                             &ctx));
+    }
+  }
+  entry.partitions.resize(1);
+  *out = key;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    ASSIGN_OR_RETURN(
+        Value v, aggs_[i].function->Terminate(entry.partitions[0][i].get(),
+                                              &ctx));
+    out->push_back(std::move(v));
+  }
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status HashAggregateOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  groups_.clear();
+  group_keys_.clear();
+  return Status::OK();
+}
+
+std::string HashAggregateOp::Describe() const {
+  std::string out = "HashAggregate(";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += group_exprs_.empty() ? "" : "; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs_[i].function->name();
+  }
+  return out + ")";
+}
+
+// ---- StreamAggregateOp ----
+
+StreamAggregateOp::StreamAggregateOp(OperatorPtr child,
+                                     std::vector<ExprPtr> group_exprs,
+                                     std::vector<AggregateSpec> aggs,
+                                     Schema out_schema)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(out_schema)) {}
+
+Status StreamAggregateOp::Open(ExecContext& ctx) {
+  child_exhausted_ = false;
+  emitted_scalar_ = false;
+  have_pending_ = false;
+  return child_->Open(ctx);
+}
+
+Result<bool> StreamAggregateOp::Next(ExecContext& ctx, Row* out) {
+  if (group_exprs_.empty()) {
+    // Scalar aggregation: single group over the whole (ordered) input.
+    if (emitted_scalar_) return false;
+    std::vector<std::unique_ptr<AggregateState>> states;
+    for (const auto& spec : aggs_) {
+      ASSIGN_OR_RETURN(auto state, spec.function->Init());
+      states.push_back(std::move(state));
+    }
+    Row row;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+      if (!more) break;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), row,
+                                     child_->schema(), ctx));
+      }
+    }
+    emitted_scalar_ = true;
+    out->clear();
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      ASSIGN_OR_RETURN(Value v, aggs_[i].function->Terminate(states[i].get(),
+                                                             &ctx));
+      out->push_back(std::move(v));
+    }
+    ++ctx.stats().rows_produced;
+    return true;
+  }
+
+  // Grouped: input clustered by group key; emit on key change.
+  if (child_exhausted_ && !have_pending_) return false;
+  std::vector<std::unique_ptr<AggregateState>> states;
+  for (const auto& spec : aggs_) {
+    ASSIGN_OR_RETURN(auto state, spec.function->Init());
+    states.push_back(std::move(state));
+  }
+  Row group_key;
+  if (have_pending_) {
+    group_key = pending_key_;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), pending_row_,
+                                   child_->schema(), ctx));
+    }
+    have_pending_ = false;
+  } else {
+    Row row;
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) {
+      child_exhausted_ = true;
+      return false;
+    }
+    ASSIGN_OR_RETURN(group_key,
+                     EvalGroupKey(group_exprs_, row, child_->schema(), ctx));
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), row,
+                                   child_->schema(), ctx));
+    }
+  }
+  // Consume the rest of this group.
+  for (;;) {
+    Row row;
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) {
+      child_exhausted_ = true;
+      break;
+    }
+    ASSIGN_OR_RETURN(Row key,
+                     EvalGroupKey(group_exprs_, row, child_->schema(), ctx));
+    if (!RowsEqual(key, group_key)) {
+      pending_row_ = std::move(row);
+      pending_key_ = std::move(key);
+      have_pending_ = true;
+      break;
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), row,
+                                   child_->schema(), ctx));
+    }
+  }
+  *out = group_key;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    ASSIGN_OR_RETURN(Value v,
+                     aggs_[i].function->Terminate(states[i].get(), &ctx));
+    out->push_back(std::move(v));
+  }
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status StreamAggregateOp::Close(ExecContext& ctx) { return child_->Close(ctx); }
+
+std::string StreamAggregateOp::Describe() const {
+  std::string out = "StreamAggregate(";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += group_exprs_.empty() ? "" : "; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs_[i].function->name();
+  }
+  return out + ")";
+}
+
+}  // namespace aggify

@@ -1,0 +1,193 @@
+// Join operators: HashJoin, NestedLoopJoin.
+#include "exec/eval.h"
+#include "exec/operators.h"
+
+namespace aggify {
+
+namespace {
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out = left;
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Row NullRow(size_t n) { return Row(n, Value::Null()); }
+
+/// Evaluates `pred` (may be null => true) against `row` under `schema`,
+/// chaining to the enclosing correlation frame.
+Result<bool> EvalRowPredicate(const Expr* pred, const Row& row,
+                              const Schema& schema, ExecContext& ctx) {
+  if (pred == nullptr) return true;
+  RowFrame frame{&row, &schema, ctx.frame()};
+  ExecContext::FrameScope scope(&ctx, &frame);
+  return EvalPredicate(*pred, ctx);
+}
+
+}  // namespace
+
+// ---- HashJoinOp ----
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys, bool left_outer,
+                       ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_outer_(left_outer),
+      residual_(std::move(residual)),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Result<bool> HashJoinOp::EvalKeys(ExecContext& ctx,
+                                  const std::vector<ExprPtr>& keys,
+                                  const Row& row, const Schema& schema,
+                                  Row* out_key) {
+  out_key->clear();
+  RowFrame frame{&row, &schema, ctx.frame()};
+  ExecContext::FrameScope scope(&ctx, &frame);
+  for (const auto& k : keys) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*k, ctx));
+    if (v.is_null()) return false;  // NULL keys never join
+    out_key->push_back(std::move(v));
+  }
+  return true;
+}
+
+Status HashJoinOp::Open(ExecContext& ctx) {
+  build_.clear();
+  left_valid_ = false;
+  probe_matches_ = nullptr;
+  probe_pos_ = 0;
+  RETURN_NOT_OK(right_->Open(ctx));
+  Row row;
+  Row key;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, right_->Next(ctx, &row));
+    if (!more) break;
+    ASSIGN_OR_RETURN(bool valid, EvalKeys(ctx, right_keys_, row,
+                                          right_->schema(), &key));
+    if (valid) build_[key].push_back(row);
+  }
+  RETURN_NOT_OK(right_->Close(ctx));
+  return left_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::Next(ExecContext& ctx, Row* out) {
+  for (;;) {
+    if (left_valid_ && probe_matches_ != nullptr &&
+        probe_pos_ < probe_matches_->size()) {
+      Row candidate =
+          ConcatRows(current_left_, (*probe_matches_)[probe_pos_++]);
+      ASSIGN_OR_RETURN(bool pass, EvalRowPredicate(residual_.get(), candidate,
+                                                   schema_, ctx));
+      if (!pass) continue;
+      left_matched_ = true;
+      *out = std::move(candidate);
+      ++ctx.stats().rows_produced;
+      return true;
+    }
+    // Current left row exhausted: emit outer row if needed, then advance.
+    if (left_valid_ && left_outer_ && !left_matched_) {
+      left_matched_ = true;  // emit once
+      *out = ConcatRows(current_left_, NullRow(right_->schema().num_columns()));
+      ++ctx.stats().rows_produced;
+      return true;
+    }
+    ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &current_left_));
+    if (!more) return false;
+    left_valid_ = true;
+    left_matched_ = false;
+    Row key;
+    ASSIGN_OR_RETURN(bool valid, EvalKeys(ctx, left_keys_, current_left_,
+                                          left_->schema(), &key));
+    if (valid) {
+      auto it = build_.find(key);
+      probe_matches_ = it == build_.end() ? nullptr : &it->second;
+    } else {
+      probe_matches_ = nullptr;
+    }
+    probe_pos_ = 0;
+  }
+}
+
+Status HashJoinOp::Close(ExecContext& ctx) {
+  build_.clear();
+  return left_->Close(ctx);
+}
+
+std::string HashJoinOp::Describe() const {
+  std::string keys;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+  }
+  return std::string(left_outer_ ? "HashLeftJoin(" : "HashJoin(") + keys + ")";
+}
+
+// ---- NestedLoopJoinOp ----
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr predicate, bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      left_outer_(left_outer),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status NestedLoopJoinOp::Open(ExecContext& ctx) {
+  right_rows_.clear();
+  left_valid_ = false;
+  right_pos_ = 0;
+  RETURN_NOT_OK(right_->Open(ctx));
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, right_->Next(ctx, &row));
+    if (!more) break;
+    right_rows_.push_back(std::move(row));
+  }
+  RETURN_NOT_OK(right_->Close(ctx));
+  return left_->Open(ctx);
+}
+
+Result<bool> NestedLoopJoinOp::Next(ExecContext& ctx, Row* out) {
+  for (;;) {
+    while (left_valid_ && right_pos_ < right_rows_.size()) {
+      Row candidate = ConcatRows(current_left_, right_rows_[right_pos_++]);
+      ASSIGN_OR_RETURN(bool pass, EvalRowPredicate(predicate_.get(), candidate,
+                                                   schema_, ctx));
+      if (pass) {
+        left_matched_ = true;
+        *out = std::move(candidate);
+        ++ctx.stats().rows_produced;
+        return true;
+      }
+    }
+    if (left_valid_ && left_outer_ && !left_matched_) {
+      left_matched_ = true;
+      *out = ConcatRows(current_left_, NullRow(right_->schema().num_columns()));
+      ++ctx.stats().rows_produced;
+      return true;
+    }
+    ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &current_left_));
+    if (!more) return false;
+    left_valid_ = true;
+    left_matched_ = false;
+    right_pos_ = 0;
+  }
+}
+
+Status NestedLoopJoinOp::Close(ExecContext& ctx) {
+  right_rows_.clear();
+  return left_->Close(ctx);
+}
+
+std::string NestedLoopJoinOp::Describe() const {
+  std::string out = left_outer_ ? "NestedLoopLeftJoin" : "NestedLoopJoin";
+  out += "(";
+  if (predicate_ != nullptr) out += predicate_->ToString();
+  return out + ")";
+}
+
+}  // namespace aggify

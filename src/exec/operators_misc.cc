@@ -1,0 +1,226 @@
+// Filter, Project, Sort, TopN, Distinct, UnionAll.
+#include <algorithm>
+
+#include "exec/eval.h"
+#include "exec/operators.h"
+
+namespace aggify {
+
+// ---- FilterOp ----
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : Operator(), child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open(ExecContext& ctx) { return child_->Open(ctx); }
+
+Result<bool> FilterOp::Next(ExecContext& ctx, Row* out) {
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) return false;
+    RowFrame frame{&row, &child_->schema(), ctx.frame()};
+    ExecContext::FrameScope scope(&ctx, &frame);
+    ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, ctx));
+    if (pass) {
+      *out = std::move(row);
+      return true;
+    }
+  }
+}
+
+Status FilterOp::Close(ExecContext& ctx) { return child_->Close(ctx); }
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+// ---- ProjectOp ----
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     Schema out_schema)
+    : child_(std::move(child)),
+      exprs_(std::move(exprs)),
+      schema_(std::move(out_schema)) {}
+
+Status ProjectOp::Open(ExecContext& ctx) { return child_->Open(ctx); }
+
+Result<bool> ProjectOp::Next(ExecContext& ctx, Row* out) {
+  Row row;
+  ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+  if (!more) return false;
+  RowFrame frame{&row, &child_->schema(), ctx.frame()};
+  ExecContext::FrameScope scope(&ctx, &frame);
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+Status ProjectOp::Close(ExecContext& ctx) { return child_->Close(ctx); }
+
+std::string ProjectOp::Describe() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + ")";
+}
+
+// ---- SortOp ----
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOp::Open(ExecContext& ctx) {
+  rows_.clear();
+  pos_ = 0;
+  RETURN_NOT_OK(child_->Open(ctx));
+  // Materialize rows alongside their evaluated sort keys.
+  std::vector<std::pair<Row, Row>> keyed;  // (keys, row)
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) break;
+    RowFrame frame{&row, &child_->schema(), ctx.frame()};
+    ExecContext::FrameScope scope(&ctx, &frame);
+    Row key;
+    key.reserve(keys_.size());
+    for (const auto& k : keys_) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, ctx));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), std::move(row));
+  }
+  RETURN_NOT_OK(child_->Close(ctx));
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = TotalOrderCompare(a.first[i], b.first[i]);
+                       if (keys_[i].descending) c = -c;
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  rows_.reserve(keyed.size());
+  for (auto& [k, r] : keyed) rows_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(ExecContext& ctx, Row* out) {
+  AGGIFY_UNUSED(ctx);
+  if (pos_ >= rows_.size()) return false;
+  *out = std::move(rows_[pos_++]);
+  return true;
+}
+
+Status SortOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  rows_.clear();
+  return Status::OK();
+}
+
+std::string SortOp::Describe() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    if (keys_[i].descending) out += " DESC";
+  }
+  return out + ")";
+}
+
+// ---- TopNOp ----
+
+TopNOp::TopNOp(OperatorPtr child, ExprPtr count)
+    : child_(std::move(child)), count_(std::move(count)) {}
+
+Status TopNOp::Open(ExecContext& ctx) {
+  ASSIGN_OR_RETURN(Value n, EvalExpr(*count_, ctx));
+  if (n.is_null() || !n.is_numeric()) {
+    return Status::ExecutionError("TOP count must be numeric, got " +
+                                  n.ToString());
+  }
+  remaining_ = n.is_int() ? n.int_value() : static_cast<int64_t>(n.AsDouble());
+  return child_->Open(ctx);
+}
+
+Result<bool> TopNOp::Next(ExecContext& ctx, Row* out) {
+  if (remaining_ <= 0) return false;
+  ASSIGN_OR_RETURN(bool more, child_->Next(ctx, out));
+  if (!more) return false;
+  --remaining_;
+  return true;
+}
+
+Status TopNOp::Close(ExecContext& ctx) { return child_->Close(ctx); }
+
+std::string TopNOp::Describe() const {
+  return "Top(" + count_->ToString() + ")";
+}
+
+// ---- DistinctOp ----
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+
+Status DistinctOp::Open(ExecContext& ctx) {
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<bool> DistinctOp::Next(ExecContext& ctx, Row* out) {
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+    if (!more) return false;
+    if (seen_.emplace(row, true).second) {
+      *out = std::move(row);
+      return true;
+    }
+  }
+}
+
+Status DistinctOp::Close(ExecContext& ctx) {
+  seen_.clear();
+  return child_->Close(ctx);
+}
+
+std::string DistinctOp::Describe() const { return "Distinct"; }
+
+// ---- UnionAllOp ----
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {}
+
+Status UnionAllOp::Open(ExecContext& ctx) {
+  current_ = 0;
+  for (auto& c : children_) RETURN_NOT_OK(c->Open(ctx));
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(ExecContext& ctx, Row* out) {
+  while (current_ < children_.size()) {
+    ASSIGN_OR_RETURN(bool more, children_[current_]->Next(ctx, out));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+Status UnionAllOp::Close(ExecContext& ctx) {
+  for (auto& c : children_) RETURN_NOT_OK(c->Close(ctx));
+  return Status::OK();
+}
+
+std::string UnionAllOp::Describe() const { return "UnionAll"; }
+
+std::vector<const Operator*> UnionAllOp::children() const {
+  std::vector<const Operator*> out;
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace aggify

@@ -1,0 +1,124 @@
+// Scan operators: SeqScan, IndexSeek, RowsScan.
+#include "exec/eval.h"
+#include "exec/operators.h"
+#include "storage/table.h"
+
+namespace aggify {
+
+bool PlanTouchesWorktables(const Operator& root) {
+  const Table* table = root.base_table();
+  if (table != nullptr && table->is_worktable()) return true;
+  for (const Operator* child : root.children()) {
+    if (child != nullptr && PlanTouchesWorktables(*child)) return true;
+  }
+  return false;
+}
+
+std::string Operator::ExplainTree(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe() + "\n";
+  for (const Operator* c : children()) out += c->ExplainTree(indent + 1);
+  return out;
+}
+
+// ---- SeqScanOp ----
+
+SeqScanOp::SeqScanOp(const Table* table, std::string alias)
+    : table_(table),
+      schema_(table->schema().WithQualifier(
+          alias.empty() ? table->name() : alias)) {}
+
+Status SeqScanOp::Open(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  pos_ = 0;
+  last_page_ = -1;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(ExecContext& ctx, Row* out) {
+  if (pos_ >= table_->num_rows()) return false;
+  *out = table_->ReadRow(pos_++, &last_page_, &ctx.stats());
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status SeqScanOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  return Status::OK();
+}
+
+std::string SeqScanOp::Describe() const {
+  return "SeqScan(" + table_->name() + ")";
+}
+
+// ---- IndexSeekOp ----
+
+IndexSeekOp::IndexSeekOp(const Table* table, std::string alias,
+                         const HashIndex* index, ExprPtr key)
+    : table_(table),
+      schema_(table->schema().WithQualifier(
+          alias.empty() ? table->name() : alias)),
+      index_(index),
+      key_(std::move(key)) {}
+
+Status IndexSeekOp::Open(ExecContext& ctx) {
+  pos_ = 0;
+  last_page_ = -1;
+  matches_ = nullptr;
+  ASSIGN_OR_RETURN(Value key, EvalExpr(*key_, ctx));
+  // One logical read for the index probe itself.
+  ++ctx.stats().logical_reads;
+  if (key.is_null()) return Status::OK();  // = NULL matches nothing
+  matches_ = index_->Lookup(key);
+  return Status::OK();
+}
+
+Result<bool> IndexSeekOp::Next(ExecContext& ctx, Row* out) {
+  if (matches_ == nullptr || pos_ >= matches_->size()) return false;
+  *out = table_->ReadRow((*matches_)[pos_++], &last_page_, &ctx.stats());
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status IndexSeekOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  return Status::OK();
+}
+
+std::string IndexSeekOp::Describe() const {
+  return "IndexSeek(" + table_->name() + "." +
+         table_->schema().column(index_->column_index()).name + " = " +
+         key_->ToString() + ")";
+}
+
+// ---- RowsScanOp ----
+
+RowsScanOp::RowsScanOp(Schema schema,
+                       std::shared_ptr<const std::vector<Row>> rows,
+                       std::string label)
+    : schema_(std::move(schema)), rows_(std::move(rows)), label_(std::move(label)) {}
+
+Status RowsScanOp::Open(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> RowsScanOp::Next(ExecContext& ctx, Row* out) {
+  if (pos_ >= rows_->size()) return false;
+  *out = (*rows_)[pos_++];
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status RowsScanOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  return Status::OK();
+}
+
+std::string RowsScanOp::Describe() const {
+  return "RowsScan(" + label_ + ", " + std::to_string(rows_->size()) +
+         " rows)";
+}
+
+}  // namespace aggify

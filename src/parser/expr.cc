@@ -1,0 +1,384 @@
+#include "parser/expr.h"
+
+#include "parser/query_ast.h"
+
+namespace aggify {
+
+std::string BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+void Expr::Walk(const std::function<void(const Expr&)>& fn) const {
+  fn(*this);
+  for (const Expr* c : Children()) {
+    if (c != nullptr) c->Walk(fn);
+  }
+}
+
+// ---- LiteralExpr ----
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value.is_string()) {
+    // Escape single quotes SQL-style.
+    std::string out = "'";
+    for (char c : value.string_value()) {
+      out += c;
+      if (c == '\'') out += '\'';
+    }
+    out += "'";
+    return out;
+  }
+  if (value.is_date()) return "'" + DateToString(value.date_value()) + "'";
+  return value.ToString();
+}
+
+// ---- ColumnRefExpr / VarRefExpr ----
+
+ExprPtr ColumnRefExpr::Clone() const {
+  auto c = std::make_unique<ColumnRefExpr>(name);
+  c->bound_index = bound_index;
+  return c;
+}
+
+ExprPtr VarRefExpr::Clone() const {
+  return std::make_unique<VarRefExpr>(name);
+}
+
+// ---- UnaryExpr / BinaryExpr ----
+
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op, operand->Clone());
+}
+
+std::string UnaryExpr::ToString() const {
+  if (op == UnaryOp::kNeg) return "(-" + operand->ToString() + ")";
+  return "(NOT " + operand->ToString() + ")";
+}
+
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op, left->Clone(), right->Clone());
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpToString(op) + " " +
+         right->ToString() + ")";
+}
+
+// ---- FunctionCallExpr ----
+
+ExprPtr FunctionCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const auto& a : args) cloned.push_back(a->Clone());
+  return std::make_unique<FunctionCallExpr>(name, std::move(cloned));
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  return out + ")";
+}
+
+std::vector<const Expr*> FunctionCallExpr::Children() const {
+  std::vector<const Expr*> out;
+  for (const auto& a : args) out.push_back(a.get());
+  return out;
+}
+
+std::vector<Expr*> FunctionCallExpr::MutableChildren() {
+  std::vector<Expr*> out;
+  for (auto& a : args) out.push_back(a.get());
+  return out;
+}
+
+// ---- AggregateCallExpr ----
+
+ExprPtr AggregateCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const auto& a : args) cloned.push_back(a->Clone());
+  auto agg =
+      std::make_unique<AggregateCallExpr>(name, std::move(cloned), is_star);
+  agg->distinct = distinct;
+  return agg;
+}
+
+std::string AggregateCallExpr::ToString() const {
+  std::string out = name + "(";
+  if (is_star) {
+    out += "*";
+  } else {
+    if (distinct) out += "DISTINCT ";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::vector<const Expr*> AggregateCallExpr::Children() const {
+  std::vector<const Expr*> out;
+  for (const auto& a : args) out.push_back(a.get());
+  return out;
+}
+
+std::vector<Expr*> AggregateCallExpr::MutableChildren() {
+  std::vector<Expr*> out;
+  for (auto& a : args) out.push_back(a.get());
+  return out;
+}
+
+// ---- Subquery expressions ----
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<SelectStmt> q)
+    : Expr(ExprKind::kScalarSubquery), query(std::move(q)) {}
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+ExprPtr ScalarSubqueryExpr::Clone() const {
+  return std::make_unique<ScalarSubqueryExpr>(query->Clone());
+}
+
+std::string ScalarSubqueryExpr::ToString() const {
+  return "(" + query->ToString() + ")";
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<SelectStmt> q, bool neg)
+    : Expr(ExprKind::kExists), query(std::move(q)), negated(neg) {}
+ExistsExpr::~ExistsExpr() = default;
+
+ExprPtr ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(query->Clone(), negated);
+}
+
+std::string ExistsExpr::ToString() const {
+  return std::string(negated ? "NOT EXISTS (" : "EXISTS (") +
+         query->ToString() + ")";
+}
+
+// ---- InListExpr ----
+
+InListExpr::InListExpr(ExprPtr e, std::vector<ExprPtr> l, bool neg)
+    : Expr(ExprKind::kInList),
+      operand(std::move(e)),
+      list(std::move(l)),
+      negated(neg) {}
+
+InListExpr::InListExpr(ExprPtr e, std::unique_ptr<SelectStmt> q, bool neg)
+    : Expr(ExprKind::kInList),
+      operand(std::move(e)),
+      subquery(std::move(q)),
+      negated(neg) {}
+InListExpr::~InListExpr() = default;
+
+ExprPtr InListExpr::Clone() const {
+  if (subquery != nullptr) {
+    return std::make_unique<InListExpr>(operand->Clone(), subquery->Clone(),
+                                        negated);
+  }
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(list.size());
+  for (const auto& e : list) cloned.push_back(e->Clone());
+  return std::make_unique<InListExpr>(operand->Clone(), std::move(cloned),
+                                      negated);
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = operand->ToString() + (negated ? " NOT IN (" : " IN (");
+  if (subquery != nullptr) {
+    out += subquery->ToString();
+  } else {
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += list[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::vector<const Expr*> InListExpr::Children() const {
+  std::vector<const Expr*> out{operand.get()};
+  for (const auto& e : list) out.push_back(e.get());
+  return out;
+}
+
+std::vector<Expr*> InListExpr::MutableChildren() {
+  std::vector<Expr*> out{operand.get()};
+  for (auto& e : list) out.push_back(e.get());
+  return out;
+}
+
+// ---- IsNullExpr ----
+
+ExprPtr IsNullExpr::Clone() const {
+  return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+}
+
+// ---- CaseWhenExpr ----
+
+ExprPtr CaseWhenExpr::Clone() const {
+  std::vector<Arm> cloned;
+  cloned.reserve(arms.size());
+  for (const auto& a : arms) {
+    cloned.push_back(Arm{a.condition->Clone(), a.result->Clone()});
+  }
+  return std::make_unique<CaseWhenExpr>(
+      std::move(cloned), else_result ? else_result->Clone() : nullptr);
+}
+
+std::string CaseWhenExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& a : arms) {
+    out += " WHEN " + a.condition->ToString() + " THEN " + a.result->ToString();
+  }
+  if (else_result != nullptr) out += " ELSE " + else_result->ToString();
+  return out + " END";
+}
+
+std::vector<const Expr*> CaseWhenExpr::Children() const {
+  std::vector<const Expr*> out;
+  for (const auto& a : arms) {
+    out.push_back(a.condition.get());
+    out.push_back(a.result.get());
+  }
+  if (else_result != nullptr) out.push_back(else_result.get());
+  return out;
+}
+
+std::vector<Expr*> CaseWhenExpr::MutableChildren() {
+  std::vector<Expr*> out;
+  for (auto& a : arms) {
+    out.push_back(a.condition.get());
+    out.push_back(a.result.get());
+  }
+  if (else_result != nullptr) out.push_back(else_result.get());
+  return out;
+}
+
+// ---- CastExpr ----
+
+ExprPtr CastExpr::Clone() const {
+  return std::make_unique<CastExpr>(operand->Clone(), target);
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + operand->ToString() + " AS " + target.ToString() + ")";
+}
+
+// ---- Convenience constructors ----
+
+ExprPtr MakeLiteral(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr MakeColumnRef(std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(name));
+}
+ExprPtr MakeVarRef(std::string name) {
+  return std::make_unique<VarRefExpr>(std::move(name));
+}
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr MakeUnary(UnaryOp op, ExprPtr e) {
+  return std::make_unique<UnaryExpr>(op, std::move(e));
+}
+
+// ---- Collectors ----
+
+namespace {
+
+void CollectVarsFromSelect(const SelectStmt& q, std::vector<std::string>* out);
+
+void CollectVarsFromExpr(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind == ExprKind::kVarRef) {
+    out->push_back(static_cast<const VarRefExpr&>(e).name);
+  } else if (e.kind == ExprKind::kScalarSubquery) {
+    CollectVarsFromSelect(*static_cast<const ScalarSubqueryExpr&>(e).query, out);
+  } else if (e.kind == ExprKind::kExists) {
+    CollectVarsFromSelect(*static_cast<const ExistsExpr&>(e).query, out);
+  } else if (e.kind == ExprKind::kInList) {
+    const auto& in = static_cast<const InListExpr&>(e);
+    if (in.subquery != nullptr) CollectVarsFromSelect(*in.subquery, out);
+  }
+  for (const Expr* c : e.Children()) {
+    if (c != nullptr) CollectVarsFromExpr(*c, out);
+  }
+}
+
+void CollectVarsFromTableRef(const TableRef& t, std::vector<std::string>* out) {
+  switch (t.kind) {
+    case TableRef::Kind::kBaseTable:
+      break;
+    case TableRef::Kind::kSubquery:
+      CollectVarsFromSelect(*t.subquery, out);
+      break;
+    case TableRef::Kind::kJoin:
+      CollectVarsFromTableRef(*t.left, out);
+      CollectVarsFromTableRef(*t.right, out);
+      if (t.join_condition != nullptr) {
+        CollectVarsFromExpr(*t.join_condition, out);
+      }
+      break;
+  }
+}
+
+void CollectVarsFromSelect(const SelectStmt& q, std::vector<std::string>* out) {
+  for (const auto& cte : q.ctes) CollectVarsFromSelect(*cte.query, out);
+  if (q.top_n != nullptr) CollectVarsFromExpr(*q.top_n, out);
+  for (const auto& item : q.items) CollectVarsFromExpr(*item.expr, out);
+  for (const auto& t : q.from) CollectVarsFromTableRef(*t, out);
+  if (q.where != nullptr) CollectVarsFromExpr(*q.where, out);
+  for (const auto& g : q.group_by) CollectVarsFromExpr(*g, out);
+  if (q.having != nullptr) CollectVarsFromExpr(*q.having, out);
+  for (const auto& o : q.order_by) CollectVarsFromExpr(*o.expr, out);
+  if (q.union_all != nullptr) CollectVarsFromSelect(*q.union_all, out);
+}
+
+}  // namespace
+
+void CollectVariableRefs(const Expr& e, std::vector<std::string>* out) {
+  CollectVarsFromExpr(e, out);
+}
+
+void CollectColumnRefs(const Expr& e, std::vector<std::string>* out) {
+  e.Walk([out](const Expr& node) {
+    if (node.kind == ExprKind::kColumnRef) {
+      out->push_back(static_cast<const ColumnRefExpr&>(node).name);
+    }
+  });
+}
+
+bool ContainsAggregateCall(const Expr& e) {
+  bool found = false;
+  e.Walk([&found](const Expr& node) {
+    if (node.kind == ExprKind::kAggregateCall) found = true;
+  });
+  return found;
+}
+
+}  // namespace aggify

@@ -1,0 +1,243 @@
+// Expression AST of the dialect.
+//
+// Shared by the planner/executor (query expressions), the procedural
+// interpreter (UDF bodies), and the Aggify analyses. Nodes are owned via
+// unique_ptr and support deep Clone() (rewrites never mutate shared input)
+// and ToString() (renders parseable dialect SQL, used when Aggify emits the
+// synthesized aggregate and rewritten query as text).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace aggify {
+
+struct SelectStmt;  // query_ast.h
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kVarRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kAggregateCall,
+  kScalarSubquery,
+  kExists,
+  kInList,
+  kIsNull,
+  kCaseWhen,
+  kCast,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kConcat,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+std::string BinaryOpToString(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind;
+
+  virtual ExprPtr Clone() const = 0;
+  virtual std::string ToString() const = 0;
+
+  /// Invokes `fn` on this node and every descendant expression (including
+  /// expressions nested in subqueries is NOT done here; subquery bodies are
+  /// opaque to this walk — the analyses that need them recurse explicitly).
+  void Walk(const std::function<void(const Expr&)>& fn) const;
+
+  /// Children of this node (non-owning), excluding subquery bodies.
+  virtual std::vector<const Expr*> Children() const { return {}; }
+  virtual std::vector<Expr*> MutableChildren() { return {}; }
+};
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  Value value;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+};
+
+/// A column reference, e.g. `ps_supplycost` or `Q.s_name`.
+struct ColumnRefExpr : Expr {
+  explicit ColumnRefExpr(std::string n)
+      : Expr(ExprKind::kColumnRef), name(std::move(n)) {}
+  std::string name;  ///< possibly qualified ("alias.col")
+  /// Resolved positional index against the operator's input schema; -1 when
+  /// unbound (the evaluator then falls back to name lookup).
+  int bound_index = -1;
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return name; }
+};
+
+/// A procedural variable reference, e.g. `@minCost` or `@@FETCH_STATUS`.
+struct VarRefExpr : Expr {
+  explicit VarRefExpr(std::string n)
+      : Expr(ExprKind::kVarRef), name(std::move(n)) {}
+  std::string name;  ///< lowercase, includes the leading '@' ("@mincost")
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return name; }
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {operand.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {operand.get()}; }
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), left(std::move(l)), right(std::move(r)) {}
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override {
+    return {left.get(), right.get()};
+  }
+  std::vector<Expr*> MutableChildren() override {
+    return {left.get(), right.get()};
+  }
+};
+
+/// Scalar function call: built-in (ABS, UPPER, COALESCE, ...) or catalog UDF.
+struct FunctionCallExpr : Expr {
+  FunctionCallExpr(std::string n, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kFunctionCall), name(std::move(n)), args(std::move(a)) {}
+  std::string name;  ///< lowercase
+  std::vector<ExprPtr> args;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+};
+
+/// Aggregate invocation in a SELECT list / HAVING: MIN(x), COUNT(*), or a
+/// custom aggregate (possibly Aggify-synthesized) with arbitrary arity.
+struct AggregateCallExpr : Expr {
+  AggregateCallExpr(std::string n, std::vector<ExprPtr> a, bool star = false)
+      : Expr(ExprKind::kAggregateCall),
+        name(std::move(n)),
+        args(std::move(a)),
+        is_star(star) {}
+  std::string name;  ///< lowercase
+  std::vector<ExprPtr> args;
+  bool is_star;      ///< COUNT(*)
+  bool distinct = false;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+};
+
+struct ScalarSubqueryExpr : Expr {
+  explicit ScalarSubqueryExpr(std::unique_ptr<SelectStmt> q);
+  ~ScalarSubqueryExpr() override;
+  std::unique_ptr<SelectStmt> query;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+};
+
+struct ExistsExpr : Expr {
+  ExistsExpr(std::unique_ptr<SelectStmt> q, bool neg);
+  ~ExistsExpr() override;
+  std::unique_ptr<SelectStmt> query;
+  bool negated;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+};
+
+/// `e IN (v1, v2, ...)` or `e IN (SELECT ...)`.
+struct InListExpr : Expr {
+  InListExpr(ExprPtr e, std::vector<ExprPtr> l, bool neg);
+  InListExpr(ExprPtr e, std::unique_ptr<SelectStmt> q, bool neg);
+  ~InListExpr() override;
+  ExprPtr operand;
+  std::vector<ExprPtr> list;               // empty when subquery form
+  std::unique_ptr<SelectStmt> subquery;    // nullptr when list form
+  bool negated;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr e, bool neg)
+      : Expr(ExprKind::kIsNull), operand(std::move(e)), negated(neg) {}
+  ExprPtr operand;
+  bool negated;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {operand.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {operand.get()}; }
+};
+
+struct CaseWhenExpr : Expr {
+  struct Arm {
+    ExprPtr condition;
+    ExprPtr result;
+  };
+  CaseWhenExpr(std::vector<Arm> a, ExprPtr e)
+      : Expr(ExprKind::kCaseWhen), arms(std::move(a)), else_result(std::move(e)) {}
+  std::vector<Arm> arms;
+  ExprPtr else_result;  // may be null (=> NULL)
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+};
+
+struct CastExpr : Expr {
+  CastExpr(ExprPtr e, DataType t)
+      : Expr(ExprKind::kCast), operand(std::move(e)), target(t) {}
+  ExprPtr operand;
+  DataType target;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {operand.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {operand.get()}; }
+};
+
+// --- Convenience constructors used by rewrites and tests. ---
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeVarRef(std::string name);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr e);
+
+/// Collects the names of all variables (@x) referenced anywhere in `e`,
+/// including inside nested subqueries.
+void CollectVariableRefs(const Expr& e, std::vector<std::string>* out);
+
+/// Collects the names of all (unresolved) column references in `e`, not
+/// descending into subqueries.
+void CollectColumnRefs(const Expr& e, std::vector<std::string>* out);
+
+/// True if `e` contains any AggregateCallExpr (not descending into
+/// subqueries).
+bool ContainsAggregateCall(const Expr& e);
+
+}  // namespace aggify

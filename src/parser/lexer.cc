@@ -1,0 +1,234 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<eof>";
+    case TokenKind::kIdent:
+    case TokenKind::kVariable:
+      return "'" + text + "'";
+    case TokenKind::kIntLiteral:
+      return std::to_string(int_value);
+    case TokenKind::kFloatLiteral:
+      return std::to_string(double_value);
+    case TokenKind::kStringLiteral:
+      return "'" + text + "'";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenKind k, std::string text) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) {
+        if (sql[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (sql[i] == '\n') ++line;
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kStringLiteral, std::move(text));
+      continue;
+    }
+    // Variable: @name or @@name.
+    if (c == '@') {
+      size_t start = i;
+      ++i;
+      if (i < n && sql[i] == '@') ++i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      if (i == start + 1 || (sql[start + 1] == '@' && i == start + 2)) {
+        return Status::ParseError("bare '@' at line " + std::to_string(line));
+      }
+      push(TokenKind::kVariable, ToLower(sql.substr(start, i - start)));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      std::string text = sql.substr(start, i - start);
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kFloatLiteral;
+        t.double_value = std::stod(text);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = std::stoll(text);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword. Also [bracketed identifiers].
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      push(TokenKind::kIdent, sql.substr(start, i - start));
+      continue;
+    }
+    if (c == '[') {
+      size_t close = sql.find(']', i);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated [identifier] at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kIdent, sql.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    // Operators / punctuation.
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")"); ++i; continue;
+      case ',': push(TokenKind::kComma, ","); ++i; continue;
+      case ';': push(TokenKind::kSemicolon, ";"); ++i; continue;
+      case '.': push(TokenKind::kDot, "."); ++i; continue;
+      case '*': push(TokenKind::kStar, "*"); ++i; continue;
+      case '+': push(TokenKind::kPlus, "+"); ++i; continue;
+      case '-': push(TokenKind::kMinus, "-"); ++i; continue;
+      case '/': push(TokenKind::kSlash, "/"); ++i; continue;
+      case '%': push(TokenKind::kPercent, "%"); ++i; continue;
+      case '=': push(TokenKind::kEq, "="); ++i; continue;
+      case '|':
+        if (i + 1 < n && sql[i + 1] == '|') {
+          push(TokenKind::kConcat, "||");
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '|' at line " +
+                                  std::to_string(line));
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLe, "<=");
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenKind::kNe, "<>");
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<");
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGe, ">=");
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">");
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kNe, "!=");
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at line " +
+                                  std::to_string(line));
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace aggify

@@ -1,0 +1,39 @@
+// Lexer for the T-SQL-like dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aggify {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,       ///< bare identifier or keyword (text preserved as written)
+  kVariable,    ///< @name or @@name (lowercased, '@' kept)
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  ///< quotes stripped, '' unescaped
+  // Punctuation / operators:
+  kLParen, kRParen, kComma, kSemicolon, kDot, kStar,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kConcat,  ///< ||
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   ///< raw text (identifiers keep original case)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+
+  bool IsKeyword(std::string_view kw) const;
+  std::string Describe() const;
+};
+
+/// Tokenizes `sql`. Handles -- line comments and /* */ block comments.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace aggify

@@ -1,0 +1,1054 @@
+#include "parser/parser.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+namespace {
+
+// Keywords that terminate an implicit alias or a statement list.
+const std::unordered_set<std::string>& ReservedWords() {
+  static const std::unordered_set<std::string> kWords = {
+      "select", "from",  "where",  "group",  "order",  "having", "top",
+      "join",   "inner", "left",   "cross",  "on",     "as",     "and",
+      "or",     "not",   "in",     "is",     "null",   "exists", "union",
+      "all",    "with",  "distinct", "case", "when",   "then",   "else",
+      "end",    "begin", "declare", "set",   "if",     "while",  "for",
+      "open",   "fetch", "close",  "deallocate", "return", "break",
+      "continue", "insert", "update", "delete", "values", "into",
+      "cursor", "try",   "catch",  "create", "table",  "index",  "function",
+      "procedure", "returns", "asc", "desc", "by", "between", "recursive",
+      "to", "step", "like",
+  };
+  return kWords;
+}
+
+bool IsReserved(const std::string& word) {
+  return ReservedWords().count(ToLower(word)) != 0;
+}
+
+const std::unordered_set<std::string>& BuiltinAggregateNames() {
+  static const std::unordered_set<std::string> kNames = {
+      "min", "max", "sum", "count", "avg", "count_big", "stdev", "var"};
+  return kNames;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  // --- token helpers ---
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchKind(TokenKind k) {
+    if (Peek().kind == k) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Error("expected keyword '" + std::string(kw) + "', got " +
+                   Peek().Describe());
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKind(TokenKind k, const char* what) {
+    if (!MatchKind(k)) {
+      return Error(std::string("expected ") + what + ", got " +
+                   Peek().Describe());
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (line " + std::to_string(Peek().line) +
+                              ")");
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what + ", got " +
+                   Peek().Describe());
+    }
+    return Advance().text;
+  }
+
+  // ---------- expressions ----------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsKeyword("not") && !Peek(1).IsKeyword("exists")) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    for (;;) {
+      BinaryOp op;
+      switch (Peek().kind) {
+        case TokenKind::kEq: op = BinaryOp::kEq; break;
+        case TokenKind::kNe: op = BinaryOp::kNe; break;
+        case TokenKind::kLt: op = BinaryOp::kLt; break;
+        case TokenKind::kLe: op = BinaryOp::kLe; break;
+        case TokenKind::kGt: op = BinaryOp::kGt; break;
+        case TokenKind::kGe: op = BinaryOp::kGe; break;
+        default: {
+          // IS [NOT] NULL
+          if (Peek().IsKeyword("is")) {
+            Advance();
+            bool negated = MatchKeyword("not");
+            RETURN_NOT_OK(ExpectKeyword("null"));
+            left = std::make_unique<IsNullExpr>(std::move(left), negated);
+            continue;
+          }
+          // [NOT] IN (...) / BETWEEN a AND b / LIKE pattern
+          bool negated = false;
+          if (Peek().IsKeyword("not") &&
+              (Peek(1).IsKeyword("in") || Peek(1).IsKeyword("between") ||
+               Peek(1).IsKeyword("like"))) {
+            Advance();
+            negated = true;
+          }
+          if (Peek().IsKeyword("like")) {
+            Advance();
+            ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+            // Desugars to the built-in like(subject, pattern).
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(left));
+            args.push_back(std::move(pattern));
+            left = std::make_unique<FunctionCallExpr>("like", std::move(args));
+            if (negated) left = MakeUnary(UnaryOp::kNot, std::move(left));
+            continue;
+          }
+          if (Peek().IsKeyword("in")) {
+            Advance();
+            RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+            if (Peek().IsKeyword("select") || Peek().IsKeyword("with")) {
+              ASSIGN_OR_RETURN(auto sub, ParseSelectStmt());
+              RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+              left = std::make_unique<InListExpr>(std::move(left),
+                                                  std::move(sub), negated);
+            } else {
+              std::vector<ExprPtr> list;
+              do {
+                ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+                list.push_back(std::move(item));
+              } while (MatchKind(TokenKind::kComma));
+              RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+              left = std::make_unique<InListExpr>(std::move(left),
+                                                  std::move(list), negated);
+            }
+            continue;
+          }
+          if (Peek().IsKeyword("between")) {
+            Advance();
+            ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+            RETURN_NOT_OK(ExpectKeyword("and"));
+            ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+            ExprPtr ge = MakeBinary(BinaryOp::kGe, left->Clone(), std::move(lo));
+            ExprPtr le = MakeBinary(BinaryOp::kLe, std::move(left), std::move(hi));
+            left = MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+            if (negated) left = MakeUnary(UnaryOp::kNot, std::move(left));
+            continue;
+          }
+          return left;
+        }
+      }
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else if (Peek().kind == TokenKind::kConcat) {
+        op = BinaryOp::kConcat;
+      } else {
+        return left;
+      }
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchKind(TokenKind::kMinus)) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(e));
+    }
+    if (MatchKind(TokenKind::kPlus)) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return MakeLiteral(Value::Int(t.int_value));
+      case TokenKind::kFloatLiteral:
+        Advance();
+        return MakeLiteral(Value::Double(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      case TokenKind::kVariable:
+        Advance();
+        return MakeVarRef(t.text);
+      case TokenKind::kLParen: {
+        Advance();
+        if (Peek().IsKeyword("select") || Peek().IsKeyword("with")) {
+          ASSIGN_OR_RETURN(auto sub, ParseSelectStmt());
+          RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+          return std::make_unique<ScalarSubqueryExpr>(std::move(sub));
+        }
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kIdent:
+        return ParseIdentExpr();
+      default:
+        return Error("unexpected token " + t.Describe() + " in expression");
+    }
+  }
+
+  Result<ExprPtr> ParseIdentExpr() {
+    const Token& t = Peek();
+    // NULL literal / TRUE / FALSE.
+    if (t.IsKeyword("null")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (t.IsKeyword("true")) {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (t.IsKeyword("false")) {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    // CASE WHEN ... THEN ... [ELSE ...] END.
+    if (t.IsKeyword("case")) {
+      Advance();
+      std::vector<CaseWhenExpr::Arm> arms;
+      while (MatchKeyword("when")) {
+        CaseWhenExpr::Arm arm;
+        ASSIGN_OR_RETURN(arm.condition, ParseExpr());
+        RETURN_NOT_OK(ExpectKeyword("then"));
+        ASSIGN_OR_RETURN(arm.result, ParseExpr());
+        arms.push_back(std::move(arm));
+      }
+      if (arms.empty()) return Error("CASE requires at least one WHEN arm");
+      ExprPtr else_result;
+      if (MatchKeyword("else")) {
+        ASSIGN_OR_RETURN(else_result, ParseExpr());
+      }
+      RETURN_NOT_OK(ExpectKeyword("end"));
+      return std::make_unique<CaseWhenExpr>(std::move(arms),
+                                            std::move(else_result));
+    }
+    // CAST(expr AS type).
+    if (t.IsKeyword("cast")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      RETURN_NOT_OK(ExpectKeyword("as"));
+      ASSIGN_OR_RETURN(DataType type, ParseType());
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+      return std::make_unique<CastExpr>(std::move(e), type);
+    }
+    // [NOT] EXISTS (SELECT ...).
+    if (t.IsKeyword("exists") ||
+        (t.IsKeyword("not") && Peek(1).IsKeyword("exists"))) {
+      bool negated = t.IsKeyword("not");
+      if (negated) Advance();
+      Advance();  // exists
+      RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+      ASSIGN_OR_RETURN(auto sub, ParseSelectStmt());
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+      return std::make_unique<ExistsExpr>(std::move(sub), negated);
+    }
+    // Identifier: column ref, qualified column ref, or call.
+    std::string name = Advance().text;
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name after '.'"));
+      return MakeColumnRef(name + "." + col);
+    }
+    if (Peek().kind != TokenKind::kLParen) {
+      return MakeColumnRef(name);
+    }
+    // Call.
+    Advance();  // '('
+    std::string lname = ToLower(name);
+    bool is_builtin_agg = BuiltinAggregateNames().count(lname) != 0;
+    if (is_builtin_agg && Peek().kind == TokenKind::kStar) {
+      Advance();
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+      return std::make_unique<AggregateCallExpr>(lname, std::vector<ExprPtr>{},
+                                                 /*star=*/true);
+    }
+    bool distinct = false;
+    if (is_builtin_agg && Peek().IsKeyword("distinct")) {
+      Advance();
+      distinct = true;
+    }
+    std::vector<ExprPtr> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      do {
+        ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args.push_back(std::move(arg));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+    if (is_builtin_agg) {
+      auto agg = std::make_unique<AggregateCallExpr>(lname, std::move(args));
+      agg->distinct = distinct;
+      return agg;
+    }
+    // Non-builtin calls parse as scalar FunctionCall; the binder promotes
+    // names registered as aggregates in the catalog to AggregateCall.
+    return std::make_unique<FunctionCallExpr>(lname, std::move(args));
+  }
+
+  // ---------- types ----------
+
+  Result<DataType> ParseType() {
+    ASSIGN_OR_RETURN(std::string name, ExpectIdent("type name"));
+    int32_t width = 0, scale = 0;
+    if (MatchKind(TokenKind::kLParen)) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer width in type");
+      }
+      width = static_cast<int32_t>(Advance().int_value);
+      if (MatchKind(TokenKind::kComma)) {
+        if (Peek().kind != TokenKind::kIntLiteral) {
+          return Error("expected integer scale in type");
+        }
+        scale = static_cast<int32_t>(Advance().int_value);
+      }
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+    }
+    return DataTypeFromName(name, width, scale);
+  }
+
+  // ---------- SELECT ----------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    auto q = std::make_unique<SelectStmt>();
+    // WITH [RECURSIVE] name [(cols)] AS (select) [, ...]
+    if (MatchKeyword("with")) {
+      bool recursive_kw = MatchKeyword("recursive");
+      do {
+        CteDef cte;
+        cte.recursive = recursive_kw;
+        ASSIGN_OR_RETURN(cte.name, ExpectIdent("CTE name"));
+        if (MatchKind(TokenKind::kLParen)) {
+          do {
+            ASSIGN_OR_RETURN(std::string c, ExpectIdent("CTE column name"));
+            cte.column_names.push_back(std::move(c));
+          } while (MatchKind(TokenKind::kComma));
+          RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+        }
+        RETURN_NOT_OK(ExpectKeyword("as"));
+        RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+        ASSIGN_OR_RETURN(cte.query, ParseSelectStmt());
+        RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+        // A CTE whose body references itself via UNION ALL is recursive even
+        // without the keyword (T-SQL style).
+        if (cte.query->union_all != nullptr) cte.recursive = true;
+        q->ctes.push_back(std::move(cte));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    RETURN_NOT_OK(ExpectKeyword("select"));
+    if (MatchKeyword("distinct")) q->distinct = true;
+    if (MatchKeyword("top")) {
+      if (MatchKind(TokenKind::kLParen)) {
+        ASSIGN_OR_RETURN(q->top_n, ParseExpr());
+        RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+      } else if (Peek().kind == TokenKind::kIntLiteral) {
+        q->top_n = MakeLiteral(Value::Int(Advance().int_value));
+      } else if (Peek().kind == TokenKind::kVariable) {
+        q->top_n = MakeVarRef(Advance().text);
+      } else {
+        return Error("expected TOP count");
+      }
+    }
+    // Select list.
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      q->select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("as")) {
+          ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+          item.alias = Advance().text;
+        }
+        q->items.push_back(std::move(item));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    // FROM.
+    if (MatchKeyword("from")) {
+      do {
+        ASSIGN_OR_RETURN(auto tref, ParseTableRef());
+        q->from.push_back(std::move(tref));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    if (MatchKeyword("where")) {
+      ASSIGN_OR_RETURN(q->where, ParseExpr());
+    }
+    if (Peek().IsKeyword("group")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        q->group_by.push_back(std::move(g));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    if (MatchKeyword("having")) {
+      ASSIGN_OR_RETURN(q->having, ParseExpr());
+    }
+    if (Peek().IsKeyword("order")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("asc");
+        }
+        q->order_by.push_back(std::move(item));
+      } while (MatchKind(TokenKind::kComma));
+    }
+    if (Peek().IsKeyword("union")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("all"));
+      ASSIGN_OR_RETURN(q->union_all, ParseSelectStmt());
+    }
+    return q;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    ASSIGN_OR_RETURN(auto left, ParseTableRefPrimary());
+    for (;;) {
+      JoinType type;
+      if (Peek().IsKeyword("join") || Peek().IsKeyword("inner")) {
+        if (MatchKeyword("inner")) {
+          RETURN_NOT_OK(ExpectKeyword("join"));
+        } else {
+          Advance();
+        }
+        type = JoinType::kInner;
+      } else if (Peek().IsKeyword("left")) {
+        Advance();
+        MatchKeyword("outer");
+        RETURN_NOT_OK(ExpectKeyword("join"));
+        type = JoinType::kLeft;
+      } else if (Peek().IsKeyword("cross")) {
+        Advance();
+        RETURN_NOT_OK(ExpectKeyword("join"));
+        type = JoinType::kCross;
+      } else {
+        return left;
+      }
+      ASSIGN_OR_RETURN(auto right, ParseTableRefPrimary());
+      ExprPtr on;
+      if (type != JoinType::kCross) {
+        RETURN_NOT_OK(ExpectKeyword("on"));
+        ASSIGN_OR_RETURN(on, ParseExpr());
+      }
+      left = TableRef::Join(std::move(left), std::move(right), type,
+                            std::move(on));
+    }
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRefPrimary() {
+    if (MatchKind(TokenKind::kLParen)) {
+      ASSIGN_OR_RETURN(auto sub, ParseSelectStmt());
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+      std::string alias;
+      MatchKeyword("as");
+      if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+        alias = Advance().text;
+      }
+      return TableRef::Derived(std::move(sub), std::move(alias));
+    }
+    // Table variables (@t) are valid FROM sources.
+    if (Peek().kind == TokenKind::kVariable) {
+      std::string name = Advance().text;
+      std::string alias;
+      if (MatchKeyword("as")) {
+        ASSIGN_OR_RETURN(alias, ExpectIdent("alias"));
+      } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+        alias = Advance().text;
+      }
+      return TableRef::Base(std::move(name), std::move(alias));
+    }
+    ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+    std::string alias;
+    if (MatchKeyword("as")) {
+      ASSIGN_OR_RETURN(alias, ExpectIdent("alias"));
+    } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+      alias = Advance().text;
+    }
+    return TableRef::Base(std::move(name), std::move(alias));
+  }
+
+  // ---------- procedural statements ----------
+
+  Result<StmtPtr> ParseStatement() {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent) {
+      return Error("expected statement, got " + t.Describe());
+    }
+    if (t.IsKeyword("begin")) {
+      if (Peek(1).IsKeyword("try")) return ParseTryCatch();
+      return ParseBlock();
+    }
+    if (t.IsKeyword("declare")) return ParseDeclare();
+    if (t.IsKeyword("set")) return ParseSet();
+    if (t.IsKeyword("if")) return ParseIf();
+    if (t.IsKeyword("while")) return ParseWhile();
+    if (t.IsKeyword("for")) return ParseFor();
+    if (t.IsKeyword("open")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::string name, ExpectIdent("cursor name"));
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<OpenCursorStmt>(ToLower(name));
+    }
+    if (t.IsKeyword("fetch")) return ParseFetch();
+    if (t.IsKeyword("close")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::string name, ExpectIdent("cursor name"));
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<CloseCursorStmt>(ToLower(name));
+    }
+    if (t.IsKeyword("deallocate")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::string name, ExpectIdent("cursor name"));
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<DeallocateCursorStmt>(ToLower(name));
+    }
+    if (t.IsKeyword("return")) {
+      Advance();
+      ExprPtr value;
+      if (Peek().kind != TokenKind::kSemicolon && !AtEof() &&
+          !Peek().IsKeyword("end")) {
+        ASSIGN_OR_RETURN(value, ParseExpr());
+      }
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<ReturnStmt>(std::move(value));
+    }
+    if (t.IsKeyword("break")) {
+      Advance();
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<BreakStmt>();
+    }
+    if (t.IsKeyword("continue")) {
+      Advance();
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<ContinueStmt>();
+    }
+    if (t.IsKeyword("insert")) return ParseInsert();
+    if (t.IsKeyword("update")) return ParseUpdate();
+    if (t.IsKeyword("delete")) return ParseDelete();
+    if (t.IsKeyword("select") || t.IsKeyword("with")) {
+      ASSIGN_OR_RETURN(auto q, ParseSelectStmt());
+      MatchKind(TokenKind::kSemicolon);
+      return std::make_unique<ExecQueryStmt>(std::move(q));
+    }
+    return Error("unknown statement starting with " + t.Describe());
+  }
+
+  Result<StmtPtr> ParseBlock() {
+    RETURN_NOT_OK(ExpectKeyword("begin"));
+    auto block = std::make_unique<BlockStmt>();
+    while (!Peek().IsKeyword("end")) {
+      if (AtEof()) return Error("unterminated BEGIN block");
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      block->statements.push_back(std::move(s));
+    }
+    Advance();  // END
+    MatchKind(TokenKind::kSemicolon);
+    return block;
+  }
+
+  Result<StmtPtr> ParseTryCatch() {
+    RETURN_NOT_OK(ExpectKeyword("begin"));
+    RETURN_NOT_OK(ExpectKeyword("try"));
+    auto try_block = std::make_unique<BlockStmt>();
+    while (!(Peek().IsKeyword("end") && Peek(1).IsKeyword("try"))) {
+      if (AtEof()) return Error("unterminated BEGIN TRY");
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      try_block->statements.push_back(std::move(s));
+    }
+    Advance();
+    Advance();  // END TRY
+    RETURN_NOT_OK(ExpectKeyword("begin"));
+    RETURN_NOT_OK(ExpectKeyword("catch"));
+    auto catch_block = std::make_unique<BlockStmt>();
+    while (!(Peek().IsKeyword("end") && Peek(1).IsKeyword("catch"))) {
+      if (AtEof()) return Error("unterminated BEGIN CATCH");
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      catch_block->statements.push_back(std::move(s));
+    }
+    Advance();
+    Advance();  // END CATCH
+    MatchKind(TokenKind::kSemicolon);
+    return std::make_unique<TryCatchStmt>(std::move(try_block),
+                                          std::move(catch_block));
+  }
+
+  Result<StmtPtr> ParseDeclare() {
+    RETURN_NOT_OK(ExpectKeyword("declare"));
+    if (Peek().kind == TokenKind::kVariable) {
+      // DECLARE @t TABLE (...) | DECLARE @x type [= expr][, @y type ...]
+      if (Peek(1).IsKeyword("table")) {
+        std::string name = Advance().text;
+        Advance();  // TABLE
+        ASSIGN_OR_RETURN(Schema schema, ParseColumnDefList());
+        MatchKind(TokenKind::kSemicolon);
+        return std::make_unique<DeclareTempTableStmt>(name, std::move(schema));
+      }
+      auto block = std::make_unique<BlockStmt>();
+      do {
+        if (Peek().kind != TokenKind::kVariable) {
+          return Error("expected variable name in DECLARE");
+        }
+        std::string name = Advance().text;
+        ASSIGN_OR_RETURN(DataType type, ParseType());
+        ExprPtr init;
+        if (MatchKind(TokenKind::kEq)) {
+          ASSIGN_OR_RETURN(init, ParseExpr());
+        }
+        block->statements.push_back(
+            std::make_unique<DeclareVarStmt>(name, type, std::move(init)));
+      } while (MatchKind(TokenKind::kComma));
+      MatchKind(TokenKind::kSemicolon);
+      if (block->statements.size() == 1) {
+        return std::move(block->statements[0]);
+      }
+      return block;
+    }
+    // DECLARE name CURSOR FOR select
+    ASSIGN_OR_RETURN(std::string name, ExpectIdent("cursor name"));
+    RETURN_NOT_OK(ExpectKeyword("cursor"));
+    RETURN_NOT_OK(ExpectKeyword("for"));
+    ASSIGN_OR_RETURN(auto q, ParseSelectStmt());
+    MatchKind(TokenKind::kSemicolon);
+    return std::make_unique<DeclareCursorStmt>(ToLower(name), std::move(q));
+  }
+
+  Result<Schema> ParseColumnDefList() {
+    RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+    Schema schema;
+    do {
+      ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      ASSIGN_OR_RETURN(DataType type, ParseType());
+      // Ignore column constraints we don't model.
+      while (Peek().IsKeyword("primary") || Peek().IsKeyword("key") ||
+             Peek().IsKeyword("not") || Peek().IsKeyword("null") ||
+             Peek().IsKeyword("unique")) {
+        Advance();
+      }
+      schema.AddColumn(Column(ToLower(col), type));
+    } while (MatchKind(TokenKind::kComma));
+    RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+    return schema;
+  }
+
+  Result<StmtPtr> ParseSet() {
+    RETURN_NOT_OK(ExpectKeyword("set"));
+    if (Peek().kind != TokenKind::kVariable) {
+      return Error("expected variable after SET");
+    }
+    std::string name = Advance().text;
+    RETURN_NOT_OK(ExpectKind(TokenKind::kEq, "'='"));
+    ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    MatchKind(TokenKind::kSemicolon);
+    return std::make_unique<SetStmt>(name, std::move(value));
+  }
+
+  Result<StmtPtr> ParseIf() {
+    RETURN_NOT_OK(ExpectKeyword("if"));
+    ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    ASSIGN_OR_RETURN(StmtPtr then_branch, ParseStatement());
+    StmtPtr else_branch;
+    if (MatchKeyword("else")) {
+      ASSIGN_OR_RETURN(else_branch, ParseStatement());
+    }
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_branch),
+                                    std::move(else_branch));
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    RETURN_NOT_OK(ExpectKeyword("while"));
+    ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    ASSIGN_OR_RETURN(StmtPtr body, ParseStatement());
+    return std::make_unique<WhileStmt>(std::move(cond), std::move(body));
+  }
+
+  Result<StmtPtr> ParseFor() {
+    RETURN_NOT_OK(ExpectKeyword("for"));
+    if (Peek().kind != TokenKind::kVariable) {
+      return Error("expected loop variable after FOR");
+    }
+    std::string var = Advance().text;
+    RETURN_NOT_OK(ExpectKind(TokenKind::kEq, "'='"));
+    ASSIGN_OR_RETURN(ExprPtr init, ParseExpr());
+    RETURN_NOT_OK(ExpectKeyword("to"));
+    ASSIGN_OR_RETURN(ExprPtr bound, ParseExpr());
+    ExprPtr step;
+    if (MatchKeyword("step")) {
+      ASSIGN_OR_RETURN(step, ParseExpr());
+    }
+    ASSIGN_OR_RETURN(StmtPtr body, ParseStatement());
+    return std::make_unique<ForStmt>(var, std::move(init), std::move(bound),
+                                     std::move(step), std::move(body));
+  }
+
+  Result<StmtPtr> ParseFetch() {
+    RETURN_NOT_OK(ExpectKeyword("fetch"));
+    MatchKeyword("next");
+    RETURN_NOT_OK(ExpectKeyword("from"));
+    ASSIGN_OR_RETURN(std::string cursor, ExpectIdent("cursor name"));
+    RETURN_NOT_OK(ExpectKeyword("into"));
+    std::vector<std::string> vars;
+    do {
+      if (Peek().kind != TokenKind::kVariable) {
+        return Error("expected variable in FETCH INTO");
+      }
+      vars.push_back(Advance().text);
+    } while (MatchKind(TokenKind::kComma));
+    MatchKind(TokenKind::kSemicolon);
+    return std::make_unique<FetchStmt>(ToLower(cursor), std::move(vars));
+  }
+
+  Result<StmtPtr> ParseInsert() {
+    RETURN_NOT_OK(ExpectKeyword("insert"));
+    MatchKeyword("into");
+    auto stmt = std::make_unique<InsertStmt>();
+    if (Peek().kind == TokenKind::kVariable) {
+      stmt->table = Advance().text;  // table variable @t
+    } else {
+      ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    }
+    if (Peek().kind == TokenKind::kLParen &&
+        !(Peek(1).IsKeyword("select") || Peek(1).IsKeyword("with"))) {
+      Advance();
+      do {
+        ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        stmt->columns.push_back(ToLower(col));
+      } while (MatchKind(TokenKind::kComma));
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+    }
+    if (MatchKeyword("values")) {
+      do {
+        RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+        std::vector<ExprPtr> row;
+        do {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (MatchKind(TokenKind::kComma));
+        RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+        stmt->values_rows.push_back(std::move(row));
+      } while (MatchKind(TokenKind::kComma));
+    } else {
+      ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+    }
+    MatchKind(TokenKind::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseUpdate() {
+    RETURN_NOT_OK(ExpectKeyword("update"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    if (Peek().kind == TokenKind::kVariable) {
+      stmt->table = Advance().text;
+    } else {
+      ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    }
+    RETURN_NOT_OK(ExpectKeyword("set"));
+    do {
+      ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      RETURN_NOT_OK(ExpectKind(TokenKind::kEq, "'='"));
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(ToLower(col), std::move(e));
+    } while (MatchKind(TokenKind::kComma));
+    if (MatchKeyword("where")) {
+      ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    MatchKind(TokenKind::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseDelete() {
+    RETURN_NOT_OK(ExpectKeyword("delete"));
+    MatchKeyword("from");
+    auto stmt = std::make_unique<DeleteStmt>();
+    if (Peek().kind == TokenKind::kVariable) {
+      stmt->table = Advance().text;
+    } else {
+      ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    }
+    if (MatchKeyword("where")) {
+      ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    MatchKind(TokenKind::kSemicolon);
+    return stmt;
+  }
+
+  // ---------- CREATE FUNCTION / PROCEDURE ----------
+
+  Result<std::shared_ptr<FunctionDef>> ParseFunctionDef() {
+    RETURN_NOT_OK(ExpectKeyword("create"));
+    MatchKeyword("or");  // CREATE OR ALTER
+    MatchKeyword("alter");
+    auto def = std::make_shared<FunctionDef>();
+    if (MatchKeyword("procedure") || MatchKeyword("proc")) {
+      def->is_procedure = true;
+    } else {
+      RETURN_NOT_OK(ExpectKeyword("function"));
+    }
+    ASSIGN_OR_RETURN(def->name, ExpectIdent("function name"));
+    def->name = ToLower(def->name);
+    if (MatchKind(TokenKind::kLParen)) {
+      if (Peek().kind != TokenKind::kRParen) {
+        do {
+          if (Peek().kind != TokenKind::kVariable) {
+            return Error("expected parameter name");
+          }
+          FunctionDef::Param p;
+          p.name = Advance().text;
+          ASSIGN_OR_RETURN(p.type, ParseType());
+          if (MatchKind(TokenKind::kEq)) {
+            ASSIGN_OR_RETURN(p.default_value, ParseExpr());
+          }
+          def->params.push_back(std::move(p));
+        } while (MatchKind(TokenKind::kComma));
+      }
+      RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+    }
+    if (!def->is_procedure) {
+      RETURN_NOT_OK(ExpectKeyword("returns"));
+      ASSIGN_OR_RETURN(def->return_type, ParseType());
+    }
+    RETURN_NOT_OK(ExpectKeyword("as"));
+    ASSIGN_OR_RETURN(StmtPtr body, ParseBlock());
+    def->body.reset(static_cast<BlockStmt*>(body.release()));
+    return def;
+  }
+
+  // ---------- script ----------
+
+  Result<Script> ParseScriptBody() {
+    Script script;
+    while (!AtEof()) {
+      if (MatchKind(TokenKind::kSemicolon)) continue;
+      const Token& t = Peek();
+      if (t.IsKeyword("create")) {
+        const Token& what = Peek(1);
+        if (what.IsKeyword("table")) {
+          Advance();
+          Advance();
+          ScriptCommand cmd;
+          cmd.kind = ScriptCommand::Kind::kCreateTable;
+          ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+          cmd.table_name = ToLower(name);
+          ASSIGN_OR_RETURN(cmd.schema, ParseColumnDefList());
+          MatchKind(TokenKind::kSemicolon);
+          script.commands.push_back(std::move(cmd));
+          continue;
+        }
+        if (what.IsKeyword("index")) {
+          Advance();
+          Advance();
+          ScriptCommand cmd;
+          cmd.kind = ScriptCommand::Kind::kCreateIndex;
+          ASSIGN_OR_RETURN(cmd.index_name, ExpectIdent("index name"));
+          RETURN_NOT_OK(ExpectKeyword("on"));
+          ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+          cmd.on_table = ToLower(table);
+          RETURN_NOT_OK(ExpectKind(TokenKind::kLParen, "'('"));
+          ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+          cmd.on_column = ToLower(col);
+          RETURN_NOT_OK(ExpectKind(TokenKind::kRParen, "')'"));
+          MatchKind(TokenKind::kSemicolon);
+          script.commands.push_back(std::move(cmd));
+          continue;
+        }
+        // CREATE [OR ALTER] FUNCTION/PROCEDURE
+        ScriptCommand cmd;
+        cmd.kind = ScriptCommand::Kind::kCreateFunction;
+        ASSIGN_OR_RETURN(cmd.function, ParseFunctionDef());
+        script.commands.push_back(std::move(cmd));
+        continue;
+      }
+      if (t.IsKeyword("insert")) {
+        ScriptCommand cmd;
+        cmd.kind = ScriptCommand::Kind::kInsert;
+        ASSIGN_OR_RETURN(cmd.statement, ParseInsert());
+        script.commands.push_back(std::move(cmd));
+        continue;
+      }
+      if (t.IsKeyword("select") || t.IsKeyword("with")) {
+        ScriptCommand cmd;
+        cmd.kind = ScriptCommand::Kind::kSelect;
+        ASSIGN_OR_RETURN(cmd.select, ParseSelectStmt());
+        MatchKind(TokenKind::kSemicolon);
+        script.commands.push_back(std::move(cmd));
+        continue;
+      }
+      // Anything else is an anonymous procedural block.
+      ScriptCommand cmd;
+      cmd.kind = ScriptCommand::Kind::kBlock;
+      auto block = std::make_unique<BlockStmt>();
+      while (!AtEof() && !Peek().IsKeyword("create")) {
+        if (MatchKind(TokenKind::kSemicolon)) continue;
+        ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+        block->statements.push_back(std::move(s));
+      }
+      cmd.statement = std::move(block);
+      script.commands.push_back(std::move(cmd));
+    }
+    return script;
+  }
+
+  Status ExpectEof() {
+    if (!AtEof()) {
+      return Error("unexpected trailing input: " + Peek().Describe());
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  ParserImpl p(std::move(tokens));
+  ASSIGN_OR_RETURN(ExprPtr e, p.ParseExpr());
+  RETURN_NOT_OK(p.ExpectEof());
+  return e;
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& text) {
+  ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  ParserImpl p(std::move(tokens));
+  ASSIGN_OR_RETURN(auto q, p.ParseSelectStmt());
+  p.MatchKind(TokenKind::kSemicolon);
+  RETURN_NOT_OK(p.ExpectEof());
+  return q;
+}
+
+Result<StmtPtr> ParseStatements(const std::string& text) {
+  ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  ParserImpl p(std::move(tokens));
+  auto block = std::make_unique<BlockStmt>();
+  while (!p.AtEof()) {
+    if (p.MatchKind(TokenKind::kSemicolon)) continue;
+    ASSIGN_OR_RETURN(StmtPtr s, p.ParseStatement());
+    block->statements.push_back(std::move(s));
+  }
+  return StmtPtr(std::move(block));
+}
+
+Result<std::shared_ptr<FunctionDef>> ParseFunction(const std::string& text) {
+  ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  ParserImpl p(std::move(tokens));
+  ASSIGN_OR_RETURN(auto def, p.ParseFunctionDef());
+  p.MatchKind(TokenKind::kSemicolon);
+  RETURN_NOT_OK(p.ExpectEof());
+  return def;
+}
+
+Result<Script> ParseScript(const std::string& text) {
+  ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  ParserImpl p(std::move(tokens));
+  return p.ParseScriptBody();
+}
+
+}  // namespace aggify

@@ -1,0 +1,63 @@
+// Recursive-descent parser for the T-SQL-like dialect.
+//
+// Entry points parse: expressions, SELECT statements, procedural statement
+// blocks, CREATE FUNCTION/PROCEDURE definitions, and whole scripts (DDL +
+// DML + definitions), which is what tests, examples and workloads feed in.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parser/lexer.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+/// \brief One top-level command of a script.
+struct ScriptCommand {
+  enum class Kind : uint8_t {
+    kCreateTable,
+    kCreateIndex,
+    kCreateFunction,
+    kInsert,
+    kSelect,
+    kBlock,  ///< anonymous procedural block (client program body)
+  };
+  Kind kind;
+
+  // kCreateTable
+  std::string table_name;
+  Schema schema;
+  // kCreateIndex
+  std::string index_name;
+  std::string on_table;
+  std::string on_column;
+  // kCreateFunction
+  std::shared_ptr<FunctionDef> function;
+  // kInsert / kBlock
+  StmtPtr statement;
+  // kSelect
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct Script {
+  std::vector<ScriptCommand> commands;
+};
+
+/// Parses a full expression; input must be consumed entirely.
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Parses a single SELECT statement (optionally with WITH clause).
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& text);
+
+/// Parses a sequence of procedural statements into a BlockStmt.
+Result<StmtPtr> ParseStatements(const std::string& text);
+
+/// Parses one CREATE FUNCTION / CREATE PROCEDURE definition.
+Result<std::shared_ptr<FunctionDef>> ParseFunction(const std::string& text);
+
+/// Parses a script of top-level commands.
+Result<Script> ParseScript(const std::string& text);
+
+}  // namespace aggify

@@ -1,0 +1,155 @@
+#include "parser/query_ast.h"
+
+namespace aggify {
+
+TableRef::~TableRef() = default;
+
+std::unique_ptr<TableRef> TableRef::Base(std::string name, std::string alias) {
+  auto t = std::make_unique<TableRef>();
+  t->kind = Kind::kBaseTable;
+  t->table_name = std::move(name);
+  t->alias = std::move(alias);
+  return t;
+}
+
+std::unique_ptr<TableRef> TableRef::Derived(std::unique_ptr<SelectStmt> q,
+                                            std::string alias) {
+  auto t = std::make_unique<TableRef>();
+  t->kind = Kind::kSubquery;
+  t->subquery = std::move(q);
+  t->alias = std::move(alias);
+  return t;
+}
+
+std::unique_ptr<TableRef> TableRef::Join(std::unique_ptr<TableRef> l,
+                                         std::unique_ptr<TableRef> r,
+                                         JoinType type, ExprPtr on) {
+  auto t = std::make_unique<TableRef>();
+  t->kind = Kind::kJoin;
+  t->left = std::move(l);
+  t->right = std::move(r);
+  t->join_type = type;
+  t->join_condition = std::move(on);
+  return t;
+}
+
+std::unique_ptr<TableRef> TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->table_name = table_name;
+  t->alias = alias;
+  if (subquery != nullptr) t->subquery = subquery->Clone();
+  if (left != nullptr) t->left = left->Clone();
+  if (right != nullptr) t->right = right->Clone();
+  t->join_type = join_type;
+  if (join_condition != nullptr) t->join_condition = join_condition->Clone();
+  return t;
+}
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case Kind::kBaseTable:
+      return alias.empty() ? table_name : table_name + " " + alias;
+    case Kind::kSubquery:
+      return "(" + subquery->ToString() + ") " + alias;
+    case Kind::kJoin: {
+      std::string kw = join_type == JoinType::kLeft
+                           ? " LEFT JOIN "
+                           : (join_type == JoinType::kCross ? " CROSS JOIN "
+                                                            : " JOIN ");
+      std::string out = left->ToString() + kw + right->ToString();
+      if (join_condition != nullptr) out += " ON " + join_condition->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto q = std::make_unique<SelectStmt>();
+  for (const auto& cte : ctes) {
+    CteDef c;
+    c.name = cte.name;
+    c.column_names = cte.column_names;
+    c.query = cte.query->Clone();
+    c.recursive = cte.recursive;
+    q->ctes.push_back(std::move(c));
+  }
+  q->distinct = distinct;
+  if (top_n != nullptr) q->top_n = top_n->Clone();
+  for (const auto& item : items) {
+    q->items.push_back(SelectItem{item.expr->Clone(), item.alias});
+  }
+  q->select_star = select_star;
+  for (const auto& t : from) q->from.push_back(t->Clone());
+  if (where != nullptr) q->where = where->Clone();
+  for (const auto& g : group_by) q->group_by.push_back(g->Clone());
+  if (having != nullptr) q->having = having->Clone();
+  for (const auto& o : order_by) {
+    q->order_by.push_back(OrderItem{o.expr->Clone(), o.descending});
+  }
+  if (union_all != nullptr) q->union_all = union_all->Clone();
+  q->force_stream_aggregate = force_stream_aggregate;
+  return q;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out;
+  if (!ctes.empty()) {
+    out += "WITH ";
+    for (size_t i = 0; i < ctes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ctes[i].name;
+      if (!ctes[i].column_names.empty()) {
+        out += " (";
+        for (size_t j = 0; j < ctes[i].column_names.size(); ++j) {
+          if (j > 0) out += ", ";
+          out += ctes[i].column_names[j];
+        }
+        out += ")";
+      }
+      out += " AS (" + ctes[i].query->ToString() + ")";
+    }
+    out += " ";
+  }
+  out += "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (top_n != nullptr) out += "TOP " + top_n->ToString() + " ";
+  if (select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i]->ToString();
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (union_all != nullptr) out += " UNION ALL " + union_all->ToString();
+  return out;
+}
+
+}  // namespace aggify

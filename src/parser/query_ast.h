@@ -1,0 +1,98 @@
+// Query AST: SELECT statements, table references, CTEs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parser/expr.h"
+
+namespace aggify {
+
+struct SelectStmt;
+
+enum class JoinType : uint8_t { kInner, kLeft, kCross };
+
+/// \brief One entry of a FROM clause.
+struct TableRef {
+  enum class Kind : uint8_t { kBaseTable, kSubquery, kJoin } kind;
+
+  // kBaseTable
+  std::string table_name;
+  std::string alias;  // also used by kSubquery
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kJoin
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  JoinType join_type = JoinType::kInner;
+  ExprPtr join_condition;  // null for CROSS
+
+  TableRef() : kind(Kind::kBaseTable) {}
+  ~TableRef();
+
+  static std::unique_ptr<TableRef> Base(std::string name,
+                                        std::string alias = "");
+  static std::unique_ptr<TableRef> Derived(std::unique_ptr<SelectStmt> q,
+                                           std::string alias);
+  static std::unique_ptr<TableRef> Join(std::unique_ptr<TableRef> l,
+                                        std::unique_ptr<TableRef> r,
+                                        JoinType type, ExprPtr on);
+
+  std::unique_ptr<TableRef> Clone() const;
+  std::string ToString() const;
+
+  /// Name this relation is visible under (alias if set, else table name).
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // "" if none
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// \brief A WITH-clause CTE. `recursive` marks the
+/// `base UNION ALL recursive-part` form used by §8.1 FOR-loop iteration
+/// spaces.
+struct CteDef {
+  std::string name;
+  std::vector<std::string> column_names;  // optional explicit column list
+  std::unique_ptr<SelectStmt> query;
+  bool recursive = false;
+};
+
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  ExprPtr top_n;  ///< TOP n (evaluated against variables), null if absent
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  std::vector<std::unique_ptr<TableRef>> from;  ///< comma-joined
+  ExprPtr where;                                ///< null if absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  /// UNION ALL chain (right operand); used by recursive CTE bodies.
+  std::unique_ptr<SelectStmt> union_all;
+  /// Eq. 6 enforcement: set by the Aggify rewrite when the cursor query had
+  /// ORDER BY. Forces the StreamAggregate physical operator so Accumulate
+  /// is invoked in sort order. Not part of the surface syntax.
+  bool force_stream_aggregate = false;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+  std::string ToString() const;
+
+  bool HasOrderBy() const { return !order_by.empty(); }
+  bool HasGroupBy() const { return !group_by.empty(); }
+};
+
+}  // namespace aggify

@@ -1,0 +1,323 @@
+#include "parser/statement.h"
+
+namespace aggify {
+
+namespace {
+std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+}  // namespace
+
+// ---- BlockStmt ----
+
+StmtPtr BlockStmt::Clone() const {
+  auto b = std::make_unique<BlockStmt>();
+  for (const auto& s : statements) b->statements.push_back(s->Clone());
+  return b;
+}
+
+std::string BlockStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "BEGIN\n";
+  for (const auto& s : statements) out += s->ToString(indent + 1);
+  out += Ind(indent) + "END\n";
+  return out;
+}
+
+// ---- DeclareVarStmt ----
+
+StmtPtr DeclareVarStmt::Clone() const {
+  return std::make_unique<DeclareVarStmt>(
+      name, type, initializer ? initializer->Clone() : nullptr);
+}
+
+std::string DeclareVarStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "DECLARE " + name + " " + type.ToString();
+  if (initializer != nullptr) out += " = " + initializer->ToString();
+  return out + ";\n";
+}
+
+// ---- SetStmt ----
+
+StmtPtr SetStmt::Clone() const {
+  return std::make_unique<SetStmt>(name, value->Clone());
+}
+
+std::string SetStmt::ToString(int indent) const {
+  return Ind(indent) + "SET " + name + " = " + value->ToString() + ";\n";
+}
+
+// ---- IfStmt ----
+
+StmtPtr IfStmt::Clone() const {
+  return std::make_unique<IfStmt>(condition->Clone(), then_branch->Clone(),
+                                  else_branch ? else_branch->Clone() : nullptr);
+}
+
+std::string IfStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "IF " + condition->ToString() + "\n";
+  out += then_branch->ToString(indent + 1);
+  if (else_branch != nullptr) {
+    out += Ind(indent) + "ELSE\n" + else_branch->ToString(indent + 1);
+  }
+  return out;
+}
+
+// ---- WhileStmt ----
+
+StmtPtr WhileStmt::Clone() const {
+  return std::make_unique<WhileStmt>(condition->Clone(), body->Clone());
+}
+
+std::string WhileStmt::ToString(int indent) const {
+  return Ind(indent) + "WHILE " + condition->ToString() + "\n" +
+         body->ToString(indent + 1);
+}
+
+// ---- ForStmt ----
+
+StmtPtr ForStmt::Clone() const {
+  return std::make_unique<ForStmt>(var, init->Clone(), bound->Clone(),
+                                   step ? step->Clone() : nullptr,
+                                   body->Clone());
+}
+
+std::string ForStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "FOR " + var + " = " + init->ToString() +
+                    " TO " + bound->ToString();
+  if (step != nullptr) out += " STEP " + step->ToString();
+  return out + "\n" + body->ToString(indent + 1);
+}
+
+// ---- Cursor statements ----
+
+StmtPtr DeclareCursorStmt::Clone() const {
+  return std::make_unique<DeclareCursorStmt>(name, query->Clone());
+}
+
+std::string DeclareCursorStmt::ToString(int indent) const {
+  return Ind(indent) + "DECLARE " + name + " CURSOR FOR " + query->ToString() +
+         ";\n";
+}
+
+StmtPtr OpenCursorStmt::Clone() const {
+  return std::make_unique<OpenCursorStmt>(name);
+}
+
+std::string OpenCursorStmt::ToString(int indent) const {
+  return Ind(indent) + "OPEN " + name + ";\n";
+}
+
+StmtPtr FetchStmt::Clone() const {
+  return std::make_unique<FetchStmt>(cursor, into);
+}
+
+std::string FetchStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "FETCH NEXT FROM " + cursor + " INTO ";
+  for (size_t i = 0; i < into.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += into[i];
+  }
+  return out + ";\n";
+}
+
+StmtPtr CloseCursorStmt::Clone() const {
+  return std::make_unique<CloseCursorStmt>(name);
+}
+
+std::string CloseCursorStmt::ToString(int indent) const {
+  return Ind(indent) + "CLOSE " + name + ";\n";
+}
+
+StmtPtr DeallocateCursorStmt::Clone() const {
+  return std::make_unique<DeallocateCursorStmt>(name);
+}
+
+std::string DeallocateCursorStmt::ToString(int indent) const {
+  return Ind(indent) + "DEALLOCATE " + name + ";\n";
+}
+
+// ---- ReturnStmt / BreakStmt / ContinueStmt ----
+
+StmtPtr ReturnStmt::Clone() const {
+  return std::make_unique<ReturnStmt>(value ? value->Clone() : nullptr);
+}
+
+std::string ReturnStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "RETURN";
+  if (value != nullptr) out += " " + value->ToString();
+  return out + ";\n";
+}
+
+StmtPtr BreakStmt::Clone() const { return std::make_unique<BreakStmt>(); }
+std::string BreakStmt::ToString(int indent) const {
+  return Ind(indent) + "BREAK;\n";
+}
+
+StmtPtr ContinueStmt::Clone() const { return std::make_unique<ContinueStmt>(); }
+std::string ContinueStmt::ToString(int indent) const {
+  return Ind(indent) + "CONTINUE;\n";
+}
+
+// ---- DeclareTempTableStmt ----
+
+StmtPtr DeclareTempTableStmt::Clone() const {
+  return std::make_unique<DeclareTempTableStmt>(name, schema);
+}
+
+std::string DeclareTempTableStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "DECLARE " + name + " TABLE (";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(i).name + " " + schema.column(i).type.ToString();
+  }
+  return out + ");\n";
+}
+
+// ---- DML statements ----
+
+StmtPtr InsertStmt::Clone() const {
+  auto s = std::make_unique<InsertStmt>();
+  s->table = table;
+  s->columns = columns;
+  for (const auto& row : values_rows) {
+    std::vector<ExprPtr> cloned;
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    s->values_rows.push_back(std::move(cloned));
+  }
+  if (select != nullptr) s->select = select->Clone();
+  return s;
+}
+
+std::string InsertStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "INSERT INTO " + table;
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns[i];
+    }
+    out += ")";
+  }
+  if (select != nullptr) {
+    out += " " + select->ToString();
+  } else {
+    out += " VALUES ";
+    for (size_t i = 0; i < values_rows.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "(";
+      for (size_t j = 0; j < values_rows[i].size(); ++j) {
+        if (j > 0) out += ", ";
+        out += values_rows[i][j]->ToString();
+      }
+      out += ")";
+    }
+  }
+  return out + ";\n";
+}
+
+StmtPtr UpdateStmt::Clone() const {
+  auto s = std::make_unique<UpdateStmt>();
+  s->table = table;
+  for (const auto& [col, e] : assignments) {
+    s->assignments.emplace_back(col, e->Clone());
+  }
+  if (where != nullptr) s->where = where->Clone();
+  return s;
+}
+
+std::string UpdateStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "UPDATE " + table + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].first + " = " + assignments[i].second->ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  return out + ";\n";
+}
+
+StmtPtr DeleteStmt::Clone() const {
+  auto s = std::make_unique<DeleteStmt>();
+  s->table = table;
+  if (where != nullptr) s->where = where->Clone();
+  return s;
+}
+
+std::string DeleteStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "DELETE FROM " + table;
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  return out + ";\n";
+}
+
+// ---- TryCatchStmt ----
+
+StmtPtr TryCatchStmt::Clone() const {
+  return std::make_unique<TryCatchStmt>(try_block->Clone(),
+                                        catch_block->Clone());
+}
+
+std::string TryCatchStmt::ToString(int indent) const {
+  return Ind(indent) + "BEGIN TRY\n" + try_block->ToString(indent + 1) +
+         Ind(indent) + "END TRY\n" + Ind(indent) + "BEGIN CATCH\n" +
+         catch_block->ToString(indent + 1) + Ind(indent) + "END CATCH\n";
+}
+
+// ---- ExecQueryStmt ----
+
+StmtPtr ExecQueryStmt::Clone() const {
+  return std::make_unique<ExecQueryStmt>(query->Clone());
+}
+
+std::string ExecQueryStmt::ToString(int indent) const {
+  return Ind(indent) + query->ToString() + ";\n";
+}
+
+// ---- MultiAssignStmt ----
+
+StmtPtr MultiAssignStmt::Clone() const {
+  return std::make_unique<MultiAssignStmt>(targets, query->Clone());
+}
+
+std::string MultiAssignStmt::ToString(int indent) const {
+  std::string out = Ind(indent) + "SET ";
+  if (targets.size() == 1) {
+    out += targets[0];
+  } else {
+    out += "(";
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += targets[i];
+    }
+    out += ")";
+  }
+  return out + " = (" + query->ToString() + ");\n";
+}
+
+// ---- FunctionDef ----
+
+std::shared_ptr<FunctionDef> FunctionDef::Clone() const {
+  auto f = std::make_shared<FunctionDef>();
+  f->name = name;
+  f->params = params;  // Param copy ctor deep-clones defaults
+  f->return_type = return_type;
+  f->is_procedure = is_procedure;
+  StmtPtr b = body->Clone();
+  f->body.reset(static_cast<BlockStmt*>(b.release()));
+  return f;
+}
+
+std::string FunctionDef::ToString() const {
+  std::string out =
+      std::string("CREATE ") + (is_procedure ? "PROCEDURE " : "FUNCTION ") +
+      name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += params[i].name + " " + params[i].type.ToString();
+    if (params[i].default_value != nullptr) {
+      out += " = " + params[i].default_value->ToString();
+    }
+  }
+  out += ")";
+  if (!is_procedure) out += " RETURNS " + return_type.ToString();
+  out += " AS\n" + body->ToString(0);
+  return out;
+}
+
+}  // namespace aggify

@@ -1,0 +1,300 @@
+// Procedural statement AST: the language model of §4.2.
+//
+//   Stmt := skip | Stmt;Stmt | var := exp | if | while | try/catch | ...
+//
+// plus the cursor statements (DECLARE CURSOR / OPEN / FETCH / CLOSE /
+// DEALLOCATE), temp-table DML, FOR loops (§8.1), BREAK/CONTINUE, and RETURN.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parser/query_ast.h"
+#include "types/schema.h"
+
+namespace aggify {
+
+enum class StmtKind : uint8_t {
+  kBlock,
+  kDeclareVar,
+  kSet,
+  kIf,
+  kWhile,
+  kFor,
+  kDeclareCursor,
+  kOpenCursor,
+  kFetch,
+  kCloseCursor,
+  kDeallocateCursor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kDeclareTempTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kTryCatch,
+  kExecQuery,   ///< standalone SELECT executed for effect (result discarded
+                ///< in UDFs; streamed to the client in app programs)
+  kMultiAssign, ///< Aggify rewrite output: run a query returning one row and
+                ///< assign its (possibly Record-typed) value to variables
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  StmtKind kind;
+
+  virtual StmtPtr Clone() const = 0;
+  virtual std::string ToString(int indent = 0) const = 0;
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt() : Stmt(StmtKind::kBlock) {}
+  explicit BlockStmt(std::vector<StmtPtr> s)
+      : Stmt(StmtKind::kBlock), statements(std::move(s)) {}
+  std::vector<StmtPtr> statements;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// DECLARE @x INT [= expr];
+struct DeclareVarStmt : Stmt {
+  DeclareVarStmt(std::string n, DataType t, ExprPtr init)
+      : Stmt(StmtKind::kDeclareVar),
+        name(std::move(n)),
+        type(t),
+        initializer(std::move(init)) {}
+  std::string name;  ///< lowercase with '@'
+  DataType type;
+  ExprPtr initializer;  // may be null (=> NULL)
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// SET @x = expr;  (expr may contain scalar subqueries)
+struct SetStmt : Stmt {
+  SetStmt(std::string n, ExprPtr v)
+      : Stmt(StmtKind::kSet), name(std::move(n)), value(std::move(v)) {}
+  std::string name;
+  ExprPtr value;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+      : Stmt(StmtKind::kIf),
+        condition(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr c, StmtPtr b)
+      : Stmt(StmtKind::kWhile), condition(std::move(c)), body(std::move(b)) {}
+  ExprPtr condition;
+  StmtPtr body;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// FOR @i = init TO bound [STEP k] BEGIN ... END  (§8.1)
+struct ForStmt : Stmt {
+  ForStmt(std::string v, ExprPtr i, ExprPtr b, ExprPtr s, StmtPtr body_in)
+      : Stmt(StmtKind::kFor),
+        var(std::move(v)),
+        init(std::move(i)),
+        bound(std::move(b)),
+        step(std::move(s)),
+        body(std::move(body_in)) {}
+  std::string var;
+  ExprPtr init;
+  ExprPtr bound;
+  ExprPtr step;  // may be null (=> 1)
+  StmtPtr body;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// DECLARE c CURSOR FOR select;
+struct DeclareCursorStmt : Stmt {
+  DeclareCursorStmt(std::string n, std::unique_ptr<SelectStmt> q)
+      : Stmt(StmtKind::kDeclareCursor), name(std::move(n)), query(std::move(q)) {}
+  std::string name;
+  std::unique_ptr<SelectStmt> query;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct OpenCursorStmt : Stmt {
+  explicit OpenCursorStmt(std::string n)
+      : Stmt(StmtKind::kOpenCursor), name(std::move(n)) {}
+  std::string name;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// FETCH NEXT FROM c INTO @a, @b;
+struct FetchStmt : Stmt {
+  FetchStmt(std::string c, std::vector<std::string> vars)
+      : Stmt(StmtKind::kFetch), cursor(std::move(c)), into(std::move(vars)) {}
+  std::string cursor;
+  std::vector<std::string> into;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct CloseCursorStmt : Stmt {
+  explicit CloseCursorStmt(std::string n)
+      : Stmt(StmtKind::kCloseCursor), name(std::move(n)) {}
+  std::string name;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct DeallocateCursorStmt : Stmt {
+  explicit DeallocateCursorStmt(std::string n)
+      : Stmt(StmtKind::kDeallocateCursor), name(std::move(n)) {}
+  std::string name;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct ReturnStmt : Stmt {
+  explicit ReturnStmt(ExprPtr v)
+      : Stmt(StmtKind::kReturn), value(std::move(v)) {}
+  ExprPtr value;  // may be null (procedures)
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::kBreak) {}
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::kContinue) {}
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// DECLARE @t TABLE (col type, ...);  — a table variable (worktable).
+struct DeclareTempTableStmt : Stmt {
+  DeclareTempTableStmt(std::string n, Schema s)
+      : Stmt(StmtKind::kDeclareTempTable), name(std::move(n)), schema(std::move(s)) {}
+  std::string name;  ///< '@t' or '#t'
+  Schema schema;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// INSERT INTO t [(cols)] VALUES (...),(...) | SELECT ...
+struct InsertStmt : Stmt {
+  InsertStmt() : Stmt(StmtKind::kInsert) {}
+  std::string table;
+  std::vector<std::string> columns;               // optional
+  std::vector<std::vector<ExprPtr>> values_rows;  // VALUES form
+  std::unique_ptr<SelectStmt> select;             // SELECT form
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct UpdateStmt : Stmt {
+  UpdateStmt() : Stmt(StmtKind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct DeleteStmt : Stmt {
+  DeleteStmt() : Stmt(StmtKind::kDelete) {}
+  std::string table;
+  ExprPtr where;  // may be null
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+struct TryCatchStmt : Stmt {
+  TryCatchStmt(StmtPtr t, StmtPtr c)
+      : Stmt(StmtKind::kTryCatch), try_block(std::move(t)), catch_block(std::move(c)) {}
+  StmtPtr try_block;
+  StmtPtr catch_block;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// A standalone SELECT statement executed as a statement.
+struct ExecQueryStmt : Stmt {
+  explicit ExecQueryStmt(std::unique_ptr<SelectStmt> q)
+      : Stmt(StmtKind::kExecQuery), query(std::move(q)) {}
+  std::unique_ptr<SelectStmt> query;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// \brief The statement the Aggify rewrite emits in place of a cursor loop
+/// (Eq. 5 / Eq. 6): execute `query` — `SELECT Agg_Δ(P_accum) FROM (Q) Q` —
+/// and distribute the resulting V_term tuple into `targets`.
+///
+/// If the aggregate saw zero rows (loop body never ran), its Terminate
+/// returns NULL instead of a Record and the targets keep their prior values,
+/// matching the original loop's semantics exactly.
+struct MultiAssignStmt : Stmt {
+  MultiAssignStmt(std::vector<std::string> t, std::unique_ptr<SelectStmt> q)
+      : Stmt(StmtKind::kMultiAssign), targets(std::move(t)), query(std::move(q)) {}
+  std::vector<std::string> targets;
+  std::unique_ptr<SelectStmt> query;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// \brief A UDF / stored procedure definition.
+struct FunctionDef {
+  struct Param {
+    std::string name;  ///< lowercase with '@'
+    DataType type;
+    ExprPtr default_value;  // may be null
+
+    Param() = default;
+    Param(std::string n, DataType t, ExprPtr d = nullptr)
+        : name(std::move(n)), type(t), default_value(std::move(d)) {}
+    Param(const Param& o)
+        : name(o.name),
+          type(o.type),
+          default_value(o.default_value ? o.default_value->Clone() : nullptr) {}
+    Param& operator=(const Param& o) {
+      name = o.name;
+      type = o.type;
+      default_value = o.default_value ? o.default_value->Clone() : nullptr;
+      return *this;
+    }
+    Param(Param&&) = default;
+    Param& operator=(Param&&) = default;
+  };
+
+  std::string name;
+  std::vector<Param> params;
+  DataType return_type;     ///< meaningful when !is_procedure
+  bool is_procedure = false;
+  std::unique_ptr<BlockStmt> body;
+
+  std::shared_ptr<FunctionDef> Clone() const;
+  std::string ToString() const;
+};
+
+}  // namespace aggify

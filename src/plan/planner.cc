@@ -1,0 +1,783 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "exec/eval.h"
+#include "storage/table.h"
+
+namespace aggify {
+
+void SplitConjuncts(const Expr& pred, std::vector<ExprPtr>* out) {
+  if (pred.kind == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(pred);
+    if (bin.op == BinaryOp::kAnd) {
+      SplitConjuncts(*bin.left, out);
+      SplitConjuncts(*bin.right, out);
+      return;
+    }
+  }
+  out->push_back(pred.Clone());
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> parts) {
+  if (parts.empty()) return nullptr;
+  ExprPtr acc = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    acc = MakeBinary(BinaryOp::kAnd, std::move(acc), std::move(parts[i]));
+  }
+  return acc;
+}
+
+bool ReferencesSchema(const Expr& e, const Schema& schema) {
+  bool found = false;
+  e.Walk([&](const Expr& node) {
+    if (node.kind == ExprKind::kColumnRef) {
+      if (schema.IndexOf(static_cast<const ColumnRefExpr&>(node).name).ok()) {
+        found = true;
+      }
+    }
+  });
+  return found;
+}
+
+bool ContainsAnyColumnRef(const Expr& e) {
+  bool found = false;
+  e.Walk([&](const Expr& node) {
+    if (node.kind == ExprKind::kColumnRef) found = true;
+  });
+  return found;
+}
+
+void PromoteAggregateCalls(ExprPtr* e, const Catalog& catalog) {
+  if (*e == nullptr) return;
+  if ((*e)->kind == ExprKind::kFunctionCall) {
+    auto* call = static_cast<FunctionCallExpr*>(e->get());
+    for (auto& a : call->args) PromoteAggregateCalls(&a, catalog);
+    if (catalog.HasAggregate(call->name)) {
+      auto agg = std::make_unique<AggregateCallExpr>(call->name,
+                                                     std::move(call->args));
+      *e = std::move(agg);
+    }
+    return;
+  }
+  // Generic recursion over owning children.
+  switch ((*e)->kind) {
+    case ExprKind::kUnary:
+      PromoteAggregateCalls(&static_cast<UnaryExpr*>(e->get())->operand,
+                            catalog);
+      break;
+    case ExprKind::kBinary: {
+      auto* bin = static_cast<BinaryExpr*>(e->get());
+      PromoteAggregateCalls(&bin->left, catalog);
+      PromoteAggregateCalls(&bin->right, catalog);
+      break;
+    }
+    case ExprKind::kAggregateCall: {
+      auto* agg = static_cast<AggregateCallExpr*>(e->get());
+      for (auto& a : agg->args) PromoteAggregateCalls(&a, catalog);
+      break;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e->get());
+      PromoteAggregateCalls(&in->operand, catalog);
+      for (auto& item : in->list) PromoteAggregateCalls(&item, catalog);
+      break;
+    }
+    case ExprKind::kIsNull:
+      PromoteAggregateCalls(&static_cast<IsNullExpr*>(e->get())->operand,
+                            catalog);
+      break;
+    case ExprKind::kCaseWhen: {
+      auto* cw = static_cast<CaseWhenExpr*>(e->get());
+      for (auto& arm : cw->arms) {
+        PromoteAggregateCalls(&arm.condition, catalog);
+        PromoteAggregateCalls(&arm.result, catalog);
+      }
+      if (cw->else_result != nullptr) {
+        PromoteAggregateCalls(&cw->else_result, catalog);
+      }
+      break;
+    }
+    case ExprKind::kCast:
+      PromoteAggregateCalls(&static_cast<CastExpr*>(e->get())->operand,
+                            catalog);
+      break;
+    default:
+      break;
+  }
+}
+
+namespace {
+
+/// Collects pointers to every AggregateCallExpr in an owning expression,
+/// replacing each with a ColumnRef to its generated output column.
+void ExtractAggregates(ExprPtr* e,
+                       std::vector<std::unique_ptr<AggregateCallExpr>>* out) {
+  if (*e == nullptr) return;
+  if ((*e)->kind == ExprKind::kAggregateCall) {
+    std::string col_name = "__agg_" + std::to_string(out->size());
+    out->emplace_back(static_cast<AggregateCallExpr*>(e->release()));
+    *e = MakeColumnRef(col_name);
+    return;
+  }
+  switch ((*e)->kind) {
+    case ExprKind::kUnary:
+      ExtractAggregates(&static_cast<UnaryExpr*>(e->get())->operand, out);
+      break;
+    case ExprKind::kBinary: {
+      auto* bin = static_cast<BinaryExpr*>(e->get());
+      ExtractAggregates(&bin->left, out);
+      ExtractAggregates(&bin->right, out);
+      break;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e->get());
+      ExtractAggregates(&in->operand, out);
+      for (auto& item : in->list) ExtractAggregates(&item, out);
+      break;
+    }
+    case ExprKind::kIsNull:
+      ExtractAggregates(&static_cast<IsNullExpr*>(e->get())->operand, out);
+      break;
+    case ExprKind::kCaseWhen: {
+      auto* cw = static_cast<CaseWhenExpr*>(e->get());
+      for (auto& arm : cw->arms) {
+        ExtractAggregates(&arm.condition, out);
+        ExtractAggregates(&arm.result, out);
+      }
+      if (cw->else_result != nullptr) ExtractAggregates(&cw->else_result, out);
+      break;
+    }
+    case ExprKind::kCast:
+      ExtractAggregates(&static_cast<CastExpr*>(e->get())->operand, out);
+      break;
+    case ExprKind::kFunctionCall: {
+      auto* call = static_cast<FunctionCallExpr*>(e->get());
+      for (auto& a : call->args) ExtractAggregates(&a, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Replaces subexpressions that textually match a GROUP BY expression with a
+/// reference to the group output column.
+void ReplaceGroupExprs(ExprPtr* e,
+                       const std::vector<std::pair<std::string, std::string>>&
+                           group_repr_to_col) {
+  if (*e == nullptr) return;
+  std::string repr = (*e)->ToString();
+  for (const auto& [grp_repr, col] : group_repr_to_col) {
+    if (repr == grp_repr) {
+      *e = MakeColumnRef(col);
+      return;
+    }
+  }
+  switch ((*e)->kind) {
+    case ExprKind::kUnary:
+      ReplaceGroupExprs(&static_cast<UnaryExpr*>(e->get())->operand,
+                        group_repr_to_col);
+      break;
+    case ExprKind::kBinary: {
+      auto* bin = static_cast<BinaryExpr*>(e->get());
+      ReplaceGroupExprs(&bin->left, group_repr_to_col);
+      ReplaceGroupExprs(&bin->right, group_repr_to_col);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      auto* call = static_cast<FunctionCallExpr*>(e->get());
+      for (auto& a : call->args) ReplaceGroupExprs(&a, group_repr_to_col);
+      break;
+    }
+    case ExprKind::kCaseWhen: {
+      auto* cw = static_cast<CaseWhenExpr*>(e->get());
+      for (auto& arm : cw->arms) {
+        ReplaceGroupExprs(&arm.condition, group_repr_to_col);
+        ReplaceGroupExprs(&arm.result, group_repr_to_col);
+      }
+      if (cw->else_result != nullptr) {
+        ReplaceGroupExprs(&cw->else_result, group_repr_to_col);
+      }
+      break;
+    }
+    case ExprKind::kCast:
+      ReplaceGroupExprs(&static_cast<CastExpr*>(e->get())->operand,
+                        group_repr_to_col);
+      break;
+    case ExprKind::kIsNull:
+      ReplaceGroupExprs(&static_cast<IsNullExpr*>(e->get())->operand,
+                        group_repr_to_col);
+      break;
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e->get());
+      ReplaceGroupExprs(&in->operand, group_repr_to_col);
+      for (auto& item : in->list) ReplaceGroupExprs(&item, group_repr_to_col);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Output column name for a select item.
+std::string OutputName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return ToLower(item.alias);
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    const std::string& n = static_cast<const ColumnRefExpr&>(*item.expr).name;
+    auto dot = n.find('.');
+    return ToLower(dot == std::string::npos ? n : n.substr(dot + 1));
+  }
+  return "__col_" + std::to_string(index);
+}
+
+bool IsEquality(const Expr& e, const Expr** left, const Expr** right) {
+  if (e.kind != ExprKind::kBinary) return false;
+  const auto& bin = static_cast<const BinaryExpr&>(e);
+  if (bin.op != BinaryOp::kEq) return false;
+  *left = bin.left.get();
+  *right = bin.right.get();
+  return true;
+}
+
+}  // namespace
+
+Result<OperatorPtr> Planner::Plan(const SelectStmt& stmt) {
+  if (stmt.union_all != nullptr) {
+    std::vector<OperatorPtr> branches;
+    const SelectStmt* cur = &stmt;
+    while (cur != nullptr) {
+      // Plan each branch without its union chain.
+      auto branch = cur->Clone();
+      branch->union_all.reset();
+      ASSIGN_OR_RETURN(OperatorPtr op, PlanBody(*branch));
+      branches.push_back(std::move(op));
+      cur = cur->union_all.get();
+    }
+    return OperatorPtr(std::make_unique<UnionAllOp>(std::move(branches)));
+  }
+  return PlanBody(stmt);
+}
+
+Result<OperatorPtr> Planner::PlanBody(const SelectStmt& stmt_in) {
+  // Work on a clone: aggregate extraction and binding mutate the tree.
+  auto stmt_owned = stmt_in.Clone();
+  SelectStmt* stmt = stmt_owned.get();
+  PromoteAggregateCalls(&stmt->where, ctx_->catalog());
+  for (auto& item : stmt->items) PromoteAggregateCalls(&item.expr, ctx_->catalog());
+  PromoteAggregateCalls(&stmt->having, ctx_->catalog());
+
+  // ---- FROM ----
+  OperatorPtr input;
+  std::vector<ExprPtr> conjuncts;
+  if (stmt->where != nullptr) SplitConjuncts(*stmt->where, &conjuncts);
+
+  if (stmt->from.empty()) {
+    // SELECT without FROM: single empty row.
+    auto rows = std::make_shared<std::vector<Row>>();
+    rows->push_back(Row{});
+    input = std::make_unique<RowsScanOp>(Schema{}, rows, "dual");
+  } else {
+    std::vector<OperatorPtr> entries;
+    for (const auto& tref : stmt->from) {
+      ASSIGN_OR_RETURN(OperatorPtr op, PlanTableRef(*tref));
+      entries.push_back(std::move(op));
+    }
+    ASSIGN_OR_RETURN(input,
+                     JoinFromEntries(std::move(entries), std::move(conjuncts)));
+    conjuncts.clear();
+  }
+  // Residual WHERE (no-FROM case).
+  if (!conjuncts.empty()) {
+    ExprPtr pred = CombineConjuncts(std::move(conjuncts));
+    BindColumns(pred.get(), input->schema());
+    input = std::make_unique<FilterOp>(std::move(input), std::move(pred));
+  }
+
+  // ---- aggregation ----
+  bool has_aggs = stmt->HasGroupBy();
+  if (!has_aggs) {
+    for (const auto& item : stmt->items) {
+      if (ContainsAggregateCall(*item.expr)) has_aggs = true;
+    }
+    if (stmt->having != nullptr && ContainsAggregateCall(*stmt->having)) {
+      has_aggs = true;
+    }
+  }
+  if (has_aggs) {
+    ASSIGN_OR_RETURN(input, PlanAggregation(std::move(input), stmt));
+  }
+
+  // ---- HAVING (post-aggregation filter) ----
+  if (stmt->having != nullptr) {
+    BindColumns(stmt->having.get(), input->schema());
+    input = std::make_unique<FilterOp>(std::move(input),
+                                       std::move(stmt->having));
+  }
+
+  // ---- projection ----
+  Schema out_schema;
+  bool projected = false;
+  if (!stmt->select_star) {
+    std::vector<ExprPtr> exprs;
+    for (size_t i = 0; i < stmt->items.size(); ++i) {
+      out_schema.AddColumn(Column(OutputName(stmt->items[i], i),
+                                  DataType(TypeId::kNull)));
+      BindColumns(stmt->items[i].expr.get(), input->schema());
+      exprs.push_back(std::move(stmt->items[i].expr));
+    }
+    // Decide ORDER BY placement before consuming the input: if every order
+    // expression resolves against the projected schema, sort above; else
+    // sort below the projection.
+    bool order_above = true;
+    for (const auto& o : stmt->order_by) {
+      std::vector<std::string> cols;
+      CollectColumnRefs(*o.expr, &cols);
+      for (const auto& c : cols) {
+        if (!out_schema.Contains(c)) order_above = false;
+      }
+    }
+    if (!stmt->order_by.empty() && !order_above) {
+      std::vector<SortKey> keys;
+      for (auto& o : stmt->order_by) {
+        BindColumns(o.expr.get(), input->schema());
+        keys.push_back(SortKey{std::move(o.expr), o.descending});
+      }
+      stmt->order_by.clear();
+      input = std::make_unique<SortOp>(std::move(input), std::move(keys));
+    }
+    input = std::make_unique<ProjectOp>(std::move(input), std::move(exprs),
+                                        std::move(out_schema));
+    projected = true;
+  }
+  AGGIFY_UNUSED(projected);
+
+  // ---- DISTINCT ----
+  if (stmt->distinct) {
+    input = std::make_unique<DistinctOp>(std::move(input));
+  }
+
+  // ---- ORDER BY (above projection) ----
+  if (!stmt->order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (auto& o : stmt->order_by) {
+      BindColumns(o.expr.get(), input->schema());
+      keys.push_back(SortKey{std::move(o.expr), o.descending});
+    }
+    input = std::make_unique<SortOp>(std::move(input), std::move(keys));
+  }
+
+  // ---- TOP ----
+  if (stmt->top_n != nullptr) {
+    input = std::make_unique<TopNOp>(std::move(input), std::move(stmt->top_n));
+  }
+
+  return input;
+}
+
+Result<OperatorPtr> Planner::PlanTableRef(const TableRef& tref) {
+  switch (tref.kind) {
+    case TableRef::Kind::kBaseTable:
+      return PlanBaseTable(tref.table_name, tref.EffectiveName(), nullptr);
+    case TableRef::Kind::kSubquery: {
+      // Derived tables with their own WITH clause need CTE binding, which
+      // only the executor performs: evaluate and scan.
+      if (!tref.subquery->ctes.empty()) {
+        ASSIGN_OR_RETURN(QueryResult sub, ctx_->ExecuteSubquery(*tref.subquery));
+        auto rows = std::make_shared<std::vector<Row>>(std::move(sub.rows));
+        Schema schema = tref.alias.empty()
+                            ? sub.schema
+                            : sub.schema.WithQualifier(tref.alias);
+        return OperatorPtr(std::make_unique<RowsScanOp>(
+            std::move(schema), std::move(rows),
+            tref.alias.empty() ? "derived" : tref.alias));
+      }
+      // Otherwise derived tables are planned inline and stream through a
+      // schema rename: `SELECT Agg(...) FROM (Q) q` executes as one pipeline
+      // with no intermediate materialization (§6.2's key benefit).
+      ASSIGN_OR_RETURN(OperatorPtr sub, Plan(*tref.subquery));
+      Schema schema = tref.alias.empty()
+                          ? sub->schema()
+                          : sub->schema().WithQualifier(tref.alias);
+      return OperatorPtr(
+          std::make_unique<RenameOp>(std::move(sub), std::move(schema)));
+    }
+    case TableRef::Kind::kJoin:
+      return PlanJoinTree(tref);
+  }
+  return Status::Internal("unknown TableRef kind");
+}
+
+Result<OperatorPtr> Planner::PlanBaseTable(const std::string& table_name,
+                                           const std::string& alias,
+                                           std::vector<ExprPtr>* pushdown) {
+  // CTE binding takes precedence over catalog tables.
+  if (const CteBinding* cte = ctx_->FindCte(table_name)) {
+    auto rows = std::make_shared<std::vector<Row>>(*cte->rows);
+    Schema schema = cte->schema.WithQualifier(alias);
+    OperatorPtr op = std::make_unique<RowsScanOp>(std::move(schema),
+                                                  std::move(rows), table_name);
+    if (pushdown != nullptr && !pushdown->empty()) {
+      ExprPtr pred = CombineConjuncts(std::move(*pushdown));
+      pushdown->clear();
+      BindColumns(pred.get(), op->schema());
+      op = std::make_unique<FilterOp>(std::move(op), std::move(pred));
+    }
+    return op;
+  }
+
+  ASSIGN_OR_RETURN(Table * table, ctx_->catalog().GetTable(table_name));
+
+  // Index selection: find a `col = expr-without-columns` conjunct on an
+  // indexed column.
+  ExprPtr seek_key;
+  const HashIndex* seek_index = nullptr;
+  if (options_.enable_index_seek && pushdown != nullptr) {
+    Schema qualified = table->schema().WithQualifier(alias);
+    for (auto& conj : *pushdown) {
+      if (conj == nullptr) continue;
+      const Expr* l = nullptr;
+      const Expr* r = nullptr;
+      if (!IsEquality(*conj, &l, &r)) continue;
+      auto try_side = [&](const Expr* col_side, const Expr* key_side) -> bool {
+        if (col_side->kind != ExprKind::kColumnRef) return false;
+        if (ContainsAnyColumnRef(*key_side)) return false;
+        const auto& col = static_cast<const ColumnRefExpr&>(*col_side);
+        auto idx = qualified.IndexOf(col.name);
+        if (!idx.ok()) return false;
+        const std::string& base = qualified.column(*idx).name;
+        const HashIndex* hi = table->FindIndex(base);
+        if (hi == nullptr) return false;
+        seek_index = hi;
+        seek_key = key_side->Clone();
+        return true;
+      };
+      if (try_side(l, r) || try_side(r, l)) {
+        conj.reset();  // consumed
+        break;
+      }
+    }
+    pushdown->erase(std::remove(pushdown->begin(), pushdown->end(), nullptr),
+                    pushdown->end());
+  }
+
+  OperatorPtr op;
+  if (seek_index != nullptr) {
+    op = std::make_unique<IndexSeekOp>(table, alias, seek_index,
+                                       std::move(seek_key));
+  } else {
+    op = std::make_unique<SeqScanOp>(table, alias);
+  }
+  if (pushdown != nullptr && !pushdown->empty()) {
+    ExprPtr pred = CombineConjuncts(std::move(*pushdown));
+    pushdown->clear();
+    BindColumns(pred.get(), op->schema());
+    op = std::make_unique<FilterOp>(std::move(op), std::move(pred));
+  }
+  return op;
+}
+
+Result<OperatorPtr> Planner::PlanJoinTree(const TableRef& tref) {
+  ASSIGN_OR_RETURN(OperatorPtr left, PlanTableRef(*tref.left));
+  ASSIGN_OR_RETURN(OperatorPtr right, PlanTableRef(*tref.right));
+  bool left_outer = tref.join_type == JoinType::kLeft;
+
+  if (tref.join_condition != nullptr && options_.enable_hash_join) {
+    // Split ON into equi keys + residual.
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(*tref.join_condition, &conjuncts);
+    std::vector<ExprPtr> lkeys, rkeys, residual;
+    for (auto& c : conjuncts) {
+      const Expr* l = nullptr;
+      const Expr* r = nullptr;
+      bool used = false;
+      if (IsEquality(*c, &l, &r)) {
+        bool l_left = ReferencesSchema(*l, left->schema());
+        bool l_right = ReferencesSchema(*l, right->schema());
+        bool r_left = ReferencesSchema(*r, left->schema());
+        bool r_right = ReferencesSchema(*r, right->schema());
+        if (l_left && !l_right && r_right && !r_left) {
+          lkeys.push_back(l->Clone());
+          rkeys.push_back(r->Clone());
+          used = true;
+        } else if (r_left && !r_right && l_right && !l_left) {
+          lkeys.push_back(r->Clone());
+          rkeys.push_back(l->Clone());
+          used = true;
+        }
+      }
+      if (!used) residual.push_back(std::move(c));
+    }
+    if (!lkeys.empty()) {
+      for (auto& k : lkeys) BindColumns(k.get(), left->schema());
+      for (auto& k : rkeys) BindColumns(k.get(), right->schema());
+      ExprPtr res = CombineConjuncts(std::move(residual));
+      Schema joined = Schema::Concat(left->schema(), right->schema());
+      if (res != nullptr) BindColumns(res.get(), joined);
+      return OperatorPtr(std::make_unique<HashJoinOp>(
+          std::move(left), std::move(right), std::move(lkeys),
+          std::move(rkeys), left_outer, std::move(res)));
+    }
+  }
+  ExprPtr pred = tref.join_condition != nullptr ? tref.join_condition->Clone()
+                                                : nullptr;
+  if (pred != nullptr) {
+    Schema joined = Schema::Concat(left->schema(), right->schema());
+    BindColumns(pred.get(), joined);
+  }
+  return OperatorPtr(std::make_unique<NestedLoopJoinOp>(
+      std::move(left), std::move(right), std::move(pred), left_outer));
+}
+
+Result<OperatorPtr> Planner::JoinFromEntries(std::vector<OperatorPtr> inputs,
+                                             std::vector<ExprPtr> conjuncts) {
+  // Classify conjuncts: for each, which inputs does it reference?
+  // Single-input conjuncts are pushed down; cross-input equalities become
+  // hash-join keys; the rest are residual filters on top.
+  const size_t n = inputs.size();
+
+  if (!options_.enable_predicate_pushdown && n == 1) {
+    OperatorPtr op = std::move(inputs[0]);
+    if (!conjuncts.empty()) {
+      ExprPtr pred = CombineConjuncts(std::move(conjuncts));
+      BindColumns(pred.get(), op->schema());
+      op = std::make_unique<FilterOp>(std::move(op), std::move(pred));
+    }
+    return op;
+  }
+
+  // Push single-relation conjuncts (and index seeks) into base inputs.
+  // Because base tables were already planned, we instead layer filters here
+  // unless the input is a SeqScan we can replace. To keep things simple and
+  // still index-driven, we re-classify: conjuncts referencing exactly one
+  // input become that input's filter.
+  std::vector<std::vector<ExprPtr>> per_input(n);
+  std::vector<ExprPtr> cross;
+  for (auto& c : conjuncts) {
+    int owner = -1;
+    int count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (ReferencesSchema(*c, inputs[i]->schema())) {
+        ++count;
+        owner = static_cast<int>(i);
+      }
+    }
+    if (count == 1 && options_.enable_predicate_pushdown) {
+      per_input[owner].push_back(std::move(c));
+    } else if (count == 0 && options_.enable_predicate_pushdown && n > 0) {
+      // References only variables/outer columns: cheapest at the first input.
+      per_input[0].push_back(std::move(c));
+    } else {
+      cross.push_back(std::move(c));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (per_input[i].empty()) continue;
+    // Try to convert a SeqScan + eq-conjunct into an IndexSeek.
+    ExprPtr pred = CombineConjuncts(std::move(per_input[i]));
+    std::vector<ExprPtr> parts;
+    SplitConjuncts(*pred, &parts);
+    // Index conversion: only when the input is a bare SeqScan.
+    auto* seq = dynamic_cast<SeqScanOp*>(inputs[i].get());
+    if (seq != nullptr && options_.enable_index_seek) {
+      // Rebuild via PlanBaseTable to get seek selection.
+      // Recover table name and alias from the scan's schema qualifier.
+      const Schema& s = inputs[i]->schema();
+      std::string alias = s.num_columns() > 0 ? s.column(0).qualifier : "";
+      std::string tname;
+      {
+        // SeqScan table name from Describe(): "SeqScan(name)".
+        std::string d = inputs[i]->Describe();
+        tname = d.substr(8, d.size() - 9);
+      }
+      ASSIGN_OR_RETURN(OperatorPtr rebuilt,
+                       PlanBaseTable(tname, alias, &parts));
+      inputs[i] = std::move(rebuilt);
+    } else {
+      ExprPtr combined = CombineConjuncts(std::move(parts));
+      BindColumns(combined.get(), inputs[i]->schema());
+      inputs[i] = std::make_unique<FilterOp>(std::move(inputs[i]),
+                                             std::move(combined));
+    }
+  }
+
+  // Greedy left-deep join using cross equalities.
+  std::vector<bool> joined(n, false);
+  OperatorPtr acc = std::move(inputs[0]);
+  joined[0] = true;
+  size_t remaining = n - 1;
+  while (remaining > 0) {
+    // Find a candidate connected to `acc` by at least one equi conjunct.
+    int pick = -1;
+    std::vector<size_t> key_conjuncts;
+    for (size_t cand = 0; cand < n && pick < 0; ++cand) {
+      if (joined[cand]) continue;
+      key_conjuncts.clear();
+      for (size_t ci = 0; ci < cross.size(); ++ci) {
+        if (cross[ci] == nullptr) continue;
+        const Expr* l = nullptr;
+        const Expr* r = nullptr;
+        if (!IsEquality(*cross[ci], &l, &r)) continue;
+        bool l_acc = ReferencesSchema(*l, acc->schema());
+        bool l_cand = ReferencesSchema(*l, inputs[cand]->schema());
+        bool r_acc = ReferencesSchema(*r, acc->schema());
+        bool r_cand = ReferencesSchema(*r, inputs[cand]->schema());
+        if ((l_acc && !l_cand && r_cand && !r_acc) ||
+            (r_acc && !r_cand && l_cand && !l_acc)) {
+          key_conjuncts.push_back(ci);
+        }
+      }
+      if (!key_conjuncts.empty()) pick = static_cast<int>(cand);
+    }
+    if (pick < 0) {
+      // No connectable input: cross join with the first unjoined one.
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (!joined[cand]) {
+          pick = static_cast<int>(cand);
+          break;
+        }
+      }
+      acc = std::make_unique<NestedLoopJoinOp>(std::move(acc),
+                                               std::move(inputs[pick]),
+                                               nullptr, /*left_outer=*/false);
+    } else if (options_.enable_hash_join) {
+      std::vector<ExprPtr> lkeys, rkeys;
+      for (size_t ci : key_conjuncts) {
+        const Expr* l = nullptr;
+        const Expr* r = nullptr;
+        IsEquality(*cross[ci], &l, &r);
+        if (ReferencesSchema(*l, acc->schema())) {
+          lkeys.push_back(l->Clone());
+          rkeys.push_back(r->Clone());
+        } else {
+          lkeys.push_back(r->Clone());
+          rkeys.push_back(l->Clone());
+        }
+        cross[ci].reset();
+      }
+      for (auto& k : lkeys) BindColumns(k.get(), acc->schema());
+      for (auto& k : rkeys) BindColumns(k.get(), inputs[pick]->schema());
+      acc = std::make_unique<HashJoinOp>(std::move(acc),
+                                         std::move(inputs[pick]),
+                                         std::move(lkeys), std::move(rkeys),
+                                         /*left_outer=*/false, nullptr);
+    } else {
+      std::vector<ExprPtr> preds;
+      for (size_t ci : key_conjuncts) {
+        preds.push_back(std::move(cross[ci]));
+        cross[ci].reset();
+      }
+      ExprPtr pred = CombineConjuncts(std::move(preds));
+      Schema joined_schema =
+          Schema::Concat(acc->schema(), inputs[pick]->schema());
+      BindColumns(pred.get(), joined_schema);
+      acc = std::make_unique<NestedLoopJoinOp>(std::move(acc),
+                                               std::move(inputs[pick]),
+                                               std::move(pred),
+                                               /*left_outer=*/false);
+    }
+    joined[pick] = true;
+    --remaining;
+  }
+
+  // Residual cross conjuncts.
+  std::vector<ExprPtr> residual;
+  for (auto& c : cross) {
+    if (c != nullptr) residual.push_back(std::move(c));
+  }
+  if (!residual.empty()) {
+    ExprPtr pred = CombineConjuncts(std::move(residual));
+    BindColumns(pred.get(), acc->schema());
+    acc = std::make_unique<FilterOp>(std::move(acc), std::move(pred));
+  }
+  return acc;
+}
+
+Result<OperatorPtr> Planner::PlanAggregation(OperatorPtr input,
+                                             SelectStmt* stmt) {
+  // Extract aggregate calls from the select list and HAVING.
+  std::vector<std::unique_ptr<AggregateCallExpr>> agg_calls;
+  for (auto& item : stmt->items) ExtractAggregates(&item.expr, &agg_calls);
+  if (stmt->having != nullptr) ExtractAggregates(&stmt->having, &agg_calls);
+
+  // Group-by columns: name them; select-list references to the same
+  // expression text are rewritten to the group column.
+  std::vector<std::pair<std::string, std::string>> group_map;
+  Schema out_schema;
+  std::vector<ExprPtr> group_exprs;
+  for (size_t i = 0; i < stmt->group_by.size(); ++i) {
+    std::string col_name;
+    if (stmt->group_by[i]->kind == ExprKind::kColumnRef) {
+      const std::string& n =
+          static_cast<const ColumnRefExpr&>(*stmt->group_by[i]).name;
+      auto dot = n.find('.');
+      col_name = ToLower(dot == std::string::npos ? n : n.substr(dot + 1));
+    } else {
+      col_name = "__grp_" + std::to_string(i);
+    }
+    group_map.emplace_back(stmt->group_by[i]->ToString(), col_name);
+    out_schema.AddColumn(Column(col_name, DataType(TypeId::kNull)));
+    BindColumns(stmt->group_by[i].get(), input->schema());
+    group_exprs.push_back(std::move(stmt->group_by[i]));
+  }
+  stmt->group_by.clear();
+  for (auto& item : stmt->items) ReplaceGroupExprs(&item.expr, group_map);
+  if (stmt->having != nullptr) ReplaceGroupExprs(&stmt->having, group_map);
+  for (auto& o : stmt->order_by) ReplaceGroupExprs(&o.expr, group_map);
+
+  // Build aggregate specs.
+  std::vector<AggregateSpec> specs;
+  bool order_sensitive = false;
+  for (size_t i = 0; i < agg_calls.size(); ++i) {
+    AggregateSpec spec;
+    auto& call = agg_calls[i];
+    if (call->distinct) {
+      return Status::NotSupported("DISTINCT aggregates are not supported");
+    }
+    if (call->is_star) {
+      ASSIGN_OR_RETURN(spec.function, MakeCountStarAggregate());
+    } else if (ctx_->catalog().HasAggregate(call->name)) {
+      ASSIGN_OR_RETURN(spec.function, ctx_->catalog().GetAggregate(call->name));
+    } else {
+      ASSIGN_OR_RETURN(spec.function, MakeBuiltinAggregate(call->name));
+    }
+    order_sensitive = order_sensitive || spec.function->IsOrderSensitive();
+    for (auto& a : call->args) {
+      BindColumns(a.get(), input->schema());
+      spec.args.push_back(std::move(a));
+    }
+    spec.output_name = "__agg_" + std::to_string(i);
+    out_schema.AddColumn(Column(spec.output_name, DataType(TypeId::kNull)));
+    specs.push_back(std::move(spec));
+  }
+
+  bool use_stream = stmt->force_stream_aggregate || order_sensitive;
+  if (use_stream) {
+    if (!group_exprs.empty()) {
+      // Streamed grouping needs clustered input; enforce with a sort on the
+      // group expressions.
+      std::vector<SortKey> keys;
+      for (const auto& g : group_exprs) {
+        keys.push_back(SortKey{g->Clone(), false});
+      }
+      input = std::make_unique<SortOp>(std::move(input), std::move(keys));
+    }
+    return OperatorPtr(std::make_unique<StreamAggregateOp>(
+        std::move(input), std::move(group_exprs), std::move(specs),
+        std::move(out_schema)));
+  }
+  int partitions = 1;
+  if (options_.aggregate_partitions > 1) {
+    bool all_mergeable = true;
+    for (const auto& spec : specs) {
+      if (!spec.function->SupportsMerge()) all_mergeable = false;
+    }
+    if (all_mergeable) partitions = options_.aggregate_partitions;
+  }
+  return OperatorPtr(std::make_unique<HashAggregateOp>(
+      std::move(input), std::move(group_exprs), std::move(specs),
+      std::move(out_schema), partitions));
+}
+
+}  // namespace aggify

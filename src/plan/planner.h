@@ -1,0 +1,81 @@
+// Planner: SelectStmt -> physical operator tree.
+//
+// Optimizations applied (each has an ablation toggle in PlannerOptions):
+//  * predicate pushdown: single-relation WHERE conjuncts run at the scans
+//  * index selection: `col = <no-column expr>` on an indexed column of a
+//    base table becomes an IndexSeek (parameterized by variables, which is
+//    what makes repeated cursor-query invocation index-driven)
+//  * equi-join detection: cross-relation `a.x = b.y` conjuncts drive greedy
+//    left-deep HashJoin ordering; remaining predicates become residual
+//    filters or NLJ predicates
+//  * aggregate placement: HashAggregate by default; StreamAggregate when the
+//    statement carries the Eq. 6 enforcement flag or any aggregate is
+//    order-sensitive
+#pragma once
+
+#include "exec/operators.h"
+#include "parser/query_ast.h"
+
+namespace aggify {
+
+struct PlannerOptions {
+  bool enable_index_seek = true;
+  bool enable_hash_join = true;
+  bool enable_predicate_pushdown = true;
+  /// Simulated degree of parallel partial aggregation (§3.1 Merge). Only
+  /// applied when every aggregate in the query SupportsMerge() and the plan
+  /// is not order-enforced; otherwise aggregation stays serial.
+  int aggregate_partitions = 1;
+};
+
+class Planner {
+ public:
+  Planner(ExecContext* ctx, PlannerOptions options = {})
+      : ctx_(ctx), options_(options) {}
+
+  /// Plans `stmt` (whose CTEs must already be bound in the context by the
+  /// QueryEngine). The statement is not mutated.
+  Result<OperatorPtr> Plan(const SelectStmt& stmt);
+
+ private:
+  struct FromEntry {
+    OperatorPtr op;
+    std::string name;  // effective alias for diagnostics
+  };
+
+  Result<OperatorPtr> PlanBody(const SelectStmt& stmt);
+  Result<OperatorPtr> PlanTableRef(const TableRef& tref);
+  Result<OperatorPtr> PlanBaseTable(const std::string& table_name,
+                                    const std::string& alias,
+                                    std::vector<ExprPtr>* pushdown);
+  Result<OperatorPtr> PlanJoinTree(const TableRef& tref);
+
+  /// Joins the comma-list FROM entries using classified WHERE conjuncts.
+  Result<OperatorPtr> JoinFromEntries(std::vector<OperatorPtr> inputs,
+                                      std::vector<ExprPtr> conjuncts);
+
+  Result<OperatorPtr> PlanAggregation(OperatorPtr input, SelectStmt* stmt);
+
+  ExecContext* ctx_;
+  PlannerOptions options_;
+};
+
+/// Splits a predicate into its AND-ed conjuncts (clones).
+void SplitConjuncts(const Expr& pred, std::vector<ExprPtr>* out);
+
+/// Rebuilds a conjunction from parts (null if empty).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> parts);
+
+/// True if `e` (excluding subquery bodies) contains a column reference
+/// resolvable in `schema`.
+bool ReferencesSchema(const Expr& e, const Schema& schema);
+
+/// True if `e` (excluding subquery bodies) contains any column reference.
+bool ContainsAnyColumnRef(const Expr& e);
+
+/// In-place promotion of parsed FunctionCall nodes whose name is registered
+/// as an aggregate in `catalog` into AggregateCall nodes. Applied by the
+/// QueryEngine to a clone of the statement before planning.
+void PromoteAggregateCalls(ExprPtr* e, const Catalog& catalog);
+
+}  // namespace aggify

@@ -1,0 +1,222 @@
+#include "plan/query_engine.h"
+
+#include <iterator>
+
+#include "parser/parser.h"
+
+namespace aggify {
+
+PlanCache::Entry* PlanCache::Acquire(const std::string& key,
+                                     const Catalog& catalog) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  if (entry.in_use ||
+      entry.persistent_generation != catalog.persistent_generation() ||
+      (entry.touches_worktables &&
+       entry.temp_generation != catalog.temp_generation())) {
+    ++misses_;
+    if (!entry.in_use) entries_.erase(it);  // stale; rebuild below
+    return nullptr;
+  }
+  ++hits_;
+  entry.in_use = true;
+  return &entry;
+}
+
+void PlanCache::Insert(const std::string& key, OperatorPtr plan,
+                       const Catalog& catalog) {
+  auto it = entries_.find(key);
+  // Never replace an entry some enclosing execution is iterating.
+  if (it != entries_.end() && it->second.in_use) return;
+  if (entries_.size() >= kMaxEntries) {
+    // Coarse eviction; in-use entries must survive.
+    for (auto e = entries_.begin(); e != entries_.end();) {
+      e = e->second.in_use ? std::next(e) : entries_.erase(e);
+    }
+  }
+  Entry entry;
+  entry.touches_worktables = PlanTouchesWorktables(*plan);
+  entry.plan = std::move(plan);
+  entry.persistent_generation = catalog.persistent_generation();
+  entry.temp_generation = catalog.temp_generation();
+  entries_[key] = std::move(entry);
+}
+
+ExecContext QueryEngine::MakeContext() const {
+  ExecContext ctx(db_);
+  ctx.set_subquery_executor(
+      [this](const SelectStmt& stmt, ExecContext& inner) {
+        return Execute(stmt, inner);
+      });
+  return ctx;
+}
+
+Status QueryEngine::BindCtes(
+    const SelectStmt& stmt, ExecContext& ctx,
+    std::vector<std::string>* bound_names,
+    std::vector<std::shared_ptr<std::vector<Row>>>* keepalive) const {
+  for (const auto& cte : stmt.ctes) {
+    auto rows = std::make_shared<std::vector<Row>>();
+    Schema schema;
+    if (!cte.recursive && cte.query->union_all == nullptr) {
+      ASSIGN_OR_RETURN(QueryResult result, Execute(*cte.query, ctx));
+      schema = result.schema;
+      *rows = std::move(result.rows);
+    } else {
+      // Recursive CTE: base part UNION ALL recursive part. Semi-naive
+      // evaluation: feed only the previous delta into the recursive part.
+      auto base = cte.query->Clone();
+      std::unique_ptr<SelectStmt> recursive = std::move(base->union_all);
+      if (recursive == nullptr) {
+        return Status::BindError("recursive CTE '" + cte.name +
+                                 "' lacks a UNION ALL recursive part");
+      }
+      ASSIGN_OR_RETURN(QueryResult base_result, Execute(*base, ctx));
+      schema = base_result.schema;
+      *rows = base_result.rows;
+      auto delta = std::make_shared<std::vector<Row>>(
+          std::move(base_result.rows));
+      int64_t iterations = 0;
+      while (!delta->empty()) {
+        if (++iterations > ctx.max_recursion) {
+          return Status::ExecutionError(
+              "recursive CTE '" + cte.name + "' exceeded max recursion (" +
+              std::to_string(ctx.max_recursion) + ")");
+        }
+        ctx.BindCte(cte.name, CteBinding{schema, delta.get()});
+        auto step = Execute(*recursive, ctx);
+        ctx.UnbindCte(cte.name);
+        RETURN_NOT_OK(step.status());
+        if (step->rows.empty()) break;
+        auto next_delta =
+            std::make_shared<std::vector<Row>>(std::move(step->rows));
+        rows->insert(rows->end(), next_delta->begin(), next_delta->end());
+        delta = std::move(next_delta);
+      }
+    }
+    // Apply explicit column names if given.
+    if (!cte.column_names.empty()) {
+      if (cte.column_names.size() != schema.num_columns()) {
+        return Status::BindError("CTE '" + cte.name + "' declares " +
+                                 std::to_string(cte.column_names.size()) +
+                                 " columns but produces " +
+                                 std::to_string(schema.num_columns()));
+      }
+      Schema renamed;
+      for (size_t i = 0; i < cte.column_names.size(); ++i) {
+        renamed.AddColumn(Column(cte.column_names[i],
+                                 schema.column(i).type, cte.name));
+      }
+      schema = std::move(renamed);
+    }
+    ctx.BindCte(cte.name, CteBinding{schema, rows.get()});
+    bound_names->push_back(cte.name);
+    keepalive->push_back(std::move(rows));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
+                                         ExecContext& ctx) const {
+  ++ctx.stats().queries_executed;
+  if (ctx.depth > ExecContext::kMaxDepth) {
+    return Status::ExecutionError("query nesting too deep");
+  }
+  ++ctx.depth;
+  struct DepthGuard {
+    ExecContext* c;
+    ~DepthGuard() { --c->depth; }
+  } guard{&ctx};
+
+  // Plan-cache fast path: statements without CTEs (and outside any CTE
+  // binding scope) reuse their physical plan across executions, like a real
+  // engine's prepared/cached plans. Variables and correlation frames are
+  // runtime inputs, so parameterized re-execution is safe.
+  bool cacheable = stmt.ctes.empty() && !ctx.HasCteBindings();
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = stmt.ToString();
+    // Nested WITH (a derived table with its own CTEs) materializes at plan
+    // time; such plans capture data and must not be reused.
+    if (cache_key.find("WITH ") != std::string::npos) cacheable = false;
+  }
+  if (cacheable) {
+    if (PlanCache::Entry* entry = cache_.Acquire(cache_key, ctx.catalog())) {
+      auto result = RunPlan(entry->plan.get(), ctx);
+      cache_.Release(entry);
+      return result;
+    }
+  }
+
+  std::vector<std::string> bound;
+  std::vector<std::shared_ptr<std::vector<Row>>> keepalive;
+  Status st = BindCtes(stmt, ctx, &bound, &keepalive);
+  auto cleanup = [&] {
+    for (const auto& name : bound) ctx.UnbindCte(name);
+  };
+  if (!st.ok()) {
+    cleanup();
+    return st;
+  }
+
+  Planner planner(&ctx, options_);
+  auto plan = planner.Plan(stmt);
+  if (!plan.ok()) {
+    cleanup();
+    return plan.status();
+  }
+
+  auto result = RunPlan(plan->get(), ctx);
+  cleanup();
+  if (result.ok() && cacheable) {
+    cache_.Insert(cache_key, std::move(*plan), ctx.catalog());
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::RunPlan(Operator* root,
+                                         ExecContext& ctx) const {
+  QueryResult result;
+  result.schema = root->schema();
+  Status st = root->Open(ctx);
+  if (st.ok()) {
+    Row row;
+    for (;;) {
+      auto more = root->Next(ctx, &row);
+      if (!more.ok()) {
+        st = more.status();
+        break;
+      }
+      if (!*more) break;
+      result.rows.push_back(std::move(row));
+    }
+    Status close_st = root->Close(ctx);
+    if (st.ok()) st = close_st;
+  }
+  if (!st.ok()) return st;
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteSql(const std::string& sql) const {
+  ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  ExecContext ctx = MakeContext();
+  return Execute(*stmt, ctx);
+}
+
+Result<std::string> QueryEngine::Explain(const SelectStmt& stmt,
+                                         ExecContext& ctx) const {
+  std::vector<std::string> bound;
+  std::vector<std::shared_ptr<std::vector<Row>>> keepalive;
+  RETURN_NOT_OK(BindCtes(stmt, ctx, &bound, &keepalive));
+  Planner planner(&ctx, options_);
+  auto plan = planner.Plan(stmt);
+  for (const auto& name : bound) ctx.UnbindCte(name);
+  RETURN_NOT_OK(plan.status());
+  return (*plan)->ExplainTree();
+}
+
+}  // namespace aggify

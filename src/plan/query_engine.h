@@ -1,0 +1,87 @@
+// QueryEngine: the public query-execution facade.
+//
+// Owns nothing; executes SELECT statements against a Database, materializing
+// WITH-clause CTEs (including recursive ones, the §8.1 iteration spaces)
+// before planning the main body, and installing itself as the context's
+// subquery executor so nested subqueries recurse through the same path.
+#pragma once
+
+#include <unordered_map>
+
+#include "plan/planner.h"
+
+namespace aggify {
+
+/// \brief Session-scoped physical plan cache (SQL Server keeps one too; the
+/// paper's workloads re-execute the same parameterized statements thousands
+/// of times). Keyed by statement text; entries are fenced by the catalog
+/// generations and an in-use flag guards re-entrant executions. Plans over
+/// CTE bindings are never cached (they capture materialized rows).
+/// Not thread-safe, like the rest of a Session.
+class PlanCache {
+ public:
+  struct Entry {
+    OperatorPtr plan;
+    int64_t persistent_generation = 0;
+    int64_t temp_generation = 0;
+    bool touches_worktables = false;
+    bool in_use = false;
+  };
+
+  /// Returns a usable entry or nullptr. The caller must Release() it.
+  Entry* Acquire(const std::string& key, const Catalog& catalog);
+  void Release(Entry* entry) { entry->in_use = false; }
+
+  /// Inserts a plan (evicting everything if over capacity).
+  void Insert(const std::string& key, OperatorPtr plan, const Catalog& catalog);
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  static constexpr size_t kMaxEntries = 512;
+  std::unordered_map<std::string, Entry> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(Database* db, PlannerOptions options = {})
+      : db_(db), options_(options) {}
+
+  Database* db() const { return db_; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// \brief Creates a context wired to this engine (subquery executor
+  /// installed; UDF invoker installed separately by the Session).
+  ExecContext MakeContext() const;
+
+  /// \brief Executes a SELECT to completion. `ctx` supplies variables,
+  /// correlation frames, and CTE bindings.
+  Result<QueryResult> Execute(const SelectStmt& stmt, ExecContext& ctx) const;
+
+  /// Parses and executes (test/demo convenience; fresh context).
+  Result<QueryResult> ExecuteSql(const std::string& sql) const;
+
+  /// \brief Returns the physical plan tree rendering (EXPLAIN).
+  Result<std::string> Explain(const SelectStmt& stmt, ExecContext& ctx) const;
+
+  const PlanCache& plan_cache() const { return cache_; }
+
+ private:
+  Result<QueryResult> RunPlan(Operator* root, ExecContext& ctx) const;
+  /// Materializes the statement's CTEs into `ctx` bindings; fills
+  /// `bound_names` with the names to unbind afterwards.
+  Status BindCtes(const SelectStmt& stmt, ExecContext& ctx,
+                  std::vector<std::string>* bound_names,
+                  std::vector<std::shared_ptr<std::vector<Row>>>* keepalive)
+      const;
+
+  Database* db_;
+  PlannerOptions options_;
+  mutable PlanCache cache_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,508 @@
+#include "procedural/interpreter.h"
+
+#include "exec/eval.h"
+#include "storage/table.h"
+
+namespace aggify {
+
+Result<Value> Interpreter::CallFunction(const FunctionDef& def,
+                                        const std::vector<Value>& args,
+                                        ExecContext& ctx) {
+  if (args.size() > def.params.size()) {
+    return Status::ExecutionError(
+        "function " + def.name + " takes " +
+        std::to_string(def.params.size()) + " parameters, got " +
+        std::to_string(args.size()));
+  }
+  if (ctx.depth > ExecContext::kMaxDepth) {
+    return Status::ExecutionError("call stack too deep in " + def.name);
+  }
+  VariableEnv env;  // fresh, unchained: UDFs see only their own locals
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    Value v;
+    if (i < args.size()) {
+      v = args[i];
+    } else if (def.params[i].default_value != nullptr) {
+      ASSIGN_OR_RETURN(v, EvalExpr(*def.params[i].default_value, ctx));
+    } else {
+      return Status::ExecutionError("missing argument '" + def.params[i].name +
+                                    "' in call to " + def.name);
+    }
+    env.Declare(def.params[i].name, std::move(v));
+  }
+  env.Declare("@@fetch_status", Value::Int(-1));
+
+  CallFrame frame;
+  frame.env = &env;
+  frame.in_function = true;
+
+  ExecContext local = ctx;
+  local.set_vars(&env);
+  local.set_frame(nullptr);  // UDF bodies are not correlated to outer rows
+  ++local.depth;
+
+  auto flow = ExecBlockStmts(*def.body, &frame, local);
+  Status cleanup = CleanupFrame(&frame, local);
+  RETURN_NOT_OK(flow.status());
+  RETURN_NOT_OK(cleanup);
+
+  if (!def.is_procedure && !frame.return_value.is_null()) {
+    return frame.return_value.CastTo(def.return_type.id);
+  }
+  return frame.return_value;
+}
+
+Result<Value> Interpreter::ExecuteBlock(const BlockStmt& block,
+                                        VariableEnv* env, ExecContext& ctx) {
+  if (!env->Has("@@fetch_status")) {
+    env->Declare("@@fetch_status", Value::Int(-1));
+  }
+  CallFrame frame;
+  frame.env = env;
+  ExecContext local = ctx;
+  local.set_vars(env);
+  auto flow = ExecBlockStmts(block, &frame, local);
+  Status cleanup = CleanupFrame(&frame, local);
+  RETURN_NOT_OK(flow.status());
+  RETURN_NOT_OK(cleanup);
+  return frame.return_value;
+}
+
+Result<Interpreter::LoopBodyOutcome> Interpreter::ExecuteLoopBody(
+    const BlockStmt& block, VariableEnv* env, ExecContext& ctx) {
+  // Hot path: called once per accumulated row. Swap the variable scope in
+  // place instead of copying the context.
+  CallFrame frame;
+  frame.env = env;
+  VariableEnv* saved = ctx.vars();
+  ctx.set_vars(env);
+  auto flow = ExecBlockStmts(block, &frame, ctx);
+  Status cleanup = CleanupFrame(&frame, ctx);
+  ctx.set_vars(saved);
+  RETURN_NOT_OK(flow.status());
+  RETURN_NOT_OK(cleanup);
+  switch (*flow) {
+    case Flow::kBreak:
+      return LoopBodyOutcome::kBreak;
+    case Flow::kReturn:
+      return Status::NotSupported(
+          "RETURN inside an aggregated cursor-loop body");
+    default:
+      return LoopBodyOutcome::kCompleted;
+  }
+}
+
+Status Interpreter::CleanupFrame(CallFrame* frame, ExecContext& ctx) {
+  for (auto& [name, cursor] : frame->cursors) {
+    if (cursor.worktable != nullptr) {
+      ctx.catalog().DropTempTable(cursor.worktable_name);
+    }
+  }
+  frame->cursors.clear();
+  for (const std::string& t : frame->temp_tables) {
+    ctx.catalog().DropTempTable(t);
+  }
+  frame->temp_tables.clear();
+  return Status::OK();
+}
+
+Result<Interpreter::Flow> Interpreter::ExecBlockStmts(const BlockStmt& block,
+                                                      CallFrame* frame,
+                                                      ExecContext& ctx) {
+  for (const auto& stmt : block.statements) {
+    ASSIGN_OR_RETURN(Flow flow, ExecStmt(*stmt, frame, ctx));
+    if (flow != Flow::kNormal) return flow;
+  }
+  return Flow::kNormal;
+}
+
+Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt,
+                                                CallFrame* frame,
+                                                ExecContext& ctx) {
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      return ExecBlockStmts(static_cast<const BlockStmt&>(stmt), frame, ctx);
+
+    case StmtKind::kDeclareVar: {
+      const auto& d = static_cast<const DeclareVarStmt&>(stmt);
+      Value v;
+      if (d.initializer != nullptr) {
+        ASSIGN_OR_RETURN(v, EvalExpr(*d.initializer, ctx));
+        ASSIGN_OR_RETURN(v, v.CastTo(d.type.id));
+      }
+      frame->env->Declare(d.name, std::move(v));
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kSet: {
+      const auto& s = static_cast<const SetStmt&>(stmt);
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*s.value, ctx));
+      if (!frame->env->Has(s.name)) {
+        return Status::ExecutionError("SET of undeclared variable " + s.name);
+      }
+      RETURN_NOT_OK(frame->env->Set(s.name, std::move(v)));
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      ASSIGN_OR_RETURN(bool cond, EvalPredicate(*i.condition, ctx));
+      if (cond) return ExecStmt(*i.then_branch, frame, ctx);
+      if (i.else_branch != nullptr) {
+        return ExecStmt(*i.else_branch, frame, ctx);
+      }
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const WhileStmt&>(stmt);
+      for (;;) {
+        ASSIGN_OR_RETURN(bool cond, EvalPredicate(*w.condition, ctx));
+        if (!cond) break;
+        ASSIGN_OR_RETURN(Flow flow, ExecStmt(*w.body, frame, ctx));
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) return flow;
+        // kContinue and kNormal both re-test the condition.
+      }
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      ASSIGN_OR_RETURN(Value init, EvalExpr(*f.init, ctx));
+      frame->env->Declare(f.var, init);
+      for (;;) {
+        ASSIGN_OR_RETURN(Value cur, frame->env->Get(f.var));
+        ASSIGN_OR_RETURN(Value bound, EvalExpr(*f.bound, ctx));
+        ASSIGN_OR_RETURN(Value le, Le(cur, bound));
+        if (le.is_null() || !le.bool_value()) break;
+        ASSIGN_OR_RETURN(Flow flow, ExecStmt(*f.body, frame, ctx));
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) return flow;
+        Value step = Value::Int(1);
+        if (f.step != nullptr) {
+          ASSIGN_OR_RETURN(step, EvalExpr(*f.step, ctx));
+        }
+        ASSIGN_OR_RETURN(cur, frame->env->Get(f.var));
+        ASSIGN_OR_RETURN(Value next, Add(cur, step));
+        RETURN_NOT_OK(frame->env->Set(f.var, std::move(next)));
+      }
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kDeclareCursor: {
+      const auto& d = static_cast<const DeclareCursorStmt&>(stmt);
+      CursorState state;
+      state.query = d.query.get();
+      frame->cursors[d.name] = std::move(state);
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kOpenCursor:
+      RETURN_NOT_OK(ExecOpen(static_cast<const OpenCursorStmt&>(stmt), frame,
+                             ctx));
+      return Flow::kNormal;
+
+    case StmtKind::kFetch:
+      RETURN_NOT_OK(ExecFetch(static_cast<const FetchStmt&>(stmt), frame, ctx));
+      return Flow::kNormal;
+
+    case StmtKind::kCloseCursor: {
+      const auto& c = static_cast<const CloseCursorStmt&>(stmt);
+      auto it = frame->cursors.find(c.name);
+      if (it == frame->cursors.end()) {
+        return Status::ExecutionError("CLOSE of unknown cursor " + c.name);
+      }
+      if (it->second.worktable != nullptr) {
+        ctx.catalog().DropTempTable(it->second.worktable_name);
+        it->second.worktable = nullptr;
+      }
+      it->second.open = false;
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kDeallocateCursor: {
+      const auto& d = static_cast<const DeallocateCursorStmt&>(stmt);
+      auto it = frame->cursors.find(d.name);
+      if (it != frame->cursors.end()) {
+        if (it->second.worktable != nullptr) {
+          ctx.catalog().DropTempTable(it->second.worktable_name);
+        }
+        frame->cursors.erase(it);
+      }
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kReturn: {
+      const auto& r = static_cast<const ReturnStmt&>(stmt);
+      if (r.value != nullptr) {
+        ASSIGN_OR_RETURN(frame->return_value, EvalExpr(*r.value, ctx));
+      }
+      return Flow::kReturn;
+    }
+
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+
+    case StmtKind::kDeclareTempTable: {
+      const auto& d = static_cast<const DeclareTempTableStmt&>(stmt);
+      // Re-declaration (e.g. inside a loop) resets the table.
+      ctx.catalog().DropTempTable(d.name);
+      ASSIGN_OR_RETURN(Table * t,
+                       ctx.catalog().CreateTempTable(d.name, d.schema));
+      AGGIFY_UNUSED(t);
+      frame->temp_tables.push_back(d.name);
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kInsert:
+      RETURN_NOT_OK(ExecInsert(static_cast<const InsertStmt&>(stmt), frame,
+                               ctx));
+      return Flow::kNormal;
+
+    case StmtKind::kUpdate:
+      RETURN_NOT_OK(ExecUpdate(static_cast<const UpdateStmt&>(stmt), *frame,
+                               ctx));
+      return Flow::kNormal;
+
+    case StmtKind::kDelete:
+      RETURN_NOT_OK(ExecDelete(static_cast<const DeleteStmt&>(stmt), *frame,
+                               ctx));
+      return Flow::kNormal;
+
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      auto flow = ExecStmt(*tc.try_block, frame, ctx);
+      if (flow.ok()) return *flow;
+      Status err = flow.status();
+      // Internal errors indicate library bugs: do not swallow them.
+      if (err.code() == StatusCode::kInternal) return err;
+      return ExecStmt(*tc.catch_block, frame, ctx);
+    }
+
+    case StmtKind::kExecQuery: {
+      const auto& q = static_cast<const ExecQueryStmt&>(stmt);
+      ASSIGN_OR_RETURN(QueryResult result, RunQuery(*q.query, ctx));
+      OnQueryResult(result);
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kMultiAssign:
+      RETURN_NOT_OK(ExecMultiAssign(static_cast<const MultiAssignStmt&>(stmt),
+                                    frame, ctx));
+      return Flow::kNormal;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Interpreter::ExecOpen(const OpenCursorStmt& open, CallFrame* frame,
+                             ExecContext& ctx) {
+  auto it = frame->cursors.find(open.name);
+  if (it == frame->cursors.end()) {
+    return Status::ExecutionError("OPEN of undeclared cursor " + open.name);
+  }
+  CursorState& cursor = it->second;
+  if (cursor.open) {
+    return Status::ExecutionError("cursor " + open.name + " is already open");
+  }
+  // §2.3: execute the query and materialize the result into a worktable.
+  ASSIGN_OR_RETURN(QueryResult result, RunCursorQuery(*cursor.query, ctx));
+  cursor.schema = result.schema;
+  cursor.worktable_name =
+      "#cursor_" + open.name + "_" + std::to_string(ctx.db()->NextObjectId());
+  ASSIGN_OR_RETURN(cursor.worktable, ctx.catalog().CreateTempTable(
+                                         cursor.worktable_name, result.schema));
+  for (auto& row : result.rows) {
+    RETURN_NOT_OK(cursor.worktable->Insert(std::move(row), &ctx.stats()));
+  }
+  cursor.position = 0;
+  cursor.last_page = -1;
+  cursor.open = true;
+  ++ctx.stats().cursors_opened;
+  return Status::OK();
+}
+
+Status Interpreter::ExecFetch(const FetchStmt& fetch, CallFrame* frame,
+                              ExecContext& ctx) {
+  auto it = frame->cursors.find(fetch.cursor);
+  if (it == frame->cursors.end()) {
+    return Status::ExecutionError("FETCH from undeclared cursor " +
+                                  fetch.cursor);
+  }
+  CursorState& cursor = it->second;
+  if (!cursor.open) {
+    return Status::ExecutionError("FETCH from closed cursor " + fetch.cursor);
+  }
+  ++ctx.stats().cursor_fetches;
+  if (cursor.position >= cursor.worktable->num_rows()) {
+    RETURN_NOT_OK(frame->env->Set("@@fetch_status", Value::Int(-1)));
+    return Status::OK();
+  }
+  const Row& row = cursor.worktable->ReadRow(cursor.position++,
+                                             &cursor.last_page, &ctx.stats());
+  if (fetch.into.size() > row.size()) {
+    return Status::ExecutionError(
+        "FETCH INTO has more variables than cursor columns");
+  }
+  OnCursorFetch(cursor.schema, row);
+  for (size_t i = 0; i < fetch.into.size(); ++i) {
+    if (!frame->env->Has(fetch.into[i])) {
+      return Status::ExecutionError("FETCH INTO undeclared variable " +
+                                    fetch.into[i]);
+    }
+    RETURN_NOT_OK(frame->env->Set(fetch.into[i], row[i]));
+  }
+  RETURN_NOT_OK(frame->env->Set("@@fetch_status", Value::Int(0)));
+  return Status::OK();
+}
+
+Status Interpreter::ExecInsert(const InsertStmt& ins, CallFrame* frame,
+                               ExecContext& ctx) {
+  ASSIGN_OR_RETURN(Table * table, ctx.catalog().GetTable(ins.table));
+  if (frame->in_function && !table->is_worktable()) {
+    return Status::ExecutionError(
+        "INSERT into persistent table '" + ins.table +
+        "' is not allowed inside a function");
+  }
+
+  // Column mapping: explicit list or full schema order.
+  std::vector<size_t> target_cols;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < table->schema().num_columns(); ++i) {
+      target_cols.push_back(i);
+    }
+  } else {
+    for (const auto& c : ins.columns) {
+      ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(c));
+      target_cols.push_back(idx);
+    }
+  }
+
+  auto insert_row = [&](const Row& src) -> Status {
+    if (src.size() != target_cols.size()) {
+      return Status::ExecutionError("INSERT arity mismatch on " + ins.table);
+    }
+    Row full(table->schema().num_columns(), Value::Null());
+    for (size_t i = 0; i < target_cols.size(); ++i) {
+      full[target_cols[i]] = src[i];
+    }
+    return table->Insert(std::move(full), &ctx.stats());
+  };
+
+  if (ins.select != nullptr) {
+    ASSIGN_OR_RETURN(QueryResult result, RunQuery(*ins.select, ctx));
+    for (const Row& r : result.rows) RETURN_NOT_OK(insert_row(r));
+    return Status::OK();
+  }
+  for (const auto& value_row : ins.values_rows) {
+    Row r;
+    r.reserve(value_row.size());
+    for (const auto& e : value_row) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+      r.push_back(std::move(v));
+    }
+    RETURN_NOT_OK(insert_row(r));
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ExecUpdate(const UpdateStmt& upd, const CallFrame& frame,
+                               ExecContext& ctx) {
+  ASSIGN_OR_RETURN(Table * table, ctx.catalog().GetTable(upd.table));
+  if (frame.in_function && !table->is_worktable()) {
+    return Status::ExecutionError(
+        "UPDATE of persistent table '" + upd.table +
+        "' is not allowed inside a function");
+  }
+  const Schema& schema = table->schema();
+  std::vector<std::pair<size_t, const Expr*>> sets;
+  for (const auto& [col, e] : upd.assignments) {
+    ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(col));
+    sets.emplace_back(idx, e.get());
+  }
+  Status inner = Status::OK();
+  RETURN_NOT_OK(table->UpdateWhere(
+      [&](const Row& row) {
+        if (!inner.ok()) return false;
+        if (upd.where == nullptr) return true;
+        RowFrame frame{&row, &schema, ctx.frame()};
+        ExecContext local = ctx.WithFrame(&frame);
+        auto pass = EvalPredicate(*upd.where, local);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return false;
+        }
+        return *pass;
+      },
+      [&](Row* row) -> Status {
+        RowFrame frame{row, &schema, ctx.frame()};
+        ExecContext local = ctx.WithFrame(&frame);
+        Row updated = *row;
+        for (const auto& [idx, e] : sets) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*e, local));
+          updated[idx] = std::move(v);
+        }
+        *row = std::move(updated);
+        return Status::OK();
+      },
+      &ctx.stats()));
+  return inner;
+}
+
+Status Interpreter::ExecDelete(const DeleteStmt& del, const CallFrame& frame,
+                               ExecContext& ctx) {
+  ASSIGN_OR_RETURN(Table * table, ctx.catalog().GetTable(del.table));
+  if (frame.in_function && !table->is_worktable()) {
+    return Status::ExecutionError(
+        "DELETE from persistent table '" + del.table +
+        "' is not allowed inside a function");
+  }
+  const Schema& schema = table->schema();
+  Status inner = Status::OK();
+  table->DeleteWhere(
+      [&](const Row& row) {
+        if (!inner.ok()) return false;
+        if (del.where == nullptr) return true;
+        RowFrame frame{&row, &schema, ctx.frame()};
+        ExecContext local = ctx.WithFrame(&frame);
+        auto pass = EvalPredicate(*del.where, local);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return false;
+        }
+        return *pass;
+      },
+      &ctx.stats());
+  return inner;
+}
+
+Status Interpreter::ExecMultiAssign(const MultiAssignStmt& ma, CallFrame* frame,
+                                    ExecContext& ctx) {
+  ASSIGN_OR_RETURN(QueryResult result, RunQuery(*ma.query, ctx));
+  ASSIGN_OR_RETURN(Value v, result.ScalarValue());
+  if (v.is_null()) {
+    // Zero-iteration loop: targets keep their prior values.
+    return Status::OK();
+  }
+  if (v.is_record()) {
+    const auto& fields = v.record_value();
+    if (fields.size() != ma.targets.size()) {
+      return Status::ExecutionError(
+          "aggregate returned " + std::to_string(fields.size()) +
+          " values for " + std::to_string(ma.targets.size()) + " targets");
+    }
+    for (size_t i = 0; i < ma.targets.size(); ++i) {
+      RETURN_NOT_OK(frame->env->Set(ma.targets[i], fields[i]));
+    }
+    return Status::OK();
+  }
+  if (ma.targets.size() != 1) {
+    return Status::ExecutionError(
+        "scalar aggregate result for multiple assignment targets");
+  }
+  return frame->env->Set(ma.targets[0], std::move(v));
+}
+
+}  // namespace aggify

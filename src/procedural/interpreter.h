@@ -1,0 +1,129 @@
+// Tree-walking interpreter for UDFs, stored procedures, and anonymous
+// procedural blocks — the paper's baseline execution model.
+//
+// Cursor semantics follow §2.3: OPEN executes the cursor query and
+// materializes its result into a temp worktable (charging worktable page
+// writes); FETCH NEXT reads rows back one at a time (charging worktable page
+// reads) and sets @@FETCH_STATUS; CLOSE/DEALLOCATE drop the worktable. This
+// is precisely the overhead Aggify eliminates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parser/statement.h"
+#include "plan/query_engine.h"
+
+namespace aggify {
+
+class Interpreter {
+ public:
+  /// With a null engine, nested queries run through the context's installed
+  /// subquery executor instead (how the synthesized aggregates execute their
+  /// loop bodies without a module cycle).
+  explicit Interpreter(const QueryEngine* engine = nullptr)
+      : engine_(engine) {}
+  virtual ~Interpreter() = default;
+
+  const QueryEngine* engine() const { return engine_; }
+
+  /// Outcome of one loop-body execution inside a synthesized aggregate.
+  enum class LoopBodyOutcome {
+    kCompleted,  ///< ran to the end (or hit CONTINUE)
+    kBreak,      ///< hit BREAK: the aggregate stops accumulating
+  };
+
+  /// \brief Executes a cursor-loop body Δ on behalf of a synthesized
+  /// aggregate's Accumulate(). RETURN inside Δ is an error (the
+  /// applicability check rejects such loops).
+  Result<LoopBodyOutcome> ExecuteLoopBody(const BlockStmt& block,
+                                          VariableEnv* env, ExecContext& ctx);
+
+  /// \brief Invokes a function/procedure: binds parameters (applying
+  /// declared defaults for missing trailing arguments), executes the body,
+  /// and returns the RETURN value (NULL for procedures without RETURN).
+  Result<Value> CallFunction(const FunctionDef& def,
+                             const std::vector<Value>& args, ExecContext& ctx);
+
+  /// \brief Executes a statement block against an existing environment
+  /// (anonymous blocks / client programs). The environment persists, so the
+  /// caller can inspect variables afterwards. Returns the RETURN value if
+  /// the block executed RETURN <expr>, else NULL.
+  Result<Value> ExecuteBlock(const BlockStmt& block, VariableEnv* env,
+                             ExecContext& ctx);
+
+ protected:
+  // --- Hooks the client/ layer overrides to model the network (§10.6). ---
+
+  /// Executes the cursor-defining query at OPEN.
+  virtual Result<QueryResult> RunCursorQuery(const SelectStmt& query,
+                                             ExecContext& ctx) {
+    if (engine_ != nullptr) return engine_->Execute(query, ctx);
+    return ctx.ExecuteSubquery(query);
+  }
+
+  /// Called for each row delivered through FETCH.
+  virtual void OnCursorFetch(const Schema& schema, const Row& row) {
+    AGGIFY_UNUSED(schema);
+    AGGIFY_UNUSED(row);
+  }
+
+  /// Called when a standalone SELECT's results are delivered to the program.
+  virtual void OnQueryResult(const QueryResult& result) {
+    AGGIFY_UNUSED(result);
+  }
+
+  /// Executes a non-cursor query statement (standalone SELECT, the query of
+  /// INSERT..SELECT, a MultiAssign query). The client layer adds round-trip
+  /// costs here.
+  virtual Result<QueryResult> RunQuery(const SelectStmt& query,
+                                       ExecContext& ctx) {
+    if (engine_ != nullptr) return engine_->Execute(query, ctx);
+    return ctx.ExecuteSubquery(query);
+  }
+
+ private:
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  struct CursorState {
+    const SelectStmt* query = nullptr;
+    std::string worktable_name;
+    Table* worktable = nullptr;
+    Schema schema;
+    int64_t position = 0;
+    int64_t last_page = -1;
+    bool open = false;
+  };
+
+  struct CallFrame {
+    VariableEnv* env;
+    /// True inside a UDF/procedure body: persistent-table DML is rejected
+    /// (§4.1 — functions cannot modify persistent state; this is what makes
+    /// every UDF cursor loop Theorem 4.2-rewritable).
+    bool in_function = false;
+    std::map<std::string, CursorState> cursors;
+    std::vector<std::string> temp_tables;  // physical names to drop
+    Value return_value;
+  };
+
+  Result<Flow> ExecStmt(const Stmt& stmt, CallFrame* frame, ExecContext& ctx);
+  Result<Flow> ExecBlockStmts(const BlockStmt& block, CallFrame* frame,
+                              ExecContext& ctx);
+  Status ExecFetch(const FetchStmt& fetch, CallFrame* frame, ExecContext& ctx);
+  Status ExecOpen(const OpenCursorStmt& open, CallFrame* frame,
+                  ExecContext& ctx);
+  Status ExecInsert(const InsertStmt& ins, CallFrame* frame, ExecContext& ctx);
+  Status ExecUpdate(const UpdateStmt& upd, const CallFrame& frame,
+                    ExecContext& ctx);
+  Status ExecDelete(const DeleteStmt& del, const CallFrame& frame,
+                    ExecContext& ctx);
+  Status ExecMultiAssign(const MultiAssignStmt& ma, CallFrame* frame,
+                         ExecContext& ctx);
+  Status CleanupFrame(CallFrame* frame, ExecContext& ctx);
+
+  const QueryEngine* engine_;
+};
+
+}  // namespace aggify

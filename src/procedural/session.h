@@ -1,0 +1,52 @@
+// Session: the top-level user-facing handle — a Database plus a QueryEngine
+// plus an Interpreter, wired so queries can call UDFs and UDF bodies can run
+// queries. This is what examples, tests, benches, and the Aggify driver use.
+#pragma once
+
+#include "parser/parser.h"
+#include "procedural/interpreter.h"
+
+namespace aggify {
+
+class Session {
+ public:
+  /// Creates a session over `db`. The session does not own the database.
+  explicit Session(Database* db, PlannerOptions options = {});
+
+  Database* db() const { return db_; }
+  const QueryEngine& engine() const { return engine_; }
+  Interpreter& interpreter() { return *interpreter_; }
+
+  /// Installs a different interpreter (e.g. the client/ remote interpreter).
+  /// The session keeps using it for UDF invocation and block execution.
+  void SetInterpreter(std::unique_ptr<Interpreter> interp);
+
+  /// \brief Builds an ExecContext wired with both hooks (subquery executor
+  /// and UDF invoker).
+  ExecContext MakeContext();
+
+  /// \brief Runs a full script: CREATE TABLE/INDEX/FUNCTION, INSERT, SELECT
+  /// and anonymous blocks. Results of top-level SELECTs are returned in
+  /// order.
+  Result<std::vector<QueryResult>> RunScript(const Script& script);
+
+  /// Parses and runs a script.
+  Result<std::vector<QueryResult>> RunSql(const std::string& sql);
+
+  /// \brief Executes one SELECT.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// \brief Calls a registered function by name.
+  Result<Value> Call(const std::string& name, const std::vector<Value>& args);
+
+  /// \brief Executes an anonymous block against a fresh environment and
+  /// returns it (for inspecting variables).
+  Result<std::shared_ptr<VariableEnv>> RunBlock(const std::string& sql);
+
+ private:
+  Database* db_;
+  QueryEngine engine_;
+  std::unique_ptr<Interpreter> interpreter_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,126 @@
+#include "storage/catalog.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+bool Catalog::NameLess::operator()(const std::string& a,
+                                   const std::string& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema),
+                                       /*is_worktable=*/false);
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  ++persistent_generation_;
+  return raw;
+}
+
+Result<Table*> Catalog::CreateTempTable(const std::string& name,
+                                        Schema schema) {
+  if (temp_tables_.count(name) != 0) {
+    return Status::AlreadyExists("temp table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema),
+                                       /*is_worktable=*/true);
+  Table* raw = table.get();
+  temp_tables_[name] = std::move(table);
+  ++temp_generation_;
+  return raw;
+}
+
+void Catalog::DropTempTable(const std::string& name) {
+  if (temp_tables_.erase(name) > 0) ++temp_generation_;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second.get();
+  auto tt = temp_tables_.find(name);
+  if (tt != temp_tables_.end()) return tt->second.get();
+  return Status::NotFound("table not found: " + name);
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return static_cast<const Table*>(it->second.get());
+  auto tt = temp_tables_.find(name);
+  if (tt != temp_tables_.end()) {
+    return static_cast<const Table*>(tt->second.get());
+  }
+  return Status::NotFound("table not found: " + name);
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) != 0 || temp_tables_.count(name) != 0;
+}
+
+void Catalog::RegisterFunction(const std::string& name,
+                               std::shared_ptr<const FunctionDef> def) {
+  functions_[name] = std::move(def);
+}
+
+Result<std::shared_ptr<const FunctionDef>> Catalog::GetFunction(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("function not found: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasFunction(const std::string& name) const {
+  return functions_.count(name) != 0;
+}
+
+void Catalog::RegisterAggregate(const std::string& name,
+                                std::shared_ptr<const AggregateFunction> agg) {
+  aggregates_[name] = std::move(agg);
+  ++persistent_generation_;
+}
+
+Result<std::shared_ptr<const AggregateFunction>> Catalog::GetAggregate(
+    const std::string& name) const {
+  auto it = aggregates_.find(name);
+  if (it == aggregates_.end()) {
+    return Status::NotFound("aggregate not found: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasAggregate(const std::string& name) const {
+  return aggregates_.count(name) != 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> Catalog::FunctionNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : functions_) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> Catalog::AggregateNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : aggregates_) names.push_back(k);
+  return names;
+}
+
+}  // namespace aggify

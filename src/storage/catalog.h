@@ -1,0 +1,107 @@
+// Catalog: the registry of tables, scalar functions (UDFs), and aggregate
+// functions (built-in and Aggify-synthesized).
+//
+// Function and aggregate definitions are owned via shared_ptr to types
+// defined in higher layers (ast/, aggregates/); the catalog itself only needs
+// their identity, keeping storage free of upward dependencies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace aggify {
+
+struct FunctionDef;       // ast/procedural_ast.h
+class AggregateFunction;  // aggregates/aggregate_function.h
+
+class Catalog {
+ public:
+  /// Creates a persistent table. Errors: AlreadyExists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Creates a temp table / table variable (worktable accounting).
+  /// Temp names live in their own namespace, so "#t" and "t" can coexist.
+  Result<Table*> CreateTempTable(const std::string& name, Schema schema);
+
+  /// Drops a temp table (no-op if absent; end-of-procedure cleanup).
+  void DropTempTable(const std::string& name);
+
+  /// Looks up persistent first, then temp. Errors: NotFound.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Registers a UDF / stored procedure. Replaces any previous definition
+  /// with the same name (CREATE OR ALTER semantics).
+  void RegisterFunction(const std::string& name,
+                        std::shared_ptr<const FunctionDef> def);
+
+  Result<std::shared_ptr<const FunctionDef>> GetFunction(
+      const std::string& name) const;
+  bool HasFunction(const std::string& name) const;
+
+  /// Registers an aggregate function (built-in or synthesized). Replaces.
+  void RegisterAggregate(const std::string& name,
+                         std::shared_ptr<const AggregateFunction> agg);
+
+  Result<std::shared_ptr<const AggregateFunction>> GetAggregate(
+      const std::string& name) const;
+  bool HasAggregate(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> FunctionNames() const;
+  std::vector<std::string> AggregateNames() const;
+
+  /// Plan-cache fencing. Cached physical plans hold raw Table pointers and
+  /// aggregate shared_ptrs, so catalog mutations must invalidate them:
+  ///  - persistent_generation() bumps on persistent-table creation and
+  ///    aggregate registration; every cached plan checks it.
+  ///  - temp_generation() bumps on temp-table creation/drop (every cursor
+  ///    OPEN/CLOSE); only plans touching worktables check it, so the
+  ///    original cursor programs' churn does not evict unrelated plans.
+  /// Index creation goes through Table directly and does not bump — create
+  /// indexes before querying within a session.
+  int64_t persistent_generation() const { return persistent_generation_; }
+  int64_t temp_generation() const { return temp_generation_; }
+
+ private:
+  // Case-insensitive name comparator (SQL identifiers).
+  struct NameLess {
+    bool operator()(const std::string& a, const std::string& b) const;
+  };
+  std::map<std::string, std::unique_ptr<Table>, NameLess> tables_;
+  std::map<std::string, std::unique_ptr<Table>, NameLess> temp_tables_;
+  std::map<std::string, std::shared_ptr<const FunctionDef>, NameLess>
+      functions_;
+  std::map<std::string, std::shared_ptr<const AggregateFunction>, NameLess>
+      aggregates_;
+  int64_t persistent_generation_ = 0;
+  int64_t temp_generation_ = 0;
+};
+
+/// \brief A database instance: catalog plus the I/O accounting shared by all
+/// executions against it.
+class Database {
+ public:
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  /// Monotonic counter used to name synthesized objects (worktables,
+  /// generated aggregates) uniquely.
+  int64_t NextObjectId() { return ++object_id_; }
+
+ private:
+  Catalog catalog_;
+  IoStats stats_;
+  int64_t object_id_ = 0;
+};
+
+}  // namespace aggify

@@ -1,0 +1,19 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace aggify {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "logical_reads=" << logical_reads
+     << " worktable_writes=" << worktable_pages_written
+     << " worktable_reads=" << worktable_pages_read
+     << " cursor_fetches=" << cursor_fetches
+     << " cursors_opened=" << cursors_opened
+     << " queries=" << queries_executed
+     << " rows=" << rows_produced;
+  return os.str();
+}
+
+}  // namespace aggify

@@ -1,0 +1,128 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace aggify {
+
+void HashIndex::Insert(const Value& key, int64_t row_id) {
+  map_[key].push_back(row_id);
+}
+
+const std::vector<int64_t>* HashIndex::Lookup(const Value& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Table::Table(std::string name, Schema schema, bool is_worktable,
+             int64_t page_bytes)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      is_worktable_(is_worktable) {
+  int64_t row_bytes = std::max<int64_t>(1, schema_.RowWireSize());
+  rows_per_page_ = std::max<int64_t>(1, page_bytes / row_bytes);
+}
+
+int64_t Table::num_pages() const {
+  return (num_rows() + rows_per_page_ - 1) / rows_per_page_;
+}
+
+Status Table::Insert(Row row, IoStats* stats) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::ExecutionError(
+        "insert arity mismatch on table '" + name_ + "': got " +
+        std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.num_columns()));
+  }
+  int64_t row_id = num_rows();
+  // Maintain indexes before the move.
+  for (auto& idx : indexes_) {
+    idx->Insert(row[idx->column_index()], row_id);
+  }
+  rows_.push_back(std::move(row));
+  if (is_worktable_ && stats != nullptr) {
+    // Charge a page write whenever a new page is started.
+    if (row_id % rows_per_page_ == 0) ++stats->worktable_pages_written;
+  }
+  return Status::OK();
+}
+
+const Row& Table::ReadRow(int64_t row_id, int64_t* last_page,
+                          IoStats* stats) const {
+  int64_t page = PageOf(row_id);
+  if (page != *last_page) {
+    *last_page = page;
+    if (stats != nullptr) {
+      if (is_worktable_) {
+        ++stats->worktable_pages_read;
+      } else {
+        ++stats->logical_reads;
+      }
+    }
+  }
+  return rows_[row_id];
+}
+
+int64_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred,
+                           IoStats* stats) {
+  if (stats != nullptr) {
+    if (is_worktable_) {
+      stats->worktable_pages_read += num_pages();
+    } else {
+      stats->logical_reads += num_pages();
+    }
+  }
+  int64_t before = num_rows();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+  // Indexes would be stale after deletion; drop them (temp tables in the
+  // reproduced workloads never mix indexes with deletes).
+  if (before != num_rows()) indexes_.clear();
+  return before - num_rows();
+}
+
+Status Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
+                          const std::function<Status(Row*)>& update,
+                          IoStats* stats) {
+  if (stats != nullptr) {
+    if (is_worktable_) {
+      stats->worktable_pages_read += num_pages();
+    } else {
+      stats->logical_reads += num_pages();
+    }
+  }
+  bool touched = false;
+  for (Row& r : rows_) {
+    if (pred(r)) {
+      RETURN_NOT_OK(update(&r));
+      touched = true;
+    }
+  }
+  if (touched) indexes_.clear();
+  return Status::OK();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  indexes_.clear();
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column_name) {
+  ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column_name));
+  auto idx = std::make_unique<HashIndex>(index_name, col);
+  for (int64_t i = 0; i < num_rows(); ++i) {
+    idx->Insert(rows_[i][col], i);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const HashIndex* Table::FindIndex(const std::string& column_name) const {
+  auto col = schema_.IndexOf(column_name);
+  if (!col.ok()) return nullptr;
+  for (const auto& idx : indexes_) {
+    if (idx->column_index() == *col) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace aggify

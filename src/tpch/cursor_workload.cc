@@ -1,0 +1,264 @@
+#include "tpch/cursor_workload.h"
+
+namespace aggify {
+
+namespace {
+
+std::vector<TpchCursorQuery> BuildQueries() {
+  std::vector<TpchCursorQuery> queries;
+
+  // ---- Q2: minimum-cost supplier per part (the paper's running example).
+  {
+    TpchCursorQuery q;
+    q.id = "Q2";
+    q.description = "minimum-cost supplier per part";
+    q.udf_names = {"q2_mincostsupp"};
+    q.udf_sql = R"(
+      CREATE FUNCTION q2_mincostsupp(@pkey INT) RETURNS CHAR(25) AS
+      BEGIN
+        DECLARE @pcost DECIMAL(15,2);
+        DECLARE @sname CHAR(25);
+        DECLARE @mincost DECIMAL(15,2) = 100000000;
+        DECLARE @supp CHAR(25);
+        DECLARE c CURSOR FOR
+          SELECT ps_supplycost, s_name FROM partsupp, supplier
+          WHERE ps_partkey = @pkey AND ps_suppkey = s_suppkey;
+        OPEN c;
+        FETCH NEXT FROM c INTO @pcost, @sname;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@pcost < @mincost)
+          BEGIN
+            SET @mincost = @pcost;
+            SET @supp = @sname;
+          END
+          FETCH NEXT FROM c INTO @pcost, @sname;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @supp;
+      END
+    )";
+    q.driver_sql =
+        "SELECT p_partkey, q2_mincostsupp(p_partkey) AS minsupp FROM part";
+    queries.push_back(std::move(q));
+  }
+
+  // ---- Q13: orders per customer, excluding special-request comments.
+  {
+    TpchCursorQuery q;
+    q.id = "Q13";
+    q.description = "order count per customer (comment-filtered)";
+    q.udf_names = {"q13_countorders"};
+    q.udf_sql = R"(
+      CREATE FUNCTION q13_countorders(@ck INT) RETURNS INT AS
+      BEGIN
+        DECLARE @cmt VARCHAR(79);
+        DECLARE @cnt INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT o_comment FROM orders WHERE o_custkey = @ck;
+        OPEN c;
+        FETCH NEXT FROM c INTO @cmt;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (charindex('special', @cmt) = 0)
+            SET @cnt = @cnt + 1;
+          FETCH NEXT FROM c INTO @cmt;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @cnt;
+      END
+    )";
+    q.driver_sql =
+        "SELECT c_custkey, q13_countorders(c_custkey) AS cnt FROM customer";
+    queries.push_back(std::move(q));
+  }
+
+  // ---- Q14: promo revenue share over a shipping month. One big loop with
+  // two live accumulators (multi-variable V_term) — not Froid-inlinable.
+  {
+    TpchCursorQuery q;
+    q.id = "Q14";
+    q.description = "promotion revenue share";
+    q.udf_names = {"q14_promo_revenue"};
+    q.froid_applicable = false;
+    q.udf_sql = R"(
+      CREATE FUNCTION q14_promo_revenue(@from DATE, @to DATE) RETURNS FLOAT AS
+      BEGIN
+        DECLARE @price FLOAT;
+        DECLARE @disc FLOAT;
+        DECLARE @ptype VARCHAR(25);
+        DECLARE @promo FLOAT = 0.0;
+        DECLARE @total FLOAT = 0.0;
+        DECLARE c CURSOR FOR
+          SELECT l_extendedprice, l_discount, p_type FROM lineitem, part
+          WHERE l_partkey = p_partkey
+            AND l_shipdate >= @from AND l_shipdate < @to;
+        OPEN c;
+        FETCH NEXT FROM c INTO @price, @disc, @ptype;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          DECLARE @rev FLOAT = @price * (1 - @disc);
+          IF (charindex('PROMO', @ptype) = 1)
+            SET @promo = @promo + @rev;
+          SET @total = @total + @rev;
+          FETCH NEXT FROM c INTO @price, @disc, @ptype;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        IF (@total = 0)
+          RETURN 0.0;
+        RETURN 100.0 * @promo / @total;
+      END
+    )";
+    q.driver_sql =
+        "SELECT q14_promo_revenue('1995-09-01', '1995-10-01') AS promo_share";
+    queries.push_back(std::move(q));
+  }
+
+  // ---- Q18: total lineitem quantity per order (large-volume customers).
+  {
+    TpchCursorQuery q;
+    q.id = "Q18";
+    q.description = "total quantity per order";
+    q.udf_names = {"q18_totalqty"};
+    q.udf_sql = R"(
+      CREATE FUNCTION q18_totalqty(@ok INT) RETURNS FLOAT AS
+      BEGIN
+        DECLARE @qty FLOAT;
+        DECLARE @sum FLOAT = 0.0;
+        DECLARE c CURSOR FOR
+          SELECT l_quantity FROM lineitem WHERE l_orderkey = @ok;
+        OPEN c;
+        FETCH NEXT FROM c INTO @qty;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @sum = @sum + @qty;
+          FETCH NEXT FROM c INTO @qty;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @sum;
+      END
+    )";
+    q.driver_sql =
+        "SELECT o_orderkey, q18_totalqty(o_orderkey) AS totqty FROM orders";
+    queries.push_back(std::move(q));
+  }
+
+  // ---- Q19: discounted revenue under disjunctive brand/quantity/size
+  // predicates; single loop, two live accumulators are not needed — but the
+  // complex OR predicate lives in the loop body. Not Froid-inlinable
+  // because the driver calls it once (inlining gives nothing) and the body
+  // references fetch variables in a single-variable V_term; keep it
+  // inline-eligible and let the pipeline decide.
+  {
+    TpchCursorQuery q;
+    q.id = "Q19";
+    q.description = "discounted revenue (disjunctive predicates)";
+    q.udf_names = {"q19_revenue"};
+    q.udf_sql = R"(
+      CREATE FUNCTION q19_revenue() RETURNS FLOAT AS
+      BEGIN
+        DECLARE @price FLOAT;
+        DECLARE @disc FLOAT;
+        DECLARE @qty FLOAT;
+        DECLARE @size INT;
+        DECLARE @mfgr VARCHAR(25);
+        DECLARE @rev FLOAT = 0.0;
+        DECLARE c CURSOR FOR
+          SELECT l_extendedprice, l_discount, l_quantity, p_size, p_mfgr
+          FROM lineitem, part
+          WHERE l_partkey = p_partkey;
+        OPEN c;
+        FETCH NEXT FROM c INTO @price, @disc, @qty, @size, @mfgr;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF ((@mfgr = 'Manufacturer#1' AND @qty >= 1 AND @qty <= 11
+               AND @size <= 5)
+              OR (@mfgr = 'Manufacturer#2' AND @qty >= 10 AND @qty <= 20
+                  AND @size <= 10)
+              OR (@mfgr = 'Manufacturer#3' AND @qty >= 20 AND @qty <= 30
+                  AND @size <= 15))
+            SET @rev = @rev + @price * (1 - @disc);
+          FETCH NEXT FROM c INTO @price, @disc, @qty, @size, @mfgr;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @rev;
+      END
+    )";
+    q.driver_sql = "SELECT q19_revenue() AS revenue";
+    queries.push_back(std::move(q));
+  }
+
+  // ---- Q21: suppliers who kept orders waiting (nested queries inside the
+  // loop body).
+  {
+    TpchCursorQuery q;
+    q.id = "Q21";
+    q.description = "waiting orders per supplier (nested subqueries in loop)";
+    q.udf_names = {"q21_numwaiting"};
+    q.udf_sql = R"(
+      CREATE FUNCTION q21_numwaiting(@sk INT) RETURNS INT AS
+      BEGIN
+        DECLARE @ok INT;
+        DECLARE @cnt INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT l_orderkey FROM lineitem
+          WHERE l_suppkey = @sk AND l_receiptdate > l_commitdate;
+        OPEN c;
+        FETCH NEXT FROM c INTO @ok;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          DECLARE @others INT;
+          DECLARE @otherslate INT;
+          SET @others = (SELECT COUNT(*) FROM lineitem
+                         WHERE l_orderkey = @ok AND l_suppkey <> @sk);
+          SET @otherslate = (SELECT COUNT(*) FROM lineitem
+                             WHERE l_orderkey = @ok AND l_suppkey <> @sk
+                               AND l_receiptdate > l_commitdate);
+          IF (@others > 0 AND @otherslate = 0)
+            SET @cnt = @cnt + 1;
+          FETCH NEXT FROM c INTO @ok;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @cnt;
+      END
+    )";
+    q.driver_sql =
+        "SELECT s_suppkey, q21_numwaiting(s_suppkey) AS numwait FROM supplier";
+    queries.push_back(std::move(q));
+  }
+
+  return queries;
+}
+
+}  // namespace
+
+const std::vector<TpchCursorQuery>& TpchCursorQueries() {
+  static const std::vector<TpchCursorQuery>* kQueries =
+      new std::vector<TpchCursorQuery>(BuildQueries());
+  return *kQueries;
+}
+
+Status RegisterTpchCursorWorkload(Session* session) {
+  for (const auto& q : TpchCursorQueries()) {
+    RETURN_NOT_OK(session->RunSql(q.udf_sql).status());
+  }
+  return Status::OK();
+}
+
+Result<TpchCursorQuery> GetTpchCursorQuery(const std::string& id) {
+  for (const auto& q : TpchCursorQueries()) {
+    if (q.id == id) {
+      TpchCursorQuery copy = q;
+      return copy;
+    }
+  }
+  return Status::NotFound("no TPC-H cursor workload query named " + id);
+}
+
+}  // namespace aggify

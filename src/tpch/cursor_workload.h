@@ -1,0 +1,33 @@
+// The TPC-H cursor-loop workload of §10.1: specifications of TPC-H queries
+// Q2, Q13, Q14, Q18, Q19, Q21 implemented with cursor loops (UDF + driver
+// query), exactly the structure the paper benchmarks in Fig. 9(a)/Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "procedural/session.h"
+
+namespace aggify {
+
+struct TpchCursorQuery {
+  std::string id;           ///< "Q2", "Q13", ...
+  std::string description;
+  std::vector<std::string> udf_names;  ///< UDFs the driver invokes
+  std::string udf_sql;                 ///< CREATE FUNCTION statements
+  std::string driver_sql;              ///< the query that runs the workload
+  /// Whether Froid UDF inlining applies on top of Aggify ("Aggify+"):
+  /// multi-variable V_term loops (Q14, Q19) are not inlinable.
+  bool froid_applicable = true;
+};
+
+/// The six workload queries.
+const std::vector<TpchCursorQuery>& TpchCursorQueries();
+
+/// Registers all workload UDFs with the session's database.
+Status RegisterTpchCursorWorkload(Session* session);
+
+/// Returns the workload query with the given id. Errors: NotFound.
+Result<TpchCursorQuery> GetTpchCursorQuery(const std::string& id);
+
+}  // namespace aggify

@@ -1,0 +1,247 @@
+#include "tpch/tpch_gen.h"
+
+#include <array>
+
+#include "types/value.h"
+
+namespace aggify {
+
+namespace {
+
+constexpr std::array<const char*, 5> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                                 "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+constexpr std::array<const char*, 6> kTypePrefix = {"PROMO", "STANDARD",
+                                                    "SMALL", "MEDIUM",
+                                                    "LARGE", "ECONOMY"};
+constexpr std::array<const char*, 5> kTypeMid = {"ANODIZED", "BURNISHED",
+                                                 "PLATED", "POLISHED",
+                                                 "BRUSHED"};
+constexpr std::array<const char*, 5> kTypeSuffix = {"TIN", "NICKEL", "BRASS",
+                                                    "STEEL", "COPPER"};
+constexpr std::array<const char*, 5> kSegments = {"AUTOMOBILE", "BUILDING",
+                                                  "FURNITURE", "MACHINERY",
+                                                  "HOUSEHOLD"};
+
+std::string PaddedName(const char* prefix, int64_t key) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  return buf;
+}
+
+Schema RegionSchema() {
+  return Schema({Column("r_regionkey", DataType::Int()),
+                 Column("r_name", DataType::String(25))});
+}
+
+Schema NationSchema() {
+  return Schema({Column("n_nationkey", DataType::Int()),
+                 Column("n_name", DataType::String(25)),
+                 Column("n_regionkey", DataType::Int())});
+}
+
+Schema SupplierSchema() {
+  return Schema({Column("s_suppkey", DataType::Int()),
+                 Column("s_name", DataType::String(25)),
+                 Column("s_nationkey", DataType::Int()),
+                 Column("s_acctbal", DataType::Decimal(15, 2))});
+}
+
+Schema PartSchema() {
+  return Schema({Column("p_partkey", DataType::Int()),
+                 Column("p_name", DataType::String(55)),
+                 Column("p_mfgr", DataType::String(25)),
+                 Column("p_type", DataType::String(25)),
+                 Column("p_size", DataType::Int()),
+                 Column("p_retailprice", DataType::Decimal(15, 2))});
+}
+
+Schema PartsuppSchema() {
+  return Schema({Column("ps_partkey", DataType::Int()),
+                 Column("ps_suppkey", DataType::Int()),
+                 Column("ps_availqty", DataType::Int()),
+                 Column("ps_supplycost", DataType::Decimal(15, 2))});
+}
+
+Schema CustomerSchema() {
+  return Schema({Column("c_custkey", DataType::Int()),
+                 Column("c_name", DataType::String(25)),
+                 Column("c_nationkey", DataType::Int()),
+                 Column("c_mktsegment", DataType::String(10)),
+                 Column("c_acctbal", DataType::Decimal(15, 2))});
+}
+
+Schema OrdersSchema() {
+  return Schema({Column("o_orderkey", DataType::Int()),
+                 Column("o_custkey", DataType::Int()),
+                 Column("o_orderstatus", DataType::String(1)),
+                 Column("o_totalprice", DataType::Decimal(15, 2)),
+                 Column("o_orderdate", DataType::Date()),
+                 Column("o_comment", DataType::String(79))});
+}
+
+Schema LineitemSchema() {
+  return Schema({Column("l_orderkey", DataType::Int()),
+                 Column("l_partkey", DataType::Int()),
+                 Column("l_suppkey", DataType::Int()),
+                 Column("l_linenumber", DataType::Int()),
+                 Column("l_quantity", DataType::Decimal(15, 2)),
+                 Column("l_extendedprice", DataType::Decimal(15, 2)),
+                 Column("l_discount", DataType::Decimal(15, 2)),
+                 Column("l_tax", DataType::Decimal(15, 2)),
+                 Column("l_returnflag", DataType::String(1)),
+                 Column("l_shipdate", DataType::Date()),
+                 Column("l_commitdate", DataType::Date()),
+                 Column("l_receiptdate", DataType::Date())});
+}
+
+}  // namespace
+
+Status PopulateTpch(Database* db, const TpchConfig& config) {
+  Catalog& catalog = db->catalog();
+  Random rng(config.seed);
+  // No I/O accounting during load: the paper measures warm-cache queries.
+  IoStats* no_stats = nullptr;
+
+  // region / nation.
+  ASSIGN_OR_RETURN(Table * region, catalog.CreateTable("region", RegionSchema()));
+  for (size_t i = 0; i < kRegions.size(); ++i) {
+    RETURN_NOT_OK(region->Insert(
+        {Value::Int(static_cast<int64_t>(i)), Value::String(kRegions[i])},
+        no_stats));
+  }
+  ASSIGN_OR_RETURN(Table * nation, catalog.CreateTable("nation", NationSchema()));
+  for (size_t i = 0; i < kNations.size(); ++i) {
+    RETURN_NOT_OK(nation->Insert({Value::Int(static_cast<int64_t>(i)),
+                                  Value::String(kNations[i]),
+                                  Value::Int(static_cast<int64_t>(i % 5))},
+                                 no_stats));
+  }
+
+  // supplier.
+  const int64_t num_suppliers = config.num_suppliers();
+  ASSIGN_OR_RETURN(Table * supplier,
+                   catalog.CreateTable("supplier", SupplierSchema()));
+  for (int64_t k = 1; k <= num_suppliers; ++k) {
+    RETURN_NOT_OK(supplier->Insert(
+        {Value::Int(k), Value::String(PaddedName("Supplier", k)),
+         Value::Int(rng.UniformRange(0, 24)),
+         Value::Double(static_cast<double>(rng.UniformRange(-99999, 999999)) /
+                       100.0)},
+        no_stats));
+  }
+
+  // part.
+  const int64_t num_parts = config.num_parts();
+  ASSIGN_OR_RETURN(Table * part, catalog.CreateTable("part", PartSchema()));
+  for (int64_t k = 1; k <= num_parts; ++k) {
+    std::string type = std::string(kTypePrefix[rng.Uniform(6)]) + " " +
+                       kTypeMid[rng.Uniform(5)] + " " +
+                       kTypeSuffix[rng.Uniform(5)];
+    double retail =
+        (90000.0 + static_cast<double>((k / 10) % 20001) +
+         100.0 * static_cast<double>(k % 1000)) / 100.0;
+    RETURN_NOT_OK(part->Insert(
+        {Value::Int(k), Value::String(PaddedName("Part", k)),
+         Value::String("Manufacturer#" + std::to_string(1 + k % 5)),
+         Value::String(type), Value::Int(rng.UniformRange(1, 50)),
+         Value::Double(retail)},
+        no_stats));
+  }
+
+  // partsupp: 4 suppliers per part (dbgen's formula, simplified).
+  ASSIGN_OR_RETURN(Table * partsupp,
+                   catalog.CreateTable("partsupp", PartsuppSchema()));
+  for (int64_t k = 1; k <= num_parts; ++k) {
+    for (int64_t i = 0; i < 4; ++i) {
+      int64_t suppkey =
+          (k + i * (num_suppliers / 4 + (k - 1) / num_suppliers)) %
+              num_suppliers + 1;
+      RETURN_NOT_OK(partsupp->Insert(
+          {Value::Int(k), Value::Int(suppkey),
+           Value::Int(rng.UniformRange(1, 9999)),
+           Value::Double(static_cast<double>(rng.UniformRange(100, 100000)) /
+                         100.0)},
+          no_stats));
+    }
+  }
+
+  // customer.
+  const int64_t num_customers = config.num_customers();
+  ASSIGN_OR_RETURN(Table * customer,
+                   catalog.CreateTable("customer", CustomerSchema()));
+  for (int64_t k = 1; k <= num_customers; ++k) {
+    RETURN_NOT_OK(customer->Insert(
+        {Value::Int(k), Value::String(PaddedName("Customer", k)),
+         Value::Int(rng.UniformRange(0, 24)),
+         Value::String(kSegments[rng.Uniform(5)]),
+         Value::Double(static_cast<double>(rng.UniformRange(-99999, 999999)) /
+                       100.0)},
+        no_stats));
+  }
+
+  // orders + lineitem.
+  const int64_t num_orders = config.num_orders();
+  ASSIGN_OR_RETURN(Table * orders, catalog.CreateTable("orders", OrdersSchema()));
+  ASSIGN_OR_RETURN(Table * lineitem,
+                   catalog.CreateTable("lineitem", LineitemSchema()));
+  const Date epoch = MakeDate(1992, 1, 1);
+  for (int64_t k = 1; k <= num_orders; ++k) {
+    int64_t custkey = rng.UniformRange(1, num_customers);
+    Date orderdate{epoch.days + static_cast<int32_t>(rng.Uniform(2406))};
+    // ~10% of comments mention special requests (the Q13 filter).
+    std::string comment = rng.OneIn(10)
+                              ? "customer had special requests for packaging"
+                              : "regular order " + rng.AlphaString(12);
+    int64_t num_lines = rng.UniformRange(1, 7);
+    double total = 0;
+    for (int64_t line = 1; line <= num_lines; ++line) {
+      double qty = static_cast<double>(rng.UniformRange(1, 50));
+      double price = static_cast<double>(rng.UniformRange(90000, 10000000)) /
+                     100.0;
+      double discount =
+          static_cast<double>(rng.UniformRange(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.UniformRange(0, 8)) / 100.0;
+      Date shipdate{orderdate.days + static_cast<int32_t>(rng.UniformRange(1, 121))};
+      Date commitdate{orderdate.days +
+                      static_cast<int32_t>(rng.UniformRange(30, 90))};
+      Date receiptdate{shipdate.days +
+                       static_cast<int32_t>(rng.UniformRange(1, 30))};
+      total += price;
+      RETURN_NOT_OK(lineitem->Insert(
+          {Value::Int(k), Value::Int(rng.UniformRange(1, num_parts)),
+           Value::Int(rng.UniformRange(1, num_suppliers)), Value::Int(line),
+           Value::Double(qty), Value::Double(price), Value::Double(discount),
+           Value::Double(tax),
+           Value::String(rng.OneIn(4) ? "R" : (rng.OneIn(2) ? "A" : "N")),
+           Value::FromDate(shipdate), Value::FromDate(commitdate),
+           Value::FromDate(receiptdate)},
+          no_stats));
+    }
+    RETURN_NOT_OK(orders->Insert(
+        {Value::Int(k), Value::Int(custkey),
+         Value::String(rng.OneIn(2) ? "O" : "F"), Value::Double(total),
+         Value::FromDate(orderdate), Value::String(comment)},
+        no_stats));
+  }
+
+  if (config.create_paper_indexes) {
+    RETURN_NOT_OK(lineitem->CreateIndex("idx_l_orderkey", "l_orderkey"));
+    RETURN_NOT_OK(lineitem->CreateIndex("idx_l_suppkey", "l_suppkey"));
+    RETURN_NOT_OK(orders->CreateIndex("idx_o_custkey", "o_custkey"));
+    RETURN_NOT_OK(partsupp->CreateIndex("idx_ps_partkey", "ps_partkey"));
+    // Join-side lookups used throughout the workload.
+    RETURN_NOT_OK(supplier->CreateIndex("idx_s_suppkey", "s_suppkey"));
+    RETURN_NOT_OK(part->CreateIndex("idx_p_partkey", "p_partkey"));
+  }
+  return Status::OK();
+}
+
+}  // namespace aggify

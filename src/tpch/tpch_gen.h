@@ -1,0 +1,38 @@
+// Deterministic TPC-H-like data generator (dbgen analogue).
+//
+// Produces the eight TPC-H tables at a configurable scale factor with the
+// value distributions the reproduced queries depend on (promo part types,
+// 'special requests' order comments, late lineitem receipts, ...). The
+// paper ran at SF 10; this generator targets laptop scale (SF 0.001–0.1) —
+// DESIGN.md §3 discusses why the shape of the results is preserved.
+#pragma once
+
+#include "common/random.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+struct TpchConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 20200614;  // SIGMOD 2020
+  /// Creates the paper's indexes: LINEITEM(l_orderkey), LINEITEM(l_suppkey),
+  /// ORDERS(o_custkey), PARTSUPP(ps_partkey).
+  bool create_paper_indexes = true;
+
+  int64_t num_parts() const { return Scaled(200000); }
+  int64_t num_suppliers() const { return Scaled(10000); }
+  int64_t num_customers() const { return Scaled(150000); }
+  int64_t num_orders() const { return Scaled(1500000); }
+
+ private:
+  int64_t Scaled(int64_t base) const {
+    auto n = static_cast<int64_t>(static_cast<double>(base) * scale_factor);
+    return n < 1 ? 1 : n;
+  }
+};
+
+/// \brief Creates and populates the TPC-H tables in `db`.
+/// Errors: AlreadyExists if the tables are already present.
+Status PopulateTpch(Database* db, const TpchConfig& config = {});
+
+}  // namespace aggify

@@ -1,0 +1,73 @@
+#include "types/data_type.h"
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+std::string DataType::ToString() const {
+  switch (id) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      if (width > 0) {
+        return "DECIMAL(" + std::to_string(width) + "," +
+               std::to_string(scale) + ")";
+      }
+      return "FLOAT";
+    case TypeId::kString:
+      if (width > 0) return "CHAR(" + std::to_string(width) + ")";
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kRecord:
+      return "RECORD";
+  }
+  return "?";
+}
+
+int32_t DataType::WireSize() const {
+  switch (id) {
+    case TypeId::kNull:
+      return 1;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt:
+      return 4;
+    case TypeId::kDouble:
+      // DECIMAL(p,s) ships as 9 bytes like the paper assumes; FLOAT as 8.
+      return width > 0 ? 9 : 8;
+    case TypeId::kString:
+      return width > 0 ? width : 16;
+    case TypeId::kDate:
+      return 3;
+    case TypeId::kRecord:
+      return 16;
+  }
+  return 8;
+}
+
+Result<DataType> DataTypeFromName(const std::string& name, int32_t width,
+                                  int32_t scale) {
+  std::string n = ToLower(name);
+  if (n == "int" || n == "integer" || n == "bigint" || n == "smallint" ||
+      n == "tinyint") {
+    return DataType::Int();
+  }
+  if (n == "bool" || n == "boolean" || n == "bit") return DataType::Bool();
+  if (n == "float" || n == "double" || n == "real") return DataType::Double();
+  if (n == "decimal" || n == "numeric" || n == "money") {
+    return DataType::Decimal(width > 0 ? width : 18, scale);
+  }
+  if (n == "char" || n == "varchar" || n == "nchar" || n == "nvarchar" ||
+      n == "text" || n == "string") {
+    return DataType::String(width);
+  }
+  if (n == "date" || n == "datetime") return DataType::Date();
+  return Status::ParseError("unknown type name: " + name);
+}
+
+}  // namespace aggify

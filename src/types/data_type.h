@@ -1,0 +1,71 @@
+// Logical data types of the dialect.
+//
+// The runtime representation is deliberately narrow (see value.h): DECIMAL
+// columns execute as binary double. The paper itself (§9) notes its prototype
+// changes numeric semantics when translating T-SQL to C#; none of the
+// reproduced experiments depend on decimal rounding (see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace aggify {
+
+enum class TypeId : uint8_t {
+  kNull = 0,   ///< type of the NULL literal before coercion
+  kBool,
+  kInt,        ///< 64-bit signed integer (covers INT / BIGINT / SMALLINT)
+  kDouble,     ///< binary double (covers FLOAT / DECIMAL / NUMERIC)
+  kString,     ///< variable-length string (covers CHAR / VARCHAR / TEXT)
+  kDate,       ///< days since 1970-01-01
+  kRecord,     ///< tuple of values; the UDT used by synthesized aggregates'
+               ///< Terminate() to return all live loop variables (§5.4)
+};
+
+/// \brief A column/variable type: a TypeId plus the declared width/precision
+/// (kept for DDL fidelity and data-movement accounting, not enforced at
+/// runtime).
+struct DataType {
+  TypeId id = TypeId::kNull;
+  /// Declared length for CHAR(n)/VARCHAR(n), precision for DECIMAL(p,s);
+  /// 0 when unspecified.
+  int32_t width = 0;
+  int32_t scale = 0;
+
+  DataType() = default;
+  explicit DataType(TypeId tid, int32_t w = 0, int32_t s = 0)
+      : id(tid), width(w), scale(s) {}
+
+  static DataType Bool() { return DataType(TypeId::kBool); }
+  static DataType Int() { return DataType(TypeId::kInt); }
+  static DataType Double() { return DataType(TypeId::kDouble); }
+  static DataType Decimal(int32_t p, int32_t s) {
+    return DataType(TypeId::kDouble, p, s);
+  }
+  static DataType String(int32_t n = 0) {
+    return DataType(TypeId::kString, n);
+  }
+  static DataType Date() { return DataType(TypeId::kDate); }
+
+  bool is_numeric() const {
+    return id == TypeId::kInt || id == TypeId::kDouble;
+  }
+
+  bool operator==(const DataType& o) const { return id == o.id; }
+
+  /// SQL-ish rendering, e.g. "DECIMAL(15,2)", "CHAR(25)", "INT".
+  std::string ToString() const;
+
+  /// Wire size in bytes of one value of this type, used by the client
+  /// network model (§10.6): matches the paper's accounting (4-byte ints,
+  /// width-byte chars, 9-byte decimals, 8-byte floats, 3-byte dates).
+  int32_t WireSize() const;
+};
+
+/// \brief Parses a type name from DDL ("int", "decimal", "char", ...).
+Result<DataType> DataTypeFromName(const std::string& name, int32_t width,
+                                  int32_t scale);
+
+}  // namespace aggify

@@ -1,0 +1,88 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  std::string qual;
+  std::string base = name;
+  auto dot = name.find('.');
+  if (dot != std::string::npos) {
+    qual = name.substr(0, dot);
+    base = name.substr(dot + 1);
+  }
+  size_t found = SIZE_MAX;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, base)) continue;
+    if (!qual.empty() && !EqualsIgnoreCase(c.qualifier, qual)) continue;
+    if (found != SIZE_MAX) {
+      return Status::BindError("ambiguous column reference: " + name);
+    }
+    found = i;
+  }
+  if (found == SIZE_MAX) {
+    return Status::NotFound("column not found: " + name);
+  }
+  return found;
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  Schema out;
+  for (const Column& c : columns_) {
+    out.AddColumn(Column(c.name, c.type, alias));
+  }
+  return out;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns()) out.AddColumn(c);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].FullName() + " " + columns_[i].type.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+int64_t Schema::RowWireSize() const {
+  int64_t total = 0;
+  for (const Column& c : columns_) total += c.type.WireSize();
+  return total;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StructurallyEquals(b[i])) return false;
+  }
+  return true;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aggify

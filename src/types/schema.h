@@ -1,0 +1,81 @@
+// Schema and Row: the tuple model shared by storage, planner and executor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace aggify {
+
+/// \brief One attribute of a schema. `qualifier` is the table name or alias
+/// the column is visible under ("" when unqualified, e.g. computed columns).
+struct Column {
+  std::string name;
+  DataType type;
+  std::string qualifier;
+
+  Column() = default;
+  Column(std::string n, DataType t, std::string q = "")
+      : name(std::move(n)), type(t), qualifier(std::move(q)) {}
+
+  /// "qualifier.name" or "name".
+  std::string FullName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief An ordered list of columns. Lookup is ASCII case-insensitive,
+/// optionally qualified.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : columns_(std::move(cols)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Index of the column matching `name` (optionally "qual.name").
+  /// Errors: NotFound if absent, BindError if ambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if some column matches `name` unambiguously.
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  /// Schema with all qualifiers replaced by `alias`.
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Concatenation (for joins).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(a INT, t.b VARCHAR)" — diagnostics only.
+  std::string ToString() const;
+
+  /// Total wire size of one row of this schema in bytes (client model).
+  int64_t RowWireSize() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// \brief A materialized tuple. Values are positional against some Schema.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-sensitive), consistent with
+/// Value::StructurallyEquals per element.
+uint64_t HashRow(const Row& row);
+
+/// Element-wise StructurallyEquals.
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Diagnostics: "[1, foo, NULL]".
+std::string RowToString(const Row& row);
+
+}  // namespace aggify

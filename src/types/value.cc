@@ -1,0 +1,402 @@
+#include "types/value.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace aggify {
+
+namespace {
+
+constexpr int kDaysPerMonthNormal[] = {31, 28, 31, 30, 31, 30,
+                                       31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInYear(int y) { return IsLeap(y) ? 366 : 365; }
+
+int DaysInMonth(int y, int m) {
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDaysPerMonthNormal[m - 1];
+}
+
+}  // namespace
+
+Date MakeDate(int year, int month, int day) {
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int y = 1970; y < year; ++y) days += DaysInYear(y);
+  } else {
+    for (int y = year; y < 1970; ++y) days -= DaysInYear(y);
+  }
+  for (int m = 1; m < month; ++m) days += DaysInMonth(year, m);
+  days += day - 1;
+  return Date{static_cast<int32_t>(days)};
+}
+
+Result<Date> DateFromString(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 || m > 12 ||
+      d < 1 || d > 31) {
+    return Status::ParseError("invalid date literal: '" + s + "'");
+  }
+  return MakeDate(y, m, d);
+}
+
+std::string DateToString(Date date) {
+  int64_t days = date.days;
+  int y = 1970;
+  while (days < 0) {
+    --y;
+    days += DaysInYear(y);
+  }
+  while (days >= DaysInYear(y)) {
+    days -= DaysInYear(y);
+    ++y;
+  }
+  int m = 1;
+  while (days >= DaysInMonth(y, m)) {
+    days -= DaysInMonth(y, m);
+    ++m;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m,
+                static_cast<int>(days) + 1);
+  return buf;
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null() || type_id() == target) return *this;
+  switch (target) {
+    case TypeId::kBool:
+      if (is_int()) return Value::Bool(int_value() != 0);
+      break;
+    case TypeId::kInt:
+      if (is_double()) return Value::Int(static_cast<int64_t>(double_value()));
+      if (is_bool()) return Value::Int(bool_value() ? 1 : 0);
+      if (is_string()) {
+        try {
+          return Value::Int(std::stoll(string_value()));
+        } catch (...) {
+          return Status::TypeError("cannot cast '" + string_value() +
+                                   "' to INT");
+        }
+      }
+      break;
+    case TypeId::kDouble:
+      if (is_int()) return Value::Double(static_cast<double>(int_value()));
+      if (is_string()) {
+        try {
+          return Value::Double(std::stod(string_value()));
+        } catch (...) {
+          return Status::TypeError("cannot cast '" + string_value() +
+                                   "' to FLOAT");
+        }
+      }
+      break;
+    case TypeId::kString:
+      return Value::String(ToString());
+    case TypeId::kDate:
+      if (is_string()) {
+        ASSIGN_OR_RETURN(Date d, DateFromString(string_value()));
+        return Value::FromDate(d);
+      }
+      if (is_int()) return Value::FromDate(Date{static_cast<int32_t>(int_value())});
+      break;
+    case TypeId::kRecord:
+    case TypeId::kNull:
+      break;
+  }
+  return Status::TypeError("cannot cast " + ToString() + " to type id " +
+                           std::to_string(static_cast<int>(target)));
+}
+
+bool Value::StructurallyEquals(const Value& o) const {
+  if (is_null() || o.is_null()) return is_null() && o.is_null();
+  if (is_numeric() && o.is_numeric()) {
+    if (is_int() && o.is_int()) return int_value() == o.int_value();
+    return AsDouble() == o.AsDouble();
+  }
+  if (is_record() || o.is_record()) {
+    if (!is_record() || !o.is_record()) return false;
+    const auto& a = record_value();
+    const auto& b = o.record_value();
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].StructurallyEquals(b[i])) return false;
+    }
+    return true;
+  }
+  return repr_ == o.repr_;
+}
+
+uint64_t Value::Hash() const {
+  switch (repr_.index()) {
+    case 0:
+      return 0x6e756c6cull;
+    case 1:
+      return bool_value() ? 0x74727565ull : 0x66616c73ull;
+    case 2:
+      // Ints hash as their double image so 1 and 1.0 group together,
+      // consistent with StructurallyEquals.
+      return std::hash<double>{}(static_cast<double>(int_value()));
+    case 3:
+      return std::hash<double>{}(double_value());
+    case 4:
+      return std::hash<std::string>{}(string_value());
+    case 5:
+      return std::hash<int64_t>{}(date_value().days) * 0x9E3779B97F4A7C15ull;
+    case 6: {
+      uint64_t h = 0x7265636f72640aull;
+      for (const Value& v : record_value()) {
+        h ^= v.Hash();
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (repr_.index()) {
+    case 0:
+      return "NULL";
+    case 1:
+      return bool_value() ? "true" : "false";
+    case 2:
+      return std::to_string(int_value());
+    case 3: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case 4:
+      return string_value();
+    case 5:
+      return DateToString(date_value());
+    case 6: {
+      std::string out = "(";
+      const auto& fields = record_value();
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+enum class NumKind { kNotNumeric, kInt, kDouble };
+
+NumKind PromoteNumeric(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) return NumKind::kNotNumeric;
+  if (a.is_int() && b.is_int()) return NumKind::kInt;
+  return NumKind::kDouble;
+}
+
+Status ArithTypeError(const char* op, const Value& a, const Value& b) {
+  return Status::TypeError(std::string("operator ") + op +
+                           " requires numeric operands, got " + a.ToString() +
+                           " and " + b.ToString());
+}
+
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.is_string() && b.is_string()) return Concat(a, b);
+  // date + int days
+  if (a.is_date() && b.is_int()) {
+    return Value::FromDate(
+        Date{a.date_value().days + static_cast<int32_t>(b.int_value())});
+  }
+  switch (PromoteNumeric(a, b)) {
+    case NumKind::kInt:
+      return Value::Int(a.int_value() + b.int_value());
+    case NumKind::kDouble:
+      return Value::Double(a.AsDouble() + b.AsDouble());
+    default:
+      return ArithTypeError("+", a, b);
+  }
+}
+
+Result<Value> Subtract(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.is_date() && b.is_int()) {
+    return Value::FromDate(
+        Date{a.date_value().days - static_cast<int32_t>(b.int_value())});
+  }
+  if (a.is_date() && b.is_date()) {
+    return Value::Int(a.date_value().days - b.date_value().days);
+  }
+  switch (PromoteNumeric(a, b)) {
+    case NumKind::kInt:
+      return Value::Int(a.int_value() - b.int_value());
+    case NumKind::kDouble:
+      return Value::Double(a.AsDouble() - b.AsDouble());
+    default:
+      return ArithTypeError("-", a, b);
+  }
+}
+
+Result<Value> Multiply(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  switch (PromoteNumeric(a, b)) {
+    case NumKind::kInt:
+      return Value::Int(a.int_value() * b.int_value());
+    case NumKind::kDouble:
+      return Value::Double(a.AsDouble() * b.AsDouble());
+    default:
+      return ArithTypeError("*", a, b);
+  }
+}
+
+Result<Value> Divide(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) return ArithTypeError("/", a, b);
+  if (b.AsDouble() == 0.0) {
+    return Status::ExecutionError("division by zero");
+  }
+  if (a.is_int() && b.is_int()) return Value::Int(a.int_value() / b.int_value());
+  return Value::Double(a.AsDouble() / b.AsDouble());
+}
+
+Result<Value> Modulo(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_int() || !b.is_int()) return ArithTypeError("%", a, b);
+  if (b.int_value() == 0) return Status::ExecutionError("modulo by zero");
+  return Value::Int(a.int_value() % b.int_value());
+}
+
+Result<Value> Negate(const Value& a) {
+  if (a.is_null()) return Value::Null();
+  if (a.is_int()) return Value::Int(-a.int_value());
+  if (a.is_double()) return Value::Double(-a.double_value());
+  return Status::TypeError("unary - requires numeric operand, got " +
+                           a.ToString());
+}
+
+Result<Value> Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      auto c = a.int_value() <=> b.int_value();
+      return Value::Int(c < 0 ? -1 : (c > 0 ? 1 : 0));
+    }
+    double x = a.AsDouble(), y = b.AsDouble();
+    return Value::Int(x < y ? -1 : (x > y ? 1 : 0));
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.string_value().compare(b.string_value());
+    return Value::Int(c < 0 ? -1 : (c > 0 ? 1 : 0));
+  }
+  if (a.is_date() && b.is_date()) {
+    auto c = a.date_value().days <=> b.date_value().days;
+    return Value::Int(c < 0 ? -1 : (c > 0 ? 1 : 0));
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return Value::Int(static_cast<int>(a.bool_value()) -
+                      static_cast<int>(b.bool_value()));
+  }
+  // Permissive cross-type: string date vs date.
+  if (a.is_string() && b.is_date()) {
+    ASSIGN_OR_RETURN(Value ad, a.CastTo(TypeId::kDate));
+    return Compare(ad, b);
+  }
+  if (a.is_date() && b.is_string()) {
+    ASSIGN_OR_RETURN(Value bd, b.CastTo(TypeId::kDate));
+    return Compare(a, bd);
+  }
+  return Status::TypeError("cannot compare " + a.ToString() + " with " +
+                           b.ToString());
+}
+
+namespace {
+template <typename Pred>
+Result<Value> ComparePred(const Value& a, const Value& b, Pred pred) {
+  ASSIGN_OR_RETURN(Value c, Compare(a, b));
+  if (c.is_null()) return Value::Null();
+  return Value::Bool(pred(c.int_value()));
+}
+}  // namespace
+
+Result<Value> Eq(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c == 0; });
+}
+Result<Value> Ne(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c != 0; });
+}
+Result<Value> Lt(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c < 0; });
+}
+Result<Value> Le(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c <= 0; });
+}
+Result<Value> Gt(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c > 0; });
+}
+Result<Value> Ge(const Value& a, const Value& b) {
+  return ComparePred(a, b, [](int64_t c) { return c >= 0; });
+}
+
+namespace {
+// Truth extraction: bool passes through; numeric nonzero is true (the
+// dialect allows `IF (@x)` with int flags). NULL stays unknown.
+Result<Value> AsKleene(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.is_bool()) return v;
+  if (v.is_numeric()) return Value::Bool(v.AsDouble() != 0.0);
+  return Status::TypeError("expected boolean, got " + v.ToString());
+}
+}  // namespace
+
+Result<Value> And(const Value& a, const Value& b) {
+  ASSIGN_OR_RETURN(Value x, AsKleene(a));
+  ASSIGN_OR_RETURN(Value y, AsKleene(b));
+  if (!x.is_null() && !x.bool_value()) return Value::Bool(false);
+  if (!y.is_null() && !y.bool_value()) return Value::Bool(false);
+  if (x.is_null() || y.is_null()) return Value::Null();
+  return Value::Bool(true);
+}
+
+Result<Value> Or(const Value& a, const Value& b) {
+  ASSIGN_OR_RETURN(Value x, AsKleene(a));
+  ASSIGN_OR_RETURN(Value y, AsKleene(b));
+  if (!x.is_null() && x.bool_value()) return Value::Bool(true);
+  if (!y.is_null() && y.bool_value()) return Value::Bool(true);
+  if (x.is_null() || y.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
+Result<Value> Not(const Value& a) {
+  ASSIGN_OR_RETURN(Value x, AsKleene(a));
+  if (x.is_null()) return Value::Null();
+  return Value::Bool(!x.bool_value());
+}
+
+Result<Value> Concat(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  ASSIGN_OR_RETURN(Value x, a.CastTo(TypeId::kString));
+  ASSIGN_OR_RETURN(Value y, b.CastTo(TypeId::kString));
+  return Value::String(x.string_value() + y.string_value());
+}
+
+int TotalOrderCompare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  auto r = Compare(a, b);
+  if (r.ok() && !r->is_null()) return static_cast<int>(r->int_value());
+  // Cross-type fallback: order by TypeId.
+  int ta = static_cast<int>(a.type_id());
+  int tb = static_cast<int>(b.type_id());
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+}  // namespace aggify

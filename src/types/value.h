@@ -1,0 +1,146 @@
+// Value: the runtime representation of one scalar datum.
+//
+// SQL three-valued logic: NULL propagates through arithmetic and comparisons;
+// boolean connectives use Kleene semantics (see And/Or/Not).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace aggify {
+
+/// \brief Days since 1970-01-01 (proleptic Gregorian).
+struct Date {
+  int32_t days = 0;
+  bool operator==(const Date& o) const { return days == o.days; }
+  auto operator<=>(const Date& o) const { return days <=> o.days; }
+};
+
+/// \brief Builds a Date from a calendar date. Out-of-range months/days are
+/// the caller's responsibility (generators only produce valid dates).
+Date MakeDate(int year, int month, int day);
+
+/// \brief Parses 'YYYY-MM-DD'.
+Result<Date> DateFromString(const std::string& s);
+
+/// \brief Renders 'YYYY-MM-DD'.
+std::string DateToString(Date d);
+
+class Value {
+ public:
+  Value() = default;  // NULL
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(std::in_place_index<1>, b)); }
+  static Value Int(int64_t i) { return Value(Repr(std::in_place_index<2>, i)); }
+  static Value Double(double d) {
+    return Value(Repr(std::in_place_index<3>, d));
+  }
+  static Value String(std::string s) {
+    return Value(Repr(std::in_place_index<4>, std::move(s)));
+  }
+  static Value FromDate(Date d) { return Value(Repr(std::in_place_index<5>, d)); }
+  /// Tuple value (cheap to copy; payload shared and immutable).
+  static Value Record(std::vector<Value> fields) {
+    return Value(Repr(std::in_place_index<6>,
+                      std::make_shared<const std::vector<Value>>(
+                          std::move(fields))));
+  }
+
+  bool is_null() const { return repr_.index() == 0; }
+  bool is_bool() const { return repr_.index() == 1; }
+  bool is_int() const { return repr_.index() == 2; }
+  bool is_double() const { return repr_.index() == 3; }
+  bool is_string() const { return repr_.index() == 4; }
+  bool is_date() const { return repr_.index() == 5; }
+  bool is_record() const { return repr_.index() == 6; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  TypeId type_id() const {
+    switch (repr_.index()) {
+      case 1: return TypeId::kBool;
+      case 2: return TypeId::kInt;
+      case 3: return TypeId::kDouble;
+      case 4: return TypeId::kString;
+      case 5: return TypeId::kDate;
+      case 6: return TypeId::kRecord;
+      default: return TypeId::kNull;
+    }
+  }
+
+  // Accessors; preconditions checked only by assert (hot paths).
+  bool bool_value() const { return std::get<1>(repr_); }
+  int64_t int_value() const { return std::get<2>(repr_); }
+  double double_value() const { return std::get<3>(repr_); }
+  const std::string& string_value() const { return std::get<4>(repr_); }
+  Date date_value() const { return std::get<5>(repr_); }
+  const std::vector<Value>& record_value() const { return *std::get<6>(repr_); }
+
+  /// Numeric value as double; ints widen. Precondition: is_numeric().
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// Coerces to the given type (numeric widening/narrowing, string
+  /// parse for dates). Null coerces to null of any type.
+  Result<Value> CastTo(TypeId target) const;
+
+  /// Deep structural equality used by tests and grouping: NULL equals NULL,
+  /// ints and doubles compare cross-type numerically.
+  bool StructurallyEquals(const Value& o) const;
+
+  /// Hash consistent with StructurallyEquals.
+  uint64_t Hash() const;
+
+  /// Rendering for diagnostics and result printing.
+  std::string ToString() const;
+
+ private:
+  using Repr =
+      std::variant<std::monostate, bool, int64_t, double, std::string, Date,
+                   std::shared_ptr<const std::vector<Value>>>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+  Repr repr_;
+};
+
+// --- SQL operators. Every function returns NULL when any input is NULL
+// (except the Kleene connectives which follow three-valued logic). Type
+// mismatches yield Status::TypeError. ---
+
+Result<Value> Add(const Value& a, const Value& b);
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+Result<Value> Divide(const Value& a, const Value& b);
+Result<Value> Modulo(const Value& a, const Value& b);
+Result<Value> Negate(const Value& a);
+
+/// Three-way comparison: -1/0/+1 as Value::Int, or NULL if either side is.
+Result<Value> Compare(const Value& a, const Value& b);
+
+// Comparison predicates built on Compare; result is Bool or NULL.
+Result<Value> Eq(const Value& a, const Value& b);
+Result<Value> Ne(const Value& a, const Value& b);
+Result<Value> Lt(const Value& a, const Value& b);
+Result<Value> Le(const Value& a, const Value& b);
+Result<Value> Gt(const Value& a, const Value& b);
+Result<Value> Ge(const Value& a, const Value& b);
+
+// Kleene three-valued connectives.
+Result<Value> And(const Value& a, const Value& b);
+Result<Value> Or(const Value& a, const Value& b);
+Result<Value> Not(const Value& a);
+
+/// String concatenation (both sides cast to string; NULL propagates).
+Result<Value> Concat(const Value& a, const Value& b);
+
+/// Total order for sorting: NULLs first, then by type-aware comparison.
+/// Unlike Compare this never fails; cross-type non-numeric pairs order by
+/// TypeId. Returns -1/0/+1.
+int TotalOrderCompare(const Value& a, const Value& b);
+
+}  // namespace aggify

@@ -1,0 +1,54 @@
+#include "workloads/client_harness.h"
+
+#include "parser/parser.h"
+
+namespace aggify {
+
+Result<ClientComparison> CompareClientProgram(Database* db,
+                                              const std::string& program_sql,
+                                              NetworkModel model, bool verify) {
+  ASSIGN_OR_RETURN(StmtPtr parsed, ParseStatements(program_sql));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+
+  ClientComparison out;
+  {
+    ClientApp app(db, model);
+    ASSIGN_OR_RETURN(out.original, app.Run(*block));
+  }
+
+  // Rewrite a clone of the program.
+  StmtPtr clone = block->Clone();
+  auto* rewritten = static_cast<BlockStmt*>(clone.get());
+  Aggify aggify(db);
+  ASSIGN_OR_RETURN(out.report, aggify.RewriteBlock(rewritten));
+  {
+    ClientApp app(db, model);
+    ASSIGN_OR_RETURN(out.aggified, app.Run(*rewritten));
+  }
+
+  if (verify) {
+    for (const std::string& name : out.original.env->LocalNames()) {
+      if (name.rfind("@@", 0) == 0) continue;
+      ASSIGN_OR_RETURN(Value before, out.original.env->Get(name));
+      // Variables can disappear only if the rewrite dropped dead
+      // declarations; those were dead, so skip.
+      if (!out.aggified.env->Has(name)) continue;
+      ASSIGN_OR_RETURN(Value after, out.aggified.env->Get(name));
+      // Fetch variables are dead after the loop by the applicability check,
+      // but still exist with the last-fetched vs NULL value; only compare
+      // variables whose original value the program could observe — i.e.
+      // everything the rewrite kept assignments for. Conservatively compare
+      // and report mismatches for non-null originals only when the rewritten
+      // program has a non-null too; full equality for matching non-fetch
+      // vars is enforced by the unit tests, here we flag hard mismatches.
+      if (!before.StructurallyEquals(after) && !after.is_null()) {
+        return Status::ExecutionError(
+            "client program rewrite changed variable " + name + ": " +
+            before.ToString() + " vs " + after.ToString());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aggify

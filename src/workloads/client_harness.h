@@ -1,0 +1,38 @@
+// Harness for client-application experiments (Figs. 9(b), 10(b), 10(c)):
+// runs the same client program in its original cursor-loop form and in its
+// Aggify-rewritten form, over the simulated network.
+#pragma once
+
+#include "aggify/rewriter.h"
+#include "client/client_app.h"
+
+namespace aggify {
+
+struct ClientComparison {
+  ClientRunResult original;
+  ClientRunResult aggified;
+  AggifyReport report;
+
+  double SpeedupTotal() const {
+    return aggified.TotalSeconds() > 0
+               ? original.TotalSeconds() / aggified.TotalSeconds()
+               : 0;
+  }
+  double DataReduction() const {
+    return aggified.network.bytes_to_client > 0
+               ? static_cast<double>(original.network.bytes_to_client) /
+                     static_cast<double>(aggified.network.bytes_to_client)
+               : 0;
+  }
+};
+
+/// \brief Parses `program_sql`, runs it as-is, Aggify-rewrites the block
+/// (registering synthesized aggregates with `db`), runs the rewritten form,
+/// and returns both results. `verify` checks that every variable live at
+/// program end holds the same value in both runs.
+Result<ClientComparison> CompareClientProgram(Database* db,
+                                              const std::string& program_sql,
+                                              NetworkModel model = {},
+                                              bool verify = true);
+
+}  // namespace aggify

@@ -1,0 +1,103 @@
+#include "workloads/client_programs.h"
+
+#include "common/random.h"
+#include "types/value.h"
+
+namespace aggify {
+
+std::string MakeMinCostSupplierProgram(int64_t num_parts) {
+  std::string n = std::to_string(num_parts);
+  return R"(
+    DECLARE @pk INT;
+    DECLARE @processed INT = 0;
+    DECLARE @checksum FLOAT = 0.0;
+    DECLARE pc CURSOR FOR
+      SELECT p_partkey FROM part WHERE p_partkey <= )" + n + R"(;
+    OPEN pc;
+    FETCH NEXT FROM pc INTO @pk;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      DECLARE @cost FLOAT;
+      DECLARE @sname CHAR(25);
+      DECLARE @mincost FLOAT = 100000000.0;
+      DECLARE sc CURSOR FOR
+        SELECT ps_supplycost, s_name FROM partsupp, supplier
+        WHERE ps_partkey = @pk AND ps_suppkey = s_suppkey;
+      OPEN sc;
+      FETCH NEXT FROM sc INTO @cost, @sname;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@cost < @mincost)
+          SET @mincost = @cost;
+        FETCH NEXT FROM sc INTO @cost, @sname;
+      END
+      CLOSE sc; DEALLOCATE sc;
+      SET @processed = @processed + 1;
+      SET @checksum = @checksum + @mincost;
+      FETCH NEXT FROM pc INTO @pk;
+    END
+    CLOSE pc; DEALLOCATE pc;
+  )";
+}
+
+Status PopulateInvestments(Database* db, int64_t rows, uint64_t seed) {
+  Schema schema;
+  schema.AddColumn(Column("investor_id", DataType::Int()));
+  for (int i = 1; i <= kRoiColumns; ++i) {
+    schema.AddColumn(Column("roi" + std::to_string(i), DataType::Double()));
+  }
+  ASSIGN_OR_RETURN(Table * table, db->catalog().CreateTable(
+                                      "monthly_investments_wide", schema));
+  Random rng(seed);
+  for (int64_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value::Int(r % 100));
+    for (int i = 0; i < kRoiColumns; ++i) {
+      // Monthly ROI in [-5%, +5%].
+      row.push_back(Value::Double(
+          static_cast<double>(rng.UniformRange(-500, 500)) / 10000.0));
+    }
+    RETURN_NOT_OK(table->Insert(std::move(row), nullptr));
+  }
+  return Status::OK();
+}
+
+std::string MakeCumulativeRoiProgram(int64_t top_n) {
+  std::string program;
+  // Declarations: one fetch variable and one accumulator per column.
+  for (int i = 1; i <= kRoiColumns; ++i) {
+    program += "DECLARE @m" + std::to_string(i) + " FLOAT;\n";
+    program += "DECLARE @cum" + std::to_string(i) + " FLOAT = 1.0;\n";
+  }
+  program += "DECLARE c CURSOR FOR SELECT TOP " + std::to_string(top_n) + " ";
+  for (int i = 1; i <= kRoiColumns; ++i) {
+    if (i > 1) program += ", ";
+    program += "roi" + std::to_string(i);
+  }
+  program += " FROM monthly_investments_wide;\n";
+  auto fetch = [&] {
+    std::string f = "FETCH NEXT FROM c INTO ";
+    for (int i = 1; i <= kRoiColumns; ++i) {
+      if (i > 1) f += ", ";
+      f += "@m" + std::to_string(i);
+    }
+    return f + ";\n";
+  };
+  program += "OPEN c;\n";
+  program += fetch();
+  program += "WHILE @@FETCH_STATUS = 0\nBEGIN\n";
+  for (int i = 1; i <= kRoiColumns; ++i) {
+    std::string idx = std::to_string(i);
+    program += "  SET @cum" + idx + " = @cum" + idx + " * (@m" + idx +
+               " + 1);\n";
+  }
+  program += "  " + fetch();
+  program += "END\nCLOSE c;\nDEALLOCATE c;\n";
+  for (int i = 1; i <= kRoiColumns; ++i) {
+    std::string idx = std::to_string(i);
+    program += "SET @cum" + idx + " = @cum" + idx + " - 1;\n";
+  }
+  return program;
+}
+
+}  // namespace aggify

@@ -1,0 +1,32 @@
+// Client-program generators for the scalability/data-movement experiments.
+//
+//   MakeMinCostSupplierProgram — Experiment 2 / Fig. 10(b): a client
+//     program that loops over the first N parts and, per part, runs a nested
+//     cursor loop computing the minimum-cost supplier (the Java program of
+//     §10.5).
+//   MakeCumulativeRoiProgram — Experiment 3 / Fig. 10(c): the Figure 2
+//     program generalized to 50 ROI columns; the client fetches N wide rows
+//     and folds 50 running products.
+//   PopulateInvestments — the 50-column monthly_investments_wide table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace aggify {
+
+/// Client program over the TPC-H tables (PopulateTpch must have run).
+std::string MakeMinCostSupplierProgram(int64_t num_parts);
+
+/// Creates monthly_investments_wide with `rows` rows of 50 ROI columns.
+Status PopulateInvestments(Database* db, int64_t rows, uint64_t seed = 11);
+
+/// Client program over monthly_investments_wide; iterates `top_n` rows.
+std::string MakeCumulativeRoiProgram(int64_t top_n);
+
+/// Number of ROI columns in the wide table (paper: 50).
+inline constexpr int kRoiColumns = 50;
+
+}  // namespace aggify

@@ -1,0 +1,40 @@
+// Applicability study (Table 1 / §10.2).
+//
+// The paper manually analyzed RUBiS, RUBBoS, and Adempiere sources and ran
+// metadata scripts over 5,720 Azure SQL databases. Those inputs are not
+// available; instead, three bundled corpora of dialect programs reproduce
+// the paper's loop-category proportions, and the *actual* Aggify analyzer
+// (FindCursorLoops + the applicability checks) produces the Table 1 counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aggify {
+
+struct CorpusStats {
+  int total_while_loops = 0;
+  int cursor_loops = 0;
+  int aggifyable = 0;
+};
+
+struct Corpus {
+  std::string name;
+  std::vector<std::string> programs;
+};
+
+/// The three application corpora mirroring Table 1's subjects.
+const std::vector<Corpus>& ApplicabilityCorpora();
+
+/// \brief Parses every program and counts WHILE loops, cursor loops, and
+/// loops passing the Aggify applicability checks.
+Result<CorpusStats> AnalyzeCorpus(const Corpus& corpus);
+
+/// §10.2's census analogue: given per-database UDF counts drawn from a
+/// deterministic distribution, totals the cursors declared inside UDFs
+/// across `num_databases` synthetic databases.
+int64_t SimulateAzureCensus(int64_t num_databases, uint64_t seed = 5720);
+
+}  // namespace aggify

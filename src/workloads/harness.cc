@@ -1,0 +1,100 @@
+#include "workloads/harness.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aggify {
+
+std::string RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kOriginal: return "Original";
+    case RunMode::kAggify: return "Aggify";
+    case RunMode::kAggifyPlus: return "Aggify+";
+  }
+  return "?";
+}
+
+Result<RunMetrics> RunWorkloadQuery(Database* db, const WorkloadQuery& query,
+                                    RunMode mode) {
+  Session session(db);
+  // Fresh UDF definitions so a previous mode's rewrite doesn't leak in.
+  RETURN_NOT_OK(session.RunSql(query.udf_sql).status());
+
+  if (mode != RunMode::kOriginal) {
+    Aggify aggify(db);
+    for (const auto& name : query.udf_names) {
+      RETURN_NOT_OK(aggify.RewriteFunction(name).status());
+    }
+  }
+
+  ASSIGN_OR_RETURN(auto driver, ParseSelect(query.driver_sql));
+  if (mode == RunMode::kAggifyPlus && query.froid_applicable) {
+    Froid froid(db);
+    RETURN_NOT_OK(froid.RewriteQuery(driver.get()).status());
+  }
+
+  ExecContext ctx = session.MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+
+  db->stats().Reset();
+  auto start = std::chrono::steady_clock::now();
+  ASSIGN_OR_RETURN(QueryResult result, session.engine().Execute(*driver, ctx));
+  auto end = std::chrono::steady_clock::now();
+
+  RunMetrics metrics;
+  metrics.seconds = std::chrono::duration<double>(end - start).count();
+  const IoStats& stats = db->stats();
+  metrics.modeled_seconds = metrics.seconds + CursorCostModel{}.Seconds(stats);
+  metrics.logical_reads = stats.logical_reads;
+  metrics.worktable_pages_written = stats.worktable_pages_written;
+  metrics.worktable_pages_read = stats.worktable_pages_read;
+  metrics.cursor_fetches = stats.cursor_fetches;
+  metrics.cursors_opened = stats.cursors_opened;
+  metrics.queries_executed = stats.queries_executed;
+  metrics.result = std::move(result);
+  return metrics;
+}
+
+namespace {
+
+/// Order-insensitive row-multiset comparison.
+bool ResultsEqual(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  auto key = [](const Row& r) {
+    std::string s;
+    for (const Value& v : r) {
+      s += v.ToString();
+      s += '\x01';
+    }
+    return s;
+  };
+  std::vector<std::string> ka, kb;
+  for (const Row& r : a.rows) ka.push_back(key(r));
+  for (const Row& r : b.rows) kb.push_back(key(r));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace
+
+Result<int64_t> VerifyModesAgree(Database* db, const WorkloadQuery& query) {
+  ASSIGN_OR_RETURN(RunMetrics original,
+                   RunWorkloadQuery(db, query, RunMode::kOriginal));
+  ASSIGN_OR_RETURN(RunMetrics aggify,
+                   RunWorkloadQuery(db, query, RunMode::kAggify));
+  ASSIGN_OR_RETURN(RunMetrics plus,
+                   RunWorkloadQuery(db, query, RunMode::kAggifyPlus));
+  if (!ResultsEqual(original.result, aggify.result)) {
+    return Status::ExecutionError(query.id +
+                                  ": Aggify results differ from original");
+  }
+  if (!ResultsEqual(original.result, plus.result)) {
+    return Status::ExecutionError(query.id +
+                                  ": Aggify+ results differ from original");
+  }
+  return static_cast<int64_t>(original.result.rows.size());
+}
+
+}  // namespace aggify

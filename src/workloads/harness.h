@@ -1,0 +1,67 @@
+// Experiment harness: runs a cursor workload (UDFs + driver query) in the
+// three configurations of the paper's evaluation and collects the metrics
+// its tables and figures report.
+//
+//   kOriginal   — cursor loops interpreted row-by-row (the "curse")
+//   kAggify     — loops replaced by synthesized custom aggregates (Eq. 5/6)
+//   kAggifyPlus — additionally, Froid inlines the UDFs into the driver query
+//                 and correlated subqueries are decorrelated (§8.2)
+#pragma once
+
+#include <string>
+
+#include "aggify/rewriter.h"
+#include "froid/froid.h"
+#include "procedural/session.h"
+
+namespace aggify {
+
+enum class RunMode { kOriginal, kAggify, kAggifyPlus };
+
+std::string RunModeName(RunMode mode);
+
+struct RunMetrics {
+  double seconds = 0;
+  /// seconds + the CursorCostModel charge for cursor machinery (fetch
+  /// dispatch, worktable pages) that the in-memory substrate undercosts.
+  /// Zero extra for rewritten plans: they produce no such events.
+  double modeled_seconds = 0;
+  int64_t logical_reads = 0;          ///< base-table page reads
+  int64_t worktable_pages_written = 0;
+  int64_t worktable_pages_read = 0;
+  int64_t cursor_fetches = 0;
+  int64_t cursors_opened = 0;
+  int64_t queries_executed = 0;
+  QueryResult result;
+
+  /// SQL Server-style total logical reads (Table 2's metric).
+  int64_t TotalLogicalReads() const {
+    return logical_reads + worktable_pages_read;
+  }
+};
+
+/// \brief One benchmarkable workload unit: UDF definitions + a driver query.
+struct WorkloadQuery {
+  std::string id;
+  std::string udf_sql;                 ///< CREATE FUNCTION statements
+  std::vector<std::string> udf_names;  ///< functions to Aggify
+  std::string driver_sql;
+  bool froid_applicable = true;
+};
+
+/// \brief Runs `query` against `db` in the given mode and returns metrics.
+///
+/// The UDFs are (re-)registered from source before each run, so modes are
+/// independent; rewrites performed for one run do not leak into the next.
+/// Stats are reset before the measured region; data load I/O is excluded
+/// (warm-cache methodology, §10.3.1).
+Result<RunMetrics> RunWorkloadQuery(Database* db, const WorkloadQuery& query,
+                                    RunMode mode);
+
+/// \brief Verifies the three modes produce identical driver results
+/// (ignoring row order). Returns the common row count. Errors:
+/// ExecutionError on mismatch — used by integration tests and by benches in
+/// --verify mode.
+Result<int64_t> VerifyModesAgree(Database* db, const WorkloadQuery& query);
+
+}  // namespace aggify

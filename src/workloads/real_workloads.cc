@@ -1,0 +1,430 @@
+#include "workloads/real_workloads.h"
+
+#include "common/random.h"
+#include "types/value.h"
+
+namespace aggify {
+
+Status PopulateRealWorkloads(Database* db, const RealWorkloadConfig& config) {
+  Catalog& catalog = db->catalog();
+  Random rng(config.seed);
+  IoStats* no_stats = nullptr;
+
+  // ---- W1: CRM ----
+  const int64_t num_accounts = std::max<int64_t>(10, config.base_rows / 10);
+  const int64_t num_interactions = config.base_rows * 2;
+  const int64_t num_opportunities = config.base_rows / 2;
+  ASSIGN_OR_RETURN(Table * accounts,
+                   catalog.CreateTable(
+                       "accounts", Schema({Column("a_id", DataType::Int()),
+                                           Column("a_region", DataType::Int()),
+                                           Column("a_tier", DataType::Int())})));
+  for (int64_t a = 1; a <= num_accounts; ++a) {
+    RETURN_NOT_OK(accounts->Insert({Value::Int(a),
+                                    Value::Int(rng.UniformRange(1, 8)),
+                                    Value::Int(rng.UniformRange(1, 3))},
+                                   no_stats));
+  }
+  ASSIGN_OR_RETURN(
+      Table * interactions,
+      catalog.CreateTable(
+          "interactions", Schema({Column("x_account", DataType::Int()),
+                                  Column("x_kind", DataType::Int()),
+                                  Column("x_score", DataType::Double())})));
+  for (int64_t i = 0; i < num_interactions; ++i) {
+    RETURN_NOT_OK(interactions->Insert(
+        {Value::Int(rng.UniformRange(1, num_accounts)),
+         Value::Int(rng.UniformRange(1, 4)),
+         Value::Double(static_cast<double>(rng.UniformRange(1, 1000)) / 10.0)},
+        no_stats));
+  }
+  RETURN_NOT_OK(interactions->CreateIndex("idx_x_account", "x_account"));
+  ASSIGN_OR_RETURN(
+      Table * opportunities,
+      catalog.CreateTable(
+          "opportunities", Schema({Column("o_account", DataType::Int()),
+                                   Column("o_stage", DataType::Int()),
+                                   Column("o_value", DataType::Double())})));
+  for (int64_t i = 0; i < num_opportunities; ++i) {
+    RETURN_NOT_OK(opportunities->Insert(
+        {Value::Int(rng.UniformRange(1, num_accounts)),
+         Value::Int(rng.UniformRange(1, 6)),
+         Value::Double(static_cast<double>(rng.UniformRange(100, 500000)) /
+                       100.0)},
+        no_stats));
+  }
+
+  // ---- W2: configuration management ----
+  const int64_t num_hosts = 30;
+  const int64_t settings_per_host = 40;
+  ASSIGN_OR_RETURN(Table * hosts,
+                   catalog.CreateTable(
+                       "hosts", Schema({Column("h_id", DataType::Int()),
+                                        Column("h_env", DataType::String(8))})));
+  ASSIGN_OR_RETURN(
+      Table * settings,
+      catalog.CreateTable(
+          "settings", Schema({Column("s_host", DataType::Int()),
+                              Column("s_key", DataType::String(16)),
+                              Column("s_value", DataType::Int()),
+                              Column("s_critical", DataType::Int())})));
+  for (int64_t h = 1; h <= num_hosts; ++h) {
+    RETURN_NOT_OK(hosts->Insert(
+        {Value::Int(h), Value::String(h % 3 == 0 ? "prod" : "dev")},
+        no_stats));
+    for (int64_t s = 0; s < settings_per_host; ++s) {
+      RETURN_NOT_OK(settings->Insert(
+          {Value::Int(h), Value::String("key" + std::to_string(s)),
+           Value::Int(rng.UniformRange(0, 100)),
+           Value::Int(rng.OneIn(5) ? 1 : 0)},
+          no_stats));
+    }
+  }
+  RETURN_NOT_OK(settings->CreateIndex("idx_s_host", "s_host"));
+
+  // ---- W3: transportation services ----
+  const int64_t num_routes = std::max<int64_t>(5, config.base_rows / 20);
+  const int64_t legs_per_route = 30;
+  ASSIGN_OR_RETURN(Table * routes,
+                   catalog.CreateTable(
+                       "routes", Schema({Column("r_id", DataType::Int()),
+                                         Column("r_vehicle", DataType::Int())})));
+  ASSIGN_OR_RETURN(
+      Table * legs,
+      catalog.CreateTable(
+          "legs", Schema({Column("l_route", DataType::Int()),
+                          Column("l_seq", DataType::Int()),
+                          Column("l_distance", DataType::Double()),
+                          Column("l_toll", DataType::Double()),
+                          Column("l_urban", DataType::Int())})));
+  ASSIGN_OR_RETURN(
+      Table * fares,
+      catalog.CreateTable(
+          "fares", Schema({Column("f_route", DataType::Int()),
+                           Column("f_passengers", DataType::Int()),
+                           Column("f_base", DataType::Double())})));
+  for (int64_t r = 1; r <= num_routes; ++r) {
+    RETURN_NOT_OK(routes->Insert(
+        {Value::Int(r), Value::Int(rng.UniformRange(1, 50))}, no_stats));
+    for (int64_t s = 1; s <= legs_per_route; ++s) {
+      RETURN_NOT_OK(legs->Insert(
+          {Value::Int(r), Value::Int(s),
+           Value::Double(static_cast<double>(rng.UniformRange(5, 300)) / 10.0),
+           Value::Double(static_cast<double>(rng.UniformRange(0, 80)) / 10.0),
+           Value::Int(rng.OneIn(3) ? 1 : 0)},
+          no_stats));
+    }
+    for (int64_t f = 0; f < 4; ++f) {
+      RETURN_NOT_OK(fares->Insert(
+          {Value::Int(r), Value::Int(rng.UniformRange(1, 6)),
+           Value::Double(static_cast<double>(rng.UniformRange(500, 5000)) /
+                         100.0)},
+          no_stats));
+    }
+  }
+  RETURN_NOT_OK(legs->CreateIndex("idx_l_route", "l_route"));
+  return Status::OK();
+}
+
+WorkloadQuery MakeL1Query(int64_t iterations) {
+  WorkloadQuery q;
+  q.id = "L1";
+  q.udf_names = {"w1_engagement_score"};
+  q.udf_sql = R"(
+    CREATE FUNCTION w1_engagement_score(@n INT) RETURNS FLOAT AS
+    BEGIN
+      DECLARE @kind INT;
+      DECLARE @s FLOAT;
+      DECLARE @score FLOAT = 0.0;
+      DECLARE c CURSOR FOR
+        SELECT TOP (@n) x_kind, x_score FROM interactions;
+      OPEN c;
+      FETCH NEXT FROM c INTO @kind, @s;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@kind = 1)
+          SET @score = @score + @s * 3.0;
+        ELSE IF (@kind = 2)
+          SET @score = @score + @s * 2.0;
+        ELSE
+          SET @score = @score + @s;
+        FETCH NEXT FROM c INTO @kind, @s;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @score;
+    END
+  )";
+  q.driver_sql = "SELECT w1_engagement_score(" + std::to_string(iterations) +
+                 ") AS score";
+  return q;
+}
+
+namespace {
+
+std::vector<RealLoop> BuildLoops() {
+  std::vector<RealLoop> loops;
+
+  // L1 (W1): weighted engagement score over the interactions log.
+  {
+    RealLoop l;
+    l.workload = "W1";
+    l.label = "L1 (4000)";
+    l.query = MakeL1Query(4000);
+    loops.push_back(std::move(l));
+  }
+
+  // L2 (W2): few tuples, temp-table DML inside the loop (small gains, §10.3.3).
+  {
+    RealLoop l;
+    l.workload = "W2";
+    l.label = "L2 (40)";
+    l.query.id = "L2";
+    l.query.udf_names = {"w2_critical_settings"};
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w2_critical_settings(@host INT) RETURNS INT AS
+      BEGIN
+        DECLARE @key VARCHAR(16);
+        DECLARE @val INT;
+        DECLARE @crit INT;
+        DECLARE @t TABLE (k VARCHAR(16), v INT);
+        DECLARE c CURSOR FOR
+          SELECT s_key, s_value, s_critical FROM settings WHERE s_host = @host;
+        OPEN c;
+        FETCH NEXT FROM c INTO @key, @val, @crit;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@crit = 1)
+            INSERT INTO @t VALUES (@key, @val);
+          FETCH NEXT FROM c INTO @key, @val, @crit;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN (SELECT COUNT(*) FROM @t);
+      END
+    )";
+    l.query.driver_sql =
+        "SELECT h_id, w2_critical_settings(h_id) AS crit FROM hosts";
+    loops.push_back(std::move(l));
+  }
+
+  // L3 (W1): pipeline summary — three live accumulators (Record V_term).
+  {
+    RealLoop l;
+    l.workload = "W1";
+    l.label = "L3 (1000)";
+    l.query.id = "L3";
+    l.query.udf_names = {"w1_pipeline_value"};
+    l.query.froid_applicable = false;  // multi-variable V_term
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w1_pipeline_value(@minstage INT) RETURNS FLOAT AS
+      BEGIN
+        DECLARE @stage INT;
+        DECLARE @value FLOAT;
+        DECLARE @total FLOAT = 0.0;
+        DECLARE @qualified INT = 0;
+        DECLARE @biggest FLOAT = 0.0;
+        DECLARE c CURSOR FOR SELECT o_stage, o_value FROM opportunities;
+        OPEN c;
+        FETCH NEXT FROM c INTO @stage, @value;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@stage >= @minstage)
+          BEGIN
+            SET @total = @total + @value;
+            SET @qualified = @qualified + 1;
+            IF (@value > @biggest)
+              SET @biggest = @value;
+          END
+          FETCH NEXT FROM c INTO @stage, @value;
+        END
+        CLOSE c; DEALLOCATE c;
+        IF (@qualified = 0)
+          RETURN 0.0;
+        RETURN @total + @biggest / @qualified;
+      END
+    )";
+    l.query.driver_sql = "SELECT w1_pipeline_value(3) AS pipeline";
+    loops.push_back(std::move(l));
+  }
+
+  // L4 (W3): per-route distance/toll accumulation, invoked per route.
+  {
+    RealLoop l;
+    l.workload = "W3";
+    l.label = "L4 (30/route)";
+    l.query.id = "L4";
+    l.query.udf_names = {"w3_route_cost"};
+    l.query.froid_applicable = false;  // multi-variable V_term
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w3_route_cost(@route INT) RETURNS FLOAT AS
+      BEGIN
+        DECLARE @dist FLOAT;
+        DECLARE @toll FLOAT;
+        DECLARE @urban INT;
+        DECLARE @cost FLOAT = 0.0;
+        DECLARE @urban_km FLOAT = 0.0;
+        DECLARE c CURSOR FOR
+          SELECT l_distance, l_toll, l_urban FROM legs WHERE l_route = @route;
+        OPEN c;
+        FETCH NEXT FROM c INTO @dist, @toll, @urban;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @cost = @cost + @dist * 0.6 + @toll;
+          IF (@urban = 1)
+            SET @urban_km = @urban_km + @dist;
+          FETCH NEXT FROM c INTO @dist, @toll, @urban;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @cost + @urban_km * 0.1;
+      END
+    )";
+    l.query.driver_sql = "SELECT r_id, w3_route_cost(r_id) AS cost FROM routes";
+    loops.push_back(std::move(l));
+  }
+
+  // L5 (W3): fare revenue with passenger surcharge, one big loop.
+  {
+    RealLoop l;
+    l.workload = "W3";
+    l.label = "L5 (fares)";
+    l.query.id = "L5";
+    l.query.udf_names = {"w3_fare_revenue"};
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w3_fare_revenue() RETURNS FLOAT AS
+      BEGIN
+        DECLARE @pax INT;
+        DECLARE @base FLOAT;
+        DECLARE @rev FLOAT = 0.0;
+        DECLARE c CURSOR FOR SELECT f_passengers, f_base FROM fares;
+        OPEN c;
+        FETCH NEXT FROM c INTO @pax, @base;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@pax > 3)
+            SET @rev = @rev + @base * @pax * 1.15;
+          ELSE
+            SET @rev = @rev + @base * @pax;
+          FETCH NEXT FROM c INTO @pax, @base;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @rev;
+      END
+    )";
+    l.query.driver_sql = "SELECT w3_fare_revenue() AS revenue";
+    loops.push_back(std::move(l));
+  }
+
+  // L6 (W2): few tuples + nested per-row query + temp-table DML.
+  {
+    RealLoop l;
+    l.workload = "W2";
+    l.label = "L6 (30)";
+    l.query.id = "L6";
+    l.query.udf_names = {"w2_env_report"};
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w2_env_report(@env VARCHAR(8)) RETURNS INT AS
+      BEGIN
+        DECLARE @host INT;
+        DECLARE @t TABLE (host INT, crit INT);
+        DECLARE c CURSOR FOR SELECT h_id FROM hosts WHERE h_env = @env;
+        OPEN c;
+        FETCH NEXT FROM c INTO @host;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          DECLARE @crit INT;
+          SET @crit = (SELECT COUNT(*) FROM settings
+                       WHERE s_host = @host AND s_critical = 1);
+          INSERT INTO @t VALUES (@host, @crit);
+          FETCH NEXT FROM c INTO @host;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN (SELECT SUM(crit) FROM @t);
+      END
+    )";
+    l.query.driver_sql = "SELECT w2_env_report('prod') AS crit_total";
+    loops.push_back(std::move(l));
+  }
+
+  // L7 (W1): ORDER BY cursor with BREAK after the first row (argmax).
+  {
+    RealLoop l;
+    l.workload = "W1";
+    l.label = "L7 (1000, ordered)";
+    l.query.id = "L7";
+    l.query.udf_names = {"w1_best_opportunity"};
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w1_best_opportunity() RETURNS INT AS
+      BEGIN
+        DECLARE @acct INT;
+        DECLARE @value FLOAT;
+        DECLARE @best INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT o_account, o_value FROM opportunities ORDER BY o_value DESC;
+        OPEN c;
+        FETCH NEXT FROM c INTO @acct, @value;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @best = @acct;
+          BREAK;
+          FETCH NEXT FROM c INTO @acct, @value;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @best;
+      END
+    )";
+    l.query.driver_sql = "SELECT w1_best_opportunity() AS best_account";
+    loops.push_back(std::move(l));
+  }
+
+  // L8 (W2): nested cursor loops (outer hosts, inner settings).
+  {
+    RealLoop l;
+    l.workload = "W2";
+    l.label = "L8 (30 x 40, nested)";
+    l.nested = true;
+    l.query.id = "L8";
+    l.query.udf_names = {"w2_total_config_value"};
+    l.query.udf_sql = R"(
+      CREATE FUNCTION w2_total_config_value(@env VARCHAR(8)) RETURNS INT AS
+      BEGIN
+        DECLARE @host INT;
+        DECLARE @grand INT = 0;
+        DECLARE hc CURSOR FOR SELECT h_id FROM hosts WHERE h_env = @env;
+        OPEN hc;
+        FETCH NEXT FROM hc INTO @host;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          DECLARE @val INT;
+          DECLARE @hostsum INT = 0;
+          DECLARE sc CURSOR FOR SELECT s_value FROM settings
+                                WHERE s_host = @host;
+          OPEN sc;
+          FETCH NEXT FROM sc INTO @val;
+          WHILE @@FETCH_STATUS = 0
+          BEGIN
+            SET @hostsum = @hostsum + @val;
+            FETCH NEXT FROM sc INTO @val;
+          END
+          CLOSE sc; DEALLOCATE sc;
+          SET @grand = @grand + @hostsum;
+          FETCH NEXT FROM hc INTO @host;
+        END
+        CLOSE hc; DEALLOCATE hc;
+        RETURN @grand;
+      END
+    )";
+    l.query.driver_sql = "SELECT w2_total_config_value('dev') AS total";
+    loops.push_back(std::move(l));
+  }
+
+  return loops;
+}
+
+}  // namespace
+
+const std::vector<RealLoop>& RealWorkloadLoops() {
+  static const std::vector<RealLoop>* kLoops =
+      new std::vector<RealLoop>(BuildLoops());
+  return *kLoops;
+}
+
+}  // namespace aggify

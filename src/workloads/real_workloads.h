@@ -1,0 +1,38 @@
+// Synthetic analogues of the paper's three proprietary customer workloads
+// (§10.1): W1 is a CRM application, W2 a configuration-management tool, W3 a
+// transportation-services backend. The paper measured eight loops L1–L8
+// extracted from them (Fig. 9(c), Fig. 11); these reproduce each loop's
+// *pattern*, including the properties the paper calls out:
+//   - L2 and L6 iterate over few tuples and do temp-table DML (small gains)
+//   - L8 is a nested cursor loop (>2x gains)
+#pragma once
+
+#include "workloads/harness.h"
+
+namespace aggify {
+
+struct RealWorkloadConfig {
+  /// Row scale for the large tables (L1 iterates ~2x this).
+  int64_t base_rows = 2000;
+  uint64_t seed = 99;
+};
+
+/// Creates and fills the W1/W2/W3 schemas.
+Status PopulateRealWorkloads(Database* db, const RealWorkloadConfig& config = {});
+
+/// The eight loops, as harness workload queries. Labels carry the workload
+/// and typical iteration count like the paper's x-axis annotations.
+struct RealLoop {
+  WorkloadQuery query;
+  std::string workload;  ///< "W1" | "W2" | "W3"
+  std::string label;
+  bool nested = false;
+};
+
+const std::vector<RealLoop>& RealWorkloadLoops();
+
+/// L1 parameterized by iteration count (Fig. 11's sweep): the driver limits
+/// the accounts processed to `iterations`.
+WorkloadQuery MakeL1Query(int64_t iterations);
+
+}  // namespace aggify

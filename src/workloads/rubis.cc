@@ -1,0 +1,241 @@
+#include "workloads/rubis.h"
+
+#include "types/value.h"
+
+namespace aggify {
+
+Status PopulateRubis(Database* db, const RubisConfig& config) {
+  Catalog& catalog = db->catalog();
+  Random rng(config.seed);
+  IoStats* no_stats = nullptr;
+
+  ASSIGN_OR_RETURN(
+      Table * users,
+      catalog.CreateTable(
+          "users", Schema({Column("u_id", DataType::Int()),
+                           Column("u_nickname", DataType::String(20)),
+                           Column("u_rating", DataType::Int()),
+                           Column("u_region", DataType::Int())})));
+  ASSIGN_OR_RETURN(
+      Table * items,
+      catalog.CreateTable(
+          "items", Schema({Column("i_id", DataType::Int()),
+                           Column("i_name", DataType::String(32)),
+                           Column("i_seller", DataType::Int()),
+                           Column("i_category", DataType::Int()),
+                           Column("i_initial_price", DataType::Decimal(10, 2)),
+                           Column("i_quantity", DataType::Int()),
+                           Column("i_end_date", DataType::Date())})));
+  ASSIGN_OR_RETURN(
+      Table * bids,
+      catalog.CreateTable(
+          "bids", Schema({Column("b_id", DataType::Int()),
+                          Column("b_item", DataType::Int()),
+                          Column("b_user", DataType::Int()),
+                          Column("b_qty", DataType::Int()),
+                          Column("b_bid", DataType::Decimal(10, 2)),
+                          Column("b_date", DataType::Date())})));
+  ASSIGN_OR_RETURN(
+      Table * comments,
+      catalog.CreateTable(
+          "comments", Schema({Column("c_id", DataType::Int()),
+                              Column("c_from", DataType::Int()),
+                              Column("c_to", DataType::Int()),
+                              Column("c_item", DataType::Int()),
+                              Column("c_rating", DataType::Int())})));
+
+  const Date epoch = MakeDate(2009, 1, 1);
+  int64_t item_id = 0;
+  int64_t bid_id = 0;
+  int64_t comment_id = 0;
+  for (int64_t u = 1; u <= config.num_users; ++u) {
+    RETURN_NOT_OK(users->Insert({Value::Int(u),
+                                 Value::String("user" + std::to_string(u)),
+                                 Value::Int(rng.UniformRange(-5, 50)),
+                                 Value::Int(rng.UniformRange(1, 60))},
+                                no_stats));
+    for (int64_t i = 0; i < config.items_per_user; ++i) {
+      ++item_id;
+      RETURN_NOT_OK(items->Insert(
+          {Value::Int(item_id),
+           Value::String("item " + rng.AlphaString(8)), Value::Int(u),
+           Value::Int(rng.UniformRange(1, 20)),
+           Value::Double(static_cast<double>(rng.UniformRange(100, 100000)) /
+                         100.0),
+           Value::Int(rng.UniformRange(0, 10)),
+           Value::FromDate(
+               Date{epoch.days + static_cast<int32_t>(rng.Uniform(365))})},
+          no_stats));
+      for (int64_t b = 0; b < config.bids_per_item; ++b) {
+        ++bid_id;
+        RETURN_NOT_OK(bids->Insert(
+            {Value::Int(bid_id), Value::Int(item_id),
+             Value::Int(rng.UniformRange(1, config.num_users)),
+             Value::Int(rng.UniformRange(1, 3)),
+             Value::Double(
+                 static_cast<double>(rng.UniformRange(100, 200000)) / 100.0),
+             Value::FromDate(
+                 Date{epoch.days + static_cast<int32_t>(rng.Uniform(365))})},
+            no_stats));
+      }
+    }
+    for (int64_t c = 0; c < config.comments_per_user; ++c) {
+      ++comment_id;
+      RETURN_NOT_OK(comments->Insert(
+          {Value::Int(comment_id),
+           Value::Int(rng.UniformRange(1, config.num_users)), Value::Int(u),
+           Value::Int(rng.UniformRange(1, item_id)),
+           Value::Int(rng.UniformRange(-5, 5))},
+          no_stats));
+    }
+  }
+  RETURN_NOT_OK(bids->CreateIndex("idx_b_item", "b_item"));
+  RETURN_NOT_OK(items->CreateIndex("idx_i_seller", "i_seller"));
+  RETURN_NOT_OK(items->CreateIndex("idx_i_category", "i_category"));
+  RETURN_NOT_OK(comments->CreateIndex("idx_c_to", "c_to"));
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<RubisScenario> BuildScenarios() {
+  std::vector<RubisScenario> scenarios;
+
+  scenarios.push_back(RubisScenario{
+      "ViewBidHistory", "ViewBidHistory (bids of one item)",
+      R"(
+        DECLARE @bid FLOAT;
+        DECLARE @user INT;
+        DECLARE @maxbid FLOAT = 0.0;
+        DECLARE @maxbidder INT = 0;
+        DECLARE @numbids INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT b_bid, b_user FROM bids WHERE b_item = {KEY};
+        OPEN c;
+        FETCH NEXT FROM c INTO @bid, @user;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @numbids = @numbids + 1;
+          IF (@bid > @maxbid)
+          BEGIN
+            SET @maxbid = @bid;
+            SET @maxbidder = @user;
+          END
+          FETCH NEXT FROM c INTO @bid, @user;
+        END
+        CLOSE c; DEALLOCATE c;
+      )"});
+
+  scenarios.push_back(RubisScenario{
+      "AboutMe", "AboutMe (items sold by one user)",
+      R"(
+        DECLARE @price FLOAT;
+        DECLARE @qty INT;
+        DECLARE @total FLOAT = 0.0;
+        DECLARE @listed INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT i_initial_price, i_quantity FROM items
+          WHERE i_seller = {KEY};
+        OPEN c;
+        FETCH NEXT FROM c INTO @price, @qty;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @listed = @listed + 1;
+          SET @total = @total + @price * @qty;
+          FETCH NEXT FROM c INTO @price, @qty;
+        END
+        CLOSE c; DEALLOCATE c;
+      )"});
+
+  scenarios.push_back(RubisScenario{
+      "ViewUserInfo", "ViewUserInfo (feedback ratings of one user)",
+      R"(
+        DECLARE @rating INT;
+        DECLARE @sum INT = 0;
+        DECLARE @count INT = 0;
+        DECLARE @avg FLOAT = 0.0;
+        DECLARE c CURSOR FOR
+          SELECT c_rating FROM comments WHERE c_to = {KEY};
+        OPEN c;
+        FETCH NEXT FROM c INTO @rating;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @sum = @sum + @rating;
+          SET @count = @count + 1;
+          FETCH NEXT FROM c INTO @rating;
+        END
+        CLOSE c; DEALLOCATE c;
+        IF (@count > 0)
+          SET @avg = 1.0 * @sum / @count;
+      )"});
+
+  scenarios.push_back(RubisScenario{
+      "SearchItemsByCategory", "SearchItemsByCategory (items in a category)",
+      R"(
+        DECLARE @price FLOAT;
+        DECLARE @qty INT;
+        DECLARE @available INT = 0;
+        DECLARE @cheapest FLOAT = 1000000.0;
+        DECLARE c CURSOR FOR
+          SELECT i_initial_price, i_quantity FROM items
+          WHERE i_category = {KEY};
+        OPEN c;
+        FETCH NEXT FROM c INTO @price, @qty;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@qty > 0)
+          BEGIN
+            SET @available = @available + 1;
+            IF (@price < @cheapest)
+              SET @cheapest = @price;
+          END
+          FETCH NEXT FROM c INTO @price, @qty;
+        END
+        CLOSE c; DEALLOCATE c;
+      )"});
+
+  scenarios.push_back(RubisScenario{
+      "ViewItem", "ViewItem (bid summary for one item)",
+      R"(
+        DECLARE @bid FLOAT;
+        DECLARE @qty INT;
+        DECLARE @maxbid FLOAT = 0.0;
+        DECLARE @demand INT = 0;
+        DECLARE c CURSOR FOR
+          SELECT b_bid, b_qty FROM bids WHERE b_item = {KEY}
+          ORDER BY b_date;
+        OPEN c;
+        FETCH NEXT FROM c INTO @bid, @qty;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@bid > @maxbid)
+            SET @maxbid = @bid;
+          SET @demand = @demand + @qty;
+          FETCH NEXT FROM c INTO @bid, @qty;
+        END
+        CLOSE c; DEALLOCATE c;
+      )"});
+
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<RubisScenario>& RubisScenarios() {
+  static const std::vector<RubisScenario>* kScenarios =
+      new std::vector<RubisScenario>(BuildScenarios());
+  return *kScenarios;
+}
+
+std::string InstantiateRubisScenario(const RubisScenario& scenario,
+                                     int64_t key) {
+  std::string out = scenario.program_template;
+  const std::string placeholder = "{KEY}";
+  for (size_t pos = out.find(placeholder); pos != std::string::npos;
+       pos = out.find(placeholder, pos)) {
+    out.replace(pos, placeholder.size(), std::to_string(key));
+  }
+  return out;
+}
+
+}  // namespace aggify

@@ -1,0 +1,38 @@
+// RUBiS-analogue workload (Fig. 9(b)): an auction-site schema and five
+// client programs containing the cursor loops the paper measured. The
+// original RUBiS servlets iterate over JDBC result sets; these programs do
+// the same over the simulated network.
+#pragma once
+
+#include "common/random.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+struct RubisConfig {
+  int64_t num_users = 200;
+  int64_t items_per_user = 5;
+  int64_t bids_per_item = 20;
+  int64_t comments_per_user = 8;
+  uint64_t seed = 7;
+};
+
+/// Creates and fills users / items / bids / comments.
+Status PopulateRubis(Database* db, const RubisConfig& config = {});
+
+/// \brief One Fig. 9(b) scenario: a client program template with a `{KEY}`
+/// placeholder for the entity id and a human label including the typical
+/// iteration count (as the paper annotates its x-axis).
+struct RubisScenario {
+  std::string id;
+  std::string label;
+  std::string program_template;
+};
+
+const std::vector<RubisScenario>& RubisScenarios();
+
+/// Substitutes `{KEY}` in the template.
+std::string InstantiateRubisScenario(const RubisScenario& scenario,
+                                     int64_t key);
+
+}  // namespace aggify

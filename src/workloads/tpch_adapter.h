@@ -1,0 +1,20 @@
+// Adapts the TPC-H cursor workload descriptors to the harness's
+// WorkloadQuery.
+#pragma once
+
+#include "tpch/cursor_workload.h"
+#include "workloads/harness.h"
+
+namespace aggify {
+
+inline WorkloadQuery ToWorkloadQuery(const TpchCursorQuery& q) {
+  WorkloadQuery w;
+  w.id = q.id;
+  w.udf_sql = q.udf_sql;
+  w.udf_names = q.udf_names;
+  w.driver_sql = q.driver_sql;
+  w.froid_applicable = q.froid_applicable;
+  return w;
+}
+
+}  // namespace aggify

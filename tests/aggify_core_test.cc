@@ -1,0 +1,408 @@
+// Tests for the Aggify core: the paper's worked examples (§5 illustrations),
+// the Eq. 5/6 rewrites, and semantic equivalence of original vs rewritten
+// programs.
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// The minCostSupp UDF of Figure 1, on a miniature PARTSUPP/SUPPLIER schema.
+constexpr const char* kMinCostSuppSchema = R"(
+  CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT,
+                         ps_supplycost DECIMAL(15,2));
+  CREATE TABLE supplier (s_suppkey INT, s_name CHAR(25));
+  INSERT INTO partsupp VALUES (1, 10, 50.0), (1, 11, 30.0), (1, 12, 70.0),
+                              (2, 10, 5.0), (2, 12, 8.0), (3, 11, 99.0);
+  INSERT INTO supplier VALUES (10, 'supp_ten'), (11, 'supp_eleven'),
+                              (12, 'supp_twelve');
+)";
+
+constexpr const char* kMinCostSuppUdf = R"(
+  CREATE FUNCTION mincostsupp(@pkey INT, @lb INT = -1) RETURNS CHAR(25) AS
+  BEGIN
+    DECLARE @pcost DECIMAL(15,2);
+    DECLARE @scname CHAR(25);
+    DECLARE @mincost DECIMAL(15,2) = 100000;
+    DECLARE @suppname CHAR(25);
+    IF (@lb = -1)
+      SET @lb = 0;
+    DECLARE c CURSOR FOR
+      SELECT ps_supplycost, s_name FROM partsupp, supplier
+      WHERE ps_partkey = @pkey AND ps_suppkey = s_suppkey;
+    OPEN c;
+    FETCH NEXT FROM c INTO @pcost, @scname;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      IF (@pcost < @mincost AND @pcost >= @lb)
+      BEGIN
+        SET @mincost = @pcost;
+        SET @suppname = @scname;
+      END
+      FETCH NEXT FROM c INTO @pcost, @scname;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+    RETURN @suppname;
+  END
+)";
+
+class AggifyCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(kMinCostSuppSchema));
+    ASSERT_OK(session_->RunSql(kMinCostSuppUdf));
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(AggifyCoreTest, PaperWorkedExampleSets) {
+  // §5 illustrations for Figure 1's loop:
+  //   V_F    = {minCost, lb, suppName}  (+ isInitialized)
+  //   P_accum = {pCost, sName, minCost, lb}
+  //   V_init = {minCost, lb}
+  //   V_term = {suppName}
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("mincostsupp"));
+  ASSERT_EQ(report.loops_found, 1);
+  ASSERT_EQ(report.loops_rewritten, 1);
+  const LoopSets& sets = report.rewrites[0].sets;
+
+  EXPECT_EQ(sets.v_fetch, (std::vector<std::string>{"@pcost", "@scname"}));
+  EXPECT_EQ(sets.v_fields,
+            (std::vector<std::string>{"@lb", "@mincost", "@suppname"}));
+  // Fetch vars first, then the rest (sorted).
+  EXPECT_EQ(sets.p_accum, (std::vector<std::string>{"@pcost", "@scname",
+                                                    "@lb", "@mincost"}));
+  EXPECT_EQ(sets.v_init, (std::vector<std::string>{"@lb", "@mincost"}));
+  EXPECT_EQ(sets.v_term, (std::vector<std::string>{"@suppname"}));
+  EXPECT_FALSE(sets.ordered);
+}
+
+TEST_F(AggifyCoreTest, RewrittenFunctionIsEquivalent) {
+  // Results before rewriting...
+  std::vector<Value> before;
+  for (int key : {1, 2, 3, 4}) {
+    ASSERT_OK_AND_ASSIGN(Value v,
+                         session_->Call("mincostsupp", {Value::Int(key)}));
+    before.push_back(v);
+  }
+  EXPECT_EQ(before[0].string_value(), "supp_eleven");  // cost 30 for part 1
+  EXPECT_EQ(before[1].string_value(), "supp_ten");     // cost 5 for part 2
+  EXPECT_TRUE(before[3].is_null());                    // part 4 has no rows
+
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("mincostsupp"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+
+  // ...match results after rewriting, including the zero-row part.
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        Value v, session_->Call("mincostsupp",
+                                {Value::Int(static_cast<int64_t>(i) + 1)}));
+    EXPECT_TRUE(v.StructurallyEquals(before[i]))
+        << "key " << i + 1 << ": " << v.ToString() << " vs "
+        << before[i].ToString();
+  }
+
+  // The rewrite eliminated the cursor: no worktable traffic.
+  db_.stats().Reset();
+  ASSERT_OK(session_->Call("mincostsupp", {Value::Int(1)}).status());
+  EXPECT_EQ(db_.stats().cursors_opened, 0);
+  EXPECT_EQ(db_.stats().worktable_pages_written, 0);
+  EXPECT_EQ(db_.stats().cursor_fetches, 0);
+}
+
+TEST_F(AggifyCoreTest, DefaultArgumentPathStillWorks) {
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("mincostsupp").status());
+  // Explicit lower bound above the minimum changes the winner.
+  ASSERT_OK_AND_ASSIGN(
+      Value v, session_->Call("mincostsupp", {Value::Int(1), Value::Int(40)}));
+  EXPECT_EQ(v.string_value(), "supp_ten");  // 30 is below lb=40; 50 wins
+}
+
+TEST_F(AggifyCoreTest, CumulativeRoiExample) {
+  // Figure 2's loop: cumulativeROI ∈ V_F and P_accum; monthlyROI ∈ V_fetch.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE monthly_investments (investor_id INT, start_date DATE,
+                                      roi FLOAT);
+    INSERT INTO monthly_investments VALUES
+      (7, '2020-01-01', 0.10), (7, '2020-01-01', 0.20),
+      (7, '2020-01-01', -0.05), (8, '2020-01-01', 0.01);
+    CREATE FUNCTION cumulative_roi(@id INT, @from DATE) RETURNS FLOAT AS
+    BEGIN
+      DECLARE @cumulativeroi FLOAT = 1.0;
+      DECLARE @monthlyroi FLOAT;
+      DECLARE c CURSOR FOR
+        SELECT roi FROM monthly_investments
+        WHERE investor_id = @id AND start_date = @from;
+      OPEN c;
+      FETCH NEXT FROM c INTO @monthlyroi;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @cumulativeroi = @cumulativeroi * (@monthlyroi + 1);
+        FETCH NEXT FROM c INTO @monthlyroi;
+      END
+      CLOSE c;
+      DEALLOCATE c;
+      SET @cumulativeroi = @cumulativeroi - 1;
+      RETURN @cumulativeroi;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(
+      Value original,
+      session_->Call("cumulative_roi",
+                     {Value::Int(7), Value::String("2020-01-01")}));
+
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("cumulative_roi"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  const LoopSets& sets = report.rewrites[0].sets;
+  EXPECT_EQ(sets.p_accum,
+            (std::vector<std::string>{"@monthlyroi", "@cumulativeroi"}));
+  EXPECT_EQ(sets.v_init, (std::vector<std::string>{"@cumulativeroi"}));
+  EXPECT_EQ(sets.v_term, (std::vector<std::string>{"@cumulativeroi"}));
+
+  ASSERT_OK_AND_ASSIGN(
+      Value rewritten,
+      session_->Call("cumulative_roi",
+                     {Value::Int(7), Value::String("2020-01-01")}));
+  EXPECT_NEAR(rewritten.AsDouble(), original.AsDouble(), 1e-12);
+  EXPECT_NEAR(rewritten.AsDouble(), 1.1 * 1.2 * 0.95 - 1.0, 1e-12);
+}
+
+TEST_F(AggifyCoreTest, OrderByForcesStreamingAggregate) {
+  // An order-sensitive loop: keeps the *last* supplier name in cursor order.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION last_supp(@pkey INT) RETURNS CHAR(25) AS
+    BEGIN
+      DECLARE @name CHAR(25);
+      DECLARE @last CHAR(25);
+      DECLARE c CURSOR FOR
+        SELECT s_name FROM partsupp, supplier
+        WHERE ps_partkey = @pkey AND ps_suppkey = s_suppkey
+        ORDER BY ps_supplycost DESC;
+      OPEN c;
+      FETCH NEXT FROM c INTO @name;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @last = @name;
+        FETCH NEXT FROM c INTO @name;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @last;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value original,
+                       session_->Call("last_supp", {Value::Int(1)}));
+  EXPECT_EQ(original.string_value(), "supp_eleven");  // lowest cost last
+
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_supp"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_TRUE(report.rewrites[0].sets.ordered);
+
+  ASSERT_OK_AND_ASSIGN(Value rewritten,
+                       session_->Call("last_supp", {Value::Int(1)}));
+  EXPECT_EQ(rewritten.string_value(), "supp_eleven");
+}
+
+TEST_F(AggifyCoreTest, PersistentDmlIsRejected) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE audit_log (k INT);
+    CREATE FUNCTION bad_loop(@pkey INT) RETURNS INT AS
+    BEGIN
+      DECLARE @cost DECIMAL(15,2);
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT ps_supplycost FROM partsupp
+                           WHERE ps_partkey = @pkey;
+      OPEN c;
+      FETCH NEXT FROM c INTO @cost;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        INSERT INTO audit_log VALUES (1);
+        SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @cost;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("bad_loop"));
+  EXPECT_EQ(report.loops_found, 1);
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("persistent"), std::string::npos);
+}
+
+TEST_F(AggifyCoreTest, TempTableDmlIsAccepted) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION collect_costs(@pkey INT) RETURNS FLOAT AS
+    BEGIN
+      DECLARE @cost DECIMAL(15,2);
+      DECLARE @t TABLE (c FLOAT);
+      DECLARE cur CURSOR FOR SELECT ps_supplycost FROM partsupp
+                             WHERE ps_partkey = @pkey;
+      OPEN cur;
+      FETCH NEXT FROM cur INTO @cost;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        INSERT INTO @t VALUES (@cost);
+        FETCH NEXT FROM cur INTO @cost;
+      END
+      CLOSE cur; DEALLOCATE cur;
+      RETURN (SELECT SUM(c) FROM @t);
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value original,
+                       session_->Call("collect_costs", {Value::Int(1)}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("collect_costs"));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value rewritten,
+                       session_->Call("collect_costs", {Value::Int(1)}));
+  EXPECT_NEAR(rewritten.AsDouble(), original.AsDouble(), 1e-9);
+  EXPECT_NEAR(rewritten.AsDouble(), 150.0, 1e-9);
+}
+
+TEST_F(AggifyCoreTest, BreakStopsAccumulation) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION sum_until(@pkey INT, @limit FLOAT) RETURNS FLOAT AS
+    BEGIN
+      DECLARE @cost DECIMAL(15,2);
+      DECLARE @total FLOAT = 0.0;
+      DECLARE c CURSOR FOR SELECT ps_supplycost FROM partsupp
+                           WHERE ps_partkey = @pkey ORDER BY ps_supplycost;
+      OPEN c;
+      FETCH NEXT FROM c INTO @cost;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @total = @total + @cost;
+        IF (@total > @limit)
+          BREAK;
+        FETCH NEXT FROM c INTO @cost;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @total;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(
+      Value original,
+      session_->Call("sum_until", {Value::Int(1), Value::Double(75.0)}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("sum_until"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(
+      Value rewritten,
+      session_->Call("sum_until", {Value::Int(1), Value::Double(75.0)}));
+  EXPECT_NEAR(rewritten.AsDouble(), original.AsDouble(), 1e-9);
+  EXPECT_NEAR(rewritten.AsDouble(), 80.0, 1e-9);  // 30 + 50 crosses 75
+}
+
+TEST_F(AggifyCoreTest, ForLoopConversion) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION triangle(@n INT) RETURNS INT AS
+    BEGIN
+      DECLARE @sum INT = 0;
+      FOR @i = 1 TO @n
+      BEGIN
+        SET @sum = @sum + @i;
+      END
+      RETURN @sum;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value original,
+                       session_->Call("triangle", {Value::Int(100)}));
+  EXPECT_EQ(original.int_value(), 5050);
+
+  AggifyOptions options;
+  options.convert_for_loops = true;
+  Aggify aggify(&db_, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("triangle"));
+  EXPECT_EQ(report.loops_found, 1);
+  EXPECT_EQ(report.loops_rewritten, 1);
+
+  ASSERT_OK_AND_ASSIGN(Value rewritten,
+                       session_->Call("triangle", {Value::Int(100)}));
+  EXPECT_EQ(rewritten.int_value(), 5050);
+}
+
+TEST_F(AggifyCoreTest, NestedCursorLoops) {
+  // Outer loop over parts; inner loop over that part's suppliers.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE parts (p_partkey INT);
+    INSERT INTO parts VALUES (1), (2), (3);
+    CREATE FUNCTION total_min_cost() RETURNS FLOAT AS
+    BEGIN
+      DECLARE @pk INT;
+      DECLARE @total FLOAT = 0.0;
+      DECLARE outer_c CURSOR FOR SELECT p_partkey FROM parts;
+      OPEN outer_c;
+      FETCH NEXT FROM outer_c INTO @pk;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        DECLARE @cost FLOAT;
+        DECLARE @mincost FLOAT = 1000000.0;
+        DECLARE inner_c CURSOR FOR SELECT ps_supplycost FROM partsupp
+                                   WHERE ps_partkey = @pk;
+        OPEN inner_c;
+        FETCH NEXT FROM inner_c INTO @cost;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@cost < @mincost)
+            SET @mincost = @cost;
+          FETCH NEXT FROM inner_c INTO @cost;
+        END
+        CLOSE inner_c; DEALLOCATE inner_c;
+        SET @total = @total + @mincost;
+        FETCH NEXT FROM outer_c INTO @pk;
+      END
+      CLOSE outer_c; DEALLOCATE outer_c;
+      RETURN @total;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value original, session_->Call("total_min_cost", {}));
+  EXPECT_NEAR(original.AsDouble(), 30.0 + 5.0 + 99.0, 1e-9);
+
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("total_min_cost"));
+  EXPECT_EQ(report.loops_found, 2);
+  EXPECT_EQ(report.loops_rewritten, 2);
+
+  ASSERT_OK_AND_ASSIGN(Value rewritten, session_->Call("total_min_cost", {}));
+  EXPECT_NEAR(rewritten.AsDouble(), original.AsDouble(), 1e-9);
+}
+
+TEST_F(AggifyCoreTest, GeneratedArtifactsLookRight) {
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("mincostsupp"));
+  ASSERT_EQ(report.rewrites.size(), 1u);
+  const LoopRewrite& r = report.rewrites[0];
+  // The rewritten statement is an Eq. 5 aggregate-over-derived-table query.
+  EXPECT_NE(r.rewritten_statement.find("SET @suppname ="), std::string::npos)
+      << r.rewritten_statement;
+  EXPECT_NE(r.rewritten_statement.find(r.aggregate_name), std::string::npos);
+  EXPECT_NE(r.rewritten_statement.find("FROM (SELECT"), std::string::npos);
+  // The aggregate source shows the Figure 4 template structure.
+  EXPECT_NE(r.aggregate_source.find("Init()"), std::string::npos);
+  EXPECT_NE(r.aggregate_source.find("Accumulate("), std::string::npos);
+  EXPECT_NE(r.aggregate_source.find("Terminate()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aggify

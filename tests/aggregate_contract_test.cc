@@ -1,0 +1,183 @@
+// Tests of the aggregation contract (§3.1): built-in aggregates, the Merge
+// method under simulated parallel partial aggregation, and the contract
+// behavior of synthesized LoopAggregates (deferred init, zero-row Terminate,
+// order sensitivity).
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "aggregates/aggregate_function.h"
+#include "common/random.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// ---- built-in contract ----
+
+struct MergeCase {
+  const char* name;
+  std::vector<int64_t> input;
+};
+
+class BuiltinMergeProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(BuiltinMergeProperty, ParallelPartialsEqualSerial) {
+  const char* name = std::get<0>(GetParam());
+  int seed = std::get<1>(GetParam());
+  Random rng(static_cast<uint64_t>(seed));
+  std::vector<Value> input;
+  int n = static_cast<int>(rng.UniformRange(0, 50));
+  for (int i = 0; i < n; ++i) {
+    input.push_back(rng.OneIn(8) ? Value::Null()
+                                 : Value::Int(rng.UniformRange(-100, 100)));
+  }
+
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeBuiltinAggregate(name));
+  ASSERT_TRUE(agg->SupportsMerge());
+
+  // Serial.
+  ASSERT_OK_AND_ASSIGN(auto serial, agg->Init());
+  for (const Value& v : input) {
+    ASSERT_OK(agg->Accumulate(serial.get(), {v}, nullptr));
+  }
+  ASSERT_OK_AND_ASSIGN(Value expected, agg->Terminate(serial.get(), nullptr));
+
+  // Parallel: split into 3 partials, merge.
+  std::vector<std::unique_ptr<AggregateState>> partials;
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+    partials.push_back(std::move(state));
+  }
+  for (size_t i = 0; i < input.size(); ++i) {
+    ASSERT_OK(agg->Accumulate(partials[i % 3].get(), {input[i]}, nullptr));
+  }
+  ASSERT_OK(agg->Merge(partials[0].get(), partials[1].get(), nullptr));
+  ASSERT_OK(agg->Merge(partials[0].get(), partials[2].get(), nullptr));
+  ASSERT_OK_AND_ASSIGN(Value merged, agg->Terminate(partials[0].get(), nullptr));
+
+  EXPECT_TRUE(expected.StructurallyEquals(merged))
+      << name << ": serial=" << expected.ToString()
+      << " merged=" << merged.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuiltinMergeProperty,
+    ::testing::Combine(::testing::Values("min", "max", "sum", "count", "avg"),
+                       ::testing::Range(0, 8)));
+
+TEST(BuiltinAggregateTest, NullsAreIgnored) {
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeBuiltinAggregate("count"));
+  ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+  ASSERT_OK(agg->Accumulate(state.get(), {Value::Null()}, nullptr));
+  ASSERT_OK(agg->Accumulate(state.get(), {Value::Int(1)}, nullptr));
+  ASSERT_OK_AND_ASSIGN(Value v, agg->Terminate(state.get(), nullptr));
+  EXPECT_EQ(v.int_value(), 1);  // COUNT(col) skips NULLs
+}
+
+TEST(BuiltinAggregateTest, CountStarCountsEverything) {
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeCountStarAggregate());
+  ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(agg->Accumulate(state.get(), {}, nullptr));
+  }
+  ASSERT_OK_AND_ASSIGN(Value v, agg->Terminate(state.get(), nullptr));
+  EXPECT_EQ(v.int_value(), 4);
+}
+
+TEST(BuiltinAggregateTest, UnknownNameIsNotFound) {
+  EXPECT_FALSE(MakeBuiltinAggregate("median").ok());
+  EXPECT_FALSE(IsBuiltinAggregateName("median"));
+  EXPECT_TRUE(IsBuiltinAggregateName("MIN"));
+}
+
+// ---- synthesized LoopAggregate contract ----
+
+class LoopAggregateContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE data (k INT, v INT);
+      INSERT INTO data VALUES (1, 5), (1, 7), (2, 11);
+      CREATE FUNCTION sum_v(@k INT) RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @s INT = 100;
+        DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @s = @s + @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @s;
+      END
+    )"));
+    Aggify aggify(&db_);
+    ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
+    ASSERT_EQ(report.loops_rewritten, 1);
+    agg_name_ = report.rewrites[0].aggregate_name;
+  }
+
+  std::shared_ptr<const AggregateFunction> GetAgg() {
+    auto agg = db_.catalog().GetAggregate(agg_name_);
+    EXPECT_TRUE(agg.ok());
+    return *agg;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+  std::string agg_name_;
+};
+
+TEST_F(LoopAggregateContractTest, InitDefersFieldInitialization) {
+  auto agg = GetAgg();
+  ExecContext ctx = session_->MakeContext();
+  // Terminate straight after Init (no rows): NULL marker, not 100.
+  ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+  ASSERT_OK_AND_ASSIGN(Value v, agg->Terminate(state.get(), &ctx));
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST_F(LoopAggregateContractTest, AccumulateInitializesFromFirstRowArgs) {
+  auto agg = GetAgg();
+  ExecContext ctx = session_->MakeContext();
+  ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+  // P_accum = [@x (fetch), @s]; the @s argument carries the loop-entry value.
+  ASSERT_OK(agg->Accumulate(state.get(), {Value::Int(5), Value::Int(100)},
+                            &ctx));
+  ASSERT_OK(agg->Accumulate(state.get(), {Value::Int(7), Value::Int(100)},
+                            &ctx));
+  ASSERT_OK_AND_ASSIGN(Value v, agg->Terminate(state.get(), &ctx));
+  EXPECT_EQ(v.int_value(), 112);
+}
+
+TEST_F(LoopAggregateContractTest, MergeIsUnsupported) {
+  auto agg = GetAgg();
+  ExecContext ctx = session_->MakeContext();
+  ASSERT_OK_AND_ASSIGN(auto a, agg->Init());
+  ASSERT_OK_AND_ASSIGN(auto b, agg->Init());
+  EXPECT_FALSE(agg->SupportsMerge());
+  Status st = agg->Merge(a.get(), b.get(), &ctx);
+  EXPECT_TRUE(st.IsNotSupported());
+}
+
+TEST_F(LoopAggregateContractTest, ZeroRowGroupKeepsPriorValue) {
+  // sum_v(999): the cursor query is empty, so @s keeps its pre-loop 100.
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_v", {Value::Int(999)}));
+  EXPECT_EQ(v.int_value(), 100);
+}
+
+TEST_F(LoopAggregateContractTest, ArityIsEnforced) {
+  auto agg = GetAgg();
+  ExecContext ctx = session_->MakeContext();
+  ASSERT_OK_AND_ASSIGN(auto state, agg->Init());
+  EXPECT_FALSE(agg->Accumulate(state.get(), {Value::Int(1)}, &ctx).ok());
+}
+
+}  // namespace
+}  // namespace aggify

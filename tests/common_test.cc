@@ -1,0 +1,97 @@
+// Tests for the common module: the Status/Result error model and the
+// deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+TEST(StatusTest, OkIsCheapAndEmpty) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.message(), "");
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::ParseError("x").ToString(), "parse error: x");
+  EXPECT_EQ(Status::NotApplicable("y").ToString(), "not applicable: y");
+  EXPECT_TRUE(Status::NotApplicable("").IsNotApplicable());
+  EXPECT_TRUE(Status::NotSupported("").IsNotSupported());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_FALSE(Status::Internal("").IsNotFound());
+}
+
+TEST(ResultTest, ValueAndErrorStates) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err(Status::NotFound("gone"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIntoResultIsAnInternalBug) {
+  Result<int> bad{Status::OK()};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ConvertingConstructorForDerivedPointers) {
+  struct Base {
+    virtual ~Base() = default;
+  };
+  struct Derived : Base {};
+  auto make = []() -> Result<std::unique_ptr<Base>> {
+    return std::make_unique<Derived>();
+  };
+  ASSERT_OK_AND_ASSIGN(auto p, make());
+  EXPECT_NE(p, nullptr);
+}
+
+Status UsePropagationMacros(bool fail) {
+  RETURN_NOT_OK(fail ? Status::TypeError("boom") : Status::OK());
+  Result<int> r = fail ? Result<int>(Status::TypeError("boom"))
+                       : Result<int>(7);
+  ASSIGN_OR_RETURN(int v, std::move(r));
+  return v == 7 ? Status::OK() : Status::Internal("wrong value");
+}
+
+TEST(MacroTest, PropagationBehavior) {
+  EXPECT_OK(UsePropagationMacros(false));
+  EXPECT_FALSE(UsePropagationMacros(true).ok());
+}
+
+TEST(RandomTest, DeterministicAndWellDistributed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+  // Nearby seeds diverge immediately (warm-up).
+  Random c(124);
+  Random d(125);
+  EXPECT_NE(c.Next64(), d.Next64());
+  // UniformRange stays in bounds inclusive.
+  Random e(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = e.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // NextDouble in [0, 1).
+  for (int i = 0; i < 1000; ++i) {
+    double x = e.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,246 @@
+// Executor/planner tests: operator semantics through SQL, plan shape via
+// EXPLAIN, subquery forms, aggregation variants, and the plan cache.
+#include <gtest/gtest.h>
+
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE r (a INT, b INT);
+      CREATE TABLE s (a INT, label VARCHAR(8));
+      INSERT INTO r VALUES (1, 10), (2, 20), (2, 21), (3, 30), (4, NULL);
+      INSERT INTO s VALUES (1, 'one'), (2, 'two'), (9, 'nine');
+    )"));
+  }
+
+  std::vector<Row> Rows(const std::string& sql) {
+    auto result = session_->Query(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->rows : std::vector<Row>{};
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ExecTest, LeftJoinEmitsNullPaddedRows) {
+  auto rows = Rows(
+      "SELECT r.a, s.label FROM r LEFT JOIN s ON r.a = s.a ORDER BY r.a, r.b");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][1].string_value(), "one");
+  EXPECT_EQ(rows[3][0].int_value(), 3);
+  EXPECT_TRUE(rows[3][1].is_null());  // no match for a=3
+  EXPECT_TRUE(rows[4][1].is_null());  // no match for a=4
+}
+
+TEST_F(ExecTest, NullsNeverJoin) {
+  ASSERT_OK(session_->RunSql(
+      "CREATE TABLE n1 (x INT); CREATE TABLE n2 (x INT);"
+      "INSERT INTO n1 VALUES (NULL), (1); INSERT INTO n2 VALUES (NULL), (1);"));
+  auto rows = Rows("SELECT n1.x FROM n1, n2 WHERE n1.x = n2.x");
+  EXPECT_EQ(rows.size(), 1u);  // only 1 = 1; NULL = NULL is unknown
+}
+
+TEST_F(ExecTest, ExistsAndNotExists) {
+  auto rows = Rows(
+      "SELECT a FROM r WHERE EXISTS (SELECT a FROM s WHERE s.a = r.a) "
+      "ORDER BY a, b");
+  ASSERT_EQ(rows.size(), 3u);  // a=1, a=2 twice
+  auto none = Rows(
+      "SELECT a FROM r WHERE NOT EXISTS (SELECT a FROM s WHERE s.a = r.a) "
+      "ORDER BY a");
+  ASSERT_EQ(none.size(), 2u);  // a=3, a=4
+  EXPECT_EQ(none[0][0].int_value(), 3);
+}
+
+TEST_F(ExecTest, InSubqueryWithNullSemantics) {
+  auto rows = Rows("SELECT a FROM r WHERE b IN (SELECT b FROM r WHERE a = 2)");
+  EXPECT_EQ(rows.size(), 2u);  // b=20, b=21
+  // NOT IN over a list containing NULL is never true.
+  auto empty = Rows("SELECT a FROM r WHERE b NOT IN (10, NULL)");
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST_F(ExecTest, GroupByWithHavingAndNullGroup) {
+  auto rows = Rows(
+      "SELECT a, COUNT(*) AS n, SUM(b) AS total FROM r GROUP BY a "
+      "HAVING COUNT(*) >= 1 ORDER BY a");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][1].int_value(), 2);   // a=2 has two rows
+  EXPECT_EQ(rows[1][2].int_value(), 41);  // 20 + 21
+  EXPECT_TRUE(rows[3][2].is_null());      // SUM over only-NULL is NULL
+}
+
+TEST_F(ExecTest, ScalarAggregatesOverEmptyInput) {
+  auto rows = Rows("SELECT COUNT(*) AS c, MIN(b) AS m, AVG(b) AS a FROM r "
+                   "WHERE a > 100");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int_value(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_TRUE(rows[0][2].is_null());
+}
+
+TEST_F(ExecTest, ScalarSubqueryCardinalityError) {
+  auto result = session_->Query("SELECT (SELECT b FROM r WHERE a = 2) AS x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("more than one row"),
+            std::string::npos);
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  auto rows = Rows("SELECT a FROM r WHERE a = 1 UNION ALL "
+                   "SELECT a FROM s WHERE a = 9");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecTest, DistinctRemovesDuplicates) {
+  auto rows = Rows("SELECT DISTINCT a FROM r ORDER BY a");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(ExecTest, OrderByNonProjectedColumn) {
+  auto rows = Rows("SELECT b FROM r WHERE b IS NOT NULL ORDER BY a DESC, b");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].int_value(), 30);  // a=3 first under DESC
+}
+
+TEST_F(ExecTest, CaseWhenInProjection) {
+  auto rows = Rows(
+      "SELECT CASE WHEN b >= 21 THEN 'big' WHEN b >= 10 THEN 'mid' "
+      "ELSE 'small' END AS bucket FROM r WHERE a <= 2 ORDER BY b");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].string_value(), "mid");
+  EXPECT_EQ(rows[2][0].string_value(), "big");
+}
+
+TEST_F(ExecTest, ExplainShowsHashJoinAndIndexSeek) {
+  ASSERT_OK(session_->RunSql("CREATE INDEX idx_ra ON r (a);"));
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(auto join_stmt,
+                       ParseSelect("SELECT r.b FROM r, s WHERE r.a = s.a"));
+  ASSERT_OK_AND_ASSIGN(std::string join_plan,
+                       session_->engine().Explain(*join_stmt, ctx));
+  EXPECT_NE(join_plan.find("HashJoin"), std::string::npos) << join_plan;
+
+  ASSERT_OK_AND_ASSIGN(auto seek_stmt,
+                       ParseSelect("SELECT b FROM r WHERE a = 2"));
+  ASSERT_OK_AND_ASSIGN(std::string seek_plan,
+                       session_->engine().Explain(*seek_stmt, ctx));
+  EXPECT_NE(seek_plan.find("IndexSeek"), std::string::npos) << seek_plan;
+}
+
+TEST_F(ExecTest, DerivedTablesArePipelined) {
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("SELECT SUM(q.b) AS t FROM "
+                             "(SELECT b FROM r WHERE b IS NOT NULL) q"));
+  ASSERT_OK_AND_ASSIGN(std::string plan, session_->engine().Explain(*stmt, ctx));
+  EXPECT_NE(plan.find("Rename"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("RowsScan"), std::string::npos) << plan;  // no spool
+}
+
+TEST_F(ExecTest, StreamAndHashAggregateAgree) {
+  // Force the streaming operator via the Eq. 6 flag and compare.
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT a, SUM(b) AS t FROM r GROUP BY a"));
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(QueryResult hashed, session_->engine().Execute(*stmt, ctx));
+  stmt->force_stream_aggregate = true;
+  ASSERT_OK_AND_ASSIGN(QueryResult streamed,
+                       session_->engine().Execute(*stmt, ctx));
+  ASSERT_EQ(hashed.rows.size(), streamed.rows.size());
+  // Stream output is sorted by group key; sort hash output for comparison.
+  auto key_sorted = [](std::vector<Row> rows) {
+    std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+      return TotalOrderCompare(x[0], y[0]) < 0;
+    });
+    return rows;
+  };
+  auto h = key_sorted(hashed.rows);
+  auto s = key_sorted(streamed.rows);
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(h[i], s[i]));
+  }
+}
+
+TEST_F(ExecTest, PlanCacheHitsOnRepeatedStatements) {
+  ASSERT_OK(session_->Query("SELECT b FROM r WHERE a = 1").status());
+  int64_t h0 = session_->engine().plan_cache().hits();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(session_->Query("SELECT b FROM r WHERE a = 1").status());
+  }
+  EXPECT_GE(session_->engine().plan_cache().hits() - h0, 5);
+}
+
+TEST_F(ExecTest, PlanCacheInvalidatedByTempTableChurn) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @t TABLE (x INT);
+    INSERT INTO @t VALUES (1), (2);
+    DECLARE @n INT;
+    SET @n = (SELECT COUNT(*) FROM @t);
+    DELETE FROM @t WHERE x = 1;
+    SET @n = @n + (SELECT COUNT(*) FROM @t);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value n, env->Get("@n"));
+  EXPECT_EQ(n.int_value(), 3);  // 2 + 1; stale plans would double-count
+}
+
+TEST_F(ExecTest, VariablesParameterizeCachedPlans) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @total INT = 0;
+    DECLARE @k INT = 1;
+    WHILE @k <= 3
+    BEGIN
+      SET @total = @total + (SELECT COUNT(*) FROM r WHERE a = @k);
+      SET @k = @k + 1;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value total, env->Get("@total"));
+  EXPECT_EQ(total.int_value(), 4);  // 1 + 2 + 1
+}
+
+TEST_F(ExecTest, TopWithVariableCount) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @n INT = 2;
+    DECLARE @c INT;
+    SET @c = (SELECT COUNT(*) FROM (SELECT TOP (@n) a FROM r) q);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value c, env->Get("@c"));
+  EXPECT_EQ(c.int_value(), 2);
+}
+
+TEST_F(ExecTest, CrossJoinViaCommaWithoutPredicate) {
+  auto rows = Rows("SELECT r.a FROM r, s");
+  EXPECT_EQ(rows.size(), 15u);  // 5 x 3
+}
+
+TEST_F(ExecTest, InterpreterTryCatchSwallowsRuntimeErrors) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @x INT = 0;
+    BEGIN TRY
+      SET @x = 1 / 0;
+      SET @x = 111;
+    END TRY
+    BEGIN CATCH
+      SET @x = -1;
+    END CATCH
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value x, env->Get("@x"));
+  EXPECT_EQ(x.int_value(), -1);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,202 @@
+// Tests for Froid inlining and decorrelation — the "Aggify+" pipeline:
+// cursor loop -> custom aggregate (Aggify) -> inlined correlated subquery
+// (Froid) -> GROUP BY + LEFT JOIN (decorrelation).
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "froid/froid.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class FroidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE part (p_partkey INT, p_name CHAR(25));
+      CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT,
+                             ps_supplycost DECIMAL(15,2));
+      CREATE TABLE supplier (s_suppkey INT, s_name CHAR(25));
+      INSERT INTO part VALUES (1, 'p1'), (2, 'p2'), (3, 'p3'), (4, 'p4');
+      INSERT INTO partsupp VALUES (1, 10, 50.0), (1, 11, 30.0), (1, 12, 70.0),
+                                  (2, 10, 5.0), (2, 12, 8.0), (3, 11, 99.0);
+      INSERT INTO supplier VALUES (10, 'supp_ten'), (11, 'supp_eleven'),
+                                  (12, 'supp_twelve');
+      CREATE FUNCTION mincostsupp(@pkey INT, @lb INT = -1) RETURNS CHAR(25) AS
+      BEGIN
+        DECLARE @pcost DECIMAL(15,2);
+        DECLARE @scname CHAR(25);
+        DECLARE @mincost DECIMAL(15,2) = 100000;
+        DECLARE @suppname CHAR(25);
+        IF (@lb = -1)
+          SET @lb = 0;
+        DECLARE c CURSOR FOR
+          SELECT ps_supplycost, s_name FROM partsupp, supplier
+          WHERE ps_partkey = @pkey AND ps_suppkey = s_suppkey;
+        OPEN c;
+        FETCH NEXT FROM c INTO @pcost, @scname;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@pcost < @mincost AND @pcost >= @lb)
+          BEGIN
+            SET @mincost = @pcost;
+            SET @suppname = @scname;
+          END
+          FETCH NEXT FROM c INTO @pcost, @scname;
+        END
+        CLOSE c;
+        DEALLOCATE c;
+        RETURN @suppname;
+      END
+    )"));
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(FroidTest, CursorUdfIsNotInlinableUntilAggified) {
+  Froid froid(&db_);
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("mincostsupp"));
+  auto tmpl = froid.BuildInlineTemplate(*def);
+  ASSERT_FALSE(tmpl.ok());
+  EXPECT_TRUE(tmpl.status().IsNotApplicable());
+
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("mincostsupp").status());
+  ASSERT_OK_AND_ASSIGN(auto def2, db_.catalog().GetFunction("mincostsupp"));
+  ASSERT_OK(froid.BuildInlineTemplate(*def2).status());
+}
+
+TEST_F(FroidTest, InlinedQueryMatchesUdfResults) {
+  // Reference: per-row UDF invocation on the original cursor program.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult reference,
+      session_->Query("SELECT p_partkey, mincostsupp(p_partkey) AS s "
+                      "FROM part ORDER BY p_partkey"));
+
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("mincostsupp").status());
+
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT p_partkey, mincostsupp(p_partkey) "
+                                   "AS s FROM part ORDER BY p_partkey"));
+  Froid froid(&db_);
+  ASSERT_OK_AND_ASSIGN(int rewrites, froid.RewriteQuery(stmt.get()));
+  EXPECT_GE(rewrites, 2);  // one inline + one decorrelation
+
+  // The rewritten statement no longer calls the UDF.
+  std::string text = stmt->ToString();
+  EXPECT_EQ(text.find("mincostsupp("), std::string::npos) << text;
+  EXPECT_NE(text.find("LEFT JOIN"), std::string::npos) << text;
+
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(QueryResult rewritten,
+                       session_->engine().Execute(*stmt, ctx));
+  ASSERT_EQ(rewritten.rows.size(), reference.rows.size());
+  for (size_t i = 0; i < reference.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(rewritten.rows[i], reference.rows[i]))
+        << "row " << i << ": " << RowToString(rewritten.rows[i]) << " vs "
+        << RowToString(reference.rows[i]);
+  }
+}
+
+TEST_F(FroidTest, DecorrelationExecutesOneQueryNotPerRow) {
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("mincostsupp").status());
+  Froid froid(&db_);
+
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT p_partkey, mincostsupp(p_partkey) "
+                                   "AS s FROM part"));
+  ASSERT_OK(froid.RewriteQuery(stmt.get()).status());
+
+  db_.stats().Reset();
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK(session_->engine().Execute(*stmt, ctx).status());
+  // Set-oriented plan: a small constant number of nested query executions
+  // (outer + derived tables), not one per part.
+  EXPECT_LE(db_.stats().queries_executed, 4);
+}
+
+TEST_F(FroidTest, PlainBuiltinAggregateSubqueryDecorrelates) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult reference,
+      session_->Query("SELECT p_partkey, (SELECT MIN(ps_supplycost) "
+                      "FROM partsupp WHERE ps_partkey = p_partkey) AS m "
+                      "FROM part ORDER BY p_partkey"));
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT p_partkey, (SELECT MIN(ps_supplycost) "
+                  "FROM partsupp WHERE ps_partkey = p_partkey) AS m "
+                  "FROM part ORDER BY p_partkey"));
+  Froid froid(&db_);
+  ASSERT_OK_AND_ASSIGN(int n, froid.DecorrelateScalarSubqueries(stmt.get()));
+  EXPECT_EQ(n, 1);
+
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(QueryResult rewritten,
+                       session_->engine().Execute(*stmt, ctx));
+  ASSERT_EQ(rewritten.rows.size(), reference.rows.size());
+  for (size_t i = 0; i < reference.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(rewritten.rows[i], reference.rows[i]))
+        << RowToString(rewritten.rows[i]) << " vs "
+        << RowToString(reference.rows[i]);
+  }
+}
+
+TEST_F(FroidTest, CountSubqueryIsNotDecorrelated) {
+  // COUNT over an empty group must stay 0; the LEFT JOIN rewrite would make
+  // it NULL, so Froid must refuse.
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT p_partkey, (SELECT COUNT(ps_suppkey) FROM partsupp "
+                  "WHERE ps_partkey = p_partkey) AS c FROM part"));
+  Froid froid(&db_);
+  ASSERT_OK_AND_ASSIGN(int n, froid.DecorrelateScalarSubqueries(stmt.get()));
+  EXPECT_EQ(n, 0);
+}
+
+TEST_F(FroidTest, StraightLineUdfInlinesIntoExpression) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION clamp(@x INT, @lo INT, @hi INT) RETURNS INT AS
+    BEGIN
+      DECLARE @r INT = @x;
+      IF (@x < @lo)
+        SET @r = @lo;
+      IF (@x > @hi)
+        SET @r = @hi;
+      RETURN @r;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("clamp"));
+  Froid froid(&db_);
+  ASSERT_OK_AND_ASSIGN(ExprPtr tmpl, froid.BuildInlineTemplate(*def));
+  // CASE WHEN structure with all three parameters present.
+  std::string text = tmpl->ToString();
+  EXPECT_NE(text.find("CASE"), std::string::npos) << text;
+
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("SELECT clamp(p_partkey, 2, 3) AS c FROM part"));
+  ASSERT_OK_AND_ASSIGN(int n, froid.InlineUdfCalls(stmt.get()));
+  EXPECT_EQ(n, 1);
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(QueryResult r, session_->engine().Execute(*stmt, ctx));
+  std::vector<int64_t> got;
+  for (const auto& row : r.rows) got.push_back(row[0].int_value());
+  EXPECT_EQ(got, (std::vector<int64_t>{2, 2, 3, 3}));
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,257 @@
+// Interpreter tests: control flow, cursors, temp tables, UDF invocation,
+// error paths, and failure injection.
+#include <gtest/gtest.h>
+
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3);"));
+  }
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(InterpreterTest, WhileWithBreakAndContinue) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @i INT = 0;
+    DECLARE @sum INT = 0;
+    WHILE @i < 100
+    BEGIN
+      SET @i = @i + 1;
+      IF @i % 2 = 0
+        CONTINUE;
+      IF @i > 7
+        BREAK;
+      SET @sum = @sum + @i;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value sum, env->Get("@sum"));
+  EXPECT_EQ(sum.int_value(), 1 + 3 + 5 + 7);
+}
+
+TEST_F(InterpreterTest, NestedFunctionCalls) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION inner_fn(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN @x * 2;
+    END
+    CREATE FUNCTION outer_fn(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN inner_fn(@x) + inner_fn(@x + 1);
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("outer_fn", {Value::Int(5)}));
+  EXPECT_EQ(v.int_value(), 22);
+}
+
+TEST_F(InterpreterTest, InfiniteRecursionIsBounded) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION rec(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN rec(@x + 1);
+    END
+  )"));
+  auto r = session_->Call("rec", {Value::Int(0)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(InterpreterTest, ReturnValueCoercedToDeclaredType) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION as_int() RETURNS INT AS
+    BEGIN
+      RETURN 3.9;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("as_int", {}));
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), 3);
+}
+
+TEST_F(InterpreterTest, DefaultParameterEvaluation) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION with_default(@a INT, @b INT = 7) RETURNS INT AS
+    BEGIN
+      RETURN @a + @b;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value both,
+                       session_->Call("with_default", {Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(both.int_value(), 3);
+  ASSERT_OK_AND_ASSIGN(Value defaulted,
+                       session_->Call("with_default", {Value::Int(1)}));
+  EXPECT_EQ(defaulted.int_value(), 8);
+  EXPECT_FALSE(session_->Call("with_default", {}).ok());  // @a required
+}
+
+TEST_F(InterpreterTest, CursorErrorPaths) {
+  auto fetch_unopened = session_->RunBlock(R"(
+    DECLARE @x INT;
+    DECLARE c CURSOR FOR SELECT v FROM t;
+    FETCH NEXT FROM c INTO @x;
+  )");
+  ASSERT_FALSE(fetch_unopened.ok());
+  EXPECT_NE(fetch_unopened.status().message().find("closed cursor"),
+            std::string::npos);
+
+  auto double_open = session_->RunBlock(R"(
+    DECLARE c CURSOR FOR SELECT v FROM t;
+    OPEN c;
+    OPEN c;
+  )");
+  ASSERT_FALSE(double_open.ok());
+
+  auto open_undeclared = session_->RunBlock("OPEN nope;");
+  ASSERT_FALSE(open_undeclared.ok());
+}
+
+TEST_F(InterpreterTest, CursorReopenAfterClose) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @x INT;
+    DECLARE @n INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM t;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @n = @n + 1;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @n = @n + 1;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value n, env->Get("@n"));
+  EXPECT_EQ(n.int_value(), 6);  // two full passes
+}
+
+TEST_F(InterpreterTest, SetOfUndeclaredVariableFails) {
+  auto r = session_->RunBlock("SET @nope = 1;");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(InterpreterTest, TempTableUpdateAndDelete) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @t TABLE (k INT, v INT);
+    INSERT INTO @t VALUES (1, 10), (2, 20), (3, 30);
+    UPDATE @t SET v = v + 1 WHERE k >= 2;
+    DELETE FROM @t WHERE k = 1;
+    DECLARE @sum INT;
+    SET @sum = (SELECT SUM(v) FROM @t);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value sum, env->Get("@sum"));
+  EXPECT_EQ(sum.int_value(), 21 + 31);
+}
+
+TEST_F(InterpreterTest, TempTablesDroppedAtFunctionExit) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION uses_temp() RETURNS INT AS
+    BEGIN
+      DECLARE @t TABLE (x INT);
+      INSERT INTO @t VALUES (1);
+      RETURN (SELECT COUNT(*) FROM @t);
+    END
+  )"));
+  ASSERT_OK(session_->Call("uses_temp", {}).status());
+  EXPECT_FALSE(db_.catalog().HasTable("@t"));
+  // Call again: re-creation must not collide.
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("uses_temp", {}));
+  EXPECT_EQ(v.int_value(), 1);
+}
+
+TEST_F(InterpreterTest, ErrorInsideLoopBodyPropagates) {
+  auto r = session_->RunBlock(R"(
+    DECLARE @x INT;
+    DECLARE @d INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM t;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @x = @x / @d;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c; DEALLOCATE c;
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("division by zero"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, FetchStatusIsMinusOneBeforeAnyFetch) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @s INT;
+    SET @s = @@FETCH_STATUS;
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value s, env->Get("@s"));
+  EXPECT_EQ(s.int_value(), -1);
+}
+
+TEST_F(InterpreterTest, FunctionsCannotModifyPersistentState) {
+  // §4.1: UDFs cannot modify persistent state — which is exactly why every
+  // UDF cursor loop is in Theorem 4.2's class.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION naughty_insert() RETURNS INT AS
+    BEGIN
+      INSERT INTO t VALUES (99);
+      RETURN 1;
+    END
+    CREATE FUNCTION naughty_update() RETURNS INT AS
+    BEGIN
+      UPDATE t SET v = 0;
+      RETURN 1;
+    END
+    CREATE FUNCTION fine_temp() RETURNS INT AS
+    BEGIN
+      DECLARE @w TABLE (x INT);
+      INSERT INTO @w VALUES (1);
+      UPDATE @w SET x = 2;
+      DELETE FROM @w WHERE x = 2;
+      RETURN 1;
+    END
+  )"));
+  auto ins = session_->Call("naughty_insert", {});
+  ASSERT_FALSE(ins.ok());
+  EXPECT_NE(ins.status().message().find("not allowed inside a function"),
+            std::string::npos);
+  ASSERT_FALSE(session_->Call("naughty_update", {}).ok());
+  ASSERT_OK(session_->Call("fine_temp", {}).status());
+  // Anonymous blocks may modify persistent tables.
+  ASSERT_OK(session_->RunBlock("INSERT INTO t VALUES (42);").status());
+}
+
+TEST_F(InterpreterTest, ScalarSubqueryInDeclareInitializer) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @m INT = (SELECT MAX(v) FROM t);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value m, env->Get("@m"));
+  EXPECT_EQ(m.int_value(), 3);
+}
+
+TEST_F(InterpreterTest, InsertSelectIntoTempTable) {
+  ASSERT_OK_AND_ASSIGN(auto env, session_->RunBlock(R"(
+    DECLARE @copy TABLE (v INT);
+    INSERT INTO @copy SELECT v FROM t WHERE v >= 2;
+    DECLARE @n INT;
+    SET @n = (SELECT COUNT(*) FROM @copy);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value n, env->Get("@n"));
+  EXPECT_EQ(n.int_value(), 2);
+}
+
+}  // namespace
+}  // namespace aggify

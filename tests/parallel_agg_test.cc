@@ -1,0 +1,148 @@
+// Tests of simulated parallel partial aggregation (§3.1 Merge in plans) and
+// the LIKE operator.
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class ParallelAggTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PlannerOptions options;
+    options.aggregate_partitions = 4;
+    session_ = std::make_unique<Session>(&db_, options);
+    serial_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(serial_->RunSql(R"(
+      CREATE TABLE m (g INT, v INT);
+      INSERT INTO m VALUES (1, 5), (1, 7), (1, NULL), (2, 3), (2, 4),
+                           (2, 5), (2, 6), (3, 100);
+    )"));
+  }
+  Database db_;
+  std::unique_ptr<Session> session_;  // partitions = 4
+  std::unique_ptr<Session> serial_;   // partitions = 1
+};
+
+TEST_F(ParallelAggTest, PartitionedEqualsSerialForAllBuiltins) {
+  const char* sql =
+      "SELECT g, COUNT(*) AS c, COUNT(v) AS cv, SUM(v) AS s, MIN(v) AS lo, "
+      "MAX(v) AS hi, AVG(v) AS a FROM m GROUP BY g ORDER BY g";
+  ASSERT_OK_AND_ASSIGN(QueryResult parallel, session_->Query(sql));
+  ASSERT_OK_AND_ASSIGN(QueryResult serial, serial_->Query(sql));
+  ASSERT_EQ(parallel.rows.size(), serial.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(parallel.rows[i], serial.rows[i]))
+        << RowToString(parallel.rows[i]) << " vs "
+        << RowToString(serial.rows[i]);
+  }
+}
+
+TEST_F(ParallelAggTest, ScalarAggregateOverEmptyInputStillOneRow) {
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       session_->Query("SELECT COUNT(*), SUM(v) FROM m "
+                                       "WHERE g = 42"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ParallelAggTest, SynthesizedAggregatesStaySerial) {
+  // LoopAggregates do not SupportsMerge: the planner must fall back to one
+  // partition, and results must still be correct under the parallel session.
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION prod(@g INT) RETURNS FLOAT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @p FLOAT = 1.0;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE g = @g AND v IS NOT NULL;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @p = @p * @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @p;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("prod").status());
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("prod", {Value::Int(2)}));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.0 * 4 * 5 * 6);
+}
+
+TEST(LikeTest, PatternSemantics) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session.RunSql(R"(
+    CREATE TABLE words (w VARCHAR(32));
+    INSERT INTO words VALUES ('promo pack'), ('PROMO'), ('prom'),
+                             ('a promo b'), ('xx'), ('axb');
+  )"));
+  auto count = [&](const std::string& pred) -> int64_t {
+    auto r = session.Query("SELECT COUNT(*) FROM words WHERE " + pred);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].int_value() : -1;
+  };
+  EXPECT_EQ(count("w LIKE 'promo%'"), 1);    // case-sensitive prefix
+  EXPECT_EQ(count("w LIKE '%promo%'"), 2);   // contains
+  EXPECT_EQ(count("w LIKE 'a%b'"), 2);       // 'a promo b' and 'axb'
+  EXPECT_EQ(count("w LIKE 'a_b'"), 1);       // single-char wildcard
+  EXPECT_EQ(count("w LIKE '__'"), 1);        // exactly two chars
+  EXPECT_EQ(count("w NOT LIKE '%promo%'"), 4);
+  EXPECT_EQ(count("w LIKE 'prom'"), 1);      // exact match, no wildcards
+  EXPECT_EQ(count("w LIKE '%'"), 6);         // matches everything
+}
+
+TEST(LikeTest, NullPropagates) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session.RunSql(
+      "CREATE TABLE w2 (w VARCHAR(8)); INSERT INTO w2 VALUES (NULL), ('x');"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       session.Query("SELECT COUNT(*) FROM w2 "
+                                     "WHERE w LIKE '%'"));
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);  // NULL LIKE anything is unknown
+}
+
+TEST(LikeTest, UsableInsideCursorLoopBodies) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session.RunSql(R"(
+    CREATE TABLE msgs (txt VARCHAR(64));
+    INSERT INTO msgs VALUES ('special requests here'), ('plain order'),
+                            ('another special one'), ('ordinary');
+    CREATE FUNCTION count_special() RETURNS INT AS
+    BEGIN
+      DECLARE @t VARCHAR(64);
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT txt FROM msgs;
+      OPEN c;
+      FETCH NEXT FROM c INTO @t;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@t LIKE '%special%')
+          SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @t;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session.Call("count_special", {}));
+  EXPECT_EQ(before.int_value(), 2);
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("count_special"));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value after, session.Call("count_special", {}));
+  EXPECT_EQ(after.int_value(), 2);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,278 @@
+// Parser unit tests: lexing, expression precedence, SELECT clauses,
+// procedural statements, scripts, and error reporting.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// ---------- lexer ----------
+
+TEST(LexerTest, TokenKinds) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       Tokenize("SELECT @x, 42, 3.5, 'it''s' FROM t -- c"));
+  // SELECT @x , 42 , 3.5 , 'it's' FROM t EOF
+  ASSERT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].text, "@x");
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_DOUBLE_EQ(tokens[5].double_value, 3.5);
+  EXPECT_EQ(tokens[7].text, "it's");
+}
+
+TEST(LexerTest, BlockCommentsAndOperators) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("a /* hi \n there */ <> b <= c"));
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLe);
+}
+
+TEST(LexerTest, FetchStatusVariable) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("@@FETCH_STATUS"));
+  EXPECT_EQ(tokens[0].text, "@@fetch_status");  // lowercased
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+  EXPECT_FALSE(Tokenize("a /* unclosed").ok());
+}
+
+// ---------- expressions ----------
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpression("1 + 2 * 3 - 4 / 2"));
+  EXPECT_EQ(e->ToString(), "((1 + (2 * 3)) - (4 / 2))");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpression("a = 1 OR b = 2 AND c = 3"));
+  EXPECT_EQ(e->ToString(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, NotAndComparisons) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpression("NOT a >= 5"));
+  EXPECT_EQ(e->ToString(), "(NOT (a >= 5))");
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpression("x BETWEEN 1 AND 10"));
+  EXPECT_EQ(e->ToString(), "((x >= 1) AND (x <= 10))");
+}
+
+TEST(ParserTest, InListAndIsNull) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e1, ParseExpression("x IN (1, 2, 3)"));
+  EXPECT_EQ(e1->kind, ExprKind::kInList);
+  ASSERT_OK_AND_ASSIGN(ExprPtr e2, ParseExpression("x IS NOT NULL"));
+  EXPECT_EQ(e2->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(static_cast<IsNullExpr&>(*e2).negated);
+}
+
+TEST(ParserTest, CaseWhenAndCast) {
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr e,
+      ParseExpression("CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END"));
+  EXPECT_EQ(e->kind, ExprKind::kCaseWhen);
+  ASSERT_OK_AND_ASSIGN(ExprPtr c, ParseExpression("CAST(x AS INT)"));
+  EXPECT_EQ(c->kind, ExprKind::kCast);
+}
+
+TEST(ParserTest, BuiltinAggregatesRecognized) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpression("MIN(ps_supplycost)"));
+  EXPECT_EQ(e->kind, ExprKind::kAggregateCall);
+  ASSERT_OK_AND_ASSIGN(ExprPtr star, ParseExpression("COUNT(*)"));
+  EXPECT_TRUE(static_cast<AggregateCallExpr&>(*star).is_star);
+  // Unknown names stay scalar calls (the binder promotes catalog aggregates).
+  ASSERT_OK_AND_ASSIGN(ExprPtr udf, ParseExpression("myfunc(1, 2)"));
+  EXPECT_EQ(udf->kind, ExprKind::kFunctionCall);
+}
+
+TEST(ParserTest, QualifiedColumnsAndSubqueries) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e,
+                       ParseExpression("t.a + (SELECT MAX(b) FROM u)"));
+  auto& bin = static_cast<BinaryExpr&>(*e);
+  EXPECT_EQ(bin.left->ToString(), "t.a");
+  EXPECT_EQ(bin.right->kind, ExprKind::kScalarSubquery);
+}
+
+// ---------- SELECT ----------
+
+TEST(ParserTest, SelectClausesRoundTrip) {
+  const char* sql =
+      "SELECT a, SUM(b) AS total FROM t WHERE a > 0 GROUP BY a "
+      "HAVING SUM(b) > 10 ORDER BY total DESC";
+  ASSERT_OK_AND_ASSIGN(auto q, ParseSelect(sql));
+  EXPECT_EQ(q->items.size(), 2u);
+  EXPECT_EQ(q->items[1].alias, "total");
+  EXPECT_TRUE(q->HasGroupBy());
+  ASSERT_NE(q->having, nullptr);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_TRUE(q->order_by[0].descending);
+  // Re-parse the rendering (ToString emits parseable dialect SQL).
+  ASSERT_OK(ParseSelect(q->ToString()).status());
+}
+
+TEST(ParserTest, JoinsAndDerivedTables) {
+  ASSERT_OK_AND_ASSIGN(
+      auto q, ParseSelect("SELECT x FROM a JOIN b ON a.k = b.k "
+                          "LEFT JOIN (SELECT k FROM c) d ON b.k = d.k"));
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0]->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(q->from[0]->join_type, JoinType::kLeft);
+  EXPECT_EQ(q->from[0]->right->kind, TableRef::Kind::kSubquery);
+}
+
+TEST(ParserTest, TopVariants) {
+  ASSERT_OK_AND_ASSIGN(auto q1, ParseSelect("SELECT TOP 5 a FROM t"));
+  ASSERT_NE(q1->top_n, nullptr);
+  ASSERT_OK_AND_ASSIGN(auto q2, ParseSelect("SELECT TOP (@n) a FROM t"));
+  EXPECT_EQ(q2->top_n->kind, ExprKind::kVarRef);
+}
+
+TEST(ParserTest, WithRecursiveCte) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseSelect(R"(
+      WITH c (i) AS (SELECT 0 AS i UNION ALL SELECT i + 1 FROM c WHERE i < 5)
+      SELECT * FROM c)"));
+  ASSERT_EQ(q->ctes.size(), 1u);
+  EXPECT_TRUE(q->ctes[0].recursive);
+  EXPECT_EQ(q->ctes[0].column_names, std::vector<std::string>{"i"});
+}
+
+// ---------- procedural ----------
+
+TEST(ParserTest, CursorLoopStatements) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr block, ParseStatements(R"(
+    DECLARE @x INT;
+    DECLARE c CURSOR FOR SELECT v FROM t;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @x = @x + 1;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )"));
+  const auto& b = static_cast<const BlockStmt&>(*block);
+  ASSERT_EQ(b.statements.size(), 7u);
+  EXPECT_EQ(b.statements[1]->kind, StmtKind::kDeclareCursor);
+  EXPECT_EQ(b.statements[4]->kind, StmtKind::kWhile);
+}
+
+TEST(ParserTest, MultiDeclareAndTableVariable) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr block, ParseStatements(R"(
+    DECLARE @a INT = 1, @b FLOAT;
+    DECLARE @t TABLE (x INT, y VARCHAR(8));
+    INSERT INTO @t VALUES (1, 'one');
+  )"));
+  const auto& b = static_cast<const BlockStmt&>(*block);
+  // Multi-declare expands into a nested block of two declares.
+  ASSERT_GE(b.statements.size(), 3u);
+  EXPECT_EQ(b.statements[1]->kind, StmtKind::kDeclareTempTable);
+}
+
+TEST(ParserTest, TryCatchAndControlFlow) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr block, ParseStatements(R"(
+    BEGIN TRY
+      SET @x = 1 / 0;
+    END TRY
+    BEGIN CATCH
+      SET @x = -1;
+    END CATCH
+    WHILE @x < 3
+    BEGIN
+      IF @x = 2
+        BREAK;
+      ELSE
+        CONTINUE;
+    END
+  )"));
+  const auto& b = static_cast<const BlockStmt&>(*block);
+  ASSERT_EQ(b.statements.size(), 2u);
+  EXPECT_EQ(b.statements[0]->kind, StmtKind::kTryCatch);
+}
+
+TEST(ParserTest, FunctionDefinitionWithDefaults) {
+  ASSERT_OK_AND_ASSIGN(auto def, ParseFunction(R"(
+    CREATE FUNCTION f(@a INT, @b INT = -1) RETURNS CHAR(25) AS
+    BEGIN
+      RETURN 'x';
+    END
+  )"));
+  EXPECT_EQ(def->name, "f");
+  ASSERT_EQ(def->params.size(), 2u);
+  EXPECT_EQ(def->params[0].default_value, nullptr);
+  ASSERT_NE(def->params[1].default_value, nullptr);
+  EXPECT_EQ(def->return_type.id, TypeId::kString);
+}
+
+TEST(ParserTest, ScriptMixesCommands) {
+  ASSERT_OK_AND_ASSIGN(Script script, ParseScript(R"(
+    CREATE TABLE t (a INT);
+    CREATE INDEX idx ON t (a);
+    INSERT INTO t VALUES (1), (2);
+    CREATE FUNCTION g() RETURNS INT AS BEGIN RETURN 1; END
+    SELECT a FROM t;
+  )"));
+  ASSERT_EQ(script.commands.size(), 5u);
+  EXPECT_EQ(script.commands[0].kind, ScriptCommand::Kind::kCreateTable);
+  EXPECT_EQ(script.commands[1].kind, ScriptCommand::Kind::kCreateIndex);
+  EXPECT_EQ(script.commands[2].kind, ScriptCommand::Kind::kInsert);
+  EXPECT_EQ(script.commands[3].kind, ScriptCommand::Kind::kCreateFunction);
+  EXPECT_EQ(script.commands[4].kind, ScriptCommand::Kind::kSelect);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseSelect("SELECT a\nFROM\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseExpression("1 + 2 garbage more").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t SELECT b").ok());
+}
+
+// Clone must deep-copy: mutating the clone leaves the original untouched.
+TEST(ParserTest, CloneIsDeep) {
+  ASSERT_OK_AND_ASSIGN(auto q, ParseSelect("SELECT a FROM t WHERE a > 1"));
+  auto clone = q->Clone();
+  clone->items[0].alias = "renamed";
+  clone->where = nullptr;
+  EXPECT_TRUE(q->items[0].alias.empty());
+  ASSERT_NE(q->where, nullptr);
+}
+
+// ToString renders parseable SQL for every workload UDF (round-trip sweep).
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, FunctionToStringReparses) {
+  ASSERT_OK_AND_ASSIGN(auto def, ParseFunction(GetParam()));
+  std::string rendered = def->ToString();
+  ASSERT_OK_AND_ASSIGN(auto def2, ParseFunction(rendered));
+  EXPECT_EQ(def2->ToString(), rendered);  // fixpoint after one round
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Udfs, RoundTripTest,
+    ::testing::Values(
+        R"(CREATE FUNCTION a(@x INT) RETURNS INT AS BEGIN
+             IF (@x > 0) RETURN @x; ELSE RETURN -@x; END)",
+        R"(CREATE FUNCTION b() RETURNS FLOAT AS BEGIN
+             DECLARE @s FLOAT = 0.0;
+             DECLARE c CURSOR FOR SELECT v FROM t ORDER BY v DESC;
+             DECLARE @v FLOAT;
+             OPEN c; FETCH NEXT FROM c INTO @v;
+             WHILE @@FETCH_STATUS = 0
+             BEGIN SET @s = @s + @v; FETCH NEXT FROM c INTO @v; END
+             CLOSE c; DEALLOCATE c;
+             RETURN @s; END)",
+        R"(CREATE FUNCTION c(@n INT) RETURNS INT AS BEGIN
+             DECLARE @t TABLE (x INT);
+             FOR @i = 1 TO @n BEGIN INSERT INTO @t VALUES (@i); END
+             RETURN (SELECT COUNT(*) FROM @t); END)"));
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,86 @@
+// Plan-invariance properties: every optimizer toggle combination must
+// produce identical results for a battery of queries — the planner may only
+// change *how*, never *what*.
+#include <gtest/gtest.h>
+
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+const char* kSetupSql = R"(
+  CREATE TABLE fact (k INT, d INT, m FLOAT);
+  CREATE TABLE dim (k INT, name VARCHAR(12));
+  CREATE INDEX idx_fact_k ON fact (k);
+  INSERT INTO fact VALUES
+    (1, 1, 1.5), (1, 2, 2.5), (2, 1, 3.5), (2, 2, NULL),
+    (3, 1, 4.5), (3, 3, 5.5), (9, 9, 9.9);
+  INSERT INTO dim VALUES (1, 'one'), (2, 'two'), (3, 'three');
+)";
+
+const char* kQueries[] = {
+    "SELECT fact.k, m FROM fact, dim WHERE fact.k = dim.k ORDER BY fact.k, d",
+    "SELECT dim.name, SUM(m) AS s FROM fact, dim WHERE fact.k = dim.k "
+    "GROUP BY dim.name ORDER BY dim.name",
+    "SELECT k, COUNT(*) AS c FROM fact GROUP BY k HAVING COUNT(*) > 1 "
+    "ORDER BY k",
+    "SELECT f.k FROM fact f LEFT JOIN dim ON f.k = dim.k "
+    "WHERE dim.name IS NULL ORDER BY f.k",
+    "SELECT TOP 3 m FROM fact WHERE m IS NOT NULL ORDER BY m DESC",
+    "SELECT DISTINCT d FROM fact ORDER BY d",
+    "SELECT k FROM fact WHERE k = 2 AND m > 1",
+    "SELECT (SELECT MAX(m) FROM fact WHERE fact.k = dim.k) AS mx, name "
+    "FROM dim ORDER BY name",
+    "SELECT name FROM dim WHERE EXISTS "
+    "(SELECT k FROM fact WHERE fact.k = dim.k AND m > 4) ORDER BY name",
+};
+
+struct Toggle {
+  bool index_seek;
+  bool hash_join;
+  bool pushdown;
+  int partitions;
+};
+
+class PlanInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanInvariance, SameResultsUnderEveryPlannerConfiguration) {
+  int bits = GetParam();
+  Toggle toggle{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                (bits & 8) != 0 ? 3 : 1};
+
+  Database db;
+  {
+    Session setup(&db);
+    ASSERT_OK(setup.RunSql(kSetupSql).status());
+  }
+
+  PlannerOptions reference_options;  // all defaults
+  Session reference(&db, reference_options);
+
+  PlannerOptions options;
+  options.enable_index_seek = toggle.index_seek;
+  options.enable_hash_join = toggle.hash_join;
+  options.enable_predicate_pushdown = toggle.pushdown;
+  options.aggregate_partitions = toggle.partitions;
+  Session session(&db, options);
+
+  for (const char* sql : kQueries) {
+    SCOPED_TRACE(sql);
+    ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Query(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult actual, session.Query(sql));
+    ASSERT_EQ(actual.rows.size(), expected.rows.size());
+    for (size_t i = 0; i < expected.rows.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(actual.rows[i], expected.rows[i]))
+          << "row " << i << ": " << RowToString(actual.rows[i]) << " vs "
+          << RowToString(expected.rows[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggleCombos, PlanInvariance,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace aggify

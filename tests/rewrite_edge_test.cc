@@ -1,0 +1,457 @@
+// Edge cases of the Aggify rewrite: applicability refusals with reasons,
+// multiple loops per function, idempotence, dead-declaration cleanup (§6.2),
+// order preservation (§6.1), and plan-shape checks for Eq. 6.
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class RewriteEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE nums (v INT, grp INT);
+      INSERT INTO nums VALUES (3, 1), (1, 1), (2, 1), (9, 2), (7, 2);
+    )"));
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(RewriteEdgeTest, DeadDeclarationsRemovedAfterRewrite) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION total() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("total").status());
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("total"));
+  std::string text = def->ToString();
+  // The fetch variable @x is dead after the rewrite (Figure 7's observation
+  // about @pCost/@sName) and its declaration is gone; @s survives.
+  EXPECT_EQ(text.find("DECLARE @x"), std::string::npos) << text;
+  EXPECT_NE(text.find("@s"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("total", {}));
+  EXPECT_EQ(v.int_value(), 22);
+}
+
+TEST_F(RewriteEdgeTest, RewriteIsIdempotent) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION once() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport first, aggify.RewriteFunction("once"));
+  EXPECT_EQ(first.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(AggifyReport second, aggify.RewriteFunction("once"));
+  EXPECT_EQ(second.loops_found, 0);
+  EXPECT_EQ(second.loops_rewritten, 0);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("once", {}));
+  EXPECT_EQ(v.int_value(), 5);
+}
+
+TEST_F(RewriteEdgeTest, TwoSequentialLoopsBothRewritten) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION two_loops() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @sum INT = 0;
+      DECLARE @mx INT = -1000;
+      DECLARE c1 CURSOR FOR SELECT v FROM nums WHERE grp = 1;
+      OPEN c1;
+      FETCH NEXT FROM c1 INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @sum = @sum + @x;
+        FETCH NEXT FROM c1 INTO @x;
+      END
+      CLOSE c1; DEALLOCATE c1;
+      DECLARE c2 CURSOR FOR SELECT v FROM nums WHERE grp = 2;
+      OPEN c2;
+      FETCH NEXT FROM c2 INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@x > @mx)
+          SET @mx = @x;
+        FETCH NEXT FROM c2 INTO @x;
+      END
+      CLOSE c2; DEALLOCATE c2;
+      RETURN @sum * 100 + @mx;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("two_loops", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("two_loops"));
+  EXPECT_EQ(report.loops_found, 2);
+  EXPECT_EQ(report.loops_rewritten, 2);
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("two_loops", {}));
+  EXPECT_TRUE(before.StructurallyEquals(after));
+  EXPECT_EQ(after.int_value(), 609);  // (3+1+2)*100 + 9
+}
+
+TEST_F(RewriteEdgeTest, ReturnInsideLoopIsSkippedWithReason) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION find_first(@t INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@x = @t)
+          RETURN @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN -1;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("find_first"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("RETURN"), std::string::npos);
+  // The function still works (untouched).
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("find_first", {Value::Int(2)}));
+  EXPECT_EQ(v.int_value(), 2);
+}
+
+TEST_F(RewriteEdgeTest, FetchVarLiveAfterLoopIsSkipped) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION last_val() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @x;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_val"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("live after the loop"), std::string::npos);
+}
+
+TEST_F(RewriteEdgeTest, SelectStarCursorIsSkipped) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION star() RETURNS INT AS
+    BEGIN
+      DECLARE @a INT;
+      DECLARE @b INT;
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT * FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @a, @b;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @a, @b;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("star"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  EXPECT_NE(report.skipped[0].find("SELECT *"), std::string::npos);
+}
+
+TEST_F(RewriteEdgeTest, ConditionalFetchIsSkipped) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION weird() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @n = @n + 1;
+        IF (@n < 3)
+          FETCH NEXT FROM c INTO @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("weird"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  EXPECT_NE(report.skipped[0].find("FETCH"), std::string::npos);
+}
+
+TEST_F(RewriteEdgeTest, OrderPreservationAscVsDesc) {
+  // "Last value wins" loops distinguish cursor order; both directions must
+  // survive the rewrite (Eq. 6 streaming).
+  for (const char* dir : {"", " DESC"}) {
+    std::string fn = std::string("last_in_order") + (dir[0] ? "_desc" : "_asc");
+    ASSERT_OK(session_->RunSql(
+        "CREATE FUNCTION " + fn + R"(() RETURNS INT AS
+        BEGIN
+          DECLARE @x INT;
+          DECLARE @last INT;
+          DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v)" + dir + R"(;
+          OPEN c;
+          FETCH NEXT FROM c INTO @x;
+          WHILE @@FETCH_STATUS = 0
+          BEGIN
+            SET @last = @x;
+            FETCH NEXT FROM c INTO @x;
+          END
+          CLOSE c; DEALLOCATE c;
+          RETURN @last;
+        END)").status());
+    ASSERT_OK_AND_ASSIGN(Value before, session_->Call(fn, {}));
+    Aggify aggify(&db_);
+    ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction(fn));
+    ASSERT_EQ(report.loops_rewritten, 1);
+    ASSERT_OK_AND_ASSIGN(Value after, session_->Call(fn, {}));
+    EXPECT_TRUE(before.StructurallyEquals(after)) << fn;
+  }
+  ASSERT_OK_AND_ASSIGN(Value asc, session_->Call("last_in_order_asc", {}));
+  ASSERT_OK_AND_ASSIGN(Value desc, session_->Call("last_in_order_desc", {}));
+  EXPECT_EQ(asc.int_value(), 9);
+  EXPECT_EQ(desc.int_value(), 1);
+}
+
+TEST_F(RewriteEdgeTest, OrderedRewritePlansAStreamAggregate) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION ordered_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("ordered_sum"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+
+  // Plan the rewritten query text and require the Eq. 6 operators.
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("ordered_sum"));
+  const MultiAssignStmt* ma = nullptr;
+  for (const auto& s : def->body->statements) {
+    if (s->kind == StmtKind::kMultiAssign) {
+      ma = static_cast<const MultiAssignStmt*>(s.get());
+    }
+  }
+  ASSERT_NE(ma, nullptr);
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  env.Declare("@s", Value::Int(0));
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       session_->engine().Explain(*ma->query, ctx));
+  EXPECT_NE(plan.find("StreamAggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+}
+
+TEST_F(RewriteEdgeTest, GroupWithOnlyFilteredRowsKeepsPriorValues) {
+  // Regression for the v_extra_init soundness extension: the loop runs but
+  // never assigns @found; the original keeps 0 and so must the rewrite.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION flag(@needle INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @found INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@x = @needle)
+          SET @found = @x * 10;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @found;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("flag"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].sets.v_extra_init.empty());
+  ASSERT_OK_AND_ASSIGN(Value miss, session_->Call("flag", {Value::Int(555)}));
+  EXPECT_EQ(miss.int_value(), 0);  // never assigned: pre-loop value survives
+  ASSERT_OK_AND_ASSIGN(Value hit, session_->Call("flag", {Value::Int(9)}));
+  EXPECT_EQ(hit.int_value(), 90);
+}
+
+TEST_F(RewriteEdgeTest, TryCatchInsideLoopBodyIsSupported) {
+  // §4.2: "Exception handling code (TRY...CATCH) can also be supported."
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION safe_inverse_sum() RETURNS FLOAT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s FLOAT = 0.0;
+      DECLARE @errors INT = 0;
+      DECLARE c CURSOR FOR SELECT v - 2 FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        BEGIN TRY
+          SET @s = @s + 10.0 / @x;
+        END TRY
+        BEGIN CATCH
+          SET @errors = @errors + 1;
+        END CATCH
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s * 1000 + @errors;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("safe_inverse_sum", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("safe_inverse_sum"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("safe_inverse_sum", {}));
+  EXPECT_TRUE(before.StructurallyEquals(after))
+      << before.ToString() << " vs " << after.ToString();
+  // One row has v = 2 -> division by zero caught.
+  EXPECT_EQ(static_cast<int64_t>(after.AsDouble()) % 1000 >= 1, true);
+}
+
+TEST_F(RewriteEdgeTest, NestedNonCursorWhileInsideLoopBody) {
+  // §4.2's grammar includes nested (non-cursor) while loops in Δ.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION digit_sum_total() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @total INT = 0;
+      DECLARE c CURSOR FOR SELECT v * 37 FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        DECLARE @n INT = @x;
+        WHILE @n > 0
+        BEGIN
+          SET @total = @total + @n % 10;
+          SET @n = @n / 10;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @total;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("digit_sum_total", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("digit_sum_total"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("digit_sum_total", {}));
+  EXPECT_TRUE(before.StructurallyEquals(after));
+}
+
+TEST_F(RewriteEdgeTest, QueryInsideLoopBodyIsSupported) {
+  // §4.2: "SQL SELECT queries inside the loop are fully supported."
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION rank_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @r INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums WHERE grp = 1;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        DECLARE @below INT;
+        SET @below = (SELECT COUNT(*) FROM nums WHERE v < @x);
+        SET @r = @r + @below;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @r;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("rank_sum", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("rank_sum"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("rank_sum", {}));
+  EXPECT_TRUE(before.StructurallyEquals(after));
+  EXPECT_EQ(after.int_value(), 2 + 0 + 1);  // ranks of 3,1,2 among all
+}
+
+TEST_F(RewriteEdgeTest, BlockRewriteKeepsObservableDeclarations) {
+  // Client programs keep all top-level declarations (the environment is the
+  // program's output), unlike UDF rewrites which prune dead ones.
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(R"(
+    DECLARE @x INT;
+    DECLARE @n INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM nums;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @n = @n + 1;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c; DEALLOCATE c;
+  )"));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  std::string text = block->ToString(0);
+  EXPECT_NE(text.find("DECLARE @x"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace aggify

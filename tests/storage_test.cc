@@ -1,0 +1,179 @@
+// Unit tests for the storage layer: paged tables, buffer-pool accounting,
+// hash indexes, worktables, and the catalog (including plan-cache fencing
+// generations).
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema({Column("a", DataType::Int()), Column("b", DataType::Int())});
+}
+
+TEST(TableTest, PagingGeometryFollowsRowWidth) {
+  // Two 4-byte ints -> 8 bytes wire per row -> 1024 rows per 8 KiB page.
+  Table t("t", TwoIntSchema());
+  EXPECT_EQ(t.rows_per_page(), 1024);
+
+  Schema wide;
+  for (int i = 0; i < 10; ++i) {
+    wide.AddColumn(Column("c" + std::to_string(i), DataType::String(100)));
+  }
+  Table w("w", wide);
+  EXPECT_EQ(w.rows_per_page(), 8192 / 1000);
+}
+
+TEST(TableTest, SequentialScanChargesOneReadPerPage) {
+  Table t("t", TwoIntSchema());
+  IoStats stats;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(t.Insert({Value::Int(i), Value::Int(i * 2)}, &stats));
+  }
+  EXPECT_EQ(t.num_pages(), 3);  // 1024 rows/page
+  stats.Reset();
+  int64_t last_page = -1;
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    t.ReadRow(i, &last_page, &stats);
+  }
+  EXPECT_EQ(stats.logical_reads, 3);
+}
+
+TEST(TableTest, WorktableAccountingIsSeparate) {
+  Table wt("#wt", TwoIntSchema(), /*is_worktable=*/true);
+  IoStats stats;
+  for (int i = 0; i < 2048; ++i) {
+    ASSERT_OK(wt.Insert({Value::Int(i), Value::Int(i)}, &stats));
+  }
+  EXPECT_EQ(stats.worktable_pages_written, 2);
+  EXPECT_EQ(stats.logical_reads, 0);
+  int64_t last_page = -1;
+  for (int64_t i = 0; i < wt.num_rows(); ++i) wt.ReadRow(i, &last_page, &stats);
+  EXPECT_EQ(stats.worktable_pages_read, 2);
+  EXPECT_EQ(stats.logical_reads, 0);
+  EXPECT_EQ(stats.TotalLogicalReads(), 2);
+}
+
+TEST(TableTest, InsertArityMismatchRejected) {
+  Table t("t", TwoIntSchema());
+  EXPECT_FALSE(t.Insert({Value::Int(1)}, nullptr).ok());
+}
+
+TEST(TableTest, HashIndexLookupAndMaintenance) {
+  Table t("t", TwoIntSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(t.Insert({Value::Int(i % 10), Value::Int(i)}, nullptr));
+  }
+  ASSERT_OK(t.CreateIndex("idx_a", "a"));
+  const HashIndex* idx = t.FindIndex("a");
+  ASSERT_NE(idx, nullptr);
+  const auto* matches = idx->Lookup(Value::Int(3));
+  ASSERT_NE(matches, nullptr);
+  EXPECT_EQ(matches->size(), 10u);
+  // Index stays current for post-creation inserts.
+  ASSERT_OK(t.Insert({Value::Int(3), Value::Int(999)}, nullptr));
+  EXPECT_EQ(idx->Lookup(Value::Int(3))->size(), 11u);
+  EXPECT_EQ(idx->Lookup(Value::Int(42)), nullptr);
+  EXPECT_EQ(t.FindIndex("b"), nullptr);
+}
+
+TEST(TableTest, DeleteAndUpdateInvalidateIndexes) {
+  Table t("t", TwoIntSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(t.Insert({Value::Int(i), Value::Int(i)}, nullptr));
+  }
+  ASSERT_OK(t.CreateIndex("idx_a", "a"));
+  IoStats stats;
+  int64_t removed = t.DeleteWhere(
+      [](const Row& r) { return r[0].int_value() < 5; }, &stats);
+  EXPECT_EQ(removed, 5);
+  EXPECT_EQ(t.num_rows(), 5);
+  EXPECT_EQ(t.FindIndex("a"), nullptr);  // stale index dropped
+}
+
+TEST(TableTest, UpdateWhereAppliesAssignments) {
+  Table t("t", TwoIntSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(t.Insert({Value::Int(i), Value::Int(0)}, nullptr));
+  }
+  IoStats stats;
+  ASSERT_OK(t.UpdateWhere(
+      [](const Row& r) { return r[0].int_value() % 2 == 0; },
+      [](Row* r) -> Status {
+        (*r)[1] = Value::Int(99);
+        return Status::OK();
+      },
+      &stats));
+  EXPECT_EQ(t.RowAt(0)[1].int_value(), 99);
+  EXPECT_EQ(t.RowAt(1)[1].int_value(), 0);
+  EXPECT_EQ(t.RowAt(2)[1].int_value(), 99);
+}
+
+TEST(CatalogTest, NamesAreCaseInsensitive) {
+  Catalog catalog;
+  ASSERT_OK(catalog.CreateTable("Orders", TwoIntSchema()).status());
+  EXPECT_TRUE(catalog.HasTable("ORDERS"));
+  EXPECT_TRUE(catalog.HasTable("orders"));
+  EXPECT_FALSE(catalog.CreateTable("ORDERS", TwoIntSchema()).ok());
+}
+
+TEST(CatalogTest, TempTablesLiveInTheirOwnNamespace) {
+  Catalog catalog;
+  ASSERT_OK(catalog.CreateTable("t", TwoIntSchema()).status());
+  ASSERT_OK_AND_ASSIGN(Table * temp, catalog.CreateTempTable("#t", TwoIntSchema()));
+  EXPECT_TRUE(temp->is_worktable());
+  ASSERT_OK_AND_ASSIGN(Table * persistent, catalog.GetTable("t"));
+  EXPECT_FALSE(persistent->is_worktable());
+  catalog.DropTempTable("#t");
+  EXPECT_FALSE(catalog.HasTable("#t"));
+  EXPECT_TRUE(catalog.HasTable("t"));
+}
+
+TEST(CatalogTest, GenerationsFencePlanCaches) {
+  Catalog catalog;
+  int64_t p0 = catalog.persistent_generation();
+  int64_t t0 = catalog.temp_generation();
+  ASSERT_OK(catalog.CreateTable("t", TwoIntSchema()).status());
+  EXPECT_GT(catalog.persistent_generation(), p0);
+  EXPECT_EQ(catalog.temp_generation(), t0);
+  ASSERT_OK(catalog.CreateTempTable("#w", TwoIntSchema()).status());
+  EXPECT_GT(catalog.temp_generation(), t0);
+  int64_t t1 = catalog.temp_generation();
+  catalog.DropTempTable("#w");
+  EXPECT_GT(catalog.temp_generation(), t1);
+  // Dropping a non-existent temp table does not bump.
+  int64_t t2 = catalog.temp_generation();
+  catalog.DropTempTable("#nope");
+  EXPECT_EQ(catalog.temp_generation(), t2);
+}
+
+TEST(SchemaTest, QualifiedLookupAndAmbiguity) {
+  Schema s;
+  s.AddColumn(Column("k", DataType::Int(), "a"));
+  s.AddColumn(Column("k", DataType::Int(), "b"));
+  s.AddColumn(Column("x", DataType::Int(), "a"));
+  ASSERT_OK_AND_ASSIGN(size_t ak, s.IndexOf("a.k"));
+  EXPECT_EQ(ak, 0u);
+  ASSERT_OK_AND_ASSIGN(size_t bk, s.IndexOf("b.k"));
+  EXPECT_EQ(bk, 1u);
+  auto ambiguous = s.IndexOf("k");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kBindError);
+  ASSERT_OK_AND_ASSIGN(size_t x, s.IndexOf("x"));  // unique: qualifier optional
+  EXPECT_EQ(x, 2u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, WireSizeMatchesPaperAccounting) {
+  // §10.6: 4-byte ints, 9-byte decimals, 25-byte chars.
+  Schema s({Column("p_partkey", DataType::Int()),
+            Column("ps_supplycost", DataType::Decimal(15, 2)),
+            Column("s_name", DataType::String(25))});
+  EXPECT_EQ(s.RowWireSize(), 4 + 9 + 25);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,43 @@
+// Shared gtest helpers for Status/Result assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace aggify {
+namespace testing_internal {
+
+inline Status GetStatus(const Status& s) { return s; }
+
+template <typename T>
+Status GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace testing_internal
+}  // namespace aggify
+
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    auto _st = ::aggify::testing_internal::GetStatus((expr));  \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    auto _st = ::aggify::testing_internal::GetStatus((expr));  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define ASSERT_NOT_OK(expr)                                    \
+  do {                                                         \
+    auto _st = ::aggify::testing_internal::GetStatus((expr));  \
+    ASSERT_FALSE(_st.ok()) << "expected an error";             \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  auto AGGIFY_CONCAT(_res_, __LINE__) = (rexpr);               \
+  ASSERT_TRUE(AGGIFY_CONCAT(_res_, __LINE__).ok())             \
+      << AGGIFY_CONCAT(_res_, __LINE__).status().ToString();   \
+  lhs = std::move(AGGIFY_CONCAT(_res_, __LINE__)).ValueOrDie();

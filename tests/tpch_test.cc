@@ -1,0 +1,150 @@
+// Tests for the TPC-H generator: cardinalities, key integrity, value
+// distributions the workload queries depend on, determinism, and the
+// paper-specified indexes.
+#include <gtest/gtest.h>
+
+#include "procedural/session.h"
+#include "test_util.h"
+#include "tpch/cursor_workload.h"
+#include "tpch/tpch_gen.h"
+
+namespace aggify {
+namespace {
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_OK(PopulateTpch(db_, config));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  int64_t Count(const std::string& table) {
+    auto t = db_->catalog().GetTable(table);
+    EXPECT_TRUE(t.ok());
+    return t.ok() ? (*t)->num_rows() : -1;
+  }
+
+  static Database* db_;
+};
+
+Database* TpchGenTest::db_ = nullptr;
+
+TEST_F(TpchGenTest, CardinalitiesScale) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  EXPECT_EQ(Count("region"), 5);
+  EXPECT_EQ(Count("nation"), 25);
+  EXPECT_EQ(Count("supplier"), config.num_suppliers());
+  EXPECT_EQ(Count("part"), config.num_parts());
+  EXPECT_EQ(Count("partsupp"), config.num_parts() * 4);
+  EXPECT_EQ(Count("customer"), config.num_customers());
+  EXPECT_EQ(Count("orders"), config.num_orders());
+  // Lineitem: 1..7 lines per order.
+  EXPECT_GE(Count("lineitem"), config.num_orders());
+  EXPECT_LE(Count("lineitem"), config.num_orders() * 7);
+}
+
+TEST_F(TpchGenTest, ReferentialIntegrity) {
+  Session session(db_);
+  // Every partsupp supplier exists.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult orphans,
+      session.Query("SELECT COUNT(*) FROM partsupp WHERE ps_suppkey NOT IN "
+                    "(SELECT s_suppkey FROM supplier)"));
+  EXPECT_EQ(orphans.rows[0][0].int_value(), 0);
+  // Every order's customer exists.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult orders,
+      session.Query("SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN "
+                    "(SELECT c_custkey FROM customer)"));
+  EXPECT_EQ(orders.rows[0][0].int_value(), 0);
+}
+
+TEST_F(TpchGenTest, DistributionsTheWorkloadNeeds) {
+  Session session(db_);
+  // Q13 needs some (not all) comments to mention special requests.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult special,
+      session.Query("SELECT COUNT(*) FROM orders "
+                    "WHERE charindex('special', o_comment) > 0"));
+  int64_t with_special = special.rows[0][0].int_value();
+  EXPECT_GT(with_special, 0);
+  EXPECT_LT(with_special, Count("orders"));
+
+  // Q14 needs PROMO part types.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult promo,
+      session.Query("SELECT COUNT(*) FROM part "
+                    "WHERE charindex('PROMO', p_type) = 1"));
+  EXPECT_GT(promo.rows[0][0].int_value(), 0);
+
+  // Q21 needs late receipts.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult late,
+      session.Query("SELECT COUNT(*) FROM lineitem "
+                    "WHERE l_receiptdate > l_commitdate"));
+  EXPECT_GT(late.rows[0][0].int_value(), 0);
+
+  // Each part has exactly 4 suppliers.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult per_part,
+      session.Query("SELECT MIN(c) AS lo, MAX(c) AS hi FROM "
+                    "(SELECT ps_partkey, COUNT(*) AS c FROM partsupp "
+                    " GROUP BY ps_partkey) q"));
+  EXPECT_EQ(per_part.rows[0][0].int_value(), 4);
+  EXPECT_EQ(per_part.rows[0][1].int_value(), 4);
+}
+
+TEST_F(TpchGenTest, PaperIndexesExist) {
+  for (auto [table, column] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"lineitem", "l_orderkey"},
+           {"lineitem", "l_suppkey"},
+           {"orders", "o_custkey"},
+           {"partsupp", "ps_partkey"}}) {
+    ASSERT_OK_AND_ASSIGN(Table * t, db_->catalog().GetTable(table));
+    EXPECT_NE(t->FindIndex(column), nullptr) << table << "." << column;
+  }
+}
+
+TEST(TpchGenDeterminismTest, SameSeedSameData) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  Database a;
+  Database b;
+  ASSERT_OK(PopulateTpch(&a, config));
+  ASSERT_OK(PopulateTpch(&b, config));
+  ASSERT_OK_AND_ASSIGN(Table * ta, a.catalog().GetTable("lineitem"));
+  ASSERT_OK_AND_ASSIGN(Table * tb, b.catalog().GetTable("lineitem"));
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (int64_t i = 0; i < std::min<int64_t>(ta->num_rows(), 50); ++i) {
+    EXPECT_TRUE(RowsEqual(ta->RowAt(i), tb->RowAt(i))) << "row " << i;
+  }
+}
+
+TEST(TpchWorkloadDefsTest, AllSixQueriesRegisterAndParse) {
+  Database db;
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  ASSERT_OK(PopulateTpch(&db, config));
+  Session session(&db);
+  ASSERT_OK(RegisterTpchCursorWorkload(&session));
+  EXPECT_EQ(TpchCursorQueries().size(), 6u);
+  for (const auto& q : TpchCursorQueries()) {
+    SCOPED_TRACE(q.id);
+    for (const auto& udf : q.udf_names) {
+      EXPECT_TRUE(db.catalog().HasFunction(udf));
+    }
+    ASSERT_OK(ParseSelect(q.driver_sql).status());
+  }
+  EXPECT_FALSE(GetTpchCursorQuery("Q99").ok());
+}
+
+}  // namespace
+}  // namespace aggify

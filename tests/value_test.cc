@@ -1,0 +1,183 @@
+// Unit tests for the Value runtime: SQL three-valued logic, arithmetic
+// promotion, dates, records, casts, hashing/equality invariants.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "types/value.h"
+
+namespace aggify {
+namespace {
+
+TEST(ValueTest, NullPropagationThroughArithmetic) {
+  Value null = Value::Null();
+  Value two = Value::Int(2);
+  for (auto op : {Add, Subtract, Multiply, Divide}) {
+    ASSERT_OK_AND_ASSIGN(Value a, op(null, two));
+    EXPECT_TRUE(a.is_null());
+    ASSERT_OK_AND_ASSIGN(Value b, op(two, null));
+    EXPECT_TRUE(b.is_null());
+  }
+}
+
+TEST(ValueTest, IntegerArithmeticStaysIntegral) {
+  ASSERT_OK_AND_ASSIGN(Value v, Add(Value::Int(2), Value::Int(3)));
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), 5);
+  ASSERT_OK_AND_ASSIGN(Value d, Divide(Value::Int(7), Value::Int(2)));
+  EXPECT_TRUE(d.is_int());
+  EXPECT_EQ(d.int_value(), 3);  // integer division, T-SQL style
+}
+
+TEST(ValueTest, MixedArithmeticPromotesToDouble) {
+  ASSERT_OK_AND_ASSIGN(Value v, Multiply(Value::Int(2), Value::Double(1.5)));
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.double_value(), 3.0);
+}
+
+TEST(ValueTest, DivisionByZeroIsAnError) {
+  auto r = Divide(Value::Int(1), Value::Int(0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+  auto m = Modulo(Value::Int(1), Value::Int(0));
+  ASSERT_FALSE(m.ok());
+}
+
+TEST(ValueTest, StringArithmeticIsATypeError) {
+  auto r = Subtract(Value::String("a"), Value::Int(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, AddConcatenatesStrings) {
+  ASSERT_OK_AND_ASSIGN(Value v, Add(Value::String("foo"), Value::String("bar")));
+  EXPECT_EQ(v.string_value(), "foobar");
+}
+
+TEST(ValueTest, KleeneConnectives) {
+  Value t = Value::Bool(true);
+  Value f = Value::Bool(false);
+  Value u = Value::Null();
+
+  ASSERT_OK_AND_ASSIGN(Value v1, And(f, u));
+  EXPECT_FALSE(v1.bool_value());  // false AND unknown = false
+  ASSERT_OK_AND_ASSIGN(Value v2, And(t, u));
+  EXPECT_TRUE(v2.is_null());  // true AND unknown = unknown
+  ASSERT_OK_AND_ASSIGN(Value v3, Or(t, u));
+  EXPECT_TRUE(v3.bool_value());  // true OR unknown = true
+  ASSERT_OK_AND_ASSIGN(Value v4, Or(f, u));
+  EXPECT_TRUE(v4.is_null());  // false OR unknown = unknown
+  ASSERT_OK_AND_ASSIGN(Value v5, Not(u));
+  EXPECT_TRUE(v5.is_null());
+}
+
+TEST(ValueTest, ComparisonWithNullIsNull) {
+  ASSERT_OK_AND_ASSIGN(Value v, Eq(Value::Null(), Value::Null()));
+  EXPECT_TRUE(v.is_null());  // NULL = NULL is unknown, not true
+  ASSERT_OK_AND_ASSIGN(Value lt, Lt(Value::Int(1), Value::Null()));
+  EXPECT_TRUE(lt.is_null());
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  ASSERT_OK_AND_ASSIGN(Value v, Eq(Value::Int(2), Value::Double(2.0)));
+  EXPECT_TRUE(v.bool_value());
+  ASSERT_OK_AND_ASSIGN(Value lt, Lt(Value::Int(2), Value::Double(2.5)));
+  EXPECT_TRUE(lt.bool_value());
+}
+
+TEST(ValueTest, DateRoundTrip) {
+  for (const char* s : {"1970-01-01", "1992-02-29", "1998-12-01",
+                        "2020-01-01", "2026-07-06"}) {
+    ASSERT_OK_AND_ASSIGN(Date d, DateFromString(s));
+    EXPECT_EQ(DateToString(d), s);
+  }
+}
+
+TEST(ValueTest, DateArithmeticAndComparison) {
+  ASSERT_OK_AND_ASSIGN(Date a, DateFromString("1995-09-01"));
+  ASSERT_OK_AND_ASSIGN(Value plus30, Add(Value::FromDate(a), Value::Int(30)));
+  EXPECT_EQ(DateToString(plus30.date_value()), "1995-10-01");
+  ASSERT_OK_AND_ASSIGN(Value diff,
+                       Subtract(plus30, Value::FromDate(a)));
+  EXPECT_EQ(diff.int_value(), 30);
+  // String literals compare against dates (the workload queries rely on it).
+  ASSERT_OK_AND_ASSIGN(Value cmp,
+                       Lt(Value::FromDate(a), Value::String("1995-10-01")));
+  EXPECT_TRUE(cmp.bool_value());
+}
+
+TEST(ValueTest, LeapYearHandling) {
+  EXPECT_EQ(DateToString(MakeDate(2000, 2, 29)), "2000-02-29");
+  EXPECT_EQ(DateToString(MakeDate(1900, 3, 1)), "1900-03-01");
+  ASSERT_OK_AND_ASSIGN(Value next,
+                       Add(Value::FromDate(MakeDate(2000, 2, 29)), Value::Int(1)));
+  EXPECT_EQ(DateToString(next.date_value()), "2000-03-01");
+}
+
+TEST(ValueTest, RecordEqualityAndHash) {
+  Value r1 = Value::Record({Value::Int(1), Value::String("x")});
+  Value r2 = Value::Record({Value::Int(1), Value::String("x")});
+  Value r3 = Value::Record({Value::Int(1), Value::String("y")});
+  EXPECT_TRUE(r1.StructurallyEquals(r2));
+  EXPECT_FALSE(r1.StructurallyEquals(r3));
+  EXPECT_EQ(r1.Hash(), r2.Hash());
+  EXPECT_EQ(r1.ToString(), "(1, x)");
+}
+
+TEST(ValueTest, HashConsistentWithEqualsAcrossNumericTypes) {
+  Value i = Value::Int(42);
+  Value d = Value::Double(42.0);
+  EXPECT_TRUE(i.StructurallyEquals(d));
+  EXPECT_EQ(i.Hash(), d.Hash());
+}
+
+TEST(ValueTest, CastMatrix) {
+  ASSERT_OK_AND_ASSIGN(Value i, Value::String("42").CastTo(TypeId::kInt));
+  EXPECT_EQ(i.int_value(), 42);
+  ASSERT_OK_AND_ASSIGN(Value f, Value::String("2.5").CastTo(TypeId::kDouble));
+  EXPECT_DOUBLE_EQ(f.double_value(), 2.5);
+  ASSERT_OK_AND_ASSIGN(Value s, Value::Int(7).CastTo(TypeId::kString));
+  EXPECT_EQ(s.string_value(), "7");
+  ASSERT_OK_AND_ASSIGN(Value d,
+                       Value::String("1996-03-13").CastTo(TypeId::kDate));
+  EXPECT_EQ(DateToString(d.date_value()), "1996-03-13");
+  EXPECT_FALSE(Value::String("nope").CastTo(TypeId::kInt).ok());
+  // NULL casts to NULL of any type.
+  ASSERT_OK_AND_ASSIGN(Value n, Value::Null().CastTo(TypeId::kInt));
+  EXPECT_TRUE(n.is_null());
+}
+
+TEST(ValueTest, TotalOrderPutsNullsFirst) {
+  EXPECT_LT(TotalOrderCompare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_GT(TotalOrderCompare(Value::Int(-100), Value::Null()), 0);
+  EXPECT_EQ(TotalOrderCompare(Value::Null(), Value::Null()), 0);
+}
+
+// Property sweep: Compare must be antisymmetric and consistent with Eq.
+class ValueCompareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueCompareProperty, AntisymmetryAndConsistency) {
+  int seed = GetParam();
+  auto mk = [&](int salt) -> Value {
+    int v = (seed * 31 + salt * 17) % 7;
+    switch (v % 3) {
+      case 0: return Value::Int(v - 3);
+      case 1: return Value::Double(v * 0.5 - 1);
+      default: return Value::Int(v * 10);
+    }
+  };
+  Value a = mk(1);
+  Value b = mk(2);
+  ASSERT_OK_AND_ASSIGN(Value ab, Compare(a, b));
+  ASSERT_OK_AND_ASSIGN(Value ba, Compare(b, a));
+  EXPECT_EQ(ab.int_value(), -ba.int_value());
+  ASSERT_OK_AND_ASSIGN(Value eq, Eq(a, b));
+  EXPECT_EQ(eq.bool_value(), ab.int_value() == 0);
+  if (eq.bool_value()) {
+    EXPECT_EQ(a.Hash(), b.Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValueCompareProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace aggify
