@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_aggify.cc" "bench/CMakeFiles/bench_ablation_aggify.dir/bench_ablation_aggify.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_aggify.dir/bench_ablation_aggify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/aggify_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggify/CMakeFiles/aggify_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/aggify_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/froid/CMakeFiles/aggify_froid.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/aggify_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/aggify_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/procedural/CMakeFiles/aggify_procedural.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/aggify_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aggify_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/aggify_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aggify_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregates/CMakeFiles/aggify_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aggify_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aggify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggify.dir/bench_ablation_aggify.cc.o"
+  "CMakeFiles/bench_ablation_aggify.dir/bench_ablation_aggify.cc.o.d"
+  "bench_ablation_aggify"
+  "bench_ablation_aggify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

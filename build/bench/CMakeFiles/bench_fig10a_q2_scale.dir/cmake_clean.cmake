@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_q2_scale.dir/bench_fig10a_q2_scale.cc.o"
+  "CMakeFiles/bench_fig10a_q2_scale.dir/bench_fig10a_q2_scale.cc.o.d"
+  "bench_fig10a_q2_scale"
+  "bench_fig10a_q2_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_q2_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10a_q2_scale.
+# This may be replaced when dependencies are built.

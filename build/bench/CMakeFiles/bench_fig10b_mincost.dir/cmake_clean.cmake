@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_mincost.dir/bench_fig10b_mincost.cc.o"
+  "CMakeFiles/bench_fig10b_mincost.dir/bench_fig10b_mincost.cc.o.d"
+  "bench_fig10b_mincost"
+  "bench_fig10b_mincost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_mincost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_roi.dir/bench_fig10c_roi.cc.o"
+  "CMakeFiles/bench_fig10c_roi.dir/bench_fig10c_roi.cc.o.d"
+  "bench_fig10c_roi"
+  "bench_fig10c_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_rubis.dir/bench_fig9b_rubis.cc.o"
+  "CMakeFiles/bench_fig9b_rubis.dir/bench_fig9b_rubis.cc.o.d"
+  "bench_fig9b_rubis"
+  "bench_fig9b_rubis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_rubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

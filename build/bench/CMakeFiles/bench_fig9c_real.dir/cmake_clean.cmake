@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9c_real.dir/bench_fig9c_real.cc.o"
+  "CMakeFiles/bench_fig9c_real.dir/bench_fig9c_real.cc.o.d"
+  "bench_fig9c_real"
+  "bench_fig9c_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_applicability.dir/bench_table1_applicability.cc.o"
+  "CMakeFiles/bench_table1_applicability.dir/bench_table1_applicability.cc.o.d"
+  "bench_table1_applicability"
+  "bench_table1_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reads.dir/bench_table2_reads.cc.o"
+  "CMakeFiles/bench_table2_reads.dir/bench_table2_reads.cc.o.d"
+  "bench_table2_reads"
+  "bench_table2_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

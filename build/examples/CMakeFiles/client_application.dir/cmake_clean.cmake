@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_application.dir/client_application.cpp.o"
+  "CMakeFiles/client_application.dir/client_application.cpp.o.d"
+  "client_application"
+  "client_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

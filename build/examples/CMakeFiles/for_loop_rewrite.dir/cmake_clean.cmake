@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/for_loop_rewrite.dir/for_loop_rewrite.cpp.o"
+  "CMakeFiles/for_loop_rewrite.dir/for_loop_rewrite.cpp.o.d"
+  "for_loop_rewrite"
+  "for_loop_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/for_loop_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_workbench.dir/tpch_workbench.cpp.o"
+  "CMakeFiles/tpch_workbench.dir/tpch_workbench.cpp.o.d"
+  "tpch_workbench"
+  "tpch_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

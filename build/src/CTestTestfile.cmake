@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("storage")
+subdirs("parser")
+subdirs("analysis")
+subdirs("aggregates")
+subdirs("plan")
+subdirs("exec")
+subdirs("procedural")
+subdirs("aggify")
+subdirs("froid")
+subdirs("client")
+subdirs("tpch")
+subdirs("workloads")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_core.dir/analysis_sets.cc.o"
+  "CMakeFiles/aggify_core.dir/analysis_sets.cc.o.d"
+  "CMakeFiles/aggify_core.dir/cursor_loop.cc.o"
+  "CMakeFiles/aggify_core.dir/cursor_loop.cc.o.d"
+  "CMakeFiles/aggify_core.dir/loop_aggregate.cc.o"
+  "CMakeFiles/aggify_core.dir/loop_aggregate.cc.o.d"
+  "CMakeFiles/aggify_core.dir/rewriter.cc.o"
+  "CMakeFiles/aggify_core.dir/rewriter.cc.o.d"
+  "libaggify_core.a"
+  "libaggify_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

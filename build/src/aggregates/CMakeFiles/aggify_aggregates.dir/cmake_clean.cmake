@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_aggregates.dir/builtin_aggregates.cc.o"
+  "CMakeFiles/aggify_aggregates.dir/builtin_aggregates.cc.o.d"
+  "libaggify_aggregates.a"
+  "libaggify_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_analysis.dir/cfg.cc.o"
+  "CMakeFiles/aggify_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/aggify_analysis.dir/dataflow.cc.o"
+  "CMakeFiles/aggify_analysis.dir/dataflow.cc.o.d"
+  "libaggify_analysis.a"
+  "libaggify_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_client.dir/client_app.cc.o"
+  "CMakeFiles/aggify_client.dir/client_app.cc.o.d"
+  "libaggify_client.a"
+  "libaggify_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

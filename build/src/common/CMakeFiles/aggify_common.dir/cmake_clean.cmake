@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_common.dir/status.cc.o"
+  "CMakeFiles/aggify_common.dir/status.cc.o.d"
+  "CMakeFiles/aggify_common.dir/string_util.cc.o"
+  "CMakeFiles/aggify_common.dir/string_util.cc.o.d"
+  "libaggify_common.a"
+  "libaggify_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

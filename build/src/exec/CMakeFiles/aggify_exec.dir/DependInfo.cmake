@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/eval.cc" "src/exec/CMakeFiles/aggify_exec.dir/eval.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/eval.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/exec/CMakeFiles/aggify_exec.dir/exec_context.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/exec_context.cc.o.d"
+  "/root/repo/src/exec/operators_agg.cc" "src/exec/CMakeFiles/aggify_exec.dir/operators_agg.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/operators_agg.cc.o.d"
+  "/root/repo/src/exec/operators_join.cc" "src/exec/CMakeFiles/aggify_exec.dir/operators_join.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/operators_join.cc.o.d"
+  "/root/repo/src/exec/operators_misc.cc" "src/exec/CMakeFiles/aggify_exec.dir/operators_misc.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/operators_misc.cc.o.d"
+  "/root/repo/src/exec/operators_scan.cc" "src/exec/CMakeFiles/aggify_exec.dir/operators_scan.cc.o" "gcc" "src/exec/CMakeFiles/aggify_exec.dir/operators_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/aggify_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aggify_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregates/CMakeFiles/aggify_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aggify_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aggify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_exec.dir/eval.cc.o"
+  "CMakeFiles/aggify_exec.dir/eval.cc.o.d"
+  "CMakeFiles/aggify_exec.dir/exec_context.cc.o"
+  "CMakeFiles/aggify_exec.dir/exec_context.cc.o.d"
+  "CMakeFiles/aggify_exec.dir/operators_agg.cc.o"
+  "CMakeFiles/aggify_exec.dir/operators_agg.cc.o.d"
+  "CMakeFiles/aggify_exec.dir/operators_join.cc.o"
+  "CMakeFiles/aggify_exec.dir/operators_join.cc.o.d"
+  "CMakeFiles/aggify_exec.dir/operators_misc.cc.o"
+  "CMakeFiles/aggify_exec.dir/operators_misc.cc.o.d"
+  "CMakeFiles/aggify_exec.dir/operators_scan.cc.o"
+  "CMakeFiles/aggify_exec.dir/operators_scan.cc.o.d"
+  "libaggify_exec.a"
+  "libaggify_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

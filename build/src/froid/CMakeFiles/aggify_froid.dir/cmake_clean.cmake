@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_froid.dir/froid.cc.o"
+  "CMakeFiles/aggify_froid.dir/froid.cc.o.d"
+  "libaggify_froid.a"
+  "libaggify_froid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_froid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_parser.dir/expr.cc.o"
+  "CMakeFiles/aggify_parser.dir/expr.cc.o.d"
+  "CMakeFiles/aggify_parser.dir/lexer.cc.o"
+  "CMakeFiles/aggify_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/aggify_parser.dir/parser.cc.o"
+  "CMakeFiles/aggify_parser.dir/parser.cc.o.d"
+  "CMakeFiles/aggify_parser.dir/query_ast.cc.o"
+  "CMakeFiles/aggify_parser.dir/query_ast.cc.o.d"
+  "CMakeFiles/aggify_parser.dir/statement.cc.o"
+  "CMakeFiles/aggify_parser.dir/statement.cc.o.d"
+  "libaggify_parser.a"
+  "libaggify_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_plan.dir/planner.cc.o"
+  "CMakeFiles/aggify_plan.dir/planner.cc.o.d"
+  "CMakeFiles/aggify_plan.dir/query_engine.cc.o"
+  "CMakeFiles/aggify_plan.dir/query_engine.cc.o.d"
+  "libaggify_plan.a"
+  "libaggify_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaggify_plan.a"
+)

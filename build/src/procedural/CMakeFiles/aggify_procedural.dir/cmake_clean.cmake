@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_procedural.dir/interpreter.cc.o"
+  "CMakeFiles/aggify_procedural.dir/interpreter.cc.o.d"
+  "CMakeFiles/aggify_procedural.dir/session.cc.o"
+  "CMakeFiles/aggify_procedural.dir/session.cc.o.d"
+  "libaggify_procedural.a"
+  "libaggify_procedural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_procedural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

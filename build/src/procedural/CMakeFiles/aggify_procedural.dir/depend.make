@@ -1,0 +1,2 @@
+# Empty dependencies file for aggify_procedural.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_storage.dir/catalog.cc.o"
+  "CMakeFiles/aggify_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/aggify_storage.dir/io_stats.cc.o"
+  "CMakeFiles/aggify_storage.dir/io_stats.cc.o.d"
+  "CMakeFiles/aggify_storage.dir/table.cc.o"
+  "CMakeFiles/aggify_storage.dir/table.cc.o.d"
+  "libaggify_storage.a"
+  "libaggify_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

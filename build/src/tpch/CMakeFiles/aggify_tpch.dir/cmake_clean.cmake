@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_tpch.dir/cursor_workload.cc.o"
+  "CMakeFiles/aggify_tpch.dir/cursor_workload.cc.o.d"
+  "CMakeFiles/aggify_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/aggify_tpch.dir/tpch_gen.cc.o.d"
+  "libaggify_tpch.a"
+  "libaggify_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_types.dir/data_type.cc.o"
+  "CMakeFiles/aggify_types.dir/data_type.cc.o.d"
+  "CMakeFiles/aggify_types.dir/schema.cc.o"
+  "CMakeFiles/aggify_types.dir/schema.cc.o.d"
+  "CMakeFiles/aggify_types.dir/value.cc.o"
+  "CMakeFiles/aggify_types.dir/value.cc.o.d"
+  "libaggify_types.a"
+  "libaggify_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

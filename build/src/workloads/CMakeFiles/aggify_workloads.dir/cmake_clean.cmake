@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_workloads.dir/client_harness.cc.o"
+  "CMakeFiles/aggify_workloads.dir/client_harness.cc.o.d"
+  "CMakeFiles/aggify_workloads.dir/client_programs.cc.o"
+  "CMakeFiles/aggify_workloads.dir/client_programs.cc.o.d"
+  "CMakeFiles/aggify_workloads.dir/corpus.cc.o"
+  "CMakeFiles/aggify_workloads.dir/corpus.cc.o.d"
+  "CMakeFiles/aggify_workloads.dir/harness.cc.o"
+  "CMakeFiles/aggify_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/aggify_workloads.dir/real_workloads.cc.o"
+  "CMakeFiles/aggify_workloads.dir/real_workloads.cc.o.d"
+  "CMakeFiles/aggify_workloads.dir/rubis.cc.o"
+  "CMakeFiles/aggify_workloads.dir/rubis.cc.o.d"
+  "libaggify_workloads.a"
+  "libaggify_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_core_test.dir/aggify_core_test.cc.o"
+  "CMakeFiles/aggify_core_test.dir/aggify_core_test.cc.o.d"
+  "aggify_core_test"
+  "aggify_core_test.pdb"
+  "aggify_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

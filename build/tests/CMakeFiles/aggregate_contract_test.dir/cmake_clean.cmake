@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_contract_test.dir/aggregate_contract_test.cc.o"
+  "CMakeFiles/aggregate_contract_test.dir/aggregate_contract_test.cc.o.d"
+  "aggregate_contract_test"
+  "aggregate_contract_test.pdb"
+  "aggregate_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

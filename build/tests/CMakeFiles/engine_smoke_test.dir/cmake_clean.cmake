@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_smoke_test.dir/engine_smoke_test.cc.o"
+  "CMakeFiles/engine_smoke_test.dir/engine_smoke_test.cc.o.d"
+  "engine_smoke_test"
+  "engine_smoke_test.pdb"
+  "engine_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

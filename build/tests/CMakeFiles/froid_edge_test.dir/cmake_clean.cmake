@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/froid_edge_test.dir/froid_edge_test.cc.o"
+  "CMakeFiles/froid_edge_test.dir/froid_edge_test.cc.o.d"
+  "froid_edge_test"
+  "froid_edge_test.pdb"
+  "froid_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/froid_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/froid_test.dir/froid_test.cc.o"
+  "CMakeFiles/froid_test.dir/froid_test.cc.o.d"
+  "froid_test"
+  "froid_test.pdb"
+  "froid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/froid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_test.dir/interpreter_test.cc.o"
+  "CMakeFiles/interpreter_test.dir/interpreter_test.cc.o.d"
+  "interpreter_test"
+  "interpreter_test.pdb"
+  "interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_agg_test.dir/parallel_agg_test.cc.o"
+  "CMakeFiles/parallel_agg_test.dir/parallel_agg_test.cc.o.d"
+  "parallel_agg_test"
+  "parallel_agg_test.pdb"
+  "parallel_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

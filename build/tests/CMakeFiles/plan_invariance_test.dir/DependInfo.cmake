@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan_invariance_test.cc" "tests/CMakeFiles/plan_invariance_test.dir/plan_invariance_test.cc.o" "gcc" "tests/CMakeFiles/plan_invariance_test.dir/plan_invariance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procedural/CMakeFiles/aggify_procedural.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/aggify_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aggify_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/aggify_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aggify_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregates/CMakeFiles/aggify_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aggify_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aggify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

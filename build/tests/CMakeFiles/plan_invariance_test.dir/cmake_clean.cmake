@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_invariance_test.dir/plan_invariance_test.cc.o"
+  "CMakeFiles/plan_invariance_test.dir/plan_invariance_test.cc.o.d"
+  "plan_invariance_test"
+  "plan_invariance_test.pdb"
+  "plan_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_edge_test.dir/rewrite_edge_test.cc.o"
+  "CMakeFiles/rewrite_edge_test.dir/rewrite_edge_test.cc.o.d"
+  "rewrite_edge_test"
+  "rewrite_edge_test.pdb"
+  "rewrite_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/aggify_core_test[1]_include.cmake")
+include("/root/repo/build/tests/froid_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_property_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/client_network_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/froid_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_invariance_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/query_engine_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggify_cli.dir/aggify_cli.cc.o"
+  "CMakeFiles/aggify_cli.dir/aggify_cli.cc.o.d"
+  "aggify_cli"
+  "aggify_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggify_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
