@@ -6,6 +6,7 @@
 
 #include "aggify/rewriter.h"
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "procedural/session.h"
 #include "tpch/tpch_gen.h"
 
@@ -169,6 +170,73 @@ void BM_CursorLoopInterpreted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CursorLoopInterpreted);
+
+void BM_FailpointCheckDisarmed(benchmark::State& state) {
+  // The disarmed fast path every instrumented Next()/Accumulate pays: one
+  // relaxed atomic load. This is the overhead budget of the framework.
+  for (auto _ : state) {
+    Status st = FailPoints::Check("exec.scan.next");
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointCheckDisarmed);
+
+void BM_FailpointCheckArmedMiss(benchmark::State& state) {
+  // Slow path cost when some unrelated site is armed: registry lookup under
+  // the mutex that finds nothing for this site.
+  ScopedFailPoint fp("bench.unrelated.site");
+  for (auto _ : state) {
+    Status st = FailPoints::Check("exec.scan.next");
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointCheckArmedMiss);
+
+void BM_GuardedFallbackDegradation(benchmark::State& state) {
+  // Cost of the slow-but-correct degradation: every call fails the rewritten
+  // aggregate query and re-executes the original cursor loop. Compare with
+  // BM_SynthesizedAggregate (fault-free) and BM_CursorLoopInterpreted (the
+  // loop alone).
+  static Database* db = [] {
+    auto* d = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    bench::RequireOk(PopulateTpch(d, config), "PopulateTpch");
+    Session s(d);
+    bench::RequireOk(s.RunSql(R"(
+      CREATE FUNCTION min_cost_guarded() RETURNS FLOAT AS
+      BEGIN
+        DECLARE @c FLOAT;
+        DECLARE @m FLOAT = 100000000.0;
+        DECLARE cur CURSOR FOR SELECT ps_supplycost FROM partsupp;
+        OPEN cur;
+        FETCH NEXT FROM cur INTO @c;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@c < @m)
+            SET @m = @c;
+          FETCH NEXT FROM cur INTO @c;
+        END
+        CLOSE cur; DEALLOCATE cur;
+        RETURN @m;
+      END
+    )").status(), "create");
+    Aggify aggify(d);
+    bench::RequireOk(aggify.RewriteFunction("min_cost_guarded").status(),
+                     "aggify");
+    return d;
+  }();
+  ScopedFailPoint fp("exec.agg.accumulate");
+  Session session(db);
+  for (auto _ : state) {
+    auto r = session.Call("min_cost_guarded", {});
+    bench::RequireOk(r.status(), "call");
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_GuardedFallbackDegradation);
 
 void BM_ParseSelect(benchmark::State& state) {
   const std::string sql =

@@ -1,5 +1,6 @@
 #include "aggify/loop_aggregate.h"
 
+#include "common/failpoint.h"
 #include "procedural/interpreter.h"
 
 namespace aggify {
@@ -30,6 +31,7 @@ Result<std::unique_ptr<AggregateState>> LoopAggregate::Init() const {
 Status LoopAggregate::Accumulate(AggregateState* state,
                                  const std::vector<Value>& args,
                                  ExecContext* ctx) const {
+  AGGIFY_FAILPOINT("aggify.loop.accumulate");
   auto* s = static_cast<LoopAggState*>(state);
   if (s->done) return Status::OK();
   size_t expected = sets_.p_accum.size() + sets_.v_extra_init.size();
@@ -88,6 +90,7 @@ Status LoopAggregate::Accumulate(AggregateState* state,
 Result<Value> LoopAggregate::Terminate(AggregateState* state,
                                        ExecContext* ctx) const {
   AGGIFY_UNUSED(ctx);
+  AGGIFY_FAILPOINT("aggify.loop.terminate");
   auto* s = static_cast<LoopAggState*>(state);
   if (!s->initialized) {
     // Zero iterations: NULL tells MultiAssign to keep prior values.

@@ -69,6 +69,53 @@ std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
   return outer;
 }
 
+/// Builds the self-contained fallback block of a guarded rewrite: clones of
+/// the original cursor-loop region (DECLARE CURSOR / OPEN / priming FETCH /
+/// WHILE / CLOSE / DEALLOCATE), preceded by fresh NULL DECLAREs for every
+/// loop-scratch variable whose original declaration §6.2 dead-declaration
+/// removal may prune. Each such variable is written before read inside the
+/// loop and dead after it (otherwise it would be referenced by the rewritten
+/// query or be a V_term target and keep its declaration), so re-declaring it
+/// to NULL is unobservable.
+std::unique_ptr<BlockStmt> BuildFallbackBlock(const CursorLoopInfo& loop,
+                                              const LoopSets& sets) {
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+  // Variables the rewritten statement still references as variables: their
+  // declarations stay live, so the fallback must NOT reset them (they carry
+  // the loop-entry values both paths start from).
+  std::set<std::string> keep(sets.v_term.begin(), sets.v_term.end());
+  for (const auto& v : sets.p_accum) {
+    if (fetch_set.count(v) == 0) keep.insert(v);
+  }
+  for (const auto& v : sets.v_extra_init) keep.insert(v);
+
+  std::set<std::string> local(sets.v_local.begin(), sets.v_local.end());
+  std::set<std::string> redeclare(fetch_set);
+  for (const auto& v : sets.v_delta) {
+    if (local.count(v) == 0) redeclare.insert(v);
+  }
+
+  auto fallback = std::make_unique<BlockStmt>();
+  for (const auto& v : redeclare) {
+    if (keep.count(v) != 0 || v.rfind("@@", 0) == 0) continue;
+    // The declared type is irrelevant: with no initializer the variable
+    // starts NULL and takes the type of whatever the loop assigns.
+    fallback->statements.push_back(
+        std::make_unique<DeclareVarStmt>(v, DataType::Int(), nullptr));
+  }
+  fallback->statements.push_back(loop.declare->Clone());
+  fallback->statements.push_back(loop.open->Clone());
+  fallback->statements.push_back(loop.priming_fetch->Clone());
+  fallback->statements.push_back(loop.loop->Clone());
+  if (loop.close != nullptr) {
+    fallback->statements.push_back(loop.close->Clone());
+  }
+  if (loop.deallocate != nullptr) {
+    fallback->statements.push_back(loop.deallocate->Clone());
+  }
+  return fallback;
+}
+
 /// Requires the loop to advance via exactly one FETCH, as the last top-level
 /// statement of the body (the canonical cursor-loop shape Definition 4.1's
 /// "one row at a time" evaluation assumes).
@@ -167,8 +214,25 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
 
     // Eq. 5/6 rewrite.
     auto query = BuildRewrittenQuery(loop, sets, agg_name);
-    auto replacement =
+    auto multi_assign =
         std::make_unique<MultiAssignStmt>(sets.v_term, std::move(query));
+
+    // Guarded form: wrap the MultiAssign with a cloned copy of the original
+    // loop region so runtime failures degrade to interpreted execution.
+    StmtPtr replacement;
+    if (options_.guard_rewrites || options_.verify_rewrite) {
+      auto fallback = BuildFallbackBlock(loop, sets);
+      std::set<std::string> state(sets.v_term.begin(), sets.v_term.end());
+      state.insert(sets.v_fetch.begin(), sets.v_fetch.end());
+      state.insert(sets.v_delta.begin(), sets.v_delta.end());
+      state.insert("@@fetch_status");
+      replacement = std::make_unique<GuardedRewriteStmt>(
+          std::move(multi_assign), std::move(fallback),
+          std::vector<std::string>(state.begin(), state.end()),
+          options_.verify_rewrite, agg_name);
+    } else {
+      replacement = std::move(multi_assign);
+    }
 
     LoopRewrite record;
     record.aggregate_name = agg_name;

@@ -23,6 +23,14 @@ struct AggifyOptions {
   /// Applied to rewritten functions only — anonymous client programs keep
   /// their declarations because the environment is their observable output.
   bool remove_dead_declarations = true;
+  /// Emit GuardedRewriteStmt instead of a bare MultiAssignStmt: a runtime
+  /// failure of the rewritten query restores the loop-entry state and
+  /// re-executes the original cursor loop (slow-but-correct degradation).
+  bool guard_rewrites = true;
+  /// Opt-in verification: every guarded statement runs BOTH paths and counts
+  /// result mismatches in RobustnessStats (the loop's results win). Implies
+  /// guard_rewrites.
+  bool verify_rewrite = false;
 };
 
 /// \brief What happened to one loop.

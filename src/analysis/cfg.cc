@@ -69,6 +69,13 @@ void StatementDefs(const Stmt& stmt, std::vector<std::string>* defs) {
       for (const auto& t : ma.targets) defs->push_back(t);
       break;
     }
+    case StmtKind::kGuardedRewrite: {
+      // Semantically the statement IS its MultiAssign; the fallback computes
+      // the same values, so its writes are not additional defs.
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      for (const auto& t : g.rewritten->targets) defs->push_back(t);
+      break;
+    }
     default:
       break;
   }
@@ -125,6 +132,11 @@ void StatementUses(const Stmt& stmt, std::vector<std::string>* uses) {
     case StmtKind::kMultiAssign:
       CollectSelectVars(static_cast<const MultiAssignStmt&>(stmt).query.get(),
                         uses);
+      break;
+    case StmtKind::kGuardedRewrite:
+      CollectSelectVars(
+          static_cast<const GuardedRewriteStmt&>(stmt).rewritten->query.get(),
+          uses);
       break;
     default:
       break;

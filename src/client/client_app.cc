@@ -3,11 +3,19 @@
 namespace aggify {
 
 std::string NetworkStats::ToString() const {
-  return "round_trips=" + std::to_string(round_trips) +
-         " bytes_to_client=" + std::to_string(bytes_to_client) +
-         " bytes_to_server=" + std::to_string(bytes_to_server) +
-         " rows=" + std::to_string(rows_transferred) +
-         " statements=" + std::to_string(statements_sent);
+  std::string out =
+      "round_trips=" + std::to_string(round_trips) +
+      " bytes_to_client=" + std::to_string(bytes_to_client) +
+      " bytes_to_server=" + std::to_string(bytes_to_server) +
+      " rows=" + std::to_string(rows_transferred) +
+      " statements=" + std::to_string(statements_sent);
+  if (retries > 0 || drops > 0 || timeouts > 0) {
+    out += " retries=" + std::to_string(retries) +
+           " drops=" + std::to_string(drops) +
+           " timeouts=" + std::to_string(timeouts) +
+           " backoff_ms=" + std::to_string(backoff_ms);
+  }
+  return out;
 }
 
 Result<ClientRunResult> ClientApp::Run(const BlockStmt& program) {

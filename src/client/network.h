@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace aggify {
 
 struct NetworkModel {
@@ -21,6 +23,48 @@ struct NetworkModel {
   int64_t rows_per_fetch = 1;
   /// Fixed per-message protocol overhead in bytes.
   int64_t per_message_bytes = 32;
+  /// Probability that a round trip is dropped and surfaces as a timeout.
+  /// 0 keeps the network fault-free (the default for all measurements).
+  double drop_probability = 0.0;
+  /// Seed for the deterministic fault draw, so lossy-network runs replay.
+  uint64_t fault_seed = 0x5EED;
+
+  /// Rejects models that cannot drive the simulation: a non-positive fetch
+  /// size would stall (or run the batch counter negative), and non-positive
+  /// latency/bandwidth make SimulatedSeconds meaningless.
+  Status Validate() const {
+    if (rows_per_fetch < 1) {
+      return Status::InvalidArgument("rows_per_fetch must be >= 1");
+    }
+    if (rtt_ms <= 0.0) return Status::InvalidArgument("rtt_ms must be > 0");
+    if (bandwidth_mbps <= 0.0) {
+      return Status::InvalidArgument("bandwidth_mbps must be > 0");
+    }
+    if (drop_probability < 0.0 || drop_probability > 1.0) {
+      return Status::InvalidArgument("drop_probability must be in [0, 1]");
+    }
+    return Status::OK();
+  }
+
+  /// Copy with every invalid field forced back to its nearest legal value.
+  NetworkModel Clamped() const {
+    NetworkModel m = *this;
+    if (m.rows_per_fetch < 1) m.rows_per_fetch = 1;
+    if (m.rtt_ms <= 0.0) m.rtt_ms = 0.5;
+    if (m.bandwidth_mbps <= 0.0) m.bandwidth_mbps = 1000.0;
+    if (m.drop_probability < 0.0) m.drop_probability = 0.0;
+    if (m.drop_probability > 1.0) m.drop_probability = 1.0;
+    return m;
+  }
+};
+
+/// Bounded-retry policy for client round trips (exponential backoff with
+/// deterministic jitter). `max_attempts` counts the first try.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 64.0;
+  uint64_t jitter_seed = 0xB0FF;
 };
 
 struct NetworkStats {
@@ -29,17 +73,26 @@ struct NetworkStats {
   int64_t bytes_to_server = 0;
   int64_t rows_transferred = 0;
   int64_t statements_sent = 0;
+  /// Round trips that failed and were re-sent.
+  int64_t retries = 0;
+  /// Failures from the model's drop_probability draw.
+  int64_t drops = 0;
+  /// Failed attempts that surfaced as timeouts (drops + injected timeouts).
+  int64_t timeouts = 0;
+  /// Total simulated backoff spent between retry attempts.
+  double backoff_ms = 0.0;
 
   void Reset() { *this = NetworkStats{}; }
 
   int64_t TotalBytes() const { return bytes_to_client + bytes_to_server; }
 
-  /// Simulated network time: latency per round trip + transfer time.
+  /// Simulated network time: latency per round trip + transfer time +
+  /// retry backoff.
   double SimulatedSeconds(const NetworkModel& model) const {
     double latency = static_cast<double>(round_trips) * model.rtt_ms / 1e3;
     double transfer = static_cast<double>(TotalBytes()) * 8.0 /
                       (model.bandwidth_mbps * 1e6);
-    return latency + transfer;
+    return latency + transfer + backoff_ms / 1e3;
   }
 
   std::string ToString() const;

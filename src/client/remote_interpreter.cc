@@ -1,0 +1,103 @@
+#include "client/remote_interpreter.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace aggify {
+
+RemoteInterpreter::RemoteInterpreter(const QueryEngine* engine,
+                                     NetworkModel model, RetryPolicy retry)
+    : Interpreter(engine),
+      model_(model.Clamped()),
+      retry_(retry),
+      fault_rng_(model_.fault_seed),
+      jitter_rng_(retry_.jitter_seed) {
+  if (retry_.max_attempts < 1) retry_.max_attempts = 1;
+}
+
+Status RemoteInterpreter::AttemptRoundTrip(const char* site) {
+  AGGIFY_FAILPOINT(site);
+  if (model_.drop_probability > 0.0 &&
+      fault_rng_.NextDouble() < model_.drop_probability) {
+    ++stats_.drops;
+    return Status::Timeout(std::string("simulated packet drop at ") + site);
+  }
+  return Status::OK();
+}
+
+Status RemoteInterpreter::RoundTripWithRetry(const char* site) {
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // The re-sent message is a round trip of its own, preceded by backoff.
+      ++stats_.retries;
+      ++stats_.round_trips;
+      double backoff =
+          std::min(retry_.max_backoff_ms,
+                   retry_.base_backoff_ms * static_cast<double>(1 << (attempt - 1)));
+      // Jitter in [backoff/2, backoff) keeps replays deterministic per seed
+      // while decorrelating concurrent clients.
+      backoff *= 0.5 + 0.5 * jitter_rng_.NextDouble();
+      stats_.backoff_ms += backoff;
+    }
+    st = AttemptRoundTrip(site);
+    if (st.ok()) return st;
+    if (st.IsTimeout()) ++stats_.timeouts;
+    if (!st.IsRetryable()) return st;
+  }
+  return Status::Unavailable(std::string(site) + " failed after " +
+                             std::to_string(retry_.max_attempts) +
+                             " attempts: " + st.message());
+}
+
+Result<QueryResult> RemoteInterpreter::RunCursorQuery(const SelectStmt& query,
+                                                      ExecContext& ctx) {
+  // Statement send + server execution. Rows stream back per fetch.
+  ++stats_.statements_sent;
+  ++stats_.round_trips;
+  stats_.bytes_to_server += StatementBytes(query);
+  RETURN_NOT_OK(RoundTripWithRetry("client.statement"));
+  ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunCursorQuery(query, ctx));
+  pending_fetch_rows_ = 0;
+  return result;
+}
+
+Status RemoteInterpreter::OnCursorFetch(const Schema& schema, const Row& row) {
+  AGGIFY_UNUSED(row);
+  // One round trip per fetch batch. `<=` guards against a batch counter
+  // driven negative by a degenerate fetch size (the ctor clamps the model,
+  // so rows_per_fetch >= 1 always refills it to a positive value).
+  if (pending_fetch_rows_ <= 0) {
+    ++stats_.round_trips;
+    stats_.bytes_to_client += model_.per_message_bytes;
+    RETURN_NOT_OK(RoundTripWithRetry("client.fetch"));
+    pending_fetch_rows_ = model_.rows_per_fetch;
+  }
+  --pending_fetch_rows_;
+  ++stats_.rows_transferred;
+  stats_.bytes_to_client += schema.RowWireSize();
+  return Status::OK();
+}
+
+Result<QueryResult> RemoteInterpreter::RunQuery(const SelectStmt& query,
+                                                ExecContext& ctx) {
+  ++stats_.statements_sent;
+  ++stats_.round_trips;
+  stats_.bytes_to_server += StatementBytes(query);
+  RETURN_NOT_OK(RoundTripWithRetry("client.statement"));
+  ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunQuery(query, ctx));
+  stats_.bytes_to_client += model_.per_message_bytes;
+  stats_.bytes_to_client +=
+      static_cast<int64_t>(result.rows.size()) * result.schema.RowWireSize();
+  stats_.rows_transferred += static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+int64_t RemoteInterpreter::StatementBytes(const SelectStmt& query) const {
+  return model_.per_message_bytes +
+         static_cast<int64_t>(query.ToString().size());
+}
+
+}  // namespace aggify

@@ -5,67 +5,58 @@
 // iteration streams the result set to the client one fetch-batch at a time —
 // the Figure 2 execution model. Aggify-rewritten programs instead ship one
 // query and receive one row.
+//
+// Round trips can fail: via the model's drop_probability (a deterministic,
+// seeded draw per round trip) or via the `client.statement` / `client.fetch`
+// failpoints. Failed retryable round trips are re-sent under an exponential
+// backoff-with-jitter RetryPolicy; exhausting the policy surfaces
+// StatusCode::kUnavailable to the program. See docs/ROBUSTNESS.md.
 #pragma once
 
 #include "client/network.h"
+#include "common/random.h"
 #include "procedural/interpreter.h"
 
 namespace aggify {
 
 class RemoteInterpreter : public Interpreter {
  public:
-  RemoteInterpreter(const QueryEngine* engine, NetworkModel model)
-      : Interpreter(engine), model_(model) {}
+  /// Invalid models are clamped (see NetworkModel::Clamped); call
+  /// model.Validate() first when rejection is preferable to repair.
+  RemoteInterpreter(const QueryEngine* engine, NetworkModel model,
+                    RetryPolicy retry = RetryPolicy{});
 
   const NetworkModel& model() const { return model_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
   NetworkStats& stats() { return stats_; }
   const NetworkStats& stats() const { return stats_; }
 
  protected:
   Result<QueryResult> RunCursorQuery(const SelectStmt& query,
-                                     ExecContext& ctx) override {
-    // Statement send + server execution. Rows stream back per fetch.
-    ++stats_.statements_sent;
-    ++stats_.round_trips;
-    stats_.bytes_to_server += StatementBytes(query);
-    ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunCursorQuery(query, ctx));
-    pending_fetch_rows_ = 0;
-    return result;
-  }
+                                     ExecContext& ctx) override;
 
-  void OnCursorFetch(const Schema& schema, const Row& row) override {
-    ++stats_.rows_transferred;
-    stats_.bytes_to_client += schema.RowWireSize();
-    // One round trip per fetch batch.
-    if (pending_fetch_rows_ == 0) {
-      ++stats_.round_trips;
-      stats_.bytes_to_client += model_.per_message_bytes;
-      pending_fetch_rows_ = model_.rows_per_fetch;
-    }
-    --pending_fetch_rows_;
-  }
+  Status OnCursorFetch(const Schema& schema, const Row& row) override;
 
   Result<QueryResult> RunQuery(const SelectStmt& query,
-                               ExecContext& ctx) override {
-    ++stats_.statements_sent;
-    ++stats_.round_trips;
-    stats_.bytes_to_server += StatementBytes(query);
-    ASSIGN_OR_RETURN(QueryResult result, Interpreter::RunQuery(query, ctx));
-    stats_.bytes_to_client += model_.per_message_bytes;
-    stats_.bytes_to_client +=
-        static_cast<int64_t>(result.rows.size()) * result.schema.RowWireSize();
-    stats_.rows_transferred += static_cast<int64_t>(result.rows.size());
-    return result;
-  }
+                               ExecContext& ctx) override;
 
  private:
-  int64_t StatementBytes(const SelectStmt& query) const {
-    return model_.per_message_bytes +
-           static_cast<int64_t>(query.ToString().size());
-  }
+  /// One send attempt at `site`: fires the failpoint, then the model's
+  /// drop draw. OK means the message made it.
+  Status AttemptRoundTrip(const char* site);
+
+  /// Sends until success or the retry policy is exhausted. Each re-send
+  /// costs one extra round trip plus simulated backoff; exhaustion returns
+  /// kUnavailable carrying the last failure's message.
+  Status RoundTripWithRetry(const char* site);
+
+  int64_t StatementBytes(const SelectStmt& query) const;
 
   NetworkModel model_;
+  RetryPolicy retry_;
   NetworkStats stats_;
+  Random fault_rng_;
+  Random jitter_rng_;
   int64_t pending_fetch_rows_ = 0;
 };
 

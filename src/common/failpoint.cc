@@ -1,0 +1,278 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace aggify {
+
+namespace {
+
+constexpr char kInjectedPrefix[] = "failpoint '";
+
+Status MakeInjected(const char* site, StatusCode code) {
+  std::string msg = std::string(kInjectedPrefix) + site + "' fired";
+  return Status(code, std::move(msg));
+}
+
+Status ParseCode(std::string_view name, StatusCode* out) {
+  if (name == "exec") {
+    *out = StatusCode::kExecutionError;
+  } else if (name == "timeout") {
+    *out = StatusCode::kTimeout;
+  } else if (name == "unavailable") {
+    *out = StatusCode::kUnavailable;
+  } else if (name == "notfound") {
+    *out = StatusCode::kNotFound;
+  } else if (name == "internal") {
+    *out = StatusCode::kInternal;
+  } else if (name == "invalid") {
+    *out = StatusCode::kInvalidArgument;
+  } else {
+    return Status::InvalidArgument("unknown failpoint status code '" +
+                                   std::string(name) + "'");
+  }
+  return Status::OK();
+}
+
+/// Parses "policy" or "policy(args)" into spec policy fields.
+Status ParsePolicy(const std::string& text, FailPointSpec* spec) {
+  std::string name = text;
+  std::string args;
+  auto open = text.find('(');
+  if (open != std::string::npos) {
+    if (text.back() != ')') {
+      return Status::InvalidArgument("malformed failpoint policy '" + text +
+                                     "': missing ')'");
+    }
+    name = text.substr(0, open);
+    args = text.substr(open + 1, text.size() - open - 2);
+  }
+
+  auto parse_int = [&](int64_t* out) -> Status {
+    char* end = nullptr;
+    long long v = std::strtoll(args.c_str(), &end, 10);
+    if (args.empty() || end == nullptr || *end != '\0' || v < 1) {
+      return Status::InvalidArgument("failpoint policy '" + name +
+                                     "' needs a positive integer argument");
+    }
+    *out = v;
+    return Status::OK();
+  };
+
+  if (name == "always") {
+    spec->policy = FailPointPolicy::kAlways;
+  } else if (name == "off") {
+    spec->policy = FailPointPolicy::kOff;
+  } else if (name == "every") {
+    spec->policy = FailPointPolicy::kEveryNth;
+    RETURN_NOT_OK(parse_int(&spec->n));
+  } else if (name == "after") {
+    spec->policy = FailPointPolicy::kAfterN;
+    RETURN_NOT_OK(parse_int(&spec->n));
+  } else if (name == "times") {
+    spec->policy = FailPointPolicy::kFirstK;
+    RETURN_NOT_OK(parse_int(&spec->n));
+  } else if (name == "prob") {
+    spec->policy = FailPointPolicy::kProbability;
+    // args: "P" or "P,seed"
+    std::string p_text = args;
+    auto comma = args.find(',');
+    if (comma != std::string::npos) {
+      p_text = args.substr(0, comma);
+      char* end = nullptr;
+      unsigned long long seed =
+          std::strtoull(args.c_str() + comma + 1, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("malformed failpoint seed in '" + text +
+                                       "'");
+      }
+      spec->seed = seed;
+    }
+    char* end = nullptr;
+    double p = std::strtod(p_text.c_str(), &end);
+    if (p_text.empty() || end == nullptr || *end != '\0' || p < 0.0 ||
+        p > 1.0) {
+      return Status::InvalidArgument(
+          "failpoint probability must be in [0, 1], got '" + p_text + "'");
+    }
+    spec->probability = p;
+  } else {
+    return Status::InvalidArgument("unknown failpoint policy '" + name + "'");
+  }
+  return Status::OK();
+}
+
+/// Parses one "site=policy[:code]" entry.
+Status ParseEntry(const std::string& entry, std::string* site,
+                  FailPointSpec* spec) {
+  auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("malformed failpoint spec '" + entry +
+                                   "': expected site=policy[:code]");
+  }
+  *site = std::string(Trim(entry.substr(0, eq)));
+  std::string rhs(Trim(entry.substr(eq + 1)));
+  // The code suffix is after the last ':' outside parentheses; policies never
+  // contain ':' so a plain rfind is enough.
+  auto colon = rhs.rfind(':');
+  if (colon != std::string::npos) {
+    RETURN_NOT_OK(ParseCode(Trim(rhs.substr(colon + 1)), &spec->code));
+    rhs = std::string(Trim(rhs.substr(0, colon)));
+  }
+  return ParsePolicy(rhs, spec);
+}
+
+/// Splits a spec list on ';' or ',' separators, but not inside parentheses —
+/// "a=prob(0.5,42);b=always" is two entries, the seed comma is not a split.
+std::vector<std::string> SplitEntries(std::string_view s) {
+  std::vector<std::string> out;
+  std::string piece;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')' && depth > 0) --depth;
+    if ((c == ';' || c == ',') && depth == 0) {
+      if (!piece.empty()) out.push_back(std::move(piece));
+      piece.clear();
+    } else {
+      piece.push_back(c);
+    }
+  }
+  if (!piece.empty()) out.push_back(std::move(piece));
+  return out;
+}
+
+}  // namespace
+
+std::atomic<int64_t> FailPoints::armed_count_{0};
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+namespace {
+
+/// Arms AGGIFY_FAILPOINTS at load time so any binary honors the variable.
+/// A malformed value is reported (once) instead of silently ignored.
+const bool arm_env_at_startup = [] {
+  Status st = FailPoints::Instance().ArmFromEnv();
+  if (!st.ok()) {
+    std::fprintf(stderr, "AGGIFY_FAILPOINTS ignored: %s\n",
+                 st.ToString().c_str());
+  }
+  return true;
+}();
+
+}  // namespace
+
+Status FailPoints::Arm(const std::string& site, FailPointSpec spec) {
+  if (site.empty()) {
+    return Status::InvalidArgument("failpoint site name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(site);
+  it->second = ArmedSite{spec, 0, 0, Random(spec.seed)};
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FailPoints::ArmFromString(const std::string& spec_list) {
+  // Parse everything first so a malformed list arms nothing.
+  std::vector<std::pair<std::string, FailPointSpec>> parsed;
+  for (const std::string& raw : SplitEntries(spec_list)) {
+    std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    std::string site;
+    FailPointSpec spec;
+    RETURN_NOT_OK(ParseEntry(entry, &site, &spec));
+    parsed.emplace_back(std::move(site), spec);
+  }
+  for (auto& [site, spec] : parsed) RETURN_NOT_OK(Arm(site, spec));
+  return Status::OK();
+}
+
+Status FailPoints::ArmFromEnv(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || *value == '\0') return Status::OK();
+  return ArmFromString(value);
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int64_t>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+}
+
+bool FailPoints::IsArmed(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_.count(site) > 0;
+}
+
+int64_t FailPoints::CheckCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.checks;
+}
+
+int64_t FailPoints::TriggerCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> FailPoints::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, unused] : sites_) out.push_back(name);
+  return out;
+}
+
+bool FailPoints::IsInjected(const Status& status) {
+  return !status.ok() && status.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+Status FailPoints::Fire(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  ArmedSite& armed = it->second;
+  ++armed.checks;
+  bool fire = false;
+  switch (armed.spec.policy) {
+    case FailPointPolicy::kOff:
+      break;
+    case FailPointPolicy::kAlways:
+      fire = true;
+      break;
+    case FailPointPolicy::kEveryNth:
+      fire = armed.checks % armed.spec.n == 0;
+      break;
+    case FailPointPolicy::kAfterN:
+      fire = armed.checks > armed.spec.n;
+      break;
+    case FailPointPolicy::kFirstK:
+      fire = armed.checks <= armed.spec.n;
+      break;
+    case FailPointPolicy::kProbability:
+      fire = armed.rng.NextDouble() < armed.spec.probability;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++armed.triggers;
+  return MakeInjected(site, armed.spec.code);
+}
+
+}  // namespace aggify

@@ -1,0 +1,164 @@
+// Failpoints: named fault-injection sites (RocksDB / folly style).
+//
+// Code that should be testable under induced failure places an
+// AGGIFY_FAILPOINT("layer.site") check on its error path. When the site is
+// armed — programmatically via FailPoints::Arm() / ScopedFailPoint, or from
+// the AGGIFY_FAILPOINTS environment variable — the check returns an injected
+// Status according to a deterministic trigger policy. When nothing is armed
+// the check is a single relaxed atomic load, cheap enough for operator
+// Next() paths.
+//
+// Spec grammar (also used by the env var, ';' or ',' separated):
+//
+//   site=policy[:code]
+//
+//   policies: always          trigger on every check
+//             off             registered but never triggers
+//             every(N)        trigger on every Nth check (N >= 1)
+//             after(N)        pass the first N checks, then always trigger
+//             times(K)        trigger on the first K checks, then pass
+//             prob(P[,seed])  trigger with probability P, seeded xorshift RNG
+//   codes:    exec (default), timeout, unavailable, notfound, internal,
+//             invalid
+//
+// Example: AGGIFY_FAILPOINTS="exec.agg.accumulate=always;client.fetch=prob(0.1,42):timeout"
+//
+// Site naming convention: <layer>.<component>.<operation>, all lowercase
+// (see docs/ROBUSTNESS.md for the registry of instrumented sites).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace aggify {
+
+/// Trigger policy of one armed failpoint.
+enum class FailPointPolicy {
+  kOff,          ///< armed but never triggers (useful as a CI smoke config)
+  kAlways,       ///< triggers on every check
+  kEveryNth,     ///< triggers on checks N, 2N, 3N, ...
+  kAfterN,       ///< passes the first N checks, then always triggers
+  kFirstK,       ///< triggers on the first K checks, then always passes
+  kProbability,  ///< triggers with probability `probability` (seeded RNG)
+};
+
+/// Full arming description of one site.
+struct FailPointSpec {
+  FailPointPolicy policy = FailPointPolicy::kAlways;
+  /// N for kEveryNth / kAfterN, K for kFirstK. Ignored otherwise.
+  int64_t n = 1;
+  /// Trigger probability in [0, 1] for kProbability.
+  double probability = 0.0;
+  /// Seed for the per-site RNG used by kProbability.
+  uint64_t seed = 0;
+  /// The code of the injected Status.
+  StatusCode code = StatusCode::kExecutionError;
+};
+
+/// \brief Process-wide registry of named failpoints.
+///
+/// Thread-safe: arming/disarming and the triggered slow path take a mutex;
+/// the disarmed fast path is a single relaxed atomic load.
+class FailPoints {
+ public:
+  static FailPoints& Instance();
+
+  /// True if any site is armed anywhere in the process. Lock-free.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates `site`: returns the injected error if the site is armed and
+  /// its policy fires on this check, OK otherwise. Prefer the
+  /// AGGIFY_FAILPOINT macro at instrumentation sites.
+  static Status Check(const char* site) {
+    if (!AnyArmed()) return Status::OK();
+    return Instance().Fire(site);
+  }
+
+  /// Arms (or re-arms, resetting counters) `site` with `spec`.
+  Status Arm(const std::string& site, FailPointSpec spec);
+
+  /// Parses and arms a spec list ("a=always;b=prob(0.5,42):timeout").
+  /// Errors: InvalidArgument on malformed specs (no sites are armed then).
+  Status ArmFromString(const std::string& spec_list);
+
+  /// Arms from the given environment variable if set and non-empty.
+  /// Malformed values are reported, not silently ignored.
+  Status ArmFromEnv(const char* env_var = "AGGIFY_FAILPOINTS");
+
+  /// Disarms `site` (no-op if not armed).
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and forgets all counters.
+  void DisarmAll();
+
+  bool IsArmed(const std::string& site) const;
+
+  /// Number of times `site` was evaluated while armed.
+  int64_t CheckCount(const std::string& site) const;
+
+  /// Number of times `site` actually injected a failure.
+  int64_t TriggerCount(const std::string& site) const;
+
+  /// Names of all armed sites, sorted.
+  std::vector<std::string> ArmedSites() const;
+
+  /// True if `status` was produced by a failpoint (by message convention).
+  static bool IsInjected(const Status& status);
+
+  /// Slow path of Check(): policy evaluation under the registry mutex.
+  Status Fire(const char* site);
+
+ private:
+  FailPoints() = default;
+
+  struct ArmedSite {
+    FailPointSpec spec;
+    int64_t checks = 0;
+    int64_t triggers = 0;
+    Random rng;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedSite> sites_;
+  static std::atomic<int64_t> armed_count_;
+};
+
+/// \brief RAII arming for tests: arms in the constructor, disarms in the
+/// destructor so a failing test cannot leak an armed site into later tests.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string site, FailPointSpec spec)
+      : site_(std::move(site)) {
+    FailPoints::Instance().Arm(site_, spec);
+  }
+  explicit ScopedFailPoint(std::string site)
+      : ScopedFailPoint(std::move(site), FailPointSpec{}) {}
+  ~ScopedFailPoint() { FailPoints::Instance().Disarm(site_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+/// Returns the injected Status from the enclosing function when `site` fires.
+/// Usable in functions returning Status or Result<T>.
+#define AGGIFY_FAILPOINT(site)                                    \
+  do {                                                            \
+    if (::aggify::FailPoints::AnyArmed()) {                       \
+      ::aggify::Status _fp_st = ::aggify::FailPoints::Instance().Fire(site); \
+      if (!_fp_st.ok()) return _fp_st;                            \
+    }                                                             \
+  } while (false)
+
+}  // namespace aggify

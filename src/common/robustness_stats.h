@@ -1,0 +1,38 @@
+// RobustnessStats: counters for the degraded-but-correct paths — guarded
+// rewrite fallbacks, verify-mode mismatches, and transient plan retries.
+// One instance lives on Database (like IoStats) so every execution against
+// the same database accumulates into it; tests reset it between scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aggify {
+
+struct RobustnessStats {
+  /// Rewritten (aggregate) query executions that failed at runtime.
+  int64_t rewrite_exec_failures = 0;
+  /// Times the interpreter fell back to the original cursor loop.
+  int64_t fallbacks_taken = 0;
+  /// Fallback executions that completed successfully.
+  int64_t fallback_successes = 0;
+  /// Guarded statements executed in verify_rewrite mode.
+  int64_t verify_runs = 0;
+  /// Verify runs where the rewritten result disagreed with the loop.
+  int64_t verify_mismatches = 0;
+  /// Plan re-executions after a retryable (timeout/unavailable) failure.
+  int64_t transient_retries = 0;
+
+  void Reset() { *this = RobustnessStats{}; }
+
+  std::string ToString() const {
+    return "rewrite_exec_failures=" + std::to_string(rewrite_exec_failures) +
+           " fallbacks_taken=" + std::to_string(fallbacks_taken) +
+           " fallback_successes=" + std::to_string(fallback_successes) +
+           " verify_runs=" + std::to_string(verify_runs) +
+           " verify_mismatches=" + std::to_string(verify_mismatches) +
+           " transient_retries=" + std::to_string(transient_retries);
+  }
+};
+
+}  // namespace aggify

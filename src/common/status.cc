@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "not applicable";
     case StatusCode::kExecutionError:
       return "execution error";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal error";
   }

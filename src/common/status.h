@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kNotSupported,      ///< valid input outside the supported language model
   kNotApplicable,     ///< Aggify precondition violated (e.g. persistent DML)
   kExecutionError,    ///< runtime failure while executing a plan / program
+  kTimeout,           ///< operation exceeded its deadline (retryable)
+  kUnavailable,       ///< transient resource / network failure (retryable)
   kInternal,          ///< invariant violation; indicates a library bug
 };
 
@@ -74,6 +76,12 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -89,6 +97,15 @@ class Status {
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// True for transient failures where retrying the same operation may
+  /// succeed (timeouts, unavailability). Logic errors are never retryable.
+  bool IsRetryable() const {
+    return code() == StatusCode::kTimeout ||
+           code() == StatusCode::kUnavailable;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

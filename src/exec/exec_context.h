@@ -77,6 +77,7 @@ class ExecContext {
   Database* db() const { return db_; }
   Catalog& catalog() const { return db_->catalog(); }
   IoStats& stats() const { return db_->stats(); }
+  RobustnessStats& robustness() const { return db_->robustness(); }
 
   VariableEnv* vars() const { return vars_; }
   void set_vars(VariableEnv* v) { vars_ = v; }

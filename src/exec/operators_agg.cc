@@ -4,6 +4,7 @@
 // forces under ORDER BY cursor rewrites: it consumes its input in order and
 // calls Accumulate in exactly that order, which is what makes order-sensitive
 // synthesized aggregates correct.
+#include "common/failpoint.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 
@@ -12,6 +13,7 @@ namespace aggify {
 Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
                       const Row& row, const Schema& in_schema,
                       ExecContext& ctx) {
+  AGGIFY_FAILPOINT("exec.agg.accumulate");
   RowFrame frame{&row, &in_schema, ctx.frame()};
   ExecContext::FrameScope scope(&ctx, &frame);
   std::vector<Value> args;
@@ -129,6 +131,7 @@ Result<bool> HashAggregateOp::Next(ExecContext& ctx, Row* out) {
   }
   entry.partitions.resize(1);
   *out = key;
+  AGGIFY_FAILPOINT("exec.agg.terminate");
   for (size_t i = 0; i < aggs_.size(); ++i) {
     ASSIGN_OR_RETURN(
         Value v, aggs_[i].function->Terminate(entry.partitions[0][i].get(),
@@ -198,6 +201,7 @@ Result<bool> StreamAggregateOp::Next(ExecContext& ctx, Row* out) {
     }
     emitted_scalar_ = true;
     out->clear();
+    AGGIFY_FAILPOINT("exec.agg.terminate");
     for (size_t i = 0; i < aggs_.size(); ++i) {
       ASSIGN_OR_RETURN(Value v, aggs_[i].function->Terminate(states[i].get(),
                                                              &ctx));
@@ -258,6 +262,7 @@ Result<bool> StreamAggregateOp::Next(ExecContext& ctx, Row* out) {
     }
   }
   *out = group_key;
+  AGGIFY_FAILPOINT("exec.agg.terminate");
   for (size_t i = 0; i < aggs_.size(); ++i) {
     ASSIGN_OR_RETURN(Value v,
                      aggs_[i].function->Terminate(states[i].get(), &ctx));

@@ -1,4 +1,5 @@
 // Join operators: HashJoin, NestedLoopJoin.
+#include "common/failpoint.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 
@@ -75,6 +76,7 @@ Status HashJoinOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> HashJoinOp::Next(ExecContext& ctx, Row* out) {
+  AGGIFY_FAILPOINT("exec.join.next");
   for (;;) {
     if (left_valid_ && probe_matches_ != nullptr &&
         probe_pos_ < probe_matches_->size()) {
@@ -152,6 +154,7 @@ Status NestedLoopJoinOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> NestedLoopJoinOp::Next(ExecContext& ctx, Row* out) {
+  AGGIFY_FAILPOINT("exec.join.next");
   for (;;) {
     while (left_valid_ && right_pos_ < right_rows_.size()) {
       Row candidate = ConcatRows(current_left_, right_rows_[right_pos_++]);

@@ -1,4 +1,5 @@
 // Scan operators: SeqScan, IndexSeek, RowsScan.
+#include "common/failpoint.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 #include "storage/table.h"
@@ -36,6 +37,7 @@ Status SeqScanOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> SeqScanOp::Next(ExecContext& ctx, Row* out) {
+  AGGIFY_FAILPOINT("exec.scan.next");
   if (pos_ >= table_->num_rows()) return false;
   *out = table_->ReadRow(pos_++, &last_page_, &ctx.stats());
   ++ctx.stats().rows_produced;
@@ -74,6 +76,7 @@ Status IndexSeekOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> IndexSeekOp::Next(ExecContext& ctx, Row* out) {
+  AGGIFY_FAILPOINT("exec.scan.next");
   if (matches_ == nullptr || pos_ >= matches_->size()) return false;
   *out = table_->ReadRow((*matches_)[pos_++], &last_page_, &ctx.stats());
   ++ctx.stats().rows_produced;

@@ -293,6 +293,12 @@ Status ExecSymbolic(const Stmt& stmt, SymbolicEnv* env, ExprPtr* result) {
       return Status::OK();
     }
 
+    case StmtKind::kGuardedRewrite:
+      // Semantically identical to its MultiAssign; the fallback is runtime
+      // recovery machinery and does not affect the symbolic result.
+      return ExecSymbolic(*static_cast<const GuardedRewriteStmt&>(stmt).rewritten,
+                          env, result);
+
     case StmtKind::kReturn: {
       const auto& r = static_cast<const ReturnStmt&>(stmt);
       if (r.value == nullptr) {

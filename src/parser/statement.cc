@@ -290,6 +290,27 @@ std::string MultiAssignStmt::ToString(int indent) const {
   return out + " = (" + query->ToString() + ");\n";
 }
 
+StmtPtr GuardedRewriteStmt::Clone() const {
+  auto r = std::unique_ptr<MultiAssignStmt>(
+      static_cast<MultiAssignStmt*>(rewritten->Clone().release()));
+  auto f = std::unique_ptr<BlockStmt>(
+      static_cast<BlockStmt*>(fallback->Clone().release()));
+  return std::make_unique<GuardedRewriteStmt>(std::move(r), std::move(f),
+                                              state_vars, verify,
+                                              aggregate_name);
+}
+
+std::string GuardedRewriteStmt::ToString(int indent) const {
+  // Renders as the MultiAssign it stands for (plus a marker comment). The
+  // fallback is recovery machinery, not program text: printing it would make
+  // the removed loop reappear in every rendering of the rewritten function.
+  std::string out = rewritten->ToString(indent);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  out += "  -- guarded: cursor-loop fallback";
+  if (verify) out += " (verify)";
+  return out + "\n";
+}
+
 // ---- FunctionDef ----
 
 std::shared_ptr<FunctionDef> FunctionDef::Clone() const {

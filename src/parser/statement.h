@@ -40,6 +40,9 @@ enum class StmtKind : uint8_t {
                 ///< in UDFs; streamed to the client in app programs)
   kMultiAssign, ///< Aggify rewrite output: run a query returning one row and
                 ///< assign its (possibly Record-typed) value to variables
+  kGuardedRewrite, ///< Aggify rewrite output with a cursor-loop fallback:
+                   ///< runs the MultiAssign; on runtime failure restores the
+                   ///< loop-entry state and interprets the original loop
 };
 
 struct Stmt;
@@ -259,6 +262,46 @@ struct MultiAssignStmt : Stmt {
       : Stmt(StmtKind::kMultiAssign), targets(std::move(t)), query(std::move(q)) {}
   std::vector<std::string> targets;
   std::unique_ptr<SelectStmt> query;
+  StmtPtr Clone() const override;
+  std::string ToString(int indent) const override;
+};
+
+/// \brief A guarded Aggify rewrite: the MultiAssign (Eq. 5 / Eq. 6) plus a
+/// self-contained clone of the original cursor-loop region as a fallback.
+///
+/// Semantically this statement IS the MultiAssign — the fallback only exists
+/// so a runtime failure of the rewritten query (or an opt-in verify-mode
+/// mismatch) degrades to the original slow-but-correct loop instead of
+/// erroring out. Analyses therefore treat it as its MultiAssign: defs are
+/// `rewritten->targets`, uses are the rewritten query's variables, and the
+/// fallback block is never walked (it would otherwise re-introduce the loop
+/// the rewrite just removed, breaking idempotence and liveness pruning).
+///
+/// Because dead-declaration removal (§6.2) may prune the fetch-variable
+/// DECLAREs the loop relied on, the fallback block starts with its own
+/// DECLAREs for every variable it writes that the rewritten query does not
+/// reference (all provably dead after the loop, so initializing them to NULL
+/// is safe).
+struct GuardedRewriteStmt : Stmt {
+  GuardedRewriteStmt(std::unique_ptr<MultiAssignStmt> r,
+                     std::unique_ptr<BlockStmt> f,
+                     std::vector<std::string> state, bool v, std::string agg)
+      : Stmt(StmtKind::kGuardedRewrite),
+        rewritten(std::move(r)),
+        fallback(std::move(f)),
+        state_vars(std::move(state)),
+        verify(v),
+        aggregate_name(std::move(agg)) {}
+  std::unique_ptr<MultiAssignStmt> rewritten;
+  std::unique_ptr<BlockStmt> fallback;
+  /// Every variable either path may write (targets, fetch vars, body-local
+  /// scratch, @@fetch_status): snapshotted before the rewritten query runs so
+  /// fallback / verify can restart from loop-entry state.
+  std::vector<std::string> state_vars;
+  /// Opt-in verify_rewrite mode: always run both paths and compare targets.
+  bool verify = false;
+  /// Name of the synthesized aggregate (diagnostics).
+  std::string aggregate_name;
   StmtPtr Clone() const override;
   std::string ToString(int indent) const override;
 };

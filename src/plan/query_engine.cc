@@ -146,7 +146,7 @@ Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
   }
   if (cacheable) {
     if (PlanCache::Entry* entry = cache_.Acquire(cache_key, ctx.catalog())) {
-      auto result = RunPlan(entry->plan.get(), ctx);
+      auto result = RunPlanWithRetry(entry->plan.get(), ctx);
       cache_.Release(entry);
       return result;
     }
@@ -170,7 +170,7 @@ Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
     return plan.status();
   }
 
-  auto result = RunPlan(plan->get(), ctx);
+  auto result = RunPlanWithRetry(plan->get(), ctx);
   cleanup();
   if (result.ok() && cacheable) {
     cache_.Insert(cache_key, std::move(*plan), ctx.catalog());
@@ -198,6 +198,19 @@ Result<QueryResult> QueryEngine::RunPlan(Operator* root,
     if (st.ok()) st = close_st;
   }
   if (!st.ok()) return st;
+  return result;
+}
+
+Result<QueryResult> QueryEngine::RunPlanWithRetry(Operator* root,
+                                                  ExecContext& ctx) const {
+  auto result = RunPlan(root, ctx);
+  for (int attempt = 0;
+       attempt < kTransientRetries && !result.ok() &&
+       result.status().IsRetryable();
+       ++attempt) {
+    ++ctx.robustness().transient_retries;
+    result = RunPlan(root, ctx);
+  }
   return result;
 }
 

@@ -70,8 +70,16 @@ class QueryEngine {
 
   const PlanCache& plan_cache() const { return cache_; }
 
+  /// Transient (timeout/unavailable) plan failures are re-run up to this
+  /// many extra times before surfacing; each re-run counts into
+  /// RobustnessStats::transient_retries.
+  static constexpr int kTransientRetries = 2;
+
  private:
   Result<QueryResult> RunPlan(Operator* root, ExecContext& ctx) const;
+  /// RunPlan plus bounded retry on IsRetryable() failures. Safe because
+  /// RunPlan re-Opens the plan tree from scratch on every attempt.
+  Result<QueryResult> RunPlanWithRetry(Operator* root, ExecContext& ctx) const;
   /// Materializes the statement's CTEs into `ctx` bindings; fills
   /// `bound_names` with the names to unbind afterwards.
   Status BindCtes(const SelectStmt& stmt, ExecContext& ctx,

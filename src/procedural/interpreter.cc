@@ -293,6 +293,10 @@ Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt,
       RETURN_NOT_OK(ExecMultiAssign(static_cast<const MultiAssignStmt&>(stmt),
                                     frame, ctx));
       return Flow::kNormal;
+
+    case StmtKind::kGuardedRewrite:
+      return ExecGuardedRewrite(static_cast<const GuardedRewriteStmt&>(stmt),
+                                frame, ctx);
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -346,7 +350,7 @@ Status Interpreter::ExecFetch(const FetchStmt& fetch, CallFrame* frame,
     return Status::ExecutionError(
         "FETCH INTO has more variables than cursor columns");
   }
-  OnCursorFetch(cursor.schema, row);
+  RETURN_NOT_OK(OnCursorFetch(cursor.schema, row));
   for (size_t i = 0; i < fetch.into.size(); ++i) {
     if (!frame->env->Has(fetch.into[i])) {
       return Status::ExecutionError("FETCH INTO undeclared variable " +
@@ -503,6 +507,82 @@ Status Interpreter::ExecMultiAssign(const MultiAssignStmt& ma, CallFrame* frame,
         "scalar aggregate result for multiple assignment targets");
   }
   return frame->env->Set(ma.targets[0], std::move(v));
+}
+
+namespace {
+
+/// A failed rewritten query falls back to the loop unless the failure is an
+/// invariant violation (library bug) — mirroring TRY/CATCH, which also
+/// refuses to swallow Internal errors.
+bool FallbackEligible(const Status& st) {
+  return st.code() != StatusCode::kInternal;
+}
+
+}  // namespace
+
+Result<Interpreter::Flow> Interpreter::ExecGuardedRewrite(
+    const GuardedRewriteStmt& g, CallFrame* frame, ExecContext& ctx) {
+  // Snapshot the loop-entry values of everything either path may write, so
+  // the fallback (and verify mode) replays the loop from a clean slate.
+  // ExecMultiAssign only touches the env after its query succeeds, but the
+  // snapshot is still needed: verify mode runs both paths, and a failure
+  // *after* partial Record assignment would otherwise leak.
+  std::map<std::string, Value> saved;
+  for (const auto& name : g.state_vars) {
+    if (!frame->env->Has(name)) continue;
+    ASSIGN_OR_RETURN(Value v, frame->env->Get(name));
+    saved.emplace(name, std::move(v));
+  }
+  auto restore = [&]() -> Status {
+    for (const auto& [name, v] : saved) {
+      RETURN_NOT_OK(frame->env->Set(name, v));
+    }
+    return Status::OK();
+  };
+
+  Status rewritten_st = ExecMultiAssign(*g.rewritten, frame, ctx);
+
+  if (!g.verify) {
+    if (rewritten_st.ok()) return Flow::kNormal;
+    if (!FallbackEligible(rewritten_st)) return rewritten_st;
+    RobustnessStats& stats = ctx.robustness();
+    ++stats.rewrite_exec_failures;
+    ++stats.fallbacks_taken;
+    RETURN_NOT_OK(restore());
+    ASSIGN_OR_RETURN(Flow flow, ExecBlockStmts(*g.fallback, frame, ctx));
+    ++stats.fallback_successes;
+    return flow;
+  }
+
+  // verify_rewrite mode: always run both paths and compare the targets. The
+  // loop's results are authoritative (they end up in the env either way).
+  RobustnessStats& stats = ctx.robustness();
+  ++stats.verify_runs;
+  if (!rewritten_st.ok() && !FallbackEligible(rewritten_st)) {
+    return rewritten_st;
+  }
+  std::vector<Value> rewritten_out;
+  if (rewritten_st.ok()) {
+    for (const auto& t : g.rewritten->targets) {
+      ASSIGN_OR_RETURN(Value v, frame->env->Get(t));
+      rewritten_out.push_back(std::move(v));
+    }
+  } else {
+    ++stats.rewrite_exec_failures;
+  }
+  RETURN_NOT_OK(restore());
+  ASSIGN_OR_RETURN(Flow flow, ExecBlockStmts(*g.fallback, frame, ctx));
+  bool mismatch = !rewritten_st.ok();
+  for (size_t i = 0; rewritten_st.ok() && i < g.rewritten->targets.size();
+       ++i) {
+    ASSIGN_OR_RETURN(Value loop_v, frame->env->Get(g.rewritten->targets[i]));
+    if (!loop_v.StructurallyEquals(rewritten_out[i])) {
+      mismatch = true;
+      break;
+    }
+  }
+  if (mismatch) ++stats.verify_mismatches;
+  return flow;
 }
 
 }  // namespace aggify

@@ -64,10 +64,12 @@ class Interpreter {
     return ctx.ExecuteSubquery(query);
   }
 
-  /// Called for each row delivered through FETCH.
-  virtual void OnCursorFetch(const Schema& schema, const Row& row) {
+  /// Called for each row delivered through FETCH. A non-OK status aborts the
+  /// FETCH (the client layer surfaces exhausted-retry failures here).
+  virtual Status OnCursorFetch(const Schema& schema, const Row& row) {
     AGGIFY_UNUSED(schema);
     AGGIFY_UNUSED(row);
+    return Status::OK();
   }
 
   /// Called when a standalone SELECT's results are delivered to the program.
@@ -121,6 +123,8 @@ class Interpreter {
                     ExecContext& ctx);
   Status ExecMultiAssign(const MultiAssignStmt& ma, CallFrame* frame,
                          ExecContext& ctx);
+  Result<Flow> ExecGuardedRewrite(const GuardedRewriteStmt& g, CallFrame* frame,
+                                  ExecContext& ctx);
   Status CleanupFrame(CallFrame* frame, ExecContext& ctx);
 
   const QueryEngine* engine_;

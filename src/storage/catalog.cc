@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace aggify {
@@ -47,6 +48,7 @@ void Catalog::DropTempTable(const std::string& name) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) {
+  AGGIFY_FAILPOINT("catalog.get_table");
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
   auto tt = temp_tables_.find(name);
@@ -55,6 +57,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) {
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  AGGIFY_FAILPOINT("catalog.get_table");
   auto it = tables_.find(name);
   if (it != tables_.end()) return static_cast<const Table*>(it->second.get());
   auto tt = temp_tables_.find(name);
@@ -75,6 +78,7 @@ void Catalog::RegisterFunction(const std::string& name,
 
 Result<std::shared_ptr<const FunctionDef>> Catalog::GetFunction(
     const std::string& name) const {
+  AGGIFY_FAILPOINT("catalog.get_function");
   auto it = functions_.find(name);
   if (it == functions_.end()) {
     return Status::NotFound("function not found: " + name);
@@ -94,6 +98,7 @@ void Catalog::RegisterAggregate(const std::string& name,
 
 Result<std::shared_ptr<const AggregateFunction>> Catalog::GetAggregate(
     const std::string& name) const {
+  AGGIFY_FAILPOINT("catalog.get_aggregate");
   auto it = aggregates_.find(name);
   if (it == aggregates_.end()) {
     return Status::NotFound("aggregate not found: " + name);

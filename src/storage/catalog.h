@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/robustness_stats.h"
 #include "storage/table.h"
 
 namespace aggify {
@@ -93,6 +94,8 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
+  RobustnessStats& robustness() { return robustness_; }
+  const RobustnessStats& robustness() const { return robustness_; }
 
   /// Monotonic counter used to name synthesized objects (worktables,
   /// generated aggregates) uniquely.
@@ -101,6 +104,7 @@ class Database {
  private:
   Catalog catalog_;
   IoStats stats_;
+  RobustnessStats robustness_;
   int64_t object_id_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace aggify {
 
 void HashIndex::Insert(const Value& key, int64_t row_id) {
@@ -27,6 +29,7 @@ int64_t Table::num_pages() const {
 }
 
 Status Table::Insert(Row row, IoStats* stats) {
+  AGGIFY_FAILPOINT("storage.table.insert");
   if (row.size() != schema_.num_columns()) {
     return Status::ExecutionError(
         "insert arity mismatch on table '" + name_ + "': got " +
@@ -82,6 +85,7 @@ int64_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred,
 Status Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
                           const std::function<Status(Row*)>& update,
                           IoStats* stats) {
+  AGGIFY_FAILPOINT("storage.table.update");
   if (stats != nullptr) {
     if (is_worktable_) {
       stats->worktable_pages_read += num_pages();

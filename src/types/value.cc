@@ -205,6 +205,24 @@ Status ArithTypeError(const char* op, const Value& a, const Value& b) {
                            " and " + b.ToString());
 }
 
+// Dialect INT arithmetic wraps in two's complement: overflow must be defined
+// (and identical on the loop and rewritten sides of an Aggify rewrite), not
+// left to signed-overflow UB.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+
+int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+
 }  // namespace
 
 Result<Value> Add(const Value& a, const Value& b) {
@@ -217,7 +235,7 @@ Result<Value> Add(const Value& a, const Value& b) {
   }
   switch (PromoteNumeric(a, b)) {
     case NumKind::kInt:
-      return Value::Int(a.int_value() + b.int_value());
+      return Value::Int(WrapAdd(a.int_value(), b.int_value()));
     case NumKind::kDouble:
       return Value::Double(a.AsDouble() + b.AsDouble());
     default:
@@ -236,7 +254,7 @@ Result<Value> Subtract(const Value& a, const Value& b) {
   }
   switch (PromoteNumeric(a, b)) {
     case NumKind::kInt:
-      return Value::Int(a.int_value() - b.int_value());
+      return Value::Int(WrapSub(a.int_value(), b.int_value()));
     case NumKind::kDouble:
       return Value::Double(a.AsDouble() - b.AsDouble());
     default:
@@ -248,7 +266,7 @@ Result<Value> Multiply(const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   switch (PromoteNumeric(a, b)) {
     case NumKind::kInt:
-      return Value::Int(a.int_value() * b.int_value());
+      return Value::Int(WrapMul(a.int_value(), b.int_value()));
     case NumKind::kDouble:
       return Value::Double(a.AsDouble() * b.AsDouble());
     default:
@@ -262,7 +280,11 @@ Result<Value> Divide(const Value& a, const Value& b) {
   if (b.AsDouble() == 0.0) {
     return Status::ExecutionError("division by zero");
   }
-  if (a.is_int() && b.is_int()) return Value::Int(a.int_value() / b.int_value());
+  if (a.is_int() && b.is_int()) {
+    // INT64_MIN / -1 overflows (and traps on x86); it wraps to INT64_MIN.
+    if (b.int_value() == -1) return Value::Int(WrapSub(0, a.int_value()));
+    return Value::Int(a.int_value() / b.int_value());
+  }
   return Value::Double(a.AsDouble() / b.AsDouble());
 }
 
@@ -270,12 +292,14 @@ Result<Value> Modulo(const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   if (!a.is_int() || !b.is_int()) return ArithTypeError("%", a, b);
   if (b.int_value() == 0) return Status::ExecutionError("modulo by zero");
+  // INT64_MIN % -1 traps on x86 even though the result is plainly 0.
+  if (b.int_value() == -1) return Value::Int(0);
   return Value::Int(a.int_value() % b.int_value());
 }
 
 Result<Value> Negate(const Value& a) {
   if (a.is_null()) return Value::Null();
-  if (a.is_int()) return Value::Int(-a.int_value());
+  if (a.is_int()) return Value::Int(WrapSub(0, a.int_value()));
   if (a.is_double()) return Value::Double(-a.double_value());
   return Status::TypeError("unary - requires numeric operand, got " +
                            a.ToString());

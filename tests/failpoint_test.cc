@@ -1,0 +1,225 @@
+// Failpoint framework tests: trigger-policy determinism, spec/env parsing,
+// disarm hygiene, status-code routing, and the query engine's transient
+// retry over injected retryable faults.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedCheckIsFree) {
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_OK(FailPoints::Check("no.such.site"));
+}
+
+TEST_F(FailPointTest, AlwaysPolicyFiresEveryCheck) {
+  ASSERT_OK(FailPoints::Instance().Arm("t.always", FailPointSpec{}));
+  EXPECT_TRUE(FailPoints::AnyArmed());
+  for (int i = 0; i < 5; ++i) {
+    Status st = FailPoints::Check("t.always");
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(FailPoints::IsInjected(st));
+  }
+  EXPECT_EQ(FailPoints::Instance().CheckCount("t.always"), 5);
+  EXPECT_EQ(FailPoints::Instance().TriggerCount("t.always"), 5);
+  // Other sites are unaffected.
+  EXPECT_OK(FailPoints::Check("t.other"));
+}
+
+TEST_F(FailPointTest, OffPolicyNeverFires) {
+  FailPointSpec spec;
+  spec.policy = FailPointPolicy::kOff;
+  ASSERT_OK(FailPoints::Instance().Arm("t.off", spec));
+  for (int i = 0; i < 10; ++i) EXPECT_OK(FailPoints::Check("t.off"));
+  EXPECT_EQ(FailPoints::Instance().CheckCount("t.off"), 10);
+  EXPECT_EQ(FailPoints::Instance().TriggerCount("t.off"), 0);
+}
+
+TEST_F(FailPointTest, EveryNthFiresOnMultiples) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("t.every=every(3)"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!FailPoints::Check("t.every").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FailPointTest, AfterNPassesThenAlwaysFires) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("t.after=after(2)"));
+  EXPECT_OK(FailPoints::Check("t.after"));
+  EXPECT_OK(FailPoints::Check("t.after"));
+  for (int i = 0; i < 4; ++i) ASSERT_FALSE(FailPoints::Check("t.after").ok());
+}
+
+TEST_F(FailPointTest, TimesFiresFirstKThenPasses) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("t.times=times(2):timeout"));
+  ASSERT_FALSE(FailPoints::Check("t.times").ok());
+  ASSERT_FALSE(FailPoints::Check("t.times").ok());
+  for (int i = 0; i < 4; ++i) EXPECT_OK(FailPoints::Check("t.times"));
+}
+
+TEST_F(FailPointTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FailPointSpec spec;
+    spec.policy = FailPointPolicy::kProbability;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    EXPECT_OK(FailPoints::Instance().Arm("t.prob", spec));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!FailPoints::Check("t.prob").ok());
+    FailPoints::Instance().Disarm("t.prob");
+    return fired;
+  };
+  std::vector<bool> a = run(42);
+  std::vector<bool> b = run(42);
+  std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);       // same seed replays exactly
+  EXPECT_NE(a, c);       // different seed diverges
+  int hits = 0;
+  for (bool f : a) hits += f ? 1 : 0;
+  EXPECT_GT(hits, 8);    // p=0.5 over 64 draws is nowhere near 0 or 64
+  EXPECT_LT(hits, 56);
+}
+
+TEST_F(FailPointTest, SpecStringParsesPoliciesAndCodes) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "a.x=always;b.y=prob(0.5,42):timeout, c.z=after(10):unavailable"));
+  EXPECT_EQ(FailPoints::Instance().ArmedSites(),
+            (std::vector<std::string>{"a.x", "b.y", "c.z"}));
+  Status st = FailPoints::Check("a.x");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);  // default code
+  // after(10) lets the first checks through.
+  EXPECT_OK(FailPoints::Check("c.z"));
+}
+
+TEST_F(FailPointTest, InjectedCodesRouteThroughStatusPredicates) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "t.to=always:timeout;t.un=always:unavailable;t.nf=always:notfound"));
+  Status to = FailPoints::Check("t.to");
+  EXPECT_TRUE(to.IsTimeout());
+  EXPECT_TRUE(to.IsRetryable());
+  Status un = FailPoints::Check("t.un");
+  EXPECT_TRUE(un.IsUnavailable());
+  EXPECT_TRUE(un.IsRetryable());
+  Status nf = FailPoints::Check("t.nf");
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_FALSE(nf.IsRetryable());
+  EXPECT_TRUE(FailPoints::IsInjected(to));
+  EXPECT_FALSE(FailPoints::IsInjected(Status::Timeout("organic")));
+}
+
+TEST_F(FailPointTest, MalformedSpecArmsNothing) {
+  // Second entry is malformed: the whole list is rejected atomically.
+  Status st = FailPoints::Instance().ArmFromString("good.site=always;bad");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=every(0)").ok());
+  ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=prob(1.5)").ok());
+  ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=always:nocode").ok());
+  EXPECT_FALSE(FailPoints::AnyArmed());
+}
+
+TEST_F(FailPointTest, ArmFromEnvReadsVariable) {
+  ::setenv("AGGIFY_FAILPOINTS_TEST", "env.site=times(1)", 1);
+  ASSERT_OK(FailPoints::Instance().ArmFromEnv("AGGIFY_FAILPOINTS_TEST"));
+  EXPECT_TRUE(FailPoints::Instance().IsArmed("env.site"));
+  ASSERT_FALSE(FailPoints::Check("env.site").ok());
+  EXPECT_OK(FailPoints::Check("env.site"));
+  ::unsetenv("AGGIFY_FAILPOINTS_TEST");
+  // Unset variable is a no-op, not an error.
+  FailPoints::Instance().DisarmAll();
+  ASSERT_OK(FailPoints::Instance().ArmFromEnv("AGGIFY_FAILPOINTS_TEST"));
+  EXPECT_FALSE(FailPoints::AnyArmed());
+}
+
+TEST_F(FailPointTest, DisarmRestoresCleanBehavior) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("t.a=always;t.b=always"));
+  ASSERT_FALSE(FailPoints::Check("t.a").ok());
+  FailPoints::Instance().Disarm("t.a");
+  EXPECT_OK(FailPoints::Check("t.a"));
+  EXPECT_TRUE(FailPoints::AnyArmed());  // t.b still armed
+  FailPoints::Instance().DisarmAll();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_OK(FailPoints::Check("t.b"));
+  // Re-arming resets counters.
+  ASSERT_OK(FailPoints::Instance().ArmFromString("t.a=always"));
+  EXPECT_EQ(FailPoints::Instance().CheckCount("t.a"), 0);
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  {
+    ScopedFailPoint fp("t.scoped");
+    EXPECT_TRUE(FailPoints::Instance().IsArmed("t.scoped"));
+    ASSERT_FALSE(FailPoints::Check("t.scoped").ok());
+  }
+  EXPECT_FALSE(FailPoints::Instance().IsArmed("t.scoped"));
+  EXPECT_OK(FailPoints::Check("t.scoped"));
+}
+
+// ---- End-to-end: injected faults surface through the engine ----
+
+class FailPointEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(
+        "CREATE TABLE nums (v INT); "
+        "INSERT INTO nums VALUES (3), (1), (2);"));
+    db_.robustness().Reset();
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(FailPointEngineTest, StorageInsertFaultSurfaces) {
+  ScopedFailPoint fp("storage.table.insert");
+  Status st = session_->RunSql("INSERT INTO nums VALUES (9);").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(FailPoints::IsInjected(st));
+  FailPoints::Instance().Disarm("storage.table.insert");
+  ASSERT_OK(session_->RunSql("INSERT INTO nums VALUES (9);").status());
+}
+
+TEST_F(FailPointEngineTest, EngineRetriesTransientScanFault) {
+  // First scan check fails with a retryable code; the engine re-runs the
+  // plan and the query succeeds without the caller seeing the fault.
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "exec.scan.next=times(1):unavailable"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       session_->Query("SELECT SUM(v) FROM nums"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 6);
+  EXPECT_EQ(db_.robustness().transient_retries, 1);
+}
+
+TEST_F(FailPointEngineTest, EngineGivesUpOnPersistentFault) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "exec.scan.next=always:unavailable"));
+  Status st = session_->Query("SELECT SUM(v) FROM nums").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable());
+  // Initial run + kTransientRetries re-runs, all spent.
+  EXPECT_EQ(db_.robustness().transient_retries, QueryEngine::kTransientRetries);
+}
+
+TEST_F(FailPointEngineTest, NonRetryableFaultIsNotRetried) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("exec.scan.next=always"));
+  Status st = session_->Query("SELECT SUM(v) FROM nums").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(db_.robustness().transient_retries, 0);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,313 @@
+// Guarded-rewrite fallback tests: an Aggify-rewritten query that fails at
+// runtime (injected fault) transparently re-executes the original cursor
+// loop with identical results; opt-in verify mode runs both paths and counts
+// mismatches; the client retry path absorbs transient faults and surfaces
+// kUnavailable when exhausted.
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "aggregates/aggregate_function.h"
+#include "client/client_app.h"
+#include "common/failpoint.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// ---- Fallback equivalence corpus ----
+
+struct CorpusProgram {
+  const char* name;
+  const char* create_sql;
+};
+
+const CorpusProgram kCorpus[] = {
+    {"sum_all", R"(
+      CREATE FUNCTION sum_all() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @s INT = 0;
+        DECLARE c CURSOR FOR SELECT v FROM nums;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @s = @s + @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @s;
+      END
+    )"},
+    {"last_ordered", R"(
+      CREATE FUNCTION last_ordered() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @last INT = -1;
+        DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @last = @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @last;
+      END
+    )"},
+    {"cond_count", R"(
+      CREATE FUNCTION cond_count() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @n INT = 0;
+        DECLARE c CURSOR FOR SELECT v FROM nums;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@x > 2)
+            SET @n = @n + 1;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @n;
+      END
+    )"},
+    {"min_val", R"(
+      CREATE FUNCTION min_val() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @m INT = 999999;
+        DECLARE c CURSOR FOR SELECT v FROM nums;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          IF (@x < @m)
+            SET @m = @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @m;
+      END
+    )"},
+};
+
+class FallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(
+        "CREATE TABLE nums (v INT, grp INT); "
+        "INSERT INTO nums VALUES (3, 1), (1, 1), (2, 1), (9, 2), (7, 2);"));
+    db_.robustness().Reset();
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(FallbackTest, InjectedAggregateFaultFallsBackWithIdenticalResults) {
+  // Baselines from the un-rewritten loops.
+  std::vector<int64_t> expected;
+  for (const auto& p : kCorpus) {
+    ASSERT_OK(session_->RunSql(p.create_sql));
+    ASSERT_OK_AND_ASSIGN(Value v, session_->Call(p.name, {}));
+    expected.push_back(v.int_value());
+  }
+  Aggify aggify(&db_);
+  for (const auto& p : kCorpus) {
+    ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction(p.name));
+    ASSERT_EQ(report.loops_rewritten, 1) << p.name;
+  }
+  // Every Accumulate fails: the rewritten query can never finish, so every
+  // call must degrade to the original loop and still agree with baseline.
+  ScopedFailPoint fp("exec.agg.accumulate");
+  for (size_t i = 0; i < std::size(kCorpus); ++i) {
+    ASSERT_OK_AND_ASSIGN(Value v, session_->Call(kCorpus[i].name, {}));
+    EXPECT_EQ(v.int_value(), expected[i]) << kCorpus[i].name;
+  }
+  const RobustnessStats& rs = db_.robustness();
+  EXPECT_EQ(rs.fallbacks_taken, static_cast<int64_t>(std::size(kCorpus)));
+  EXPECT_EQ(rs.fallback_successes, rs.fallbacks_taken);
+  EXPECT_GE(rs.rewrite_exec_failures, rs.fallbacks_taken);
+}
+
+TEST_F(FallbackTest, NoFaultMeansNoFallback) {
+  ASSERT_OK(session_->RunSql(kCorpus[0].create_sql));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("sum_all", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK(aggify.RewriteFunction("sum_all").status());
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("sum_all", {}));
+  EXPECT_EQ(after.int_value(), before.int_value());
+  EXPECT_EQ(db_.robustness().fallbacks_taken, 0);
+  EXPECT_EQ(db_.robustness().rewrite_exec_failures, 0);
+}
+
+TEST_F(FallbackTest, UnguardedRewriteStillSurfacesFault) {
+  ASSERT_OK(session_->RunSql(kCorpus[0].create_sql));
+  AggifyOptions options;
+  options.guard_rewrites = false;
+  Aggify aggify(&db_, options);
+  ASSERT_OK(aggify.RewriteFunction("sum_all").status());
+  ScopedFailPoint fp("exec.agg.accumulate");
+  Status st = session_->Call("sum_all", {}).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(FailPoints::IsInjected(st));
+  EXPECT_EQ(db_.robustness().fallbacks_taken, 0);
+}
+
+// A deliberately wrong aggregate used to sabotage a synthesized one.
+class BrokenAggregate : public AggregateFunction {
+ public:
+  explicit BrokenAggregate(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  int arity() const override { return -1; }
+  Result<std::unique_ptr<AggregateState>> Init() const override {
+    return std::make_unique<AggregateState>();
+  }
+  Status Accumulate(AggregateState*, const std::vector<Value>&,
+                    ExecContext*) const override {
+    return Status::OK();
+  }
+  Result<Value> Terminate(AggregateState*, ExecContext*) const override {
+    return Value::Int(-12345);
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST_F(FallbackTest, VerifyModeDetectsMismatchAndKeepsLoopResults) {
+  ASSERT_OK(session_->RunSql(kCorpus[0].create_sql));
+  ASSERT_OK_AND_ASSIGN(Value baseline, session_->Call("sum_all", {}));
+  AggifyOptions options;
+  options.verify_rewrite = true;
+  Aggify aggify(&db_, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_all"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  // Sanity: with a correct aggregate, verify finds no mismatch.
+  ASSERT_OK_AND_ASSIGN(Value ok_v, session_->Call("sum_all", {}));
+  EXPECT_EQ(ok_v.int_value(), baseline.int_value());
+  EXPECT_GE(db_.robustness().verify_runs, 1);
+  EXPECT_EQ(db_.robustness().verify_mismatches, 0);
+  // Sabotage the synthesized aggregate: verify must flag the mismatch and
+  // the function must still return the loop's (correct) answer.
+  const std::string& agg_name = report.rewrites[0].aggregate_name;
+  db_.catalog().RegisterAggregate(agg_name,
+                                  std::make_shared<BrokenAggregate>(agg_name));
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_all", {}));
+  EXPECT_EQ(v.int_value(), baseline.int_value());
+  EXPECT_GE(db_.robustness().verify_mismatches, 1);
+}
+
+// ---- Client retry path ----
+
+class ClientRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Session setup(&db_);
+    ASSERT_OK(setup.RunSql(
+        "CREATE TABLE items (v INT); "
+        "INSERT INTO items VALUES (1), (2), (3), (4), (5), (6);"));
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  Database db_;
+};
+
+TEST_F(ClientRetryTest, TransientFaultsAreAbsorbedByRetries) {
+  // The first two sends of the statement time out; the retry loop absorbs
+  // them and the program still completes with the right answer.
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "client.statement=times(2):timeout"));
+  ClientApp app(&db_);
+  ASSERT_OK_AND_ASSIGN(auto r, app.RunSql("SELECT v FROM items;"));
+  EXPECT_EQ(r.network.rows_transferred, 6);
+  EXPECT_EQ(r.network.retries, 2);
+  EXPECT_EQ(r.network.timeouts, 2);
+  // 1 logical round trip + 2 re-sends.
+  EXPECT_EQ(r.network.round_trips, 3);
+  EXPECT_GT(r.network.backoff_ms, 0.0);
+}
+
+TEST_F(ClientRetryTest, ExhaustedRetriesSurfaceUnavailable) {
+  NetworkModel lossy;
+  lossy.drop_probability = 1.0;  // every round trip is dropped
+  ClientApp app(&db_, lossy);
+  Status st = app.RunSql("SELECT v FROM items;").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable());
+  const NetworkStats& stats = app.interpreter().stats();
+  EXPECT_EQ(stats.drops, app.interpreter().retry_policy().max_attempts);
+  EXPECT_EQ(stats.retries, app.interpreter().retry_policy().max_attempts - 1);
+}
+
+TEST_F(ClientRetryTest, LossyFetchPathRetriesPerBatch) {
+  // Fail the first fetch send only: the batch is re-sent once and the
+  // cursor program completes unchanged.
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "client.fetch=times(1):unavailable"));
+  ClientApp app(&db_);
+  ASSERT_OK_AND_ASSIGN(auto r, app.RunSql(R"(
+    DECLARE @x INT;
+    DECLARE @s INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM items;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @s = @s + @x;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c; DEALLOCATE c;
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value s, r.env->Get("@s"));
+  EXPECT_EQ(s.int_value(), 21);
+  EXPECT_EQ(r.network.retries, 1);
+  // 7 fault-free round trips (1 statement + 6 fetches) + 1 re-send.
+  EXPECT_EQ(r.network.round_trips, 8);
+}
+
+TEST_F(ClientRetryTest, DegenerateModelIsClampedNotNegative) {
+  NetworkModel broken;
+  broken.rows_per_fetch = 0;  // would run the batch counter negative
+  broken.rtt_ms = -1.0;
+  ASSERT_FALSE(broken.Validate().ok());
+  ClientApp app(&db_, broken);
+  EXPECT_EQ(app.interpreter().model().rows_per_fetch, 1);
+  EXPECT_GT(app.interpreter().model().rtt_ms, 0.0);
+  ASSERT_OK_AND_ASSIGN(auto r, app.RunSql(R"(
+    DECLARE @x INT;
+    DECLARE @n INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM items;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @n = @n + 1;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c; DEALLOCATE c;
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value n, r.env->Get("@n"));
+  EXPECT_EQ(n.int_value(), 6);
+}
+
+TEST_F(ClientRetryTest, ValidateAcceptsDefaultsRejectsNonsense) {
+  EXPECT_OK(NetworkModel{}.Validate());
+  NetworkModel m;
+  m.drop_probability = 1.5;
+  EXPECT_FALSE(m.Validate().ok());
+  EXPECT_EQ(m.Clamped().drop_probability, 1.0);
+  m = NetworkModel{};
+  m.bandwidth_mbps = 0.0;
+  EXPECT_FALSE(m.Validate().ok());
+  EXPECT_GT(m.Clamped().bandwidth_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -285,6 +285,8 @@ TEST_F(RewriteEdgeTest, OrderedRewritePlansAStreamAggregate) {
   for (const auto& s : def->body->statements) {
     if (s->kind == StmtKind::kMultiAssign) {
       ma = static_cast<const MultiAssignStmt*>(s.get());
+    } else if (s->kind == StmtKind::kGuardedRewrite) {
+      ma = static_cast<const GuardedRewriteStmt*>(s.get())->rewritten.get();
     }
   }
   ASSERT_NE(ma, nullptr);
