@@ -1,0 +1,26 @@
+-- Figure 1's shape: a guarded-minimum scan (cheapest offer per part). The
+-- classifier recognizes the NULL-guarded compare-and-keep as a min fold, so
+-- the loop is order-insensitive and mergeable even without an ORDER BY.
+CREATE TABLE offers (part_id INT, supplier VARCHAR(16), cost FLOAT);
+INSERT INTO offers VALUES
+  (10, 'acme', 4.75), (10, 'globex', 3.20), (10, 'initech', 5.10),
+  (20, 'acme', 0.99), (20, 'globex', 1.10);
+
+CREATE FUNCTION min_cost(@pid INT) RETURNS FLOAT AS
+BEGIN
+  DECLARE @cost FLOAT;
+  DECLARE @best FLOAT;
+  DECLARE offer_cur CURSOR FOR
+    SELECT cost FROM offers WHERE part_id = @pid;
+  OPEN offer_cur;
+  FETCH NEXT FROM offer_cur INTO @cost;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    IF (@best IS NULL OR @cost < @best)
+      SET @best = @cost;
+    FETCH NEXT FROM offer_cur INTO @cost;
+  END
+  CLOSE offer_cur;
+  DEALLOCATE offer_cur;
+  RETURN @best;
+END

@@ -1,0 +1,25 @@
+-- A genuinely order-sensitive body: last value along the cursor's ORDER BY
+-- wins. Aggify still rewrites it, but the lint report carries AGG204 — the
+-- Eq. 6 sort is retained and the aggregate streams in cursor order.
+CREATE TABLE status_log (acct INT, at_day INT, status VARCHAR(8));
+INSERT INTO status_log VALUES
+  (7, 1, 'new'), (7, 5, 'active'), (7, 9, 'closed'),
+  (8, 2, 'new'), (8, 3, 'active');
+
+CREATE FUNCTION latest_status(@acct INT) RETURNS VARCHAR(8) AS
+BEGIN
+  DECLARE @s VARCHAR(8);
+  DECLARE @latest VARCHAR(8);
+  DECLARE log_cur CURSOR FOR
+    SELECT status FROM status_log WHERE acct = @acct ORDER BY at_day;
+  OPEN log_cur;
+  FETCH NEXT FROM log_cur INTO @s;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @latest = @s;
+    FETCH NEXT FROM log_cur INTO @s;
+  END
+  CLOSE log_cur;
+  DEALLOCATE log_cur;
+  RETURN @latest;
+END

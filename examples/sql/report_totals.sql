@@ -1,0 +1,25 @@
+-- Canonical Aggify target: an ordered cursor whose body is a pure sum fold.
+-- `aggify_cli --lint` proves the body order-insensitive (AGG202: the Eq. 6
+-- sort is elided) and decomposable (AGG203: a Merge is derived).
+CREATE TABLE order_lines (order_id INT, qty INT, price FLOAT);
+INSERT INTO order_lines VALUES
+  (1, 3, 9.50), (1, 1, 2.25), (2, 7, 1.10), (2, 2, 30.00), (3, 5, 4.40);
+
+CREATE FUNCTION order_total(@oid INT) RETURNS FLOAT AS
+BEGIN
+  DECLARE @qty INT;
+  DECLARE @price FLOAT;
+  DECLARE @total FLOAT = 0.0;
+  DECLARE line_cur CURSOR FOR
+    SELECT qty, price FROM order_lines WHERE order_id = @oid ORDER BY price;
+  OPEN line_cur;
+  FETCH NEXT FROM line_cur INTO @qty, @price;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @total = @total + @qty * @price;
+    FETCH NEXT FROM line_cur INTO @qty, @price;
+  END
+  CLOSE line_cur;
+  DEALLOCATE line_cur;
+  RETURN @total;
+END

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/eval.h"
+
 namespace aggify {
 
 namespace {
@@ -16,7 +18,8 @@ Status CheckBodyStmt(const Stmt& stmt) {
     case StmtKind::kInsert: {
       const auto& s = static_cast<const InsertStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return Status::NotApplicable(
+        return NotApplicableDiag(
+            DiagCode::kPersistentInsert,
             "loop body INSERTs into persistent table '" + s.table + "'");
       }
       return Status::OK();
@@ -24,7 +27,8 @@ Status CheckBodyStmt(const Stmt& stmt) {
     case StmtKind::kUpdate: {
       const auto& s = static_cast<const UpdateStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return Status::NotApplicable(
+        return NotApplicableDiag(
+            DiagCode::kPersistentUpdate,
             "loop body UPDATEs persistent table '" + s.table + "'");
       }
       return Status::OK();
@@ -32,13 +36,15 @@ Status CheckBodyStmt(const Stmt& stmt) {
     case StmtKind::kDelete: {
       const auto& s = static_cast<const DeleteStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return Status::NotApplicable(
+        return NotApplicableDiag(
+            DiagCode::kPersistentDelete,
             "loop body DELETEs from persistent table '" + s.table + "'");
       }
       return Status::OK();
     }
     case StmtKind::kReturn:
-      return Status::NotApplicable(
+      return NotApplicableDiag(
+          DiagCode::kReturnInLoop,
           "loop body contains RETURN (early function exit)");
     case StmtKind::kBlock: {
       const auto& b = static_cast<const BlockStmt&>(stmt);
@@ -65,15 +71,55 @@ Status CheckBodyStmt(const Stmt& stmt) {
   }
 }
 
+/// Soundness check the original prototype skipped entirely: a loop body
+/// calling a UDF can reach persistent-state DML interprocedurally, which the
+/// synthesized aggregate must not execute. The call graph's effect fixpoint
+/// decides; anything it cannot resolve is rejected too.
+Status CheckBodyCalls(const BlockStmt& body, const Catalog* catalog) {
+  std::set<std::string> called;
+  CollectCalledFunctions(body, &called);
+  if (called.empty()) return Status::OK();
+
+  CallGraph graph;
+  if (catalog != nullptr) {
+    graph = CallGraph::Build(*catalog, IsScalarBuiltinName);
+  }
+  for (const std::string& name : called) {
+    if (IsScalarBuiltinName(name)) continue;
+    if (catalog == nullptr) {
+      return NotApplicableDiag(
+          DiagCode::kUnknownFunctionCall,
+          "loop body calls " + name +
+              " and no catalog is available to prove it pure");
+    }
+    FunctionEffects effects = graph.EffectsOf(name);
+    if (effects.level == EffectLevel::kWritesPersistentState) {
+      return NotApplicableDiag(
+          DiagCode::kImpureUdfCall,
+          "loop body calls " + name + ", which writes persistent state (" +
+              effects.evidence + ")");
+    }
+    if (effects.level == EffectLevel::kUnknown) {
+      return NotApplicableDiag(
+          DiagCode::kUnknownFunctionCall,
+          "loop body calls " + name + ", whose effects are unknown (" +
+              effects.evidence + ")");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Status CheckApplicability(const CursorLoopInfo& loop) {
+Status CheckApplicability(const CursorLoopInfo& loop, const Catalog* catalog) {
   if (loop.query().select_star) {
-    return Status::NotApplicable(
+    return NotApplicableDiag(
+        DiagCode::kSelectStarCursor,
         "cursor query uses SELECT *; the rewrite needs a named column list");
   }
   if (loop.priming_fetch->into.size() > loop.query().items.size()) {
-    return Status::NotApplicable(
+    return NotApplicableDiag(
+        DiagCode::kFetchArityMismatch,
         "FETCH INTO has more variables than the cursor query projects");
   }
   // The trailing fetch must assign the same variables as the priming fetch,
@@ -83,12 +129,14 @@ Status CheckApplicability(const CursorLoopInfo& loop) {
     if (s->kind == StmtKind::kFetch) {
       const auto& f = static_cast<const FetchStmt&>(*s);
       if (f.cursor == loop.cursor_name && f.into != loop.priming_fetch->into) {
-        return Status::NotApplicable(
+        return NotApplicableDiag(
+            DiagCode::kInconsistentFetchVars,
             "FETCH statements on the cursor assign different variables");
       }
     }
   }
-  return CheckBodyStmt(body);
+  RETURN_NOT_OK(CheckBodyStmt(body));
+  return CheckBodyCalls(body, catalog);
 }
 
 namespace {
@@ -303,9 +351,10 @@ Result<LoopSets> ComputeLoopSets(const BlockStmt& program_body,
   // after the loop — outside the model.
   for (const auto& v : sets.v_term) {
     if (declared_in_loop.count(v) != 0) {
-      return Status::NotApplicable(
+      return NotApplicableDiag(
+          DiagCode::kLoopLocalObservable,
           "variable " + v +
-          " is declared inside the loop but observable after it");
+              " is declared inside the loop but observable after it");
     }
   }
 
@@ -323,8 +372,9 @@ Result<LoopSets> ComputeLoopSets(const BlockStmt& program_body,
   // reproduce (fetch vars are not fields by Eq. 1).
   for (const auto& v : sets.v_fetch) {
     if (live_at_exit.count(v) != 0) {
-      return Status::NotApplicable("fetch variable " + v +
-                                   " is live after the loop");
+      return NotApplicableDiag(
+          DiagCode::kFetchVarLiveAfterLoop,
+          "fetch variable " + v + " is live after the loop");
     }
   }
   return sets;

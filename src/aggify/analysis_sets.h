@@ -4,6 +4,8 @@
 
 #include "aggify/cursor_loop.h"
 #include "analysis/dataflow.h"
+#include "analysis/diagnostics.h"
+#include "analysis/purity.h"
 #include "storage/catalog.h"
 
 namespace aggify {
@@ -33,8 +35,18 @@ struct LoopSets {
 /// \brief §4.2 applicability: rejects loops containing DML against
 /// persistent tables, RETURN statements, transactions-like constructs, or a
 /// SELECT * cursor query (positional fetch against an unknown shape).
-/// Returns OK when Aggify may rewrite; NotApplicable with a reason otherwise.
-Status CheckApplicability(const CursorLoopInfo& loop);
+///
+/// UDF calls inside the body are vetted through the interprocedural purity
+/// analysis over `catalog` (see analysis/purity.h): calls with proven
+/// persistent-state DML — directly or transitively — are rejected, as are
+/// calls the analysis cannot resolve; proven-pure / read-only / temp-writing
+/// calls are accepted. With `catalog == nullptr` every non-built-in call is
+/// conservatively rejected.
+///
+/// Returns OK when Aggify may rewrite; NotApplicable with a
+/// diagnostic-coded reason (analysis/diagnostics.h) otherwise.
+Status CheckApplicability(const CursorLoopInfo& loop,
+                          const Catalog* catalog = nullptr);
 
 /// \brief Runs CFG construction + data-flow analyses on the whole enclosing
 /// body and evaluates Eqs. 1–4 and V_term for `loop`.

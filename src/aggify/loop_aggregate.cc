@@ -1,5 +1,7 @@
 #include "aggify/loop_aggregate.h"
 
+#include <map>
+
 #include "common/failpoint.h"
 #include "procedural/interpreter.h"
 
@@ -12,6 +14,10 @@ struct LoopAggState : AggregateState {
   /// Per-row scope reused across Accumulate calls (fetch variables are
   /// re-bound each row; Δ-local declarations are overwritten by Δ itself).
   VariableEnv row_env{&fields};
+  /// Loop-entry values captured at first Accumulate (the V_init /
+  /// V_extra_init arguments). Merge subtracts this shared baseline from sum
+  /// folds so it is not counted once per partial state.
+  std::map<std::string, Value> baseline;
   bool initialized = false;
   bool done = false;  // BREAK executed; ignore further rows
 };
@@ -20,8 +26,11 @@ struct LoopAggState : AggregateState {
 
 LoopAggregate::LoopAggregate(std::string name,
                              std::shared_ptr<const BlockStmt> body,
-                             LoopSets sets)
-    : name_(std::move(name)), body_(std::move(body)), sets_(std::move(sets)) {}
+                             LoopSets sets, BodyClassification classification)
+    : name_(std::move(name)),
+      body_(std::move(body)),
+      sets_(std::move(sets)),
+      classification_(std::move(classification)) {}
 
 Result<std::unique_ptr<AggregateState>> LoopAggregate::Init() const {
   // Field initialization is deferred to the first Accumulate (§5.2).
@@ -49,6 +58,7 @@ Status LoopAggregate::Accumulate(AggregateState* state,
       for (size_t i = 0; i < sets_.p_accum.size(); ++i) {
         if (sets_.p_accum[i] == f) {
           s->fields.Declare(f, args[i]);
+          s->baseline[f] = args[i];
           break;
         }
       }
@@ -56,6 +66,7 @@ Status LoopAggregate::Accumulate(AggregateState* state,
     for (size_t j = 0; j < sets_.v_extra_init.size(); ++j) {
       s->fields.Declare(sets_.v_extra_init[j],
                         args[sets_.p_accum.size() + j]);
+      s->baseline[sets_.v_extra_init[j]] = args[sets_.p_accum.size() + j];
     }
     s->initialized = true;
   }
@@ -84,6 +95,70 @@ Status LoopAggregate::Accumulate(AggregateState* state,
   ctx->set_frame(saved_frame);
   RETURN_NOT_OK(outcome.status());
   if (*outcome == Interpreter::LoopBodyOutcome::kBreak) s->done = true;
+  return Status::OK();
+}
+
+Status LoopAggregate::Merge(AggregateState* state, AggregateState* other,
+                            ExecContext* ctx) const {
+  if (!classification_.decomposable) {
+    // Fall back to the contract's NotSupported — callers must gate on
+    // SupportsMerge().
+    return AggregateFunction::Merge(state, other, ctx);
+  }
+  auto* s = static_cast<LoopAggState*>(state);
+  auto* o = static_cast<LoopAggState*>(other);
+  // BREAK bodies never pass the decomposability proof, so `done` cannot be
+  // set on either side here.
+  if (!o->initialized) return Status::OK();
+  if (!s->initialized) {
+    // Zero rows on this side: adopt the other partial state wholesale.
+    for (const auto& n : o->fields.LocalNames()) {
+      ASSIGN_OR_RETURN(Value v, o->fields.Get(n));
+      s->fields.Declare(n, std::move(v));
+    }
+    s->baseline = o->baseline;
+    s->initialized = true;
+    return Status::OK();
+  }
+  for (const auto& fold : classification_.folds) {
+    ASSIGN_OR_RETURN(Value a, s->fields.Get(fold.field));
+    ASSIGN_OR_RETURN(Value b, o->fields.Get(fold.field));
+    switch (fold.kind) {
+      case FoldKind::kSum: {
+        // Both partials started from the same loop-entry baseline c (V_init
+        // arguments are loop-invariant): merged = a + (b - c). NULLs
+        // propagate exactly as in the serial fold.
+        Value c = Value::Null();
+        auto it = s->baseline.find(fold.field);
+        if (it != s->baseline.end()) c = it->second;
+        ASSIGN_OR_RETURN(Value delta, Subtract(b, c));
+        ASSIGN_OR_RETURN(Value merged, Add(a, delta));
+        s->fields.Declare(fold.field, std::move(merged));
+        break;
+      }
+      case FoldKind::kGuardedMin:
+      case FoldKind::kGuardedMax: {
+        // Compare-and-keep is idempotent, so the shared baseline cancels. A
+        // NULL side means that partial's guard never fired; keeping the
+        // other side matches the serial loop (NULL comparisons never fire).
+        if (b.is_null()) break;
+        if (a.is_null()) {
+          s->fields.Declare(fold.field, std::move(b));
+          break;
+        }
+        ASSIGN_OR_RETURN(Value cmp, Compare(b, a));
+        bool replace = fold.kind == FoldKind::kGuardedMin
+                           ? cmp.int_value() < 0
+                           : cmp.int_value() > 0;
+        if (replace) s->fields.Declare(fold.field, std::move(b));
+        break;
+      }
+      default:
+        return Status::Internal("Merge invoked on non-mergeable fold " +
+                                std::string(FoldKindName(fold.kind)) +
+                                " of " + fold.field + " in " + name_);
+    }
+  }
   return Status::OK();
 }
 
@@ -143,6 +218,30 @@ std::string LoopAggregate::GenerateSource() const {
   out += "    -- loop body Δ (FETCH removed)\n";
   out += body_->ToString(2);
   out += "  END\n";
+  if (classification_.decomposable) {
+    out += "  -- derived from the decomposability proof (fold classifier)\n";
+    out += "  Merge(other) BEGIN\n";
+    for (const auto& fold : classification_.folds) {
+      const std::string& f = fold.field;
+      switch (fold.kind) {
+        case FoldKind::kSum:
+          out += "    SET " + f + " = " + f + " + other." + f + " - init." +
+                 f + ";\n";
+          break;
+        case FoldKind::kGuardedMin:
+          out += "    IF (other." + f + " < " + f + ") SET " + f +
+                 " = other." + f + ";\n";
+          break;
+        case FoldKind::kGuardedMax:
+          out += "    IF (other." + f + " > " + f + ") SET " + f +
+                 " = other." + f + ";\n";
+          break;
+        default:
+          break;
+      }
+    }
+    out += "  END\n";
+  }
   out += "  Terminate() BEGIN\n    RETURN (";
   for (size_t i = 0; i < sets_.v_term.size(); ++i) {
     if (i > 0) out += ", ";

@@ -12,8 +12,16 @@
 //   Terminate  returns the V_term tuple as a Record — or NULL when no row
 //            was ever accumulated, signalling the rewrite to leave the
 //            target variables untouched (zero-iteration loop semantics)
-//   Merge    unsupported: an arbitrary loop body is not decomposable (§3.1
-//            says Merge is optional)
+//   Merge    derived from the decomposability proof (analysis/
+//            fold_classifier.h) when every accumulator is a mergeable
+//            commutative fold; unsupported otherwise (§3.1 says Merge is
+//            optional)
+//
+// The synthesized Merge leans on one invariant: V_init arguments are
+// loop-invariant, so every partial state initialized itself from the same
+// loop-entry baseline c. Sum folds then merge as a + b - c (the baseline
+// would otherwise be counted twice) and guarded min/max folds merge by the
+// same compare-and-keep guard (idempotent, so the shared baseline cancels).
 //
 // BREAK in Δ sets a `done` flag; subsequent Accumulate calls are no-ops,
 // which is exactly the original loop's "stop processing further rows".
@@ -23,6 +31,7 @@
 
 #include "aggify/analysis_sets.h"
 #include "aggregates/aggregate_function.h"
+#include "analysis/fold_classifier.h"
 
 namespace aggify {
 
@@ -30,8 +39,11 @@ class LoopAggregate : public AggregateFunction {
  public:
   /// \param body loop body Δ with FETCH statements on the loop's cursor
   /// removed; shared because the catalog-held aggregate outlives the rewrite.
+  /// \param classification the fold classifier's verdict on `body`; defaults
+  /// to the conservative "opaque" result (order-sensitive iff the cursor was
+  /// ordered, no Merge).
   LoopAggregate(std::string name, std::shared_ptr<const BlockStmt> body,
-                LoopSets sets);
+                LoopSets sets, BodyClassification classification = {});
 
   const std::string& name() const override { return name_; }
   int arity() const override {
@@ -43,20 +55,27 @@ class LoopAggregate : public AggregateFunction {
                     ExecContext* ctx) const override;
   Result<Value> Terminate(AggregateState* state,
                           ExecContext* ctx) const override;
-  bool SupportsMerge() const override { return false; }
-  bool IsOrderSensitive() const override { return sets_.ordered; }
+  Status Merge(AggregateState* state, AggregateState* other,
+               ExecContext* ctx) const override;
+  bool SupportsMerge() const override { return classification_.decomposable; }
+  bool IsOrderSensitive() const override {
+    return sets_.ordered && !classification_.order_insensitive;
+  }
 
   const LoopSets& sets() const { return sets_; }
   const BlockStmt& body() const { return *body_; }
+  const BodyClassification& classification() const { return classification_; }
 
   /// \brief Renders the aggregate definition in the paper's Figure 5/6
-  /// style — what the generated C# / T-SQL artifact would look like.
+  /// style — what the generated C# / T-SQL artifact would look like. When
+  /// the decomposability proof holds, the derived Merge is included.
   std::string GenerateSource() const;
 
  private:
   std::string name_;
   std::shared_ptr<const BlockStmt> body_;
   LoopSets sets_;
+  BodyClassification classification_;
 };
 
 }  // namespace aggify

@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "exec/eval.h"
+
 namespace aggify {
 
 namespace {
@@ -26,11 +28,16 @@ void StripFetches(BlockStmt* body, const std::string& cursor) {
 /// outer aggregate arguments can reference them unambiguously.
 std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
                                                 const LoopSets& sets,
-                                                const std::string& agg_name) {
+                                                const std::string& agg_name,
+                                                bool elide_sort) {
   auto derived = loop.query().Clone();
   for (size_t i = 0; i < derived->items.size(); ++i) {
     derived->items[i].alias = "c" + std::to_string(i);
   }
+  // The fold classifier proved the body order-insensitive: the derived
+  // query's ORDER BY (and with it Eq. 6's forced sort) is semantically inert
+  // and dropped, freeing the planner to hash-aggregate and parallelize.
+  if (elide_sort) derived->order_by.clear();
 
   // Map fetch variable -> projected column name (positional, like FETCH).
   auto column_for_fetch_var = [&](const std::string& var) -> std::string {
@@ -64,8 +71,9 @@ std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
   outer->items.push_back(std::move(item));
   outer->from.push_back(TableRef::Derived(std::move(derived), "q"));
   // Eq. 6: ORDER BY in Q forces the streaming aggregate over the sorted
-  // derived input so Accumulate sees rows in cursor order.
-  outer->force_stream_aggregate = sets.ordered;
+  // derived input so Accumulate sees rows in cursor order — unless the
+  // order-insensitivity proof discharged the obligation.
+  outer->force_stream_aggregate = sets.ordered && !elide_sort;
   return outer;
 }
 
@@ -157,15 +165,18 @@ Status CheckFetchShape(const CursorLoopInfo& loop) {
   };
   count_fetches(loop.body());
   if (count != 1) {
-    return Status::NotApplicable(
+    return NotApplicableDiag(
+        DiagCode::kNonCanonicalFetch,
         "loop advances its cursor with " + std::to_string(count) +
-        " FETCH statements; the canonical single trailing FETCH is required");
+            " FETCH statements; the canonical single trailing FETCH is "
+            "required");
   }
   const auto& stmts = loop.body().statements;
   if (stmts.empty() || stmts.back()->kind != StmtKind::kFetch ||
       static_cast<const FetchStmt&>(*stmts.back()).cursor !=
           loop.cursor_name) {
-    return Status::NotApplicable(
+    return NotApplicableDiag(
+        DiagCode::kNonCanonicalFetch,
         "the cursor FETCH is not the last statement of the loop body");
   }
   return Status::OK();
@@ -182,13 +193,14 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
   std::vector<CursorLoopInfo> loops = FindCursorLoops(root);
   for (CursorLoopInfo& loop : loops) {
     if (skipped_loops->count(loop.loop) != 0) continue;
+    std::string loc = name_hint + ":" + loop.cursor_name;
 
-    Status applicable = CheckApplicability(loop);
+    Status applicable = CheckApplicability(loop, &db_->catalog());
     if (applicable.ok()) applicable = CheckFetchShape(loop);
     if (!applicable.ok()) {
       if (!applicable.IsNotApplicable()) return applicable;
       skipped_loops->insert(loop.loop);
-      report->skipped.push_back(applicable.message());
+      report->skipped.push_back(DiagnosticFromStatus(applicable, loc));
       continue;
     }
 
@@ -196,7 +208,8 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     if (!sets_result.ok()) {
       if (!sets_result.status().IsNotApplicable()) return sets_result.status();
       skipped_loops->insert(loop.loop);
-      report->skipped.push_back(sets_result.status().message());
+      report->skipped.push_back(
+          DiagnosticFromStatus(sets_result.status(), loc));
       continue;
     }
     LoopSets sets = std::move(sets_result).ValueOrDie();
@@ -207,13 +220,33 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     StmtPtr body_clone = loop.loop->body->Clone();
     auto* body_block = static_cast<BlockStmt*>(body_clone.release());
     StripFetches(body_block, loop.cursor_name);
+
+    // Semantic analyses over the stripped body: order-sensitivity and
+    // decomposability. Calls proven pure or read-only by the purity fixpoint
+    // count as row-pure fold inputs.
+    CallGraph call_graph =
+        CallGraph::Build(db_->catalog(), IsScalarBuiltinName);
+    auto pure_call = [&](const std::string& fn) {
+      return IsScalarBuiltinName(fn) ||
+             call_graph.EffectsOf(fn).level <= EffectLevel::kReadsDatabase;
+    };
+    std::set<std::string> field_set(sets.v_fields.begin(),
+                                    sets.v_fields.end());
+    std::set<std::string> fetch_var_set(sets.v_fetch.begin(),
+                                        sets.v_fetch.end());
+    BodyClassification classification =
+        ClassifyLoopBody(*body_block, field_set, fetch_var_set, pure_call);
+    if (!options_.synthesize_merge) classification.decomposable = false;
+    bool elide_sort = sets.ordered && classification.order_insensitive &&
+                      options_.elide_order_insensitive_sort;
+
     std::shared_ptr<const BlockStmt> shared_body(body_block);
     auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
-                                                     sets);
+                                                     sets, classification);
     db_->catalog().RegisterAggregate(agg_name, aggregate);
 
     // Eq. 5/6 rewrite.
-    auto query = BuildRewrittenQuery(loop, sets, agg_name);
+    auto query = BuildRewrittenQuery(loop, sets, agg_name, elide_sort);
     auto multi_assign =
         std::make_unique<MultiAssignStmt>(sets.v_term, std::move(query));
 
@@ -237,9 +270,34 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     LoopRewrite record;
     record.aggregate_name = agg_name;
     record.sets = sets;
+    record.classification = classification;
+    record.sort_elided = elide_sort;
+    record.merge_supported = classification.decomposable;
     record.rewritten_statement = replacement->ToString(0);
     record.aggregate_source = aggregate->GenerateSource();
     report->rewrites.push_back(std::move(record));
+
+    report->notes.push_back(MakeDiagnostic(
+        DiagCode::kRewritten, loc,
+        "cursor loop rewritten into aggregate " + agg_name));
+    if (elide_sort) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kSortElided, loc,
+          "body proven order-insensitive (" + classification.reason +
+              "); Eq. 6 sort elided"));
+    } else if (sets.ordered) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kOrderEnforced, loc,
+          "ordered cursor kept its sort: " +
+              (classification.order_insensitive
+                   ? std::string("elision disabled by options")
+                   : classification.reason)));
+    }
+    if (classification.decomposable) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kMergeSynthesized, loc,
+          "decomposability proof held; derived Merge attached"));
+    }
 
     // Surgery on the container block: replace the WHILE with the rewritten
     // statement; delete DECLARE CURSOR / OPEN / priming FETCH / CLOSE /

@@ -31,12 +31,25 @@ struct AggifyOptions {
   /// result mismatches in RobustnessStats (the loop's results win). Implies
   /// guard_rewrites.
   bool verify_rewrite = false;
+  /// Drop Eq. 6's forced Sort + StreamAggregate when the fold classifier
+  /// proves the loop body order-insensitive, enabling HashAggregate (and,
+  /// with a proven Merge, parallel partial aggregation). Ablation knob.
+  bool elide_order_insensitive_sort = true;
+  /// Attach the derived Merge when the decomposability proof holds.
+  /// Ablation knob: disabling keeps the aggregate serial.
+  bool synthesize_merge = true;
 };
 
 /// \brief What happened to one loop.
 struct LoopRewrite {
   std::string aggregate_name;
   LoopSets sets;
+  /// The fold classifier's verdict on the (FETCH-stripped) body.
+  BodyClassification classification;
+  /// The ordered cursor's Eq. 6 sort was provably unnecessary and dropped.
+  bool sort_elided = false;
+  /// The decomposability proof held: the aggregate carries a derived Merge.
+  bool merge_supported = false;
   /// The Eq. 5/6 statement that replaced the loop, as dialect text.
   std::string rewritten_statement;
   /// The synthesized aggregate, rendered in the paper's Figure 5/6 style.
@@ -47,8 +60,10 @@ struct AggifyReport {
   int loops_found = 0;
   int loops_rewritten = 0;
   std::vector<LoopRewrite> rewrites;
-  /// Reasons loops were left alone (applicability failures).
-  std::vector<std::string> skipped;
+  /// Why loops were left alone: one coded diagnostic per skipped loop.
+  std::vector<Diagnostic> skipped;
+  /// Facts proved about rewritten loops (sort elision, derived Merge, ...).
+  std::vector<Diagnostic> notes;
 };
 
 class Aggify {

@@ -1,0 +1,100 @@
+#include "analysis/diagnostics.h"
+
+#include <cstdlib>
+
+namespace aggify {
+
+std::string DiagCodeName(DiagCode code) {
+  return "AGG" + std::to_string(static_cast<int>(code));
+}
+
+const char* DiagCodeSlug(DiagCode code) {
+  switch (code) {
+    case DiagCode::kSelectStarCursor: return "select-star-cursor";
+    case DiagCode::kFetchArityMismatch: return "fetch-arity-mismatch";
+    case DiagCode::kInconsistentFetchVars: return "inconsistent-fetch-vars";
+    case DiagCode::kPersistentInsert: return "persistent-insert";
+    case DiagCode::kPersistentUpdate: return "persistent-update";
+    case DiagCode::kPersistentDelete: return "persistent-delete";
+    case DiagCode::kReturnInLoop: return "return-in-loop";
+    case DiagCode::kNonCanonicalFetch: return "non-canonical-fetch";
+    case DiagCode::kFetchVarLiveAfterLoop: return "fetch-var-live-after-loop";
+    case DiagCode::kLoopLocalObservable: return "loop-local-observable";
+    case DiagCode::kImpureUdfCall: return "impure-udf-call";
+    case DiagCode::kUnknownFunctionCall: return "unknown-function-call";
+    case DiagCode::kScriptError: return "script-error";
+    case DiagCode::kRewritten: return "rewritten";
+    case DiagCode::kSortElided: return "sort-elided";
+    case DiagCode::kMergeSynthesized: return "merge-synthesized";
+    case DiagCode::kOrderEnforced: return "order-enforced";
+  }
+  return "unknown";
+}
+
+DiagSeverity DiagCodeSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kImpureUdfCall:
+    case DiagCode::kScriptError:
+      return DiagSeverity::kError;
+    case DiagCode::kRewritten:
+    case DiagCode::kSortElided:
+    case DiagCode::kMergeSynthesized:
+    case DiagCode::kOrderEnforced:
+      return DiagSeverity::kNote;
+    default:
+      return DiagSeverity::kWarning;
+  }
+}
+
+const char* SeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError: return "error";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = loc + ": " + SeverityName(severity) + ": " + message +
+                    " [aggify-" + DiagCodeSlug(code) + "]";
+  if (!fixit.empty()) out += "\n  fix-it: " + fixit;
+  return out;
+}
+
+Status NotApplicableDiag(DiagCode code, const std::string& message) {
+  return Status::NotApplicable("[" + DiagCodeName(code) + "] " + message);
+}
+
+Diagnostic MakeDiagnostic(DiagCode code, std::string loc, std::string message,
+                          std::string fixit) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = DiagCodeSeverity(code);
+  d.loc = std::move(loc);
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  return d;
+}
+
+Diagnostic DiagnosticFromStatus(const Status& status, std::string loc,
+                                std::string fixit) {
+  const std::string& msg = status.message();
+  DiagCode code = DiagCode::kScriptError;
+  std::string text = msg;
+  if (msg.size() > 8 && msg[0] == '[' && msg.compare(1, 3, "AGG") == 0) {
+    size_t close = msg.find(']');
+    if (close != std::string::npos) {
+      int n = std::atoi(msg.substr(4, close - 4).c_str());
+      if (n >= 101 && n <= 299) {
+        code = static_cast<DiagCode>(n);
+        text = msg.substr(close + 1);
+        if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+      }
+    }
+  }
+  return MakeDiagnostic(code, std::move(loc), std::move(text),
+                        std::move(fixit));
+}
+
+}  // namespace aggify

@@ -1,0 +1,84 @@
+// Structured diagnostics for the Aggify analyses (clang-tidy style).
+//
+// Every applicability rejection, soundness rejection, and optimization note
+// carries a stable code (AGG1xx = rejections, AGG2xx = notes) so tools and
+// the Table-1 census can bucket outcomes deterministically instead of
+// grepping free-form strings.
+//
+// The analyses themselves keep returning Status::NotApplicable (the Result
+// plumbing is unchanged); the code travels as a `[AGG###] ` message prefix
+// written by NotApplicableDiag() and recovered by DiagnosticFromStatus().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aggify {
+
+enum class DiagSeverity : uint8_t { kError, kWarning, kNote };
+
+enum class DiagCode : uint16_t {
+  // --- Rejections: why a cursor loop was left alone. ---
+  kSelectStarCursor = 101,     ///< cursor query uses SELECT *
+  kFetchArityMismatch = 102,   ///< FETCH INTO wider than the projection
+  kInconsistentFetchVars = 103,///< FETCHes assign different variables
+  kPersistentInsert = 104,     ///< body INSERTs into a persistent table
+  kPersistentUpdate = 105,     ///< body UPDATEs a persistent table
+  kPersistentDelete = 106,     ///< body DELETEs from a persistent table
+  kReturnInLoop = 107,         ///< early function exit inside the body
+  kNonCanonicalFetch = 108,    ///< not the single-trailing-FETCH shape
+  kFetchVarLiveAfterLoop = 109,///< fetch variable observed after the loop
+  kLoopLocalObservable = 110,  ///< loop-declared variable live after loop
+  kImpureUdfCall = 111,        ///< body calls a UDF with persistent DML
+  kUnknownFunctionCall = 112,  ///< body calls a function purity can't see
+  kScriptError = 120,          ///< input failed to parse / load (lint)
+
+  // --- Notes: facts the analyses proved about a rewritten loop. ---
+  kRewritten = 201,            ///< loop became a custom aggregate
+  kSortElided = 202,           ///< Eq. 6 sort dropped: body order-insensitive
+  kMergeSynthesized = 203,     ///< decomposability proof produced a Merge
+  kOrderEnforced = 204,        ///< body order-sensitive: Eq. 6 sort retained
+};
+
+/// Stable identifier, e.g. "AGG104".
+std::string DiagCodeName(DiagCode code);
+
+/// Kebab-case check name, e.g. "persistent-insert" (clang-tidy style).
+const char* DiagCodeSlug(DiagCode code);
+
+/// Severity class of the code. AGG111/AGG120 are errors (soundness hazard /
+/// broken input), other AGG1xx are warnings (loop kept, opportunity missed),
+/// AGG2xx are notes.
+DiagSeverity DiagCodeSeverity(DiagCode code);
+
+const char* SeverityName(DiagSeverity severity);
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kScriptError;
+  DiagSeverity severity = DiagSeverity::kWarning;
+  /// Where: "<function>:<cursor>" for loops, a file path for script errors.
+  std::string loc;
+  std::string message;
+  /// Optional remediation hint ("move the INSERT after the loop", ...).
+  std::string fixit;
+
+  /// "loc: warning: message [aggify-persistent-insert]" (+ fixit line).
+  std::string ToString() const;
+};
+
+/// Builds a Status::NotApplicable whose message carries the code prefix, so
+/// existing Status/Result plumbing transports structured diagnostics.
+Status NotApplicableDiag(DiagCode code, const std::string& message);
+
+/// Recovers the Diagnostic from a NotApplicable status produced by
+/// NotApplicableDiag (falls back to kScriptError for unprefixed messages).
+Diagnostic DiagnosticFromStatus(const Status& status, std::string loc,
+                                std::string fixit = "");
+
+/// Convenience constructor with severity derived from the code.
+Diagnostic MakeDiagnostic(DiagCode code, std::string loc, std::string message,
+                          std::string fixit = "");
+
+}  // namespace aggify

@@ -1,0 +1,374 @@
+#include "analysis/fold_classifier.h"
+
+namespace aggify {
+
+namespace {
+
+/// Every variable the body can write (SET targets, declarations, FETCHes of
+/// nested cursors, FOR induction variables). A variable outside this set
+/// holds the same value on every iteration — loop-invariant.
+void CollectAssigned(const Stmt& stmt, std::set<std::string>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kSet:
+      out->insert(static_cast<const SetStmt&>(stmt).name);
+      break;
+    case StmtKind::kDeclareVar:
+      out->insert(static_cast<const DeclareVarStmt&>(stmt).name);
+      break;
+    case StmtKind::kFetch: {
+      const auto& f = static_cast<const FetchStmt&>(stmt);
+      out->insert(f.into.begin(), f.into.end());
+      break;
+    }
+    case StmtKind::kMultiAssign: {
+      const auto& m = static_cast<const MultiAssignStmt&>(stmt);
+      out->insert(m.targets.begin(), m.targets.end());
+      break;
+    }
+    case StmtKind::kGuardedRewrite: {
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      out->insert(g.rewritten->targets.begin(), g.rewritten->targets.end());
+      break;
+    }
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectAssigned(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectAssigned(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectAssigned(*i.else_branch, out);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectAssigned(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      out->insert(f.var);
+      CollectAssigned(*f.body, out);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectAssigned(*tc.try_block, out);
+      CollectAssigned(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+class Classifier {
+ public:
+  Classifier(const std::set<std::string>& fields,
+             const std::set<std::string>& row_vars,
+             const std::function<bool(const std::string&)>& is_pure_call)
+      : fields_(fields), row_pure_(row_vars), is_pure_call_(is_pure_call) {}
+
+  BodyClassification Run(const BlockStmt& body) {
+    CollectAssigned(body, &assigned_);
+    for (const auto& s : body.statements) {
+      ClassifyStmt(*s, /*conditional=*/false);
+    }
+
+    BodyClassification result;
+    for (const auto& [field, kind] : folds_) {
+      result.folds.push_back(FieldFold{field, kind});
+      if (!failed_ && kind != FoldKind::kSum && kind != FoldKind::kProduct &&
+          kind != FoldKind::kGuardedMin && kind != FoldKind::kGuardedMax) {
+        Fail("accumulator " + field + " is a " +
+             std::string(FoldKindName(kind)) +
+             " update, which depends on row order");
+      }
+    }
+    result.order_insensitive = !failed_;
+    result.reason = reason_;
+    if (result.order_insensitive) {
+      result.reason = "every accumulator is a commutative fold:";
+      if (folds_.empty()) result.reason = "the body updates no accumulator";
+      for (const auto& [field, kind] : folds_) {
+        result.reason += " " + field + "=" + FoldKindName(kind);
+      }
+    }
+    if (result.order_insensitive) {
+      result.decomposable = true;
+      for (const auto& [field, kind] : folds_) {
+        if (kind == FoldKind::kProduct) {
+          result.decomposable = false;
+          result.merge_reason =
+              "accumulator " + field +
+              " is a product fold: merging needs division by the entry "
+              "baseline, which may be zero";
+          break;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  void Fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      reason_ = why;
+    }
+  }
+
+  /// True if `e` evaluates to the same value for a given row regardless of
+  /// which iteration it is: only literals, per-row values, loop-invariant
+  /// variables, and pure calls over those.
+  bool IsRowPure(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return true;
+      case ExprKind::kVarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        if (row_pure_.count(v.name) != 0) return true;
+        return assigned_.count(v.name) == 0;  // loop-invariant
+      }
+      case ExprKind::kUnary:
+      case ExprKind::kBinary:
+      case ExprKind::kIsNull:
+      case ExprKind::kCast:
+      case ExprKind::kCaseWhen: {
+        for (const Expr* c : e.Children()) {
+          if (!IsRowPure(*c)) return false;
+        }
+        return true;
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& f = static_cast<const FunctionCallExpr&>(e);
+        if (!is_pure_call_ || !is_pure_call_(f.name)) return false;
+        for (const auto& a : f.args) {
+          if (!IsRowPure(*a)) return false;
+        }
+        return true;
+      }
+      default:
+        return false;  // column refs, subqueries, aggregate calls
+    }
+  }
+
+  void RecordFold(const std::string& field, FoldKind kind) {
+    auto it = folds_.find(field);
+    if (it == folds_.end()) {
+      folds_.emplace(field, kind);
+    } else if (it->second != kind) {
+      // Mixed update shapes on one accumulator compose into nothing the
+      // algebra recognizes.
+      it->second = FoldKind::kOpaque;
+    }
+  }
+
+  void ClassifyStmt(const Stmt& stmt, bool conditional) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+          ClassifyStmt(*s, conditional);
+        }
+        break;
+      case StmtKind::kDeclareVar: {
+        const auto& d = static_cast<const DeclareVarStmt&>(stmt);
+        if (conditional) {
+          Fail("local " + d.name + " is declared conditionally");
+          break;
+        }
+        if (d.initializer == nullptr || IsRowPure(*d.initializer)) {
+          row_pure_.insert(d.name);  // fresh per-row derived value
+        } else {
+          Fail("local " + d.name + " is initialized from accumulator state");
+        }
+        break;
+      }
+      case StmtKind::kSet:
+        ClassifySet(static_cast<const SetStmt&>(stmt), conditional);
+        break;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(stmt);
+        if (TryGuardedExtremum(i)) break;
+        if (IsRowPure(*i.condition)) {
+          // Filtered fold: the guard selects rows, each branch must itself
+          // fold commutatively.
+          ClassifyStmt(*i.then_branch, /*conditional=*/true);
+          if (i.else_branch != nullptr) {
+            ClassifyStmt(*i.else_branch, /*conditional=*/true);
+          }
+          break;
+        }
+        Fail("guard " + i.condition->ToString() +
+             " reads accumulator state outside the min/max pattern");
+        break;
+      }
+      case StmtKind::kBreak:
+        Fail("BREAK terminates the fold early, so results depend on order");
+        break;
+      case StmtKind::kContinue:
+        Fail("CONTINUE skips statements control-dependently");
+        break;
+      default:
+        Fail("statement shape is not a recognized fold: " +
+             stmt.ToString(0).substr(0, 60));
+        break;
+    }
+  }
+
+  void ClassifySet(const SetStmt& s, bool conditional) {
+    if (fields_.count(s.name) == 0) {
+      // Scratch local: stays row-pure only if recomputed unconditionally
+      // from row-pure inputs (a conditional write would leak the previous
+      // iteration's value into this one).
+      if (conditional) {
+        Fail("local " + s.name + " is assigned conditionally and carries "
+             "state across rows");
+      } else if (IsRowPure(*s.value)) {
+        row_pure_.insert(s.name);
+      } else {
+        Fail("local " + s.name + " is computed from accumulator state");
+      }
+      return;
+    }
+    const Expr& v = *s.value;
+    if (v.kind == ExprKind::kBinary) {
+      const auto& b = static_cast<const BinaryExpr&>(v);
+      auto is_self = [&](const Expr& e) {
+        return e.kind == ExprKind::kVarRef &&
+               static_cast<const VarRefExpr&>(e).name == s.name;
+      };
+      if (b.op == BinaryOp::kAdd) {
+        if ((is_self(*b.left) && IsRowPure(*b.right)) ||
+            (is_self(*b.right) && IsRowPure(*b.left))) {
+          RecordFold(s.name, FoldKind::kSum);
+          return;
+        }
+      } else if (b.op == BinaryOp::kSub) {
+        // acc - e == acc + (-e): still a sum fold (subtraction of the
+        // row term, not of the accumulator).
+        if (is_self(*b.left) && IsRowPure(*b.right)) {
+          RecordFold(s.name, FoldKind::kSum);
+          return;
+        }
+      } else if (b.op == BinaryOp::kMul) {
+        if ((is_self(*b.left) && IsRowPure(*b.right)) ||
+            (is_self(*b.right) && IsRowPure(*b.left))) {
+          RecordFold(s.name, FoldKind::kProduct);
+          return;
+        }
+      }
+    }
+    if (IsRowPure(v)) {
+      RecordFold(s.name, FoldKind::kLastValue);
+      return;
+    }
+    RecordFold(s.name, FoldKind::kOpaque);
+  }
+
+  /// Matches  IF (e < acc) SET acc = e  — with <=, >, >=, operands in either
+  /// order, an optional `acc IS NULL OR ...` disjunct, and an optional
+  /// single-statement block around the SET. No ELSE branch.
+  bool TryGuardedExtremum(const IfStmt& i) {
+    if (i.else_branch != nullptr) return false;
+
+    // Unwrap a one-statement block.
+    const Stmt* then_stmt = i.then_branch.get();
+    if (then_stmt->kind == StmtKind::kBlock) {
+      const auto& b = static_cast<const BlockStmt&>(*then_stmt);
+      if (b.statements.size() != 1) return false;
+      then_stmt = b.statements[0].get();
+    }
+    if (then_stmt->kind != StmtKind::kSet) return false;
+    const auto& set = static_cast<const SetStmt&>(*then_stmt);
+    if (fields_.count(set.name) == 0 || !IsRowPure(*set.value)) return false;
+
+    // Peel `acc IS NULL OR ...`.
+    const Expr* cond = i.condition.get();
+    if (cond->kind == ExprKind::kBinary &&
+        static_cast<const BinaryExpr&>(*cond).op == BinaryOp::kOr) {
+      const auto& orx = static_cast<const BinaryExpr&>(*cond);
+      auto is_null_guard = [&](const Expr& e) {
+        if (e.kind != ExprKind::kIsNull) return false;
+        const auto& n = static_cast<const IsNullExpr&>(e);
+        return !n.negated && n.operand->kind == ExprKind::kVarRef &&
+               static_cast<const VarRefExpr&>(*n.operand).name == set.name;
+      };
+      if (is_null_guard(*orx.left)) {
+        cond = orx.right.get();
+      } else if (is_null_guard(*orx.right)) {
+        cond = orx.left.get();
+      } else {
+        return false;
+      }
+    }
+    if (cond->kind != ExprKind::kBinary) return false;
+    const auto& cmp = static_cast<const BinaryExpr&>(*cond);
+
+    auto is_acc = [&](const Expr& e) {
+      return e.kind == ExprKind::kVarRef &&
+             static_cast<const VarRefExpr&>(e).name == set.name;
+    };
+    // Which side is the accumulator, which the candidate row value?
+    const Expr* candidate = nullptr;
+    bool acc_on_left = false;
+    if (is_acc(*cmp.left) && IsRowPure(*cmp.right)) {
+      candidate = cmp.right.get();
+      acc_on_left = true;
+    } else if (is_acc(*cmp.right) && IsRowPure(*cmp.left)) {
+      candidate = cmp.left.get();
+    } else {
+      return false;
+    }
+    // The guarded value must be the compared value, or ties/order leak in.
+    if (candidate->ToString() != set.value->ToString()) return false;
+
+    FoldKind kind;
+    switch (cmp.op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        // candidate < acc  -> keep smaller -> min; acc < candidate -> max.
+        kind = acc_on_left ? FoldKind::kGuardedMax : FoldKind::kGuardedMin;
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        kind = acc_on_left ? FoldKind::kGuardedMin : FoldKind::kGuardedMax;
+        break;
+      default:
+        return false;
+    }
+    RecordFold(set.name, kind);
+    return true;
+  }
+
+  const std::set<std::string>& fields_;
+  std::set<std::string> row_pure_;
+  const std::function<bool(const std::string&)>& is_pure_call_;
+  std::set<std::string> assigned_;
+  std::map<std::string, FoldKind> folds_;
+  bool failed_ = false;
+  std::string reason_;
+};
+
+}  // namespace
+
+const char* FoldKindName(FoldKind kind) {
+  switch (kind) {
+    case FoldKind::kSum: return "sum";
+    case FoldKind::kProduct: return "product";
+    case FoldKind::kGuardedMin: return "guarded-min";
+    case FoldKind::kGuardedMax: return "guarded-max";
+    case FoldKind::kLastValue: return "last-value";
+    case FoldKind::kOpaque: return "opaque";
+  }
+  return "opaque";
+}
+
+BodyClassification ClassifyLoopBody(
+    const BlockStmt& body, const std::set<std::string>& fields,
+    const std::set<std::string>& row_vars,
+    const std::function<bool(const std::string&)>& is_pure_call) {
+  Classifier classifier(fields, row_vars, is_pure_call);
+  return classifier.Run(body);
+}
+
+}  // namespace aggify

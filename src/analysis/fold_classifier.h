@@ -1,0 +1,88 @@
+// Algebraic classification of cursor-loop bodies: order-sensitivity and
+// decomposability.
+//
+// A loop body is a fold over the cursor's rows. If every accumulator update
+// is a commutative fold —
+//
+//   kSum          acc = acc + e   (also acc - e; e row-pure)
+//   kProduct      acc = acc * e
+//   kGuardedMin   IF (e < acc) SET acc = e   (and the IS NULL OR variant)
+//   kGuardedMax   IF (e > acc) SET acc = e
+//
+// — where e is *row-pure* (built only from the current row's fetch
+// variables, loop-invariant variables, literals, and pure calls), then the
+// final state is independent of row order and Eq. 6's forced
+// Sort + StreamAggregate can be elided. "Last value wins" (acc = e), BREAK,
+// guards that read accumulators outside the extremum pattern, and anything
+// the grammar below does not recognize are conservatively order-sensitive.
+//
+// Decomposability is stricter: a fold is mergeable when two partial states
+// that both started from the same loop-entry baseline c can be combined —
+//
+//   kSum          merged = a + b - c       (c is loop-invariant: V_init
+//                                           arguments repeat per row)
+//   kGuardedMin   merged = a if a <= b else b   (idempotent; c cancels)
+//   kGuardedMax   symmetric
+//
+// kProduct is order-insensitive but NOT decomposable here: the inverse
+// (a * b / c) divides by a possibly-zero baseline, so no Merge is derived.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/statement.h"
+
+namespace aggify {
+
+enum class FoldKind : uint8_t {
+  kSum,         ///< order-insensitive, mergeable
+  kProduct,     ///< order-insensitive, not mergeable (no safe inverse)
+  kGuardedMin,  ///< order-insensitive, mergeable
+  kGuardedMax,  ///< order-insensitive, mergeable
+  kLastValue,   ///< acc = e — order-sensitive
+  kOpaque,      ///< unrecognized update shape — conservatively sensitive
+};
+
+const char* FoldKindName(FoldKind kind);
+
+struct FieldFold {
+  std::string field;
+  FoldKind kind;
+};
+
+struct BodyClassification {
+  /// Final state provably independent of row order: Eq. 6 sort elidable.
+  bool order_insensitive = false;
+  /// Every fold mergeable: a correct Merge is synthesizable.
+  bool decomposable = false;
+  /// Per-accumulator classification (sorted by field name).
+  std::vector<FieldFold> folds;
+  /// First blocker of order-insensitivity (empty when insensitive).
+  std::string reason;
+  /// What blocks Merge when order-insensitive but not decomposable.
+  std::string merge_reason;
+
+  const FoldKind* FoldFor(const std::string& field) const {
+    for (const auto& f : folds) {
+      if (f.field == field) return &f.kind;
+    }
+    return nullptr;
+  }
+};
+
+/// Classifies a FETCH-stripped loop body.
+/// \param fields the aggregate's state variables (Eq. 1 V_F)
+/// \param row_vars per-row inputs (the fetch variables)
+/// \param is_pure_call names of calls the caller has proven pure and
+///   deterministic for the duration of one query (built-in scalars, proven
+///   read-only UDFs); nullptr treats every call as impure.
+BodyClassification ClassifyLoopBody(
+    const BlockStmt& body, const std::set<std::string>& fields,
+    const std::set<std::string>& row_vars,
+    const std::function<bool(const std::string&)>& is_pure_call = nullptr);
+
+}  // namespace aggify

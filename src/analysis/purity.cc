@@ -1,0 +1,317 @@
+#include "analysis/purity.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace aggify {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool IsTempName(const std::string& name) {
+  return !name.empty() && (name[0] == '@' || name[0] == '#');
+}
+
+/// One pass over a statement tree: the maximum local effect (with the first
+/// piece of evidence that raised it there) plus every call target seen.
+struct EffectAccum {
+  EffectLevel level = EffectLevel::kPure;
+  std::string evidence;
+  std::set<std::string> callees;
+
+  void Raise(EffectLevel l, const std::string& why) {
+    if (l > level) {
+      level = l;
+      evidence = why;
+    }
+  }
+};
+
+void WalkQuery(const SelectStmt& query, EffectAccum* acc);
+
+void WalkExpr(const Expr& expr, EffectAccum* acc) {
+  switch (expr.kind) {
+    case ExprKind::kFunctionCall:
+      acc->callees.insert(
+          Lower(static_cast<const FunctionCallExpr&>(expr).name));
+      break;
+    case ExprKind::kScalarSubquery: {
+      const auto& e = static_cast<const ScalarSubqueryExpr&>(expr);
+      acc->Raise(EffectLevel::kReadsDatabase, "evaluates a scalar subquery");
+      WalkQuery(*e.query, acc);
+      break;
+    }
+    case ExprKind::kExists: {
+      const auto& e = static_cast<const ExistsExpr&>(expr);
+      acc->Raise(EffectLevel::kReadsDatabase, "evaluates an EXISTS subquery");
+      WalkQuery(*e.query, acc);
+      break;
+    }
+    case ExprKind::kInList: {
+      const auto& e = static_cast<const InListExpr&>(expr);
+      if (e.subquery != nullptr) {
+        acc->Raise(EffectLevel::kReadsDatabase, "evaluates an IN subquery");
+        WalkQuery(*e.subquery, acc);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const Expr* child : expr.Children()) WalkExpr(*child, acc);
+}
+
+void WalkTableRef(const TableRef& ref, EffectAccum* acc) {
+  switch (ref.kind) {
+    case TableRef::Kind::kSubquery:
+      WalkQuery(*ref.subquery, acc);
+      break;
+    case TableRef::Kind::kJoin:
+      WalkTableRef(*ref.left, acc);
+      WalkTableRef(*ref.right, acc);
+      if (ref.join_condition != nullptr) WalkExpr(*ref.join_condition, acc);
+      break;
+    case TableRef::Kind::kBaseTable:
+      break;
+  }
+}
+
+void WalkQuery(const SelectStmt& query, EffectAccum* acc) {
+  acc->Raise(EffectLevel::kReadsDatabase, "evaluates a query");
+  for (const auto& cte : query.ctes) WalkQuery(*cte.query, acc);
+  if (query.top_n != nullptr) WalkExpr(*query.top_n, acc);
+  for (const auto& item : query.items) WalkExpr(*item.expr, acc);
+  for (const auto& ref : query.from) WalkTableRef(*ref, acc);
+  if (query.where != nullptr) WalkExpr(*query.where, acc);
+  for (const auto& g : query.group_by) WalkExpr(*g, acc);
+  if (query.having != nullptr) WalkExpr(*query.having, acc);
+  for (const auto& o : query.order_by) WalkExpr(*o.expr, acc);
+  if (query.union_all != nullptr) WalkQuery(*query.union_all, acc);
+}
+
+void WalkStmt(const Stmt& stmt, EffectAccum* acc) {
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        WalkStmt(*s, acc);
+      }
+      break;
+    case StmtKind::kDeclareVar: {
+      const auto& s = static_cast<const DeclareVarStmt&>(stmt);
+      if (s.initializer != nullptr) WalkExpr(*s.initializer, acc);
+      break;
+    }
+    case StmtKind::kSet:
+      WalkExpr(*static_cast<const SetStmt&>(stmt).value, acc);
+      break;
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      WalkExpr(*s.condition, acc);
+      WalkStmt(*s.then_branch, acc);
+      if (s.else_branch != nullptr) WalkStmt(*s.else_branch, acc);
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      WalkExpr(*s.condition, acc);
+      WalkStmt(*s.body, acc);
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      WalkExpr(*s.init, acc);
+      WalkExpr(*s.bound, acc);
+      if (s.step != nullptr) WalkExpr(*s.step, acc);
+      WalkStmt(*s.body, acc);
+      break;
+    }
+    case StmtKind::kDeclareCursor:
+      WalkQuery(*static_cast<const DeclareCursorStmt&>(stmt).query, acc);
+      break;
+    case StmtKind::kReturn: {
+      const auto& s = static_cast<const ReturnStmt&>(stmt);
+      if (s.value != nullptr) WalkExpr(*s.value, acc);
+      break;
+    }
+    case StmtKind::kDeclareTempTable:
+      acc->Raise(EffectLevel::kWritesTempState,
+                 "declares table variable " +
+                     static_cast<const DeclareTempTableStmt&>(stmt).name);
+      break;
+    case StmtKind::kInsert: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      acc->Raise(IsTempName(s.table) ? EffectLevel::kWritesTempState
+                                     : EffectLevel::kWritesPersistentState,
+                 "INSERT INTO " + s.table);
+      for (const auto& row : s.values_rows) {
+        for (const auto& e : row) WalkExpr(*e, acc);
+      }
+      if (s.select != nullptr) WalkQuery(*s.select, acc);
+      break;
+    }
+    case StmtKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStmt&>(stmt);
+      acc->Raise(IsTempName(s.table) ? EffectLevel::kWritesTempState
+                                     : EffectLevel::kWritesPersistentState,
+                 "UPDATE " + s.table);
+      for (const auto& a : s.assignments) WalkExpr(*a.second, acc);
+      if (s.where != nullptr) WalkExpr(*s.where, acc);
+      break;
+    }
+    case StmtKind::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      acc->Raise(IsTempName(s.table) ? EffectLevel::kWritesTempState
+                                     : EffectLevel::kWritesPersistentState,
+                 "DELETE FROM " + s.table);
+      if (s.where != nullptr) WalkExpr(*s.where, acc);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& s = static_cast<const TryCatchStmt&>(stmt);
+      WalkStmt(*s.try_block, acc);
+      WalkStmt(*s.catch_block, acc);
+      break;
+    }
+    case StmtKind::kExecQuery:
+      WalkQuery(*static_cast<const ExecQueryStmt&>(stmt).query, acc);
+      break;
+    case StmtKind::kMultiAssign:
+      WalkQuery(*static_cast<const MultiAssignStmt&>(stmt).query, acc);
+      break;
+    case StmtKind::kGuardedRewrite:
+      // Semantically the statement IS its MultiAssign (see statement.h);
+      // the fallback clone re-states the original loop's effects.
+      WalkQuery(*static_cast<const GuardedRewriteStmt&>(stmt).rewritten->query,
+                acc);
+      break;
+    default:
+      break;  // cursor control flow / BREAK / CONTINUE: no effects
+  }
+}
+
+}  // namespace
+
+const char* EffectLevelName(EffectLevel level) {
+  switch (level) {
+    case EffectLevel::kPure: return "pure";
+    case EffectLevel::kReadsDatabase: return "reads-database";
+    case EffectLevel::kWritesTempState: return "writes-temp-state";
+    case EffectLevel::kWritesPersistentState: return "writes-persistent-state";
+    case EffectLevel::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+void CollectCalledFunctions(const Stmt& stmt, std::set<std::string>* out) {
+  EffectAccum acc;
+  WalkStmt(stmt, &acc);
+  out->insert(acc.callees.begin(), acc.callees.end());
+}
+
+void CollectCalledFunctions(const Expr& expr, std::set<std::string>* out) {
+  EffectAccum acc;
+  WalkExpr(expr, &acc);
+  out->insert(acc.callees.begin(), acc.callees.end());
+}
+
+void CollectCalledFunctions(const SelectStmt& query,
+                            std::set<std::string>* out) {
+  EffectAccum acc;
+  WalkQuery(query, &acc);
+  out->insert(acc.callees.begin(), acc.callees.end());
+}
+
+CallGraph CallGraph::Build(const Catalog& catalog,
+                           BuiltinPredicate is_builtin) {
+  CallGraph graph;
+  graph.is_builtin_ = std::move(is_builtin);
+  for (const std::string& name : catalog.FunctionNames()) {
+    auto def = catalog.GetFunction(name);
+    if (!def.ok()) continue;
+    EffectAccum acc;
+    if ((*def)->body != nullptr) WalkStmt(*(*def)->body, &acc);
+    Node node;
+    node.callees = std::move(acc.callees);
+    node.local.level = acc.level;
+    node.local.evidence = acc.evidence;
+    node.combined = node.local;
+    graph.nodes_.emplace(Lower(name), std::move(node));
+  }
+
+  // Least fixpoint of level(f) = max(local(f), levels of callees). The
+  // lattice has height 5 and the transfer function is monotone, so this
+  // terminates in at most |lattice| * |functions| sweeps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, node] : graph.nodes_) {
+      FunctionEffects eff = node.local;
+      for (const std::string& callee : node.callees) {
+        if (graph.IsBuiltin(callee)) continue;
+        auto it = graph.nodes_.find(callee);
+        if (it == graph.nodes_.end()) {
+          if (EffectLevel::kUnknown > eff.level) {
+            eff.level = EffectLevel::kUnknown;
+            eff.evidence = "calls unknown function " + callee;
+          }
+        } else if (it->second.combined.level > eff.level) {
+          eff.level = it->second.combined.level;
+          eff.evidence = "calls " + callee + " (" +
+                         EffectLevelName(eff.level) + ": " +
+                         it->second.combined.evidence + ")";
+        }
+      }
+      if (eff.level != node.combined.level) {
+        node.combined = std::move(eff);
+        changed = true;
+      }
+    }
+  }
+  return graph;
+}
+
+FunctionEffects CallGraph::EffectsOf(const std::string& name) const {
+  std::string key = Lower(name);
+  if (IsBuiltin(key)) {
+    return FunctionEffects{EffectLevel::kPure, "built-in scalar"};
+  }
+  auto it = nodes_.find(key);
+  if (it != nodes_.end()) return it->second.combined;
+  return FunctionEffects{EffectLevel::kUnknown,
+                         "function " + key + " is not in the catalog"};
+}
+
+std::vector<std::string> CallGraph::Callees(const std::string& name) const {
+  auto it = nodes_.find(Lower(name));
+  if (it == nodes_.end()) return {};
+  return std::vector<std::string>(it->second.callees.begin(),
+                                  it->second.callees.end());
+}
+
+FunctionEffects CallGraph::StatementEffects(const Stmt& stmt) const {
+  EffectAccum acc;
+  WalkStmt(stmt, &acc);
+  FunctionEffects eff{acc.level, acc.evidence};
+  for (const std::string& callee : acc.callees) {
+    FunctionEffects callee_eff = EffectsOf(callee);
+    if (callee_eff.level > eff.level) {
+      eff.level = callee_eff.level;
+      eff.evidence = "calls " + callee + " (" + callee_eff.evidence + ")";
+    }
+  }
+  return eff;
+}
+
+std::vector<std::string> CallGraph::FunctionNames() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace aggify

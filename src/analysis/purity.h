@@ -1,0 +1,97 @@
+// Interprocedural purity / side-effect analysis over the catalog's UDFs.
+//
+// Effects form a small lattice ordered by "how much state the callee can
+// disturb":
+//
+//   kPure < kReadsDatabase < kWritesTempState < kWritesPersistentState
+//                                                          < kUnknown
+//
+// Each function's local effect is read off its body (DML statements, query
+// evaluation, temp-table declarations); calls contribute their callee's
+// effect. The interprocedural level is the least fixpoint of
+//
+//   level(f) = max(local(f), max over g in callees(f) of level(g))
+//
+// computed by iteration (the lattice is finite and the transfer function
+// monotone, so recursion — including mutual recursion — converges).
+// Functions invoked but absent from the catalog (and not built-in scalars)
+// are kUnknown: the analysis is sound, never optimistic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/statement.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+enum class EffectLevel : uint8_t {
+  kPure = 0,                  ///< touches nothing beyond its own locals
+  kReadsDatabase = 1,         ///< evaluates queries (persistent or temp)
+  kWritesTempState = 2,       ///< mutates temp tables / table variables
+  kWritesPersistentState = 3, ///< DML against persistent tables
+  kUnknown = 4,               ///< calls something the analysis cannot see
+};
+
+const char* EffectLevelName(EffectLevel level);
+
+struct FunctionEffects {
+  EffectLevel level = EffectLevel::kPure;
+  /// What pinned the level there: "INSERT INTO audit_log",
+  /// "calls log_it", "calls unknown function f", ...
+  std::string evidence;
+};
+
+/// Collects the names of every scalar function invoked anywhere in `stmt`,
+/// descending into nested statements, query expressions, and subqueries
+/// (which Expr::Walk deliberately does not enter).
+void CollectCalledFunctions(const Stmt& stmt, std::set<std::string>* out);
+void CollectCalledFunctions(const Expr& expr, std::set<std::string>* out);
+void CollectCalledFunctions(const SelectStmt& query,
+                            std::set<std::string>* out);
+
+class CallGraph {
+ public:
+  /// Decides whether a call target is a pure built-in scalar (ABS, UPPER,
+  /// ...). Supplied by the caller because the built-in registry lives in a
+  /// higher layer; nullptr treats every non-catalog name as kUnknown.
+  using BuiltinPredicate = std::function<bool(const std::string&)>;
+
+  /// Builds the graph over every function registered in `catalog` and runs
+  /// the effect fixpoint.
+  static CallGraph Build(const Catalog& catalog,
+                         BuiltinPredicate is_builtin = nullptr);
+
+  /// Interprocedural effects of the named function. Built-ins are kPure;
+  /// names the graph has never seen are kUnknown.
+  FunctionEffects EffectsOf(const std::string& name) const;
+
+  /// Direct callees of a catalog function (sorted, deduplicated).
+  std::vector<std::string> Callees(const std::string& name) const;
+
+  /// Effects of an arbitrary statement tree (e.g. a cursor-loop body)
+  /// evaluated against this graph: its local effect joined with the effects
+  /// of everything it calls.
+  FunctionEffects StatementEffects(const Stmt& stmt) const;
+
+  std::vector<std::string> FunctionNames() const;
+
+ private:
+  struct Node {
+    std::set<std::string> callees;
+    FunctionEffects local;     ///< before propagation
+    FunctionEffects combined;  ///< after the fixpoint
+  };
+  bool IsBuiltin(const std::string& name) const {
+    return is_builtin_ && is_builtin_(name);
+  }
+
+  std::map<std::string, Node> nodes_;
+  BuiltinPredicate is_builtin_;
+};
+
+}  // namespace aggify

@@ -97,6 +97,9 @@ class RenameOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  /// Planner peephole support: the rename is a pure pass-through, so an
+  /// order-agnostic parent may replace a Sort child with the Sort's input.
+  OperatorPtr& mutable_child() { return child_; }
 
  private:
   OperatorPtr child_;
@@ -229,6 +232,9 @@ class SortOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  /// Planner peephole support: surrender the child so an order-agnostic
+  /// parent (hash aggregation) can splice the sort out of the plan.
+  OperatorPtr TakeChild() { return std::move(child_); }
 
  private:
   OperatorPtr child_;

@@ -767,6 +767,17 @@ Result<OperatorPtr> Planner::PlanAggregation(OperatorPtr input,
         std::move(input), std::move(group_exprs), std::move(specs),
         std::move(out_schema)));
   }
+  // Hash aggregation consumes its input unordered, so a Sort feeding it —
+  // e.g. a derived table's leftover ORDER BY — does no semantic work and is
+  // spliced out (directly or through the derived table's Rename). A TopN
+  // between aggregate and Sort depends on the order and blocks the splice.
+  if (auto* sort = dynamic_cast<SortOp*>(input.get())) {
+    input = sort->TakeChild();
+  } else if (auto* rename = dynamic_cast<RenameOp*>(input.get())) {
+    if (auto* inner = dynamic_cast<SortOp*>(rename->mutable_child().get())) {
+      rename->mutable_child() = inner->TakeChild();
+    }
+  }
   int partitions = 1;
   if (options_.aggregate_partitions > 1) {
     bool all_mergeable = true;

@@ -161,7 +161,9 @@ const std::vector<Corpus>& ApplicabilityCorpora() {
 
 Result<CorpusStats> AnalyzeCorpus(const Corpus& corpus) {
   CorpusStats stats;
+  int program_no = 0;
   for (const std::string& program : corpus.programs) {
+    ++program_no;
     ASSIGN_OR_RETURN(StmtPtr parsed, ParseStatements(program));
     auto* block = static_cast<BlockStmt*>(parsed.get());
     stats.total_while_loops += CountWhileLoops(*block);
@@ -172,6 +174,16 @@ Result<CorpusStats> AnalyzeCorpus(const Corpus& corpus) {
     ASSIGN_OR_RETURN(AggifyReport report, aggify.RewriteBlock(block));
     stats.cursor_loops += report.loops_found;
     stats.aggifyable += report.loops_rewritten;
+    std::string at = corpus.name + "/program" + std::to_string(program_no);
+    for (Diagnostic d : report.skipped) {
+      ++stats.skip_codes[d.code];
+      d.loc = at + ":" + d.loc;
+      stats.diagnostics.push_back(std::move(d));
+    }
+    for (Diagnostic d : report.notes) {
+      d.loc = at + ":" + d.loc;
+      stats.diagnostics.push_back(std::move(d));
+    }
   }
   return stats;
 }

@@ -7,9 +7,11 @@
 // (FindCursorLoops + the applicability checks) produces the Table 1 counts.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/result.h"
 
 namespace aggify {
@@ -18,6 +20,12 @@ struct CorpusStats {
   int total_while_loops = 0;
   int cursor_loops = 0;
   int aggifyable = 0;
+  /// Deterministic census buckets: every skipped loop lands under exactly one
+  /// diagnostic code (cursor_loops == aggifyable + sum of these counts).
+  std::map<DiagCode, int> skip_codes;
+  /// Every diagnostic the analyses emitted (rejections and proof notes),
+  /// clang-tidy-renderable — what `aggify_cli --lint workloads-corpus` prints.
+  std::vector<Diagnostic> diagnostics;
 };
 
 struct Corpus {

@@ -243,7 +243,8 @@ TEST_F(AggifyCoreTest, PersistentDmlIsRejected) {
   EXPECT_EQ(report.loops_found, 1);
   EXPECT_EQ(report.loops_rewritten, 0);
   ASSERT_EQ(report.skipped.size(), 1u);
-  EXPECT_NE(report.skipped[0].find("persistent"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert);
+  EXPECT_NE(report.skipped[0].message.find("persistent"), std::string::npos);
 }
 
 TEST_F(AggifyCoreTest, TempTableDmlIsAccepted) {

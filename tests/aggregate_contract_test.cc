@@ -156,8 +156,46 @@ TEST_F(LoopAggregateContractTest, AccumulateInitializesFromFirstRowArgs) {
   EXPECT_EQ(v.int_value(), 112);
 }
 
-TEST_F(LoopAggregateContractTest, MergeIsUnsupported) {
+TEST_F(LoopAggregateContractTest, SumFoldSupportsDerivedMerge) {
+  // The decomposability proof holds for a plain sum fold: partial states that
+  // both started from the loop-entry baseline (@s = 100) merge as a + b - c.
   auto agg = GetAgg();
+  ExecContext ctx = session_->MakeContext();
+  ASSERT_OK_AND_ASSIGN(auto a, agg->Init());
+  ASSERT_OK_AND_ASSIGN(auto b, agg->Init());
+  EXPECT_TRUE(agg->SupportsMerge());
+  ASSERT_OK(agg->Accumulate(a.get(), {Value::Int(5), Value::Int(100)}, &ctx));
+  ASSERT_OK(agg->Accumulate(b.get(), {Value::Int(7), Value::Int(100)}, &ctx));
+  ASSERT_OK(agg->Merge(a.get(), b.get(), &ctx));
+  ASSERT_OK_AND_ASSIGN(Value v, agg->Terminate(a.get(), &ctx));
+  EXPECT_EQ(v.int_value(), 112);  // not 212: the baseline counts once
+}
+
+TEST_F(LoopAggregateContractTest, MergeIsUnsupportedWithoutProof) {
+  // An order-sensitive body (last value wins) fails the decomposability
+  // proof; the aggregate keeps the base contract's NotSupported Merge.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION last_v(@g INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @last INT;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @g ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @last = @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @last;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(auto agg, db_.catalog().GetAggregate(
+                                     report.rewrites[0].aggregate_name));
   ExecContext ctx = session_->MakeContext();
   ASSERT_OK_AND_ASSIGN(auto a, agg->Init());
   ASSERT_OK_AND_ASSIGN(auto b, agg->Init());

@@ -150,7 +150,7 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("gen_fn"));
   ASSERT_EQ(report.loops_rewritten, 1)
       << (report.skipped.empty() ? std::string("not rewritten")
-                                 : report.skipped[0]);
+                                 : report.skipped[0].ToString());
   EXPECT_EQ(report.rewrites[0].sets.ordered, generator.ordered());
 
   size_t i = 0;
@@ -221,7 +221,7 @@ TEST_P(BlockEquivalenceProperty, RewrittenBlockPreservesEnvironment) {
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(rewritten));
   ASSERT_EQ(report.loops_rewritten, 1)
       << (report.skipped.empty() ? std::string("not rewritten")
-                                 : report.skipped[0]);
+                                 : report.skipped[0].ToString());
   ASSERT_OK_AND_ASSIGN(auto rewritten_env, run(*rewritten));
 
   // All accumulators (observable top-level vars except the fetch vars @fv,
@@ -238,6 +238,111 @@ TEST_P(BlockEquivalenceProperty, RewrittenBlockPreservesEnvironment) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockEquivalenceProperty,
                          ::testing::Range(1, 31));
+
+// ---- classifier soundness sweep ----
+//
+// Property: whenever the fold classifier proves a loop body order-
+// insensitive, interpreting the ORIGINAL loop over the same multiset of rows
+// in two different physical orders yields identical results. Bodies mix
+// commutative folds (sum/product/guarded extrema/filtered folds) with
+// order-sensitive shapes (last-value, accumulator-dependent guards), so both
+// classifier verdicts occur across the seed range.
+class OrderInsensitivityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderInsensitivityProperty, ProvenInsensitiveBodiesShuffleFreely) {
+  uint64_t seed = static_cast<uint64_t>(GetParam()) + 5000;
+  Random rng(seed * 2654435761u + 3);
+  Database db;
+  Session session(&db);
+
+  // Same multiset of rows in forward and shuffled insertion order. Unordered
+  // cursors scan in insertion order, so the two tables present the two
+  // physical orders.
+  int rows = static_cast<int>(rng.UniformRange(1, 30));
+  std::vector<int> vals;
+  for (int i = 0; i < rows; ++i) {
+    vals.push_back(static_cast<int>(rng.UniformRange(-10, 50)));
+  }
+  std::vector<int> shuffled = vals;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+  auto insert = [&](const std::string& table, const std::vector<int>& v) {
+    std::string sql = "CREATE TABLE " + table + " (v INT);";
+    for (int x : v) {
+      sql += " INSERT INTO " + table + " VALUES (" + std::to_string(x) + ");";
+    }
+    return session.RunSql(sql).status();
+  };
+  ASSERT_OK(insert("fwd", vals));
+  ASSERT_OK(insert("shuf", shuffled));
+
+  // Random body over fold-shaped and order-sensitive statement templates.
+  std::string body;
+  int num_stmts = static_cast<int>(rng.UniformRange(1, 4));
+  for (int i = 0; i < num_stmts; ++i) {
+    switch (rng.Uniform(8)) {
+      case 0: body += "    SET @a = @a + @x;\n"; break;
+      case 1: body += "    SET @a = @a - @x * 2;\n"; break;
+      case 2: body += "    SET @b = @b * @x;\n"; break;
+      case 3: body += "    IF (@x < @c) SET @c = @x;\n"; break;
+      case 4: body += "    IF (@c IS NULL OR @x > @c) SET @c = @x;\n"; break;
+      case 5: body += "    IF (@x > 7) SET @a = @a + 1;\n"; break;
+      case 6: body += "    SET @b = @x;\n"; break;  // last value: sensitive
+      default: body += "    IF (@a > 10) SET @b = @b + @x;\n"; break;
+    }
+  }
+
+  auto make_fn = [&](const std::string& name, const std::string& table) {
+    return "CREATE FUNCTION " + name + R"(() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @a INT = 3;
+        DECLARE @b INT = 1;
+        DECLARE @c INT;
+        DECLARE cur CURSOR FOR SELECT v FROM )" + table + R"(;
+        OPEN cur;
+        FETCH NEXT FROM cur INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+)" + body + R"(
+          FETCH NEXT FROM cur INTO @x;
+        END
+        CLOSE cur; DEALLOCATE cur;
+        RETURN @a * 1000003 + @b * 101 + ISNULL(@c, -77);
+      END)";
+  };
+  SCOPED_TRACE(body);
+  ASSERT_OK(session.RunSql(make_fn("fn_fwd", "fwd")).status());
+  ASSERT_OK(session.RunSql(make_fn("fn_shuf", "shuf")).status());
+
+  // Interpreted results over both physical orders, before any rewrite.
+  ASSERT_OK_AND_ASSIGN(Value fwd_val, session.Call("fn_fwd", {}));
+  ASSERT_OK_AND_ASSIGN(Value shuf_val, session.Call("fn_shuf", {}));
+
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("fn_fwd"));
+  ASSERT_EQ(report.loops_rewritten, 1)
+      << (report.skipped.empty() ? std::string("not rewritten")
+                                 : report.skipped[0].ToString());
+  const BodyClassification& cls = report.rewrites[0].classification;
+
+  if (cls.order_insensitive) {
+    // Soundness: the proof must hold on this input pair.
+    EXPECT_TRUE(fwd_val.StructurallyEquals(shuf_val))
+        << "classifier claimed order-insensitive but fwd="
+        << fwd_val.ToString() << " shuf=" << shuf_val.ToString();
+  }
+
+  // And the rewrite itself must preserve the original order's result.
+  ASSERT_OK_AND_ASSIGN(Value rewritten_val, session.Call("fn_fwd", {}));
+  EXPECT_TRUE(rewritten_val.StructurallyEquals(fwd_val))
+      << "rewritten=" << rewritten_val.ToString()
+      << " original=" << fwd_val.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderInsensitivityProperty,
+                         ::testing::Range(1, 41));
 
 }  // namespace
 }  // namespace aggify

@@ -143,7 +143,10 @@ TEST_F(RewriteEdgeTest, ReturnInsideLoopIsSkippedWithReason) {
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("find_first"));
   EXPECT_EQ(report.loops_rewritten, 0);
   ASSERT_EQ(report.skipped.size(), 1u);
-  EXPECT_NE(report.skipped[0].find("RETURN"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kReturnInLoop);
+  EXPECT_EQ(report.skipped[0].severity, DiagSeverity::kWarning);
+  EXPECT_NE(report.skipped[0].message.find("RETURN"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].loc, "find_first:c");
   // The function still works (untouched).
   ASSERT_OK_AND_ASSIGN(Value v, session_->Call("find_first", {Value::Int(2)}));
   EXPECT_EQ(v.int_value(), 2);
@@ -169,7 +172,9 @@ TEST_F(RewriteEdgeTest, FetchVarLiveAfterLoopIsSkipped) {
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_val"));
   EXPECT_EQ(report.loops_rewritten, 0);
   ASSERT_EQ(report.skipped.size(), 1u);
-  EXPECT_NE(report.skipped[0].find("live after the loop"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kFetchVarLiveAfterLoop);
+  EXPECT_NE(report.skipped[0].message.find("live after the loop"),
+            std::string::npos);
 }
 
 TEST_F(RewriteEdgeTest, SelectStarCursorIsSkipped) {
@@ -194,7 +199,8 @@ TEST_F(RewriteEdgeTest, SelectStarCursorIsSkipped) {
   Aggify aggify(&db_);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("star"));
   EXPECT_EQ(report.loops_rewritten, 0);
-  EXPECT_NE(report.skipped[0].find("SELECT *"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kSelectStarCursor);
+  EXPECT_NE(report.skipped[0].message.find("SELECT *"), std::string::npos);
 }
 
 TEST_F(RewriteEdgeTest, ConditionalFetchIsSkipped) {
@@ -220,7 +226,8 @@ TEST_F(RewriteEdgeTest, ConditionalFetchIsSkipped) {
   Aggify aggify(&db_);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("weird"));
   EXPECT_EQ(report.loops_rewritten, 0);
-  EXPECT_NE(report.skipped[0].find("FETCH"), std::string::npos);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kNonCanonicalFetch);
+  EXPECT_NE(report.skipped[0].message.find("FETCH"), std::string::npos);
 }
 
 TEST_F(RewriteEdgeTest, OrderPreservationAscVsDesc) {
@@ -257,7 +264,69 @@ TEST_F(RewriteEdgeTest, OrderPreservationAscVsDesc) {
   EXPECT_EQ(desc.int_value(), 1);
 }
 
+// Finds the rewritten Eq. 5/6 statement inside a rewritten function body.
+const MultiAssignStmt* FindRewrittenAssign(const FunctionDef& def) {
+  const MultiAssignStmt* ma = nullptr;
+  for (const auto& s : def.body->statements) {
+    if (s->kind == StmtKind::kMultiAssign) {
+      ma = static_cast<const MultiAssignStmt*>(s.get());
+    } else if (s->kind == StmtKind::kGuardedRewrite) {
+      ma = static_cast<const GuardedRewriteStmt*>(s.get())->rewritten.get();
+    }
+  }
+  return ma;
+}
+
 TEST_F(RewriteEdgeTest, OrderedRewritePlansAStreamAggregate) {
+  // "Last value wins" is genuinely order-sensitive: the classifier cannot
+  // discharge Eq. 6's obligation and the forced Sort + StreamAggregate stay.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION ordered_last() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @last INT;
+      DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @last = @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @last;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("ordered_last"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].sort_elided);
+  EXPECT_FALSE(report.rewrites[0].classification.order_insensitive);
+  bool order_enforced_note = false;
+  for (const auto& n : report.notes) {
+    if (n.code == DiagCode::kOrderEnforced) order_enforced_note = true;
+  }
+  EXPECT_TRUE(order_enforced_note);
+
+  // Plan the rewritten query text and require the Eq. 6 operators.
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("ordered_last"));
+  const MultiAssignStmt* ma = FindRewrittenAssign(*def);
+  ASSERT_NE(ma, nullptr);
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  env.Declare("@last", Value::Null());
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       session_->engine().Explain(*ma->query, ctx));
+  EXPECT_NE(plan.find("StreamAggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+}
+
+TEST_F(RewriteEdgeTest, OrderInsensitiveBodyElidesEq6Sort) {
+  // A sum fold over an ORDER BY cursor: the classifier proves the order
+  // irrelevant, so the rewrite drops the derived ORDER BY and the planner is
+  // free to hash-aggregate — no Sort, no StreamAggregate.
   ASSERT_OK(session_->RunSql(R"(
     CREATE FUNCTION ordered_sum() RETURNS INT AS
     BEGIN
@@ -276,19 +345,21 @@ TEST_F(RewriteEdgeTest, OrderedRewritePlansAStreamAggregate) {
     END
   )"));
   Aggify aggify(&db_);
-  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("ordered_sum"));
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("ordered_sum"));
   ASSERT_EQ(report.loops_rewritten, 1);
-
-  // Plan the rewritten query text and require the Eq. 6 operators.
-  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("ordered_sum"));
-  const MultiAssignStmt* ma = nullptr;
-  for (const auto& s : def->body->statements) {
-    if (s->kind == StmtKind::kMultiAssign) {
-      ma = static_cast<const MultiAssignStmt*>(s.get());
-    } else if (s->kind == StmtKind::kGuardedRewrite) {
-      ma = static_cast<const GuardedRewriteStmt*>(s.get())->rewritten.get();
-    }
+  EXPECT_TRUE(report.rewrites[0].sets.ordered);
+  EXPECT_TRUE(report.rewrites[0].classification.order_insensitive);
+  EXPECT_TRUE(report.rewrites[0].sort_elided);
+  EXPECT_TRUE(report.rewrites[0].merge_supported);
+  bool elided_note = false;
+  for (const auto& n : report.notes) {
+    if (n.code == DiagCode::kSortElided) elided_note = true;
   }
+  EXPECT_TRUE(elided_note);
+
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("ordered_sum"));
+  const MultiAssignStmt* ma = FindRewrittenAssign(*def);
   ASSERT_NE(ma, nullptr);
   ExecContext ctx = session_->MakeContext();
   VariableEnv env;
@@ -296,8 +367,161 @@ TEST_F(RewriteEdgeTest, OrderedRewritePlansAStreamAggregate) {
   ctx.set_vars(&env);
   ASSERT_OK_AND_ASSIGN(std::string plan,
                        session_->engine().Explain(*ma->query, ctx));
-  EXPECT_NE(plan.find("StreamAggregate"), std::string::npos) << plan;
-  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("HashAggregate"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Sort"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("StreamAggregate"), std::string::npos) << plan;
+
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("ordered_sum", {}));
+  EXPECT_EQ(v.int_value(), 22);
+}
+
+TEST_F(RewriteEdgeTest, SortElisionCanBeDisabled) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION ordered_sum2() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  AggifyOptions opts;
+  opts.elide_order_insensitive_sort = false;
+  Aggify aggify(&db_, opts);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("ordered_sum2"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].sort_elided);
+  ASSERT_OK_AND_ASSIGN(auto def, db_.catalog().GetFunction("ordered_sum2"));
+  const MultiAssignStmt* ma = FindRewrittenAssign(*def);
+  ASSERT_NE(ma, nullptr);
+  EXPECT_TRUE(ma->query->force_stream_aggregate);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("ordered_sum2", {}));
+  EXPECT_EQ(v.int_value(), 22);
+}
+
+TEST_F(RewriteEdgeTest, ImpureUdfCallInBodyIsRejected) {
+  // Satellite regression: a loop body calling a UDF that performs persistent
+  // DML must be rejected even though the body itself contains no DML.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE audit (v INT);
+    CREATE FUNCTION log_it(@v INT) RETURNS INT AS
+    BEGIN
+      INSERT INTO audit VALUES (@v);
+      RETURN @v;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION audited_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + log_it(@x);
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("audited_sum"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kImpureUdfCall);
+  EXPECT_EQ(report.skipped[0].severity, DiagSeverity::kError);
+}
+
+TEST_F(RewriteEdgeTest, TransitivelyImpureUdfCallIsRejected) {
+  // The purity analysis is interprocedural: impurity two calls away still
+  // blocks the rewrite.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE audit2 (v INT);
+    CREATE FUNCTION deep_log(@v INT) RETURNS INT AS
+    BEGIN
+      INSERT INTO audit2 VALUES (@v);
+      RETURN @v;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION wrapper(@v INT) RETURNS INT AS
+    BEGIN
+      RETURN deep_log(@v) + 0;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION deep_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + wrapper(@x);
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("deep_sum"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kImpureUdfCall);
+}
+
+TEST_F(RewriteEdgeTest, ProvenPureUdfCallIsAccepted) {
+  // A UDF proven pure by the interprocedural analysis does not block the
+  // rewrite, and because the call is row-pure the sum fold still proves
+  // order-insensitive (sort elided on an ordered cursor).
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION twice(@v INT) RETURNS INT AS
+    BEGIN
+      RETURN @v * 2;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION doubled_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM nums ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + twice(@x);
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  ASSERT_OK_AND_ASSIGN(Value before, session_->Call("doubled_sum", {}));
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report,
+                       aggify.RewriteFunction("doubled_sum"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_TRUE(report.rewrites[0].sort_elided);
+  ASSERT_OK_AND_ASSIGN(Value after, session_->Call("doubled_sum", {}));
+  EXPECT_TRUE(before.StructurallyEquals(after));
+  EXPECT_EQ(after.int_value(), 44);
 }
 
 TEST_F(RewriteEdgeTest, GroupWithOnlyFilteredRowsKeepsPriorValues) {

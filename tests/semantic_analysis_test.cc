@@ -1,0 +1,312 @@
+// Unit tests for the semantic analysis suite: structured diagnostics,
+// interprocedural purity (call-graph fixpoint over the catalog), and the
+// order-sensitivity / decomposability fold classifier.
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+#include "analysis/fold_classifier.h"
+#include "analysis/purity.h"
+#include "exec/eval.h"
+#include "parser/parser.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// ---- diagnostics ----
+
+TEST(DiagnosticsTest, StatusRoundTripPreservesCodeAndMessage) {
+  Status st = NotApplicableDiag(DiagCode::kPersistentUpdate,
+                                "body UPDATEs table orders");
+  EXPECT_TRUE(st.IsNotApplicable());
+  Diagnostic d = DiagnosticFromStatus(st, "fn:c");
+  EXPECT_EQ(d.code, DiagCode::kPersistentUpdate);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.loc, "fn:c");
+  EXPECT_EQ(d.message, "body UPDATEs table orders");
+}
+
+TEST(DiagnosticsTest, UnprefixedStatusFallsBackToScriptError) {
+  Diagnostic d = DiagnosticFromStatus(Status::NotApplicable("free-form"),
+                                      "x.sql");
+  EXPECT_EQ(d.code, DiagCode::kScriptError);
+  EXPECT_EQ(d.message, "free-form");
+}
+
+TEST(DiagnosticsTest, ToStringIsClangTidyShaped) {
+  Diagnostic d = MakeDiagnostic(DiagCode::kImpureUdfCall, "report.sql:fn:c",
+                                "calls log_row which INSERTs into audit",
+                                "inline the call or move it after the loop");
+  std::string s = d.ToString();
+  EXPECT_EQ(s,
+            "report.sql:fn:c: error: calls log_row which INSERTs into audit "
+            "[aggify-impure-udf-call]\n"
+            "  fix-it: inline the call or move it after the loop");
+}
+
+TEST(DiagnosticsTest, SeverityMap) {
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kImpureUdfCall), DiagSeverity::kError);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kScriptError), DiagSeverity::kError);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kSelectStarCursor),
+            DiagSeverity::kWarning);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kSortElided), DiagSeverity::kNote);
+  EXPECT_EQ(DiagCodeName(DiagCode::kPersistentInsert), "AGG104");
+  EXPECT_STREQ(DiagCodeSlug(DiagCode::kPersistentInsert), "persistent-insert");
+}
+
+// ---- interprocedural purity ----
+
+class PurityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { session_ = std::make_unique<Session>(&db_); }
+
+  EffectLevel LevelOf(const std::string& fn) {
+    CallGraph graph = CallGraph::Build(db_.catalog(), IsScalarBuiltinName);
+    return graph.EffectsOf(fn).level;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(PurityTest, ArithmeticOnlyFunctionIsPure) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION sq(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN @x * @x;
+    END
+  )"));
+  EXPECT_EQ(LevelOf("sq"), EffectLevel::kPure);
+}
+
+TEST_F(PurityTest, QueryingFunctionReadsDatabase) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE t (v INT);
+    CREATE FUNCTION cnt() RETURNS INT AS
+    BEGIN
+      DECLARE @n INT;
+      SET @n = (SELECT COUNT(*) FROM t);
+      RETURN @n;
+    END
+  )"));
+  EXPECT_EQ(LevelOf("cnt"), EffectLevel::kReadsDatabase);
+}
+
+TEST_F(PurityTest, TempTableDmlIsTempState) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION scratch(@x INT) RETURNS INT AS
+    BEGIN
+      DECLARE @tmp TABLE (v INT);
+      INSERT INTO @tmp VALUES (@x);
+      RETURN (SELECT COUNT(*) FROM @tmp);
+    END
+  )"));
+  EXPECT_EQ(LevelOf("scratch"), EffectLevel::kWritesTempState);
+}
+
+TEST_F(PurityTest, PersistentDmlDominatesTransitively) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE log_t (v INT);
+    CREATE FUNCTION writer(@x INT) RETURNS INT AS
+    BEGIN
+      INSERT INTO log_t VALUES (@x);
+      RETURN @x;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION caller(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN writer(@x) + 1;
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION outer_caller(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN caller(@x) * 2;
+    END
+  )"));
+  EXPECT_EQ(LevelOf("writer"), EffectLevel::kWritesPersistentState);
+  EXPECT_EQ(LevelOf("caller"), EffectLevel::kWritesPersistentState);
+  EXPECT_EQ(LevelOf("outer_caller"), EffectLevel::kWritesPersistentState);
+  CallGraph graph = CallGraph::Build(db_.catalog(), IsScalarBuiltinName);
+  // The evidence chain names the callee that introduced the effect.
+  EXPECT_NE(graph.EffectsOf("outer_caller").evidence.find("caller"),
+            std::string::npos);
+}
+
+TEST_F(PurityTest, MutualRecursionConverges) {
+  // The fixpoint must terminate on cycles and agree across the SCC.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION even_fn(@n INT) RETURNS INT AS
+    BEGIN
+      IF (@n = 0) RETURN 1;
+      RETURN odd_fn(@n - 1);
+    END
+  )"));
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION odd_fn(@n INT) RETURNS INT AS
+    BEGIN
+      IF (@n = 0) RETURN 0;
+      RETURN even_fn(@n - 1);
+    END
+  )"));
+  EXPECT_EQ(LevelOf("even_fn"), EffectLevel::kPure);
+  EXPECT_EQ(LevelOf("odd_fn"), EffectLevel::kPure);
+}
+
+TEST_F(PurityTest, BuiltinCallsStayPureUnknownCallsDoNot) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION uses_builtin(@x INT) RETURNS INT AS
+    BEGIN
+      RETURN abs(@x) + floor(1.5);
+    END
+  )"));
+  EXPECT_EQ(LevelOf("uses_builtin"), EffectLevel::kPure);
+  // A name neither in the catalog nor a recognized builtin is kUnknown.
+  CallGraph graph = CallGraph::Build(db_.catalog(), IsScalarBuiltinName);
+  EXPECT_EQ(graph.EffectsOf("no_such_fn").level, EffectLevel::kUnknown);
+}
+
+// ---- fold classifier ----
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  BodyClassification Classify(const std::string& body_text,
+                              std::set<std::string> fields = {"@s"},
+                              std::set<std::string> row_vars = {"@x"}) {
+    auto parsed = ParseStatements(body_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    body_ = std::move(parsed).ValueOrDie();
+    return ClassifyLoopBody(static_cast<const BlockStmt&>(*body_), fields,
+                            row_vars, IsScalarBuiltinName);
+  }
+
+  StmtPtr body_;
+};
+
+TEST_F(ClassifierTest, SumFoldIsInsensitiveAndDecomposable) {
+  BodyClassification c = Classify("SET @s = @s + @x;");
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_TRUE(c.decomposable);
+  ASSERT_EQ(c.folds.size(), 1u);
+  EXPECT_EQ(c.folds[0].kind, FoldKind::kSum);
+}
+
+TEST_F(ClassifierTest, SubtractionOfRowTermIsASumFold) {
+  BodyClassification c = Classify("SET @s = @s - @x * 2;");
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_TRUE(c.decomposable);
+}
+
+TEST_F(ClassifierTest, ProductIsInsensitiveButNotDecomposable) {
+  BodyClassification c = Classify("SET @s = @s * @x;");
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_FALSE(c.decomposable);
+  EXPECT_NE(c.merge_reason.find("product"), std::string::npos);
+}
+
+TEST_F(ClassifierTest, GuardedMinAllSpellings) {
+  for (const char* body : {
+           "IF (@x < @s) SET @s = @x;",
+           "IF (@s > @x) SET @s = @x;",
+           "IF (@s IS NULL OR @x < @s) SET @s = @x;",
+           "IF (@x < @s) BEGIN SET @s = @x; END",
+       }) {
+    BodyClassification c = Classify(body);
+    EXPECT_TRUE(c.order_insensitive) << body << ": " << c.reason;
+    ASSERT_EQ(c.folds.size(), 1u) << body;
+    EXPECT_EQ(c.folds[0].kind, FoldKind::kGuardedMin) << body;
+  }
+}
+
+TEST_F(ClassifierTest, GuardedMaxDirections) {
+  for (const char* body : {
+           "IF (@x > @s) SET @s = @x;",
+           "IF (@s < @x) SET @s = @x;",
+       }) {
+    BodyClassification c = Classify(body);
+    ASSERT_EQ(c.folds.size(), 1u) << body;
+    EXPECT_EQ(c.folds[0].kind, FoldKind::kGuardedMax) << body;
+  }
+}
+
+TEST_F(ClassifierTest, GuardOnDifferentValueIsNotAnExtremum) {
+  // Guard compares @x but assigns @x + 1: ties leak order information.
+  BodyClassification c = Classify("IF (@x < @s) SET @s = @x + 1;");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, LastValueWinsIsOrderSensitive) {
+  BodyClassification c = Classify("SET @s = @x;");
+  EXPECT_FALSE(c.order_insensitive);
+  ASSERT_EQ(c.folds.size(), 1u);
+  EXPECT_EQ(c.folds[0].kind, FoldKind::kLastValue);
+  EXPECT_NE(c.reason.find("last-value"), std::string::npos);
+}
+
+TEST_F(ClassifierTest, BreakIsOrderSensitive) {
+  BodyClassification c =
+      Classify("SET @s = @s + @x;\nIF (@s > 100) BREAK;");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, MixedFoldShapesOnOneFieldAreOpaque) {
+  BodyClassification c = Classify("SET @s = @s + @x;\nSET @s = @s * @x;");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, FilteredFoldUnderRowPureGuard) {
+  BodyClassification c = Classify("IF (@x > 3) SET @s = @s + 1;");
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_TRUE(c.decomposable);
+  ASSERT_EQ(c.folds.size(), 1u);
+  EXPECT_EQ(c.folds[0].kind, FoldKind::kSum);
+}
+
+TEST_F(ClassifierTest, GuardReadingAccumulatorOutsideExtremumFails) {
+  BodyClassification c = Classify("IF (@s > 10) SET @s = @s + @x;");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, RowPureLocalsCompose) {
+  // A scratch local recomputed each row from row-pure inputs keeps folds
+  // order-insensitive; two independent fields classify independently.
+  BodyClassification c = Classify(
+      "DECLARE @d INT = @x * @x;\n"
+      "SET @s = @s + @d;\n"
+      "IF (@d > @m) SET @m = @d;",
+      /*fields=*/{"@s", "@m"});
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_TRUE(c.decomposable);
+  EXPECT_EQ(c.folds.size(), 2u);
+}
+
+TEST_F(ClassifierTest, ConditionallyAssignedLocalCarriesState) {
+  BodyClassification c = Classify(
+      "DECLARE @d INT = 0;\n"
+      "IF (@x > 0) SET @d = @x;\n"
+      "SET @s = @s + @d;");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, LoopInvariantVariablesAreRowPure) {
+  // @p is never assigned in the body: reads are loop-invariant.
+  BodyClassification c = Classify("SET @s = @s + @x * @p;");
+  EXPECT_TRUE(c.order_insensitive);
+}
+
+TEST_F(ClassifierTest, PureBuiltinCallsAreRowPure) {
+  BodyClassification c = Classify("SET @s = @s + abs(@x);");
+  EXPECT_TRUE(c.order_insensitive);
+  EXPECT_TRUE(c.decomposable);
+}
+
+TEST_F(ClassifierTest, SubqueryOperandsAreNotRowPure) {
+  BodyClassification c =
+      Classify("SET @s = @s + (SELECT COUNT(*) FROM t WHERE v < @x);");
+  EXPECT_FALSE(c.order_insensitive);
+}
+
+}  // namespace
+}  // namespace aggify

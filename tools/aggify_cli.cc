@@ -13,14 +13,25 @@
 //     --keep-dead     keep declarations the rewrite rendered dead (§6.2)
 //     --sets          print the Eq. 1-4 analysis sets per loop
 //   reads stdin when <script.sql> is '-'.
+//
+//   aggify_cli --lint <path | workloads-corpus>...
+//     clang-tidy-style diagnostics over dialect scripts: every skipped loop
+//     is reported with its stable AGG1xx code, every proved fact (rewrite,
+//     sort elision, derived Merge) as an AGG2xx note. Paths may be .sql
+//     files or directories (scanned recursively); the literal keyword
+//     `workloads-corpus` lints the bundled Table-1 corpora. Exit status is
+//     1 iff any error-severity diagnostic was emitted.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "aggify/rewriter.h"
 #include "procedural/session.h"
+#include "workloads/corpus.h"
 
 using namespace aggify;
 
@@ -40,6 +51,98 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out.empty() ? "{}" : "{" + out + "}";
 }
 
+struct LintTally {
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  void Emit(const Diagnostic& d) {
+    switch (d.severity) {
+      case DiagSeverity::kError: ++errors; break;
+      case DiagSeverity::kWarning: ++warnings; break;
+      case DiagSeverity::kNote: ++notes; break;
+    }
+    std::printf("%s\n", d.ToString().c_str());
+  }
+};
+
+/// Lints one dialect script: loads it into a scratch database, rewrites
+/// every registered function and reports each diagnostic against `label`.
+void LintScript(const std::string& label, const std::string& source,
+                LintTally* tally) {
+  Database db;
+  Session session(&db);
+  auto load = session.RunSql(source);
+  if (!load.ok()) {
+    tally->Emit(MakeDiagnostic(DiagCode::kScriptError, label,
+                               "script failed to load: " +
+                                   load.status().ToString()));
+    return;
+  }
+  Aggify aggify(&db);
+  for (const std::string& name : db.catalog().FunctionNames()) {
+    auto report = aggify.RewriteFunction(name);
+    if (!report.ok()) {
+      tally->Emit(MakeDiagnostic(DiagCode::kScriptError, label + ":" + name,
+                                 report.status().ToString()));
+      continue;
+    }
+    for (Diagnostic d : report->skipped) {
+      d.loc = label + ":" + d.loc;
+      tally->Emit(d);
+    }
+    for (Diagnostic d : report->notes) {
+      d.loc = label + ":" + d.loc;
+      tally->Emit(d);
+    }
+  }
+}
+
+int RunLint(const std::vector<std::string>& targets) {
+  LintTally tally;
+  for (const std::string& target : targets) {
+    if (target == "workloads-corpus") {
+      for (const Corpus& corpus : ApplicabilityCorpora()) {
+        auto stats = AnalyzeCorpus(corpus);
+        if (!stats.ok()) {
+          tally.Emit(MakeDiagnostic(DiagCode::kScriptError, corpus.name,
+                                    stats.status().ToString()));
+          continue;
+        }
+        for (const Diagnostic& d : stats->diagnostics) tally.Emit(d);
+      }
+      continue;
+    }
+    std::error_code ec;
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(target, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(target, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".sql") {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+    } else {
+      files.emplace_back(target);
+    }
+    for (const auto& file : files) {
+      std::ifstream in(file);
+      if (!in) {
+        tally.Emit(MakeDiagnostic(DiagCode::kScriptError, file.string(),
+                                  "cannot open file"));
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      LintScript(file.string(), buffer.str(), &tally);
+    }
+  }
+  std::fprintf(stderr, "aggify_cli: lint: %d error(s), %d warning(s), %d note(s)\n",
+               tally.errors, tally.warnings, tally.notes);
+  return tally.errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +150,8 @@ int main(int argc, char** argv) {
   bool for_loops = false;
   bool keep_dead = false;
   bool print_sets = false;
+  bool lint = false;
+  std::vector<std::string> targets;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-only") == 0) {
@@ -57,13 +162,23 @@ int main(int argc, char** argv) {
       keep_dead = true;
     } else if (std::strcmp(argv[i], "--sets") == 0) {
       print_sets = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
     } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
       return Fail(std::string("unknown option ") + argv[i] +
                   "\nusage: aggify_cli [--check-only] [--for-loops] "
-                  "[--keep-dead] [--sets] <script.sql | ->");
+                  "[--keep-dead] [--sets] <script.sql | ->\n"
+                  "       aggify_cli --lint <path | workloads-corpus>...");
     } else {
       path = argv[i];
+      targets.emplace_back(argv[i]);
     }
+  }
+  if (lint) {
+    if (targets.empty()) {
+      return Fail("--lint needs at least one path or 'workloads-corpus'");
+    }
+    return RunLint(targets);
   }
   if (path == nullptr) {
     return Fail("no input script (use '-' for stdin)");
@@ -107,8 +222,13 @@ int main(int argc, char** argv) {
 
     std::printf("-- function %s: %d cursor loop(s), %d rewritten\n",
                 name.c_str(), report->loops_found, report->loops_rewritten);
-    for (const std::string& reason : report->skipped) {
-      std::printf("--   skipped: %s\n", reason.c_str());
+    for (const Diagnostic& d : report->skipped) {
+      std::printf("--   skipped [%s]: %s\n", DiagCodeName(d.code).c_str(),
+                  d.message.c_str());
+    }
+    for (const Diagnostic& d : report->notes) {
+      std::printf("--   note [%s]: %s\n", DiagCodeName(d.code).c_str(),
+                  d.message.c_str());
     }
     if (check_only) continue;
 
