@@ -1,0 +1,26 @@
+-- Fetch-column pruning demo: the cursor fetches both qty and note, but the
+-- loop body only ever reads @qty. `aggify_cli --lint` reports the dead
+-- column as AGG302 (unused-fetch-column) and the rewritten query's derived
+-- projection drops it, so the engine never materializes `note` at all.
+CREATE TABLE shipments (ship_id INT, qty INT, note STRING);
+INSERT INTO shipments VALUES
+  (1, 4, 'fragile'), (1, 9, 'bulk'), (2, 2, 'cold chain'), (1, 1, 'bulk');
+
+CREATE FUNCTION shipped_units(@sid INT) RETURNS INT AS
+BEGIN
+  DECLARE @qty INT;
+  DECLARE @note STRING;
+  DECLARE @units INT = 0;
+  DECLARE ship_cur CURSOR FOR
+    SELECT qty, note FROM shipments WHERE ship_id = @sid;
+  OPEN ship_cur;
+  FETCH NEXT FROM ship_cur INTO @qty, @note;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @units = @units + @qty;
+    FETCH NEXT FROM ship_cur INTO @qty, @note;
+  END
+  CLOSE ship_cur;
+  DEALLOCATE ship_cur;
+  RETURN @units;
+END

@@ -4,6 +4,7 @@
 #include <functional>
 #include <set>
 
+#include "analysis/absint.h"
 #include "exec/eval.h"
 
 namespace aggify {
@@ -22,13 +23,10 @@ void StripFetches(BlockStmt* body, const std::string& cursor) {
               stmts.end());
 }
 
-/// Builds the Eq. 5 / Eq. 6 rewritten query:
-///   SELECT Agg(q.c<j>..., @vars...) FROM (Q') q
-/// where Q' is the cursor query with its select items aliased c0..cN so the
-/// outer aggregate arguments can reference them unambiguously.
-std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
-                                                const LoopSets& sets,
-                                                const std::string& agg_name,
+/// Clones the cursor query with its select items aliased c0..cN (so the
+/// outer aggregate arguments can reference them unambiguously), dropping
+/// ORDER BY when the sort was proven elidable.
+std::unique_ptr<SelectStmt> CloneDerivedAliased(const CursorLoopInfo& loop,
                                                 bool elide_sort) {
   auto derived = loop.query().Clone();
   for (size_t i = 0; i < derived->items.size(); ++i) {
@@ -38,15 +36,364 @@ std::unique_ptr<SelectStmt> BuildRewrittenQuery(const CursorLoopInfo& loop,
   // query's ORDER BY (and with it Eq. 6's forced sort) is semantically inert
   // and dropped, freeing the planner to hash-aggregate and parallelize.
   if (elide_sort) derived->order_by.clear();
+  return derived;
+}
 
-  // Map fetch variable -> projected column name (positional, like FETCH).
-  auto column_for_fetch_var = [&](const std::string& var) -> std::string {
-    for (size_t j = 0; j < loop.priming_fetch->into.size(); ++j) {
-      if (loop.priming_fetch->into[j] == var) {
-        return "q.c" + std::to_string(j);
+/// Fetch-column pruning: drops select items whose fetch variable is never
+/// used inside the loop (and trailing items FETCH INTO never binds at all).
+/// Kept items retain their original positional alias c<j>, so downstream
+/// fetch-var -> column mapping is unaffected. Returns the dropped aliases.
+/// DISTINCT and UNION ALL projections are load-bearing and left intact.
+std::vector<std::string> PruneDerivedColumns(
+    SelectStmt* derived, const std::vector<std::string>& into,
+    const std::set<std::string>& used_vars) {
+  if (derived->distinct || derived->union_all != nullptr ||
+      derived->select_star) {
+    return {};
+  }
+  std::vector<bool> keep(derived->items.size(), false);
+  for (size_t j = 0; j < derived->items.size(); ++j) {
+    if (j < into.size() && used_vars.count(into[j]) != 0) keep[j] = true;
+  }
+  // A projection needs at least one column for the derived table (and the
+  // aggregate's per-row cadence) to survive.
+  if (std::none_of(keep.begin(), keep.end(), [](bool k) { return k; })) {
+    keep[0] = true;
+  }
+  if (std::all_of(keep.begin(), keep.end(), [](bool k) { return k; })) {
+    return {};
+  }
+  std::vector<std::string> dropped;
+  std::vector<SelectItem> kept_items;
+  for (size_t j = 0; j < derived->items.size(); ++j) {
+    if (keep[j]) {
+      kept_items.push_back(std::move(derived->items[j]));
+    } else {
+      dropped.push_back(derived->items[j].alias);
+    }
+  }
+  derived->items = std::move(kept_items);
+  return dropped;
+}
+
+/// Map fetch variable -> projected column name (positional, like FETCH).
+std::string ColumnForFetchVar(const CursorLoopInfo& loop,
+                              const std::string& var) {
+  for (size_t j = 0; j < loop.priming_fetch->into.size(); ++j) {
+    if (loop.priming_fetch->into[j] == var) {
+      return "q.c" + std::to_string(j);
+    }
+  }
+  return "";  // unreachable: P_accum fetch vars come from FETCH INTO
+}
+
+/// Δ proven to be exactly one built-in fold over one row expression, so the
+/// rewrite can call the native aggregate instead of an interpreted Agg_Δ.
+struct NativeFold {
+  std::string builtin;             ///< "sum", "count", "min" or "max"
+  BinaryOp op = BinaryOp::kAdd;    ///< sum/count channel: acc = acc op e
+  const Expr* row_expr = nullptr;  ///< e (count channel: the Int literal)
+  bool null_peeled = false;        ///< extremum guard had `acc IS NULL OR`
+};
+
+/// Row-expression eligibility for lowering: no subqueries or aggregate
+/// calls, no reference to the accumulator itself, and every fetch variable
+/// maps to a cursor column. (The single-statement body shape guarantees any
+/// other variable is loop-invariant.)
+bool RowExprEligible(const Expr& e, const std::string& acc,
+                     const CursorLoopInfo& loop,
+                     const std::set<std::string>& fetch_set) {
+  bool ok = true;
+  std::function<void(const Expr&)> visit = [&](const Expr& node) {
+    switch (node.kind) {
+      case ExprKind::kScalarSubquery:
+      case ExprKind::kExists:
+      case ExprKind::kAggregateCall:
+      case ExprKind::kColumnRef:
+        ok = false;
+        return;
+      case ExprKind::kInList:
+        if (static_cast<const InListExpr&>(node).subquery != nullptr) {
+          ok = false;
+          return;
+        }
+        break;
+      case ExprKind::kVarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(node);
+        if (v.name == acc) ok = false;
+        if (fetch_set.count(v.name) != 0 &&
+            ColumnForFetchVar(loop, v.name).empty()) {
+          ok = false;
+        }
+        return;
+      }
+      default:
+        break;
+    }
+    for (const Expr* c : node.Children()) visit(*c);
+  };
+  visit(e);
+  return ok;
+}
+
+/// Unwraps `{ s; }` single-statement blocks.
+const Stmt* SoleStatement(const Stmt& s) {
+  if (s.kind != StmtKind::kBlock) return &s;
+  const auto& b = static_cast<const BlockStmt&>(s);
+  return b.statements.size() == 1 ? b.statements[0].get() : nullptr;
+}
+
+/// Matches the FETCH-stripped body against the native-fold grammar. Returns
+/// true (filling `out`) when Δ is exactly one sum / count / guarded-min /
+/// guarded-max update of the loop's single live accumulator. The fold
+/// classifier has already proven the matched kinds order-insensitive; this
+/// re-match only extracts the pieces the lowered query needs.
+bool DetectNativeFold(const BlockStmt& stripped, const CursorLoopInfo& loop,
+                      const LoopSets& sets,
+                      const BodyClassification& classification,
+                      NativeFold* out) {
+  if (sets.v_fields.size() != 1 || sets.v_term.size() != 1 ||
+      sets.v_fields[0] != sets.v_term[0]) {
+    return false;
+  }
+  const std::string& acc = sets.v_fields[0];
+  const FoldKind* kind = classification.FoldFor(acc);
+  if (kind == nullptr) return false;
+  if (stripped.statements.size() != 1) return false;
+  const Stmt* s = SoleStatement(*stripped.statements[0]);
+  if (s == nullptr) return false;
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+
+  auto is_acc_ref = [&](const Expr& e) {
+    return e.kind == ExprKind::kVarRef &&
+           static_cast<const VarRefExpr&>(e).name == acc;
+  };
+
+  if (*kind == FoldKind::kSum) {
+    if (s->kind != StmtKind::kSet) return false;
+    const auto& set = static_cast<const SetStmt&>(*s);
+    if (set.name != acc || set.value->kind != ExprKind::kBinary) return false;
+    const auto& bin = static_cast<const BinaryExpr&>(*set.value);
+    const Expr* e = nullptr;
+    if (bin.op == BinaryOp::kAdd && is_acc_ref(*bin.left)) {
+      e = bin.right.get();
+    } else if (bin.op == BinaryOp::kAdd && is_acc_ref(*bin.right)) {
+      e = bin.left.get();
+    } else if (bin.op == BinaryOp::kSub && is_acc_ref(*bin.left)) {
+      e = bin.right.get();
+    }
+    if (e == nullptr || !RowExprEligible(*e, acc, loop, fetch_set)) {
+      return false;
+    }
+    out->op = bin.op;
+    out->row_expr = e;
+    if (e->kind == ExprKind::kLiteral) {
+      const Value& k = static_cast<const LiteralExpr&>(*e).value;
+      if (k.is_null()) return false;  // acc goes NULL on row one; keep Agg_Δ
+      // Integer step k: acc final = acc ± k·n, exactly COUNT(*) scaled.
+      // Non-integer literals go through the sum channel (SUM performs the
+      // same sequential additions the loop did; k·n multiplication would
+      // not be bit-identical for doubles).
+      out->builtin = k.is_int() ? "count" : "sum";
+    } else {
+      out->builtin = "sum";
+    }
+    return true;
+  }
+
+  if (*kind == FoldKind::kGuardedMin || *kind == FoldKind::kGuardedMax) {
+    const bool is_min = *kind == FoldKind::kGuardedMin;
+    if (s->kind != StmtKind::kIf) return false;
+    const auto& iff = static_cast<const IfStmt&>(*s);
+    if (iff.else_branch != nullptr) return false;
+    const Stmt* then_s = SoleStatement(*iff.then_branch);
+    if (then_s == nullptr || then_s->kind != StmtKind::kSet) return false;
+    const auto& set = static_cast<const SetStmt&>(*then_s);
+    if (set.name != acc) return false;
+
+    // Optional `@acc IS NULL OR` peel in front of the comparison.
+    const Expr* cond = iff.condition.get();
+    bool peeled = false;
+    if (cond->kind == ExprKind::kBinary &&
+        static_cast<const BinaryExpr&>(*cond).op == BinaryOp::kOr) {
+      const auto& orx = static_cast<const BinaryExpr&>(*cond);
+      if (orx.left->kind == ExprKind::kIsNull) {
+        const auto& isn = static_cast<const IsNullExpr&>(*orx.left);
+        if (!isn.negated && is_acc_ref(*isn.operand)) {
+          peeled = true;
+          cond = orx.right.get();
+        }
       }
     }
-    return "";  // unreachable: P_accum fetch vars come from FETCH INTO
+    if (cond->kind != ExprKind::kBinary) return false;
+    const auto& cmp = static_cast<const BinaryExpr&>(*cond);
+    // min accepts e < acc / e <= acc / acc > e / acc >= e; max mirrored.
+    const Expr* e = nullptr;
+    if (is_acc_ref(*cmp.right) &&
+        (is_min ? (cmp.op == BinaryOp::kLt || cmp.op == BinaryOp::kLe)
+                : (cmp.op == BinaryOp::kGt || cmp.op == BinaryOp::kGe))) {
+      e = cmp.left.get();
+    } else if (is_acc_ref(*cmp.left) &&
+               (is_min
+                    ? (cmp.op == BinaryOp::kGt || cmp.op == BinaryOp::kGe)
+                    : (cmp.op == BinaryOp::kLt || cmp.op == BinaryOp::kLe))) {
+      e = cmp.right.get();
+    }
+    if (e == nullptr) return false;
+    // The assigned value must be the compared expression itself.
+    if (set.value->ToString() != e->ToString()) return false;
+    if (!RowExprEligible(*e, acc, loop, fetch_set)) return false;
+    out->builtin = is_min ? "min" : "max";
+    out->row_expr = e;
+    out->null_peeled = peeled;
+    return true;
+  }
+  return false;
+}
+
+/// Rewrites (in place) every fetch-variable reference in a cloned row
+/// expression into the matching derived-table column `q.c<j>`; other
+/// variables stay VarRefs (loop-invariant, evaluated once at statement
+/// entry, exactly like the interpreted rewrite's non-fetch arguments).
+void MapFetchVarsToColumns(ExprPtr* slot, const CursorLoopInfo& loop,
+                           const std::set<std::string>& fetch_set) {
+  Expr* e = slot->get();
+  switch (e->kind) {
+    case ExprKind::kVarRef: {
+      auto* v = static_cast<VarRefExpr*>(e);
+      if (fetch_set.count(v->name) != 0) {
+        *slot = MakeColumnRef(ColumnForFetchVar(loop, v->name));
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      MapFetchVarsToColumns(&static_cast<UnaryExpr*>(e)->operand, loop,
+                            fetch_set);
+      return;
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(e);
+      MapFetchVarsToColumns(&b->left, loop, fetch_set);
+      MapFetchVarsToColumns(&b->right, loop, fetch_set);
+      return;
+    }
+    case ExprKind::kFunctionCall:
+      for (auto& a : static_cast<FunctionCallExpr*>(e)->args) {
+        MapFetchVarsToColumns(&a, loop, fetch_set);
+      }
+      return;
+    case ExprKind::kIsNull:
+      MapFetchVarsToColumns(&static_cast<IsNullExpr*>(e)->operand, loop,
+                            fetch_set);
+      return;
+    case ExprKind::kCast:
+      MapFetchVarsToColumns(&static_cast<CastExpr*>(e)->operand, loop,
+                            fetch_set);
+      return;
+    case ExprKind::kCaseWhen: {
+      auto* c = static_cast<CaseWhenExpr*>(e);
+      for (auto& arm : c->arms) {
+        MapFetchVarsToColumns(&arm.condition, loop, fetch_set);
+        MapFetchVarsToColumns(&arm.result, loop, fetch_set);
+      }
+      if (c->else_result != nullptr) {
+        MapFetchVarsToColumns(&c->else_result, loop, fetch_set);
+      }
+      return;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e);
+      MapFetchVarsToColumns(&in->operand, loop, fetch_set);
+      for (auto& x : in->list) MapFetchVarsToColumns(&x, loop, fetch_set);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Builds the lowered rewritten query, calling the native aggregate but
+/// producing the exact scalar the interpreted Agg_Δ's Terminate would
+/// produce (including the NULL "keep prior values" marker, §5.4):
+///
+///   count  SELECT @acc ± k·COUNT(*) FROM (Q') q
+///   sum    SELECT CASE WHEN COUNT(e') < COUNT(*) THEN NULL
+///                      ELSE @acc ± SUM(e') END ...      (a NULL e' row
+///          poisons the interpreted accumulator permanently)
+///   min    SELECT CASE [WHEN @acc IS NULL THEN MIN(e')]   -- iff peeled
+///                      WHEN MIN(e') < @acc THEN MIN(e')
+///                      ELSE @acc END ...                 (max mirrored)
+std::unique_ptr<SelectStmt> BuildLoweredQuery(
+    const CursorLoopInfo& loop, const LoopSets& sets, const NativeFold& fold,
+    bool elide_sort, std::unique_ptr<SelectStmt> derived) {
+  const std::string& acc = sets.v_term[0];
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+  auto row = [&]() {
+    ExprPtr e = fold.row_expr->Clone();
+    MapFetchVarsToColumns(&e, loop, fetch_set);
+    return e;
+  };
+  auto agg_of_row = [&](const std::string& name) -> ExprPtr {
+    std::vector<ExprPtr> args;
+    args.push_back(row());
+    return std::make_unique<AggregateCallExpr>(name, std::move(args));
+  };
+  auto count_star = []() -> ExprPtr {
+    return std::make_unique<AggregateCallExpr>(
+        "count", std::vector<ExprPtr>{}, /*star=*/true);
+  };
+
+  ExprPtr value;
+  if (fold.builtin == "count") {
+    int64_t k =
+        static_cast<const LiteralExpr&>(*fold.row_expr).value.int_value();
+    ExprPtr n = count_star();
+    if (k != 1) {
+      n = MakeBinary(BinaryOp::kMul, MakeLiteral(Value::Int(k)),
+                     std::move(n));
+    }
+    value = MakeBinary(fold.op, MakeVarRef(acc), std::move(n));
+  } else if (fold.builtin == "sum") {
+    std::vector<CaseWhenExpr::Arm> arms;
+    arms.push_back(CaseWhenExpr::Arm{
+        MakeBinary(BinaryOp::kLt, agg_of_row("count"), count_star()),
+        MakeLiteral(Value::Null())});
+    value = std::make_unique<CaseWhenExpr>(
+        std::move(arms),
+        MakeBinary(fold.op, MakeVarRef(acc), agg_of_row("sum")));
+  } else {
+    const BinaryOp cmp =
+        fold.builtin == "min" ? BinaryOp::kLt : BinaryOp::kGt;
+    std::vector<CaseWhenExpr::Arm> arms;
+    if (fold.null_peeled) {
+      arms.push_back(CaseWhenExpr::Arm{
+          std::make_unique<IsNullExpr>(MakeVarRef(acc), /*neg=*/false),
+          agg_of_row(fold.builtin)});
+    }
+    arms.push_back(CaseWhenExpr::Arm{
+        MakeBinary(cmp, agg_of_row(fold.builtin), MakeVarRef(acc)),
+        agg_of_row(fold.builtin)});
+    value =
+        std::make_unique<CaseWhenExpr>(std::move(arms), MakeVarRef(acc));
+  }
+
+  auto outer = std::make_unique<SelectStmt>();
+  SelectItem item;
+  item.expr = std::move(value);
+  item.alias = "aggval";
+  outer->items.push_back(std::move(item));
+  outer->from.push_back(TableRef::Derived(std::move(derived), "q"));
+  outer->force_stream_aggregate = sets.ordered && !elide_sort;
+  return outer;
+}
+
+/// Builds the Eq. 5 / Eq. 6 rewritten query:
+///   SELECT Agg(q.c<j>..., @vars...) FROM (Q') q
+std::unique_ptr<SelectStmt> BuildRewrittenQuery(
+    const CursorLoopInfo& loop, const LoopSets& sets,
+    const std::string& agg_name, bool elide_sort,
+    std::unique_ptr<SelectStmt> derived) {
+  auto column_for_fetch_var = [&](const std::string& var) {
+    return ColumnForFetchVar(loop, var);
   };
 
   std::vector<ExprPtr> args;
@@ -182,6 +529,49 @@ Status CheckFetchShape(const CursorLoopInfo& loop) {
   return Status::OK();
 }
 
+/// Every variable any statement in the subtree reads (including inside
+/// nested queries). Drives fetch-column pruning: a fetch variable no loop
+/// use reads does not need its cursor column.
+void CollectUsedVars(const Stmt& stmt, std::set<std::string>* used) {
+  std::vector<std::string> uses;
+  StatementUses(stmt, &uses);
+  used->insert(uses.begin(), uses.end());
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectUsedVars(*s, used);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectUsedVars(*i.then_branch, used);
+      if (i.else_branch != nullptr) CollectUsedVars(*i.else_branch, used);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectUsedVars(*static_cast<const WhileStmt&>(stmt).body, used);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      std::vector<std::string> vars;
+      CollectVariableRefs(*f.init, &vars);
+      CollectVariableRefs(*f.bound, &vars);
+      if (f.step != nullptr) CollectVariableRefs(*f.step, &vars);
+      used->insert(vars.begin(), vars.end());
+      CollectUsedVars(*f.body, used);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectUsedVars(*tc.try_block, used);
+      CollectUsedVars(*tc.catch_block, used);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 }  // namespace
 
 Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
@@ -218,7 +608,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     std::string agg_name =
         name_hint + "_agg" + std::to_string(db_->NextObjectId());
     StmtPtr body_clone = loop.loop->body->Clone();
-    auto* body_block = static_cast<BlockStmt*>(body_clone.release());
+    auto* body_block = static_cast<BlockStmt*>(body_clone.get());
     StripFetches(body_block, loop.cursor_name);
 
     // Semantic analyses over the stripped body: order-sensitivity and
@@ -240,13 +630,44 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     bool elide_sort = sets.ordered && classification.order_insensitive &&
                       options_.elide_order_insensitive_sort;
 
-    std::shared_ptr<const BlockStmt> shared_body(body_block);
-    auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
-                                                     sets, classification);
-    db_->catalog().RegisterAggregate(agg_name, aggregate);
+    // Q': the aliased derived query, with cursor columns no loop use reads
+    // pruned from its projection (AGG302).
+    auto derived = CloneDerivedAliased(loop, elide_sort);
+    std::vector<std::string> pruned;
+    if (options_.prune_fetch_columns) {
+      std::set<std::string> used;
+      CollectUsedVars(*body_block, &used);
+      used.insert(sets.p_accum.begin(), sets.p_accum.end());
+      pruned = PruneDerivedColumns(derived.get(), loop.priming_fetch->into,
+                                   used);
+    }
+
+    // Native-fold lowering (AGG304): when Δ is exactly one proven built-in
+    // fold of the single live accumulator, call the builtin directly — no
+    // interpreted Agg_Δ is registered at all.
+    NativeFold fold;
+    const bool lowered =
+        options_.lower_native_folds &&
+        DetectNativeFold(*body_block, loop, sets, classification, &fold);
 
     // Eq. 5/6 rewrite.
-    auto query = BuildRewrittenQuery(loop, sets, agg_name, elide_sort);
+    std::unique_ptr<SelectStmt> query;
+    std::string aggregate_source;
+    if (lowered) {
+      agg_name = fold.builtin;
+      query = BuildLoweredQuery(loop, sets, fold, elide_sort,
+                                std::move(derived));
+    } else {
+      std::shared_ptr<const BlockStmt> shared_body(
+          static_cast<BlockStmt*>(body_clone.release()));
+      auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
+                                                       sets, classification);
+      db_->catalog().RegisterAggregate(agg_name, aggregate);
+      aggregate_source = aggregate->GenerateSource();
+      query = BuildRewrittenQuery(loop, sets, agg_name, elide_sort,
+                                  std::move(derived));
+    }
+    std::string query_sql = query->ToString();
     auto multi_assign =
         std::make_unique<MultiAssignStmt>(sets.v_term, std::move(query));
 
@@ -274,12 +695,34 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     record.sort_elided = elide_sort;
     record.merge_supported = classification.decomposable;
     record.rewritten_statement = replacement->ToString(0);
-    record.aggregate_source = aggregate->GenerateSource();
+    record.aggregate_source = std::move(aggregate_source);
+    record.lowered_to_builtin = lowered;
+    record.rewritten_query_sql = std::move(query_sql);
+    record.pruned_fetch_columns = pruned;
     report->rewrites.push_back(std::move(record));
 
     report->notes.push_back(MakeDiagnostic(
         DiagCode::kRewritten, loc,
         "cursor loop rewritten into aggregate " + agg_name));
+    if (!pruned.empty()) {
+      std::string cols;
+      for (size_t i = 0; i < pruned.size(); ++i) {
+        if (i > 0) cols += ", ";
+        cols += pruned[i];
+      }
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kUnusedFetchColumn, loc,
+          "cursor column(s) " + cols +
+              " are fetched but never used; pruned from the rewritten "
+              "query's projection"));
+    }
+    if (lowered) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kLoweredToBuiltin, loc,
+          "loop body is a single " + agg_name +
+              " fold; lowered to the native aggregate (no interpreted "
+              "Agg_delta)"));
+    }
     if (elide_sort) {
       report->notes.push_back(MakeDiagnostic(
           DiagCode::kSortElided, loc,
@@ -293,7 +736,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
                    ? std::string("elision disabled by options")
                    : classification.reason)));
     }
-    if (classification.decomposable) {
+    if (classification.decomposable && !lowered) {
       report->notes.push_back(MakeDiagnostic(
           DiagCode::kMergeSynthesized, loc,
           "decomposability proof held; derived Merge attached"));
@@ -323,14 +766,27 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
 Result<AggifyReport> Aggify::RewriteBlock(BlockStmt* block,
                                           const std::vector<std::string>& params) {
   AggifyReport report;
-  if (options_.convert_for_loops) {
-    RETURN_NOT_OK(ConvertForLoopsToCursorLoops(block, db_));
-  }
-  report.loops_found = static_cast<int>(FindCursorLoops(block).size());
   // Anonymous client programs have no RETURN: their top-level variables are
   // the observable outputs and must survive the rewrite.
   std::set<std::string> observable = TopLevelVariables(*block);
   for (const auto& p : params) observable.insert(p);
+  // Simplify before FOR conversion (folded bounds enable the static-trip
+  // fast path) and before loop-set inference (DESIGN invariant 7).
+  if (options_.simplify) {
+    ASSIGN_OR_RETURN(report.simplify,
+                     SimplifyBlock(block, params, &observable, "block"));
+    report.notes.insert(report.notes.end(),
+                        report.simplify.diagnostics.begin(),
+                        report.simplify.diagnostics.end());
+  }
+  if (options_.convert_for_loops) {
+    ForLoopConversionOptions for_opts;
+    for_opts.static_trip_values = options_.static_trip_values;
+    for_opts.max_static_trips = options_.max_static_trips;
+    RETURN_NOT_OK(
+        ConvertForLoopsToCursorLoops(block, db_, for_opts, &report.notes));
+  }
+  report.loops_found = static_cast<int>(FindCursorLoops(block).size());
   std::set<const WhileStmt*> skipped;
   for (;;) {
     ASSIGN_OR_RETURN(bool rewrote, RewriteOneLoop(block, params, &observable,
@@ -345,14 +801,26 @@ Result<AggifyReport> Aggify::RewriteFunction(const std::string& name) {
   std::shared_ptr<FunctionDef> def = original->Clone();
 
   AggifyReport report;
+  std::vector<std::string> params;
+  for (const auto& p : def->params) params.push_back(p.name);
+
+  if (options_.simplify) {
+    ASSIGN_OR_RETURN(report.simplify,
+                     SimplifyBlock(def->body.get(), params,
+                                   /*observable_vars=*/nullptr, name));
+    report.notes.insert(report.notes.end(),
+                        report.simplify.diagnostics.begin(),
+                        report.simplify.diagnostics.end());
+  }
   if (options_.convert_for_loops) {
-    RETURN_NOT_OK(ConvertForLoopsToCursorLoops(def->body.get(), db_));
+    ForLoopConversionOptions for_opts;
+    for_opts.static_trip_values = options_.static_trip_values;
+    for_opts.max_static_trips = options_.max_static_trips;
+    RETURN_NOT_OK(ConvertForLoopsToCursorLoops(def->body.get(), db_, for_opts,
+                                               &report.notes));
   }
   report.loops_found =
       static_cast<int>(FindCursorLoops(def->body.get()).size());
-
-  std::vector<std::string> params;
-  for (const auto& p : def->params) params.push_back(p.name);
 
   std::set<const WhileStmt*> skipped;
   for (;;) {
@@ -469,23 +937,96 @@ int RemoveDeadDeclarations(BlockStmt* block) {
   return RemoveDeadDeclarationsIn(block, used, assigned);
 }
 
+namespace {
+
+/// §8.1 static-trip fast path: when init/bound/step abstractly evaluate to
+/// integer constants with step > 0, init <= bound and at most
+/// `max_static_trips` iterations, the iteration space is a UNION ALL chain
+/// of literal rows — no recursive CTE, no per-row arithmetic at run time.
+/// The chain is the cursor query itself (a UNION ALL *CTE* would be routed
+/// through recursive semi-naive evaluation by the binder). Returns nullptr
+/// when the fast path does not apply; constant zero-trip loops also decline
+/// (they keep the general path unchanged).
+std::unique_ptr<SelectStmt> BuildStaticTripChain(
+    const ForStmt& f, const ForLoopConversionOptions& options,
+    const std::string& cursor, std::vector<Diagnostic>* notes) {
+  if (!options.static_trip_values) return nullptr;
+  AbsEnv env;  // empty: only literal / constant-folded bounds qualify
+  auto as_int = [&](const Expr* e, int64_t* out) {
+    if (e == nullptr) {
+      *out = 1;  // implicit STEP 1
+      return true;
+    }
+    AbsValue v = EvalAbstract(*e, env);
+    if (!v.IsConst() || !v.constant.is_int()) return false;
+    *out = v.constant.int_value();
+    return true;
+  };
+  int64_t init = 0, bound = 0, step = 0;
+  if (!as_int(f.init.get(), &init) || !as_int(f.bound.get(), &bound) ||
+      !as_int(f.step.get(), &step)) {
+    return nullptr;
+  }
+  if (step <= 0 || init > bound) return nullptr;
+  int64_t span = 0;
+  if (__builtin_sub_overflow(bound, init, &span)) return nullptr;
+  int64_t trips = span / step + 1;
+  if (trips > options.max_static_trips) return nullptr;
+
+  std::unique_ptr<SelectStmt> head;
+  SelectStmt* tail = nullptr;
+  for (int64_t i = 0; i < trips; ++i) {
+    auto row = std::make_unique<SelectStmt>();
+    row->items.push_back(
+        SelectItem{MakeLiteral(Value::Int(init + i * step)), "v"});
+    if (tail == nullptr) {
+      tail = row.get();
+      head = std::move(row);
+    } else {
+      tail->union_all = std::move(row);
+      tail = tail->union_all.get();
+    }
+  }
+  if (notes != nullptr) {
+    notes->push_back(MakeDiagnostic(
+        DiagCode::kStaticTripCount, cursor,
+        "FOR bounds fold to constants [" + std::to_string(init) + ", " +
+            std::to_string(bound) + "] step " + std::to_string(step) + " (" +
+            std::to_string(trips) +
+            " iterations); iteration space materialized as literal rows "
+            "instead of a recursive CTE"));
+  }
+  return head;
+}
+
+}  // namespace
+
 Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db) {
+  return ConvertForLoopsToCursorLoops(block, db, ForLoopConversionOptions{},
+                                      nullptr);
+}
+
+Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db,
+                                    const ForLoopConversionOptions& options,
+                                    std::vector<Diagnostic>* notes) {
   for (auto& stmt : block->statements) {
     switch (stmt->kind) {
       case StmtKind::kBlock:
         RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-            static_cast<BlockStmt*>(stmt.get()), db));
+            static_cast<BlockStmt*>(stmt.get()), db, options, notes));
         break;
       case StmtKind::kIf: {
         auto* i = static_cast<IfStmt*>(stmt.get());
         if (i->then_branch->kind == StmtKind::kBlock) {
           RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-              static_cast<BlockStmt*>(i->then_branch.get()), db));
+              static_cast<BlockStmt*>(i->then_branch.get()), db, options,
+              notes));
         }
         if (i->else_branch != nullptr &&
             i->else_branch->kind == StmtKind::kBlock) {
           RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-              static_cast<BlockStmt*>(i->else_branch.get()), db));
+              static_cast<BlockStmt*>(i->else_branch.get()), db, options,
+              notes));
         }
         break;
       }
@@ -493,7 +1034,7 @@ Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db) {
         auto* w = static_cast<WhileStmt*>(stmt.get());
         if (w->body->kind == StmtKind::kBlock) {
           RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-              static_cast<BlockStmt*>(w->body.get()), db));
+              static_cast<BlockStmt*>(w->body.get()), db, options, notes));
         }
         break;
       }
@@ -501,38 +1042,45 @@ Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db) {
         auto* f = static_cast<ForStmt*>(stmt.get());
         if (f->body->kind == StmtKind::kBlock) {
           RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-              static_cast<BlockStmt*>(f->body.get()), db));
+              static_cast<BlockStmt*>(f->body.get()), db, options, notes));
         }
-        // Build: WITH iter (v) AS (SELECT init AS v UNION ALL
-        //        SELECT v + step FROM iter WHERE v + step <= bound)
-        //        SELECT v FROM iter
         std::string cursor = "__for_cur" + std::to_string(db->NextObjectId());
-        ExprPtr step = f->step != nullptr ? f->step->Clone()
-                                          : MakeLiteral(Value::Int(1));
 
-        auto base = std::make_unique<SelectStmt>();
-        base->items.push_back(SelectItem{f->init->Clone(), "v"});
+        // Fast path: constant bounds become a literal-row chain (AGG306).
+        std::unique_ptr<SelectStmt> query =
+            BuildStaticTripChain(*f, options, cursor, notes);
+        if (query == nullptr) {
+          // General path:
+          //   WITH iter (v) AS (SELECT init AS v UNION ALL
+          //        SELECT v + step FROM iter WHERE v + step <= bound)
+          //   SELECT v FROM iter
+          ExprPtr step = f->step != nullptr ? f->step->Clone()
+                                            : MakeLiteral(Value::Int(1));
 
-        auto rec = std::make_unique<SelectStmt>();
-        rec->items.push_back(SelectItem{
-            MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
-            "v"});
-        rec->from.push_back(TableRef::Base("__iter" + cursor));
-        rec->where = MakeBinary(
-            BinaryOp::kLe,
-            MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
-            f->bound->Clone());
-        base->union_all = std::move(rec);
+          auto base = std::make_unique<SelectStmt>();
+          base->items.push_back(SelectItem{f->init->Clone(), "v"});
 
-        auto query = std::make_unique<SelectStmt>();
-        CteDef cte;
-        cte.name = "__iter" + cursor;
-        cte.column_names = {"v"};
-        cte.recursive = true;
-        cte.query = std::move(base);
-        query->ctes.push_back(std::move(cte));
-        query->items.push_back(SelectItem{MakeColumnRef("v"), ""});
-        query->from.push_back(TableRef::Base("__iter" + cursor));
+          auto rec = std::make_unique<SelectStmt>();
+          rec->items.push_back(SelectItem{
+              MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
+              "v"});
+          rec->from.push_back(TableRef::Base("__iter" + cursor));
+          rec->where = MakeBinary(
+              BinaryOp::kLe,
+              MakeBinary(BinaryOp::kAdd, MakeColumnRef("v"), step->Clone()),
+              f->bound->Clone());
+          base->union_all = std::move(rec);
+
+          query = std::make_unique<SelectStmt>();
+          CteDef cte;
+          cte.name = "__iter" + cursor;
+          cte.column_names = {"v"};
+          cte.recursive = true;
+          cte.query = std::move(base);
+          query->ctes.push_back(std::move(cte));
+          query->items.push_back(SelectItem{MakeColumnRef("v"), ""});
+          query->from.push_back(TableRef::Base("__iter" + cursor));
+        }
 
         // Assemble the canonical cursor loop.
         auto region = std::make_unique<BlockStmt>();
@@ -566,9 +1114,11 @@ Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db) {
       case StmtKind::kTryCatch: {
         auto* tc = static_cast<TryCatchStmt*>(stmt.get());
         RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-            static_cast<BlockStmt*>(tc->try_block.get()), db));
+            static_cast<BlockStmt*>(tc->try_block.get()), db, options,
+            notes));
         RETURN_NOT_OK(ConvertForLoopsToCursorLoops(
-            static_cast<BlockStmt*>(tc->catch_block.get()), db));
+            static_cast<BlockStmt*>(tc->catch_block.get()), db, options,
+            notes));
         break;
       }
       default:

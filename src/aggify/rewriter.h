@@ -10,6 +10,7 @@
 #include <set>
 
 #include "aggify/loop_aggregate.h"
+#include "analysis/simplify.h"
 #include "storage/catalog.h"
 
 namespace aggify {
@@ -38,6 +39,26 @@ struct AggifyOptions {
   /// Attach the derived Merge when the decomposability proof holds.
   /// Ablation knob: disabling keeps the aggregate serial.
   bool synthesize_merge = true;
+  /// Run the abstract-interpretation simplification pipeline
+  /// (`analysis/simplify.h`: constant folding, constant-branch pruning,
+  /// dead-store elimination) on the body *before* Eq. 1–4 set inference, so
+  /// Agg_Δ never carries state the program provably does not need.
+  bool simplify = true;
+  /// Drop cursor columns that are fetched but never used in Δ from Q's
+  /// projection (AGG302). Skipped for DISTINCT / UNION ALL cursor queries,
+  /// where the projection is semantically load-bearing.
+  bool prune_fetch_columns = true;
+  /// When Δ is exactly one proven built-in fold (sum/count/min/max of a
+  /// single row expression, no other live state at loop exit), emit the
+  /// native aggregate instead of registering an interpreted Agg_Δ (AGG304).
+  bool lower_native_folds = true;
+  /// §8.1 fast path: FOR loops whose init/bound/step fold to integer
+  /// literals iterate over a materialized UNION ALL literal chain instead
+  /// of a recursive CTE (AGG306). Requires convert_for_loops.
+  bool static_trip_values = true;
+  /// Largest constant trip count materialized as a literal chain; larger
+  /// (or non-constant) iteration spaces keep the recursive CTE.
+  int max_static_trips = 256;
 };
 
 /// \brief What happened to one loop.
@@ -54,6 +75,14 @@ struct LoopRewrite {
   std::string rewritten_statement;
   /// The synthesized aggregate, rendered in the paper's Figure 5/6 style.
   std::string aggregate_source;
+  /// Δ proved to be a single native fold: no interpreted Agg_Δ was
+  /// registered and the rewritten query calls the built-in aggregate named
+  /// by `aggregate_name` ("sum", "count", "min", "max").
+  bool lowered_to_builtin = false;
+  /// The rewritten SELECT alone (re-parsable; plan-shape tests EXPLAIN it).
+  std::string rewritten_query_sql;
+  /// Aliases (c<j>) of cursor columns pruned from Q's projection (AGG302).
+  std::vector<std::string> pruned_fetch_columns;
 };
 
 struct AggifyReport {
@@ -64,6 +93,9 @@ struct AggifyReport {
   std::vector<Diagnostic> skipped;
   /// Facts proved about rewritten loops (sort elision, derived Merge, ...).
   std::vector<Diagnostic> notes;
+  /// What the pre-inference simplification pipeline did (AGG301/303/305
+  /// diagnostics are also appended to `notes`).
+  SimplifyStats simplify;
 };
 
 class Aggify {
@@ -99,6 +131,21 @@ class Aggify {
 /// loop over a recursive-CTE iteration space. `db` supplies unique cursor
 /// names.
 Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db);
+
+struct ForLoopConversionOptions {
+  /// Materialize constant-bound iteration spaces as UNION ALL literal
+  /// chains instead of recursive CTEs (interval-domain fast path, AGG306).
+  bool static_trip_values = false;
+  int max_static_trips = 256;
+};
+
+/// \brief As above, with the static-trip-count fast path: FOR loops whose
+/// init/bound/step are integer literals with 1 <= trips <= max_static_trips
+/// iterate a materialized literal chain. AGG306 notes (one per lowered
+/// loop) are appended to `notes` when non-null.
+Status ConvertForLoopsToCursorLoops(BlockStmt* block, Database* db,
+                                    const ForLoopConversionOptions& options,
+                                    std::vector<Diagnostic>* notes);
 
 /// \brief §6.2 cleanup: removes DECLAREs of variables that are never read
 /// and never assigned outside their declaration. Returns how many were

@@ -1,0 +1,550 @@
+#include "analysis/absint.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "exec/eval.h"
+
+namespace aggify {
+
+namespace {
+
+bool IsIntConst(const AbsValue& v) {
+  return v.IsConst() && v.constant.is_int();
+}
+
+/// Normalizes a const/interval into interval bounds. Only call for int-like
+/// values (IsIntConst or IsInterval).
+void Bounds(const AbsValue& v, bool* has_lo, int64_t* lo, bool* has_hi,
+            int64_t* hi) {
+  if (v.IsInterval()) {
+    *has_lo = v.has_lo;
+    *lo = v.lo;
+    *has_hi = v.has_hi;
+    *hi = v.hi;
+  } else {
+    *has_lo = *has_hi = true;
+    *lo = *hi = v.constant.int_value();
+  }
+}
+
+bool IntLike(const AbsValue& v) { return v.IsInterval() || IsIntConst(v); }
+
+}  // namespace
+
+AbsValue AbsValue::Interval(bool has_lo, int64_t lo, bool has_hi,
+                            int64_t hi) {
+  // Degenerate [c, c] canonicalizes to the constant so fixpoint equality
+  // and const queries see one representation.
+  if (has_lo && has_hi && lo == hi) return Const(Value::Int(lo));
+  AbsValue v;
+  v.kind = Kind::kInterval;
+  v.has_lo = has_lo;
+  v.lo = has_lo ? lo : 0;
+  v.has_hi = has_hi;
+  v.hi = has_hi ? hi : 0;
+  return v;
+}
+
+bool AbsValue::operator==(const AbsValue& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kBottom:
+    case Kind::kTop:
+      return true;
+    case Kind::kConst:
+      return constant.StructurallyEquals(o.constant);
+    case Kind::kInterval:
+      return has_lo == o.has_lo && has_hi == o.has_hi &&
+             (!has_lo || lo == o.lo) && (!has_hi || hi == o.hi);
+  }
+  return false;
+}
+
+std::string AbsValue::ToString() const {
+  switch (kind) {
+    case Kind::kBottom:
+      return "_|_";
+    case Kind::kTop:
+      return "T";
+    case Kind::kConst:
+      return "const(" + constant.ToString() + ")";
+    case Kind::kInterval: {
+      std::string l = has_lo ? std::to_string(lo) : "-inf";
+      std::string h = has_hi ? std::to_string(hi) : "+inf";
+      return "[" + l + ", " + h + "]";
+    }
+  }
+  return "?";
+}
+
+AbsValue Join(const AbsValue& a, const AbsValue& b) {
+  if (a.IsBottom()) return b;
+  if (b.IsBottom()) return a;
+  if (a.IsTop() || b.IsTop()) return AbsValue::Top();
+  if (a == b) return a;
+  // Distinct elements: only non-NULL integers join into an interval;
+  // everything else (mixed types, NULLs, strings) goes to top.
+  if (IntLike(a) && IntLike(b)) {
+    bool alo, ahi, blo, bhi;
+    int64_t al, ah, bl, bh;
+    Bounds(a, &alo, &al, &ahi, &ah);
+    Bounds(b, &blo, &bl, &bhi, &bh);
+    bool has_lo = alo && blo;
+    bool has_hi = ahi && bhi;
+    return AbsValue::Interval(has_lo, std::min(al, bl), has_hi,
+                              std::max(ah, bh));
+  }
+  return AbsValue::Top();
+}
+
+AbsValue Widen(const AbsValue& prev, const AbsValue& next) {
+  AbsValue joined = Join(prev, next);
+  if (prev.IsBottom() || !joined.IsInterval()) return joined;
+  if (!IntLike(prev)) return AbsValue::Top();
+  bool plo, phi;
+  int64_t pl, ph;
+  Bounds(prev, &plo, &pl, &phi, &ph);
+  // A bound that moved since `prev` jumps to infinity: ascending chains
+  // through a loop head stabilize after at most two widenings.
+  bool has_lo = joined.has_lo && plo && joined.lo >= pl;
+  bool has_hi = joined.has_hi && phi && joined.hi <= ph;
+  return AbsValue::Interval(has_lo, joined.lo, has_hi, joined.hi);
+}
+
+bool AbsLeq(const AbsValue& a, const AbsValue& b) {
+  if (a.IsBottom() || b.IsTop()) return true;
+  if (b.IsBottom() || a.IsTop()) return false;
+  if (a == b) return true;
+  if (b.IsInterval() && IntLike(a)) {
+    bool alo, ahi;
+    int64_t al, ah;
+    Bounds(a, &alo, &al, &ahi, &ah);
+    bool lo_ok = !b.has_lo || (alo && al >= b.lo);
+    bool hi_ok = !b.has_hi || (ahi && ah <= b.hi);
+    return lo_ok && hi_ok;
+  }
+  return false;
+}
+
+AbsEnv JoinEnv(const AbsEnv& a, const AbsEnv& b) {
+  // A variable absent from a map is top, so only shared keys can stay below
+  // top; entries that join to top are dropped to keep maps canonical.
+  AbsEnv out;
+  for (const auto& [name, av] : a) {
+    auto it = b.find(name);
+    if (it == b.end()) continue;
+    AbsValue j = Join(av, it->second);
+    if (!j.IsTop()) out.emplace(name, std::move(j));
+  }
+  return out;
+}
+
+AbsEnv WidenEnv(const AbsEnv& prev, const AbsEnv& next) {
+  AbsEnv out;
+  for (const auto& [name, pv] : prev) {
+    auto it = next.find(name);
+    if (it == next.end()) continue;
+    AbsValue w = Widen(pv, it->second);
+    if (!w.IsTop()) out.emplace(name, std::move(w));
+  }
+  return out;
+}
+
+namespace {
+
+AbsValue ConstOrTop(const Result<Value>& r) {
+  // An operator error (division by zero, bad cast, type mismatch) means the
+  // concrete execution would fail; folding must not erase that, so the
+  // abstraction gives up instead of claiming a value.
+  if (!r.ok()) return AbsValue::Top();
+  return AbsValue::Const(r.ValueOrDie());
+}
+
+/// Interval transfer for +, -, * with two's-complement wrap in the concrete
+/// kernel: any bound computation that overflows abandons the interval
+/// (wrapping is not monotone, so a widened bound would be unsound).
+AbsValue IntervalArith(BinaryOp op, const AbsValue& a, const AbsValue& b) {
+  bool alo, ahi, blo, bhi;
+  int64_t al, ah, bl, bh;
+  Bounds(a, &alo, &al, &ahi, &ah);
+  Bounds(b, &blo, &bl, &bhi, &bh);
+  auto add = [](int64_t x, int64_t y, int64_t* r) {
+    return !__builtin_add_overflow(x, y, r);
+  };
+  auto sub = [](int64_t x, int64_t y, int64_t* r) {
+    return !__builtin_sub_overflow(x, y, r);
+  };
+  switch (op) {
+    case BinaryOp::kAdd: {
+      int64_t lo = 0, hi = 0;
+      bool has_lo = alo && blo && add(al, bl, &lo);
+      bool has_hi = ahi && bhi && add(ah, bh, &hi);
+      if (!has_lo && !has_hi) return AbsValue::Top();
+      return AbsValue::Interval(has_lo, lo, has_hi, hi);
+    }
+    case BinaryOp::kSub: {
+      int64_t lo = 0, hi = 0;
+      bool has_lo = alo && bhi && sub(al, bh, &lo);
+      bool has_hi = ahi && blo && sub(ah, bl, &hi);
+      if (!has_lo && !has_hi) return AbsValue::Top();
+      return AbsValue::Interval(has_lo, lo, has_hi, hi);
+    }
+    case BinaryOp::kMul: {
+      // Products need all four corner terms: only fully bounded operands.
+      if (!(alo && ahi && blo && bhi)) return AbsValue::Top();
+      int64_t c[4];
+      if (__builtin_mul_overflow(al, bl, &c[0]) ||
+          __builtin_mul_overflow(al, bh, &c[1]) ||
+          __builtin_mul_overflow(ah, bl, &c[2]) ||
+          __builtin_mul_overflow(ah, bh, &c[3])) {
+        return AbsValue::Top();
+      }
+      return AbsValue::Interval(true, *std::min_element(c, c + 4), true,
+                                *std::max_element(c, c + 4));
+    }
+    default:
+      return AbsValue::Top();
+  }
+}
+
+/// Decides a comparison over two int-like values from disjoint / nested
+/// bounds, when the bounds allow. Comparing two non-NULL INTs can never
+/// error concretely, so a decided answer may fold.
+AbsValue IntervalCompare(BinaryOp op, const AbsValue& a, const AbsValue& b) {
+  bool alo, ahi, blo, bhi;
+  int64_t al, ah, bl, bh;
+  Bounds(a, &alo, &al, &ahi, &ah);
+  Bounds(b, &blo, &bl, &bhi, &bh);
+  // a_hi < b_lo  =>  every a < every b;  a_lo > b_hi  =>  every a > every b.
+  bool lt = ahi && blo && ah < bl;
+  bool gt = alo && bhi && al > bh;
+  bool le = ahi && blo && ah <= bl;
+  bool ge = alo && bhi && al >= bh;
+  auto decided = [](bool v) { return AbsValue::Const(Value::Bool(v)); };
+  switch (op) {
+    case BinaryOp::kLt:
+      if (lt) return decided(true);
+      if (ge) return decided(false);
+      break;
+    case BinaryOp::kLe:
+      if (le) return decided(true);
+      if (gt) return decided(false);
+      break;
+    case BinaryOp::kGt:
+      if (gt) return decided(true);
+      if (le) return decided(false);
+      break;
+    case BinaryOp::kGe:
+      if (ge) return decided(true);
+      if (lt) return decided(false);
+      break;
+    case BinaryOp::kEq:
+      if (lt || gt) return decided(false);
+      break;
+    case BinaryOp::kNe:
+      if (lt || gt) return decided(true);
+      break;
+    default:
+      break;
+  }
+  return AbsValue::Top();
+}
+
+AbsValue EvalBinaryAbstract(const BinaryExpr& bin, const AbsEnv& env) {
+  AbsValue l = EvalAbstract(*bin.left, env);
+  AbsValue r = EvalAbstract(*bin.right, env);
+  if (l.IsBottom() || r.IsBottom()) return AbsValue::Bottom();
+
+  // The interpreter short-circuits the Kleene connectives on a decided
+  // boolean left operand, so the right side (and any error it hides) is
+  // provably not evaluated.
+  if (bin.op == BinaryOp::kAnd && l.IsConst() && l.constant.is_bool() &&
+      !l.constant.bool_value()) {
+    return AbsValue::Const(Value::Bool(false));
+  }
+  if (bin.op == BinaryOp::kOr && l.IsConst() && l.constant.is_bool() &&
+      l.constant.bool_value()) {
+    return AbsValue::Const(Value::Bool(true));
+  }
+
+  if (l.IsConst() && r.IsConst()) {
+    const Value& a = l.constant;
+    const Value& b = r.constant;
+    switch (bin.op) {
+      case BinaryOp::kAdd: return ConstOrTop(Add(a, b));
+      case BinaryOp::kSub: return ConstOrTop(Subtract(a, b));
+      case BinaryOp::kMul: return ConstOrTop(Multiply(a, b));
+      case BinaryOp::kDiv: return ConstOrTop(Divide(a, b));
+      case BinaryOp::kMod: return ConstOrTop(Modulo(a, b));
+      case BinaryOp::kEq: return ConstOrTop(Eq(a, b));
+      case BinaryOp::kNe: return ConstOrTop(Ne(a, b));
+      case BinaryOp::kLt: return ConstOrTop(Lt(a, b));
+      case BinaryOp::kLe: return ConstOrTop(Le(a, b));
+      case BinaryOp::kGt: return ConstOrTop(Gt(a, b));
+      case BinaryOp::kGe: return ConstOrTop(Ge(a, b));
+      case BinaryOp::kAnd: return ConstOrTop(And(a, b));
+      case BinaryOp::kOr: return ConstOrTop(Or(a, b));
+      case BinaryOp::kConcat: return ConstOrTop(Concat(a, b));
+    }
+    return AbsValue::Top();
+  }
+
+  if (IntLike(l) && IntLike(r)) {
+    switch (bin.op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+        return IntervalArith(bin.op, l, r);
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return IntervalCompare(bin.op, l, r);
+      default:
+        return AbsValue::Top();
+    }
+  }
+  return AbsValue::Top();
+}
+
+}  // namespace
+
+AbsValue EvalAbstract(const Expr& expr, const AbsEnv& env) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return AbsValue::Const(static_cast<const LiteralExpr&>(expr).value);
+
+    case ExprKind::kVarRef: {
+      auto it = env.find(static_cast<const VarRefExpr&>(expr).name);
+      return it == env.end() ? AbsValue::Top() : it->second;
+    }
+
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      AbsValue v = EvalAbstract(*u.operand, env);
+      if (v.IsBottom()) return v;
+      if (u.op == UnaryOp::kNeg) {
+        if (v.IsConst()) return ConstOrTop(Negate(v.constant));
+        if (v.IsInterval()) {
+          int64_t nlo = 0, nhi = 0;
+          bool has_lo =
+              v.has_hi && !__builtin_sub_overflow(int64_t{0}, v.hi, &nlo);
+          bool has_hi =
+              v.has_lo && !__builtin_sub_overflow(int64_t{0}, v.lo, &nhi);
+          if (!has_lo && !has_hi) return AbsValue::Top();
+          return AbsValue::Interval(has_lo, nlo, has_hi, nhi);
+        }
+        return AbsValue::Top();
+      }
+      if (v.IsConst()) return ConstOrTop(Not(v.constant));
+      return AbsValue::Top();
+    }
+
+    case ExprKind::kBinary:
+      return EvalBinaryAbstract(static_cast<const BinaryExpr&>(expr), env);
+
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(expr);
+      AbsValue v = EvalAbstract(*isn.operand, env);
+      if (v.IsBottom()) return v;
+      if (v.IsConst()) {
+        bool is_null = v.constant.is_null();
+        return AbsValue::Const(Value::Bool(isn.negated ? !is_null : is_null));
+      }
+      // Intervals describe non-NULL INTs by construction.
+      if (v.IsInterval()) {
+        return AbsValue::Const(Value::Bool(isn.negated));
+      }
+      return AbsValue::Top();
+    }
+
+    case ExprKind::kCast: {
+      const auto& cast = static_cast<const CastExpr&>(expr);
+      AbsValue v = EvalAbstract(*cast.operand, env);
+      if (v.IsBottom()) return v;
+      if (v.IsConst()) return ConstOrTop(v.constant.CastTo(cast.target.id));
+      return AbsValue::Top();
+    }
+
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      // The builtin registry is deterministic and effect-free, so a call on
+      // proven-constant arguments folds through the real implementation.
+      if (!IsScalarBuiltinName(call.name)) return AbsValue::Top();
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const auto& a : call.args) {
+        AbsValue v = EvalAbstract(*a, env);
+        if (v.IsBottom()) return v;
+        if (!v.IsConst()) return AbsValue::Top();
+        args.push_back(v.constant);
+      }
+      return ConstOrTop(ApplyScalarBuiltin(call.name, args));
+    }
+
+    case ExprKind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(expr);
+      // Arms are joined only while every guard decides; an undecided guard
+      // means the runtime may evaluate expressions this analysis has no
+      // error model for, so the result degrades to top.
+      for (const auto& arm : cw.arms) {
+        switch (AbstractTruth(*arm.condition, env)) {
+          case AbsTruth::kTrue:
+            return EvalAbstract(*arm.result, env);
+          case AbsTruth::kFalse:
+            continue;
+          case AbsTruth::kUnknown:
+            return AbsValue::Top();
+        }
+      }
+      if (cw.else_result != nullptr) {
+        return EvalAbstract(*cw.else_result, env);
+      }
+      return AbsValue::Const(Value::Null());
+    }
+
+    case ExprKind::kColumnRef:
+    case ExprKind::kAggregateCall:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kInList:
+      return AbsValue::Top();
+  }
+  return AbsValue::Top();
+}
+
+AbsTruth AbstractTruth(const Expr& condition, const AbsEnv& env) {
+  AbsValue v = EvalAbstract(condition, env);
+  if (v.IsConst()) {
+    const Value& c = v.constant;
+    if (c.is_null()) return AbsTruth::kFalse;  // EvalPredicate: NULL=false
+    if (c.is_bool()) return c.bool_value() ? AbsTruth::kTrue : AbsTruth::kFalse;
+    if (c.is_numeric()) {
+      return c.AsDouble() != 0.0 ? AbsTruth::kTrue : AbsTruth::kFalse;
+    }
+    return AbsTruth::kUnknown;  // strings are a runtime TypeError
+  }
+  if (v.IsInterval()) {
+    // Non-NULL INT: truthy iff nonzero.
+    if ((v.has_lo && v.lo > 0) || (v.has_hi && v.hi < 0)) {
+      return AbsTruth::kTrue;
+    }
+  }
+  return AbsTruth::kUnknown;
+}
+
+namespace {
+
+/// Applies node `n`'s effect to `env` in place.
+void Transfer(const CfgNode& n, AbsEnv* env) {
+  if (n.kind != CfgNodeKind::kStatement) return;  // conditions don't write
+  if (n.stmt != nullptr) {
+    switch (n.stmt->kind) {
+      case StmtKind::kDeclareVar: {
+        const auto& d = static_cast<const DeclareVarStmt&>(*n.stmt);
+        AbsValue v = d.initializer != nullptr
+                         ? EvalAbstract(*d.initializer, *env)
+                         : AbsValue::Const(Value::Null());
+        if (v.IsTop()) {
+          env->erase(d.name);
+        } else {
+          (*env)[d.name] = std::move(v);
+        }
+        return;
+      }
+      case StmtKind::kSet: {
+        const auto& s = static_cast<const SetStmt&>(*n.stmt);
+        AbsValue v = EvalAbstract(*s.value, *env);
+        if (v.IsTop()) {
+          env->erase(s.name);
+        } else {
+          (*env)[s.name] = std::move(v);
+        }
+        return;
+      }
+      case StmtKind::kFor: {
+        // The synthetic init node (it carries the ForStmt); the increment
+        // node has a null stmt and falls through to the generic kill.
+        const auto& f = static_cast<const ForStmt&>(*n.stmt);
+        AbsValue v = EvalAbstract(*f.init, *env);
+        if (v.IsTop()) {
+          env->erase(f.var);
+        } else {
+          (*env)[f.var] = std::move(v);
+        }
+        return;
+      }
+      default:
+        break;
+    }
+  }
+  // FETCH, MultiAssign, DML, the FOR increment: whatever the node defines
+  // becomes unknown.
+  for (const auto& d : n.defs) env->erase(d);
+}
+
+}  // namespace
+
+AbstractInterpretation AbstractInterpretation::Run(const Cfg& cfg) {
+  AbstractInterpretation r;
+  size_t n = static_cast<size_t>(cfg.size());
+  r.in_.resize(n);
+  r.out_.resize(n);
+  r.reachable_.assign(n, false);
+
+  // Loop heads: condition nodes with a back edge (a predecessor numbered
+  // after them — node ids are program-ordered except loop-closing edges).
+  std::vector<bool> loop_head(n, false);
+  for (const auto& node : cfg.nodes()) {
+    if (node.kind != CfgNodeKind::kCondition) continue;
+    for (int p : node.predecessors) {
+      if (p > node.id) loop_head[static_cast<size_t>(node.id)] = true;
+    }
+  }
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(n, false);
+  r.reachable_[static_cast<size_t>(cfg.entry())] = true;
+  worklist.push_back(cfg.entry());
+  queued[static_cast<size_t>(cfg.entry())] = true;
+
+  // The widened lattice has finite height, so this terminates; the hard cap
+  // is a defensive backstop that the property tests assert is never hit.
+  const int kMaxIterations = 64 * cfg.size() + 1024;
+  while (!worklist.empty() && r.iterations_ < kMaxIterations) {
+    int id = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<size_t>(id)] = false;
+    ++r.iterations_;
+
+    AbsEnv out = r.in_[static_cast<size_t>(id)];
+    Transfer(cfg.node(id), &out);
+    r.out_[static_cast<size_t>(id)] = out;
+
+    for (int s : cfg.node(id).successors) {
+      size_t si = static_cast<size_t>(s);
+      AbsEnv cand;
+      if (!r.reachable_[si]) {
+        cand = out;
+      } else {
+        AbsEnv joined = JoinEnv(r.in_[si], out);
+        cand = loop_head[si] ? WidenEnv(r.in_[si], joined)
+                             : std::move(joined);
+      }
+      if (!r.reachable_[si] || cand != r.in_[si]) {
+        r.reachable_[si] = true;
+        r.in_[si] = std::move(cand);
+        if (!queued[si]) {
+          worklist.push_back(s);
+          queued[si] = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace aggify

@@ -1,0 +1,133 @@
+// Abstract interpretation over the statement CFG (§3.2 analyses layer).
+//
+// A small forward analysis in the classic style: each variable is mapped to
+// an element of the lattice
+//
+//         kTop                 (any value, including NULL)
+//          |
+//      kInterval               (a non-NULL INT within [lo, hi])
+//          |
+//        kConst                (exactly this Value; NULL is Const(NULL))
+//          |
+//       kBottom                (unreachable / no information yet)
+//
+// (kConst of a non-integer is ordered directly under kTop.)
+//
+// joined pointwise at merge points, with widening at loop heads so the
+// fixpoint terminates. The interpretation is branch-insensitive (the CFG
+// does not discriminate true/false successor order), which is sound: every
+// environment over-approximates the set of concrete states reaching its
+// node. Transfer functions reuse the engine's own Value operator kernel so
+// the abstract semantics of `+`, `/`, Kleene AND/OR, CAST and the scalar
+// builtins agree with the interpreter by construction (an operator error —
+// division by zero, bad cast — abstracts to kTop, never folds).
+//
+// Consumers: the simplification pipeline (`simplify.h`) uses per-statement
+// entry environments for constant propagation, branch-feasibility pruning
+// and static trip-count proofs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/result.h"
+#include "parser/expr.h"
+#include "types/value.h"
+
+namespace aggify {
+
+/// One lattice element. Interval bounds are inclusive; an absent bound is
+/// the corresponding infinity. kInterval always describes a *non-NULL* INT
+/// (intervals only arise from joining / widening non-NULL integer
+/// constants), which is what lets IS NULL decide over them.
+struct AbsValue {
+  enum class Kind : uint8_t { kBottom, kConst, kInterval, kTop };
+
+  Kind kind = Kind::kBottom;
+  Value constant;  ///< kConst payload (may be NULL: DECLARE without init).
+  bool has_lo = false, has_hi = false;
+  int64_t lo = 0, hi = 0;  ///< kInterval payload.
+
+  static AbsValue Bottom() { return AbsValue{}; }
+  static AbsValue Top() {
+    AbsValue v;
+    v.kind = Kind::kTop;
+    return v;
+  }
+  static AbsValue Const(Value value) {
+    AbsValue v;
+    v.kind = Kind::kConst;
+    v.constant = std::move(value);
+    return v;
+  }
+  /// [lo, hi]; use the `bounded` flags for half-open rays.
+  static AbsValue Interval(bool has_lo, int64_t lo, bool has_hi, int64_t hi);
+
+  bool IsBottom() const { return kind == Kind::kBottom; }
+  bool IsTop() const { return kind == Kind::kTop; }
+  bool IsConst() const { return kind == Kind::kConst; }
+  bool IsInterval() const { return kind == Kind::kInterval; }
+
+  bool operator==(const AbsValue& o) const;
+  bool operator!=(const AbsValue& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+/// Least upper bound.
+AbsValue Join(const AbsValue& a, const AbsValue& b);
+
+/// Widening: like Join, but interval bounds that grew since `prev` jump
+/// straight to infinity, so ascending chains stabilize in O(1) steps.
+AbsValue Widen(const AbsValue& prev, const AbsValue& next);
+
+/// Lattice partial order: a ⊑ b (every concrete value a allows, b allows).
+bool AbsLeq(const AbsValue& a, const AbsValue& b);
+
+/// Abstract environment: variable name -> lattice element. Variables absent
+/// from the map are kTop (unknown), so the empty map is the safe entry
+/// state for parameters and anything a query wrote.
+using AbsEnv = std::map<std::string, AbsValue>;
+
+AbsEnv JoinEnv(const AbsEnv& a, const AbsEnv& b);
+AbsEnv WidenEnv(const AbsEnv& prev, const AbsEnv& next);
+
+/// Abstract evaluation of an expression under `env`. Total: anything the
+/// domain cannot track (subqueries, column refs, non-builtin calls,
+/// operator errors) evaluates to kTop.
+AbsValue EvalAbstract(const Expr& expr, const AbsEnv& env);
+
+/// Decision for a branch condition under EvalPredicate semantics
+/// (NULL => false, numeric non-zero => true).
+enum class AbsTruth : uint8_t { kTrue, kFalse, kUnknown };
+AbsTruth AbstractTruth(const Expr& condition, const AbsEnv& env);
+
+/// The fixpoint result: an entry environment per CFG node.
+class AbstractInterpretation {
+ public:
+  /// Runs the worklist to fixpoint. `cfg` must outlive the result.
+  static AbstractInterpretation Run(const Cfg& cfg);
+
+  /// Environment holding *before* node `id` executes. Unreachable nodes
+  /// report an empty env with reachable() false.
+  const AbsEnv& In(int id) const { return in_[static_cast<size_t>(id)]; }
+  /// Environment holding after node `id` executes.
+  const AbsEnv& Out(int id) const { return out_[static_cast<size_t>(id)]; }
+  bool Reachable(int id) const {
+    return reachable_[static_cast<size_t>(id)];
+  }
+
+  /// Total node transfer-function applications until the fixpoint: the
+  /// widening-termination property tests bound this.
+  int iterations() const { return iterations_; }
+
+ private:
+  std::vector<AbsEnv> in_, out_;
+  std::vector<bool> reachable_;
+  int iterations_ = 0;
+};
+
+}  // namespace aggify

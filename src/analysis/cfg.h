@@ -44,6 +44,15 @@ struct CfgNode {
 
 class Cfg {
  public:
+  Cfg() = default;
+  Cfg(const Cfg&) = delete;
+  Cfg& operator=(const Cfg&) = delete;
+  Cfg(Cfg&&) = default;
+  Cfg& operator=(Cfg&&) = default;
+  ~Cfg() {
+    if (alive_ != nullptr) *alive_ = false;
+  }
+
   const std::vector<CfgNode>& nodes() const { return nodes_; }
   const CfgNode& node(int id) const { return nodes_[id]; }
   int entry() const { return entry_; }
@@ -65,6 +74,12 @@ class Cfg {
   /// Graphviz rendering for debugging and docs.
   std::string ToDot() const;
 
+  /// Debug lifetime token: flips to false when this CFG is destroyed.
+  /// Consumers that cache a `Cfg*` (DataflowResult) keep a copy and assert
+  /// on it before dereferencing, turning use-after-free of freed CFG nodes
+  /// into a loud debug-build failure.
+  std::shared_ptr<const bool> liveness_token() const { return alive_; }
+
   /// \brief Builds the CFG of a function body.
   /// \param params parameter names treated as definitions at entry.
   static Result<std::unique_ptr<Cfg>> Build(const BlockStmt& body,
@@ -72,6 +87,7 @@ class Cfg {
 
  private:
   friend class CfgBuilder;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<CfgNode> nodes_;
   int entry_ = -1;
   int exit_ = -1;

@@ -8,6 +8,7 @@ namespace aggify {
 DataflowResult DataflowResult::Run(const Cfg& cfg) {
   DataflowResult r;
   r.cfg_ = &cfg;
+  r.cfg_alive_ = cfg.liveness_token();
   const int n = cfg.size();
   r.live_in_.assign(n, {});
   r.live_out_.assign(n, {});
@@ -124,6 +125,7 @@ std::vector<Use> DataflowResult::DuChain(const Definition& d) const {
 }
 
 std::vector<Use> DataflowResult::UsesIn(const std::vector<int>& nodes) const {
+  AssertCfgAlive();
   std::vector<Use> out;
   for (int id : nodes) {
     for (const std::string& var : cfg_->node(id).uses) {

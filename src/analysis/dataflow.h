@@ -3,7 +3,9 @@
 // from them. These are the inputs to Algorithm 1's set computations.
 #pragma once
 
+#include <cassert>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,14 +39,20 @@ struct Use {
 
 /// \brief Results of running all data-flow analyses to fixpoint on one CFG.
 ///
-/// The object holds a reference to the CFG; it must not outlive it.
+/// The object holds a reference to the CFG; it must not outlive it. Debug
+/// builds enforce this with the CFG's liveness token: any accessor that
+/// would dereference a destroyed CFG asserts instead of reading freed
+/// nodes.
 class DataflowResult {
  public:
   /// Runs reaching definitions (forward, may-union) and live variables
   /// (backward, may-union) to fixpoint, then materializes UD/DU chains.
   static DataflowResult Run(const Cfg& cfg);
 
-  const Cfg& cfg() const { return *cfg_; }
+  const Cfg& cfg() const {
+    AssertCfgAlive();
+    return *cfg_;
+  }
 
   // --- Live variables (§3.2.4) ---
   const std::set<std::string>& LiveIn(int node) const { return live_in_[node]; }
@@ -76,7 +84,13 @@ class DataflowResult {
   std::vector<Use> UsesIn(const std::vector<int>& nodes) const;
 
  private:
+  void AssertCfgAlive() const {
+    assert((cfg_alive_ == nullptr || *cfg_alive_) &&
+           "DataflowResult used after its Cfg was destroyed");
+  }
+
   const Cfg* cfg_ = nullptr;
+  std::shared_ptr<const bool> cfg_alive_;
   std::vector<std::set<std::string>> live_in_;
   std::vector<std::set<std::string>> live_out_;
   std::vector<std::set<Definition>> rd_in_;

@@ -27,6 +27,12 @@ const char* DiagCodeSlug(DiagCode code) {
     case DiagCode::kSortElided: return "sort-elided";
     case DiagCode::kMergeSynthesized: return "merge-synthesized";
     case DiagCode::kOrderEnforced: return "order-enforced";
+    case DiagCode::kDeadStore: return "dead-store";
+    case DiagCode::kUnusedFetchColumn: return "unused-fetch-column";
+    case DiagCode::kConstantFalseBranch: return "constant-false-branch";
+    case DiagCode::kLoweredToBuiltin: return "lowered-to-builtin";
+    case DiagCode::kLoopInvariantGuard: return "loop-invariant-guard";
+    case DiagCode::kStaticTripCount: return "static-trip-count";
   }
   return "unknown";
 }
@@ -40,6 +46,9 @@ DiagSeverity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kSortElided:
     case DiagCode::kMergeSynthesized:
     case DiagCode::kOrderEnforced:
+    case DiagCode::kLoweredToBuiltin:
+    case DiagCode::kLoopInvariantGuard:
+    case DiagCode::kStaticTripCount:
       return DiagSeverity::kNote;
     default:
       return DiagSeverity::kWarning;
@@ -86,7 +95,7 @@ Diagnostic DiagnosticFromStatus(const Status& status, std::string loc,
     size_t close = msg.find(']');
     if (close != std::string::npos) {
       int n = std::atoi(msg.substr(4, close - 4).c_str());
-      if (n >= 101 && n <= 299) {
+      if (n >= 101 && n <= 399) {
         code = static_cast<DiagCode>(n);
         text = msg.substr(close + 1);
         if (!text.empty() && text[0] == ' ') text.erase(0, 1);

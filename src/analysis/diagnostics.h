@@ -40,6 +40,14 @@ enum class DiagCode : uint16_t {
   kSortElided = 202,           ///< Eq. 6 sort dropped: body order-insensitive
   kMergeSynthesized = 203,     ///< decomposability proof produced a Merge
   kOrderEnforced = 204,        ///< body order-sensitive: Eq. 6 sort retained
+
+  // --- Simplification pipeline (abstract interpretation / Δ pruning). ---
+  kDeadStore = 301,            ///< SET whose value is never observed
+  kUnusedFetchColumn = 302,    ///< cursor column fetched but unused in Δ
+  kConstantFalseBranch = 303,  ///< branch proven unreachable and pruned
+  kLoweredToBuiltin = 304,     ///< Δ is a native fold: built-in agg emitted
+  kLoopInvariantGuard = 305,   ///< guard reads only loop-invariant state
+  kStaticTripCount = 306,      ///< FOR bounds constant: VALUES iteration
 };
 
 /// Stable identifier, e.g. "AGG104".
@@ -50,7 +58,8 @@ const char* DiagCodeSlug(DiagCode code);
 
 /// Severity class of the code. AGG111/AGG120 are errors (soundness hazard /
 /// broken input), other AGG1xx are warnings (loop kept, opportunity missed),
-/// AGG2xx are notes.
+/// AGG2xx are notes. Simplification codes: AGG301–303 are warnings (code
+/// smell in the input script), AGG304–306 are notes (optimizations applied).
 DiagSeverity DiagCodeSeverity(DiagCode code);
 
 const char* SeverityName(DiagSeverity severity);

@@ -1,0 +1,615 @@
+#include "analysis/simplify.h"
+
+#include <functional>
+
+#include "analysis/absint.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+
+namespace aggify {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: constant propagation / folding.
+// ---------------------------------------------------------------------------
+
+/// Replaces `*slot` with a literal when the abstract value is a proven
+/// constant (by the domain's invariant, a Const result means the concrete
+/// evaluation succeeds and yields exactly that value). Recurses into
+/// children first so partially-constant trees shrink bottom-up.
+void FoldExprTree(ExprPtr* slot, const AbsEnv& env, int* folded) {
+  Expr* e = slot->get();
+  switch (e->kind) {
+    case ExprKind::kUnary:
+      FoldExprTree(&static_cast<UnaryExpr*>(e)->operand, env, folded);
+      break;
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(e);
+      FoldExprTree(&b->left, env, folded);
+      FoldExprTree(&b->right, env, folded);
+      break;
+    }
+    case ExprKind::kIsNull:
+      FoldExprTree(&static_cast<IsNullExpr*>(e)->operand, env, folded);
+      break;
+    case ExprKind::kCast:
+      FoldExprTree(&static_cast<CastExpr*>(e)->operand, env, folded);
+      break;
+    case ExprKind::kFunctionCall:
+      for (auto& a : static_cast<FunctionCallExpr*>(e)->args) {
+        FoldExprTree(&a, env, folded);
+      }
+      break;
+    case ExprKind::kCaseWhen: {
+      auto* cw = static_cast<CaseWhenExpr*>(e);
+      for (auto& arm : cw->arms) {
+        FoldExprTree(&arm.condition, env, folded);
+        FoldExprTree(&arm.result, env, folded);
+      }
+      if (cw->else_result != nullptr) {
+        FoldExprTree(&cw->else_result, env, folded);
+      }
+      break;
+    }
+    case ExprKind::kInList:
+      // List elements fold; the subquery form (and subqueries in general)
+      // belongs to the relational layer and is left untouched.
+      FoldExprTree(&static_cast<InListExpr*>(e)->operand, env, folded);
+      for (auto& item : static_cast<InListExpr*>(e)->list) {
+        FoldExprTree(&item, env, folded);
+      }
+      break;
+    default:
+      break;  // literals, var refs, subqueries, aggregates: no children here
+  }
+  e = slot->get();
+  if (e->kind == ExprKind::kLiteral) return;
+  AbsValue v = EvalAbstract(*e, env);
+  if (v.IsConst()) {
+    *slot = MakeLiteral(v.constant);
+    ++*folded;
+  }
+}
+
+bool IsCursorLoop(const WhileStmt& w) {
+  // The canonical @@fetch_status loop condition: conservatively treat any
+  // condition reading a @@ pseudo-variable as cursor-driven.
+  std::vector<std::string> vars;
+  CollectVariableRefs(*w.condition, &vars);
+  for (const auto& v : vars) {
+    if (v.rfind("@@", 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Walks every simple statement (and control-statement header expressions)
+/// of the tree, skipping GuardedRewriteStmt wholesale. `in_try` tracks
+/// TRY/CATCH nesting for the dead-store pass.
+struct SimplifyContext {
+  const Cfg* cfg = nullptr;
+  const AbstractInterpretation* ai = nullptr;
+  SimplifyStats* stats = nullptr;
+  const SimplifyOptions* options = nullptr;
+  std::string loc;
+};
+
+const AbsEnv& EnvAt(const SimplifyContext& ctx, const Stmt& stmt) {
+  static const AbsEnv kEmpty;
+  auto node = ctx.cfg->NodeFor(stmt);
+  if (!node.ok()) return kEmpty;  // empty env = all-top: folding still
+                                  // handles closed (variable-free) trees
+  return ctx.ai->In(node.ValueOrDie());
+}
+
+void FoldStatements(BlockStmt* block, const SimplifyContext& ctx) {
+  for (auto& stmt : block->statements) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock:
+        FoldStatements(static_cast<BlockStmt*>(stmt.get()), ctx);
+        break;
+      case StmtKind::kDeclareVar: {
+        auto* d = static_cast<DeclareVarStmt*>(stmt.get());
+        if (d->initializer != nullptr) {
+          FoldExprTree(&d->initializer, EnvAt(ctx, *stmt),
+                       &ctx.stats->constants_folded);
+        }
+        break;
+      }
+      case StmtKind::kSet:
+        FoldExprTree(&static_cast<SetStmt*>(stmt.get())->value,
+                     EnvAt(ctx, *stmt), &ctx.stats->constants_folded);
+        break;
+      case StmtKind::kReturn: {
+        auto* r = static_cast<ReturnStmt*>(stmt.get());
+        if (r->value != nullptr) {
+          FoldExprTree(&r->value, EnvAt(ctx, *stmt),
+                       &ctx.stats->constants_folded);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        auto* i = static_cast<IfStmt*>(stmt.get());
+        FoldExprTree(&i->condition, EnvAt(ctx, *stmt),
+                     &ctx.stats->constants_folded);
+        if (i->then_branch->kind == StmtKind::kBlock) {
+          FoldStatements(static_cast<BlockStmt*>(i->then_branch.get()), ctx);
+        }
+        if (i->else_branch != nullptr &&
+            i->else_branch->kind == StmtKind::kBlock) {
+          FoldStatements(static_cast<BlockStmt*>(i->else_branch.get()), ctx);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* w = static_cast<WhileStmt*>(stmt.get());
+        FoldExprTree(&w->condition, EnvAt(ctx, *stmt),
+                     &ctx.stats->constants_folded);
+        if (w->body->kind == StmtKind::kBlock) {
+          FoldStatements(static_cast<BlockStmt*>(w->body.get()), ctx);
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        auto* f = static_cast<ForStmt*>(stmt.get());
+        FoldExprTree(&f->init, EnvAt(ctx, *stmt),
+                     &ctx.stats->constants_folded);
+        // Bound and step are re-evaluated every iteration under the loop's
+        // own effects; only closed (variable-free) trees fold, which the
+        // all-top empty environment expresses.
+        static const AbsEnv kClosed;
+        FoldExprTree(&f->bound, kClosed, &ctx.stats->constants_folded);
+        if (f->step != nullptr) {
+          FoldExprTree(&f->step, kClosed, &ctx.stats->constants_folded);
+        }
+        if (f->body->kind == StmtKind::kBlock) {
+          FoldStatements(static_cast<BlockStmt*>(f->body.get()), ctx);
+        }
+        break;
+      }
+      case StmtKind::kTryCatch: {
+        auto* tc = static_cast<TryCatchStmt*>(stmt.get());
+        FoldStatements(static_cast<BlockStmt*>(tc->try_block.get()), ctx);
+        FoldStatements(static_cast<BlockStmt*>(tc->catch_block.get()), ctx);
+        break;
+      }
+      default:
+        break;  // queries, DML, cursor ops, GuardedRewrite: untouched
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: constant-branch pruning.
+// ---------------------------------------------------------------------------
+
+void PruneBranches(BlockStmt* block, const SimplifyContext& ctx) {
+  auto& stmts = block->statements;
+  for (size_t i = 0; i < stmts.size(); /* advanced below */) {
+    Stmt* s = stmts[i].get();
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        PruneBranches(static_cast<BlockStmt*>(s), ctx);
+        break;
+      case StmtKind::kIf: {
+        auto* ifs = static_cast<IfStmt*>(s);
+        AbsTruth t = AbstractTruth(*ifs->condition, EnvAt(ctx, *s));
+        if (t == AbsTruth::kFalse) {
+          ctx.stats->diagnostics.push_back(MakeDiagnostic(
+              DiagCode::kConstantFalseBranch, ctx.loc,
+              "IF condition '" + ifs->condition->ToString() +
+                  "' is constant false; then-branch is unreachable"));
+          ++ctx.stats->branches_pruned;
+          if (ifs->else_branch != nullptr) {
+            stmts[i] = std::move(ifs->else_branch);
+            continue;  // re-visit the hoisted branch at the same index
+          }
+          stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        if (t == AbsTruth::kTrue) {
+          if (ifs->else_branch != nullptr) {
+            ctx.stats->diagnostics.push_back(MakeDiagnostic(
+                DiagCode::kConstantFalseBranch, ctx.loc,
+                "IF condition '" + ifs->condition->ToString() +
+                    "' is constant true; else-branch is unreachable"));
+          }
+          ++ctx.stats->branches_pruned;
+          stmts[i] = std::move(ifs->then_branch);
+          continue;
+        }
+        if (ifs->then_branch->kind == StmtKind::kBlock) {
+          PruneBranches(static_cast<BlockStmt*>(ifs->then_branch.get()), ctx);
+        }
+        if (ifs->else_branch != nullptr &&
+            ifs->else_branch->kind == StmtKind::kBlock) {
+          PruneBranches(static_cast<BlockStmt*>(ifs->else_branch.get()), ctx);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* w = static_cast<WhileStmt*>(s);
+        if (!IsCursorLoop(*w) &&
+            AbstractTruth(*w->condition, EnvAt(ctx, *s)) == AbsTruth::kFalse) {
+          ctx.stats->diagnostics.push_back(MakeDiagnostic(
+              DiagCode::kConstantFalseBranch, ctx.loc,
+              "WHILE condition '" + w->condition->ToString() +
+                  "' is constant false; loop never runs"));
+          ++ctx.stats->branches_pruned;
+          stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        if (w->body->kind == StmtKind::kBlock) {
+          PruneBranches(static_cast<BlockStmt*>(w->body.get()), ctx);
+        }
+        break;
+      }
+      case StmtKind::kFor:
+        if (static_cast<ForStmt*>(s)->body->kind == StmtKind::kBlock) {
+          PruneBranches(
+              static_cast<BlockStmt*>(static_cast<ForStmt*>(s)->body.get()),
+              ctx);
+        }
+        break;
+      case StmtKind::kTryCatch: {
+        auto* tc = static_cast<TryCatchStmt*>(s);
+        PruneBranches(static_cast<BlockStmt*>(tc->try_block.get()), ctx);
+        PruneBranches(static_cast<BlockStmt*>(tc->catch_block.get()), ctx);
+        break;
+      }
+      default:
+        break;
+    }
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: dead-store elimination.
+// ---------------------------------------------------------------------------
+
+/// Whether removing an evaluation of `e` can change observable behavior on
+/// *type-correct* executions. Divide/modulo/cast/concat, calls and
+/// subqueries have value-dependent errors and are never removed; the
+/// arithmetic/logic allowlist can only fail on type mismatches, which are
+/// value-independent.
+bool RemovableExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kVarRef:
+      return true;
+    case ExprKind::kUnary:
+      return RemovableExpr(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+        case BinaryOp::kConcat:
+          return false;
+        default:
+          return RemovableExpr(*b.left) && RemovableExpr(*b.right);
+      }
+    }
+    case ExprKind::kIsNull:
+      return RemovableExpr(*static_cast<const IsNullExpr&>(e).operand);
+    case ExprKind::kCaseWhen: {
+      const auto& cw = static_cast<const CaseWhenExpr&>(e);
+      for (const auto& arm : cw.arms) {
+        if (!RemovableExpr(*arm.condition) || !RemovableExpr(*arm.result)) {
+          return false;
+        }
+      }
+      return cw.else_result == nullptr || RemovableExpr(*cw.else_result);
+    }
+    default:
+      return false;
+  }
+}
+
+void CollectDeclaredNames(const Stmt& stmt, std::set<std::string>* declared) {
+  switch (stmt.kind) {
+    case StmtKind::kDeclareVar:
+      declared->insert(static_cast<const DeclareVarStmt&>(stmt).name);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectDeclaredNames(*s, declared);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectDeclaredNames(*i.then_branch, declared);
+      if (i.else_branch != nullptr) {
+        CollectDeclaredNames(*i.else_branch, declared);
+      }
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectDeclaredNames(*static_cast<const WhileStmt&>(stmt).body,
+                           declared);
+      break;
+    case StmtKind::kFor:
+      declared->insert(static_cast<const ForStmt&>(stmt).var);
+      CollectDeclaredNames(*static_cast<const ForStmt&>(stmt).body, declared);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectDeclaredNames(*tc.try_block, declared);
+      CollectDeclaredNames(*tc.catch_block, declared);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+struct DeadStoreContext {
+  const Cfg* cfg = nullptr;
+  const DataflowResult* liveness = nullptr;
+  const std::set<std::string>* observable = nullptr;  // may be null
+  const std::set<std::string>* declared = nullptr;
+  SimplifyStats* stats = nullptr;
+  std::string loc;
+};
+
+bool NamesDeclared(const Expr& e, const std::set<std::string>& declared) {
+  std::vector<std::string> vars;
+  CollectVariableRefs(e, &vars);
+  for (const auto& v : vars) {
+    if (v.rfind("@@", 0) == 0) continue;
+    if (declared.count(v) == 0) return false;
+  }
+  return true;
+}
+
+void EliminateDeadStores(BlockStmt* block, const DeadStoreContext& ctx) {
+  auto& stmts = block->statements;
+  for (size_t i = 0; i < stmts.size(); /* advanced below */) {
+    Stmt* s = stmts[i].get();
+    switch (s->kind) {
+      case StmtKind::kSet: {
+        const auto& set = static_cast<const SetStmt&>(*s);
+        auto node = ctx.cfg->NodeFor(*s);
+        bool live = true;
+        if (node.ok()) {
+          live = ctx.liveness->LiveOut(node.ValueOrDie()).count(set.name) > 0;
+        }
+        bool observable = ctx.observable != nullptr &&
+                          ctx.observable->count(set.name) > 0;
+        if (!live && !observable && set.name.rfind("@@", 0) != 0 &&
+            RemovableExpr(*set.value) &&
+            ctx.declared->count(set.name) > 0 &&
+            NamesDeclared(*set.value, *ctx.declared)) {
+          ctx.stats->diagnostics.push_back(MakeDiagnostic(
+              DiagCode::kDeadStore, ctx.loc,
+              "value of 'SET " + set.name + " = " + set.value->ToString() +
+                  "' is never read; store removed"));
+          ++ctx.stats->dead_stores_removed;
+          stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        break;
+      }
+      case StmtKind::kBlock:
+        EliminateDeadStores(static_cast<BlockStmt*>(s), ctx);
+        break;
+      case StmtKind::kIf: {
+        auto* i2 = static_cast<IfStmt*>(s);
+        if (i2->then_branch->kind == StmtKind::kBlock) {
+          EliminateDeadStores(static_cast<BlockStmt*>(i2->then_branch.get()),
+                              ctx);
+        }
+        if (i2->else_branch != nullptr &&
+            i2->else_branch->kind == StmtKind::kBlock) {
+          EliminateDeadStores(static_cast<BlockStmt*>(i2->else_branch.get()),
+                              ctx);
+        }
+        break;
+      }
+      case StmtKind::kWhile:
+        if (static_cast<WhileStmt*>(s)->body->kind == StmtKind::kBlock) {
+          EliminateDeadStores(
+              static_cast<BlockStmt*>(static_cast<WhileStmt*>(s)->body.get()),
+              ctx);
+        }
+        break;
+      case StmtKind::kFor:
+        if (static_cast<ForStmt*>(s)->body->kind == StmtKind::kBlock) {
+          EliminateDeadStores(
+              static_cast<BlockStmt*>(static_cast<ForStmt*>(s)->body.get()),
+              ctx);
+        }
+        break;
+      // TRY/CATCH intentionally not descended: a store that errors inside
+      // TRY diverts control to CATCH, so even "dead" stores are observable.
+      default:
+        break;
+    }
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting pass: loop-invariant guards (AGG305, advisory only).
+// ---------------------------------------------------------------------------
+
+void CollectAssignedNames(const Stmt& stmt, std::set<std::string>* assigned) {
+  std::vector<std::string> defs;
+  StatementDefs(stmt, &defs);
+  assigned->insert(defs.begin(), defs.end());
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectAssignedNames(*s, assigned);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectAssignedNames(*i.then_branch, assigned);
+      if (i.else_branch != nullptr) {
+        CollectAssignedNames(*i.else_branch, assigned);
+      }
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectAssignedNames(*static_cast<const WhileStmt&>(stmt).body,
+                           assigned);
+      break;
+    case StmtKind::kFor:
+      assigned->insert(static_cast<const ForStmt&>(stmt).var);
+      CollectAssignedNames(*static_cast<const ForStmt&>(stmt).body, assigned);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectAssignedNames(*tc.try_block, assigned);
+      CollectAssignedNames(*tc.catch_block, assigned);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool ExprHasOpaqueNode(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kFunctionCall:
+    case ExprKind::kAggregateCall:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kInList:
+      return true;
+    default:
+      for (const Expr* c : e.Children()) {
+        if (c != nullptr && ExprHasOpaqueNode(*c)) return true;
+      }
+      return false;
+  }
+}
+
+void NoteInvariantGuards(const BlockStmt& block, SimplifyStats* stats,
+                         const std::string& loc) {
+  for (const auto& stmt : block.statements) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock:
+        NoteInvariantGuards(static_cast<const BlockStmt&>(*stmt), stats, loc);
+        break;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(*stmt);
+        if (i.then_branch->kind == StmtKind::kBlock) {
+          NoteInvariantGuards(static_cast<const BlockStmt&>(*i.then_branch),
+                              stats, loc);
+        }
+        if (i.else_branch != nullptr &&
+            i.else_branch->kind == StmtKind::kBlock) {
+          NoteInvariantGuards(static_cast<const BlockStmt&>(*i.else_branch),
+                              stats, loc);
+        }
+        break;
+      }
+      case StmtKind::kFor:
+      case StmtKind::kWhile: {
+        const Stmt* body = stmt->kind == StmtKind::kWhile
+                               ? static_cast<const WhileStmt&>(*stmt).body.get()
+                               : static_cast<const ForStmt&>(*stmt).body.get();
+        std::set<std::string> assigned;
+        CollectAssignedNames(*stmt, &assigned);
+        if (body->kind != StmtKind::kBlock) break;
+        const auto& bb = static_cast<const BlockStmt&>(*body);
+        for (const auto& inner : bb.statements) {
+          if (inner->kind != StmtKind::kIf) continue;
+          const auto& guard = static_cast<const IfStmt&>(*inner);
+          if (ExprHasOpaqueNode(*guard.condition)) continue;
+          std::vector<std::string> vars;
+          CollectVariableRefs(*guard.condition, &vars);
+          bool invariant = !vars.empty();
+          for (const auto& v : vars) {
+            if (assigned.count(v) > 0 || v.rfind("@@", 0) == 0) {
+              invariant = false;
+              break;
+            }
+          }
+          if (invariant) {
+            ++stats->invariant_guards;
+            stats->diagnostics.push_back(MakeDiagnostic(
+                DiagCode::kLoopInvariantGuard, loc,
+                "guard '" + guard.condition->ToString() +
+                    "' reads only loop-invariant state; it decides once for "
+                    "the whole loop"));
+          }
+        }
+        NoteInvariantGuards(bb, stats, loc);
+        break;
+      }
+      case StmtKind::kTryCatch: {
+        const auto& tc = static_cast<const TryCatchStmt&>(*stmt);
+        NoteInvariantGuards(static_cast<const BlockStmt&>(*tc.try_block),
+                            stats, loc);
+        NoteInvariantGuards(static_cast<const BlockStmt&>(*tc.catch_block),
+                            stats, loc);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<SimplifyStats> SimplifyBlock(BlockStmt* block,
+                                    const std::vector<std::string>& params,
+                                    const std::set<std::string>* observable_vars,
+                                    const std::string& loc,
+                                    const SimplifyOptions& options) {
+  SimplifyStats stats;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    int before = stats.constants_folded + stats.branches_pruned +
+                 stats.dead_stores_removed;
+
+    if (options.fold_constants || options.prune_branches) {
+      // The CFG and abstract environments are computed once per round; the
+      // fold mutates only expressions (statement identities survive), so
+      // the entry environments stay sound for the pruning that follows.
+      auto cfg = Cfg::Build(*block, params);
+      if (!cfg.ok()) break;  // best effort: an unanalyzable tree stays as-is
+      AbstractInterpretation ai =
+          AbstractInterpretation::Run(*cfg.ValueOrDie());
+      SimplifyContext ctx;
+      ctx.cfg = cfg.ValueOrDie().get();
+      ctx.ai = &ai;
+      ctx.stats = &stats;
+      ctx.options = &options;
+      ctx.loc = loc;
+      if (options.fold_constants) FoldStatements(block, ctx);
+      if (options.prune_branches) PruneBranches(block, ctx);
+    }
+
+    if (options.eliminate_dead_stores) {
+      auto cfg = Cfg::Build(*block, params);
+      if (!cfg.ok()) break;
+      DataflowResult liveness = DataflowResult::Run(*cfg.ValueOrDie());
+      std::set<std::string> declared(params.begin(), params.end());
+      CollectDeclaredNames(*block, &declared);
+      DeadStoreContext ctx;
+      ctx.cfg = cfg.ValueOrDie().get();
+      ctx.liveness = &liveness;
+      ctx.observable = observable_vars;
+      ctx.declared = &declared;
+      ctx.stats = &stats;
+      ctx.loc = loc;
+      EliminateDeadStores(block, ctx);
+    }
+
+    int after = stats.constants_folded + stats.branches_pruned +
+                stats.dead_stores_removed;
+    if (after == before) break;
+  }
+
+  if (options.note_invariant_guards) {
+    NoteInvariantGuards(*block, &stats, loc);
+  }
+  return stats;
+}
+
+}  // namespace aggify

@@ -1,0 +1,67 @@
+// The simplification pipeline: semantics-preserving cleanup of a procedural
+// block, run by the Aggify driver *before* Eq. 1–4 loop-set inference so the
+// synthesized Agg_Δ never pays for dead stores, constant-false guards, or
+// constant expressions the script author left behind (DESIGN invariant 7).
+//
+// Passes, per iteration (bounded fixpoint):
+//   1. constant propagation + folding — abstract interpretation (absint.h)
+//      proves expressions constant; proven constants (which, by the domain's
+//      invariant, evaluate without error) are replaced by literals.
+//   2. branch pruning — IF/WHILE conditions decided by the same environments
+//      replace the statement with the taken branch (or remove it). AGG303.
+//   3. dead-store elimination — SETs whose target is not live-out
+//      (`DataflowResult` liveness) and not observable, restricted to
+//      value-independent-error expressions (no /, %, CAST, calls,
+//      subqueries, concat). AGG301.
+// A final reporting pass flags loop-invariant guards (AGG305).
+//
+// What is never touched: queries and DML (their expressions belong to the
+// relational layer), anything inside a GuardedRewriteStmt (its fallback must
+// stay a faithful clone of the original loop), and statements inside
+// TRY/CATCH for dead-store purposes (an erroring store is observable there).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/result.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+struct SimplifyOptions {
+  bool fold_constants = true;
+  bool prune_branches = true;
+  bool eliminate_dead_stores = true;
+  bool note_invariant_guards = true;
+  /// Fold/prune/DSE rounds before giving up on reaching a fixpoint.
+  int max_passes = 4;
+};
+
+struct SimplifyStats {
+  int constants_folded = 0;
+  int branches_pruned = 0;
+  int dead_stores_removed = 0;
+  int invariant_guards = 0;
+  /// AGG301 / AGG303 warnings and AGG305 notes, in discovery order.
+  std::vector<Diagnostic> diagnostics;
+
+  bool Changed() const {
+    return constants_folded + branches_pruned + dead_stores_removed > 0;
+  }
+};
+
+/// Simplifies `block` in place. `params` are defined-at-entry names (CFG
+/// entry defs); `observable_vars`, when non-null, lists variables whose
+/// final values are program outputs and whose stores must survive even when
+/// liveness says otherwise (anonymous client blocks). `loc` prefixes
+/// diagnostics ("function:" / "block:").
+Result<SimplifyStats> SimplifyBlock(BlockStmt* block,
+                                    const std::vector<std::string>& params,
+                                    const std::set<std::string>* observable_vars,
+                                    const std::string& loc,
+                                    const SimplifyOptions& options = {});
+
+}  // namespace aggify

@@ -1,0 +1,267 @@
+// Unit + property tests for the abstract-interpretation layer (absint.h):
+// lattice algebra (join commutativity / monotonicity / idempotence),
+// widening termination on a randomized CFG sweep, abstract evaluation
+// against the concrete operator kernel, and the DataflowResult lifetime
+// guard.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "analysis/dataflow.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+const BlockStmt& AsBlock(const StmtPtr& s) {
+  return static_cast<const BlockStmt&>(*s);
+}
+
+AbsValue EvalText(const std::string& text, const AbsEnv& env = {}) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text;
+  return EvalAbstract(**e, env);
+}
+
+// ---- lattice algebra ----
+
+/// Deterministic sampler over every lattice shape: bottom, top, const
+/// (NULL / bool / int / string), and intervals incl. half-open rays.
+AbsValue RandomAbsValue(std::mt19937* rng) {
+  std::uniform_int_distribution<int> shape(0, 7);
+  std::uniform_int_distribution<int64_t> small(-20, 20);
+  switch (shape(*rng)) {
+    case 0: return AbsValue::Bottom();
+    case 1: return AbsValue::Top();
+    case 2: return AbsValue::Const(Value::Null());
+    case 3: return AbsValue::Const(Value::Bool(small(*rng) > 0));
+    case 4: return AbsValue::Const(Value::Int(small(*rng)));
+    case 5: return AbsValue::Const(Value::String("s"));
+    case 6: {
+      int64_t a = small(*rng), b = small(*rng);
+      return AbsValue::Interval(true, std::min(a, b), true, std::max(a, b));
+    }
+    default: {
+      int64_t a = small(*rng);
+      return shape(*rng) % 2 == 0 ? AbsValue::Interval(true, a, false, 0)
+                                  : AbsValue::Interval(false, 0, true, a);
+    }
+  }
+}
+
+TEST(AbsLatticeProperty, JoinIsCommutativeIdempotentAndUpperBound) {
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 2000; ++trial) {
+    AbsValue a = RandomAbsValue(&rng);
+    AbsValue b = RandomAbsValue(&rng);
+    AbsValue ab = Join(a, b);
+    EXPECT_EQ(ab, Join(b, a)) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(Join(a, a), a) << a.ToString();
+    // Join is an upper bound of both operands.
+    EXPECT_TRUE(AbsLeq(a, ab)) << a.ToString() << " !<= " << ab.ToString();
+    EXPECT_TRUE(AbsLeq(b, ab)) << b.ToString() << " !<= " << ab.ToString();
+  }
+}
+
+TEST(AbsLatticeProperty, JoinIsMonotone) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    AbsValue a = RandomAbsValue(&rng);
+    AbsValue b = RandomAbsValue(&rng);
+    AbsValue c = RandomAbsValue(&rng);
+    // a <= b  ==>  a v c <= b v c.
+    if (AbsLeq(a, b)) {
+      EXPECT_TRUE(AbsLeq(Join(a, c), Join(b, c)))
+          << a.ToString() << " <= " << b.ToString() << " but join with "
+          << c.ToString() << " is not monotone";
+    }
+  }
+}
+
+TEST(AbsLatticeProperty, WidenIsAnUpperBoundOfJoin) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    AbsValue prev = RandomAbsValue(&rng);
+    AbsValue next = RandomAbsValue(&rng);
+    AbsValue w = Widen(prev, next);
+    EXPECT_TRUE(AbsLeq(Join(prev, next), w))
+        << "widen(" << prev.ToString() << ", " << next.ToString()
+        << ") = " << w.ToString() << " not above the join";
+  }
+}
+
+TEST(AbsLatticeProperty, WideningChainsStabilize) {
+  // Any ascending chain driven through Widen must stabilize after a small
+  // constant number of strict increases (bounded lattice height once moved
+  // bounds jump to infinity): bottom < const < {half-open rays} < top.
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    AbsValue w = AbsValue::Bottom();
+    int strict_increases = 0;
+    for (int step = 0; step < 64; ++step) {
+      AbsValue next = Join(w, RandomAbsValue(&rng));
+      AbsValue widened = Widen(w, next);
+      if (widened != w) {
+        ++strict_increases;
+        EXPECT_TRUE(AbsLeq(w, widened));
+        w = widened;
+      }
+    }
+    EXPECT_LE(strict_increases, 5) << "chain did not stabilize";
+  }
+}
+
+// ---- abstract evaluation vs the concrete kernel ----
+
+TEST(AbsEvalTest, FoldsConstantArithmetic) {
+  AbsValue v = EvalText("1 + 2 * 3");
+  ASSERT_TRUE(v.IsConst());
+  EXPECT_EQ(v.constant.int_value(), 7);
+}
+
+TEST(AbsEvalTest, PropagatesEnvironmentConstants) {
+  AbsEnv env;
+  env["@x"] = AbsValue::Const(Value::Int(4));
+  AbsValue v = EvalText("@x + 1", env);
+  ASSERT_TRUE(v.IsConst());
+  EXPECT_EQ(v.constant.int_value(), 5);
+}
+
+TEST(AbsEvalTest, OperatorErrorsAbstractToTopNeverFold) {
+  // Division by zero errors concretely; the abstract result must be Top so
+  // the simplifier never folds (and so never swallows) the runtime error.
+  EXPECT_TRUE(EvalText("1 / 0").IsTop());
+  EXPECT_TRUE(EvalText("1 % 0").IsTop());
+}
+
+TEST(AbsEvalTest, UnknownVariablesAreTop) {
+  EXPECT_TRUE(EvalText("@unknown + 1").IsTop());
+}
+
+TEST(AbsEvalTest, IntervalComparisonDecides) {
+  AbsEnv env;
+  env["@i"] = AbsValue::Interval(true, 1, true, 10);
+  AbsValue v = EvalText("@i > 0", env);
+  ASSERT_TRUE(v.IsConst());
+  EXPECT_TRUE(v.constant.bool_value());
+  // Overlapping ranges stay undecided.
+  env["@j"] = AbsValue::Interval(true, 0, true, 5);
+  EXPECT_FALSE(EvalText("@i > @j", env).IsConst());
+}
+
+TEST(AbsEvalTest, IsNullDecidesOverIntervals) {
+  AbsEnv env;
+  env["@i"] = AbsValue::Interval(true, 1, true, 10);  // provably non-NULL
+  AbsValue v = EvalText("@i IS NULL", env);
+  ASSERT_TRUE(v.IsConst());
+  EXPECT_FALSE(v.constant.bool_value());
+}
+
+TEST(AbsEvalTest, DeterministicBuiltinsFoldOnConstants) {
+  AbsValue v = EvalText("abs(-3)");
+  ASSERT_TRUE(v.IsConst());
+  EXPECT_EQ(v.constant.int_value(), 3);
+}
+
+TEST(AbsTruthTest, NullConditionIsFalse) {
+  AbsEnv env;
+  env["@x"] = AbsValue::Const(Value::Null());
+  EXPECT_EQ(AbstractTruth(**ParseExpression("@x"), env), AbsTruth::kFalse);
+  EXPECT_EQ(AbstractTruth(**ParseExpression("1 = 1"), env), AbsTruth::kTrue);
+  EXPECT_EQ(AbstractTruth(**ParseExpression("@y"), env), AbsTruth::kUnknown);
+}
+
+// ---- fixpoint over real CFGs ----
+
+TEST(AbsInterpTest, LoopCounterWidensButExitStaysReachable) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @i INT = 0;
+    DECLARE @s INT = 0;
+    WHILE @i < 10
+    BEGIN
+      SET @s = @s + @i;
+      SET @i = @i + 1;
+    END
+    SET @s = @s + 1;
+  )"));
+  ASSERT_OK_AND_ASSIGN(auto cfg, Cfg::Build(AsBlock(prog), {}));
+  AbstractInterpretation ai = AbstractInterpretation::Run(*cfg);
+  EXPECT_TRUE(ai.Reachable(cfg->exit()));
+  EXPECT_LT(ai.iterations(), 64 * cfg->size() + 1024);
+}
+
+/// Randomized structured-program generator: nested WHILE / IF with counter
+/// increments, exercising join points and widening at every loop head.
+std::string RandomProgram(std::mt19937* rng, int depth = 0) {
+  std::uniform_int_distribution<int> pick(0, 5);
+  std::uniform_int_distribution<int> lit(0, 9);
+  std::string out;
+  int stmts = 1 + pick(*rng) % 3;
+  for (int i = 0; i < stmts; ++i) {
+    switch (depth >= 3 ? pick(*rng) % 2 : pick(*rng)) {
+      case 0:
+        out += "SET @a = @a + " + std::to_string(lit(*rng)) + ";\n";
+        break;
+      case 1:
+        out += "SET @b = @a * " + std::to_string(lit(*rng)) + ";\n";
+        break;
+      case 2:
+      case 3:
+        out += "IF @a < " + std::to_string(lit(*rng)) + "\nBEGIN\n" +
+               RandomProgram(rng, depth + 1) + "END\nELSE\nBEGIN\n" +
+               RandomProgram(rng, depth + 1) + "END\n";
+        break;
+      default:
+        out += "WHILE @b < " + std::to_string(lit(*rng)) + "\nBEGIN\n" +
+               RandomProgram(rng, depth + 1) + "SET @b = @b + 1;\nEND\n";
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(AbsInterpProperty, WideningTerminatesOnRandomizedCfgSweep) {
+  std::mt19937 rng(987654);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text = "DECLARE @a INT = 0;\nDECLARE @b INT = 0;\n" +
+                       RandomProgram(&rng);
+    ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(text));
+    ASSERT_OK_AND_ASSIGN(auto cfg, Cfg::Build(AsBlock(prog), {}));
+    AbstractInterpretation ai = AbstractInterpretation::Run(*cfg);
+    // Strictly below the defensive cap: the worklist reached a true
+    // fixpoint instead of being cut off.
+    EXPECT_LT(ai.iterations(), 64 * cfg->size() + 1024) << text;
+    EXPECT_TRUE(ai.Reachable(cfg->exit())) << text;
+  }
+}
+
+// ---- DataflowResult lifetime guard (debug builds) ----
+
+TEST(DataflowLifetimeGuardTest, UseAfterCfgDestructionAsserts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "lifetime guard is assert-based; release build";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @a INT = 1;
+    SET @a = @a + 1;
+  )"));
+  DataflowResult dangling;
+  {
+    ASSERT_OK_AND_ASSIGN(auto cfg, Cfg::Build(AsBlock(prog), {}));
+    dangling = DataflowResult::Run(*cfg);
+    // In-scope use is fine.
+    (void)dangling.cfg();
+  }
+  // The Cfg is gone: any cfg()-dependent accessor must trip the guard.
+  EXPECT_DEATH((void)dangling.cfg(),
+               "DataflowResult used after its Cfg was destroyed");
+#endif
+}
+
+}  // namespace
+}  // namespace aggify

@@ -117,7 +117,11 @@ class LoopAggregateContractTest : public ::testing::Test {
         RETURN @s;
       END
     )"));
-    Aggify aggify(&db_);
+    // This suite exercises the synthesized LoopAggregate's contract, so the
+    // native-fold lowering (which would skip registering one) is disabled.
+    AggifyOptions opts;
+    opts.lower_native_folds = false;
+    Aggify aggify(&db_, opts);
     ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
     ASSERT_EQ(report.loops_rewritten, 1);
     agg_name_ = report.rewrites[0].aggregate_name;

@@ -138,27 +138,55 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
   std::string program = generator.Generate();
   SCOPED_TRACE(program);
   ASSERT_OK(session.RunSql(program).status());
+  // A second identical copy so the plain rewrite and the fully simplified
+  // rewrite can coexist (RewriteFunction replaces its target in place).
+  std::string full_copy = program;
+  full_copy.replace(full_copy.find("gen_fn"), 6, "gen_fn_full");
+  ASSERT_OK(session.RunSql(full_copy).status());
 
-  // Original results for a few parameter values.
+  // Original (interpreted) results for a few parameter values.
   std::vector<Value> before;
   for (int p : {-100, 0, 50}) {
     ASSERT_OK_AND_ASSIGN(Value v, session.Call("gen_fn", {Value::Int(p)}));
     before.push_back(v);
   }
 
-  Aggify aggify(&db);
-  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("gen_fn"));
+  // Configuration 2: rewritten with the simplification pipeline and its
+  // payoffs (fetch pruning, native-fold lowering) all OFF.
+  AggifyOptions plain_options;
+  plain_options.simplify = false;
+  plain_options.prune_fetch_columns = false;
+  plain_options.lower_native_folds = false;
+  Aggify plain(&db, plain_options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, plain.RewriteFunction("gen_fn"));
   ASSERT_EQ(report.loops_rewritten, 1)
       << (report.skipped.empty() ? std::string("not rewritten")
                                  : report.skipped[0].ToString());
   EXPECT_EQ(report.rewrites[0].sets.ordered, generator.ordered());
 
+  // Configuration 3: rewritten with everything ON (the defaults).
+  Aggify full(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport full_report,
+                       full.RewriteFunction("gen_fn_full"));
+  ASSERT_EQ(full_report.loops_rewritten, 1)
+      << (full_report.skipped.empty()
+              ? std::string("not rewritten")
+              : full_report.skipped[0].ToString());
+
+  // All three configurations agree on every parameter value.
   size_t i = 0;
   for (int p : {-100, 0, 50}) {
     ASSERT_OK_AND_ASSIGN(Value v, session.Call("gen_fn", {Value::Int(p)}));
     EXPECT_TRUE(v.StructurallyEquals(before[i]))
         << "param " << p << ": rewritten=" << v.ToString()
         << " original=" << before[i].ToString();
+    ASSERT_OK_AND_ASSIGN(Value vf,
+                         session.Call("gen_fn_full", {Value::Int(p)}));
+    EXPECT_TRUE(vf.StructurallyEquals(before[i]))
+        << "param " << p << ": simplified rewrite=" << vf.ToString()
+        << " original=" << before[i].ToString()
+        << (full_report.rewrites[0].lowered_to_builtin ? " (lowered to "
+              + full_report.rewrites[0].aggregate_name + ")" : "");
     ++i;
   }
 }

@@ -1,0 +1,457 @@
+// Native-fold lowering (AGG304), fetch-column pruning (AGG302) and the
+// static-trip-count FOR fast path (AGG306): the rewriter-visible payoffs of
+// the simplification pipeline. The plan-shape tests re-parse the rewritten
+// query and assert it aggregates through the built-in — no interpreted
+// Agg_Δ is registered at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "aggify/rewriter.h"
+#include "aggregates/aggregate_function.h"
+#include "parser/parser.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+bool HasDiagnostic(const std::vector<Diagnostic>& diags, DiagCode code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+/// Every aggregate call mentioned anywhere in the SELECT's item list.
+std::vector<std::string> AggregateCallNames(const SelectStmt& select) {
+  std::vector<std::string> names;
+  for (const SelectItem& item : select.items) {
+    item.expr->Walk([&](const Expr& e) {
+      if (e.kind == ExprKind::kAggregateCall) {
+        names.push_back(static_cast<const AggregateCallExpr&>(e).name);
+      }
+    });
+  }
+  return names;
+}
+
+class NativeLoweringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE data (k INT, v INT);
+      INSERT INTO data VALUES (1, 5), (1, 7), (2, 11), (1, 3);
+    )"));
+  }
+
+  /// Registers `source`, rewrites `name` with default options, and returns
+  /// the report. Fails the test if the single loop was not rewritten.
+  AggifyReport Rewrite(const std::string& source, const std::string& name) {
+    EXPECT_TRUE(session_->RunSql(source).ok());
+    Aggify aggify(&db_);
+    auto report = aggify.RewriteFunction(name);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->loops_rewritten, 1);
+    return *std::move(report);
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+// ---- plan shape: the builtin replaces the interpreted Agg_Δ ----
+
+TEST_F(NativeLoweringTest, SumFoldLowersToBuiltinWithNoCustomAggregate) {
+  size_t aggregates_before = db_.catalog().AggregateNames().size();
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION sum_v(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )", "sum_v");
+
+  const LoopRewrite& record = report.rewrites[0];
+  EXPECT_TRUE(record.lowered_to_builtin);
+  EXPECT_EQ(record.aggregate_name, "sum");
+  EXPECT_TRUE(record.aggregate_source.empty());
+  EXPECT_TRUE(HasDiagnostic(report.notes, DiagCode::kLoweredToBuiltin));
+  // No interpreted Agg_Δ was registered anywhere.
+  EXPECT_EQ(db_.catalog().AggregateNames().size(), aggregates_before);
+
+  // The rewritten query aggregates exclusively through builtins.
+  ASSERT_OK_AND_ASSIGN(auto select, ParseSelect(record.rewritten_query_sql));
+  std::vector<std::string> names = AggregateCallNames(*select);
+  ASSERT_FALSE(names.empty());
+  for (const std::string& n : names) {
+    EXPECT_TRUE(IsBuiltinAggregateName(n)) << n;
+  }
+
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_v", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 15);
+  // Zero rows: the lowered query's NULL marker keeps the prior value (0).
+  ASSERT_OK_AND_ASSIGN(Value z, session_->Call("sum_v", {Value::Int(999)}));
+  EXPECT_EQ(z.int_value(), 0);
+}
+
+TEST_F(NativeLoweringTest, CounterLowersToCountStar) {
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION count_v(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @n;
+    END
+  )", "count_v");
+  EXPECT_TRUE(report.rewrites[0].lowered_to_builtin);
+  EXPECT_EQ(report.rewrites[0].aggregate_name, "count");
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("count_v", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 3);
+  ASSERT_OK_AND_ASSIGN(Value z, session_->Call("count_v", {Value::Int(999)}));
+  EXPECT_EQ(z.int_value(), 0);
+}
+
+TEST_F(NativeLoweringTest, GuardedMinWithNullPeelLowersToMin) {
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION min_v(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @m INT;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF @m IS NULL OR @x < @m
+        BEGIN
+          SET @m = @x;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @m;
+    END
+  )", "min_v");
+  EXPECT_TRUE(report.rewrites[0].lowered_to_builtin);
+  EXPECT_EQ(report.rewrites[0].aggregate_name, "min");
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("min_v", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 3);
+  ASSERT_OK_AND_ASSIGN(Value z, session_->Call("min_v", {Value::Int(999)}));
+  EXPECT_TRUE(z.is_null());
+}
+
+TEST_F(NativeLoweringTest, GuardedMaxWithoutPeelKeepsSeededBaseline) {
+  // No IS NULL peel: a seeded @m only updates when a row beats it, and the
+  // lowered CASE must preserve that (baseline wins over smaller maxima).
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION max_v(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @m INT = 6;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF @x > @m
+        BEGIN
+          SET @m = @x;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @m;
+    END
+  )", "max_v");
+  EXPECT_TRUE(report.rewrites[0].lowered_to_builtin);
+  EXPECT_EQ(report.rewrites[0].aggregate_name, "max");
+  ASSERT_OK_AND_ASSIGN(Value v1, session_->Call("max_v", {Value::Int(1)}));
+  EXPECT_EQ(v1.int_value(), 7);  // 7 > 6: a row beat the baseline
+  ASSERT_OK_AND_ASSIGN(Value v2, session_->Call("max_v", {Value::Int(2)}));
+  EXPECT_EQ(v2.int_value(), 11);
+  // Group {1,...} vs a higher baseline: re-register with baseline 50.
+  AggifyReport high = Rewrite(R"(
+    CREATE FUNCTION max_v50(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @m INT = 50;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF @x > @m
+        BEGIN
+          SET @m = @x;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @m;
+    END
+  )", "max_v50");
+  EXPECT_TRUE(high.rewrites[0].lowered_to_builtin);
+  ASSERT_OK_AND_ASSIGN(Value v3, session_->Call("max_v50", {Value::Int(1)}));
+  EXPECT_EQ(v3.int_value(), 50);  // no row beats the baseline
+}
+
+TEST_F(NativeLoweringTest, MultiVariableBodyIsNotLowered) {
+  // Two live accumulators: not a single native fold, so the interpreted
+  // Agg_Δ path must kick in and register a custom aggregate.
+  size_t aggregates_before = db_.catalog().AggregateNames().size();
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION sum_and_count(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 0;
+      DECLARE @n INT = 0;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        SET @n = @n + 1;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s * 100 + @n;
+    END
+  )", "sum_and_count");
+  EXPECT_FALSE(report.rewrites[0].lowered_to_builtin);
+  EXPECT_FALSE(report.rewrites[0].aggregate_source.empty());
+  EXPECT_GT(db_.catalog().AggregateNames().size(), aggregates_before);
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       session_->Call("sum_and_count", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 1503);
+}
+
+TEST_F(NativeLoweringTest, NullInputPoisonsSumExactlyLikeInterpretedAgg) {
+  // A NULL row poisons the accumulator (@s + NULL = NULL). The lowered CASE
+  // detects it via COUNT(e') < COUNT(*) and emits the NULL result marker —
+  // which under the MultiAssign convention keeps the prior value, exactly
+  // what the interpreted Agg_Δ's Terminate produces on the same input. The
+  // invariant under test: lowering is indistinguishable from the Agg_Δ path.
+  ASSERT_OK(session_->RunSql(
+      "INSERT INTO data VALUES (3, 4), (3, NULL), (3, 9);"));
+  const char* def = R"(
+    CREATE FUNCTION sum_null%s(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT = 42;
+      DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )";
+  char lowered_def[512], interp_def[512];
+  std::snprintf(lowered_def, sizeof(lowered_def), def, "_lo");
+  std::snprintf(interp_def, sizeof(interp_def), def, "_agg");
+  AggifyReport lowered = Rewrite(lowered_def, "sum_null_lo");
+  EXPECT_TRUE(lowered.rewrites[0].lowered_to_builtin);
+
+  EXPECT_TRUE(session_->RunSql(interp_def).ok());
+  AggifyOptions opts;
+  opts.lower_native_folds = false;
+  Aggify interp(&db_, opts);
+  ASSERT_OK_AND_ASSIGN(AggifyReport r2, interp.RewriteFunction("sum_null_agg"));
+  EXPECT_FALSE(r2.rewrites[0].lowered_to_builtin);
+
+  for (int64_t k : {1, 2, 3, 999}) {
+    ASSERT_OK_AND_ASSIGN(Value lo,
+                         session_->Call("sum_null_lo", {Value::Int(k)}));
+    ASSERT_OK_AND_ASSIGN(Value ag,
+                         session_->Call("sum_null_agg", {Value::Int(k)}));
+    EXPECT_TRUE(lo.StructurallyEquals(ag))
+        << "k=" << k << ": lowered=" << lo.ToString()
+        << " interpreted=" << ag.ToString();
+  }
+  ASSERT_OK_AND_ASSIGN(Value ok, session_->Call("sum_null_lo", {Value::Int(1)}));
+  EXPECT_EQ(ok.int_value(), 57);  // 42 + 15: no NULL in group 1
+}
+
+// ---- fetch-column pruning (AGG302) ----
+
+TEST_F(NativeLoweringTest, UnusedFetchColumnsArePrunedFromProjection) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE wide (k INT, a INT, b STRING, c INT);
+    INSERT INTO wide VALUES (1, 2, 'x', 30), (1, 4, 'y', 50);
+  )"));
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION sum_a(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @a INT;
+      DECLARE @b STRING;
+      DECLARE @c INT;
+      DECLARE @s INT = 0;
+      DECLARE cur CURSOR FOR SELECT a, b, c FROM wide WHERE k = @k;
+      OPEN cur;
+      FETCH NEXT FROM cur INTO @a, @b, @c;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @a;
+        FETCH NEXT FROM cur INTO @a, @b, @c;
+      END
+      CLOSE cur; DEALLOCATE cur;
+      RETURN @s;
+    END
+  )", "sum_a");
+  const LoopRewrite& record = report.rewrites[0];
+  // @b and @c are never read: their cursor columns c1 and c2 are dropped.
+  EXPECT_EQ(record.pruned_fetch_columns,
+            (std::vector<std::string>{"c1", "c2"}));
+  EXPECT_TRUE(HasDiagnostic(report.notes, DiagCode::kUnusedFetchColumn));
+  EXPECT_EQ(record.rewritten_query_sql.find("c1"), std::string::npos)
+      << record.rewritten_query_sql;
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_a", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 6);
+}
+
+TEST_F(NativeLoweringTest, DistinctCursorProjectionIsNotPruned) {
+  // DISTINCT over (a, b): dropping b would change the row multiset, so the
+  // projection is load-bearing and pruning must stand down.
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE TABLE pairs (k INT, a INT, b INT);
+    INSERT INTO pairs VALUES (1, 2, 1), (1, 2, 2), (1, 2, 2);
+  )"));
+  AggifyReport report = Rewrite(R"(
+    CREATE FUNCTION sum_distinct(@k INT) RETURNS INT AS
+    BEGIN
+      DECLARE @a INT;
+      DECLARE @b INT;
+      DECLARE @s INT = 0;
+      DECLARE c CURSOR FOR SELECT DISTINCT a, b FROM pairs WHERE k = @k;
+      OPEN c;
+      FETCH NEXT FROM c INTO @a, @b;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @s + @a;
+        FETCH NEXT FROM c INTO @a, @b;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )", "sum_distinct");
+  EXPECT_TRUE(report.rewrites[0].pruned_fetch_columns.empty());
+  // DISTINCT (2,1) + (2,2): two rows survive, so the sum of a is 4.
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       session_->Call("sum_distinct", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 4);
+}
+
+// ---- static trip counts (AGG306) ----
+
+TEST_F(NativeLoweringTest, ConstantBoundForLoopUsesStaticTripSpace) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION triangle() RETURNS INT AS
+    BEGIN
+      DECLARE @s INT = 0;
+      FOR @i = 1 TO 10
+      BEGIN
+        SET @s = @s + @i;
+      END
+      RETURN @s;
+    END
+  )"));
+  AggifyOptions options;
+  options.convert_for_loops = true;  // static_trip_values defaults on
+  Aggify aggify(&db_, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("triangle"));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  EXPECT_TRUE(HasDiagnostic(report.notes, DiagCode::kStaticTripCount));
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("triangle", {}));
+  EXPECT_EQ(v.int_value(), 55);
+}
+
+TEST_F(NativeLoweringTest, StaticTripMatchesRecursiveCteSpace) {
+  const char* def = R"(
+    CREATE FUNCTION steps%s() RETURNS INT AS
+    BEGIN
+      DECLARE @s INT = 0;
+      FOR @i = 3 TO 12 STEP 4
+      BEGIN
+        SET @s = @s + @i;
+      END
+      RETURN @s;
+    END
+  )";
+  char with_static[512], without_static[512];
+  std::snprintf(with_static, sizeof(with_static), def, "_fast");
+  std::snprintf(without_static, sizeof(without_static), def, "_slow");
+  ASSERT_OK(session_->RunSql(with_static));
+  ASSERT_OK(session_->RunSql(without_static));
+
+  AggifyOptions fast;
+  fast.convert_for_loops = true;
+  Aggify a1(&db_, fast);
+  ASSERT_OK_AND_ASSIGN(AggifyReport r1, a1.RewriteFunction("steps_fast"));
+  EXPECT_TRUE(HasDiagnostic(r1.notes, DiagCode::kStaticTripCount));
+
+  AggifyOptions slow;
+  slow.convert_for_loops = true;
+  slow.static_trip_values = false;
+  Aggify a2(&db_, slow);
+  ASSERT_OK_AND_ASSIGN(AggifyReport r2, a2.RewriteFunction("steps_slow"));
+  EXPECT_FALSE(HasDiagnostic(r2.notes, DiagCode::kStaticTripCount));
+
+  // 3 + 7 + 11 = 21 either way.
+  ASSERT_OK_AND_ASSIGN(Value fast_v, session_->Call("steps_fast", {}));
+  ASSERT_OK_AND_ASSIGN(Value slow_v, session_->Call("steps_slow", {}));
+  EXPECT_EQ(fast_v.int_value(), 21);
+  EXPECT_TRUE(fast_v.StructurallyEquals(slow_v));
+}
+
+TEST_F(NativeLoweringTest, OversizedTripCountFallsBackToRecursiveCte) {
+  ASSERT_OK(session_->RunSql(R"(
+    CREATE FUNCTION big() RETURNS INT AS
+    BEGIN
+      DECLARE @s INT = 0;
+      FOR @i = 1 TO 100
+      BEGIN
+        SET @s = @s + 1;
+      END
+      RETURN @s;
+    END
+  )"));
+  AggifyOptions options;
+  options.convert_for_loops = true;
+  options.max_static_trips = 8;  // 100 trips exceed the materialization cap
+  Aggify aggify(&db_, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("big"));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(HasDiagnostic(report.notes, DiagCode::kStaticTripCount));
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("big", {}));
+  EXPECT_EQ(v.int_value(), 100);
+}
+
+}  // namespace
+}  // namespace aggify

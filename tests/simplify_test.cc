@@ -1,0 +1,422 @@
+// Tests for the pre-inference simplification pipeline (analysis/simplify.h):
+// constant folding, constant-branch pruning (AGG303), dead-store elimination
+// (AGG301) with observable-variable protection, loop-invariant guard notes
+// (AGG305), and the end-to-end regression that a simplified + rewritten
+// cursor loop preserves zero-iteration semantics (the Terminate NULL marker
+// leaves MultiAssign targets untouched).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aggify/rewriter.h"
+#include "analysis/simplify.h"
+#include "parser/parser.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+BlockStmt* AsBlock(StmtPtr& s) { return static_cast<BlockStmt*>(s.get()); }
+
+/// First SET targeting `name` anywhere in the tree, or nullptr.
+const SetStmt* FindSet(const Stmt& stmt, const std::string& name) {
+  switch (stmt.kind) {
+    case StmtKind::kSet: {
+      const auto& set = static_cast<const SetStmt&>(stmt);
+      return set.name == name ? &set : nullptr;
+    }
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        if (const SetStmt* found = FindSet(*s, name)) return found;
+      }
+      return nullptr;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      if (const SetStmt* found = FindSet(*i.then_branch, name)) return found;
+      return i.else_branch != nullptr ? FindSet(*i.else_branch, name)
+                                      : nullptr;
+    }
+    case StmtKind::kWhile:
+      return FindSet(*static_cast<const WhileStmt&>(stmt).body, name);
+    case StmtKind::kFor:
+      return FindSet(*static_cast<const ForStmt&>(stmt).body, name);
+    default:
+      return nullptr;
+  }
+}
+
+int CountKind(const Stmt& stmt, StmtKind kind) {
+  int n = stmt.kind == kind ? 1 : 0;
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        n += CountKind(*s, kind);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      n += CountKind(*i.then_branch, kind);
+      if (i.else_branch != nullptr) n += CountKind(*i.else_branch, kind);
+      break;
+    }
+    case StmtKind::kWhile:
+      n += CountKind(*static_cast<const WhileStmt&>(stmt).body, kind);
+      break;
+    case StmtKind::kFor:
+      n += CountKind(*static_cast<const ForStmt&>(stmt).body, kind);
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+bool HasDiagnostic(const std::vector<Diagnostic>& diags, DiagCode code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// ---- constant propagation / folding ----
+
+TEST(SimplifyFoldTest, PropagatesConstantsIntoExpressions) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @x INT = 2;
+    DECLARE @y INT = 0;
+    SET @y = @x + 3;
+    RETURN @y;
+  )"));
+  SimplifyOptions options;
+  options.eliminate_dead_stores = false;  // keep the SET inspectable
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {}, nullptr, "test", options));
+  EXPECT_GE(stats.constants_folded, 1);
+  const SetStmt* set = FindSet(*prog, "@y");
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->value->kind, ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const LiteralExpr&>(*set->value).value.int_value(), 5);
+}
+
+TEST(SimplifyFoldTest, UnknownParametersDoNotFold) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @y INT = 0;
+    SET @y = @p + 3;
+    RETURN @y;
+  )"));
+  SimplifyOptions options;
+  options.eliminate_dead_stores = false;
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {"@p"}, nullptr, "test", options));
+  const SetStmt* set = FindSet(*prog, "@y");
+  ASSERT_NE(set, nullptr);
+  EXPECT_NE(set->value->kind, ExprKind::kLiteral);
+}
+
+TEST(SimplifyFoldTest, DivisionByZeroNeverFolds) {
+  // 1/0 errors at runtime; folding it would swallow the error.
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @y INT = 0;
+    SET @y = 1 / 0;
+    RETURN @y;
+  )"));
+  SimplifyOptions options;
+  options.eliminate_dead_stores = false;
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {}, nullptr, "test", options));
+  const SetStmt* set = FindSet(*prog, "@y");
+  ASSERT_NE(set, nullptr);
+  EXPECT_NE(set->value->kind, ExprKind::kLiteral);
+}
+
+// ---- constant-branch pruning (AGG303) ----
+
+TEST(SimplifyPruneTest, ConstantFalseIfHoistsElseBranch) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @r INT = 0;
+    IF 1 = 2
+    BEGIN
+      SET @r = 1;
+    END
+    ELSE
+    BEGIN
+      SET @r = 5;
+    END
+    RETURN @r;
+  )"));
+  ASSERT_OK_AND_ASSIGN(SimplifyStats stats,
+                       SimplifyBlock(AsBlock(prog), {}, nullptr, "test"));
+  EXPECT_GE(stats.branches_pruned, 1);
+  EXPECT_EQ(CountKind(*prog, StmtKind::kIf), 0);
+  // The then-branch store is gone with the branch; the hoisted else store
+  // either survives as SET @r = 5 or cascades away entirely once the RETURN
+  // folds to the constant.
+  const SetStmt* set = FindSet(*prog, "@r");
+  if (set != nullptr) {
+    ASSERT_EQ(set->value->kind, ExprKind::kLiteral);
+    EXPECT_EQ(static_cast<const LiteralExpr&>(*set->value).value.int_value(),
+              5);
+  }
+  EXPECT_TRUE(HasDiagnostic(stats.diagnostics, DiagCode::kConstantFalseBranch));
+}
+
+TEST(SimplifyPruneTest, ConstantFalseWhileIsRemoved) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @r INT = 3;
+    WHILE 0 > 1
+    BEGIN
+      SET @r = 9;
+    END
+    RETURN @r;
+  )"));
+  ASSERT_OK_AND_ASSIGN(SimplifyStats stats,
+                       SimplifyBlock(AsBlock(prog), {}, nullptr, "test"));
+  EXPECT_GE(stats.branches_pruned, 1);
+  EXPECT_EQ(CountKind(*prog, StmtKind::kWhile), 0);
+}
+
+TEST(SimplifyPruneTest, UnknownConditionIsLeftAlone) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @r INT = 0;
+    IF @p > 0
+    BEGIN
+      SET @r = 1;
+    END
+    RETURN @r;
+  )"));
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {"@p"}, nullptr, "test"));
+  EXPECT_EQ(stats.branches_pruned, 0);
+  EXPECT_EQ(CountKind(*prog, StmtKind::kIf), 1);
+}
+
+// ---- dead-store elimination (AGG301) ----
+
+TEST(SimplifyDeadStoreTest, RemovesStoreThatIsNeverRead) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @keep INT = 0;
+    DECLARE @dead INT = 0;
+    SET @dead = @keep + 1;
+    SET @keep = 2;
+    RETURN @keep;
+  )"));
+  ASSERT_OK_AND_ASSIGN(SimplifyStats stats,
+                       SimplifyBlock(AsBlock(prog), {}, nullptr, "test"));
+  EXPECT_GE(stats.dead_stores_removed, 1);
+  EXPECT_EQ(FindSet(*prog, "@dead"), nullptr);
+  EXPECT_TRUE(HasDiagnostic(stats.diagnostics, DiagCode::kDeadStore));
+}
+
+TEST(SimplifyDeadStoreTest, ObservableVariablesAreProtected) {
+  // Anonymous client blocks: the environment is the output, so a store to
+  // an observable variable survives even though nothing reads it.
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @keep INT = 0;
+    DECLARE @dead INT = 0;
+    SET @dead = @keep + 1;
+    SET @keep = 2;
+    RETURN @keep;
+  )"));
+  std::set<std::string> observable = {"@dead"};
+  SimplifyOptions options;
+  options.fold_constants = false;  // isolate the DSE pass: otherwise the
+  options.prune_branches = false;  // RETURN folds and @keep's store dies too
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {}, &observable, "test", options));
+  EXPECT_EQ(stats.dead_stores_removed, 0);
+  EXPECT_NE(FindSet(*prog, "@dead"), nullptr);
+}
+
+TEST(SimplifyDeadStoreTest, ValueDependentErrorsAreNeverRemoved) {
+  // @dead is never read, but 1/@keep can error at runtime depending on
+  // @keep's value — removing the store would change observable behavior.
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @keep INT = 0;
+    DECLARE @dead INT = 0;
+    SET @dead = 1 / @keep;
+    SET @keep = 2;
+    RETURN @keep;
+  )"));
+  SimplifyOptions options;
+  options.fold_constants = false;  // keep 1/@keep symbolic
+  options.prune_branches = false;
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {}, nullptr, "test", options));
+  EXPECT_NE(FindSet(*prog, "@dead"), nullptr);
+}
+
+// ---- loop-invariant guards (AGG305, advisory) ----
+
+TEST(SimplifyInvariantGuardTest, FlagsGuardOnLoopInvariantState) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @i INT = 0;
+    DECLARE @s INT = 0;
+    WHILE @i < 3
+    BEGIN
+      IF @flag > 0
+      BEGIN
+        SET @s = @s + 1;
+      END
+      SET @i = @i + 1;
+    END
+    RETURN @s;
+  )"));
+  ASSERT_OK_AND_ASSIGN(
+      SimplifyStats stats,
+      SimplifyBlock(AsBlock(prog), {"@flag"}, nullptr, "test"));
+  EXPECT_GE(stats.invariant_guards, 1);
+  EXPECT_TRUE(HasDiagnostic(stats.diagnostics, DiagCode::kLoopInvariantGuard));
+}
+
+TEST(SimplifyInvariantGuardTest, GuardOnLoopVariantStateIsNotFlagged) {
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @i INT = 0;
+    DECLARE @s INT = 0;
+    WHILE @i < 3
+    BEGIN
+      IF @i > 1
+      BEGIN
+        SET @s = @s + 1;
+      END
+      SET @i = @i + 1;
+    END
+    RETURN @s;
+  )"));
+  ASSERT_OK_AND_ASSIGN(SimplifyStats stats,
+                       SimplifyBlock(AsBlock(prog), {}, nullptr, "test"));
+  EXPECT_EQ(stats.invariant_guards, 0);
+}
+
+// ---- cursor loops are structural, never pruned ----
+
+TEST(SimplifyCursorTest, CursorLoopSurvivesSimplification) {
+  // @@fetch_status is unknown to the domain, but even a decided-looking
+  // cursor-loop condition must stay: the loop is the rewriter's input.
+  ASSERT_OK_AND_ASSIGN(StmtPtr prog, ParseStatements(R"(
+    DECLARE @x INT;
+    DECLARE @s INT = 0;
+    DECLARE c CURSOR FOR SELECT v FROM data;
+    OPEN c;
+    FETCH NEXT FROM c INTO @x;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @s = @s + @x;
+      FETCH NEXT FROM c INTO @x;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+    RETURN @s;
+  )"));
+  ASSERT_OK_AND_ASSIGN(SimplifyStats stats,
+                       SimplifyBlock(AsBlock(prog), {}, nullptr, "test"));
+  EXPECT_EQ(CountKind(*prog, StmtKind::kWhile), 1);
+  EXPECT_NE(FindSet(*prog, "@s"), nullptr);
+}
+
+// ---- end-to-end: simplified + rewritten loops keep loop semantics ----
+
+class SimplifiedRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE data (k INT, v INT);
+      INSERT INTO data VALUES (1, 5), (1, 7), (2, 11);
+      CREATE FUNCTION sum_v(@k INT) RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @junk INT = 0;
+        DECLARE @s INT = 100;
+        DECLARE c CURSOR FOR SELECT v FROM data WHERE k = @k;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @junk = @x;
+          IF 1 = 2
+          BEGIN
+            SET @s = 0;
+          END
+          SET @s = @s + @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @s;
+      END
+    )"));
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SimplifiedRewriteTest, SimplificationCleansBodyBeforeInference) {
+  Aggify aggify(&db_);  // defaults: simplify + pruning + lowering all on
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_GE(report.simplify.dead_stores_removed, 1);
+  EXPECT_GE(report.simplify.branches_pruned, 1);
+  // With the noise gone, Δ is a bare sum fold and lowers to the builtin.
+  EXPECT_TRUE(report.rewrites[0].lowered_to_builtin);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_v", {Value::Int(1)}));
+  EXPECT_EQ(v.int_value(), 112);
+}
+
+TEST_F(SimplifiedRewriteTest, ZeroIterationLoopKeepsPriorValueWhenLowered) {
+  // sum_v(999) matches no rows: the lowered query's NULL marker must leave
+  // the MultiAssign target untouched, exactly like the never-entered loop.
+  Aggify aggify(&db_);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_v", {Value::Int(999)}));
+  EXPECT_EQ(v.int_value(), 100);
+}
+
+TEST_F(SimplifiedRewriteTest, ZeroIterationLoopKeepsPriorValueInterpreted) {
+  // Same regression through the interpreted Agg_Δ path (lowering off): the
+  // synthesized Terminate's NULL marker and MultiAssign's keep-prior rule.
+  AggifyOptions opts;
+  opts.lower_native_folds = false;
+  Aggify aggify(&db_, opts);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].lowered_to_builtin);
+  ASSERT_OK_AND_ASSIGN(Value zero, session_->Call("sum_v", {Value::Int(999)}));
+  EXPECT_EQ(zero.int_value(), 100);
+  ASSERT_OK_AND_ASSIGN(Value ran, session_->Call("sum_v", {Value::Int(1)}));
+  EXPECT_EQ(ran.int_value(), 112);
+}
+
+TEST_F(SimplifiedRewriteTest, SimplifyOffMatchesSimplifyOn) {
+  // The pipeline is semantics-preserving: both configurations agree with
+  // the interpreted original on every group, including the empty one.
+  ASSERT_OK_AND_ASSIGN(Value original1,
+                       session_->Call("sum_v", {Value::Int(1)}));
+  ASSERT_OK_AND_ASSIGN(Value original999,
+                       session_->Call("sum_v", {Value::Int(999)}));
+
+  AggifyOptions off;
+  off.simplify = false;
+  off.prune_fetch_columns = false;
+  off.lower_native_folds = false;
+  Aggify plain(&db_, off);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, plain.RewriteFunction("sum_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  ASSERT_OK_AND_ASSIGN(Value off1, session_->Call("sum_v", {Value::Int(1)}));
+  ASSERT_OK_AND_ASSIGN(Value off999,
+                       session_->Call("sum_v", {Value::Int(999)}));
+  EXPECT_TRUE(original1.StructurallyEquals(off1));
+  EXPECT_TRUE(original999.StructurallyEquals(off999));
+}
+
+}  // namespace
+}  // namespace aggify

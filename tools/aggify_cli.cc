@@ -14,13 +14,18 @@
 //     --sets          print the Eq. 1-4 analysis sets per loop
 //   reads stdin when <script.sql> is '-'.
 //
-//   aggify_cli --lint <path | workloads-corpus>...
+//   aggify_cli --lint [--format=json|text] [--werror] <path | workloads-corpus>...
 //     clang-tidy-style diagnostics over dialect scripts: every skipped loop
 //     is reported with its stable AGG1xx code, every proved fact (rewrite,
-//     sort elision, derived Merge) as an AGG2xx note. Paths may be .sql
-//     files or directories (scanned recursively); the literal keyword
-//     `workloads-corpus` lints the bundled Table-1 corpora. Exit status is
-//     1 iff any error-severity diagnostic was emitted.
+//     sort elision, derived Merge) as an AGG2xx note, and the
+//     simplification pipeline's findings as AGG3xx (dead stores, unused
+//     fetch columns, constant branches; native-fold lowering and static
+//     trip counts as notes). Paths may be .sql files or directories
+//     (scanned recursively); the literal keyword `workloads-corpus` lints
+//     the bundled Table-1 corpora. `--format=json` emits one machine-
+//     readable document on stdout (CI consumes it for annotations). Exit
+//     status is 1 iff any error-severity diagnostic was emitted —
+//     `--werror` promotes warnings into that failure condition too.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -51,10 +56,35 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out.empty() ? "{}" : "{" + out + "}";
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 struct LintTally {
   int errors = 0;
   int warnings = 0;
   int notes = 0;
+  bool json = false;
+  std::vector<Diagnostic> collected;
 
   void Emit(const Diagnostic& d) {
     switch (d.severity) {
@@ -62,7 +92,32 @@ struct LintTally {
       case DiagSeverity::kWarning: ++warnings; break;
       case DiagSeverity::kNote: ++notes; break;
     }
-    std::printf("%s\n", d.ToString().c_str());
+    if (json) {
+      collected.push_back(d);
+    } else {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+  }
+
+  /// One machine-readable document on stdout:
+  /// {"diagnostics": [{code, slug, severity, loc, message, fixit}...],
+  ///  "errors": E, "warnings": W, "notes": N}
+  void PrintJson() const {
+    std::printf("{\n  \"diagnostics\": [");
+    for (size_t i = 0; i < collected.size(); ++i) {
+      const Diagnostic& d = collected[i];
+      std::printf(
+          "%s\n    {\"code\": \"%s\", \"slug\": \"aggify-%s\", "
+          "\"severity\": \"%s\", \"loc\": \"%s\", \"message\": \"%s\", "
+          "\"fixit\": \"%s\"}",
+          i > 0 ? "," : "", DiagCodeName(d.code).c_str(),
+          DiagCodeSlug(d.code), SeverityName(d.severity),
+          JsonEscape(d.loc).c_str(), JsonEscape(d.message).c_str(),
+          JsonEscape(d.fixit).c_str());
+    }
+    std::printf("\n  ],\n  \"errors\": %d,\n  \"warnings\": %d,\n  "
+                "\"notes\": %d\n}\n",
+                errors, warnings, notes);
   }
 };
 
@@ -98,8 +153,15 @@ void LintScript(const std::string& label, const std::string& source,
   }
 }
 
-int RunLint(const std::vector<std::string>& targets) {
+struct LintOptions {
+  bool json = false;    ///< --format=json: one JSON document on stdout
+  bool werror = false;  ///< --werror: warnings also fail the lint (exit 1)
+};
+
+int RunLint(const std::vector<std::string>& targets,
+            const LintOptions& options) {
   LintTally tally;
+  tally.json = options.json;
   for (const std::string& target : targets) {
     if (target == "workloads-corpus") {
       for (const Corpus& corpus : ApplicabilityCorpora()) {
@@ -138,9 +200,12 @@ int RunLint(const std::vector<std::string>& targets) {
       LintScript(file.string(), buffer.str(), &tally);
     }
   }
+  if (tally.json) tally.PrintJson();
   std::fprintf(stderr, "aggify_cli: lint: %d error(s), %d warning(s), %d note(s)\n",
                tally.errors, tally.warnings, tally.notes);
-  return tally.errors > 0 ? 1 : 0;
+  if (tally.errors > 0) return 1;
+  if (options.werror && tally.warnings > 0) return 1;
+  return 0;
 }
 
 }  // namespace
@@ -151,6 +216,7 @@ int main(int argc, char** argv) {
   bool keep_dead = false;
   bool print_sets = false;
   bool lint = false;
+  LintOptions lint_options;
   std::vector<std::string> targets;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -164,11 +230,18 @@ int main(int argc, char** argv) {
       print_sets = true;
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
+    } else if (std::strcmp(argv[i], "--format=json") == 0) {
+      lint_options.json = true;
+    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+      lint_options.json = false;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      lint_options.werror = true;
     } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
       return Fail(std::string("unknown option ") + argv[i] +
                   "\nusage: aggify_cli [--check-only] [--for-loops] "
                   "[--keep-dead] [--sets] <script.sql | ->\n"
-                  "       aggify_cli --lint <path | workloads-corpus>...");
+                  "       aggify_cli --lint [--format=json|text] [--werror] "
+                  "<path | workloads-corpus>...");
     } else {
       path = argv[i];
       targets.emplace_back(argv[i]);
@@ -178,7 +251,7 @@ int main(int argc, char** argv) {
     if (targets.empty()) {
       return Fail("--lint needs at least one path or 'workloads-corpus'");
     }
-    return RunLint(targets);
+    return RunLint(targets, lint_options);
   }
   if (path == nullptr) {
     return Fail("no input script (use '-' for stdin)");
