@@ -110,20 +110,19 @@ void SortElisionAblation() {
   struct Variant {
     const char* label;
     bool elide;
-    int partitions;
+    int dop;
   };
   for (const Variant& variant :
        {Variant{"forced Sort + StreamAggregate (elision off)", false, 1},
         Variant{"elided sort -> HashAggregate", true, 1},
-        Variant{"elided sort + derived Merge, 4 partitions", true, 4}}) {
+        Variant{"elided sort + derived Merge, dop=4", true, 4}}) {
     Database db;
     RequireOk(PopulateTpch(&db, config), "PopulateTpch");
-    PlannerOptions planner;
-    planner.aggregate_partitions = variant.partitions;
-    Session session(&db, planner);
+    EngineOptions options;
+    options.execution.degree_of_parallelism = variant.dop;
+    options.rewrite.elide_order_insensitive_sort = variant.elide;
+    Session session(&db, options);
     RequireOk(session.RunSql(make_fn()).status(), "create qty_sum");
-    AggifyOptions options;
-    options.elide_order_insensitive_sort = variant.elide;
     Aggify aggify(&db, options);
     AggifyReport report =
         RequireOk(aggify.RewriteFunction("qty_sum"), "aggify");
@@ -220,8 +219,8 @@ void ForLoopAblation(Database* db) {
   double interpreted = TimeIt([&] {
     RequireOk(session.Call("sum_squares", {Value::Int(n)}).status(), "call");
   });
-  AggifyOptions options;
-  options.convert_for_loops = true;
+  EngineOptions options;
+  options.rewrite.convert_for_loops = true;
   Aggify aggify(db, options);
   RequireOk(aggify.RewriteFunction("sum_squares").status(), "rewrite");
   double rewritten = TimeIt([&] {
@@ -283,9 +282,9 @@ void SimplificationPayoffAblation() {
     RequireOk(PopulateTpch(&db, config), "PopulateTpch");
     Session session(&db);
     RequireOk(session.RunSql(make_fn()).status(), "create qty_total");
-    AggifyOptions options;
-    options.prune_fetch_columns = variant.prune;
-    options.lower_native_folds = variant.lower;
+    EngineOptions options;
+    options.rewrite.prune_fetch_columns = variant.prune;
+    options.rewrite.lower_native_folds = variant.lower;
     Aggify aggify(&db, options);
     AggifyReport report =
         RequireOk(aggify.RewriteFunction("qty_total"), "aggify");

@@ -39,8 +39,8 @@ int main() {
   std::printf("Interpreted FOR loop:  harmonic(1000) = %s\n",
               before->ToString().c_str());
 
-  AggifyOptions options;
-  options.convert_for_loops = true;  // §8.1
+  EngineOptions options;
+  options.rewrite.convert_for_loops = true;  // §8.1
   Aggify aggify(&db, options);
   auto report = aggify.RewriteFunction("harmonic");
   Check(report.status(), "rewrite");

@@ -3,11 +3,50 @@
 #include <map>
 
 #include "common/failpoint.h"
+#include "exec/eval.h"
 #include "procedural/interpreter.h"
 
 namespace aggify {
 
 namespace {
+
+/// True when interpreting `stmt` on a worker thread can never re-enter the
+/// engine: plain control flow and assignments over parallel-safe
+/// expressions. Anything carrying a SELECT (cursor statements, DML,
+/// MultiAssign) or that can hide one behind TRY/CATCH recovery is rejected
+/// conservatively.
+bool StmtIsParallelSafe(const Stmt& stmt) {
+  auto expr_ok = [](const Expr* e) {
+    return e == nullptr || ExprIsParallelSafe(*e);
+  };
+  switch (stmt.kind) {
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const auto& s : block.statements) {
+        if (!StmtIsParallelSafe(*s)) return false;
+      }
+      return true;
+    }
+    case StmtKind::kDeclareVar:
+      return expr_ok(static_cast<const DeclareVarStmt&>(stmt).initializer.get());
+    case StmtKind::kSet:
+      return expr_ok(static_cast<const SetStmt&>(stmt).value.get());
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      return expr_ok(s.condition.get()) && StmtIsParallelSafe(*s.then_branch) &&
+             (s.else_branch == nullptr || StmtIsParallelSafe(*s.else_branch));
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      return expr_ok(s.condition.get()) && StmtIsParallelSafe(*s.body);
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      return true;
+    default:
+      return false;
+  }
+}
 
 struct LoopAggState : AggregateState {
   VariableEnv fields;
@@ -30,7 +69,9 @@ LoopAggregate::LoopAggregate(std::string name,
     : name_(std::move(name)),
       body_(std::move(body)),
       sets_(std::move(sets)),
-      classification_(std::move(classification)) {}
+      classification_(std::move(classification)) {
+  parallel_safe_ = body_ != nullptr && StmtIsParallelSafe(*body_);
+}
 
 Result<std::unique_ptr<AggregateState>> LoopAggregate::Init() const {
   // Field initialization is deferred to the first Accumulate (§5.2).

@@ -61,6 +61,11 @@ class LoopAggregate : public AggregateFunction {
   bool IsOrderSensitive() const override {
     return sets_.ordered && !classification_.order_insensitive;
   }
+  /// Workers may run Δ only when the body provably never re-enters the
+  /// engine: plain control flow + assignments whose expressions pass
+  /// ExprIsParallelSafe (no queries, no UDF calls). Computed once at
+  /// construction.
+  bool ParallelSafe() const override { return parallel_safe_; }
 
   const LoopSets& sets() const { return sets_; }
   const BlockStmt& body() const { return *body_; }
@@ -76,6 +81,7 @@ class LoopAggregate : public AggregateFunction {
   std::shared_ptr<const BlockStmt> body_;
   LoopSets sets_;
   BodyClassification classification_;
+  bool parallel_safe_ = false;
 };
 
 }  // namespace aggify

@@ -626,15 +626,15 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
                                         sets.v_fetch.end());
     BodyClassification classification =
         ClassifyLoopBody(*body_block, field_set, fetch_var_set, pure_call);
-    if (!options_.synthesize_merge) classification.decomposable = false;
+    if (!options_.rewrite.synthesize_merge) classification.decomposable = false;
     bool elide_sort = sets.ordered && classification.order_insensitive &&
-                      options_.elide_order_insensitive_sort;
+                      options_.rewrite.elide_order_insensitive_sort;
 
     // Q': the aliased derived query, with cursor columns no loop use reads
     // pruned from its projection (AGG302).
     auto derived = CloneDerivedAliased(loop, elide_sort);
     std::vector<std::string> pruned;
-    if (options_.prune_fetch_columns) {
+    if (options_.rewrite.prune_fetch_columns) {
       std::set<std::string> used;
       CollectUsedVars(*body_block, &used);
       used.insert(sets.p_accum.begin(), sets.p_accum.end());
@@ -647,14 +647,16 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     // interpreted Agg_Δ is registered at all.
     NativeFold fold;
     const bool lowered =
-        options_.lower_native_folds &&
+        options_.rewrite.lower_native_folds &&
         DetectNativeFold(*body_block, loop, sets, classification, &fold);
 
     // Eq. 5/6 rewrite.
     std::unique_ptr<SelectStmt> query;
     std::string aggregate_source;
+    bool agg_parallel_safe = false;
     if (lowered) {
       agg_name = fold.builtin;
+      agg_parallel_safe = true;  // builtins are mergeable and thread-safe
       query = BuildLoweredQuery(loop, sets, fold, elide_sort,
                                 std::move(derived));
     } else {
@@ -662,6 +664,8 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
           static_cast<BlockStmt*>(body_clone.release()));
       auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
                                                        sets, classification);
+      agg_parallel_safe =
+          aggregate->SupportsMerge() && aggregate->ParallelSafe();
       db_->catalog().RegisterAggregate(agg_name, aggregate);
       aggregate_source = aggregate->GenerateSource();
       query = BuildRewrittenQuery(loop, sets, agg_name, elide_sort,
@@ -674,7 +678,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     // Guarded form: wrap the MultiAssign with a cloned copy of the original
     // loop region so runtime failures degrade to interpreted execution.
     StmtPtr replacement;
-    if (options_.guard_rewrites || options_.verify_rewrite) {
+    if (options_.rewrite.guard_rewrites || options_.rewrite.verify_rewrite) {
       auto fallback = BuildFallbackBlock(loop, sets);
       std::set<std::string> state(sets.v_term.begin(), sets.v_term.end());
       state.insert(sets.v_fetch.begin(), sets.v_fetch.end());
@@ -683,7 +687,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
       replacement = std::make_unique<GuardedRewriteStmt>(
           std::move(multi_assign), std::move(fallback),
           std::vector<std::string>(state.begin(), state.end()),
-          options_.verify_rewrite, agg_name);
+          options_.rewrite.verify_rewrite, agg_name);
     } else {
       replacement = std::move(multi_assign);
     }
@@ -699,6 +703,8 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     record.lowered_to_builtin = lowered;
     record.rewritten_query_sql = std::move(query_sql);
     record.pruned_fetch_columns = pruned;
+    record.parallel_eligible =
+        (elide_sort || !sets.ordered) && agg_parallel_safe;
     report->rewrites.push_back(std::move(record));
 
     report->notes.push_back(MakeDiagnostic(
@@ -741,6 +747,12 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
           DiagCode::kMergeSynthesized, loc,
           "decomposability proof held; derived Merge attached"));
     }
+    if ((elide_sort || !sets.ordered) && agg_parallel_safe) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kParallelEligible, loc,
+          "rewritten query is parallel-eligible: unordered plan with a "
+          "mergeable, thread-safe aggregate"));
+    }
 
     // Surgery on the container block: replace the WHILE with the rewritten
     // statement; delete DECLARE CURSOR / OPEN / priming FETCH / CLOSE /
@@ -772,17 +784,17 @@ Result<AggifyReport> Aggify::RewriteBlock(BlockStmt* block,
   for (const auto& p : params) observable.insert(p);
   // Simplify before FOR conversion (folded bounds enable the static-trip
   // fast path) and before loop-set inference (DESIGN invariant 7).
-  if (options_.simplify) {
+  if (options_.rewrite.simplify) {
     ASSIGN_OR_RETURN(report.simplify,
                      SimplifyBlock(block, params, &observable, "block"));
     report.notes.insert(report.notes.end(),
                         report.simplify.diagnostics.begin(),
                         report.simplify.diagnostics.end());
   }
-  if (options_.convert_for_loops) {
+  if (options_.rewrite.convert_for_loops) {
     ForLoopConversionOptions for_opts;
-    for_opts.static_trip_values = options_.static_trip_values;
-    for_opts.max_static_trips = options_.max_static_trips;
+    for_opts.static_trip_values = options_.rewrite.static_trip_values;
+    for_opts.max_static_trips = options_.rewrite.max_static_trips;
     RETURN_NOT_OK(
         ConvertForLoopsToCursorLoops(block, db_, for_opts, &report.notes));
   }
@@ -804,7 +816,7 @@ Result<AggifyReport> Aggify::RewriteFunction(const std::string& name) {
   std::vector<std::string> params;
   for (const auto& p : def->params) params.push_back(p.name);
 
-  if (options_.simplify) {
+  if (options_.rewrite.simplify) {
     ASSIGN_OR_RETURN(report.simplify,
                      SimplifyBlock(def->body.get(), params,
                                    /*observable_vars=*/nullptr, name));
@@ -812,10 +824,10 @@ Result<AggifyReport> Aggify::RewriteFunction(const std::string& name) {
                         report.simplify.diagnostics.begin(),
                         report.simplify.diagnostics.end());
   }
-  if (options_.convert_for_loops) {
+  if (options_.rewrite.convert_for_loops) {
     ForLoopConversionOptions for_opts;
-    for_opts.static_trip_values = options_.static_trip_values;
-    for_opts.max_static_trips = options_.max_static_trips;
+    for_opts.static_trip_values = options_.rewrite.static_trip_values;
+    for_opts.max_static_trips = options_.rewrite.max_static_trips;
     RETURN_NOT_OK(ConvertForLoopsToCursorLoops(def->body.get(), db_, for_opts,
                                                &report.notes));
   }
@@ -830,7 +842,7 @@ Result<AggifyReport> Aggify::RewriteFunction(const std::string& name) {
                                     &report, name));
     if (!rewrote) break;
   }
-  if (options_.remove_dead_declarations && report.loops_rewritten > 0) {
+  if (options_.rewrite.remove_dead_declarations && report.loops_rewritten > 0) {
     RemoveDeadDeclarations(def->body.get());
   }
   db_->catalog().RegisterFunction(name, def);

@@ -11,55 +11,10 @@
 
 #include "aggify/loop_aggregate.h"
 #include "analysis/simplify.h"
+#include "common/engine_options.h"
 #include "storage/catalog.h"
 
 namespace aggify {
-
-struct AggifyOptions {
-  /// §8.1: convert iterative FOR loops into cursor loops over recursive-CTE
-  /// iteration spaces before looking for cursor loops.
-  bool convert_for_loops = false;
-  /// §6.2: after rewriting, remove declarations of variables the transform
-  /// rendered dead (e.g. the fetch variables @pCost/@sName of Figure 1).
-  /// Applied to rewritten functions only — anonymous client programs keep
-  /// their declarations because the environment is their observable output.
-  bool remove_dead_declarations = true;
-  /// Emit GuardedRewriteStmt instead of a bare MultiAssignStmt: a runtime
-  /// failure of the rewritten query restores the loop-entry state and
-  /// re-executes the original cursor loop (slow-but-correct degradation).
-  bool guard_rewrites = true;
-  /// Opt-in verification: every guarded statement runs BOTH paths and counts
-  /// result mismatches in RobustnessStats (the loop's results win). Implies
-  /// guard_rewrites.
-  bool verify_rewrite = false;
-  /// Drop Eq. 6's forced Sort + StreamAggregate when the fold classifier
-  /// proves the loop body order-insensitive, enabling HashAggregate (and,
-  /// with a proven Merge, parallel partial aggregation). Ablation knob.
-  bool elide_order_insensitive_sort = true;
-  /// Attach the derived Merge when the decomposability proof holds.
-  /// Ablation knob: disabling keeps the aggregate serial.
-  bool synthesize_merge = true;
-  /// Run the abstract-interpretation simplification pipeline
-  /// (`analysis/simplify.h`: constant folding, constant-branch pruning,
-  /// dead-store elimination) on the body *before* Eq. 1–4 set inference, so
-  /// Agg_Δ never carries state the program provably does not need.
-  bool simplify = true;
-  /// Drop cursor columns that are fetched but never used in Δ from Q's
-  /// projection (AGG302). Skipped for DISTINCT / UNION ALL cursor queries,
-  /// where the projection is semantically load-bearing.
-  bool prune_fetch_columns = true;
-  /// When Δ is exactly one proven built-in fold (sum/count/min/max of a
-  /// single row expression, no other live state at loop exit), emit the
-  /// native aggregate instead of registering an interpreted Agg_Δ (AGG304).
-  bool lower_native_folds = true;
-  /// §8.1 fast path: FOR loops whose init/bound/step fold to integer
-  /// literals iterate over a materialized UNION ALL literal chain instead
-  /// of a recursive CTE (AGG306). Requires convert_for_loops.
-  bool static_trip_values = true;
-  /// Largest constant trip count materialized as a literal chain; larger
-  /// (or non-constant) iteration spaces keep the recursive CTE.
-  int max_static_trips = 256;
-};
 
 /// \brief What happened to one loop.
 struct LoopRewrite {
@@ -81,6 +36,12 @@ struct LoopRewrite {
   bool lowered_to_builtin = false;
   /// The rewritten SELECT alone (re-parsable; plan-shape tests EXPLAIN it).
   std::string rewritten_query_sql;
+  /// The rewritten query may legally run as a parallel partial aggregation:
+  /// no order enforcement survives (elided sort or unordered cursor) and the
+  /// aggregate either lowered to a mergeable builtin or carries a proven
+  /// Merge over an engine-free body. The planner still re-checks the plan
+  /// shape; this flag records the rewriter-side proof (AGG205).
+  bool parallel_eligible = false;
   /// Aliases (c<j>) of cursor columns pruned from Q's projection (AGG302).
   std::vector<std::string> pruned_fetch_columns;
 };
@@ -100,7 +61,7 @@ struct AggifyReport {
 
 class Aggify {
  public:
-  explicit Aggify(Database* db, AggifyOptions options = {})
+  explicit Aggify(Database* db, const EngineOptions& options = {})
       : db_(db), options_(options) {}
 
   /// \brief Rewrites every applicable cursor loop in the registered function
@@ -124,7 +85,7 @@ class Aggify {
                               const std::string& name_hint);
 
   Database* db_;
-  AggifyOptions options_;
+  EngineOptions options_;
 };
 
 /// \brief §8.1: rewrites every FOR loop in `block` into an equivalent cursor

@@ -72,6 +72,14 @@ class AggregateFunction {
   /// for an ORDER BY cursor). Such aggregates must run under a streaming
   /// aggregate fed by a Sort (Eq. 6) and must not be parallelized.
   virtual bool IsOrderSensitive() const { return false; }
+
+  /// True if Accumulate/Terminate never re-enter the engine (no nested
+  /// queries, no UDF calls through the session hooks). The plan cache and
+  /// the procedural interpreter are single-threaded, so only parallel-safe
+  /// aggregates may run on worker threads. Distinct from SupportsMerge():
+  /// a decomposable fold whose body still issues a query merges fine but
+  /// must stay on the coordinator thread.
+  virtual bool ParallelSafe() const { return false; }
 };
 
 /// \brief Creates the built-in aggregate for `name` (min/max/sum/count/avg,

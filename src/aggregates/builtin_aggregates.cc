@@ -137,6 +137,9 @@ class BuiltinAggregate : public AggregateFunction {
 
   bool SupportsMerge() const override { return true; }
 
+  // Built-ins fold plain values; they never re-enter the engine.
+  bool ParallelSafe() const override { return true; }
+
  private:
   std::string name_;
   BuiltinKind kind_;

@@ -27,6 +27,7 @@ const char* DiagCodeSlug(DiagCode code) {
     case DiagCode::kSortElided: return "sort-elided";
     case DiagCode::kMergeSynthesized: return "merge-synthesized";
     case DiagCode::kOrderEnforced: return "order-enforced";
+    case DiagCode::kParallelEligible: return "parallel-eligible";
     case DiagCode::kDeadStore: return "dead-store";
     case DiagCode::kUnusedFetchColumn: return "unused-fetch-column";
     case DiagCode::kConstantFalseBranch: return "constant-false-branch";
@@ -46,6 +47,7 @@ DiagSeverity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kSortElided:
     case DiagCode::kMergeSynthesized:
     case DiagCode::kOrderEnforced:
+    case DiagCode::kParallelEligible:
     case DiagCode::kLoweredToBuiltin:
     case DiagCode::kLoopInvariantGuard:
     case DiagCode::kStaticTripCount:

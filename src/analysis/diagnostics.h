@@ -40,6 +40,7 @@ enum class DiagCode : uint16_t {
   kSortElided = 202,           ///< Eq. 6 sort dropped: body order-insensitive
   kMergeSynthesized = 203,     ///< decomposability proof produced a Merge
   kOrderEnforced = 204,        ///< body order-sensitive: Eq. 6 sort retained
+  kParallelEligible = 205,     ///< rewrite may run as a parallel partial agg
 
   // --- Simplification pipeline (abstract interpretation / Δ pruning). ---
   kDeadStore = 301,            ///< SET whose value is never observed

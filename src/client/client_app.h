@@ -27,10 +27,10 @@ struct ClientRunResult {
 class ClientApp {
  public:
   ClientApp(Database* db, NetworkModel model = {},
-            PlannerOptions planner_options = {})
+            const EngineOptions& options = {})
       : db_(db),
         model_(model),
-        engine_(db, planner_options),
+        engine_(db, options),
         interpreter_(&engine_, model) {}
 
   Database* db() const { return db_; }

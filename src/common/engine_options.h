@@ -1,0 +1,130 @@
+// EngineOptions: the unified configuration surface of the engine.
+//
+// One struct, nested by subsystem, replaces the previously fragmented knobs
+// (PlannerOptions, AggifyOptions, QueryEngine::kTransientRetries). Every
+// entry point — QueryEngine, Planner, Session, ClientApp, Aggify — takes an
+// EngineOptions (by const reference where the callee does not outlive the
+// caller), so a single value describes the whole engine configuration and
+// per-query overrides are one copy away.
+//
+//   EngineOptions opts;
+//   opts.execution.degree_of_parallelism = 4;   // real threads, §3.1 Merge
+//   opts.rewrite.verify_rewrite = true;
+//   Session session(&db, opts);
+//
+// Per-query overrides: QueryEngine::Execute/Explain accept an optional
+// override whose planner/execution sections replace the engine's for that
+// one statement (such executions bypass the plan cache, which is keyed on
+// statement text only).
+#pragma once
+
+#include <cstdint>
+
+namespace aggify {
+
+struct EngineOptions {
+  // --- planner: plan-shape ablation toggles -------------------------------
+  struct Planner {
+    bool enable_index_seek = true;
+    bool enable_hash_join = true;
+    bool enable_predicate_pushdown = true;
+  };
+
+  // --- execution: the morsel-driven parallel path -------------------------
+  struct Execution {
+    /// Number of partitions a merge-eligible aggregation is split into.
+    /// 1 = serial (the Merge method is never invoked, §3.1). Values > 1
+    /// run ParallelPartialAgg workers on the shared thread pool; the
+    /// planner falls back to serial when any aggregate lacks a proven
+    /// Merge, the plan is order-enforced (Eq. 6), or the input pipeline is
+    /// not morselizable.
+    int degree_of_parallelism = 1;
+    /// Rows per morsel handed to a worker. Morsel i is statically assigned
+    /// to partition i % dop, which makes partition contents — and therefore
+    /// results, including any floating-point fold — a deterministic
+    /// function of (table, dop, morsel_rows), independent of thread
+    /// scheduling. See docs/PARALLELISM.md for the size rationale.
+    int64_t morsel_rows = 2048;
+  };
+
+  // --- retry: transient-failure handling ----------------------------------
+  struct Retry {
+    /// Transient (timeout/unavailable) plan failures are re-run up to this
+    /// many extra times before surfacing; each re-run counts into
+    /// RobustnessStats::transient_retries.
+    int transient_retries = 2;
+  };
+
+  // --- rewrite: the Aggify driver (Algorithm 1) ---------------------------
+  struct Rewrite {
+    /// §8.1: convert iterative FOR loops into cursor loops over
+    /// recursive-CTE iteration spaces before looking for cursor loops.
+    bool convert_for_loops = false;
+    /// §6.2: after rewriting, remove declarations of variables the
+    /// transform rendered dead (e.g. the fetch variables @pCost/@sName of
+    /// Figure 1). Applied to rewritten functions only — anonymous client
+    /// programs keep their declarations because the environment is their
+    /// observable output.
+    bool remove_dead_declarations = true;
+    /// Emit GuardedRewriteStmt instead of a bare MultiAssignStmt: a runtime
+    /// failure of the rewritten query restores the loop-entry state and
+    /// re-executes the original cursor loop (slow-but-correct degradation).
+    bool guard_rewrites = true;
+    /// Opt-in verification: every guarded statement runs BOTH paths and
+    /// counts result mismatches in RobustnessStats (the loop's results
+    /// win). Implies guard_rewrites.
+    bool verify_rewrite = false;
+    /// Drop Eq. 6's forced Sort + StreamAggregate when the fold classifier
+    /// proves the loop body order-insensitive, enabling HashAggregate (and,
+    /// with a proven Merge, parallel partial aggregation). Ablation knob.
+    bool elide_order_insensitive_sort = true;
+    /// Attach the derived Merge when the decomposability proof holds.
+    /// Ablation knob: disabling keeps the aggregate serial.
+    bool synthesize_merge = true;
+    /// Run the abstract-interpretation simplification pipeline
+    /// (`analysis/simplify.h`: constant folding, constant-branch pruning,
+    /// dead-store elimination) on the body *before* Eq. 1–4 set inference,
+    /// so Agg_Δ never carries state the program provably does not need.
+    bool simplify = true;
+    /// Drop cursor columns that are fetched but never used in Δ from Q's
+    /// projection (AGG302). Skipped for DISTINCT / UNION ALL cursor
+    /// queries, where the projection is semantically load-bearing.
+    bool prune_fetch_columns = true;
+    /// When Δ is exactly one proven built-in fold (sum/count/min/max of a
+    /// single row expression, no other live state at loop exit), emit the
+    /// native aggregate instead of registering an interpreted Agg_Δ
+    /// (AGG304).
+    bool lower_native_folds = true;
+    /// §8.1 fast path: FOR loops whose init/bound/step fold to integer
+    /// literals iterate over a materialized UNION ALL literal chain instead
+    /// of a recursive CTE (AGG306). Requires convert_for_loops.
+    bool static_trip_values = true;
+    /// Largest constant trip count materialized as a literal chain; larger
+    /// (or non-constant) iteration spaces keep the recursive CTE.
+    int max_static_trips = 256;
+  };
+
+  Planner planner;
+  Execution execution;
+  Retry retry;
+  Rewrite rewrite;
+
+  /// Convenience: a default configuration at the given parallelism.
+  static EngineOptions WithDop(int dop) {
+    EngineOptions options;
+    options.execution.degree_of_parallelism = dop;
+    return options;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DEPRECATED aliases — kept for one release (see DESIGN.md §"EngineOptions
+// deprecation"). Both legacy option structs collapsed into EngineOptions;
+// field access moved into the nested sections (options.planner.*,
+// options.rewrite.*, options.execution.*). New code should spell
+// EngineOptions.
+// ---------------------------------------------------------------------------
+using PlannerOptions = EngineOptions;  // DEPRECATED: use EngineOptions
+using AggifyOptions = EngineOptions;   // DEPRECATED: use EngineOptions
+
+}  // namespace aggify

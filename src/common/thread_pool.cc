@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace aggify {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
+  // Wrap so a throwing task resolves the future to a Status instead of an
+  // exception: callers uniformly check one error channel.
+  std::packaged_task<Status()> wrapped(
+      [task = std::move(task)]() -> Status {
+        try {
+          return task();
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("worker task threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal("worker task threw a non-std exception");
+        }
+      });
+  std::future<Status> result = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      // Resolve inline; the pool no longer accepts work.
+      std::packaged_task<Status()> refusal(
+          [] { return Status::Unavailable("thread pool is shut down"); });
+      std::future<Status> refused = refusal.get_future();
+      refusal();
+      return refused;
+    }
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty, so every
+      // Submit that returned a live future gets its task executed.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // At least 2 workers so DOP > 1 genuinely overlaps on single-core
+  // machines' CI runners; leaked intentionally (workers may outlive main's
+  // static destruction order otherwise).
+  static ThreadPool* pool = new ThreadPool(std::max(
+      static_cast<int>(std::thread::hardware_concurrency()), 2));
+  return *pool;
+}
+
+}  // namespace aggify

@@ -1,0 +1,63 @@
+// A fixed-size worker pool for morsel-driven parallel execution.
+//
+// Tasks are `std::function<Status()>`; Submit returns a future resolving to
+// the task's Status. Anything a task throws is captured and converted to an
+// internal-error Status — exceptions never cross thread boundaries and never
+// terminate a worker. Shutdown() drains every queued task before joining
+// (queued work is finished, not dropped), after which Submit returns an
+// already-failed future instead of crashing.
+//
+// The pool is deliberately dumb: no work stealing, no priorities. Morsel
+// scheduling lives in the operators (see exec/operators_parallel.cc), which
+// assign morsels to partitions statically so results do not depend on which
+// worker runs first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aggify {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` and returns a future for its Status. Throwing tasks
+  /// resolve to an internal error carrying the exception message. After
+  /// Shutdown the future is immediately ready with an error.
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Runs every already-queued task to completion, then joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool shared by all parallel operators. Sized to the
+  /// hardware (at least 2 workers, so DOP > 1 overlaps even on small
+  /// machines); operators cap their fan-out with their own DOP setting.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;  // guarded by mu_
+};
+
+}  // namespace aggify

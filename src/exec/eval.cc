@@ -413,6 +413,33 @@ Result<Value> ApplyScalarBuiltin(const std::string& raw_name,
   return Status::NotFound("unknown scalar builtin '" + name + "'");
 }
 
+bool ExprIsParallelSafe(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+      return false;  // ExecuteSubquery → QueryEngine → plan cache
+    case ExprKind::kInList:
+      if (static_cast<const InListExpr&>(expr).subquery != nullptr) {
+        return false;
+      }
+      break;
+    case ExprKind::kFunctionCall:
+      // Built-ins are applied inline; anything else goes through the
+      // udf_invoker hook into the single-threaded interpreter.
+      if (!IsScalarBuiltinName(
+              static_cast<const FunctionCallExpr&>(expr).name)) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const Expr* child : expr.Children()) {
+    if (child != nullptr && !ExprIsParallelSafe(*child)) return false;
+  }
+  return true;
+}
+
 void BindColumns(Expr* expr, const Schema& schema) {
   if (expr == nullptr) return;
   if (expr->kind == ExprKind::kColumnRef) {

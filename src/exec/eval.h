@@ -27,6 +27,13 @@ Result<Value> ApplyScalarBuiltin(const std::string& name,
 /// True if `name` is a built-in scalar function.
 bool IsScalarBuiltinName(const std::string& name);
 
+/// \brief True if evaluating `expr` can never re-enter the engine: no
+/// scalar subqueries, no EXISTS, no IN (SELECT ...), and every function
+/// call is a built-in evaluated inline. Only such expressions may be
+/// evaluated on worker threads — the subquery executor and UDF invoker
+/// hooks route through the single-threaded QueryEngine / interpreter.
+bool ExprIsParallelSafe(const Expr& expr);
+
 /// \brief Binds column references in `expr` against `schema`: sets
 /// bound_index for names that resolve; leaves others untouched (they may
 /// resolve against outer frames at eval time). Does not descend into

@@ -76,7 +76,13 @@ class ExecContext {
 
   Database* db() const { return db_; }
   Catalog& catalog() const { return db_->catalog(); }
-  IoStats& stats() const { return db_->stats(); }
+  IoStats& stats() const {
+    return stats_override_ != nullptr ? *stats_override_ : db_->stats();
+  }
+  /// Redirects stats() to a private counter set. Parallel workers execute
+  /// on a context copy with an override so they never race on the shared
+  /// Database counters; the coordinator merges after joining.
+  void set_stats_override(IoStats* stats) { stats_override_ = stats; }
   RobustnessStats& robustness() const { return db_->robustness(); }
 
   VariableEnv* vars() const { return vars_; }
@@ -152,6 +158,7 @@ class ExecContext {
   std::map<std::string, CteBinding> ctes_;
   SubqueryExecutor subquery_exec_;
   UdfInvoker udf_invoker_;
+  IoStats* stats_override_ = nullptr;
 };
 
 }  // namespace aggify

@@ -118,6 +118,8 @@ class FilterOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  /// Morsel-pipeline extraction support (see ExtractMorselPipeline).
+  const Expr* predicate() const { return predicate_.get(); }
 
  private:
   OperatorPtr child_;
@@ -136,6 +138,8 @@ class ProjectOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  /// Morsel-pipeline extraction support (see ExtractMorselPipeline).
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  private:
   OperatorPtr child_;
@@ -313,18 +317,13 @@ struct AggregateSpec {
 
 /// \brief Hash aggregation (GROUP BY or scalar). With no GROUP BY and empty
 /// input, emits one row of empty-state Terminate() results (SQL semantics).
-///
-/// With `partitions > 1`, rows are accumulated round-robin into per-group
-/// partition states and combined with Merge() at emission — the §3.1
-/// parallel-execution protocol ("If the query invoking the aggregate
-/// function does not use parallelism, the Merge method is never invoked"),
-/// simulated deterministically. The planner only enables it when every
-/// aggregate SupportsMerge().
+/// Serial: one state per group; real partitioned aggregation lives in
+/// ParallelPartialAggOp (the former single-threaded round-robin simulation
+/// of partitions was replaced by it).
 class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
-                  std::vector<AggregateSpec> aggs, Schema out_schema,
-                  int partitions = 1);
+                  std::vector<AggregateSpec> aggs, Schema out_schema);
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext& ctx) override;
   Result<bool> Next(ExecContext& ctx, Row* out) override;
@@ -348,14 +347,9 @@ class HashAggregateOp : public Operator {
   Schema schema_;
 
   using GroupStates = std::vector<std::unique_ptr<AggregateState>>;
-  struct GroupEntry {
-    std::vector<GroupStates> partitions;  // [partition][agg]
-    int64_t rows_seen = 0;
-  };
-  std::unordered_map<Row, GroupEntry, RowHash, RowEq> groups_;
+  std::unordered_map<Row, GroupStates, RowHash, RowEq> groups_;
   std::vector<Row> group_keys_;  // emission order
   size_t emit_pos_ = 0;
-  int partitions_;
 };
 
 /// \brief Streaming (order-preserving) aggregation: the physical operator
@@ -392,5 +386,133 @@ class StreamAggregateOp : public Operator {
 Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
                       const Row& row, const Schema& in_schema,
                       ExecContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel aggregation (docs/PARALLELISM.md)
+// ---------------------------------------------------------------------------
+
+/// \brief A recognized morselizable input pipeline: a base-table SeqScan with
+/// an optional chain of per-row steps (filters / one projection) above it.
+/// All pointers are non-owning views into the retained serial subtree.
+struct MorselPipeline {
+  const Table* table = nullptr;
+  const Schema* scan_schema = nullptr;  ///< aliased base-table schema
+  struct Step {
+    const Expr* filter = nullptr;                 ///< set for filter steps
+    const std::vector<ExprPtr>* project = nullptr;  ///< set for project steps
+    /// Schema of the rows entering the step (what its exprs were bound
+    /// against); projections change the row shape to `out_schema`.
+    const Schema* in_schema = nullptr;
+    const Schema* out_schema = nullptr;
+  };
+  std::vector<Step> steps;  ///< bottom-up: applied scan → ... → agg input
+};
+
+/// \brief Recognizes `root` as a morselizable pipeline: any stack of
+/// Rename (pass-through), at most one Project, and Filters over a SeqScan,
+/// where every filter/project expression is parallel-safe
+/// (ExprIsParallelSafe). Returns false — leaving `out` unspecified — for any
+/// other shape (index seeks, joins, CTE scans, engine-re-entering
+/// expressions), which the planner then keeps serial.
+bool ExtractMorselPipeline(const Operator& root, MorselPipeline* out);
+
+/// \brief Partitioned aggregation over a morselizable base-table pipeline —
+/// the §3.1 parallel-execution protocol, for real this time.
+///
+/// Open fans out `dop` partition tasks to ThreadPool::Global(). Morsels are
+/// page-aligned row ranges assigned statically (morsel i → partition
+/// i % dop), so partition contents are a pure function of (table, dop,
+/// morsel_rows) — results never depend on thread scheduling. Each worker
+/// replays the pipeline steps per row on a private ExecContext (stats
+/// overridden to a private IoStats, merged after join) and accumulates into
+/// its own per-group states. The coordinator combines partials with the
+/// proven Merge in fixed partition order and emits groups sorted by the
+/// minimum contributing global row id — byte-identical to the serial
+/// HashAggregate's first-seen emission order.
+///
+/// The serial child subtree is retained for Describe/children/worktable
+/// fencing but never Opened. The planner instantiates this operator only
+/// when every aggregate SupportsMerge() *and* ParallelSafe(), every
+/// group/argument expression is parallel-safe, and the plan is not
+/// order-enforced (Eq. 6 plans keep their Sort + StreamAggregate).
+class ParallelPartialAggOp : public Operator {
+ public:
+  ParallelPartialAggOp(OperatorPtr serial_child,
+                       std::vector<ExprPtr> group_exprs,
+                       std::vector<AggregateSpec> aggs, Schema out_schema,
+                       int dop, int64_t morsel_rows);
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext& ctx) override;
+  Result<bool> Next(ExecContext& ctx, Row* out) override;
+  Status Close(ExecContext& ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  int dop() const { return dop_; }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+  };
+  using GroupStates = std::vector<std::unique_ptr<AggregateState>>;
+  struct PartialEntry {
+    GroupStates states;
+    int64_t min_row = 0;  ///< smallest contributing global row id
+  };
+  struct Partial {
+    std::unordered_map<Row, PartialEntry, RowHash, RowEq> groups;
+    IoStats stats;
+  };
+  struct ReadyGroup {
+    Row key;
+    GroupStates states;
+    int64_t min_row = 0;
+  };
+
+  Status RunPartition(Partial* partial, int partition, int64_t morsel_rows,
+                      const ExecContext& parent_ctx) const;
+
+  OperatorPtr child_;  ///< retained serial pipeline; never Opened
+  MorselPipeline pipeline_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggs_;
+  Schema schema_;
+  int dop_;
+  int64_t morsel_rows_;
+
+  std::vector<ReadyGroup> ready_;  ///< merged groups in emission order
+  size_t emit_pos_ = 0;
+};
+
+/// \brief Exchange root of a parallel fragment: keeps the plan's root
+/// pull-based Volcano while marking the serial/parallel boundary in EXPLAIN
+/// output ("Gather(dop=N)"). Pure delegation — the fan-out/fan-in happens
+/// inside the ParallelPartialAgg child's Open.
+class GatherOp : public Operator {
+ public:
+  GatherOp(OperatorPtr child, int dop)
+      : child_(std::move(child)), dop_(dop) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext& ctx) override { return child_->Open(ctx); }
+  Result<bool> Next(ExecContext& ctx, Row* out) override {
+    return child_->Next(ctx, out);
+  }
+  Status Close(ExecContext& ctx) override { return child_->Close(ctx); }
+  std::string Describe() const override {
+    return "Gather(dop=" + std::to_string(dop_) + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+  int dop() const { return dop_; }
+
+ private:
+  OperatorPtr child_;
+  int dop_;
+};
 
 }  // namespace aggify

@@ -48,12 +48,11 @@ Result<Row> EvalGroupKey(const std::vector<ExprPtr>& group_exprs,
 HashAggregateOp::HashAggregateOp(OperatorPtr child,
                                  std::vector<ExprPtr> group_exprs,
                                  std::vector<AggregateSpec> aggs,
-                                 Schema out_schema, int partitions)
+                                 Schema out_schema)
     : child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
       aggs_(std::move(aggs)),
-      schema_(std::move(out_schema)),
-      partitions_(partitions < 1 ? 1 : partitions) {}
+      schema_(std::move(out_schema)) {}
 
 namespace {
 
@@ -83,33 +82,21 @@ Status HashAggregateOp::Open(ExecContext& ctx) {
                      EvalGroupKey(group_exprs_, row, child_->schema(), ctx));
     auto it = groups_.find(key);
     if (it == groups_.end()) {
-      GroupEntry entry;
-      entry.partitions.reserve(static_cast<size_t>(partitions_));
-      for (int p = 0; p < partitions_; ++p) {
-        ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
-        entry.partitions.push_back(std::move(states));
-      }
-      it = groups_.emplace(key, std::move(entry)).first;
+      ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+      it = groups_.emplace(key, std::move(states)).first;
       group_keys_.push_back(key);
     }
-    // Round-robin over partitions simulates parallel partial aggregation.
-    GroupStates& states =
-        it->second.partitions[it->second.rows_seen++ % partitions_];
     for (size_t i = 0; i < aggs_.size(); ++i) {
-      RETURN_NOT_OK(AccumulateInto(aggs_[i], states[i].get(), row,
+      RETURN_NOT_OK(AccumulateInto(aggs_[i], it->second[i].get(), row,
                                    child_->schema(), ctx));
     }
   }
   RETURN_NOT_OK(child_->Close(ctx));
   // Scalar aggregate over empty input still emits one row.
   if (group_exprs_.empty() && groups_.empty()) {
-    GroupEntry entry;
-    for (int p = 0; p < partitions_; ++p) {
-      ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
-      entry.partitions.push_back(std::move(states));
-    }
+    ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
     Row key;  // empty
-    groups_.emplace(key, std::move(entry));
+    groups_.emplace(key, std::move(states));
     group_keys_.push_back(key);
   }
   return Status::OK();
@@ -120,22 +107,12 @@ Result<bool> HashAggregateOp::Next(ExecContext& ctx, Row* out) {
   const Row& key = group_keys_[emit_pos_++];
   auto it = groups_.find(key);
   if (it == groups_.end()) return Status::Internal("aggregate group vanished");
-  GroupEntry& entry = it->second;
-  // Combine the partition partials into partition 0 (§3.1 Merge).
-  for (size_t p = 1; p < entry.partitions.size(); ++p) {
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      RETURN_NOT_OK(aggs_[i].function->Merge(entry.partitions[0][i].get(),
-                                             entry.partitions[p][i].get(),
-                                             &ctx));
-    }
-  }
-  entry.partitions.resize(1);
+  GroupStates& states = it->second;
   *out = key;
   AGGIFY_FAILPOINT("exec.agg.terminate");
   for (size_t i = 0; i < aggs_.size(); ++i) {
-    ASSIGN_OR_RETURN(
-        Value v, aggs_[i].function->Terminate(entry.partitions[0][i].get(),
-                                              &ctx));
+    ASSIGN_OR_RETURN(Value v,
+                     aggs_[i].function->Terminate(states[i].get(), &ctx));
     out->push_back(std::move(v));
   }
   ++ctx.stats().rows_produced;

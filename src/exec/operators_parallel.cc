@@ -1,0 +1,285 @@
+// Morsel-driven parallel aggregation: ExtractMorselPipeline,
+// ParallelPartialAggOp, and the Gather exchange root (declared in
+// operators.h, rationale in docs/PARALLELISM.md).
+//
+// Concurrency model in one paragraph: the coordinator thread (the only one
+// that ever touches the plan tree, the shared Database counters, or the
+// plan cache) fans out one task per partition to the global thread pool at
+// Open and blocks until all futures resolve. Workers share only immutable
+// state — the base table, bound expressions, aggregate function objects —
+// and write only their own Partial (group states + private IoStats through
+// a context override). Everything mutable crosses the thread boundary
+// exactly twice: context snapshot out at fan-out, Partial back at join.
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "exec/eval.h"
+#include "exec/operators.h"
+#include "storage/table.h"
+
+namespace aggify {
+
+bool ExtractMorselPipeline(const Operator& root, MorselPipeline* out) {
+  out->table = nullptr;
+  out->steps.clear();
+  std::vector<MorselPipeline::Step> top_down;
+  const Operator* cur = &root;
+  bool seen_project = false;
+  for (;;) {
+    if (const auto* scan = dynamic_cast<const SeqScanOp*>(cur)) {
+      if (scan->base_table() == nullptr) return false;
+      out->table = scan->base_table();
+      out->scan_schema = &scan->schema();
+      break;
+    }
+    if (dynamic_cast<const RenameOp*>(cur) != nullptr) {
+      // Pure pass-through: rows are unchanged, only the schema qualifier
+      // differs, and bound_index positions align across it.
+      cur = cur->children()[0];
+      continue;
+    }
+    if (const auto* filter = dynamic_cast<const FilterOp*>(cur)) {
+      if (filter->predicate() == nullptr ||
+          !ExprIsParallelSafe(*filter->predicate())) {
+        return false;
+      }
+      const Operator* child = filter->children()[0];
+      MorselPipeline::Step step;
+      step.filter = filter->predicate();
+      step.in_schema = &child->schema();
+      step.out_schema = step.in_schema;
+      top_down.push_back(step);
+      cur = child;
+      continue;
+    }
+    if (const auto* project = dynamic_cast<const ProjectOp*>(cur)) {
+      if (seen_project) return false;
+      seen_project = true;
+      for (const auto& e : project->exprs()) {
+        if (e == nullptr || !ExprIsParallelSafe(*e)) return false;
+      }
+      const Operator* child = project->children()[0];
+      MorselPipeline::Step step;
+      step.project = &project->exprs();
+      step.in_schema = &child->schema();
+      step.out_schema = &project->schema();
+      top_down.push_back(step);
+      cur = child;
+      continue;
+    }
+    // Joins, index seeks, CTE/rows scans, sorts, nested aggregates: serial.
+    return false;
+  }
+  out->steps.assign(top_down.rbegin(), top_down.rend());
+  return true;
+}
+
+namespace {
+
+Result<std::vector<std::unique_ptr<AggregateState>>> InitStates(
+    const std::vector<AggregateSpec>& aggs) {
+  std::vector<std::unique_ptr<AggregateState>> states;
+  states.reserve(aggs.size());
+  for (const auto& spec : aggs) {
+    ASSIGN_OR_RETURN(auto state, spec.function->Init());
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+}  // namespace
+
+ParallelPartialAggOp::ParallelPartialAggOp(OperatorPtr serial_child,
+                                           std::vector<ExprPtr> group_exprs,
+                                           std::vector<AggregateSpec> aggs,
+                                           Schema out_schema, int dop,
+                                           int64_t morsel_rows)
+    : child_(std::move(serial_child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(out_schema)),
+      dop_(dop < 1 ? 1 : dop),
+      morsel_rows_(morsel_rows < 1 ? 1 : morsel_rows) {
+  // The planner validated the shape before constructing us; extraction here
+  // only re-derives the non-owning views into the retained subtree.
+  bool ok = ExtractMorselPipeline(*child_, &pipeline_);
+  AGGIFY_UNUSED(ok);
+}
+
+Status ParallelPartialAggOp::RunPartition(Partial* partial, int partition,
+                                          int64_t morsel_rows,
+                                          const ExecContext& parent_ctx) const {
+  // Private context: shares the immutable database/frame/variable views but
+  // accounts I/O into this partial's counters. The parallel-safety gate
+  // guarantees the hooks (subquery executor, UDF invoker) are never reached
+  // from here.
+  ExecContext ctx = parent_ctx;
+  ctx.set_stats_override(&partial->stats);
+
+  const Table& table = *pipeline_.table;
+  const int64_t num_rows = table.num_rows();
+  const Schema& agg_schema = child_->schema();
+  int64_t last_page = -1;
+  Row row;
+  for (int64_t morsel = partition; morsel * morsel_rows < num_rows;
+       morsel += dop_) {
+    const int64_t begin = morsel * morsel_rows;
+    const int64_t end = std::min(begin + morsel_rows, num_rows);
+    for (int64_t row_id = begin; row_id < end; ++row_id) {
+      AGGIFY_FAILPOINT("exec.scan.next");
+      row = table.ReadRow(row_id, &last_page, &ctx.stats());
+      ++ctx.stats().rows_produced;
+      // Replay the pipeline steps bottom-up, exactly as the serial
+      // operators would.
+      bool keep = true;
+      for (const auto& step : pipeline_.steps) {
+        RowFrame frame{&row, step.in_schema, ctx.frame()};
+        ExecContext::FrameScope scope(&ctx, &frame);
+        if (step.filter != nullptr) {
+          ASSIGN_OR_RETURN(keep, EvalPredicate(*step.filter, ctx));
+          if (!keep) break;
+        } else {
+          Row projected;
+          projected.reserve(step.project->size());
+          for (const auto& e : *step.project) {
+            ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+            projected.push_back(std::move(v));
+          }
+          row = std::move(projected);
+        }
+      }
+      if (!keep) continue;
+
+      Row key;
+      {
+        RowFrame frame{&row, &agg_schema, ctx.frame()};
+        ExecContext::FrameScope scope(&ctx, &frame);
+        key.reserve(group_exprs_.size());
+        for (const auto& g : group_exprs_) {
+          ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
+          key.push_back(std::move(v));
+        }
+      }
+      auto it = partial->groups.find(key);
+      if (it == partial->groups.end()) {
+        PartialEntry entry;
+        ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
+        entry.min_row = row_id;
+        it = partial->groups.emplace(std::move(key), std::move(entry)).first;
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateInto(aggs_[i], it->second.states[i].get(),
+                                     row, agg_schema, ctx));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ParallelPartialAggOp::Open(ExecContext& ctx) {
+  ready_.clear();
+  emit_pos_ = 0;
+  if (pipeline_.table == nullptr) {
+    return Status::Internal(
+        "ParallelPartialAgg built over a non-morselizable pipeline");
+  }
+
+  // Page-aligned morsels: no table page spans two partitions, so the summed
+  // worker logical_reads equal the serial scan's count exactly.
+  const int64_t rpp = std::max<int64_t>(pipeline_.table->rows_per_page(), 1);
+  const int64_t morsel_rows = ((morsel_rows_ + rpp - 1) / rpp) * rpp;
+
+  std::vector<Partial> partials(static_cast<size_t>(dop_));
+  std::vector<std::future<Status>> futures;
+  futures.reserve(static_cast<size_t>(dop_));
+  for (int p = 0; p < dop_; ++p) {
+    Partial* partial = &partials[static_cast<size_t>(p)];
+    futures.push_back(ThreadPool::Global().Submit(
+        [this, partial, p, morsel_rows, &ctx]() -> Status {
+          return RunPartition(partial, p, morsel_rows, ctx);
+        }));
+  }
+  // Join every worker before touching the partials (or returning an error —
+  // the lambdas capture locals of this frame). First failure in partition
+  // order wins, mirroring the serial scan's first-error semantics.
+  Status failure;
+  for (auto& f : futures) {
+    Status s = f.get();
+    if (!s.ok() && failure.ok()) failure = s;
+  }
+  for (const Partial& partial : partials) {
+    ctx.stats().MergeFrom(partial.stats);
+  }
+  RETURN_NOT_OK(failure);
+
+  // Combine partials in fixed partition order with the proven Merge (§3.1).
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  for (auto& partial : partials) {
+    for (auto& [key, entry] : partial.groups) {
+      auto it = index.find(key);
+      if (it == index.end()) {
+        index.emplace(key, ready_.size());
+        ready_.push_back(ReadyGroup{key, std::move(entry.states),
+                                    entry.min_row});
+        continue;
+      }
+      ReadyGroup& base = ready_[it->second];
+      base.min_row = std::min(base.min_row, entry.min_row);
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(aggs_[i].function->Merge(base.states[i].get(),
+                                               entry.states[i].get(), &ctx));
+      }
+    }
+  }
+  // Serial HashAggregate emits groups in first-seen scan order == ascending
+  // minimum contributing row id. Reproduce it so parallelism is invisible.
+  std::sort(ready_.begin(), ready_.end(),
+            [](const ReadyGroup& a, const ReadyGroup& b) {
+              return a.min_row < b.min_row;
+            });
+  // Scalar aggregate over empty input still emits one row.
+  if (group_exprs_.empty() && ready_.empty()) {
+    ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+    ready_.push_back(ReadyGroup{Row{}, std::move(states), 0});
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelPartialAggOp::Next(ExecContext& ctx, Row* out) {
+  if (emit_pos_ >= ready_.size()) return false;
+  ReadyGroup& group = ready_[emit_pos_++];
+  *out = group.key;
+  AGGIFY_FAILPOINT("exec.agg.terminate");
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    ASSIGN_OR_RETURN(Value v,
+                     aggs_[i].function->Terminate(group.states[i].get(), &ctx));
+    out->push_back(std::move(v));
+  }
+  ++ctx.stats().rows_produced;
+  return true;
+}
+
+Status ParallelPartialAggOp::Close(ExecContext& ctx) {
+  AGGIFY_UNUSED(ctx);
+  ready_.clear();
+  return Status::OK();
+}
+
+std::string ParallelPartialAggOp::Describe() const {
+  std::string out = "ParallelPartialAgg(";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += group_exprs_.empty() ? "" : "; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs_[i].function->name();
+  }
+  return out + ")";
+}
+
+}  // namespace aggify

@@ -433,7 +433,7 @@ Result<OperatorPtr> Planner::PlanBaseTable(const std::string& table_name,
   // indexed column.
   ExprPtr seek_key;
   const HashIndex* seek_index = nullptr;
-  if (options_.enable_index_seek && pushdown != nullptr) {
+  if (options_.planner.enable_index_seek && pushdown != nullptr) {
     Schema qualified = table->schema().WithQualifier(alias);
     for (auto& conj : *pushdown) {
       if (conj == nullptr) continue;
@@ -483,7 +483,7 @@ Result<OperatorPtr> Planner::PlanJoinTree(const TableRef& tref) {
   ASSIGN_OR_RETURN(OperatorPtr right, PlanTableRef(*tref.right));
   bool left_outer = tref.join_type == JoinType::kLeft;
 
-  if (tref.join_condition != nullptr && options_.enable_hash_join) {
+  if (tref.join_condition != nullptr && options_.planner.enable_hash_join) {
     // Split ON into equi keys + residual.
     std::vector<ExprPtr> conjuncts;
     SplitConjuncts(*tref.join_condition, &conjuncts);
@@ -537,7 +537,7 @@ Result<OperatorPtr> Planner::JoinFromEntries(std::vector<OperatorPtr> inputs,
   // hash-join keys; the rest are residual filters on top.
   const size_t n = inputs.size();
 
-  if (!options_.enable_predicate_pushdown && n == 1) {
+  if (!options_.planner.enable_predicate_pushdown && n == 1) {
     OperatorPtr op = std::move(inputs[0]);
     if (!conjuncts.empty()) {
       ExprPtr pred = CombineConjuncts(std::move(conjuncts));
@@ -563,9 +563,9 @@ Result<OperatorPtr> Planner::JoinFromEntries(std::vector<OperatorPtr> inputs,
         owner = static_cast<int>(i);
       }
     }
-    if (count == 1 && options_.enable_predicate_pushdown) {
+    if (count == 1 && options_.planner.enable_predicate_pushdown) {
       per_input[owner].push_back(std::move(c));
-    } else if (count == 0 && options_.enable_predicate_pushdown && n > 0) {
+    } else if (count == 0 && options_.planner.enable_predicate_pushdown && n > 0) {
       // References only variables/outer columns: cheapest at the first input.
       per_input[0].push_back(std::move(c));
     } else {
@@ -580,7 +580,7 @@ Result<OperatorPtr> Planner::JoinFromEntries(std::vector<OperatorPtr> inputs,
     SplitConjuncts(*pred, &parts);
     // Index conversion: only when the input is a bare SeqScan.
     auto* seq = dynamic_cast<SeqScanOp*>(inputs[i].get());
-    if (seq != nullptr && options_.enable_index_seek) {
+    if (seq != nullptr && options_.planner.enable_index_seek) {
       // Rebuild via PlanBaseTable to get seek selection.
       // Recover table name and alias from the scan's schema qualifier.
       const Schema& s = inputs[i]->schema();
@@ -641,7 +641,7 @@ Result<OperatorPtr> Planner::JoinFromEntries(std::vector<OperatorPtr> inputs,
       acc = std::make_unique<NestedLoopJoinOp>(std::move(acc),
                                                std::move(inputs[pick]),
                                                nullptr, /*left_outer=*/false);
-    } else if (options_.enable_hash_join) {
+    } else if (options_.planner.enable_hash_join) {
       std::vector<ExprPtr> lkeys, rkeys;
       for (size_t ci : key_conjuncts) {
         const Expr* l = nullptr;
@@ -778,17 +778,41 @@ Result<OperatorPtr> Planner::PlanAggregation(OperatorPtr input,
       rename->mutable_child() = inner->TakeChild();
     }
   }
-  int partitions = 1;
-  if (options_.aggregate_partitions > 1) {
-    bool all_mergeable = true;
+  // Parallel fragment selection: split the aggregation into
+  // Gather(dop) → ParallelPartialAgg when it is provably safe —
+  //  * every aggregate has a proven Merge (§3.1) AND never re-enters the
+  //    engine from a worker thread (ParallelSafe),
+  //  * every group expression is parallel-safe,
+  //  * the input is a morselizable base-table pipeline whose own
+  //    expressions are parallel-safe (ExtractMorselPipeline).
+  // Order-enforced (Eq. 6) plans never reach this point: they took the
+  // StreamAggregate branch above and stay serial.
+  const int dop = options_.execution.degree_of_parallelism;
+  if (dop > 1) {
+    bool safe = true;
     for (const auto& spec : specs) {
-      if (!spec.function->SupportsMerge()) all_mergeable = false;
+      if (!spec.function->SupportsMerge() || !spec.function->ParallelSafe()) {
+        safe = false;
+      }
+      for (const auto& a : spec.args) {
+        if (!ExprIsParallelSafe(*a)) safe = false;
+      }
     }
-    if (all_mergeable) partitions = options_.aggregate_partitions;
+    for (const auto& g : group_exprs) {
+      if (!ExprIsParallelSafe(*g)) safe = false;
+    }
+    MorselPipeline pipeline;
+    if (safe && ExtractMorselPipeline(*input, &pipeline)) {
+      auto partial = std::make_unique<ParallelPartialAggOp>(
+          std::move(input), std::move(group_exprs), std::move(specs),
+          std::move(out_schema), dop, options_.execution.morsel_rows);
+      return OperatorPtr(
+          std::make_unique<GatherOp>(std::move(partial), dop));
+    }
   }
   return OperatorPtr(std::make_unique<HashAggregateOp>(
       std::move(input), std::move(group_exprs), std::move(specs),
-      std::move(out_schema), partitions));
+      std::move(out_schema)));
 }
 
 }  // namespace aggify

@@ -1,6 +1,7 @@
 // Planner: SelectStmt -> physical operator tree.
 //
-// Optimizations applied (each has an ablation toggle in PlannerOptions):
+// Optimizations applied (each has an ablation toggle in
+// EngineOptions::planner / ::execution):
 //  * predicate pushdown: single-relation WHERE conjuncts run at the scans
 //  * index selection: `col = <no-column expr>` on an indexed column of a
 //    base table becomes an IndexSeek (parameterized by variables, which is
@@ -10,27 +11,21 @@
 //    filters or NLJ predicates
 //  * aggregate placement: HashAggregate by default; StreamAggregate when the
 //    statement carries the Eq. 6 enforcement flag or any aggregate is
-//    order-sensitive
+//    order-sensitive; Gather → ParallelPartialAgg when
+//    execution.degree_of_parallelism > 1 and the aggregation is provably
+//    safe to partition (every aggregate SupportsMerge() + ParallelSafe(),
+//    morselizable input, parallel-safe expressions)
 #pragma once
 
+#include "common/engine_options.h"
 #include "exec/operators.h"
 #include "parser/query_ast.h"
 
 namespace aggify {
 
-struct PlannerOptions {
-  bool enable_index_seek = true;
-  bool enable_hash_join = true;
-  bool enable_predicate_pushdown = true;
-  /// Simulated degree of parallel partial aggregation (§3.1 Merge). Only
-  /// applied when every aggregate in the query SupportsMerge() and the plan
-  /// is not order-enforced; otherwise aggregation stays serial.
-  int aggregate_partitions = 1;
-};
-
 class Planner {
  public:
-  Planner(ExecContext* ctx, PlannerOptions options = {})
+  explicit Planner(ExecContext* ctx, const EngineOptions& options = {})
       : ctx_(ctx), options_(options) {}
 
   /// Plans `stmt` (whose CTEs must already be bound in the context by the
@@ -57,7 +52,7 @@ class Planner {
   Result<OperatorPtr> PlanAggregation(OperatorPtr input, SelectStmt* stmt);
 
   ExecContext* ctx_;
-  PlannerOptions options_;
+  EngineOptions options_;
 };
 
 /// Splits a predicate into its AND-ed conjuncts (clones).

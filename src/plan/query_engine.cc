@@ -120,8 +120,11 @@ Status QueryEngine::BindCtes(
   return Status::OK();
 }
 
-Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
-                                         ExecContext& ctx) const {
+Result<QueryResult> QueryEngine::Execute(
+    const SelectStmt& stmt, ExecContext& ctx,
+    const EngineOptions* override_options) const {
+  const EngineOptions& options =
+      override_options != nullptr ? *override_options : options_;
   ++ctx.stats().queries_executed;
   if (ctx.depth > ExecContext::kMaxDepth) {
     return Status::ExecutionError("query nesting too deep");
@@ -136,7 +139,11 @@ Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
   // binding scope) reuse their physical plan across executions, like a real
   // engine's prepared/cached plans. Variables and correlation frames are
   // runtime inputs, so parameterized re-execution is safe.
-  bool cacheable = stmt.ctes.empty() && !ctx.HasCteBindings();
+  // Per-query overrides bypass the cache entirely: cached plans are keyed on
+  // statement text, and a plan shaped by (say) dop=4 must not serve the
+  // engine-default configuration or vice versa.
+  bool cacheable = override_options == nullptr && stmt.ctes.empty() &&
+                   !ctx.HasCteBindings();
   std::string cache_key;
   if (cacheable) {
     cache_key = stmt.ToString();
@@ -163,7 +170,7 @@ Result<QueryResult> QueryEngine::Execute(const SelectStmt& stmt,
     return st;
   }
 
-  Planner planner(&ctx, options_);
+  Planner planner(&ctx, options);
   auto plan = planner.Plan(stmt);
   if (!plan.ok()) {
     cleanup();
@@ -205,7 +212,7 @@ Result<QueryResult> QueryEngine::RunPlanWithRetry(Operator* root,
                                                   ExecContext& ctx) const {
   auto result = RunPlan(root, ctx);
   for (int attempt = 0;
-       attempt < kTransientRetries && !result.ok() &&
+       attempt < options_.retry.transient_retries && !result.ok() &&
        result.status().IsRetryable();
        ++attempt) {
     ++ctx.robustness().transient_retries;
@@ -220,12 +227,14 @@ Result<QueryResult> QueryEngine::ExecuteSql(const std::string& sql) const {
   return Execute(*stmt, ctx);
 }
 
-Result<std::string> QueryEngine::Explain(const SelectStmt& stmt,
-                                         ExecContext& ctx) const {
+Result<std::string> QueryEngine::Explain(
+    const SelectStmt& stmt, ExecContext& ctx,
+    const EngineOptions* override_options) const {
   std::vector<std::string> bound;
   std::vector<std::shared_ptr<std::vector<Row>>> keepalive;
   RETURN_NOT_OK(BindCtes(stmt, ctx, &bound, &keepalive));
-  Planner planner(&ctx, options_);
+  Planner planner(&ctx,
+                  override_options != nullptr ? *override_options : options_);
   auto plan = planner.Plan(stmt);
   for (const auto& name : bound) ctx.UnbindCte(name);
   RETURN_NOT_OK(plan.status());

@@ -48,31 +48,39 @@ class PlanCache {
 
 class QueryEngine {
  public:
-  explicit QueryEngine(Database* db, PlannerOptions options = {})
+  explicit QueryEngine(Database* db, const EngineOptions& options = {})
       : db_(db), options_(options) {}
 
   Database* db() const { return db_; }
-  const PlannerOptions& options() const { return options_; }
+  const EngineOptions& options() const { return options_; }
 
   /// \brief Creates a context wired to this engine (subquery executor
   /// installed; UDF invoker installed separately by the Session).
   ExecContext MakeContext() const;
 
   /// \brief Executes a SELECT to completion. `ctx` supplies variables,
-  /// correlation frames, and CTE bindings.
-  Result<QueryResult> Execute(const SelectStmt& stmt, ExecContext& ctx) const;
+  /// correlation frames, and CTE bindings. A non-null `override_options`
+  /// replaces the engine's configuration for this one statement; such
+  /// executions bypass the plan cache (which is keyed on statement text
+  /// only, not on the options that shaped the plan).
+  Result<QueryResult> Execute(const SelectStmt& stmt, ExecContext& ctx,
+                              const EngineOptions* override_options =
+                                  nullptr) const;
 
   /// Parses and executes (test/demo convenience; fresh context).
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
-  /// \brief Returns the physical plan tree rendering (EXPLAIN).
-  Result<std::string> Explain(const SelectStmt& stmt, ExecContext& ctx) const;
+  /// \brief Returns the physical plan tree rendering (EXPLAIN), honoring a
+  /// per-query options override like Execute.
+  Result<std::string> Explain(const SelectStmt& stmt, ExecContext& ctx,
+                              const EngineOptions* override_options =
+                                  nullptr) const;
 
   const PlanCache& plan_cache() const { return cache_; }
 
-  /// Transient (timeout/unavailable) plan failures are re-run up to this
-  /// many extra times before surfacing; each re-run counts into
-  /// RobustnessStats::transient_retries.
+  /// DEPRECATED: the retry budget now lives in
+  /// EngineOptions::retry.transient_retries (this constant mirrors its
+  /// default for one release; the engine reads the option, not this).
   static constexpr int kTransientRetries = 2;
 
  private:
@@ -88,7 +96,7 @@ class QueryEngine {
       const;
 
   Database* db_;
-  PlannerOptions options_;
+  EngineOptions options_;
   mutable PlanCache cache_;
 };
 

@@ -4,7 +4,7 @@
 
 namespace aggify {
 
-Session::Session(Database* db, PlannerOptions options)
+Session::Session(Database* db, const EngineOptions& options)
     : db_(db),
       engine_(db, options),
       interpreter_(std::make_unique<Interpreter>(&engine_)) {}

@@ -11,7 +11,7 @@ namespace aggify {
 class Session {
  public:
   /// Creates a session over `db`. The session does not own the database.
-  explicit Session(Database* db, PlannerOptions options = {});
+  explicit Session(Database* db, const EngineOptions& options = {});
 
   Database* db() const { return db_; }
   const QueryEngine& engine() const { return engine_; }

@@ -31,6 +31,19 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// Adds another counter set into this one. Parallel workers account into
+  /// private IoStats and the coordinator folds them in after joining, so the
+  /// shared counters are never written concurrently.
+  void MergeFrom(const IoStats& other) {
+    logical_reads += other.logical_reads;
+    worktable_pages_written += other.worktable_pages_written;
+    worktable_pages_read += other.worktable_pages_read;
+    cursor_fetches += other.cursor_fetches;
+    cursors_opened += other.cursors_opened;
+    queries_executed += other.queries_executed;
+    rows_produced += other.rows_produced;
+  }
+
   /// Total buffer-pool reads SQL Server-style: base pages + worktable pages.
   int64_t TotalLogicalReads() const {
     return logical_reads + worktable_pages_read;

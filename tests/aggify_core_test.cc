@@ -329,8 +329,8 @@ TEST_F(AggifyCoreTest, ForLoopConversion) {
                        session_->Call("triangle", {Value::Int(100)}));
   EXPECT_EQ(original.int_value(), 5050);
 
-  AggifyOptions options;
-  options.convert_for_loops = true;
+  EngineOptions options;
+  options.rewrite.convert_for_loops = true;
   Aggify aggify(&db_, options);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("triangle"));
   EXPECT_EQ(report.loops_found, 1);

@@ -119,8 +119,8 @@ class LoopAggregateContractTest : public ::testing::Test {
     )"));
     // This suite exercises the synthesized LoopAggregate's contract, so the
     // native-fold lowering (which would skip registering one) is disabled.
-    AggifyOptions opts;
-    opts.lower_native_folds = false;
+    EngineOptions opts;
+    opts.rewrite.lower_native_folds = false;
     Aggify aggify(&db_, opts);
     ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
     ASSERT_EQ(report.loops_rewritten, 1);

@@ -153,10 +153,10 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
 
   // Configuration 2: rewritten with the simplification pipeline and its
   // payoffs (fetch pruning, native-fold lowering) all OFF.
-  AggifyOptions plain_options;
-  plain_options.simplify = false;
-  plain_options.prune_fetch_columns = false;
-  plain_options.lower_native_folds = false;
+  EngineOptions plain_options;
+  plain_options.rewrite.simplify = false;
+  plain_options.rewrite.prune_fetch_columns = false;
+  plain_options.rewrite.lower_native_folds = false;
   Aggify plain(&db, plain_options);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, plain.RewriteFunction("gen_fn"));
   ASSERT_EQ(report.loops_rewritten, 1)
@@ -173,7 +173,11 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
               ? std::string("not rewritten")
               : full_report.skipped[0].ToString());
 
-  // All three configurations agree on every parameter value.
+  // All three configurations agree on every parameter value, and a dop=4
+  // session over the same rewritten functions is bit-identical to dop=1 —
+  // for parallel-eligible rewrites the plan really runs Gather over
+  // ParallelPartialAgg, and parallel execution must be invisible.
+  Session dop4(&db, EngineOptions::WithDop(4));
   size_t i = 0;
   for (int p : {-100, 0, 50}) {
     ASSERT_OK_AND_ASSIGN(Value v, session.Call("gen_fn", {Value::Int(p)}));
@@ -187,6 +191,16 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
         << " original=" << before[i].ToString()
         << (full_report.rewrites[0].lowered_to_builtin ? " (lowered to "
               + full_report.rewrites[0].aggregate_name + ")" : "");
+    ASSERT_OK_AND_ASSIGN(Value vp, dop4.Call("gen_fn", {Value::Int(p)}));
+    EXPECT_TRUE(vp.StructurallyEquals(before[i]))
+        << "param " << p << ": dop4=" << vp.ToString()
+        << " original=" << before[i].ToString()
+        << (report.rewrites[0].parallel_eligible ? " (parallel-eligible)"
+                                                 : " (serial)");
+    ASSERT_OK_AND_ASSIGN(Value vpf, dop4.Call("gen_fn_full", {Value::Int(p)}));
+    EXPECT_TRUE(vpf.StructurallyEquals(before[i]))
+        << "param " << p << ": dop4 simplified=" << vpf.ToString()
+        << " original=" << before[i].ToString();
     ++i;
   }
 }

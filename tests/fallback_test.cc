@@ -149,8 +149,8 @@ TEST_F(FallbackTest, NoFaultMeansNoFallback) {
 
 TEST_F(FallbackTest, UnguardedRewriteStillSurfacesFault) {
   ASSERT_OK(session_->RunSql(kCorpus[0].create_sql));
-  AggifyOptions options;
-  options.guard_rewrites = false;
+  EngineOptions options;
+  options.rewrite.guard_rewrites = false;
   Aggify aggify(&db_, options);
   ASSERT_OK(aggify.RewriteFunction("sum_all").status());
   ScopedFailPoint fp("exec.agg.accumulate");
@@ -184,8 +184,8 @@ class BrokenAggregate : public AggregateFunction {
 TEST_F(FallbackTest, VerifyModeDetectsMismatchAndKeepsLoopResults) {
   ASSERT_OK(session_->RunSql(kCorpus[0].create_sql));
   ASSERT_OK_AND_ASSIGN(Value baseline, session_->Call("sum_all", {}));
-  AggifyOptions options;
-  options.verify_rewrite = true;
+  EngineOptions options;
+  options.rewrite.verify_rewrite = true;
   Aggify aggify(&db_, options);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_all"));
   ASSERT_EQ(report.loops_rewritten, 1);

@@ -280,8 +280,8 @@ TEST_F(NativeLoweringTest, NullInputPoisonsSumExactlyLikeInterpretedAgg) {
   EXPECT_TRUE(lowered.rewrites[0].lowered_to_builtin);
 
   EXPECT_TRUE(session_->RunSql(interp_def).ok());
-  AggifyOptions opts;
-  opts.lower_native_folds = false;
+  EngineOptions opts;
+  opts.rewrite.lower_native_folds = false;
   Aggify interp(&db_, opts);
   ASSERT_OK_AND_ASSIGN(AggifyReport r2, interp.RewriteFunction("sum_null_agg"));
   EXPECT_FALSE(r2.rewrites[0].lowered_to_builtin);
@@ -382,8 +382,8 @@ TEST_F(NativeLoweringTest, ConstantBoundForLoopUsesStaticTripSpace) {
       RETURN @s;
     END
   )"));
-  AggifyOptions options;
-  options.convert_for_loops = true;  // static_trip_values defaults on
+  EngineOptions options;
+  options.rewrite.convert_for_loops = true;  // static_trip_values defaults on
   Aggify aggify(&db_, options);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("triangle"));
   EXPECT_EQ(report.loops_rewritten, 1);
@@ -410,15 +410,15 @@ TEST_F(NativeLoweringTest, StaticTripMatchesRecursiveCteSpace) {
   ASSERT_OK(session_->RunSql(with_static));
   ASSERT_OK(session_->RunSql(without_static));
 
-  AggifyOptions fast;
-  fast.convert_for_loops = true;
+  EngineOptions fast;
+  fast.rewrite.convert_for_loops = true;
   Aggify a1(&db_, fast);
   ASSERT_OK_AND_ASSIGN(AggifyReport r1, a1.RewriteFunction("steps_fast"));
   EXPECT_TRUE(HasDiagnostic(r1.notes, DiagCode::kStaticTripCount));
 
-  AggifyOptions slow;
-  slow.convert_for_loops = true;
-  slow.static_trip_values = false;
+  EngineOptions slow;
+  slow.rewrite.convert_for_loops = true;
+  slow.rewrite.static_trip_values = false;
   Aggify a2(&db_, slow);
   ASSERT_OK_AND_ASSIGN(AggifyReport r2, a2.RewriteFunction("steps_slow"));
   EXPECT_FALSE(HasDiagnostic(r2.notes, DiagCode::kStaticTripCount));
@@ -442,9 +442,9 @@ TEST_F(NativeLoweringTest, OversizedTripCountFallsBackToRecursiveCte) {
       RETURN @s;
     END
   )"));
-  AggifyOptions options;
-  options.convert_for_loops = true;
-  options.max_static_trips = 8;  // 100 trips exceed the materialization cap
+  EngineOptions options;
+  options.rewrite.convert_for_loops = true;
+  options.rewrite.max_static_trips = 8;  // 100 trips exceed the materialization cap
   Aggify aggify(&db_, options);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("big"));
   EXPECT_EQ(report.loops_rewritten, 1);

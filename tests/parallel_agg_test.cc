@@ -1,5 +1,6 @@
-// Tests of simulated parallel partial aggregation (§3.1 Merge in plans) and
-// the LIKE operator.
+// Tests of morsel-driven parallel partial aggregation (§3.1 Merge across
+// worker threads, Gather/ParallelPartialAgg plan shapes) and the LIKE
+// operator.
 #include <gtest/gtest.h>
 
 #include "aggify/rewriter.h"
@@ -12,9 +13,7 @@ namespace {
 class ParallelAggTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    PlannerOptions options;
-    options.aggregate_partitions = 4;
-    session_ = std::make_unique<Session>(&db_, options);
+    session_ = std::make_unique<Session>(&db_, EngineOptions::WithDop(4));
     serial_ = std::make_unique<Session>(&db_);
     ASSERT_OK(serial_->RunSql(R"(
       CREATE TABLE m (g INT, v INT);
@@ -22,10 +21,103 @@ class ParallelAggTest : public ::testing::Test {
                            (2, 5), (2, 6), (3, 100);
     )"));
   }
+
+  /// EXPLAIN through a given session's engine (no variables bound).
+  std::string Plan(Session& session, const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    if (!stmt.ok()) return "";
+    ExecContext ctx = session.MakeContext();
+    auto tree = session.engine().Explain(**stmt, ctx);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return tree.ok() ? *tree : "";
+  }
+
   Database db_;
-  std::unique_ptr<Session> session_;  // partitions = 4
-  std::unique_ptr<Session> serial_;   // partitions = 1
+  std::unique_ptr<Session> session_;  // degree_of_parallelism = 4
+  std::unique_ptr<Session> serial_;   // degree_of_parallelism = 1
 };
+
+TEST_F(ParallelAggTest, PlanShapeGatherOverParallelPartialAgg) {
+  // Merge-eligible builtin aggregation at dop=4 plans as an exchange:
+  // Gather(dop=4) over ParallelPartialAgg. The serial engine keeps the
+  // plain HashAggregate for the very same statement.
+  const char* sql = "SELECT g, SUM(v) AS s FROM m GROUP BY g";
+  std::string parallel = Plan(*session_, sql);
+  EXPECT_NE(parallel.find("Gather(dop=4)"), std::string::npos) << parallel;
+  EXPECT_NE(parallel.find("ParallelPartialAgg"), std::string::npos)
+      << parallel;
+  std::string serial = Plan(*serial_, sql);
+  EXPECT_EQ(serial.find("Gather"), std::string::npos) << serial;
+  EXPECT_NE(serial.find("HashAggregate"), std::string::npos) << serial;
+}
+
+TEST_F(ParallelAggTest, PerQueryOverrideControlsParallelism) {
+  // A serial engine plans parallel under a per-query override, and vice
+  // versa — without perturbing either engine's own configuration.
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT g, SUM(v) FROM m GROUP BY g"));
+  ExecContext ctx = serial_->MakeContext();
+  EngineOptions dop4 = EngineOptions::WithDop(4);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       serial_->engine().Explain(*stmt, ctx, &dop4));
+  EXPECT_NE(plan.find("Gather(dop=4)"), std::string::npos) << plan;
+
+  ExecContext pctx = session_->MakeContext();
+  EngineOptions dop1;  // defaults: serial
+  ASSERT_OK_AND_ASSIGN(std::string serial_plan,
+                       session_->engine().Explain(*stmt, pctx, &dop1));
+  EXPECT_EQ(serial_plan.find("Gather"), std::string::npos) << serial_plan;
+
+  // Overridden execution must agree with the engine-default one.
+  ASSERT_OK_AND_ASSIGN(QueryResult overridden,
+                       serial_->engine().Execute(*stmt, ctx, &dop4));
+  ASSERT_OK_AND_ASSIGN(QueryResult plain, serial_->engine().Execute(*stmt, ctx));
+  ASSERT_EQ(overridden.rows.size(), plain.rows.size());
+  for (size_t i = 0; i < plain.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(overridden.rows[i], plain.rows[i]));
+  }
+}
+
+TEST_F(ParallelAggTest, OrderEnforcedPlansStaySerial) {
+  // An order-sensitive body keeps the Eq. 6 Sort + StreamAggregate; the
+  // dop=4 engine must not slip an exchange into an order-enforced plan.
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION last_v() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @last INT;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE v IS NOT NULL ORDER BY v;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @last = @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @last;
+    END
+  )"));
+  Aggify aggify(&db_, EngineOptions::WithDop(4));
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_v"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].sort_elided);
+  EXPECT_FALSE(report.rewrites[0].parallel_eligible);
+
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect(report.rewrites[0].rewritten_query_sql));
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  env.Declare("@last", Value::Null());
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       session_->engine().Explain(*stmt, ctx));
+  EXPECT_NE(plan.find("StreamAggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Gather"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("ParallelPartialAgg"), std::string::npos) << plan;
+}
 
 TEST_F(ParallelAggTest, PartitionedEqualsSerialForAllBuiltins) {
   const char* sql =
@@ -79,9 +171,11 @@ TEST_F(ParallelAggTest, ProvenMergeRunsPartitionedWithSerialResults) {
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_min"));
   ASSERT_EQ(report.loops_rewritten, 1);
   EXPECT_TRUE(report.rewrites[0].merge_supported);
+  EXPECT_TRUE(report.rewrites[0].parallel_eligible);
   ASSERT_OK_AND_ASSIGN(auto agg, db_.catalog().GetAggregate(
                                      report.rewrites[0].aggregate_name));
   EXPECT_TRUE(agg->SupportsMerge());
+  EXPECT_TRUE(agg->ParallelSafe());
   EXPECT_NE(report.rewrites[0].aggregate_source.find("Merge("),
             std::string::npos);
 

@@ -40,7 +40,7 @@ struct Toggle {
   bool index_seek;
   bool hash_join;
   bool pushdown;
-  int partitions;
+  int dop;
 };
 
 class PlanInvariance : public ::testing::TestWithParam<int> {};
@@ -56,14 +56,14 @@ TEST_P(PlanInvariance, SameResultsUnderEveryPlannerConfiguration) {
     ASSERT_OK(setup.RunSql(kSetupSql).status());
   }
 
-  PlannerOptions reference_options;  // all defaults
+  EngineOptions reference_options;  // all defaults
   Session reference(&db, reference_options);
 
-  PlannerOptions options;
-  options.enable_index_seek = toggle.index_seek;
-  options.enable_hash_join = toggle.hash_join;
-  options.enable_predicate_pushdown = toggle.pushdown;
-  options.aggregate_partitions = toggle.partitions;
+  EngineOptions options;
+  options.planner.enable_index_seek = toggle.index_seek;
+  options.planner.enable_hash_join = toggle.hash_join;
+  options.planner.enable_predicate_pushdown = toggle.pushdown;
+  options.execution.degree_of_parallelism = toggle.dop;
   Session session(&db, options);
 
   for (const char* sql : kQueries) {

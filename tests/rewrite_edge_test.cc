@@ -393,8 +393,8 @@ TEST_F(RewriteEdgeTest, SortElisionCanBeDisabled) {
       RETURN @s;
     END
   )"));
-  AggifyOptions opts;
-  opts.elide_order_insensitive_sort = false;
+  EngineOptions opts;
+  opts.rewrite.elide_order_insensitive_sort = false;
   Aggify aggify(&db_, opts);
   ASSERT_OK_AND_ASSIGN(AggifyReport report,
                        aggify.RewriteFunction("ordered_sum2"));

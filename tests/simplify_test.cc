@@ -384,8 +384,8 @@ TEST_F(SimplifiedRewriteTest, ZeroIterationLoopKeepsPriorValueWhenLowered) {
 TEST_F(SimplifiedRewriteTest, ZeroIterationLoopKeepsPriorValueInterpreted) {
   // Same regression through the interpreted Agg_Δ path (lowering off): the
   // synthesized Terminate's NULL marker and MultiAssign's keep-prior rule.
-  AggifyOptions opts;
-  opts.lower_native_folds = false;
+  EngineOptions opts;
+  opts.rewrite.lower_native_folds = false;
   Aggify aggify(&db_, opts);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_v"));
   ASSERT_EQ(report.loops_rewritten, 1);
@@ -404,10 +404,10 @@ TEST_F(SimplifiedRewriteTest, SimplifyOffMatchesSimplifyOn) {
   ASSERT_OK_AND_ASSIGN(Value original999,
                        session_->Call("sum_v", {Value::Int(999)}));
 
-  AggifyOptions off;
-  off.simplify = false;
-  off.prune_fetch_columns = false;
-  off.lower_native_folds = false;
+  EngineOptions off;
+  off.rewrite.simplify = false;
+  off.rewrite.prune_fetch_columns = false;
+  off.rewrite.lower_native_folds = false;
   Aggify plain(&db_, off);
   ASSERT_OK_AND_ASSIGN(AggifyReport report, plain.RewriteFunction("sum_v"));
   ASSERT_EQ(report.loops_rewritten, 1);

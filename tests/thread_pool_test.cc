@@ -1,0 +1,171 @@
+// ThreadPool unit tests, plus the worker-failure contract of the parallel
+// aggregation path: a failpoint firing on a worker thread must surface as a
+// clean injected Status at the query root, and a guarded rewrite must then
+// restore loop-entry state and fall back to the interpreted loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "aggify/rewriter.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&ran]() {
+      ++ran;
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // One worker, a slow head-of-line task, and a backlog: Shutdown must run
+  // every queued task to completion before joining, not drop the queue.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  futures.push_back(pool.Submit([&ran]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ++ran;
+    return Status::OK();
+  }));
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([&ran]() {
+      ++ran;
+      return Status::OK();
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 11);
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsCleanly) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto f = pool.Submit([]() { return Status::OK(); });
+  Status st = f.get();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST(ThreadPoolTest, ErrorStatusPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit(
+      []() { return Status::ExecutionError("worker-side failure"); });
+  Status st = f.get();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("worker-side failure"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ThrownExceptionBecomesInternalStatus) {
+  // A task that throws must not take down the worker thread (or the
+  // process): the exception is captured into Status::Internal and the pool
+  // keeps serving later tasks.
+  ThreadPool pool(1);
+  auto bad = pool.Submit(
+      []() -> Status { throw std::runtime_error("boom in worker"); });
+  Status st = bad.get();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("boom in worker"), std::string::npos);
+  auto good = pool.Submit([]() { return Status::OK(); });
+  EXPECT_TRUE(good.get().ok());
+}
+
+TEST(ThreadPoolTest, DestructorImpliesShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&ran]() {
+        ++ran;
+        return Status::OK();
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+class ParallelFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_, EngineOptions::WithDop(4));
+    ASSERT_OK(session_->RunSql(R"(
+      CREATE TABLE nums (v INT);
+      INSERT INTO nums VALUES (3), (1), (4), (1), (5), (9), (2), (6);
+      CREATE FUNCTION sum_all() RETURNS INT AS
+      BEGIN
+        DECLARE @x INT;
+        DECLARE @s INT = 0;
+        DECLARE c CURSOR FOR SELECT v FROM nums;
+        OPEN c;
+        FETCH NEXT FROM c INTO @x;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          SET @s = @s + @x;
+          FETCH NEXT FROM c INTO @x;
+        END
+        CLOSE c; DEALLOCATE c;
+        RETURN @s;
+      END
+    )"));
+    db_.robustness().Reset();
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ParallelFailureTest, WorkerFailpointSurfacesAsInjectedStatus) {
+  // Unguarded rewrite at dop=4: the failpoint fires on a worker thread
+  // inside ParallelPartialAgg, and the error must come back through the
+  // exchange as the same clean injected Status a serial plan produces.
+  EngineOptions options = EngineOptions::WithDop(4);
+  options.rewrite.guard_rewrites = false;
+  Aggify aggify(&db_, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_all"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_TRUE(report.rewrites[0].parallel_eligible);
+
+  ScopedFailPoint fp("exec.agg.accumulate");
+  Status st = session_->Call("sum_all", {}).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(FailPoints::IsInjected(st));
+}
+
+TEST_F(ParallelFailureTest, GuardedRewriteFallsBackAfterWorkerFault) {
+  // Guarded rewrite: a worker-side fault fails the parallel query, the
+  // guard restores loop-entry state, and the interpreted loop re-runs to
+  // the correct answer. times(1) injects exactly one fault, so the fallback
+  // loop's own scan passes.
+  Aggify aggify(&db_, EngineOptions::WithDop(4));
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("sum_all"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+
+  FailPointSpec spec;
+  spec.policy = FailPointPolicy::kFirstK;
+  spec.n = 1;
+  ScopedFailPoint fp("exec.agg.accumulate", spec);
+  ASSERT_OK_AND_ASSIGN(Value v, session_->Call("sum_all", {}));
+  EXPECT_EQ(v.int_value(), 3 + 1 + 4 + 1 + 5 + 9 + 2 + 6);
+  EXPECT_GE(db_.robustness().fallbacks_taken, 1);
+  EXPECT_GE(db_.robustness().fallback_successes, 1);
+}
+
+}  // namespace
+}  // namespace aggify

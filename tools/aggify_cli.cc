@@ -12,6 +12,10 @@
 //     --for-loops     also convert FOR loops (§8.1) before rewriting
 //     --keep-dead     keep declarations the rewrite rendered dead (§6.2)
 //     --sets          print the Eq. 1-4 analysis sets per loop
+//     --dop=N         plan rewritten queries with N-way parallelism
+//     --explain       print the physical plan of each rewritten query
+//                     (with --dop=N, parallel fragments show up as
+//                     Gather(dop=N) over ParallelPartialAgg)
 //   reads stdin when <script.sql> is '-'.
 //
 //   aggify_cli --lint [--format=json|text] [--werror] <path | workloads-corpus>...
@@ -28,6 +32,7 @@
 //     `--werror` promotes warnings into that failure condition too.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -215,6 +220,8 @@ int main(int argc, char** argv) {
   bool for_loops = false;
   bool keep_dead = false;
   bool print_sets = false;
+  bool explain = false;
+  int dop = 1;
   bool lint = false;
   LintOptions lint_options;
   std::vector<std::string> targets;
@@ -228,6 +235,11 @@ int main(int argc, char** argv) {
       keep_dead = true;
     } else if (std::strcmp(argv[i], "--sets") == 0) {
       print_sets = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strncmp(argv[i], "--dop=", 6) == 0) {
+      dop = std::atoi(argv[i] + 6);
+      if (dop < 1) return Fail("--dop needs a positive integer");
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--format=json") == 0) {
@@ -239,7 +251,8 @@ int main(int argc, char** argv) {
     } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
       return Fail(std::string("unknown option ") + argv[i] +
                   "\nusage: aggify_cli [--check-only] [--for-loops] "
-                  "[--keep-dead] [--sets] <script.sql | ->\n"
+                  "[--keep-dead] [--sets] [--dop=N] [--explain] "
+                  "<script.sql | ->\n"
                   "       aggify_cli --lint [--format=json|text] [--werror] "
                   "<path | workloads-corpus>...");
     } else {
@@ -270,16 +283,18 @@ int main(int argc, char** argv) {
     source = buffer.str();
   }
 
+  EngineOptions options;
+  options.rewrite.convert_for_loops = for_loops;
+  options.rewrite.remove_dead_declarations = !keep_dead;
+  options.execution.degree_of_parallelism = dop;
+
   Database db;
-  Session session(&db);
+  Session session(&db, options);
   auto load = session.RunSql(source);
   if (!load.ok()) {
     return Fail("script failed to load: " + load.status().ToString());
   }
 
-  AggifyOptions options;
-  options.convert_for_loops = for_loops;
-  options.remove_dead_declarations = !keep_dead;
   Aggify aggify(&db, options);
 
   int total_loops = 0;
@@ -319,6 +334,24 @@ int main(int argc, char** argv) {
                     JoinNames(rewrite.sets.v_term).c_str(),
                     rewrite.sets.ordered ? "  [ORDER BY: Eq. 6 streaming]"
                                          : "");
+      }
+      if (explain && !rewrite.rewritten_query_sql.empty()) {
+        auto stmt = ParseSelect(rewrite.rewritten_query_sql);
+        if (stmt.ok()) {
+          ExecContext ctx = session.MakeContext();
+          auto tree = session.engine().Explain(**stmt, ctx);
+          if (tree.ok()) {
+            std::printf("--   plan for %s:\n", rewrite.aggregate_name.c_str());
+            std::istringstream lines(*tree);
+            std::string line;
+            while (std::getline(lines, line)) {
+              std::printf("--     %s\n", line.c_str());
+            }
+          } else {
+            std::printf("--   plan unavailable: %s\n",
+                        tree.status().ToString().c_str());
+          }
+        }
       }
       std::printf("\n%s\n", rewrite.aggregate_source.c_str());
     }
