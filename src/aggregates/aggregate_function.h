@@ -5,6 +5,7 @@
 // operators are agnostic to which kind they drive.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,7 +15,8 @@
 
 namespace aggify {
 
-class ExecContext;  // exec/exec_context.h
+class ExecContext;   // exec/exec_context.h
+class ColumnVector;  // exec/batch.h
 
 /// \brief Per-group mutable state of one aggregate evaluation.
 /// Concrete aggregates subclass this; the operators only move it around.
@@ -47,6 +49,19 @@ class AggregateFunction {
   virtual Status Accumulate(AggregateState* state,
                             const std::vector<Value>& args,
                             ExecContext* ctx) const = 0;
+
+  /// (2') AccumulateBatch: folds a batch of tuples — `args[a]` is the column
+  /// holding argument a for every row, `sel` the selected row indices in
+  /// ascending order (nullptr = rows 0..count-1). Contract: observationally
+  /// identical to calling Accumulate once per selected row in order —
+  /// including floating-point accumulation order, so results stay
+  /// bit-identical between the row and batch pipelines. The default re-boxes
+  /// rows and delegates to Accumulate; built-ins override with the
+  /// type-specialized kernels of fold_kernels.h.
+  virtual Status AccumulateBatch(AggregateState* state,
+                                 const std::vector<const ColumnVector*>& args,
+                                 const int32_t* sel, int64_t count,
+                                 ExecContext* ctx) const;
 
   /// (3) Terminate: produces the final value (a Record for multi-variable
   /// V_term tuples).

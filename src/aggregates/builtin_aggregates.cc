@@ -4,7 +4,9 @@
 // hash and streaming aggregation and under parallel partial aggregation.
 #include "aggregates/aggregate_function.h"
 
+#include "aggregates/fold_kernels.h"
 #include "common/string_util.h"
+#include "exec/batch.h"
 
 namespace aggify {
 
@@ -73,6 +75,73 @@ class BuiltinAggregate : public AggregateFunction {
         s->sum += v.AsDouble();
         if (!v.is_int()) s->sum_is_int = false;
         ++s->count;
+        break;
+      }
+      case BuiltinKind::kCountStar:
+        break;
+    }
+    return Status::OK();
+  }
+
+  Status AccumulateBatch(AggregateState* state,
+                         const std::vector<const ColumnVector*>& args,
+                         const int32_t* sel, int64_t count,
+                         ExecContext* ctx) const override {
+    auto* s = static_cast<ScalarState*>(state);
+    if (kind_ == BuiltinKind::kCountStar) {
+      s->count += count;
+      return Status::OK();
+    }
+    if (args.size() != 1) {
+      return Status::ExecutionError("aggregate '" + name_ +
+                                    "' expects one argument");
+    }
+    const ColumnVector& col = *args[0];
+    // Mixed/non-numeric columns stay boxed; the row-at-a-time default
+    // preserves exact semantics (type errors, sum_is_int tracking).
+    if (col.tag() == ColumnVector::Tag::kGeneric) {
+      return AggregateFunction::AccumulateBatch(state, args, sel, count, ctx);
+    }
+    switch (kind_) {
+      case BuiltinKind::kCount:
+        s->count += fold::CountValid(col, sel, count);
+        break;
+      case BuiltinKind::kSum:
+      case BuiltinKind::kAvg: {
+        const int64_t n = fold::SumInto(col, sel, count, &s->sum);
+        if (n > 0 && col.tag() == ColumnVector::Tag::kDouble) {
+          s->sum_is_int = false;
+        }
+        s->count += n;
+        break;
+      }
+      case BuiltinKind::kMin:
+      case BuiltinKind::kMax: {
+        const bool want_min = kind_ == BuiltinKind::kMin;
+        int64_t n = 0;
+        bool have = false;
+        Value column_best;
+        if (col.tag() == ColumnVector::Tag::kInt64) {
+          int64_t best = 0;
+          n = fold::MinMaxInt64(col, sel, count, want_min, &have, &best);
+          if (have) column_best = Value::Int(best);
+        } else {
+          double best = 0.0;
+          n = fold::MinMaxDouble(col, sel, count, want_min, &have, &best);
+          if (have) column_best = Value::Double(best);
+        }
+        if (have) {
+          // Fold the column extremum into the state exactly like the row
+          // path: strict compare, prior value wins ties.
+          if (s->count == 0) {
+            s->value = std::move(column_best);
+          } else {
+            ASSIGN_OR_RETURN(Value cmp, Compare(column_best, s->value));
+            bool replace = want_min ? cmp.int_value() < 0 : cmp.int_value() > 0;
+            if (replace) s->value = std::move(column_best);
+          }
+        }
+        s->count += n;
         break;
       }
       case BuiltinKind::kCountStar:

@@ -1,0 +1,107 @@
+#include "aggregates/fold_kernels.h"
+
+#include "aggregates/aggregate_function.h"
+#include "exec/batch.h"
+
+namespace aggify {
+
+// Default batch accumulation: re-box each selected row and fold it through
+// the scalar Accumulate. Every aggregate — including the interpreted Agg_Δ
+// functions Aggify synthesizes — accepts batch input through this path;
+// built-ins override AccumulateBatch with the kernels below.
+Status AggregateFunction::AccumulateBatch(
+    AggregateState* state, const std::vector<const ColumnVector*>& args,
+    const int32_t* sel, int64_t count, ExecContext* ctx) const {
+  std::vector<Value> row_args(args.size());
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = sel != nullptr ? sel[k] : k;
+    for (size_t a = 0; a < args.size(); ++a) {
+      row_args[a] = args[a]->GetValue(i);
+    }
+    RETURN_NOT_OK(Accumulate(state, row_args, ctx));
+  }
+  return Status::OK();
+}
+
+namespace fold {
+
+int64_t CountValid(const ColumnVector& col, const int32_t* sel,
+                   int64_t count) {
+  const NullBitmap& valid = col.validity();
+  if (sel == nullptr && count == valid.size()) return valid.CountValid();
+  int64_t n = 0;
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = sel != nullptr ? sel[k] : k;
+    if (valid.IsValid(i)) ++n;
+  }
+  return n;
+}
+
+int64_t SumInto(const ColumnVector& col, const int32_t* sel, int64_t count,
+                double* sum) {
+  const NullBitmap& valid = col.validity();
+  int64_t n = 0;
+  double acc = *sum;
+  if (col.tag() == ColumnVector::Tag::kInt64) {
+    const std::vector<int64_t>& data = col.i64();
+    for (int64_t k = 0; k < count; ++k) {
+      const int64_t i = sel != nullptr ? sel[k] : k;
+      if (!valid.IsValid(i)) continue;
+      acc += static_cast<double>(data[static_cast<size_t>(i)]);
+      ++n;
+    }
+  } else {
+    const std::vector<double>& data = col.f64();
+    for (int64_t k = 0; k < count; ++k) {
+      const int64_t i = sel != nullptr ? sel[k] : k;
+      if (!valid.IsValid(i)) continue;
+      acc += data[static_cast<size_t>(i)];
+      ++n;
+    }
+  }
+  *sum = acc;
+  return n;
+}
+
+int64_t MinMaxInt64(const ColumnVector& col, const int32_t* sel, int64_t count,
+                    bool want_min, bool* have, int64_t* best) {
+  const NullBitmap& valid = col.validity();
+  const std::vector<int64_t>& data = col.i64();
+  int64_t n = 0;
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = sel != nullptr ? sel[k] : k;
+    if (!valid.IsValid(i)) continue;
+    const int64_t v = data[static_cast<size_t>(i)];
+    if (!*have) {
+      *have = true;
+      *best = v;
+    } else if (want_min ? v < *best : v > *best) {
+      *best = v;
+    }
+    ++n;
+  }
+  return n;
+}
+
+int64_t MinMaxDouble(const ColumnVector& col, const int32_t* sel, int64_t count,
+                     bool want_min, bool* have, double* best) {
+  const NullBitmap& valid = col.validity();
+  const std::vector<double>& data = col.f64();
+  int64_t n = 0;
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = sel != nullptr ? sel[k] : k;
+    if (!valid.IsValid(i)) continue;
+    const double v = data[static_cast<size_t>(i)];
+    if (!*have) {
+      *have = true;
+      *best = v;
+    } else if (want_min ? v < *best : v > *best) {
+      *best = v;
+    }
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace fold
+}  // namespace aggify

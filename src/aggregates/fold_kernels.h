@@ -1,0 +1,41 @@
+// Type-specialized fold kernels for the vectorized aggregation path.
+//
+// Each kernel visits the selected rows of one unboxed column in ascending
+// row order, skipping NULLs via the validity bitmap. They are required to be
+// observationally identical to the row-at-a-time ScalarState updates in
+// builtin_aggregates.cc; in particular:
+//   * SumInto accumulates into the caller's running double sequentially —
+//     no reassociation, no SIMD — so floating-point results are bit-identical
+//     to the row pipeline (and UBSan-clean: sums never do int64 arithmetic).
+//   * The min/max kernels use strict comparisons, so the first-seen value
+//     wins ties exactly like the row path's Compare(v, state) < 0 replace.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/batch.h"
+
+namespace aggify {
+namespace fold {
+
+/// Non-NULL count over the selection. `sel` lists the selected row indices
+/// (nullptr = rows 0..count-1); precondition: col.tag() != kGeneric.
+int64_t CountValid(const ColumnVector& col, const int32_t* sel, int64_t count);
+
+/// Adds every selected non-NULL value to *sum (ints widen per element, like
+/// Value::AsDouble). Returns the number of values accumulated.
+int64_t SumInto(const ColumnVector& col, const int32_t* sel, int64_t count,
+                double* sum);
+
+/// Running extremum over an int64 column. On entry *have says whether *best
+/// holds a prior value from this column; on exit they cover the selection.
+/// Returns the non-NULL count.
+int64_t MinMaxInt64(const ColumnVector& col, const int32_t* sel, int64_t count,
+                    bool want_min, bool* have, int64_t* best);
+
+/// Running extremum over a double column (same contract as MinMaxInt64).
+int64_t MinMaxDouble(const ColumnVector& col, const int32_t* sel, int64_t count,
+                     bool want_min, bool* have, double* best);
+
+}  // namespace fold
+}  // namespace aggify

@@ -13,12 +13,14 @@
 //   Session session(&db, opts);
 //
 // Per-query overrides: QueryEngine::Execute/Explain accept an optional
-// override whose planner/execution sections replace the engine's for that
-// one statement (such executions bypass the plan cache, which is keyed on
-// statement text only).
+// override whose sections replace the engine's for that one statement. The
+// plan cache keys on PlanFingerprint() alongside the statement text, so
+// overridden executions cache and hit like any other — a dop=4 plan never
+// serves a dop=1 configuration or vice versa.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace aggify {
 
@@ -45,6 +47,12 @@ struct EngineOptions {
     /// function of (table, dop, morsel_rows), independent of thread
     /// scheduling. See docs/PARALLELISM.md for the size rationale.
     int64_t morsel_rows = 2048;
+    /// Vectorized batch execution (docs/VECTORIZATION.md): eligible
+    /// aggregation pipelines scan columnar batches and fold through
+    /// type-specialized kernels instead of row-at-a-time Accumulate.
+    /// Results are bit-identical; this is a pure performance knob (and the
+    /// batch-vs-row equivalence test axis).
+    bool enable_batch = true;
   };
 
   // --- retry: transient-failure handling ----------------------------------
@@ -114,6 +122,41 @@ struct EngineOptions {
     EngineOptions options;
     options.execution.degree_of_parallelism = dop;
     return options;
+  }
+
+  /// \brief A compact, stable encoding of every field that can change what a
+  /// planned statement does. The plan cache prefixes its keys with this, so
+  /// two executions of the same SQL under different configurations never
+  /// share a plan. Keep in sync with the fields above: forgetting one here
+  /// reintroduces the cross-configuration cache-poisoning bug this fixes.
+  std::string PlanFingerprint() const {
+    std::string fp = "v1:";
+    auto b = [&fp](bool v) { fp += v ? '1' : '0'; };
+    b(planner.enable_index_seek);
+    b(planner.enable_hash_join);
+    b(planner.enable_predicate_pushdown);
+    fp += '|';
+    fp += std::to_string(execution.degree_of_parallelism);
+    fp += ',';
+    fp += std::to_string(execution.morsel_rows);
+    fp += ',';
+    b(execution.enable_batch);
+    fp += '|';
+    fp += std::to_string(retry.transient_retries);
+    fp += '|';
+    b(rewrite.convert_for_loops);
+    b(rewrite.remove_dead_declarations);
+    b(rewrite.guard_rewrites);
+    b(rewrite.verify_rewrite);
+    b(rewrite.elide_order_insensitive_sort);
+    b(rewrite.synthesize_merge);
+    b(rewrite.simplify);
+    b(rewrite.prune_fetch_columns);
+    b(rewrite.lower_native_folds);
+    b(rewrite.static_trip_values);
+    fp += ',';
+    fp += std::to_string(rewrite.max_static_trips);
+    return fp;
   }
 };
 

@@ -1,0 +1,218 @@
+// Columnar batches for the vectorized execution path (docs/VECTORIZATION.md).
+//
+// A Batch is a fixed window of rows in columnar layout: numeric columns are
+// unboxed into flat int64/double vectors with a validity bitmap, everything
+// else stays as boxed Values in a "generic" column. Operators narrow a batch
+// with a selection vector instead of copying survivors, so a filter costs one
+// index append per kept row.
+//
+// Header-only on purpose: the storage and aggregates layers consume batches
+// (Table::ReadBatch feeds them, AggregateFunction::AccumulateBatch folds
+// them) without linking against the exec library.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "types/schema.h"
+
+namespace aggify {
+
+/// Rows per scan batch before page alignment. Matches the default morsel
+/// size (EngineOptions::execution.morsel_rows): the page-aligned morsels of
+/// the parallel path double as the batch unit, so serial and parallel
+/// execution chunk the table identically.
+inline constexpr int64_t kDefaultBatchRows = 2048;
+
+/// \brief Validity bitmap: bit i set = row i holds a (non-NULL) value.
+class NullBitmap {
+ public:
+  void Resize(int64_t n) {
+    size_ = n;
+    words_.assign(static_cast<size_t>((n + 63) / 64), 0);
+  }
+  int64_t size() const { return size_; }
+  void SetValid(int64_t i) {
+    words_[static_cast<size_t>(i >> 6)] |= uint64_t{1} << (i & 63);
+  }
+  bool IsValid(int64_t i) const {
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+  /// Non-NULL count over the whole bitmap.
+  int64_t CountValid() const {
+    int64_t n = 0;
+    for (uint64_t w : words_) {
+      while (w != 0) {  // Kernighan popcount; tail bits are never set
+        w &= w - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  int64_t size_ = 0;
+};
+
+/// \brief One column of a batch. The tag is chosen from the actual values:
+/// all-int (or all-NULL) unboxes to kInt64, all-double to kDouble, anything
+/// mixed or non-numeric stays boxed as kGeneric — which preserves exact
+/// row-at-a-time semantics (e.g. the sum_is_int tracking of mixed numeric
+/// columns) by routing through the per-row fallbacks.
+class ColumnVector {
+ public:
+  enum class Tag : uint8_t { kInt64, kDouble, kGeneric };
+
+  Tag tag() const { return tag_; }
+  int64_t size() const { return size_; }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<Value>& generic() const { return generic_; }
+  const NullBitmap& validity() const { return validity_; }
+
+  bool IsNull(int64_t i) const {
+    return tag_ == Tag::kGeneric ? generic_[static_cast<size_t>(i)].is_null()
+                                 : !validity_.IsValid(i);
+  }
+
+  /// Re-boxes row i (group keys, row-at-a-time fallbacks).
+  Value GetValue(int64_t i) const {
+    switch (tag_) {
+      case Tag::kInt64:
+        return validity_.IsValid(i) ? Value::Int(i64_[static_cast<size_t>(i)])
+                                    : Value::Null();
+      case Tag::kDouble:
+        return validity_.IsValid(i) ? Value::Double(f64_[static_cast<size_t>(i)])
+                                    : Value::Null();
+      case Tag::kGeneric:
+        return generic_[static_cast<size_t>(i)];
+    }
+    return Value::Null();
+  }
+
+  /// Builds a column from an accessor `get(i) -> const Value&` over n rows.
+  template <typename GetFn>
+  static ColumnVector Build(int64_t n, GetFn get) {
+    bool has_int = false, has_double = false, has_other = false;
+    for (int64_t i = 0; i < n; ++i) {
+      const Value& v = get(i);
+      if (v.is_null()) continue;
+      if (v.is_int()) {
+        has_int = true;
+      } else if (v.is_double()) {
+        has_double = true;
+      } else {
+        has_other = true;
+      }
+    }
+    ColumnVector col;
+    col.size_ = n;
+    if (has_other || (has_int && has_double)) {
+      col.tag_ = Tag::kGeneric;
+      col.generic_.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) col.generic_.push_back(get(i));
+      return col;
+    }
+    col.tag_ = has_double ? Tag::kDouble : Tag::kInt64;  // all-NULL -> kInt64
+    col.validity_.Resize(n);
+    if (col.tag_ == Tag::kDouble) {
+      col.f64_.resize(static_cast<size_t>(n), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const Value& v = get(i);
+        if (v.is_null()) continue;
+        col.f64_[static_cast<size_t>(i)] = v.double_value();
+        col.validity_.SetValid(i);
+      }
+    } else {
+      col.i64_.resize(static_cast<size_t>(n), 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const Value& v = get(i);
+        if (v.is_null()) continue;
+        col.i64_[static_cast<size_t>(i)] = v.int_value();
+        col.validity_.SetValid(i);
+      }
+    }
+    return col;
+  }
+
+  /// Column `col` of `n` consecutive rows.
+  static ColumnVector FromRows(const Row* rows, int64_t n, size_t col) {
+    return Build(n, [rows, col](int64_t i) -> const Value& {
+      return rows[static_cast<size_t>(i)][col];
+    });
+  }
+
+  /// A column from a flat value list (tests, adapters).
+  static ColumnVector FromValues(const std::vector<Value>& values) {
+    return Build(static_cast<int64_t>(values.size()),
+                 [&values](int64_t i) -> const Value& {
+                   return values[static_cast<size_t>(i)];
+                 });
+  }
+
+  /// An all-NULL placeholder of `n` rows — what a pruned scan column becomes
+  /// (docs/VECTORIZATION.md). The planner guarantees no expression in the
+  /// pipeline references it, so only the positional accessors (GetValue,
+  /// IsNull) are ever called; no value storage is allocated.
+  static ColumnVector NullColumn(int64_t n) {
+    ColumnVector col;
+    col.tag_ = Tag::kInt64;
+    col.size_ = n;
+    col.validity_.Resize(n);  // all invalid
+    return col;
+  }
+
+ private:
+  Tag tag_ = Tag::kInt64;
+  int64_t size_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<Value> generic_;  // boxed fallback
+  NullBitmap validity_;
+};
+
+/// \brief A window of rows in columnar form, optionally narrowed by a
+/// selection vector (filter survivors, in ascending row order).
+struct Batch {
+  int64_t num_rows = 0;
+  /// Global row id of row 0 when the batch comes straight off a table scan
+  /// (min-row tracking in parallel aggregation); -1 once positions no longer
+  /// map to table rows (e.g. after a row-at-a-time projection rebuild).
+  int64_t base_row_id = -1;
+  std::vector<ColumnVector> columns;
+  /// Meaningful only when has_selection: the selected row indices. An empty
+  /// selection with has_selection set means "no rows survived".
+  std::vector<int32_t> selection;
+  bool has_selection = false;
+
+  int64_t SelectedCount() const {
+    return has_selection ? static_cast<int64_t>(selection.size()) : num_rows;
+  }
+  /// The row index of the k-th selected row.
+  int64_t RowIndex(int64_t k) const {
+    return has_selection ? selection[static_cast<size_t>(k)] : k;
+  }
+  const int32_t* SelectionData() const {
+    return has_selection ? selection.data() : nullptr;
+  }
+
+  void Reset(size_t ncols) {
+    num_rows = 0;
+    base_row_id = -1;
+    columns.clear();
+    columns.reserve(ncols);
+    selection.clear();
+    has_selection = false;
+  }
+
+  /// Re-boxes one row (row-at-a-time fallbacks inside batch operators).
+  void MaterializeRow(int64_t row, Row* out) const {
+    out->clear();
+    out->reserve(columns.size());
+    for (const ColumnVector& c : columns) out->push_back(c.GetValue(row));
+  }
+};
+
+}  // namespace aggify

@@ -1,0 +1,69 @@
+// Batch-pipeline building blocks shared by the vectorized operators
+// (operators_batch.cc) and the parallel batch workers (operators_parallel.cc):
+// predicate compilation to comparison kernels, selection-vector application,
+// and the row-at-a-time fallbacks that keep semantics exact when a batch or
+// expression defeats the kernels.
+#pragma once
+
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/exec_context.h"
+#include "parser/expr.h"
+
+namespace aggify {
+
+/// One compiled conjunct: `column <op> rhs`, rhs a column or a constant
+/// evaluated once per execution.
+struct CompiledConjunct {
+  int lhs_col = -1;
+  BinaryOp op = BinaryOp::kEq;
+  bool rhs_is_col = false;
+  int rhs_col = -1;
+  Value rhs_const;
+};
+
+struct CompiledPredicate {
+  bool ok = false;  ///< whole predicate compiled into conjunct kernels
+  std::vector<CompiledConjunct> conjuncts;
+};
+
+/// Compiles `pred` (bound against `schema`) into comparison kernels: a
+/// conjunction of `colref <cmp> rhs` terms where rhs is another bound colref
+/// or a column-free, engine-safe expression. Constant sides are evaluated
+/// once against `ctx` — sound because nothing inside one SELECT execution can
+/// change variables or correlation frames between rows. Anything else (OR,
+/// IS NULL, arithmetic on columns, subqueries, unbound names) yields
+/// ok=false and callers keep the row-at-a-time path, so errors and
+/// three-valued logic surface exactly as before.
+CompiledPredicate CompileBatchPredicate(const Expr& pred, const Schema& schema,
+                                        ExecContext& ctx);
+
+/// Applies a compiled predicate, narrowing batch->selection (NULL operands
+/// drop the row, SQL WHERE semantics). Returns false — batch untouched —
+/// when a referenced column's runtime tag (kGeneric) or a non-numeric
+/// constant defeats the kernels; the caller must fall back to row-at-a-time
+/// evaluation for this batch.
+bool ApplyCompiledPredicate(const CompiledPredicate& pred, Batch* batch);
+
+/// Row-at-a-time filter fallback: EvalPredicate per selected row, exactly
+/// FilterOp::Next semantics (NULL drops the row, errors propagate).
+Status FilterBatchRowwise(const Expr& pred, const Schema& schema,
+                          ExecContext& ctx, Batch* batch);
+
+/// True if every expression is a bound column reference; fills `cols` with
+/// the referenced input positions.
+bool AllBoundColumnRefs(const std::vector<ExprPtr>& exprs,
+                        std::vector<int>* cols);
+
+/// Bound-colref projection: replaces the batch's columns by the shuffle.
+/// Selection and row ids survive (no data moves).
+void ProjectBatchColumns(const std::vector<int>& cols, Batch* batch);
+
+/// Row-at-a-time projection fallback: evaluates `exprs` per selected row and
+/// rebuilds the batch compacted (selection cleared, base_row_id lost).
+Status ProjectBatchRowwise(const std::vector<ExprPtr>& exprs,
+                           const Schema& in_schema, ExecContext& ctx,
+                           Batch* batch);
+
+}  // namespace aggify

@@ -13,6 +13,8 @@
 
 namespace aggify {
 
+struct Batch;  // exec/batch.h
+
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -24,6 +26,15 @@ class Operator {
 
   /// Produces the next row into `out`. Returns false when exhausted.
   virtual Result<bool> Next(ExecContext& ctx, Row* out) = 0;
+
+  /// Produces the next columnar batch into `out` (vectorized pipeline,
+  /// docs/VECTORIZATION.md). Returns false when exhausted. Must be
+  /// observationally identical to draining Next(): same rows in the same
+  /// order, same IoStats. The base implementation adapts row-at-a-time
+  /// operators by pulling Next() into a generic batch, so batch consumers
+  /// compose over any subtree; scans/filters/projections override it.
+  /// Do not interleave Next and NextBatch on one opened operator.
+  virtual Result<bool> NextBatch(ExecContext& ctx, Batch* out);
 
   virtual Status Close(ExecContext& ctx) = 0;
 

@@ -12,6 +12,7 @@ namespace aggify {
 
 class Table;
 class HashIndex;
+struct CompiledPredicate;  // exec/batch_pipeline.h
 
 /// \brief Full table scan with buffer-pool page accounting.
 class SeqScanOp : public Operator {
@@ -20,13 +21,26 @@ class SeqScanOp : public Operator {
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext& ctx) override;
   Result<bool> Next(ExecContext& ctx, Row* out) override;
+  /// Page-aligned columnar batches straight off Table::ReadBatch; charges
+  /// the same page reads and rows_produced as the row scan.
+  Result<bool> NextBatch(ExecContext& ctx, Batch* out) override;
   Status Close(ExecContext& ctx) override;
   std::string Describe() const override;
   const Table* base_table() const override { return table_; }
 
+  /// Scan-column pruning for the batch pipeline: when non-empty, NextBatch
+  /// unboxes only the flagged columns and emits all-NULL placeholders for
+  /// the rest. The planner sets this only after proving no expression above
+  /// the scan references an unflagged column. The row path (Next) ignores
+  /// it — rows always carry every column.
+  void set_batch_columns(std::vector<bool> needed) {
+    batch_columns_ = std::move(needed);
+  }
+
  private:
   const Table* table_;
   Schema schema_;
+  std::vector<bool> batch_columns_;
   int64_t pos_ = 0;
   int64_t last_page_ = -1;
 };
@@ -87,6 +101,9 @@ class RenameOp : public Operator {
   Result<bool> Next(ExecContext& ctx, Row* out) override {
     return child_->Next(ctx, out);
   }
+  Result<bool> NextBatch(ExecContext& ctx, Batch* out) override {
+    return child_->NextBatch(ctx, out);  // pure pass-through, like Next
+  }
   Status Close(ExecContext& ctx) override { return child_->Close(ctx); }
   std::string Describe() const override {
     return "Rename(" +
@@ -113,6 +130,12 @@ class FilterOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   Status Open(ExecContext& ctx) override;
   Result<bool> Next(ExecContext& ctx, Row* out) override;
+  /// Narrows the child batch's selection vector. The predicate is compiled
+  /// to comparison kernels once per execution when it is a conjunction of
+  /// `colref <cmp> constant/colref` terms over numeric columns; anything
+  /// else evaluates row-at-a-time per selected row — identical semantics
+  /// either way. Batches with no survivors are skipped, not returned.
+  Result<bool> NextBatch(ExecContext& ctx, Batch* out) override;
   Status Close(ExecContext& ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
@@ -124,6 +147,9 @@ class FilterOp : public Operator {
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  // Lazily compiled on the first NextBatch of each execution (constants may
+  // reference variables, so compilation needs a live context).
+  std::shared_ptr<CompiledPredicate> compiled_;
 };
 
 /// \brief Computes the SELECT list.
@@ -133,6 +159,10 @@ class ProjectOp : public Operator {
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext& ctx) override;
   Result<bool> Next(ExecContext& ctx, Row* out) override;
+  /// All-bound-colref projections reduce to a column shuffle (no data
+  /// moves); anything else evaluates row-at-a-time per selected row and
+  /// rebuilds the batch compacted.
+  Result<bool> NextBatch(ExecContext& ctx, Batch* out) override;
   Status Close(ExecContext& ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
@@ -142,9 +172,13 @@ class ProjectOp : public Operator {
   const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  private:
+  enum class BatchMode { kUnknown, kColumnShuffle, kRowwise };
+
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  BatchMode batch_mode_ = BatchMode::kUnknown;
+  std::vector<int> batch_cols_;  // shuffle indices for kColumnShuffle
 };
 
 /// \brief Equi hash join (build side = right). Supports inner and left
@@ -332,6 +366,13 @@ class HashAggregateOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  /// Planner opt-in to the vectorized pipeline: Open drains the child via
+  /// NextBatch and folds with AccumulateBatch instead of row-at-a-time.
+  /// Requires every aggregate argument and group expression to be a bound
+  /// column reference (the planner gates on this; Open re-checks and falls
+  /// back to the row loop otherwise). Results are bit-identical.
+  void set_use_batch(bool on) { use_batch_ = on; }
+  bool use_batch() const { return use_batch_; }
 
  private:
   struct RowHash {
@@ -341,10 +382,18 @@ class HashAggregateOp : public Operator {
     bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
   };
 
+  /// Fills agg_arg_cols_/group_cols_; false if any expression is not a
+  /// bound column reference into the child schema.
+  bool PrepareBatchBindings();
+  Status OpenBatch(ExecContext& ctx);
+
   OperatorPtr child_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggregateSpec> aggs_;
   Schema schema_;
+  bool use_batch_ = false;
+  std::vector<std::vector<int>> agg_arg_cols_;
+  std::vector<int> group_cols_;
 
   using GroupStates = std::vector<std::unique_ptr<AggregateState>>;
   std::unordered_map<Row, GroupStates, RowHash, RowEq> groups_;
@@ -386,6 +435,15 @@ class StreamAggregateOp : public Operator {
 Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
                       const Row& row, const Schema& in_schema,
                       ExecContext& ctx);
+
+/// Batch counterpart: folds the selected rows of `batch` — `arg_cols` maps
+/// the aggregate's (bound colref) arguments to batch columns — through
+/// AccumulateBatch. Fires the same exec.agg.accumulate failpoint as
+/// AccumulateInto (once per call), so fault-injection covers both pipelines.
+Status AccumulateBatchInto(const AggregateSpec& spec,
+                           const std::vector<int>& arg_cols,
+                           AggregateState* state, const Batch& batch,
+                           const int32_t* sel, int64_t count, ExecContext& ctx);
 
 // ---------------------------------------------------------------------------
 // Morsel-driven parallel aggregation (docs/PARALLELISM.md)
@@ -450,6 +508,21 @@ class ParallelPartialAggOp : public Operator {
     return {child_.get()};
   }
   int dop() const { return dop_; }
+  /// Planner opt-in to the vectorized worker loop: each morsel becomes one
+  /// columnar batch (Table::ReadBatch + compiled filter kernels +
+  /// AccumulateBatch) instead of a per-row replay. Open re-checks that
+  /// every aggregate argument / group expression is a bound colref and that
+  /// any projection step is a pure column shuffle; otherwise workers keep
+  /// the row replay. Results and IoStats are bit-identical either way.
+  void set_use_batch(bool on) { use_batch_ = on; }
+  bool use_batch() const { return use_batch_; }
+  /// Scan-column pruning for the batch workers, mirroring
+  /// SeqScanOp::set_batch_columns: when non-empty, morsel batches unbox only
+  /// the flagged base-table columns. Planner-proven safe; the row replay
+  /// ignores it.
+  void set_batch_columns(std::vector<bool> needed) {
+    batch_columns_ = std::move(needed);
+  }
 
  private:
   struct RowHash {
@@ -472,9 +545,16 @@ class ParallelPartialAggOp : public Operator {
     GroupStates states;
     int64_t min_row = 0;
   };
+  struct BatchExec;  // operators_parallel.cc: compiled batch pipeline
 
   Status RunPartition(Partial* partial, int partition, int64_t morsel_rows,
                       const ExecContext& parent_ctx) const;
+  Status RunPartitionBatch(Partial* partial, int partition,
+                           int64_t morsel_rows,
+                           const ExecContext& parent_ctx) const;
+  /// Compiles the batch pipeline into batch_exec_ (coordinator thread only);
+  /// leaves it null when some shape defeats the batch kernels.
+  void PrepareBatchExec(ExecContext& ctx);
 
   OperatorPtr child_;  ///< retained serial pipeline; never Opened
   MorselPipeline pipeline_;
@@ -483,6 +563,10 @@ class ParallelPartialAggOp : public Operator {
   Schema schema_;
   int dop_;
   int64_t morsel_rows_;
+  bool use_batch_ = false;
+  std::vector<bool> batch_columns_;
+  /// Immutable after Open's fan-out; workers read it concurrently.
+  std::shared_ptr<const BatchExec> batch_exec_;
 
   std::vector<ReadyGroup> ready_;  ///< merged groups in emission order
   size_t emit_pos_ = 0;
@@ -500,6 +584,9 @@ class GatherOp : public Operator {
   Status Open(ExecContext& ctx) override { return child_->Open(ctx); }
   Result<bool> Next(ExecContext& ctx, Row* out) override {
     return child_->Next(ctx, out);
+  }
+  Result<bool> NextBatch(ExecContext& ctx, Batch* out) override {
+    return child_->NextBatch(ctx, out);
   }
   Status Close(ExecContext& ctx) override { return child_->Close(ctx); }
   std::string Describe() const override {

@@ -5,6 +5,8 @@
 // calls Accumulate in exactly that order, which is what makes order-sensitive
 // synthesized aggregates correct.
 #include "common/failpoint.h"
+#include "exec/batch.h"
+#include "exec/batch_pipeline.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 
@@ -23,6 +25,20 @@ Status AccumulateInto(const AggregateSpec& spec, AggregateState* state,
     args.push_back(std::move(v));
   }
   return spec.function->Accumulate(state, args, &ctx);
+}
+
+Status AccumulateBatchInto(const AggregateSpec& spec,
+                           const std::vector<int>& arg_cols,
+                           AggregateState* state, const Batch& batch,
+                           const int32_t* sel, int64_t count,
+                           ExecContext& ctx) {
+  AGGIFY_FAILPOINT("exec.agg.accumulate");
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(arg_cols.size());
+  for (int c : arg_cols) {
+    cols.push_back(&batch.columns[static_cast<size_t>(c)]);
+  }
+  return spec.function->AccumulateBatch(state, cols, sel, count, &ctx);
 }
 
 namespace {
@@ -69,10 +85,108 @@ Result<std::vector<std::unique_ptr<AggregateState>>> InitStates(
 
 }  // namespace
 
+bool HashAggregateOp::PrepareBatchBindings() {
+  agg_arg_cols_.clear();
+  group_cols_.clear();
+  const int ncols = static_cast<int>(child_->schema().num_columns());
+  auto in_range = [ncols](const std::vector<int>& cols) {
+    for (int c : cols) {
+      if (c >= ncols) return false;
+    }
+    return true;
+  };
+  if (!AllBoundColumnRefs(group_exprs_, &group_cols_) ||
+      !in_range(group_cols_)) {
+    return false;
+  }
+  for (const auto& spec : aggs_) {
+    std::vector<int> cols;
+    if (!AllBoundColumnRefs(spec.args, &cols) || !in_range(cols)) return false;
+    agg_arg_cols_.push_back(std::move(cols));
+  }
+  return true;
+}
+
+Status HashAggregateOp::OpenBatch(ExecContext& ctx) {
+  RETURN_NOT_OK(child_->Open(ctx));
+  Batch batch;
+  // key -> index into group_keys_; per-group selection vectors, cleared
+  // after each batch (batch-local row indices).
+  std::unordered_map<Row, size_t, RowHash, RowEq> ordinals;
+  std::vector<std::vector<int32_t>> gsel;
+  std::vector<size_t> touched;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &batch));
+    if (!more) break;
+    const int64_t n = batch.SelectedCount();
+    if (n == 0) continue;
+    if (group_exprs_.empty()) {
+      if (group_keys_.empty()) {
+        ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+        groups_.emplace(Row(), std::move(states));
+        group_keys_.emplace_back();
+      }
+      GroupStates& states = groups_.find(group_keys_[0])->second;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateBatchInto(aggs_[i], agg_arg_cols_[i],
+                                          states[i].get(), batch,
+                                          batch.SelectionData(), n, ctx));
+      }
+      continue;
+    }
+    // Grouped: bucket batch-local row indices per group (first-seen group
+    // order, rows ascending within each group — exactly the per-state
+    // accumulate order of the row loop), then fold each touched group.
+    touched.clear();
+    Row key;
+    for (int64_t k = 0; k < n; ++k) {
+      const int64_t i = batch.RowIndex(k);
+      key.clear();
+      key.reserve(group_cols_.size());
+      for (int c : group_cols_) {
+        key.push_back(batch.columns[static_cast<size_t>(c)].GetValue(i));
+      }
+      size_t ord;
+      auto it = ordinals.find(key);
+      if (it == ordinals.end()) {
+        ord = group_keys_.size();
+        ordinals.emplace(key, ord);
+        ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+        groups_.emplace(key, std::move(states));
+        group_keys_.push_back(key);
+        gsel.emplace_back();
+      } else {
+        ord = it->second;
+      }
+      if (gsel[ord].empty()) touched.push_back(ord);
+      gsel[ord].push_back(static_cast<int32_t>(i));
+    }
+    for (size_t ord : touched) {
+      GroupStates& states = groups_.find(group_keys_[ord])->second;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateBatchInto(
+            aggs_[i], agg_arg_cols_[i], states[i].get(), batch,
+            gsel[ord].data(), static_cast<int64_t>(gsel[ord].size()), ctx));
+      }
+      gsel[ord].clear();
+    }
+  }
+  RETURN_NOT_OK(child_->Close(ctx));
+  // Scalar aggregate over empty input still emits one row.
+  if (group_exprs_.empty() && groups_.empty()) {
+    ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
+    Row key;  // empty
+    groups_.emplace(key, std::move(states));
+    group_keys_.push_back(key);
+  }
+  return Status::OK();
+}
+
 Status HashAggregateOp::Open(ExecContext& ctx) {
   groups_.clear();
   group_keys_.clear();
   emit_pos_ = 0;
+  if (use_batch_ && PrepareBatchBindings()) return OpenBatch(ctx);
   RETURN_NOT_OK(child_->Open(ctx));
   Row row;
   for (;;) {
@@ -137,7 +251,9 @@ std::string HashAggregateOp::Describe() const {
     if (i > 0) out += ", ";
     out += aggs_[i].function->name();
   }
-  return out + ")";
+  out += ")";
+  if (use_batch_) out += " [batch]";
+  return out;
 }
 
 // ---- StreamAggregateOp ----

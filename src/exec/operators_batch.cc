@@ -1,0 +1,340 @@
+// Vectorized operator paths: the row->batch adapter on Operator, the batch
+// filter/projection overrides, and the shared batch-pipeline helpers
+// (batch_pipeline.h). See docs/VECTORIZATION.md for the execution model and
+// the equivalence obligations.
+#include <utility>
+
+#include "exec/batch_pipeline.h"
+#include "exec/eval.h"
+#include "exec/operators.h"
+
+namespace aggify {
+
+// ---- Default adapter: any operator produces batches by pulling Next() ----
+
+Result<bool> Operator::NextBatch(ExecContext& ctx, Batch* out) {
+  std::vector<Row> rows;
+  Row row;
+  for (int64_t i = 0; i < kDefaultBatchRows; ++i) {
+    ASSIGN_OR_RETURN(bool more, Next(ctx, &row));
+    if (!more) break;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return false;
+  const size_t ncols = schema().num_columns();
+  out->Reset(ncols);
+  out->num_rows = static_cast<int64_t>(rows.size());
+  for (size_t c = 0; c < ncols; ++c) {
+    out->columns.push_back(
+        ColumnVector::FromRows(rows.data(), out->num_rows, c));
+  }
+  return true;
+}
+
+// ---- Batch-pipeline helpers -----------------------------------------------
+
+namespace {
+
+// Conjunction split; false for anything but a pure AND tree of leaves.
+void SplitConjunctsInto(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op == BinaryOp::kAnd) {
+      SplitConjunctsInto(*b.left, out);
+      SplitConjunctsInto(*b.right, out);
+      return;
+    }
+  }
+  out->push_back(&e);
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+const ColumnRefExpr* AsBoundColRef(const Expr& e, const Schema& schema) {
+  if (e.kind != ExprKind::kColumnRef) return nullptr;
+  const auto& c = static_cast<const ColumnRefExpr&>(e);
+  if (c.bound_index < 0 ||
+      c.bound_index >= static_cast<int>(schema.num_columns())) {
+    return nullptr;
+  }
+  return &c;
+}
+
+// A constant side: no column references anywhere (so its value cannot vary
+// per row) and engine-safe (no subqueries/UDFs — those are re-executed per
+// row by the interpreter, which is observable in IoStats).
+bool IsRowInvariant(const Expr& e) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  return refs.empty() && ExprIsParallelSafe(e);
+}
+
+// One row's numeric value out of a typed column; false when NULL.
+inline bool TypedAt(const ColumnVector& col, int64_t i, bool* is_int,
+                    int64_t* iv, double* dv) {
+  if (!col.validity().IsValid(i)) return false;
+  if (col.tag() == ColumnVector::Tag::kInt64) {
+    *is_int = true;
+    *iv = col.i64()[static_cast<size_t>(i)];
+  } else {
+    *is_int = false;
+    *dv = col.f64()[static_cast<size_t>(i)];
+  }
+  return true;
+}
+
+// Mirrors Compare() for numeric pairs: both-int compares exactly, mixed
+// compares as double (ints widen like Value::AsDouble).
+inline int NumericCompare(bool a_int, int64_t ai, double ad, bool b_int,
+                          int64_t bi, double bd) {
+  if (a_int && b_int) return ai < bi ? -1 : (ai > bi ? 1 : 0);
+  const double a = a_int ? static_cast<double>(ai) : ad;
+  const double b = b_int ? static_cast<double>(bi) : bd;
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+inline bool CompareKeeps(int cmp, BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return cmp == 0;
+    case BinaryOp::kNe: return cmp != 0;
+    case BinaryOp::kLt: return cmp < 0;
+    case BinaryOp::kLe: return cmp <= 0;
+    case BinaryOp::kGt: return cmp > 0;
+    case BinaryOp::kGe: return cmp >= 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+CompiledPredicate CompileBatchPredicate(const Expr& pred, const Schema& schema,
+                                        ExecContext& ctx) {
+  CompiledPredicate out;
+  std::vector<const Expr*> leaves;
+  SplitConjunctsInto(pred, &leaves);
+  for (const Expr* leaf : leaves) {
+    if (leaf->kind != ExprKind::kBinary) return out;  // ok stays false
+    const auto& b = static_cast<const BinaryExpr&>(*leaf);
+    if (!IsComparison(b.op)) return out;
+    const ColumnRefExpr* lhs = AsBoundColRef(*b.left, schema);
+    const ColumnRefExpr* rhs = AsBoundColRef(*b.right, schema);
+    CompiledConjunct cj;
+    if (lhs != nullptr && rhs != nullptr) {
+      cj.lhs_col = lhs->bound_index;
+      cj.op = b.op;
+      cj.rhs_is_col = true;
+      cj.rhs_col = rhs->bound_index;
+    } else if (lhs != nullptr && IsRowInvariant(*b.right)) {
+      auto v = EvalExpr(*b.right, ctx);
+      if (!v.ok()) return out;  // the row path surfaces the error
+      cj.lhs_col = lhs->bound_index;
+      cj.op = b.op;
+      cj.rhs_const = std::move(*v);
+    } else if (rhs != nullptr && IsRowInvariant(*b.left)) {
+      auto v = EvalExpr(*b.left, ctx);
+      if (!v.ok()) return out;
+      cj.lhs_col = rhs->bound_index;
+      cj.op = MirrorComparison(b.op);  // const <cmp> col, flipped
+      cj.rhs_const = std::move(*v);
+    } else {
+      return out;
+    }
+    out.conjuncts.push_back(std::move(cj));
+  }
+  out.ok = true;
+  return out;
+}
+
+bool ApplyCompiledPredicate(const CompiledPredicate& pred, Batch* batch) {
+  if (!pred.ok) return false;
+  // Kernel applicability check first, so a defeated batch is left untouched
+  // for the row-at-a-time fallback.
+  for (const CompiledConjunct& cj : pred.conjuncts) {
+    if (batch->columns[static_cast<size_t>(cj.lhs_col)].tag() ==
+        ColumnVector::Tag::kGeneric) {
+      return false;
+    }
+    if (cj.rhs_is_col) {
+      if (batch->columns[static_cast<size_t>(cj.rhs_col)].tag() ==
+          ColumnVector::Tag::kGeneric) {
+        return false;
+      }
+    } else if (!cj.rhs_const.is_null() && !cj.rhs_const.is_numeric()) {
+      // Comparing a numeric column to a non-numeric constant is a type
+      // error in the row path; fall back so it surfaces identically.
+      return false;
+    }
+  }
+  std::vector<int32_t> kept;
+  const int64_t count = batch->SelectedCount();
+  kept.reserve(static_cast<size_t>(count));
+  for (const CompiledConjunct& cj : pred.conjuncts) {
+    kept.clear();
+    if (!cj.rhs_is_col && cj.rhs_const.is_null()) {
+      // NULL comparand: the comparison is NULL for every row, and WHERE
+      // drops NULL — the conjunction keeps nothing.
+      batch->selection.clear();
+      batch->has_selection = true;
+      return true;
+    }
+    const ColumnVector& lhs = batch->columns[static_cast<size_t>(cj.lhs_col)];
+    const bool rc_int = !cj.rhs_is_col && cj.rhs_const.is_int();
+    const int64_t rc_i = rc_int ? cj.rhs_const.int_value() : 0;
+    const double rc_d =
+        !cj.rhs_is_col && cj.rhs_const.is_double() ? cj.rhs_const.double_value()
+                                                   : 0.0;
+    const ColumnVector* rhs_col =
+        cj.rhs_is_col ? &batch->columns[static_cast<size_t>(cj.rhs_col)]
+                      : nullptr;
+    const int64_t n = batch->SelectedCount();
+    for (int64_t k = 0; k < n; ++k) {
+      const int64_t i = batch->RowIndex(k);
+      bool li = false;
+      int64_t liv = 0;
+      double ldv = 0.0;
+      if (!TypedAt(lhs, i, &li, &liv, &ldv)) continue;  // NULL drops
+      bool ri = rc_int;
+      int64_t riv = rc_i;
+      double rdv = rc_d;
+      if (rhs_col != nullptr && !TypedAt(*rhs_col, i, &ri, &riv, &rdv)) {
+        continue;
+      }
+      if (CompareKeeps(NumericCompare(li, liv, ldv, ri, riv, rdv), cj.op)) {
+        kept.push_back(static_cast<int32_t>(i));
+      }
+    }
+    batch->selection = kept;
+    batch->has_selection = true;
+    if (batch->selection.empty()) return true;
+  }
+  return true;
+}
+
+Status FilterBatchRowwise(const Expr& pred, const Schema& schema,
+                          ExecContext& ctx, Batch* batch) {
+  std::vector<int32_t> kept;
+  const int64_t n = batch->SelectedCount();
+  kept.reserve(static_cast<size_t>(n));
+  Row row;
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t i = batch->RowIndex(k);
+    batch->MaterializeRow(i, &row);
+    RowFrame frame{&row, &schema, ctx.frame()};
+    ExecContext::FrameScope scope(&ctx, &frame);
+    ASSIGN_OR_RETURN(bool keep, EvalPredicate(pred, ctx));
+    if (keep) kept.push_back(static_cast<int32_t>(i));
+  }
+  batch->selection = std::move(kept);
+  batch->has_selection = true;
+  return Status::OK();
+}
+
+bool AllBoundColumnRefs(const std::vector<ExprPtr>& exprs,
+                        std::vector<int>* cols) {
+  cols->clear();
+  cols->reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    if (e == nullptr || e->kind != ExprKind::kColumnRef) return false;
+    const auto& c = static_cast<const ColumnRefExpr&>(*e);
+    if (c.bound_index < 0) return false;
+    cols->push_back(c.bound_index);
+  }
+  return true;
+}
+
+void ProjectBatchColumns(const std::vector<int>& cols, Batch* batch) {
+  std::vector<ColumnVector> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(batch->columns[static_cast<size_t>(c)]);
+  batch->columns = std::move(out);
+}
+
+Status ProjectBatchRowwise(const std::vector<ExprPtr>& exprs,
+                           const Schema& in_schema, ExecContext& ctx,
+                           Batch* batch) {
+  const int64_t n = batch->SelectedCount();
+  std::vector<Row> out_rows;
+  out_rows.reserve(static_cast<size_t>(n));
+  Row row;
+  for (int64_t k = 0; k < n; ++k) {
+    batch->MaterializeRow(batch->RowIndex(k), &row);
+    RowFrame frame{&row, &in_schema, ctx.frame()};
+    ExecContext::FrameScope scope(&ctx, &frame);
+    Row projected;
+    projected.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+      projected.push_back(std::move(v));
+    }
+    out_rows.push_back(std::move(projected));
+  }
+  batch->Reset(exprs.size());
+  batch->num_rows = static_cast<int64_t>(out_rows.size());
+  for (size_t c = 0; c < exprs.size(); ++c) {
+    batch->columns.push_back(
+        ColumnVector::FromRows(out_rows.data(), batch->num_rows, c));
+  }
+  return Status::OK();
+}
+
+// ---- FilterOp / ProjectOp batch overrides ---------------------------------
+
+Result<bool> FilterOp::NextBatch(ExecContext& ctx, Batch* out) {
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, out));
+    if (!more) return false;
+    if (out->SelectedCount() == 0) continue;
+    if (compiled_ == nullptr) {
+      compiled_ = std::make_shared<CompiledPredicate>(
+          CompileBatchPredicate(*predicate_, child_->schema(), ctx));
+    }
+    if (!ApplyCompiledPredicate(*compiled_, out)) {
+      RETURN_NOT_OK(FilterBatchRowwise(*predicate_, child_->schema(), ctx,
+                                       out));
+    }
+    if (out->SelectedCount() > 0) return true;
+  }
+}
+
+Result<bool> ProjectOp::NextBatch(ExecContext& ctx, Batch* out) {
+  for (;;) {
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, out));
+    if (!more) return false;
+    if (out->SelectedCount() == 0) continue;
+    if (batch_mode_ == BatchMode::kUnknown) {
+      batch_mode_ = AllBoundColumnRefs(exprs_, &batch_cols_)
+                        ? BatchMode::kColumnShuffle
+                        : BatchMode::kRowwise;
+    }
+    if (batch_mode_ == BatchMode::kColumnShuffle) {
+      ProjectBatchColumns(batch_cols_, out);
+    } else {
+      RETURN_NOT_OK(ProjectBatchRowwise(exprs_, child_->schema(), ctx, out));
+    }
+    return true;
+  }
+}
+
+}  // namespace aggify

@@ -11,7 +11,11 @@ namespace aggify {
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
     : Operator(), child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open(ExecContext& ctx) { return child_->Open(ctx); }
+Status FilterOp::Open(ExecContext& ctx) {
+  // Recompile per execution: compiled constants may reference variables.
+  compiled_.reset();
+  return child_->Open(ctx);
+}
 
 Result<bool> FilterOp::Next(ExecContext& ctx, Row* out) {
   Row row;

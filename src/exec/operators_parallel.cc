@@ -16,6 +16,7 @@
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "exec/batch_pipeline.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 #include "storage/table.h"
@@ -91,6 +92,165 @@ Result<std::vector<std::unique_ptr<AggregateState>>> InitStates(
 }
 
 }  // namespace
+
+/// The compiled batch pipeline, built once on the coordinator before
+/// fan-out and shared read-only by all workers.
+struct ParallelPartialAggOp::BatchExec {
+  struct Step {
+    const Expr* filter = nullptr;          ///< non-null for filter steps
+    const Schema* in_schema = nullptr;
+    CompiledPredicate compiled;            ///< !ok -> row-wise per batch
+    std::vector<int> shuffle;              ///< project steps (colref-only)
+  };
+  std::vector<Step> steps;
+  std::vector<std::vector<int>> agg_arg_cols;
+  std::vector<int> group_cols;
+};
+
+void ParallelPartialAggOp::PrepareBatchExec(ExecContext& ctx) {
+  batch_exec_.reset();
+  if (!use_batch_ || pipeline_.table == nullptr) return;
+  auto exec = std::make_shared<BatchExec>();
+  auto bind_all = [](const std::vector<ExprPtr>& exprs, size_t ncols,
+                     std::vector<int>* cols) {
+    if (!AllBoundColumnRefs(exprs, cols)) return false;
+    for (int c : *cols) {
+      if (c >= static_cast<int>(ncols)) return false;
+    }
+    return true;
+  };
+  const size_t agg_ncols = child_->schema().num_columns();
+  if (!bind_all(group_exprs_, agg_ncols, &exec->group_cols)) return;
+  for (const auto& spec : aggs_) {
+    std::vector<int> cols;
+    if (!bind_all(spec.args, agg_ncols, &cols)) return;
+    exec->agg_arg_cols.push_back(std::move(cols));
+  }
+  for (const auto& step : pipeline_.steps) {
+    BatchExec::Step s;
+    s.in_schema = step.in_schema;
+    if (step.filter != nullptr) {
+      s.filter = step.filter;
+      s.compiled = CompileBatchPredicate(*step.filter, *step.in_schema, ctx);
+    } else if (!bind_all(*step.project, step.in_schema->num_columns(),
+                         &s.shuffle)) {
+      // A computing projection would rebuild batches and lose the row ids
+      // min-row emission ordering needs; keep the row replay instead.
+      return;
+    }
+    exec->steps.push_back(std::move(s));
+  }
+  batch_exec_ = std::move(exec);
+}
+
+Status ParallelPartialAggOp::RunPartitionBatch(
+    Partial* partial, int partition, int64_t morsel_rows,
+    const ExecContext& parent_ctx) const {
+  ExecContext ctx = parent_ctx;
+  ctx.set_stats_override(&partial->stats);
+  const BatchExec& exec = *batch_exec_;
+  const Table& table = *pipeline_.table;
+  const int64_t num_rows = table.num_rows();
+  const size_t scan_ncols = pipeline_.scan_schema->num_columns();
+  int64_t last_page = -1;
+  Batch batch;
+  // Group ordinals local to this partition; PartialEntry pointers are
+  // stable (node-based map), gsel holds batch-local row indices.
+  std::unordered_map<Row, size_t, RowHash, RowEq> ordinals;
+  std::vector<PartialEntry*> entries;
+  std::vector<std::vector<int32_t>> gsel;
+  std::vector<size_t> touched;
+  for (int64_t morsel = partition; morsel * morsel_rows < num_rows;
+       morsel += dop_) {
+    const int64_t begin = morsel * morsel_rows;
+    const int64_t n = std::min(morsel_rows, num_rows - begin);
+    AGGIFY_FAILPOINT("exec.scan.next");
+    const Row* rows = table.ReadBatch(begin, n, &last_page, &ctx.stats());
+    ctx.stats().rows_produced += n;
+    batch.Reset(scan_ncols);
+    batch.num_rows = n;
+    batch.base_row_id = begin;
+    for (size_t c = 0; c < scan_ncols; ++c) {
+      // Pruned columns (set_batch_columns) skip the unboxing copy; the
+      // planner proved nothing in the pipeline reads them.
+      if (!batch_columns_.empty() && !batch_columns_[c]) {
+        batch.columns.push_back(ColumnVector::NullColumn(n));
+      } else {
+        batch.columns.push_back(ColumnVector::FromRows(rows, n, c));
+      }
+    }
+    bool dead = false;
+    for (const auto& s : exec.steps) {
+      if (s.filter != nullptr) {
+        if (!ApplyCompiledPredicate(s.compiled, &batch)) {
+          RETURN_NOT_OK(FilterBatchRowwise(*s.filter, *s.in_schema, ctx,
+                                           &batch));
+        }
+        if (batch.SelectedCount() == 0) {
+          dead = true;
+          break;
+        }
+      } else {
+        ProjectBatchColumns(s.shuffle, &batch);
+      }
+    }
+    if (dead) continue;
+    const int64_t sn = batch.SelectedCount();
+    if (sn == 0) continue;
+    if (group_exprs_.empty()) {
+      Row key;  // the single scalar group
+      auto it = partial->groups.find(key);
+      if (it == partial->groups.end()) {
+        PartialEntry entry;
+        ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
+        entry.min_row = begin + batch.RowIndex(0);
+        it = partial->groups.emplace(std::move(key), std::move(entry)).first;
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateBatchInto(
+            aggs_[i], exec.agg_arg_cols[i], it->second.states[i].get(), batch,
+            batch.SelectionData(), sn, ctx));
+      }
+      continue;
+    }
+    touched.clear();
+    Row key;
+    for (int64_t k = 0; k < sn; ++k) {
+      const int64_t i = batch.RowIndex(k);
+      key.clear();
+      key.reserve(exec.group_cols.size());
+      for (int c : exec.group_cols) {
+        key.push_back(batch.columns[static_cast<size_t>(c)].GetValue(i));
+      }
+      size_t ord;
+      auto it = ordinals.find(key);
+      if (it == ordinals.end()) {
+        ord = entries.size();
+        ordinals.emplace(key, ord);
+        PartialEntry entry;
+        ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
+        entry.min_row = begin + i;  // first touch, rows ascending
+        auto inserted = partial->groups.emplace(key, std::move(entry)).first;
+        entries.push_back(&inserted->second);
+        gsel.emplace_back();
+      } else {
+        ord = it->second;
+      }
+      if (gsel[ord].empty()) touched.push_back(ord);
+      gsel[ord].push_back(static_cast<int32_t>(i));
+    }
+    for (size_t ord : touched) {
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        RETURN_NOT_OK(AccumulateBatchInto(
+            aggs_[i], exec.agg_arg_cols[i], entries[ord]->states[i].get(),
+            batch, gsel[ord].data(), static_cast<int64_t>(gsel[ord].size()),
+            ctx));
+      }
+      gsel[ord].clear();
+    }
+  }
+  return Status::OK();
+}
 
 ParallelPartialAggOp::ParallelPartialAggOp(OperatorPtr serial_child,
                                            std::vector<ExprPtr> group_exprs,
@@ -192,14 +352,19 @@ Status ParallelPartialAggOp::Open(ExecContext& ctx) {
   const int64_t rpp = std::max<int64_t>(pipeline_.table->rows_per_page(), 1);
   const int64_t morsel_rows = ((morsel_rows_ + rpp - 1) / rpp) * rpp;
 
+  // Compile the batch pipeline (coordinator only; workers read it shared).
+  PrepareBatchExec(ctx);
+  const bool batch = batch_exec_ != nullptr;
+
   std::vector<Partial> partials(static_cast<size_t>(dop_));
   std::vector<std::future<Status>> futures;
   futures.reserve(static_cast<size_t>(dop_));
   for (int p = 0; p < dop_; ++p) {
     Partial* partial = &partials[static_cast<size_t>(p)];
     futures.push_back(ThreadPool::Global().Submit(
-        [this, partial, p, morsel_rows, &ctx]() -> Status {
-          return RunPartition(partial, p, morsel_rows, ctx);
+        [this, partial, p, morsel_rows, batch, &ctx]() -> Status {
+          return batch ? RunPartitionBatch(partial, p, morsel_rows, ctx)
+                       : RunPartition(partial, p, morsel_rows, ctx);
         }));
   }
   // Join every worker before touching the partials (or returning an error —
@@ -279,7 +444,9 @@ std::string ParallelPartialAggOp::Describe() const {
     if (i > 0) out += ", ";
     out += aggs_[i].function->name();
   }
-  return out + ")";
+  out += ")";
+  if (use_batch_) out += " [batch]";
+  return out;
 }
 
 }  // namespace aggify

@@ -1,5 +1,8 @@
 // Scan operators: SeqScan, IndexSeek, RowsScan.
+#include <algorithm>
+
 #include "common/failpoint.h"
+#include "exec/batch.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
 #include "storage/table.h"
@@ -41,6 +44,34 @@ Result<bool> SeqScanOp::Next(ExecContext& ctx, Row* out) {
   if (pos_ >= table_->num_rows()) return false;
   *out = table_->ReadRow(pos_++, &last_page_, &ctx.stats());
   ++ctx.stats().rows_produced;
+  return true;
+}
+
+Result<bool> SeqScanOp::NextBatch(ExecContext& ctx, Batch* out) {
+  AGGIFY_FAILPOINT("exec.scan.next");
+  if (pos_ >= table_->num_rows()) return false;
+  // Page-aligned window, like the parallel path's morsels: batch boundaries
+  // never straddle a page, so ReadBatch charges exactly the pages a row
+  // loop over the same range would.
+  const int64_t rpp = std::max<int64_t>(1, table_->rows_per_page());
+  const int64_t aligned = ((kDefaultBatchRows + rpp - 1) / rpp) * rpp;
+  const int64_t n = std::min(aligned, table_->num_rows() - pos_);
+  const Row* rows = table_->ReadBatch(pos_, n, &last_page_, &ctx.stats());
+  const size_t ncols = schema_.num_columns();
+  out->Reset(ncols);
+  out->num_rows = n;
+  out->base_row_id = pos_;
+  for (size_t c = 0; c < ncols; ++c) {
+    // Pruned columns (set_batch_columns) skip the unboxing copy entirely —
+    // nothing above the scan reads them, by planner proof.
+    if (!batch_columns_.empty() && !batch_columns_[c]) {
+      out->columns.push_back(ColumnVector::NullColumn(n));
+    } else {
+      out->columns.push_back(ColumnVector::FromRows(rows, n, c));
+    }
+  }
+  pos_ += n;
+  ctx.stats().rows_produced += n;
   return true;
 }
 

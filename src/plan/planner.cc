@@ -778,6 +778,90 @@ Result<OperatorPtr> Planner::PlanAggregation(OperatorPtr input,
       rename->mutable_child() = inner->TakeChild();
     }
   }
+  // Vectorized pipeline opt-in (docs/VECTORIZATION.md): batches are
+  // produced by base-table scans, so the input must be a morselizable
+  // pipeline, and the fold kernels need every aggregate argument and group
+  // expression to be a bound column reference. Anything else keeps the
+  // row-at-a-time path; results are bit-identical either way.
+  const bool use_batch = [&]() {
+    if (!options_.execution.enable_batch) return false;
+    auto all_colrefs = [](const std::vector<ExprPtr>& exprs) {
+      for (const auto& e : exprs) {
+        if (e == nullptr || e->kind != ExprKind::kColumnRef ||
+            static_cast<const ColumnRefExpr&>(*e).bound_index < 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!all_colrefs(group_exprs)) return false;
+    for (const auto& spec : specs) {
+      if (!all_colrefs(spec.args)) return false;
+    }
+    MorselPipeline pipeline;
+    return ExtractMorselPipeline(*input, &pipeline);
+  }();
+  // Scan-column pruning for the batch pipeline (docs/VECTORIZATION.md):
+  // walk the morsel pipeline top-down collecting the bound column indices
+  // each level actually reads — aggregate arguments and group keys at the
+  // top, then through projections (a pure shuffle pins only consumed
+  // outputs; a row-wise projection evaluates everything) and filters down
+  // to the scan. Unreferenced base-table columns then skip the per-batch
+  // unboxing copy, which is where wide tables spend their scan time.
+  std::vector<bool> batch_scan_columns;
+  if (use_batch) {
+    MorselPipeline pipeline;
+    ExtractMorselPipeline(*input, &pipeline);  // proven extractable above
+    auto mark = [](const Expr& e, std::vector<bool>* needed) {
+      e.Walk([needed](const Expr& node) {
+        if (node.kind == ExprKind::kColumnRef) {
+          const int idx = static_cast<const ColumnRefExpr&>(node).bound_index;
+          if (idx >= 0 && idx < static_cast<int>(needed->size())) {
+            (*needed)[static_cast<size_t>(idx)] = true;
+          }
+        }
+      });
+    };
+    const Schema* top_schema = pipeline.steps.empty()
+                                   ? pipeline.scan_schema
+                                   : pipeline.steps.back().out_schema;
+    std::vector<bool> needed(top_schema->num_columns(), false);
+    for (const auto& g : group_exprs) mark(*g, &needed);
+    for (const auto& spec : specs) {
+      for (const auto& a : spec.args) mark(*a, &needed);
+    }
+    for (auto it = pipeline.steps.rbegin(); it != pipeline.steps.rend();
+         ++it) {
+      if (it->project != nullptr) {
+        bool shuffle = true;
+        for (const auto& e : *it->project) {
+          if (e->kind != ExprKind::kColumnRef ||
+              static_cast<const ColumnRefExpr&>(*e).bound_index < 0) {
+            shuffle = false;
+          }
+        }
+        std::vector<bool> in_needed(it->in_schema->num_columns(), false);
+        for (size_t o = 0; o < it->project->size(); ++o) {
+          if (shuffle && (o >= needed.size() || !needed[o])) continue;
+          mark(*(*it->project)[o], &in_needed);
+        }
+        needed = std::move(in_needed);
+      } else {
+        mark(*it->filter, &needed);  // filters pass their schema through
+      }
+    }
+    batch_scan_columns = std::move(needed);
+    // Hand the mask to the scan feeding the serial batch pipeline. The
+    // planner owns the tree; children() is const-qualified for consumers.
+    for (Operator* cur = input.get(); cur != nullptr;) {
+      if (auto* scan = dynamic_cast<SeqScanOp*>(cur)) {
+        scan->set_batch_columns(batch_scan_columns);
+        break;
+      }
+      auto kids = cur->children();
+      cur = kids.size() == 1 ? const_cast<Operator*>(kids[0]) : nullptr;
+    }
+  }
   // Parallel fragment selection: split the aggregation into
   // Gather(dop) → ParallelPartialAgg when it is provably safe —
   //  * every aggregate has a proven Merge (§3.1) AND never re-enters the
@@ -806,13 +890,17 @@ Result<OperatorPtr> Planner::PlanAggregation(OperatorPtr input,
       auto partial = std::make_unique<ParallelPartialAggOp>(
           std::move(input), std::move(group_exprs), std::move(specs),
           std::move(out_schema), dop, options_.execution.morsel_rows);
+      partial->set_use_batch(use_batch);
+      partial->set_batch_columns(batch_scan_columns);
       return OperatorPtr(
           std::make_unique<GatherOp>(std::move(partial), dop));
     }
   }
-  return OperatorPtr(std::make_unique<HashAggregateOp>(
+  auto agg = std::make_unique<HashAggregateOp>(
       std::move(input), std::move(group_exprs), std::move(specs),
-      std::move(out_schema)));
+      std::move(out_schema));
+  agg->set_use_batch(use_batch);
+  return OperatorPtr(std::move(agg));
 }
 
 }  // namespace aggify

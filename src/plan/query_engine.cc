@@ -46,6 +46,42 @@ void PlanCache::Insert(const std::string& key, OperatorPtr plan,
   entries_[key] = std::move(entry);
 }
 
+namespace {
+
+bool TableRefHasNestedWith(const TableRef& ref);
+
+/// Structural nested-WITH detection: true if the statement (or any derived
+/// table / UNION ALL branch reachable from it) carries its own CTE list.
+/// Such plans materialize CTE data at plan time and must not be cached.
+/// This replaces a substring scan of the statement text, which
+/// false-positived on string literals containing "WITH ".
+bool HasNestedWith(const SelectStmt& stmt) {
+  for (const auto& ref : stmt.from) {
+    if (ref != nullptr && TableRefHasNestedWith(*ref)) return true;
+  }
+  if (stmt.union_all != nullptr) {
+    if (!stmt.union_all->ctes.empty() || HasNestedWith(*stmt.union_all)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TableRefHasNestedWith(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRef::Kind::kBaseTable:
+      return false;
+    case TableRef::Kind::kSubquery:
+      return !ref.subquery->ctes.empty() || HasNestedWith(*ref.subquery);
+    case TableRef::Kind::kJoin:
+      return (ref.left != nullptr && TableRefHasNestedWith(*ref.left)) ||
+             (ref.right != nullptr && TableRefHasNestedWith(*ref.right));
+  }
+  return false;
+}
+
+}  // namespace
+
 ExecContext QueryEngine::MakeContext() const {
   ExecContext ctx(db_);
   ctx.set_subquery_executor(
@@ -135,27 +171,24 @@ Result<QueryResult> QueryEngine::Execute(
     ~DepthGuard() { --c->depth; }
   } guard{&ctx};
 
-  // Plan-cache fast path: statements without CTEs (and outside any CTE
-  // binding scope) reuse their physical plan across executions, like a real
-  // engine's prepared/cached plans. Variables and correlation frames are
-  // runtime inputs, so parameterized re-execution is safe.
-  // Per-query overrides bypass the cache entirely: cached plans are keyed on
-  // statement text, and a plan shaped by (say) dop=4 must not serve the
-  // engine-default configuration or vice versa.
-  bool cacheable = override_options == nullptr && stmt.ctes.empty() &&
-                   !ctx.HasCteBindings();
+  // Plan-cache fast path: statements without CTEs anywhere (top level,
+  // derived tables, UNION ALL branches) and outside any CTE binding scope
+  // reuse their physical plan across executions, like a real engine's
+  // prepared/cached plans. Variables and correlation frames are runtime
+  // inputs, so parameterized re-execution is safe. The key carries the
+  // effective options' fingerprint, so per-query overrides cache too —
+  // a plan shaped by (say) dop=4 never serves the engine-default
+  // configuration or vice versa.
+  const bool cacheable =
+      stmt.ctes.empty() && !ctx.HasCteBindings() && !HasNestedWith(stmt);
   std::string cache_key;
   if (cacheable) {
-    cache_key = stmt.ToString();
-    // Nested WITH (a derived table with its own CTEs) materializes at plan
-    // time; such plans capture data and must not be reused.
-    if (cache_key.find("WITH ") != std::string::npos) cacheable = false;
-  }
-  if (cacheable) {
-    if (PlanCache::Entry* entry = cache_.Acquire(cache_key, ctx.catalog())) {
-      auto result = RunPlanWithRetry(entry->plan.get(), ctx);
-      cache_.Release(entry);
-      return result;
+    cache_key = options.PlanFingerprint();
+    cache_key += '\n';
+    cache_key += stmt.ToString();
+    if (PlanCache::Lease lease = cache_.AcquireLease(cache_key,
+                                                     ctx.catalog())) {
+      return RunPlanWithRetry(lease.plan(), ctx, options);
     }
   }
 
@@ -177,7 +210,7 @@ Result<QueryResult> QueryEngine::Execute(
     return plan.status();
   }
 
-  auto result = RunPlanWithRetry(plan->get(), ctx);
+  auto result = RunPlanWithRetry(plan->get(), ctx, options);
   cleanup();
   if (result.ok() && cacheable) {
     cache_.Insert(cache_key, std::move(*plan), ctx.catalog());
@@ -208,11 +241,11 @@ Result<QueryResult> QueryEngine::RunPlan(Operator* root,
   return result;
 }
 
-Result<QueryResult> QueryEngine::RunPlanWithRetry(Operator* root,
-                                                  ExecContext& ctx) const {
+Result<QueryResult> QueryEngine::RunPlanWithRetry(
+    Operator* root, ExecContext& ctx, const EngineOptions& options) const {
   auto result = RunPlan(root, ctx);
   for (int attempt = 0;
-       attempt < options_.retry.transient_retries && !result.ok() &&
+       attempt < options.retry.transient_retries && !result.ok() &&
        result.status().IsRetryable();
        ++attempt) {
     ++ctx.robustness().transient_retries;

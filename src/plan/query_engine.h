@@ -14,10 +14,11 @@ namespace aggify {
 
 /// \brief Session-scoped physical plan cache (SQL Server keeps one too; the
 /// paper's workloads re-execute the same parameterized statements thousands
-/// of times). Keyed by statement text; entries are fenced by the catalog
-/// generations and an in-use flag guards re-entrant executions. Plans over
-/// CTE bindings are never cached (they capture materialized rows).
-/// Not thread-safe, like the rest of a Session.
+/// of times). Keyed by EngineOptions::PlanFingerprint() + statement text,
+/// so the same SQL under different configurations caches separately;
+/// entries are fenced by the catalog generations and an in-use flag guards
+/// re-entrant executions. Plans over CTE bindings are never cached (they
+/// capture materialized rows). Not thread-safe, like the rest of a Session.
 class PlanCache {
  public:
   struct Entry {
@@ -28,9 +29,52 @@ class PlanCache {
     bool in_use = false;
   };
 
-  /// Returns a usable entry or nullptr. The caller must Release() it.
+  /// Returns a usable entry or nullptr. The caller must Release() it —
+  /// prefer AcquireLease, which cannot leak the in-use flag on early return.
   Entry* Acquire(const std::string& key, const Catalog& catalog);
   void Release(Entry* entry) { entry->in_use = false; }
+
+  /// \brief Move-only scoped release guard over an acquired entry. Releases
+  /// in the destructor, so an execution that errors (or a caller that
+  /// returns early) can never leave the entry pinned in_use — which would
+  /// silently disable caching of that statement forever.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(PlanCache* cache, Entry* entry) : cache_(cache), entry_(entry) {}
+    Lease(Lease&& other) noexcept
+        : cache_(other.cache_), entry_(other.entry_) {
+      other.entry_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        cache_ = other.cache_;
+        entry_ = other.entry_;
+        other.entry_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    Operator* plan() const { return entry_->plan.get(); }
+
+   private:
+    void reset() {
+      if (entry_ != nullptr) cache_->Release(entry_);
+      entry_ = nullptr;
+    }
+    PlanCache* cache_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
+  /// Acquire wrapped in a scoped release guard (false-y lease on miss).
+  Lease AcquireLease(const std::string& key, const Catalog& catalog) {
+    return Lease(this, Acquire(key, catalog));
+  }
 
   /// Inserts a plan (evicting everything if over capacity).
   void Insert(const std::string& key, OperatorPtr plan, const Catalog& catalog);
@@ -60,9 +104,10 @@ class QueryEngine {
 
   /// \brief Executes a SELECT to completion. `ctx` supplies variables,
   /// correlation frames, and CTE bindings. A non-null `override_options`
-  /// replaces the engine's configuration for this one statement; such
-  /// executions bypass the plan cache (which is keyed on statement text
-  /// only, not on the options that shaped the plan).
+  /// replaces the engine's configuration for this one statement; overridden
+  /// executions use the plan cache like any other — the cache key carries
+  /// the effective options' PlanFingerprint(), so plans shaped by different
+  /// configurations never serve each other.
   Result<QueryResult> Execute(const SelectStmt& stmt, ExecContext& ctx,
                               const EngineOptions* override_options =
                                   nullptr) const;
@@ -85,9 +130,12 @@ class QueryEngine {
 
  private:
   Result<QueryResult> RunPlan(Operator* root, ExecContext& ctx) const;
-  /// RunPlan plus bounded retry on IsRetryable() failures. Safe because
-  /// RunPlan re-Opens the plan tree from scratch on every attempt.
-  Result<QueryResult> RunPlanWithRetry(Operator* root, ExecContext& ctx) const;
+  /// RunPlan plus bounded retry on IsRetryable() failures, with the budget
+  /// read from the *effective* options of this execution (a per-query
+  /// override's retry setting applies to that query). Safe because RunPlan
+  /// re-Opens the plan tree from scratch on every attempt.
+  Result<QueryResult> RunPlanWithRetry(Operator* root, ExecContext& ctx,
+                                       const EngineOptions& options) const;
   /// Materializes the statement's CTEs into `ctx` bindings; fills
   /// `bound_names` with the names to unbind afterwards.
   Status BindCtes(const SelectStmt& stmt, ExecContext& ctx,

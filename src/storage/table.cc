@@ -65,6 +65,23 @@ const Row& Table::ReadRow(int64_t row_id, int64_t* last_page,
   return rows_[row_id];
 }
 
+const Row* Table::ReadBatch(int64_t begin, int64_t count, int64_t* last_page,
+                            IoStats* stats) const {
+  const int64_t first = PageOf(begin);
+  const int64_t last = PageOf(begin + count - 1);
+  if (stats != nullptr) {
+    int64_t pages = last - first + 1;
+    if (first == *last_page) --pages;  // already pinned, like ReadRow's cookie
+    if (is_worktable_) {
+      stats->worktable_pages_read += pages;
+    } else {
+      stats->logical_reads += pages;
+    }
+  }
+  *last_page = last;
+  return rows_.data() + begin;
+}
+
 int64_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred,
                            IoStats* stats) {
   if (stats != nullptr) {

@@ -79,6 +79,16 @@ class Table {
   /// one read per page, like a real buffer pool with a page pin.
   const Row& ReadRow(int64_t row_id, int64_t* last_page, IoStats* stats) const;
 
+  /// Reads `count` consecutive rows starting at `begin`, returning a pointer
+  /// into the contiguous row store (valid until the next mutation). Charges
+  /// exactly the page reads a sequential ReadRow loop over the same range
+  /// would — one per page in the range not already pinned by `last_page` —
+  /// so the batch scan's IoStats are identical to the row scan's. This is
+  /// the feed of the vectorized pipeline (docs/VECTORIZATION.md).
+  /// Precondition: 0 <= begin, count >= 1, begin + count <= num_rows().
+  const Row* ReadBatch(int64_t begin, int64_t count, int64_t* last_page,
+                       IoStats* stats) const;
+
   /// Deletes all rows matching `pred` (linear; used by temp-table DML).
   /// Charges a full scan.
   int64_t DeleteWhere(const std::function<bool(const Row&)>& pred,

@@ -1,0 +1,357 @@
+// Vectorized execution tests (docs/VECTORIZATION.md): type-specialized fold
+// kernels vs. the row-at-a-time Accumulate reference, batch-vs-row query
+// bit-identity, EXPLAIN pipeline markers, and ReadBatch page accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+#include "exec/batch.h"
+#include "procedural/session.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+constexpr const char* kAggNames[] = {"min", "max", "sum", "count", "avg"};
+
+/// Folds `col` through AccumulateBatch (the kernel under test).
+Result<Value> FoldBatch(const AggregateFunction& agg, const ColumnVector& col,
+                        const std::vector<int32_t>* sel) {
+  ASSIGN_OR_RETURN(auto state, agg.Init());
+  std::vector<const ColumnVector*> args{&col};
+  const int32_t* sel_data = sel != nullptr ? sel->data() : nullptr;
+  const int64_t count =
+      sel != nullptr ? static_cast<int64_t>(sel->size()) : col.size();
+  RETURN_NOT_OK(agg.AccumulateBatch(state.get(), args, sel_data, count,
+                                    nullptr));
+  return agg.Terminate(state.get(), nullptr);
+}
+
+/// The reference: one Accumulate per selected row, in order.
+Result<Value> FoldRows(const AggregateFunction& agg,
+                       const std::vector<Value>& values,
+                       const std::vector<int32_t>* sel) {
+  ASSIGN_OR_RETURN(auto state, agg.Init());
+  if (sel != nullptr) {
+    for (int32_t i : *sel) {
+      RETURN_NOT_OK(
+          agg.Accumulate(state.get(), {values[static_cast<size_t>(i)]},
+                         nullptr));
+    }
+  } else {
+    for (const Value& v : values) {
+      RETURN_NOT_OK(agg.Accumulate(state.get(), {v}, nullptr));
+    }
+  }
+  return agg.Terminate(state.get(), nullptr);
+}
+
+/// Asserts kernel == reference for every built-in over the given input.
+void ExpectKernelParity(const std::vector<Value>& values,
+                        const std::vector<int32_t>* sel) {
+  const ColumnVector col = ColumnVector::FromValues(values);
+  for (const char* name : kAggNames) {
+    ASSERT_OK_AND_ASSIGN(auto agg, MakeBuiltinAggregate(name));
+    ASSERT_OK_AND_ASSIGN(Value batched, FoldBatch(*agg, col, sel));
+    ASSERT_OK_AND_ASSIGN(Value rowed, FoldRows(*agg, values, sel));
+    EXPECT_TRUE(batched.StructurallyEquals(rowed))
+        << name << ": batch=" << batched.ToString()
+        << " row=" << rowed.ToString();
+    EXPECT_EQ(batched.ToString(), rowed.ToString()) << name;
+  }
+}
+
+TEST(FoldKernelTest, Int64ExtremesMatchRowFold) {
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  const std::vector<Value> values = {Value::Int(hi),  Value::Null(),
+                                     Value::Int(lo),  Value::Int(0),
+                                     Value::Int(-1),  Value::Int(hi),
+                                     Value::Int(lo),  Value::Int(42)};
+  ASSERT_EQ(ColumnVector::FromValues(values).tag(),
+            ColumnVector::Tag::kInt64);
+  ExpectKernelParity(values, nullptr);
+
+  // The extremum kernels must find the exact INT64 boundaries.
+  ASSERT_OK_AND_ASSIGN(auto min_agg, MakeBuiltinAggregate("min"));
+  ASSERT_OK_AND_ASSIGN(auto max_agg, MakeBuiltinAggregate("max"));
+  const ColumnVector col = ColumnVector::FromValues(values);
+  ASSERT_OK_AND_ASSIGN(Value mn, FoldBatch(*min_agg, col, nullptr));
+  ASSERT_OK_AND_ASSIGN(Value mx, FoldBatch(*max_agg, col, nullptr));
+  EXPECT_EQ(mn.int_value(), lo);
+  EXPECT_EQ(mx.int_value(), hi);
+}
+
+TEST(FoldKernelTest, SumOfPureIntColumnStaysInt) {
+  const std::vector<Value> values = {Value::Int(1), Value::Int(2),
+                                     Value::Null(), Value::Int(3)};
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeBuiltinAggregate("sum"));
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       FoldBatch(*agg, ColumnVector::FromValues(values),
+                                 nullptr));
+  EXPECT_TRUE(v.is_int()) << v.ToString();  // not silently widened to double
+  EXPECT_EQ(v.int_value(), 6);
+}
+
+TEST(FoldKernelTest, AllNullColumnMatchesRowFold) {
+  const std::vector<Value> values(100, Value::Null());
+  const ColumnVector col = ColumnVector::FromValues(values);
+  ASSERT_EQ(col.tag(), ColumnVector::Tag::kInt64);  // all-NULL unboxes
+  EXPECT_EQ(col.validity().CountValid(), 0);
+  ExpectKernelParity(values, nullptr);
+  ASSERT_OK_AND_ASSIGN(auto min_agg, MakeBuiltinAggregate("min"));
+  ASSERT_OK_AND_ASSIGN(auto count_agg, MakeBuiltinAggregate("count"));
+  ASSERT_OK_AND_ASSIGN(Value mn, FoldBatch(*min_agg, col, nullptr));
+  ASSERT_OK_AND_ASSIGN(Value cnt, FoldBatch(*count_agg, col, nullptr));
+  EXPECT_TRUE(mn.is_null());
+  EXPECT_EQ(cnt.int_value(), 0);
+}
+
+TEST(FoldKernelTest, SelectionSubsetsAndUnalignedTails) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(i % 7 == 0 ? Value::Null()
+                                : Value::Double(i * 0.5 - 17.25));
+  }
+  ASSERT_EQ(ColumnVector::FromValues(values).tag(),
+            ColumnVector::Tag::kDouble);
+
+  std::vector<int32_t> strided;
+  for (int32_t i = 0; i < 1000; i += 3) strided.push_back(i);
+  const std::vector<int32_t> tail = {997, 998, 999};
+  const std::vector<int32_t> word_boundary = {60, 61, 62, 63, 64, 65, 70};
+  const std::vector<int32_t> single = {511};
+  const std::vector<int32_t> empty;
+
+  ExpectKernelParity(values, nullptr);
+  ExpectKernelParity(values, &strided);
+  ExpectKernelParity(values, &tail);
+  ExpectKernelParity(values, &word_boundary);
+  ExpectKernelParity(values, &single);
+  ExpectKernelParity(values, &empty);
+}
+
+TEST(FoldKernelTest, MixedNumericColumnFallsBackGenerically) {
+  // Int+double mix must stay boxed so sum_is_int demotion matches the row
+  // path exactly.
+  const std::vector<Value> values = {Value::Int(1), Value::Double(2.5),
+                                     Value::Null(), Value::Int(3)};
+  const ColumnVector col = ColumnVector::FromValues(values);
+  ASSERT_EQ(col.tag(), ColumnVector::Tag::kGeneric);
+  ExpectKernelParity(values, nullptr);
+  ASSERT_OK_AND_ASSIGN(auto agg, MakeBuiltinAggregate("sum"));
+  ASSERT_OK_AND_ASSIGN(Value v, FoldBatch(*agg, col, nullptr));
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.double_value(), 6.5);
+}
+
+TEST(FoldKernelTest, FloatAccumulationOrderIsPreserved) {
+  // Catastrophic-cancellation pattern: any reordering or pairwise summation
+  // in the kernel shows up as a different bit pattern than the sequential
+  // reference.
+  std::vector<Value> values;
+  for (int i = 0; i < 256; ++i) {
+    values.push_back(Value::Double(i % 2 == 0 ? 1e16 : -1e16 + 1.0));
+  }
+  ExpectKernelParity(values, nullptr);
+}
+
+// --- query-level batch-vs-row bit-identity ---------------------------------
+
+class BatchQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions row_opts;
+    row_opts.execution.enable_batch = false;
+    batch_session_ = std::make_unique<Session>(&batch_db_);
+    row_session_ = std::make_unique<Session>(&row_db_, row_opts);
+    const std::string ddl =
+        "CREATE TABLE t (g INT, v INT); "
+        "INSERT INTO t VALUES (1, 10), (2, NULL), (1, -5), (3, 7), (2, 2), "
+        "(1, NULL), (3, 40), (2, 0), (3, NULL), (1, 10);";
+    ASSERT_OK(batch_session_->RunSql(ddl));
+    ASSERT_OK(row_session_->RunSql(ddl));
+  }
+
+  /// Runs `sql` through both sessions and asserts bit-identical results —
+  /// values, NULLs, and row (group emission) order.
+  void ExpectSameResults(const std::string& sql) {
+    ASSERT_OK_AND_ASSIGN(QueryResult batched, batch_session_->Query(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult rowed, row_session_->Query(sql));
+    ASSERT_EQ(batched.rows.size(), rowed.rows.size()) << sql;
+    for (size_t r = 0; r < batched.rows.size(); ++r) {
+      ASSERT_EQ(batched.rows[r].size(), rowed.rows[r].size()) << sql;
+      for (size_t c = 0; c < batched.rows[r].size(); ++c) {
+        EXPECT_TRUE(batched.rows[r][c].StructurallyEquals(rowed.rows[r][c]))
+            << sql << " row " << r << " col " << c << ": "
+            << batched.rows[r][c].ToString() << " vs "
+            << rowed.rows[r][c].ToString();
+      }
+    }
+  }
+
+  Database batch_db_;
+  Database row_db_;
+  std::unique_ptr<Session> batch_session_;
+  std::unique_ptr<Session> row_session_;
+};
+
+TEST_F(BatchQueryTest, ScalarAggregatesAreBitIdentical) {
+  ExpectSameResults(
+      "SELECT COUNT(*) AS a, COUNT(v) AS b, SUM(v) AS c, MIN(v) AS d, "
+      "MAX(v) AS e, AVG(v) AS f FROM t");
+}
+
+TEST_F(BatchQueryTest, GroupedAggregatesPreserveEmissionOrder) {
+  ExpectSameResults("SELECT g, SUM(v), COUNT(*), MIN(v), MAX(v) FROM t "
+                    "GROUP BY g");
+}
+
+TEST_F(BatchQueryTest, CompiledPredicateShapesMatchRowFilter) {
+  // col-op-const, const-op-col (mirrored), and col-op-col all hit the
+  // compiled selection kernel; each must narrow exactly like EvalPredicate.
+  ExpectSameResults("SELECT g, COUNT(*), SUM(v) FROM t WHERE v > 0 GROUP BY g");
+  ExpectSameResults("SELECT g, COUNT(*), SUM(v) FROM t WHERE 0 < v GROUP BY g");
+  ExpectSameResults("SELECT COUNT(*), MIN(v) FROM t WHERE g < v");
+  ExpectSameResults(
+      "SELECT g, COUNT(*) FROM t WHERE v >= -5 AND v <= 10 GROUP BY g");
+}
+
+TEST_F(BatchQueryTest, NonKernelPredicatesFallBackRowwise) {
+  // String comparison and arithmetic predicates compile to no kernel; the
+  // batch filter must replay them row-at-a-time with identical results.
+  ExpectSameResults(
+      "SELECT COUNT(*) FROM t WHERE 'WITH c AS (x)' <> 'other'");
+  ExpectSameResults("SELECT SUM(v) FROM t WHERE v + g > 8");
+}
+
+TEST_F(BatchQueryTest, NullComparisonPoisonsSelectionIdentically) {
+  // v > NULL is NULL for every row: the compiled kernel short-circuits to an
+  // empty selection; the row path rejects each row. Same empty aggregate.
+  ExpectSameResults("SELECT COUNT(*), SUM(v), MIN(v) FROM t WHERE v > NULL");
+}
+
+TEST_F(BatchQueryTest, MorselUnalignedTableMatchesAcrossDop) {
+  // 5000 rows of (g INT, v INT): 1024 rows/page, 2048-row batches -> the
+  // last batch (and the last morsel at dop 4) are partial. Exercises tail
+  // handling in the scan, the kernels, and the parallel batch workers.
+  std::string insert = "INSERT INTO big VALUES ";
+  for (int i = 0; i < 5000; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i % 13) + ", ";
+    insert += i % 11 == 0 ? "NULL" : std::to_string(i - 2500);
+    insert += ")";
+  }
+  insert += ";";
+  for (Session* s : {batch_session_.get(), row_session_.get()}) {
+    ASSERT_OK(s->RunSql("CREATE TABLE big (g INT, v INT);"));
+    ASSERT_OK(s->RunSql(insert));
+  }
+  ExpectSameResults("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) "
+                    "FROM big");
+  ExpectSameResults("SELECT g, COUNT(*), SUM(v) FROM big WHERE v > -1000 "
+                    "GROUP BY g");
+
+  // Same statement at dop 4 in both sessions: parallel batch workers vs
+  // parallel row workers.
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect(
+      "SELECT g, COUNT(*), SUM(v), MIN(v) FROM big GROUP BY g"));
+  EngineOptions batch4 = EngineOptions::WithDop(4);
+  EngineOptions row4 = EngineOptions::WithDop(4);
+  row4.execution.enable_batch = false;
+  ExecContext bctx = batch_session_->MakeContext();
+  ExecContext rctx = row_session_->MakeContext();
+  VariableEnv benv, renv;
+  bctx.set_vars(&benv);
+  rctx.set_vars(&renv);
+  ASSERT_OK_AND_ASSIGN(QueryResult pb,
+                       batch_session_->engine().Execute(*stmt, bctx, &batch4));
+  ASSERT_OK_AND_ASSIGN(QueryResult pr,
+                       row_session_->engine().Execute(*stmt, rctx, &row4));
+  ASSERT_EQ(pb.rows.size(), pr.rows.size());
+  for (size_t r = 0; r < pb.rows.size(); ++r) {
+    for (size_t c = 0; c < pb.rows[r].size(); ++c) {
+      EXPECT_TRUE(pb.rows[r][c].StructurallyEquals(pr.rows[r][c]))
+          << "dop4 row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_F(BatchQueryTest, IoStatsMatchRowPipeline) {
+  // The batch scan must charge exactly the pages and rows the row scan does
+  // (paper metric: logical reads must be a property of the plan, not the
+  // execution strategy).
+  const std::string sql =
+      "SELECT g, SUM(v) FROM t WHERE v >= -100 GROUP BY g";
+  batch_db_.stats().Reset();
+  ASSERT_OK(batch_session_->Query(sql).status());
+  row_db_.stats().Reset();
+  ASSERT_OK(row_session_->Query(sql).status());
+  EXPECT_EQ(batch_db_.stats().logical_reads, row_db_.stats().logical_reads);
+  EXPECT_EQ(batch_db_.stats().rows_produced, row_db_.stats().rows_produced);
+}
+
+TEST_F(BatchQueryTest, ExplainMarksBatchPipelines) {
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT g, SUM(v) FROM t GROUP BY g"));
+  ExecContext ctx = batch_session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       batch_session_->engine().Explain(*stmt, ctx));
+  EXPECT_NE(plan.find("[batch]"), std::string::npos) << plan;
+
+  EngineOptions off;
+  off.execution.enable_batch = false;
+  ASSERT_OK_AND_ASSIGN(std::string row_plan,
+                       batch_session_->engine().Explain(*stmt, ctx, &off));
+  EXPECT_EQ(row_plan.find("[batch]"), std::string::npos) << row_plan;
+}
+
+// --- ReadBatch page accounting ---------------------------------------------
+
+TEST(TableReadBatchTest, ChargesPagesLikeAReadRowLoop) {
+  Table t("t",
+          Schema({Column("a", DataType::Int()), Column("b", DataType::Int())}));
+  for (int i = 0; i < 3000; ++i) {  // 1024 rows/page -> 3 pages, last partial
+    ASSERT_OK(t.Insert({Value::Int(i), Value::Int(i * 2)}, nullptr));
+  }
+
+  auto row_loop_reads = [&t](int64_t window) {
+    IoStats stats;
+    int64_t last_page = -1;
+    for (int64_t b = 0; b < t.num_rows(); b += window) {
+      const int64_t n = std::min(window, t.num_rows() - b);
+      for (int64_t i = b; i < b + n; ++i) t.ReadRow(i, &last_page, &stats);
+    }
+    return stats.logical_reads;
+  };
+  auto batch_reads = [&t](int64_t window) {
+    IoStats stats;
+    int64_t last_page = -1;
+    for (int64_t b = 0; b < t.num_rows(); b += window) {
+      const int64_t n = std::min(window, t.num_rows() - b);
+      const Row* rows = t.ReadBatch(b, n, &last_page, &stats);
+      EXPECT_EQ(rows[0][0].int_value(), b);  // contiguous window starts at b
+    }
+    return stats.logical_reads;
+  };
+
+  // Page-aligned, sub-page, page-straddling, and whole-table windows — all
+  // unaligned sizes must charge exactly what the row loop charges.
+  for (int64_t window : {int64_t{1}, int64_t{7}, int64_t{1000}, int64_t{1024},
+                         int64_t{1025}, int64_t{2048}, int64_t{2999},
+                         int64_t{3000}}) {
+    EXPECT_EQ(batch_reads(window), row_loop_reads(window))
+        << "window " << window;
+  }
+  EXPECT_EQ(batch_reads(2048), t.num_pages());  // sequential scan: 1 per page
+}
+
+}  // namespace
+}  // namespace aggify

@@ -178,6 +178,15 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
   // for parallel-eligible rewrites the plan really runs Gather over
   // ParallelPartialAgg, and parallel execution must be invisible.
   Session dop4(&db, EngineOptions::WithDop(4));
+  // Batch-off sessions at both dops complete the four-configuration sweep
+  // {enable_batch on/off} x {dop 1/4}: the vectorized pipeline
+  // (docs/VECTORIZATION.md) must be observationally invisible too.
+  EngineOptions nobatch1_options;
+  nobatch1_options.execution.enable_batch = false;
+  EngineOptions nobatch4_options = EngineOptions::WithDop(4);
+  nobatch4_options.execution.enable_batch = false;
+  Session nobatch1(&db, nobatch1_options);
+  Session nobatch4(&db, nobatch4_options);
   size_t i = 0;
   for (int p : {-100, 0, 50}) {
     ASSERT_OK_AND_ASSIGN(Value v, session.Call("gen_fn", {Value::Int(p)}));
@@ -201,6 +210,19 @@ TEST_P(EquivalenceProperty, RewrittenLoopMatchesInterpretedLoop) {
     EXPECT_TRUE(vpf.StructurallyEquals(before[i]))
         << "param " << p << ": dop4 simplified=" << vpf.ToString()
         << " original=" << before[i].ToString();
+    for (Session* nb : {&nobatch1, &nobatch4}) {
+      const char* label = nb == &nobatch1 ? "nobatch dop1" : "nobatch dop4";
+      ASSERT_OK_AND_ASSIGN(Value vn, nb->Call("gen_fn", {Value::Int(p)}));
+      EXPECT_TRUE(vn.StructurallyEquals(before[i]))
+          << "param " << p << ": " << label << "=" << vn.ToString()
+          << " original=" << before[i].ToString();
+      ASSERT_OK_AND_ASSIGN(Value vnf,
+                           nb->Call("gen_fn_full", {Value::Int(p)}));
+      EXPECT_TRUE(vnf.StructurallyEquals(before[i]))
+          << "param " << p << ": " << label
+          << " simplified=" << vnf.ToString()
+          << " original=" << before[i].ToString();
+    }
     ++i;
   }
 }

@@ -2,6 +2,7 @@
 // behavior, and EXPLAIN.
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "procedural/session.h"
 #include "test_util.h"
 
@@ -81,6 +82,83 @@ TEST_F(QueryEngineTest, PlanCacheCapEvictsWithoutBreaking) {
     EXPECT_EQ(r.rows[0][0].int_value(), 3 - i % 3);
   }
   EXPECT_LE(session_->engine().plan_cache().size(), 512u);
+}
+
+TEST_F(QueryEngineTest, PlanCacheServesAndKeysPerQueryOverrides) {
+  // Overridden executions cache under an options-fingerprinted key: the
+  // same override hits its own entry, and the engine-default configuration
+  // never shares a plan with it (a dop=4 plan must not serve dop=1).
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT COUNT(*) FROM base"));
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  EngineOptions dop4 = EngineOptions::WithDop(4);
+  const PlanCache& cache = session_->engine().plan_cache();
+
+  int64_t h0 = cache.hits();
+  ASSERT_OK_AND_ASSIGN(QueryResult first,
+                       session_->engine().Execute(*stmt, ctx, &dop4));
+  EXPECT_EQ(cache.hits(), h0);  // cold: miss + insert
+  ASSERT_OK_AND_ASSIGN(QueryResult second,
+                       session_->engine().Execute(*stmt, ctx, &dop4));
+  EXPECT_EQ(cache.hits(), h0 + 1);  // same override: served from cache
+  EXPECT_EQ(second.rows[0][0].int_value(), first.rows[0][0].int_value());
+
+  // Engine defaults key separately: first run misses, second hits.
+  ASSERT_OK(session_->engine().Execute(*stmt, ctx).status());
+  EXPECT_EQ(cache.hits(), h0 + 1);
+  ASSERT_OK(session_->engine().Execute(*stmt, ctx).status());
+  EXPECT_EQ(cache.hits(), h0 + 2);
+}
+
+TEST_F(QueryEngineTest, StringLiteralContainingWithIsCacheable) {
+  // The old nested-CTE check scanned the statement text for "WITH " and
+  // refused to cache any statement whose string literals contained it.
+  const std::string sql =
+      "SELECT COUNT(*) FROM base WHERE 'WITH c AS (x)' <> 'other'";
+  const PlanCache& cache = session_->engine().plan_cache();
+  ASSERT_OK_AND_ASSIGN(QueryResult first, session_->Query(sql));
+  EXPECT_EQ(first.rows[0][0].int_value(), 3);
+  int64_t h0 = cache.hits();
+  ASSERT_OK_AND_ASSIGN(QueryResult second, session_->Query(sql));
+  EXPECT_EQ(cache.hits(), h0 + 1) << "literal 'WITH ' defeated the cache";
+  EXPECT_EQ(second.rows[0][0].int_value(), 3);
+}
+
+TEST_F(QueryEngineTest, DerivedTableWithNestedCtesIsNotCached) {
+  // A derived table carrying its own WITH clause materializes CTE rows at
+  // plan time; caching such a plan would freeze the data.
+  const std::string sql =
+      "SELECT s FROM (WITH c AS (SELECT x FROM base) "
+      "SELECT SUM(x) AS s FROM c) q";
+  const PlanCache& cache = session_->engine().plan_cache();
+  size_t s0 = cache.size();
+  ASSERT_OK_AND_ASSIGN(QueryResult before, session_->Query(sql));
+  EXPECT_EQ(before.rows[0][0].int_value(), 6);
+  // Only the inner CTE body ("SELECT x FROM base") may cache; neither the
+  // outer statement nor the CTE-scoped subquery gets an entry.
+  EXPECT_EQ(cache.size(), s0 + 1);
+  ASSERT_OK(session_->RunSql("INSERT INTO base VALUES (10);").status());
+  ASSERT_OK_AND_ASSIGN(QueryResult after, session_->Query(sql));
+  EXPECT_EQ(after.rows[0][0].int_value(), 16) << "served stale CTE rows";
+  EXPECT_EQ(cache.size(), s0 + 1);
+}
+
+TEST_F(QueryEngineTest, FailedExecutionReleasesCachedPlanEntry) {
+  // A failing execution over a cached plan must release the entry's in-use
+  // flag (scoped lease); otherwise the statement silently stops caching.
+  const std::string sql = "SELECT COUNT(*) FROM base";
+  ASSERT_OK(session_->Query(sql).status());  // populate the cache
+  const PlanCache& cache = session_->engine().plan_cache();
+  int64_t h0 = cache.hits();
+  {
+    ScopedFailPoint fp("exec.scan.next");
+    ASSERT_FALSE(session_->Query(sql).ok());
+  }
+  EXPECT_EQ(cache.hits(), h0 + 1);  // the failing run acquired the entry
+  ASSERT_OK_AND_ASSIGN(QueryResult r, session_->Query(sql));
+  EXPECT_EQ(cache.hits(), h0 + 2) << "entry left pinned by the failed run";
+  EXPECT_EQ(r.rows[0][0].int_value(), 3);
 }
 
 TEST_F(QueryEngineTest, ExplainRendersATree) {
