@@ -67,6 +67,24 @@ struct RetryPolicy {
   uint64_t jitter_seed = 0xB0FF;
 };
 
+/// Raw exponential backoff before attempt `attempt` (1-based count of
+/// re-sends): base * 2^(attempt-1), capped at the policy maximum.
+inline double RawBackoffMs(const RetryPolicy& policy, int attempt) {
+  double backoff = policy.base_backoff_ms;
+  for (int i = 1; i < attempt && backoff < policy.max_backoff_ms; ++i) {
+    backoff *= 2.0;
+  }
+  return backoff < policy.max_backoff_ms ? backoff : policy.max_backoff_ms;
+}
+
+/// Applies jitter to a raw backoff: a `draw` in [0, 1) maps onto
+/// [raw/2, raw) — half the delay is guaranteed (keeps backoff meaningful),
+/// the other half decorrelates concurrent clients. Deterministic per draw,
+/// so seeded runs replay.
+inline double JitteredBackoffMs(double raw_backoff_ms, double draw) {
+  return raw_backoff_ms * (0.5 + 0.5 * draw);
+}
+
 struct NetworkStats {
   int64_t round_trips = 0;
   int64_t bytes_to_client = 0;

@@ -34,13 +34,8 @@ Status RemoteInterpreter::RoundTripWithRetry(const char* site) {
       // The re-sent message is a round trip of its own, preceded by backoff.
       ++stats_.retries;
       ++stats_.round_trips;
-      double backoff =
-          std::min(retry_.max_backoff_ms,
-                   retry_.base_backoff_ms * static_cast<double>(1 << (attempt - 1)));
-      // Jitter in [backoff/2, backoff) keeps replays deterministic per seed
-      // while decorrelating concurrent clients.
-      backoff *= 0.5 + 0.5 * jitter_rng_.NextDouble();
-      stats_.backoff_ms += backoff;
+      stats_.backoff_ms += JitteredBackoffMs(RawBackoffMs(retry_, attempt),
+                                             jitter_rng_.NextDouble());
     }
     st = AttemptRoundTrip(site);
     if (st.ok()) return st;

@@ -1,7 +1,7 @@
 // EngineOptions: the unified configuration surface of the engine.
 //
 // One struct, nested by subsystem, replaces the previously fragmented knobs
-// (PlannerOptions, AggifyOptions, QueryEngine::kTransientRetries). Every
+// (the removed PlannerOptions, AggifyOptions, and kTransientRetries). Every
 // entry point — QueryEngine, Planner, Session, ClientApp, Aggify — takes an
 // EngineOptions (by const reference where the callee does not outlive the
 // caller), so a single value describes the whole engine configuration and
@@ -63,6 +63,28 @@ struct EngineOptions {
     int transient_retries = 2;
   };
 
+  // --- limits: deadlines, memory budget, admission control ----------------
+  struct Limits {
+    /// Wall-clock deadline per governed unit of work (a root statement, or
+    /// a whole Session::Call/Query/RunBlock invocation). 0 = none. Expiry
+    /// surfaces as kTimeout, observed cooperatively at morsel/batch/FETCH
+    /// granularity — see docs/ROBUSTNESS.md.
+    int64_t timeout_ms = 0;
+    /// Memory budget per governed unit of work, charged by stateful
+    /// operators (hash-aggregate groups, sort buffers, scan batches,
+    /// parallel partials). 0 = unlimited. Exceeding it triggers the
+    /// degradation ladder (batch → row → serial) before surfacing
+    /// kResourceExhausted.
+    int64_t memory_limit_bytes = 0;
+    /// Admission gate: at most this many root executions run concurrently
+    /// in one QueryEngine. 0 = no gate. Excess arrivals wait up to
+    /// admission_timeout_ms, then are rejected with kResourceExhausted.
+    int max_concurrent_queries = 0;
+    /// How long an arrival may queue at a full admission gate before
+    /// rejection. 0 = reject immediately.
+    int64_t admission_timeout_ms = 100;
+  };
+
   // --- rewrite: the Aggify driver (Algorithm 1) ---------------------------
   struct Rewrite {
     /// §8.1: convert iterative FOR loops into cursor loops over
@@ -114,6 +136,7 @@ struct EngineOptions {
 
   Planner planner;
   Execution execution;
+  Limits limits;
   Retry retry;
   Rewrite rewrite;
 
@@ -156,18 +179,11 @@ struct EngineOptions {
     b(rewrite.static_trip_values);
     fp += ',';
     fp += std::to_string(rewrite.max_static_trips);
+    // Limits are deliberately excluded: deadlines, memory budgets, and
+    // admission control govern *how long / how big* an execution may get,
+    // not what plan is produced, so they must not fragment the plan cache.
     return fp;
   }
 };
-
-// ---------------------------------------------------------------------------
-// DEPRECATED aliases — kept for one release (see DESIGN.md §"EngineOptions
-// deprecation"). Both legacy option structs collapsed into EngineOptions;
-// field access moved into the nested sections (options.planner.*,
-// options.rewrite.*, options.execution.*). New code should spell
-// EngineOptions.
-// ---------------------------------------------------------------------------
-using PlannerOptions = EngineOptions;  // DEPRECATED: use EngineOptions
-using AggifyOptions = EngineOptions;   // DEPRECATED: use EngineOptions
 
 }  // namespace aggify

@@ -1,7 +1,9 @@
 #include "common/failpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -30,6 +32,8 @@ Status ParseCode(std::string_view name, StatusCode* out) {
     *out = StatusCode::kInternal;
   } else if (name == "invalid") {
     *out = StatusCode::kInvalidArgument;
+  } else if (name == "exhausted") {
+    *out = StatusCode::kResourceExhausted;
   } else {
     return Status::InvalidArgument("unknown failpoint status code '" +
                                    std::string(name) + "'");
@@ -105,21 +109,47 @@ Status ParsePolicy(const std::string& text, FailPointSpec* spec) {
   return Status::OK();
 }
 
-/// Parses one "site=policy[:code]" entry.
+/// Parses the ":suffix" position: either a status-code name or "sleep(MS)"
+/// (the delay of a delay site, see AGGIFY_FAILPOINT_SLEEP).
+Status ParseSuffix(std::string_view suffix, FailPointSpec* spec) {
+  constexpr std::string_view kSleep = "sleep(";
+  if (suffix.rfind(kSleep, 0) == 0 && suffix.back() == ')') {
+    std::string ms_text(suffix.substr(kSleep.size(),
+                                      suffix.size() - kSleep.size() - 1));
+    char* end = nullptr;
+    long long ms = std::strtoll(ms_text.c_str(), &end, 10);
+    if (ms_text.empty() || end == nullptr || *end != '\0' || ms < 0) {
+      return Status::InvalidArgument(
+          "failpoint sleep() needs a non-negative integer, got '" + ms_text +
+          "'");
+    }
+    spec->delay_ms = ms;
+    return Status::OK();
+  }
+  return ParseCode(suffix, &spec->code);
+}
+
+/// Parses one "site[=policy[:code|:sleep(MS)]]" entry. A bare site name arms
+/// policy `always` with defaults — AGGIFY_FAILPOINTS=exec.slow_operator is a
+/// complete spec.
 Status ParseEntry(const std::string& entry, std::string* site,
                   FailPointSpec* spec) {
   auto eq = entry.find('=');
-  if (eq == std::string::npos || eq == 0) {
+  if (eq == std::string::npos) {
+    *site = std::string(Trim(entry));
+    return Status::OK();
+  }
+  if (eq == 0) {
     return Status::InvalidArgument("malformed failpoint spec '" + entry +
-                                   "': expected site=policy[:code]");
+                                   "': expected site[=policy[:code]]");
   }
   *site = std::string(Trim(entry.substr(0, eq)));
   std::string rhs(Trim(entry.substr(eq + 1)));
-  // The code suffix is after the last ':' outside parentheses; policies never
+  // The suffix is after the last ':' outside parentheses; policies never
   // contain ':' so a plain rfind is enough.
   auto colon = rhs.rfind(':');
   if (colon != std::string::npos) {
-    RETURN_NOT_OK(ParseCode(Trim(rhs.substr(colon + 1)), &spec->code));
+    RETURN_NOT_OK(ParseSuffix(Trim(rhs.substr(colon + 1)), spec));
     rhs = std::string(Trim(rhs.substr(0, colon)));
   }
   return ParsePolicy(rhs, spec);
@@ -244,11 +274,7 @@ bool FailPoints::IsInjected(const Status& status) {
   return !status.ok() && status.message().rfind(kInjectedPrefix, 0) == 0;
 }
 
-Status FailPoints::Fire(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return Status::OK();
-  ArmedSite& armed = it->second;
+bool FailPoints::EvaluatePolicy(ArmedSite& armed) {
   ++armed.checks;
   bool fire = false;
   switch (armed.spec.policy) {
@@ -270,9 +296,35 @@ Status FailPoints::Fire(const char* site) {
       fire = armed.rng.NextDouble() < armed.spec.probability;
       break;
   }
-  if (!fire) return Status::OK();
-  ++armed.triggers;
+  if (fire) ++armed.triggers;
+  return fire;
+}
+
+Status FailPoints::Fire(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  ArmedSite& armed = it->second;
+  if (!EvaluatePolicy(armed)) return Status::OK();
   return MakeInjected(site, armed.spec.code);
+}
+
+int64_t FailPoints::SleepIfFired(const char* site) {
+  int64_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return 0;
+    ArmedSite& armed = it->second;
+    if (!EvaluatePolicy(armed)) return 0;
+    delay_ms = armed.spec.delay_ms;
+  }
+  // Sleep outside the mutex: a slow delay site must not serialize every
+  // other failpoint check in the process.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return delay_ms;
 }
 
 }  // namespace aggify

@@ -10,18 +10,25 @@
 //
 // Spec grammar (also used by the env var, ';' or ',' separated):
 //
-//   site=policy[:code]
+//   site[=policy[:code | :sleep(MS)]]
 //
-//   policies: always          trigger on every check
+//   policies: always          trigger on every check (the default when the
+//                             entry is a bare site name)
 //             off             registered but never triggers
 //             every(N)        trigger on every Nth check (N >= 1)
 //             after(N)        pass the first N checks, then always trigger
 //             times(K)        trigger on the first K checks, then pass
 //             prob(P[,seed])  trigger with probability P, seeded xorshift RNG
 //   codes:    exec (default), timeout, unavailable, notfound, internal,
-//             invalid
+//             invalid, exhausted
+//   sleep(MS) instead of a code sets the delay of a *delay site* — one
+//             checked via AGGIFY_FAILPOINT_SLEEP, which sleeps MS
+//             milliseconds when the policy fires instead of returning an
+//             error (default 1 ms). Used to simulate slow operators for
+//             deadline testing (e.g. exec.slow_operator).
 //
 // Example: AGGIFY_FAILPOINTS="exec.agg.accumulate=always;client.fetch=prob(0.1,42):timeout"
+//          AGGIFY_FAILPOINTS="exec.slow_operator=always:sleep(5)"
 //
 // Site naming convention: <layer>.<component>.<operation>, all lowercase
 // (see docs/ROBUSTNESS.md for the registry of instrumented sites).
@@ -60,6 +67,8 @@ struct FailPointSpec {
   uint64_t seed = 0;
   /// The code of the injected Status.
   StatusCode code = StatusCode::kExecutionError;
+  /// Sleep duration for delay sites (AGGIFY_FAILPOINT_SLEEP checks).
+  int64_t delay_ms = 1;
 };
 
 /// \brief Process-wide registry of named failpoints.
@@ -117,6 +126,12 @@ class FailPoints {
   /// Slow path of Check(): policy evaluation under the registry mutex.
   Status Fire(const char* site);
 
+  /// Delay-site variant: evaluates the same trigger policy, and when it
+  /// fires sleeps spec.delay_ms *outside* the registry mutex (so slow sites
+  /// never serialize unrelated failpoint checks). Returns the milliseconds
+  /// slept (0 when not armed / not fired). Prefer AGGIFY_FAILPOINT_SLEEP.
+  int64_t SleepIfFired(const char* site);
+
  private:
   FailPoints() = default;
 
@@ -126,6 +141,9 @@ class FailPoints {
     int64_t triggers = 0;
     Random rng;
   };
+
+  /// Bumps checks/triggers and applies the trigger policy. Caller holds mu_.
+  static bool EvaluatePolicy(ArmedSite& armed);
 
   mutable std::mutex mu_;
   std::map<std::string, ArmedSite> sites_;
@@ -158,6 +176,16 @@ class ScopedFailPoint {
     if (::aggify::FailPoints::AnyArmed()) {                       \
       ::aggify::Status _fp_st = ::aggify::FailPoints::Instance().Fire(site); \
       if (!_fp_st.ok()) return _fp_st;                            \
+    }                                                             \
+  } while (false)
+
+/// Delay-site check: sleeps spec.delay_ms when `site` fires, injecting
+/// slowness (never an error) so deadline expiry is testable. Free when
+/// nothing is armed.
+#define AGGIFY_FAILPOINT_SLEEP(site)                              \
+  do {                                                            \
+    if (::aggify::FailPoints::AnyArmed()) {                       \
+      ::aggify::FailPoints::Instance().SleepIfFired(site);        \
     }                                                             \
   } while (false)
 

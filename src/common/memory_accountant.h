@@ -1,0 +1,151 @@
+// MemoryAccountant: a hierarchical, thread-safe byte budget for query
+// execution.
+//
+// Stateful operators (hash aggregation group states, sort buffers, columnar
+// scan batches, parallel partial states) charge their allocations here
+// before making them. A charge that would push usage past the limit fails
+// with kResourceExhausted, which QueryEngine turns into graceful
+// degradation (batch → row → serial, docs/ROBUSTNESS.md) instead of an
+// unbounded allocation.
+//
+// Accountants chain: a per-query accountant may point at a parent (e.g. an
+// engine-wide budget), and every charge/release propagates up the chain, so
+// a query both respects its own limit and contributes to the shared one.
+// All counters are atomics — parallel workers charge the same per-query
+// accountant concurrently.
+//
+// Charges are *estimates* (see EstimateRowBytes in exec/operators.h), kept
+// deterministic across execution modes: the same query charges the same
+// bytes for its group states whether it runs row-at-a-time, batched, or
+// partitioned, so budget-driven degradation decisions are reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace aggify {
+
+class MemoryAccountant {
+ public:
+  /// `limit_bytes` <= 0 means unlimited (the accountant still tracks usage
+  /// and still honors the mem.charge_fail failpoint).
+  explicit MemoryAccountant(int64_t limit_bytes = 0,
+                            MemoryAccountant* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryAccountant(const MemoryAccountant&) = delete;
+  MemoryAccountant& operator=(const MemoryAccountant&) = delete;
+
+  /// Reserves `bytes` against the budget (and every ancestor's). Errors:
+  /// ResourceExhausted if the reservation would exceed any limit in the
+  /// chain — usage is unchanged then. The mem.charge_fail failpoint injects
+  /// the same failure deterministically regardless of the armed code.
+  Status TryCharge(int64_t bytes) {
+    if (bytes <= 0) return Status::OK();
+    if (FailPoints::AnyArmed()) {
+      Status fp = FailPoints::Instance().Fire("mem.charge_fail");
+      if (!fp.ok()) {
+        // Normalize: an allocation failure is kResourceExhausted whatever
+        // code the spec armed, so `mem.charge_fail=always` drives the
+        // degradation ladder without further spec ceremony.
+        return Status::ResourceExhausted(fp.message());
+      }
+    }
+    int64_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (limit_ > 0 && used + bytes > limit_) {
+        return Status::ResourceExhausted(
+            "memory budget exceeded: " + std::to_string(used) + " used + " +
+            std::to_string(bytes) + " requested > " + std::to_string(limit_) +
+            " limit");
+      }
+      if (used_.compare_exchange_weak(used, used + bytes,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    UpdatePeak(used + bytes);
+    if (parent_ != nullptr) {
+      Status st = parent_->TryCharge(bytes);
+      if (!st.ok()) {
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+        return st;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Returns `bytes` to the budget (and every ancestor's).
+  void Release(int64_t bytes) {
+    if (bytes <= 0) return;
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Release(bytes);
+  }
+
+  /// Rolls usage back to `mark` (a prior used() reading). The attempt
+  /// boundary in RunPlan uses this so a failed execution — whose operators
+  /// may die without reaching Close — cannot poison the budget of the
+  /// degraded retry. Only valid between attempts, when no operator of this
+  /// query is live.
+  void ReleaseTo(int64_t mark) {
+    int64_t used = used_.load(std::memory_order_relaxed);
+    if (used > mark) Release(used - mark);
+  }
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t limit() const { return limit_; }
+  bool limited() const { return limit_ > 0; }
+
+ private:
+  void UpdatePeak(int64_t candidate) {
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (candidate > peak &&
+           !peak_.compare_exchange_weak(peak, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  const int64_t limit_;
+  MemoryAccountant* const parent_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// \brief RAII charge: releases in the destructor. For transient
+/// reservations with scope lifetime (e.g. one morsel's batch buffer).
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ~ScopedCharge() { Reset(); }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  /// Charges `bytes` to `accountant` (releasing any prior holding first).
+  /// On failure nothing is held.
+  Status Charge(MemoryAccountant* accountant, int64_t bytes) {
+    Reset();
+    if (accountant == nullptr) return Status::OK();
+    RETURN_NOT_OK(accountant->TryCharge(bytes));
+    accountant_ = accountant;
+    bytes_ = bytes;
+    return Status::OK();
+  }
+
+  void Reset() {
+    if (accountant_ != nullptr) accountant_->Release(bytes_);
+    accountant_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryAccountant* accountant_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace aggify

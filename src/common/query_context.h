@@ -1,0 +1,119 @@
+// QueryContext: the per-query governance token — deadline, cooperative
+// cancellation flag, and memory accountant — threaded through execution.
+//
+// One QueryContext spans one governed unit of work: QueryEngine::Execute
+// installs one per root statement from EngineOptions::Limits, and
+// Session::Call/Query/RunBlock install one around a whole procedural
+// invocation so every statement and FETCH inside shares a single deadline.
+// Operators never poll the clock on their own; they call
+// ExecContext::CheckInterrupts() (which forwards to Check() here) at morsel,
+// batch, and FETCH granularity and propagate the resulting non-OK Status up
+// the Volcano tree like any other error.
+//
+// Check() outcomes:
+//   kCancelled — Cancel() was called. Not retryable, not fallback-eligible:
+//                the caller asked us to stop, so every path must stop.
+//   kTimeout   — the deadline passed. Retryable by design so it composes
+//                with RetryPolicy and the guarded-rewrite fallback — though
+//                RunPlanWithRetry consults the context and skips pointless
+//                retries when the *real* deadline (not an injected fault)
+//                has expired.
+//
+// The first non-OK Check() per context bumps the matching RobustnessStats
+// counter (cancellations / deadline_timeouts) exactly once, however many
+// operators subsequently observe the same dead context.
+//
+// Thread safety: Cancel()/Check() are safe from any thread — parallel
+// workers poll the same context the coordinator owns. The object itself is
+// stack-allocated by the installer and outlives every worker (workers are
+// joined before the installing frame returns).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/memory_accountant.h"
+#include "common/robustness_stats.h"
+#include "common/status.h"
+
+namespace aggify {
+
+class QueryContext {
+ public:
+  /// `timeout_ms` <= 0: no deadline. `memory_limit_bytes` <= 0: no
+  /// accountant. `stats` may be nullptr (nothing is counted then).
+  QueryContext(int64_t timeout_ms, int64_t memory_limit_bytes,
+               RobustnessStats* stats = nullptr,
+               MemoryAccountant* parent_accountant = nullptr)
+      : stats_(stats) {
+    if (timeout_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+      has_deadline_ = true;
+    }
+    if (memory_limit_bytes > 0 || parent_accountant != nullptr) {
+      accountant_ = std::make_unique<MemoryAccountant>(memory_limit_bytes,
+                                                       parent_accountant);
+    }
+  }
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Requests cooperative cancellation: the next Check() anywhere in the
+  /// query returns kCancelled. Safe from any thread, idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The interrupt poll. Cancellation wins over deadline expiry (a caller
+  /// who cancelled should not see kTimeout race in first).
+  Status Check() {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      CountOnce(&RobustnessStats::cancellations);
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      CountOnce(&RobustnessStats::deadline_timeouts);
+      return Status::Timeout("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Remaining time before the deadline; 0 if expired, INT64_MAX if none.
+  int64_t remaining_ms() const {
+    if (!has_deadline_) return INT64_MAX;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+  /// nullptr when no memory limit was configured.
+  MemoryAccountant* accountant() const { return accountant_.get(); }
+
+ private:
+  void CountOnce(std::atomic<int64_t> RobustnessStats::*counter) {
+    if (stats_ == nullptr) return;
+    bool expected = false;
+    if (reported_.compare_exchange_strong(expected, true,
+                                          std::memory_order_relaxed)) {
+      ++(stats_->*counter);
+    }
+  }
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> reported_{false};
+  std::unique_ptr<MemoryAccountant> accountant_;
+  RobustnessStats* stats_ = nullptr;
+};
+
+}  // namespace aggify

@@ -1,9 +1,16 @@
 // RobustnessStats: counters for the degraded-but-correct paths — guarded
-// rewrite fallbacks, verify-mode mismatches, and transient plan retries.
-// One instance lives on Database (like IoStats) so every execution against
-// the same database accumulates into it; tests reset it between scenarios.
+// rewrite fallbacks, verify-mode mismatches, transient plan retries, and the
+// resource-governance outcomes (cancellation, deadline expiry, memory-budget
+// degradation, admission control). One instance lives on Database (like
+// IoStats) so every execution against the same database accumulates into it;
+// tests reset it between scenarios.
+//
+// Fields are atomics because parallel workers and concurrently admitted
+// queries bump them from many threads; plain `++stats.field` keeps working
+// (each increment is atomic — the struct as a whole is not a snapshot).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,27 +18,68 @@ namespace aggify {
 
 struct RobustnessStats {
   /// Rewritten (aggregate) query executions that failed at runtime.
-  int64_t rewrite_exec_failures = 0;
+  std::atomic<int64_t> rewrite_exec_failures{0};
   /// Times the interpreter fell back to the original cursor loop.
-  int64_t fallbacks_taken = 0;
+  std::atomic<int64_t> fallbacks_taken{0};
   /// Fallback executions that completed successfully.
-  int64_t fallback_successes = 0;
+  std::atomic<int64_t> fallback_successes{0};
   /// Guarded statements executed in verify_rewrite mode.
-  int64_t verify_runs = 0;
+  std::atomic<int64_t> verify_runs{0};
   /// Verify runs where the rewritten result disagreed with the loop.
-  int64_t verify_mismatches = 0;
+  std::atomic<int64_t> verify_mismatches{0};
   /// Plan re-executions after a retryable (timeout/unavailable) failure.
-  int64_t transient_retries = 0;
+  std::atomic<int64_t> transient_retries{0};
+  /// Queries stopped because their QueryContext was cancelled (counted once
+  /// per query, not once per operator that observed the token).
+  std::atomic<int64_t> cancellations{0};
+  /// Queries stopped because their deadline expired (once per query).
+  std::atomic<int64_t> deadline_timeouts{0};
+  /// Memory-budget degradations that disabled batch execution (ladder
+  /// rung 1, docs/ROBUSTNESS.md).
+  std::atomic<int64_t> degraded_batch_to_row{0};
+  /// Memory-budget degradations that also forced DOP 1 (ladder rung 2).
+  std::atomic<int64_t> degraded_parallel_to_serial{0};
+  /// Queries that exhausted the degradation ladder and surfaced
+  /// kResourceExhausted to the caller.
+  std::atomic<int64_t> resource_exhausted_failures{0};
+  /// Executions that had to wait at the admission gate before running.
+  std::atomic<int64_t> admission_waits{0};
+  /// Executions rejected because the gate stayed full past its deadline.
+  std::atomic<int64_t> admission_rejections{0};
 
-  void Reset() { *this = RobustnessStats{}; }
+  void Reset() {
+    rewrite_exec_failures = 0;
+    fallbacks_taken = 0;
+    fallback_successes = 0;
+    verify_runs = 0;
+    verify_mismatches = 0;
+    transient_retries = 0;
+    cancellations = 0;
+    deadline_timeouts = 0;
+    degraded_batch_to_row = 0;
+    degraded_parallel_to_serial = 0;
+    resource_exhausted_failures = 0;
+    admission_waits = 0;
+    admission_rejections = 0;
+  }
 
   std::string ToString() const {
-    return "rewrite_exec_failures=" + std::to_string(rewrite_exec_failures) +
-           " fallbacks_taken=" + std::to_string(fallbacks_taken) +
-           " fallback_successes=" + std::to_string(fallback_successes) +
-           " verify_runs=" + std::to_string(verify_runs) +
-           " verify_mismatches=" + std::to_string(verify_mismatches) +
-           " transient_retries=" + std::to_string(transient_retries);
+    auto s = [](const std::atomic<int64_t>& v) {
+      return std::to_string(v.load());
+    };
+    return "rewrite_exec_failures=" + s(rewrite_exec_failures) +
+           " fallbacks_taken=" + s(fallbacks_taken) +
+           " fallback_successes=" + s(fallback_successes) +
+           " verify_runs=" + s(verify_runs) +
+           " verify_mismatches=" + s(verify_mismatches) +
+           " transient_retries=" + s(transient_retries) +
+           " cancellations=" + s(cancellations) +
+           " deadline_timeouts=" + s(deadline_timeouts) +
+           " degraded_batch_to_row=" + s(degraded_batch_to_row) +
+           " degraded_parallel_to_serial=" + s(degraded_parallel_to_serial) +
+           " resource_exhausted_failures=" + s(resource_exhausted_failures) +
+           " admission_waits=" + s(admission_waits) +
+           " admission_rejections=" + s(admission_rejections);
   }
 };
 

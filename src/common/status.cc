@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "timeout";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
     case StatusCode::kInternal:
       return "internal error";
   }

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kExecutionError,    ///< runtime failure while executing a plan / program
   kTimeout,           ///< operation exceeded its deadline (retryable)
   kUnavailable,       ///< transient resource / network failure (retryable)
+  kCancelled,         ///< caller cancelled the operation (not retryable)
+  kResourceExhausted, ///< memory budget / admission limit hit (not retryable)
   kInternal,          ///< invariant violation; indicates a library bug
 };
 
@@ -82,6 +84,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -99,9 +107,16 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// True for transient failures where retrying the same operation may
-  /// succeed (timeouts, unavailability). Logic errors are never retryable.
+  /// succeed (timeouts, unavailability). Logic errors are never retryable,
+  /// and neither are cancellation (the caller asked us to stop) or resource
+  /// exhaustion (the same attempt would hit the same budget — the engine
+  /// degrades to a cheaper mode instead, see docs/ROBUSTNESS.md).
   bool IsRetryable() const {
     return code() == StatusCode::kTimeout ||
            code() == StatusCode::kUnavailable;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "storage/catalog.h"
 #include "types/schema.h"
@@ -85,6 +86,24 @@ class ExecContext {
   void set_stats_override(IoStats* stats) { stats_override_ = stats; }
   RobustnessStats& robustness() const { return db_->robustness(); }
 
+  // --- query governance (docs/ROBUSTNESS.md) ---
+  /// The governing QueryContext, or nullptr when execution is unbounded.
+  /// Non-owning: installed by QueryEngine::Execute or a Session entry point,
+  /// whose stack frame outlives every operator and joined worker.
+  QueryContext* query_context() const { return query_ctx_; }
+  void set_query_context(QueryContext* qc) { query_ctx_ = qc; }
+  /// The cooperative interrupt poll: kCancelled / kTimeout when the
+  /// governing context says stop, OK otherwise (including when ungoverned).
+  /// Called at morsel / batch / FETCH granularity — cheap enough for that,
+  /// too hot for per-row use (callers stride it).
+  Status CheckInterrupts() const {
+    return query_ctx_ == nullptr ? Status::OK() : query_ctx_->Check();
+  }
+  /// The memory accountant of the governing context, or nullptr.
+  MemoryAccountant* accountant() const {
+    return query_ctx_ == nullptr ? nullptr : query_ctx_->accountant();
+  }
+
   VariableEnv* vars() const { return vars_; }
   void set_vars(VariableEnv* v) { vars_ = v; }
 
@@ -159,6 +178,7 @@ class ExecContext {
   SubqueryExecutor subquery_exec_;
   UdfInvoker udf_invoker_;
   IoStats* stats_override_ = nullptr;
+  QueryContext* query_ctx_ = nullptr;
 };
 
 }  // namespace aggify

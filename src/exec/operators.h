@@ -1,10 +1,12 @@
 // The physical operator zoo.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
 #include "aggregates/aggregate_function.h"
+#include "common/memory_accountant.h"
 #include "exec/operator.h"
 #include "parser/expr.h"
 
@@ -13,6 +15,39 @@ namespace aggify {
 class Table;
 class HashIndex;
 struct CompiledPredicate;  // exec/batch_pipeline.h
+
+// ---------------------------------------------------------------------------
+// Memory accounting (docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------------
+
+/// \brief Deterministic estimate of a row's heap footprint: a fixed
+/// per-value overhead plus string payloads (records recurse). Stateful
+/// operators charge these estimates to the query's MemoryAccountant; the
+/// estimate is a pure function of the value shapes, so the same data charges
+/// the same bytes in row, batch, and worker pipelines and budget-driven
+/// degradation decisions are reproducible.
+int64_t EstimateRowBytes(const Row& row);
+
+/// Charged per aggregate state in a group (builtin fold states are a couple
+/// of Values; interpreted Agg_Δ states are larger but bounded by their
+/// variable environment).
+inline constexpr int64_t kAggStateBytes = 64;
+/// Hash-table overhead per group entry (bucket, key header, state vector).
+inline constexpr int64_t kGroupOverheadBytes = 64;
+/// Per-value footprint of an unboxed columnar batch buffer (ColumnVector
+/// slot + null bitmap amortized). rows × columns × this is the transient
+/// charge of one live scan/morsel batch.
+inline constexpr int64_t kEstimatedBatchBytesPerValue = 16;
+
+/// Per-group charge of a hash/partial aggregation: identical whether the
+/// group is built by the serial row loop, the batch fold, or a parallel
+/// worker's partial (each worker charges its own partial's groups — parallel
+/// genuinely holds more state, which is what the parallel→serial rung of the
+/// degradation ladder reclaims).
+inline int64_t EstimateGroupBytes(const Row& key, size_t num_aggs) {
+  return kGroupOverheadBytes + EstimateRowBytes(key) +
+         static_cast<int64_t>(num_aggs) * kAggStateBytes;
+}
 
 /// \brief Full table scan with buffer-pool page accounting.
 class SeqScanOp : public Operator {
@@ -43,6 +78,10 @@ class SeqScanOp : public Operator {
   std::vector<bool> batch_columns_;
   int64_t pos_ = 0;
   int64_t last_page_ = -1;
+  /// Bytes charged for the live batch buffer (the unboxed columnar copy of
+  /// one page run); re-charged per batch, released at Close. This is the
+  /// allocation the batch→row degradation rung reclaims.
+  int64_t batch_charged_ = 0;
 };
 
 /// \brief Hash-index equality seek. The key expression is evaluated at Open
@@ -279,6 +318,7 @@ class SortOp : public Operator {
   std::vector<SortKey> keys_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  int64_t charged_ = 0;  ///< bytes charged for rows_ (released at Close)
 };
 
 /// \brief TOP n: count expression evaluated at Open (supports TOP (@var)).
@@ -399,6 +439,7 @@ class HashAggregateOp : public Operator {
   std::unordered_map<Row, GroupStates, RowHash, RowEq> groups_;
   std::vector<Row> group_keys_;  // emission order
   size_t emit_pos_ = 0;
+  int64_t charged_ = 0;  ///< bytes charged for groups_ (released at Close)
 };
 
 /// \brief Streaming (order-preserving) aggregation: the physical operator
@@ -539,6 +580,10 @@ class ParallelPartialAggOp : public Operator {
   struct Partial {
     std::unordered_map<Row, PartialEntry, RowHash, RowEq> groups;
     IoStats stats;
+    /// Bytes this partition charged to the query accountant (group state
+    /// only; transient morsel batch buffers are released inside the loop).
+    /// Written by the owning worker, summed by the coordinator after join.
+    int64_t charged = 0;
   };
   struct ReadyGroup {
     Row key;
@@ -547,11 +592,17 @@ class ParallelPartialAggOp : public Operator {
   };
   struct BatchExec;  // operators_parallel.cc: compiled batch pipeline
 
+  /// `abort` is the shared stop flag of one fan-out: the first worker to
+  /// fail (or observe cancellation/deadline) sets it, and every sibling
+  /// polls it at morsel boundaries and returns early — so one dead
+  /// partition quiesces the whole fragment promptly while the coordinator
+  /// still joins every future.
   Status RunPartition(Partial* partial, int partition, int64_t morsel_rows,
-                      const ExecContext& parent_ctx) const;
+                      const ExecContext& parent_ctx,
+                      std::atomic<bool>* abort) const;
   Status RunPartitionBatch(Partial* partial, int partition,
-                           int64_t morsel_rows,
-                           const ExecContext& parent_ctx) const;
+                           int64_t morsel_rows, const ExecContext& parent_ctx,
+                           std::atomic<bool>* abort) const;
   /// Compiles the batch pipeline into batch_exec_ (coordinator thread only);
   /// leaves it null when some shape defeats the batch kernels.
   void PrepareBatchExec(ExecContext& ctx);
@@ -570,6 +621,7 @@ class ParallelPartialAggOp : public Operator {
 
   std::vector<ReadyGroup> ready_;  ///< merged groups in emission order
   size_t emit_pos_ = 0;
+  int64_t charged_ = 0;  ///< bytes charged across all partials + ready_
 };
 
 /// \brief Exchange root of a parallel fragment: keeps the plan's root

@@ -125,6 +125,11 @@ Status HashAggregateOp::OpenBatch(ExecContext& ctx) {
         ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
         groups_.emplace(Row(), std::move(states));
         group_keys_.emplace_back();
+        if (MemoryAccountant* acc = ctx.accountant()) {
+          const int64_t bytes = EstimateGroupBytes(Row(), aggs_.size());
+          RETURN_NOT_OK(acc->TryCharge(bytes));
+          charged_ += bytes;
+        }
       }
       GroupStates& states = groups_.find(group_keys_[0])->second;
       for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -155,6 +160,11 @@ Status HashAggregateOp::OpenBatch(ExecContext& ctx) {
         groups_.emplace(key, std::move(states));
         group_keys_.push_back(key);
         gsel.emplace_back();
+        if (MemoryAccountant* acc = ctx.accountant()) {
+          const int64_t bytes = EstimateGroupBytes(key, aggs_.size());
+          RETURN_NOT_OK(acc->TryCharge(bytes));
+          charged_ += bytes;
+        }
       } else {
         ord = it->second;
       }
@@ -186,6 +196,9 @@ Status HashAggregateOp::Open(ExecContext& ctx) {
   groups_.clear();
   group_keys_.clear();
   emit_pos_ = 0;
+  // Forget (not release) any stale charge from a failed prior execution:
+  // the attempt-boundary rollback in RunPlan already returned those bytes.
+  charged_ = 0;
   if (use_batch_ && PrepareBatchBindings()) return OpenBatch(ctx);
   RETURN_NOT_OK(child_->Open(ctx));
   Row row;
@@ -199,6 +212,14 @@ Status HashAggregateOp::Open(ExecContext& ctx) {
       ASSIGN_OR_RETURN(auto states, InitStates(aggs_));
       it = groups_.emplace(key, std::move(states)).first;
       group_keys_.push_back(key);
+      if (MemoryAccountant* acc = ctx.accountant()) {
+        // Group state is the aggregation's resident footprint; the charge
+        // is a pure function of (key, #aggs) so row and batch modes charge
+        // identically for the same data (docs/ROBUSTNESS.md).
+        const int64_t bytes = EstimateGroupBytes(key, aggs_.size());
+        RETURN_NOT_OK(acc->TryCharge(bytes));
+        charged_ += bytes;
+      }
     }
     for (size_t i = 0; i < aggs_.size(); ++i) {
       RETURN_NOT_OK(AccumulateInto(aggs_[i], it->second[i].get(), row,
@@ -234,7 +255,8 @@ Result<bool> HashAggregateOp::Next(ExecContext& ctx, Row* out) {
 }
 
 Status HashAggregateOp::Close(ExecContext& ctx) {
-  AGGIFY_UNUSED(ctx);
+  if (MemoryAccountant* acc = ctx.accountant()) acc->Release(charged_);
+  charged_ = 0;
   groups_.clear();
   group_keys_.clear();
   return Status::OK();

@@ -6,6 +6,30 @@
 
 namespace aggify {
 
+// ---- memory accounting ----
+
+namespace {
+// Fixed footprint of one Value slot (variant storage + vector overhead
+// amortized). Payload bytes (strings, nested records) are added on top.
+constexpr int64_t kValueSlotBytes = 32;
+
+int64_t EstimateValueBytes(const Value& v) {
+  int64_t bytes = kValueSlotBytes;
+  if (v.is_string()) {
+    bytes += static_cast<int64_t>(v.string_value().size());
+  } else if (v.is_record()) {
+    for (const Value& f : v.record_value()) bytes += EstimateValueBytes(f);
+  }
+  return bytes;
+}
+}  // namespace
+
+int64_t EstimateRowBytes(const Row& row) {
+  int64_t bytes = 0;
+  for (const Value& v : row) bytes += EstimateValueBytes(v);
+  return bytes;
+}
+
 // ---- FilterOp ----
 
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
@@ -82,6 +106,10 @@ SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
 Status SortOp::Open(ExecContext& ctx) {
   rows_.clear();
   pos_ = 0;
+  // Forget (not release) any stale charge from a failed prior execution:
+  // the attempt-boundary rollback in RunPlan already returned those bytes.
+  charged_ = 0;
+  MemoryAccountant* acc = ctx.accountant();
   RETURN_NOT_OK(child_->Open(ctx));
   // Materialize rows alongside their evaluated sort keys.
   std::vector<std::pair<Row, Row>> keyed;  // (keys, row)
@@ -89,6 +117,13 @@ Status SortOp::Open(ExecContext& ctx) {
   for (;;) {
     ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
     if (!more) break;
+    if (acc != nullptr) {
+      // The sort buffer holds every input row until emission — the classic
+      // unbounded-state operator the memory budget exists to bound.
+      const int64_t bytes = EstimateRowBytes(row);
+      RETURN_NOT_OK(acc->TryCharge(bytes));
+      charged_ += bytes;
+    }
     RowFrame frame{&row, &child_->schema(), ctx.frame()};
     ExecContext::FrameScope scope(&ctx, &frame);
     Row key;
@@ -122,7 +157,8 @@ Result<bool> SortOp::Next(ExecContext& ctx, Row* out) {
 }
 
 Status SortOp::Close(ExecContext& ctx) {
-  AGGIFY_UNUSED(ctx);
+  if (MemoryAccountant* acc = ctx.accountant()) acc->Release(charged_);
+  charged_ = 0;
   rows_.clear();
   return Status::OK();
 }

@@ -145,9 +145,13 @@ void ParallelPartialAggOp::PrepareBatchExec(ExecContext& ctx) {
 
 Status ParallelPartialAggOp::RunPartitionBatch(
     Partial* partial, int partition, int64_t morsel_rows,
-    const ExecContext& parent_ctx) const {
+    const ExecContext& parent_ctx, std::atomic<bool>* abort) const {
   ExecContext ctx = parent_ctx;
   ctx.set_stats_override(&partial->stats);
+  // Transient reservation for this worker's live morsel buffer; re-charged
+  // per morsel, auto-released when the worker finishes (the accountant in
+  // the coordinator's QueryContext outlives every joined worker).
+  ScopedCharge morsel_buffer;
   const BatchExec& exec = *batch_exec_;
   const Table& table = *pipeline_.table;
   const int64_t num_rows = table.num_rows();
@@ -162,9 +166,19 @@ Status ParallelPartialAggOp::RunPartitionBatch(
   std::vector<size_t> touched;
   for (int64_t morsel = partition; morsel * morsel_rows < num_rows;
        morsel += dop_) {
+    // Sibling-stop poll: a failed/cancelled partition sets the shared flag
+    // and the rest of the fragment quiesces at its next morsel boundary.
+    if (abort->load(std::memory_order_acquire)) return Status::OK();
+    AGGIFY_FAILPOINT_SLEEP("exec.slow_operator");
+    RETURN_NOT_OK(ctx.CheckInterrupts());
     const int64_t begin = morsel * morsel_rows;
     const int64_t n = std::min(morsel_rows, num_rows - begin);
     AGGIFY_FAILPOINT("exec.scan.next");
+    if (MemoryAccountant* acc = ctx.accountant()) {
+      RETURN_NOT_OK(morsel_buffer.Charge(
+          acc, n * kEstimatedBatchBytesPerValue *
+                   static_cast<int64_t>(scan_ncols)));
+    }
     const Row* rows = table.ReadBatch(begin, n, &last_page, &ctx.stats());
     ctx.stats().rows_produced += n;
     batch.Reset(scan_ncols);
@@ -204,6 +218,11 @@ Status ParallelPartialAggOp::RunPartitionBatch(
         PartialEntry entry;
         ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
         entry.min_row = begin + batch.RowIndex(0);
+        if (MemoryAccountant* acc = ctx.accountant()) {
+          const int64_t bytes = EstimateGroupBytes(key, aggs_.size());
+          RETURN_NOT_OK(acc->TryCharge(bytes));
+          partial->charged += bytes;
+        }
         it = partial->groups.emplace(std::move(key), std::move(entry)).first;
       }
       for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -230,6 +249,11 @@ Status ParallelPartialAggOp::RunPartitionBatch(
         PartialEntry entry;
         ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
         entry.min_row = begin + i;  // first touch, rows ascending
+        if (MemoryAccountant* acc = ctx.accountant()) {
+          const int64_t bytes = EstimateGroupBytes(key, aggs_.size());
+          RETURN_NOT_OK(acc->TryCharge(bytes));
+          partial->charged += bytes;
+        }
         auto inserted = partial->groups.emplace(key, std::move(entry)).first;
         entries.push_back(&inserted->second);
         gsel.emplace_back();
@@ -271,7 +295,8 @@ ParallelPartialAggOp::ParallelPartialAggOp(OperatorPtr serial_child,
 
 Status ParallelPartialAggOp::RunPartition(Partial* partial, int partition,
                                           int64_t morsel_rows,
-                                          const ExecContext& parent_ctx) const {
+                                          const ExecContext& parent_ctx,
+                                          std::atomic<bool>* abort) const {
   // Private context: shares the immutable database/frame/variable views but
   // accounts I/O into this partial's counters. The parallel-safety gate
   // guarantees the hooks (subquery executor, UDF invoker) are never reached
@@ -286,6 +311,12 @@ Status ParallelPartialAggOp::RunPartition(Partial* partial, int partition,
   Row row;
   for (int64_t morsel = partition; morsel * morsel_rows < num_rows;
        morsel += dop_) {
+    // Sibling-stop poll + interrupt check at morsel granularity — the same
+    // cadence the batch worker uses, so cancel/deadline latency is bounded
+    // by one morsel either way.
+    if (abort->load(std::memory_order_acquire)) return Status::OK();
+    AGGIFY_FAILPOINT_SLEEP("exec.slow_operator");
+    RETURN_NOT_OK(ctx.CheckInterrupts());
     const int64_t begin = morsel * morsel_rows;
     const int64_t end = std::min(begin + morsel_rows, num_rows);
     for (int64_t row_id = begin; row_id < end; ++row_id) {
@@ -328,6 +359,11 @@ Status ParallelPartialAggOp::RunPartition(Partial* partial, int partition,
         PartialEntry entry;
         ASSIGN_OR_RETURN(entry.states, InitStates(aggs_));
         entry.min_row = row_id;
+        if (MemoryAccountant* acc = ctx.accountant()) {
+          const int64_t bytes = EstimateGroupBytes(key, aggs_.size());
+          RETURN_NOT_OK(acc->TryCharge(bytes));
+          partial->charged += bytes;
+        }
         it = partial->groups.emplace(std::move(key), std::move(entry)).first;
       }
       for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -342,6 +378,9 @@ Status ParallelPartialAggOp::RunPartition(Partial* partial, int partition,
 Status ParallelPartialAggOp::Open(ExecContext& ctx) {
   ready_.clear();
   emit_pos_ = 0;
+  // Forget (not release) any stale charge from a failed prior execution:
+  // the attempt-boundary rollback in RunPlan already returned those bytes.
+  charged_ = 0;
   if (pipeline_.table == nullptr) {
     return Status::Internal(
         "ParallelPartialAgg built over a non-morselizable pipeline");
@@ -359,12 +398,20 @@ Status ParallelPartialAggOp::Open(ExecContext& ctx) {
   std::vector<Partial> partials(static_cast<size_t>(dop_));
   std::vector<std::future<Status>> futures;
   futures.reserve(static_cast<size_t>(dop_));
+  // Shared stop flag of this fan-out: the first partition to fail — or to
+  // observe cancellation/deadline — raises it, and every sibling returns at
+  // its next morsel boundary instead of scanning to the end. Stack-local is
+  // safe: every future is joined below before this frame returns.
+  std::atomic<bool> abort{false};
   for (int p = 0; p < dop_; ++p) {
     Partial* partial = &partials[static_cast<size_t>(p)];
     futures.push_back(ThreadPool::Global().Submit(
-        [this, partial, p, morsel_rows, batch, &ctx]() -> Status {
-          return batch ? RunPartitionBatch(partial, p, morsel_rows, ctx)
-                       : RunPartition(partial, p, morsel_rows, ctx);
+        [this, partial, p, morsel_rows, batch, &ctx, &abort]() -> Status {
+          Status s =
+              batch ? RunPartitionBatch(partial, p, morsel_rows, ctx, &abort)
+                    : RunPartition(partial, p, morsel_rows, ctx, &abort);
+          if (!s.ok()) abort.store(true, std::memory_order_release);
+          return s;
         }));
   }
   // Join every worker before touching the partials (or returning an error —
@@ -377,6 +424,10 @@ Status ParallelPartialAggOp::Open(ExecContext& ctx) {
   }
   for (const Partial& partial : partials) {
     ctx.stats().MergeFrom(partial.stats);
+    // Record every worker's group-state charge before any error exit so
+    // Close (success) or RunPlan's rollback (failure) releases exactly what
+    // was taken.
+    charged_ += partial.charged;
   }
   RETURN_NOT_OK(failure);
 
@@ -428,7 +479,8 @@ Result<bool> ParallelPartialAggOp::Next(ExecContext& ctx, Row* out) {
 }
 
 Status ParallelPartialAggOp::Close(ExecContext& ctx) {
-  AGGIFY_UNUSED(ctx);
+  if (MemoryAccountant* acc = ctx.accountant()) acc->Release(charged_);
+  charged_ = 0;
   ready_.clear();
   return Status::OK();
 }

@@ -36,10 +36,20 @@ Status SeqScanOp::Open(ExecContext& ctx) {
   AGGIFY_UNUSED(ctx);
   pos_ = 0;
   last_page_ = -1;
+  // Forget (do not release) any charge a previous failed execution left
+  // behind: RunPlan's attempt-boundary rollback already returned those
+  // bytes, and the accountant they were charged to may no longer exist.
+  batch_charged_ = 0;
   return Status::OK();
 }
 
 Result<bool> SeqScanOp::Next(ExecContext& ctx, Row* out) {
+  // Strided interrupt poll: row reads are too hot for a per-row check, and
+  // a 1024-row stride still bounds deadline/cancel latency to microseconds.
+  if ((pos_ & 1023) == 0) {
+    AGGIFY_FAILPOINT_SLEEP("exec.slow_operator");
+    RETURN_NOT_OK(ctx.CheckInterrupts());
+  }
   AGGIFY_FAILPOINT("exec.scan.next");
   if (pos_ >= table_->num_rows()) return false;
   *out = table_->ReadRow(pos_++, &last_page_, &ctx.stats());
@@ -48,6 +58,8 @@ Result<bool> SeqScanOp::Next(ExecContext& ctx, Row* out) {
 }
 
 Result<bool> SeqScanOp::NextBatch(ExecContext& ctx, Batch* out) {
+  AGGIFY_FAILPOINT_SLEEP("exec.slow_operator");
+  RETURN_NOT_OK(ctx.CheckInterrupts());
   AGGIFY_FAILPOINT("exec.scan.next");
   if (pos_ >= table_->num_rows()) return false;
   // Page-aligned window, like the parallel path's morsels: batch boundaries
@@ -56,6 +68,18 @@ Result<bool> SeqScanOp::NextBatch(ExecContext& ctx, Batch* out) {
   const int64_t rpp = std::max<int64_t>(1, table_->rows_per_page());
   const int64_t aligned = ((kDefaultBatchRows + rpp - 1) / rpp) * rpp;
   const int64_t n = std::min(aligned, table_->num_rows() - pos_);
+  if (MemoryAccountant* acc = ctx.accountant()) {
+    // The unboxed columnar buffer is the batch pipeline's extra footprint
+    // over the row loop; re-charge it per batch so the budget always
+    // reflects one live buffer. A failed charge surfaces as
+    // kResourceExhausted and drives the batch→row degradation rung.
+    acc->Release(batch_charged_);
+    batch_charged_ = 0;
+    const int64_t bytes = n * kEstimatedBatchBytesPerValue *
+                          static_cast<int64_t>(schema_.num_columns());
+    RETURN_NOT_OK(acc->TryCharge(bytes));
+    batch_charged_ = bytes;
+  }
   const Row* rows = table_->ReadBatch(pos_, n, &last_page_, &ctx.stats());
   const size_t ncols = schema_.num_columns();
   out->Reset(ncols);
@@ -76,7 +100,8 @@ Result<bool> SeqScanOp::NextBatch(ExecContext& ctx, Batch* out) {
 }
 
 Status SeqScanOp::Close(ExecContext& ctx) {
-  AGGIFY_UNUSED(ctx);
+  if (MemoryAccountant* acc = ctx.accountant()) acc->Release(batch_charged_);
+  batch_charged_ = 0;
   return Status::OK();
 }
 
@@ -107,6 +132,7 @@ Status IndexSeekOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> IndexSeekOp::Next(ExecContext& ctx, Row* out) {
+  if ((pos_ & 1023) == 0) RETURN_NOT_OK(ctx.CheckInterrupts());
   AGGIFY_FAILPOINT("exec.scan.next");
   if (matches_ == nullptr || pos_ >= matches_->size()) return false;
   *out = table_->ReadRow((*matches_)[pos_++], &last_page_, &ctx.stats());
@@ -139,6 +165,7 @@ Status RowsScanOp::Open(ExecContext& ctx) {
 }
 
 Result<bool> RowsScanOp::Next(ExecContext& ctx, Row* out) {
+  if ((pos_ & 1023) == 0) RETURN_NOT_OK(ctx.CheckInterrupts());
   if (pos_ >= rows_->size()) return false;
   *out = (*rows_)[pos_++];
   ++ctx.stats().rows_produced;

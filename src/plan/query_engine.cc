@@ -1,6 +1,8 @@
 #include "plan/query_engine.h"
 
+#include <chrono>
 #include <iterator>
+#include <optional>
 
 #include "parser/parser.h"
 
@@ -8,6 +10,7 @@ namespace aggify {
 
 PlanCache::Entry* PlanCache::Acquire(const std::string& key,
                                      const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -29,6 +32,7 @@ PlanCache::Entry* PlanCache::Acquire(const std::string& key,
 
 void PlanCache::Insert(const std::string& key, OperatorPtr plan,
                        const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   // Never replace an entry some enclosing execution is iterating.
   if (it != entries_.end() && it->second.in_use) return;
@@ -44,6 +48,42 @@ void PlanCache::Insert(const std::string& key, OperatorPtr plan,
   entry.persistent_generation = catalog.persistent_generation();
   entry.temp_generation = catalog.temp_generation();
   entries_[key] = std::move(entry);
+}
+
+Status AdmissionGate::Acquire(int limit, int64_t wait_ms,
+                              RobustnessStats* stats) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < limit) {
+    ++running_;
+    return Status::OK();
+  }
+  if (wait_ms <= 0) {
+    if (stats != nullptr) ++stats->admission_rejections;
+    return Status::ResourceExhausted(
+        "admission gate full (" + std::to_string(limit) +
+        " concurrent queries) and admission_timeout_ms allows no wait");
+  }
+  if (stats != nullptr) ++stats->admission_waits;
+  const bool admitted = cv_.wait_for(
+      lock, std::chrono::milliseconds(wait_ms),
+      [&] { return running_ < limit; });
+  if (!admitted) {
+    if (stats != nullptr) ++stats->admission_rejections;
+    return Status::ResourceExhausted(
+        "admission gate full (" + std::to_string(limit) +
+        " concurrent queries) after waiting " + std::to_string(wait_ms) +
+        "ms");
+  }
+  ++running_;
+  return Status::OK();
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
 }
 
 namespace {
@@ -171,6 +211,76 @@ Result<QueryResult> QueryEngine::Execute(
     ~DepthGuard() { --c->depth; }
   } guard{&ctx};
 
+  // Admission gate: root executions only (depth 1 after the increment).
+  // Nested executions — subqueries, CTE parts, UDF-invoked statements —
+  // run inside their root's admission; re-entering the gate from them
+  // would deadlock a fully-admitted engine against itself.
+  const bool gated =
+      options.limits.max_concurrent_queries > 0 && ctx.depth == 1;
+  if (gated) {
+    RETURN_NOT_OK(admission_.Acquire(options.limits.max_concurrent_queries,
+                                     options.limits.admission_timeout_ms,
+                                     &ctx.robustness()));
+  }
+  struct GateGuard {
+    AdmissionGate* gate;
+    ~GateGuard() {
+      if (gate != nullptr) gate->Release();
+    }
+  } gate_guard{gated ? &admission_ : nullptr};
+
+  // Install a root QueryContext when limits are configured and no enclosing
+  // execution brought one (a Session-scoped deadline, say). It lives on
+  // this frame and spans every retry and degraded replan below, so the
+  // deadline and memory budget govern the whole statement, not one attempt.
+  std::optional<QueryContext> root_qc;
+  struct QcGuard {
+    ExecContext* c;
+    bool active = false;
+    ~QcGuard() {
+      if (active) c->set_query_context(nullptr);
+    }
+  } qc_guard{&ctx};
+  if (ctx.query_context() == nullptr &&
+      (options.limits.timeout_ms > 0 || options.limits.memory_limit_bytes > 0)) {
+    root_qc.emplace(options.limits.timeout_ms,
+                    options.limits.memory_limit_bytes, &ctx.robustness());
+    ctx.set_query_context(&*root_qc);
+    qc_guard.active = true;
+  }
+
+  auto result = ExecuteOnce(stmt, ctx, options, /*allow_cache=*/true);
+  if (result.ok() || !result.status().IsResourceExhausted()) return result;
+
+  // Graceful-degradation ladder (docs/ROBUSTNESS.md): a memory-budget hit
+  // is not retryable — the same plan would charge the same bytes — but a
+  // cheaper plan may fit. Shed the vectorized batch buffers first, then
+  // parallelism (per-worker partial aggregation states multiply footprint
+  // by the DOP). Each rung replans from scratch; RunPlan's rollback has
+  // already returned the failed attempt's bytes to the shared accountant.
+  if (options.execution.enable_batch) {
+    EngineOptions degraded = options;
+    degraded.execution.enable_batch = false;
+    ++ctx.robustness().degraded_batch_to_row;
+    result = ExecuteOnce(stmt, ctx, degraded, /*allow_cache=*/false);
+    if (result.ok() || !result.status().IsResourceExhausted()) return result;
+  }
+  if (options.execution.degree_of_parallelism > 1) {
+    EngineOptions degraded = options;
+    degraded.execution.enable_batch = false;
+    degraded.execution.degree_of_parallelism = 1;
+    ++ctx.robustness().degraded_parallel_to_serial;
+    result = ExecuteOnce(stmt, ctx, degraded, /*allow_cache=*/false);
+    if (result.ok() || !result.status().IsResourceExhausted()) return result;
+  }
+  ++ctx.robustness().resource_exhausted_failures;
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteOnce(const SelectStmt& stmt,
+                                             ExecContext& ctx,
+                                             const EngineOptions& options,
+                                             bool allow_cache) const {
   // Plan-cache fast path: statements without CTEs anywhere (top level,
   // derived tables, UNION ALL branches) and outside any CTE binding scope
   // reuse their physical plan across executions, like a real engine's
@@ -179,8 +289,8 @@ Result<QueryResult> QueryEngine::Execute(
   // effective options' fingerprint, so per-query overrides cache too —
   // a plan shaped by (say) dop=4 never serves the engine-default
   // configuration or vice versa.
-  const bool cacheable =
-      stmt.ctes.empty() && !ctx.HasCteBindings() && !HasNestedWith(stmt);
+  const bool cacheable = allow_cache && stmt.ctes.empty() &&
+                         !ctx.HasCteBindings() && !HasNestedWith(stmt);
   std::string cache_key;
   if (cacheable) {
     cache_key = options.PlanFingerprint();
@@ -220,6 +330,13 @@ Result<QueryResult> QueryEngine::Execute(
 
 Result<QueryResult> QueryEngine::RunPlan(Operator* root,
                                          ExecContext& ctx) const {
+  // Attempt-boundary memory bracket: anything this attempt charges and
+  // fails to release (operators that error in Open never see Close) is
+  // rolled back wholesale, so retries and degraded replans start from the
+  // pre-attempt budget. Safe because parallel workers are joined before
+  // any error propagates out of the plan tree.
+  MemoryAccountant* acc = ctx.accountant();
+  const int64_t mark = acc != nullptr ? acc->used() : 0;
   QueryResult result;
   result.schema = root->schema();
   Status st = root->Open(ctx);
@@ -237,7 +354,10 @@ Result<QueryResult> QueryEngine::RunPlan(Operator* root,
     Status close_st = root->Close(ctx);
     if (st.ok()) st = close_st;
   }
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    if (acc != nullptr) acc->ReleaseTo(mark);
+    return st;
+  }
   return result;
 }
 
@@ -248,6 +368,13 @@ Result<QueryResult> QueryEngine::RunPlanWithRetry(
        attempt < options.retry.transient_retries && !result.ok() &&
        result.status().IsRetryable();
        ++attempt) {
+    // A real expired deadline (or cancellation) makes retrying pointless:
+    // every new attempt would die at its first interrupt check. Injected
+    // kTimeout failures with no live deadline still retry as before.
+    if (ctx.query_context() != nullptr &&
+        !ctx.query_context()->Check().ok()) {
+      break;
+    }
     ++ctx.robustness().transient_retries;
     result = RunPlan(root, ctx);
   }

@@ -6,6 +6,8 @@
 // subquery executor so nested subqueries recurse through the same path.
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
 #include <unordered_map>
 
 #include "plan/planner.h"
@@ -18,7 +20,14 @@ namespace aggify {
 /// so the same SQL under different configurations caches separately;
 /// entries are fenced by the catalog generations and an in-use flag guards
 /// re-entrant executions. Plans over CTE bindings are never cached (they
-/// capture materialized rows). Not thread-safe, like the rest of a Session.
+/// capture materialized rows).
+///
+/// Thread-safe: the map and counters are mutex-guarded, so concurrently
+/// admitted queries (AdmissionGate) share one cache. The in-use flag is what
+/// keeps two threads off one stateful plan object — a second Acquire of an
+/// in-use entry misses and replans, and Insert/eviction never disturb in-use
+/// entries. Entry pointers stay valid across rehashes (unordered_map nodes
+/// are stable), so a Lease held outside the mutex remains safe.
 class PlanCache {
  public:
   struct Entry {
@@ -32,7 +41,10 @@ class PlanCache {
   /// Returns a usable entry or nullptr. The caller must Release() it —
   /// prefer AcquireLease, which cannot leak the in-use flag on early return.
   Entry* Acquire(const std::string& key, const Catalog& catalog);
-  void Release(Entry* entry) { entry->in_use = false; }
+  void Release(Entry* entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->in_use = false;
+  }
 
   /// \brief Move-only scoped release guard over an acquired entry. Releases
   /// in the destructor, so an execution that errors (or a caller that
@@ -79,15 +91,45 @@ class PlanCache {
   /// Inserts a plan (evicting everything if over capacity).
   void Insert(const std::string& key, OperatorPtr plan, const Catalog& catalog);
 
-  size_t size() const { return entries_.size(); }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   static constexpr size_t kMaxEntries = 512;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+};
+
+/// \brief Counting-semaphore admission gate
+/// (EngineOptions::Limits::max_concurrent_queries): at most `limit` root
+/// executions run at once; excess arrivals queue up to a wait deadline and
+/// are then rejected with kResourceExhausted. Nested executions (subqueries,
+/// UDF-invoked statements) run inside their root's admission and never
+/// re-enter the gate — so a gated query can always finish.
+class AdmissionGate {
+ public:
+  /// Blocks until a slot frees or `wait_ms` elapses (`wait_ms` <= 0 rejects
+  /// a full gate immediately). Counts waits/rejections into `stats`.
+  /// Errors: ResourceExhausted when the gate stays full past the deadline.
+  Status Acquire(int limit, int64_t wait_ms, RobustnessStats* stats);
+  void Release();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
 };
 
 class QueryEngine {
@@ -123,12 +165,19 @@ class QueryEngine {
 
   const PlanCache& plan_cache() const { return cache_; }
 
-  /// DEPRECATED: the retry budget now lives in
-  /// EngineOptions::retry.transient_retries (this constant mirrors its
-  /// default for one release; the engine reads the option, not this).
-  static constexpr int kTransientRetries = 2;
-
  private:
+  /// One planning+execution attempt at the given effective options: cache
+  /// lookup (when `allow_cache`), CTE binding, planning, RunPlanWithRetry.
+  /// The degradation ladder in Execute re-invokes this with progressively
+  /// cheaper options; those degraded plans are never cached (the user's
+  /// configuration should not be shadowed by an emergency replan).
+  Result<QueryResult> ExecuteOnce(const SelectStmt& stmt, ExecContext& ctx,
+                                  const EngineOptions& options,
+                                  bool allow_cache) const;
+  /// Runs the plan to completion. Brackets the attempt with the memory
+  /// accountant: usage is marked at entry and rolled back on failure, so a
+  /// failed attempt (whose operators may never reach Close) cannot poison
+  /// the budget of a retry or a degraded replan.
   Result<QueryResult> RunPlan(Operator* root, ExecContext& ctx) const;
   /// RunPlan plus bounded retry on IsRetryable() failures, with the budget
   /// read from the *effective* options of this execution (a per-query
@@ -146,6 +195,7 @@ class QueryEngine {
   Database* db_;
   EngineOptions options_;
   mutable PlanCache cache_;
+  mutable AdmissionGate admission_;
 };
 
 }  // namespace aggify

@@ -1,5 +1,6 @@
 #include "procedural/interpreter.h"
 
+#include "common/failpoint.h"
 #include "exec/eval.h"
 #include "storage/table.h"
 
@@ -157,6 +158,9 @@ Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt,
     case StmtKind::kWhile: {
       const auto& w = static_cast<const WhileStmt&>(stmt);
       for (;;) {
+        // Per-iteration interrupt check: a loop whose body never runs a
+        // query (pure variable arithmetic) must still honor deadlines.
+        RETURN_NOT_OK(ctx.CheckInterrupts());
         ASSIGN_OR_RETURN(bool cond, EvalPredicate(*w.condition, ctx));
         if (!cond) break;
         ASSIGN_OR_RETURN(Flow flow, ExecStmt(*w.body, frame, ctx));
@@ -172,6 +176,7 @@ Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt,
       ASSIGN_OR_RETURN(Value init, EvalExpr(*f.init, ctx));
       frame->env->Declare(f.var, init);
       for (;;) {
+        RETURN_NOT_OK(ctx.CheckInterrupts());
         ASSIGN_OR_RETURN(Value cur, frame->env->Get(f.var));
         ASSIGN_OR_RETURN(Value bound, EvalExpr(*f.bound, ctx));
         ASSIGN_OR_RETURN(Value le, Le(cur, bound));
@@ -339,6 +344,10 @@ Status Interpreter::ExecFetch(const FetchStmt& fetch, CallFrame* frame,
   if (!cursor.open) {
     return Status::ExecutionError("FETCH from closed cursor " + fetch.cursor);
   }
+  // Cursor loops are the paper's pathological case — thousands of FETCHes
+  // per invocation — so this is the interpreter's interrupt granularity.
+  AGGIFY_FAILPOINT_SLEEP("exec.slow_operator");
+  RETURN_NOT_OK(ctx.CheckInterrupts());
   ++ctx.stats().cursor_fetches;
   if (cursor.position >= cursor.worktable->num_rows()) {
     RETURN_NOT_OK(frame->env->Set("@@fetch_status", Value::Int(-1)));
@@ -513,9 +522,14 @@ namespace {
 
 /// A failed rewritten query falls back to the loop unless the failure is an
 /// invariant violation (library bug) — mirroring TRY/CATCH, which also
-/// refuses to swallow Internal errors.
+/// refuses to swallow Internal errors — or a cancellation: the caller asked
+/// the whole invocation to stop, so re-running the work as a cursor loop
+/// would defy them. Timeouts and memory exhaustion stay eligible (the
+/// interpreted loop holds less state than a set-oriented plan and may
+/// finish within budget).
 bool FallbackEligible(const Status& st) {
-  return st.code() != StatusCode::kInternal;
+  return st.code() != StatusCode::kInternal &&
+         st.code() != StatusCode::kCancelled;
 }
 
 }  // namespace

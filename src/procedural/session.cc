@@ -1,8 +1,43 @@
 #include "procedural/session.h"
 
+#include <optional>
+
 #include "parser/parser.h"
 
 namespace aggify {
+
+namespace {
+
+/// \brief One deadline / memory budget per user-level invocation. Installed
+/// before the interpreter runs, so every statement a procedure body executes
+/// — cursor FETCHes, rewritten aggregates, fallback loops — draws down the
+/// same clock and the same byte budget instead of each getting a fresh one.
+/// Plain SELECTs through Session::Query need no help here: QueryEngine
+/// installs a root QueryContext itself when none is present.
+class ScopedInvocationLimits {
+ public:
+  ScopedInvocationLimits(const EngineOptions& options, ExecContext* ctx) {
+    const auto& limits = options.limits;
+    if (ctx->query_context() == nullptr &&
+        (limits.timeout_ms > 0 || limits.memory_limit_bytes > 0)) {
+      qc_.emplace(limits.timeout_ms, limits.memory_limit_bytes,
+                  &ctx->robustness());
+      ctx->set_query_context(&*qc_);
+      ctx_ = ctx;
+    }
+  }
+  ~ScopedInvocationLimits() {
+    if (ctx_ != nullptr) ctx_->set_query_context(nullptr);
+  }
+  ScopedInvocationLimits(const ScopedInvocationLimits&) = delete;
+  ScopedInvocationLimits& operator=(const ScopedInvocationLimits&) = delete;
+
+ private:
+  std::optional<QueryContext> qc_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace
 
 Session::Session(Database* db, const EngineOptions& options)
     : db_(db),
@@ -44,6 +79,7 @@ Result<std::vector<QueryResult>> Session::RunScript(const Script& script) {
         break;
       case ScriptCommand::Kind::kInsert: {
         ExecContext ctx = MakeContext();
+        ScopedInvocationLimits limits(engine_.options(), &ctx);
         VariableEnv env;
         ctx.set_vars(&env);
         BlockStmt wrapper;
@@ -63,6 +99,7 @@ Result<std::vector<QueryResult>> Session::RunScript(const Script& script) {
       }
       case ScriptCommand::Kind::kBlock: {
         ExecContext ctx = MakeContext();
+        ScopedInvocationLimits limits(engine_.options(), &ctx);
         VariableEnv env;
         ctx.set_vars(&env);
         ASSIGN_OR_RETURN(
@@ -94,6 +131,7 @@ Result<Value> Session::Call(const std::string& name,
                             const std::vector<Value>& args) {
   ASSIGN_OR_RETURN(auto def, db_->catalog().GetFunction(name));
   ExecContext ctx = MakeContext();
+  ScopedInvocationLimits limits(engine_.options(), &ctx);
   return interpreter_->CallFunction(*def, args, ctx);
 }
 
@@ -101,6 +139,7 @@ Result<std::shared_ptr<VariableEnv>> Session::RunBlock(const std::string& sql) {
   ASSIGN_OR_RETURN(StmtPtr block, ParseStatements(sql));
   auto env = std::make_shared<VariableEnv>();
   ExecContext ctx = MakeContext();
+  ScopedInvocationLimits limits(engine_.options(), &ctx);
   ctx.set_vars(env.get());
   ASSIGN_OR_RETURN(Value v,
                    interpreter_->ExecuteBlock(

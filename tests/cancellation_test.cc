@@ -1,0 +1,338 @@
+// Tests of deadline propagation, cooperative cancellation, memory-budgeted
+// execution with graceful degradation, and the admission gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "procedural/session.h"
+#include "test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace aggify {
+namespace {
+
+// ---- QueryContext unit behavior ----
+
+TEST(QueryContextTest, NoLimitsMeansNoChecksFire) {
+  RobustnessStats stats;
+  QueryContext qc(/*timeout_ms=*/0, /*memory_limit_bytes=*/0, &stats);
+  EXPECT_FALSE(qc.has_deadline());
+  EXPECT_EQ(qc.accountant(), nullptr);
+  EXPECT_OK(qc.Check());
+  EXPECT_EQ(stats.deadline_timeouts, 0);
+}
+
+TEST(QueryContextTest, CancellationWinsOverDeadlineAndCountsOnce) {
+  RobustnessStats stats;
+  QueryContext qc(/*timeout_ms=*/1, /*memory_limit_bytes=*/0, &stats);
+  qc.Cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // deadline past
+  Status st = qc.Check();
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  // Repeated observations by many operators count a single cancellation.
+  EXPECT_TRUE(qc.Check().IsCancelled());
+  EXPECT_TRUE(qc.Check().IsCancelled());
+  EXPECT_EQ(stats.cancellations, 1);
+  EXPECT_EQ(stats.deadline_timeouts, 0);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineReturnsTimeout) {
+  RobustnessStats stats;
+  QueryContext qc(/*timeout_ms=*/1, /*memory_limit_bytes=*/0, &stats);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Status st = qc.Check();
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+  EXPECT_TRUE(st.IsRetryable());  // composes with RetryPolicy upstream
+  EXPECT_EQ(qc.remaining_ms(), 0);
+  EXPECT_EQ(stats.deadline_timeouts, 1);
+}
+
+// ---- MemoryAccountant unit behavior ----
+
+TEST(MemoryAccountantTest, ChargesAgainstLimitAndRollsBack) {
+  MemoryAccountant acc(/*limit_bytes=*/100);
+  ASSERT_OK(acc.TryCharge(60));
+  Status st = acc.TryCharge(50);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(acc.used(), 60);  // failed charge left no residue
+  ASSERT_OK(acc.TryCharge(40));
+  EXPECT_EQ(acc.peak(), 100);
+  acc.ReleaseTo(60);
+  EXPECT_EQ(acc.used(), 60);
+  acc.Release(60);
+  EXPECT_EQ(acc.used(), 0);
+  EXPECT_EQ(acc.peak(), 100);
+}
+
+TEST(MemoryAccountantTest, ParentChainChargesBothAndUndoesOnParentFailure) {
+  MemoryAccountant parent(/*limit_bytes=*/100);
+  MemoryAccountant child(/*limit_bytes=*/0, &parent);  // child unlimited
+  ASSERT_OK(child.TryCharge(80));
+  EXPECT_EQ(parent.used(), 80);
+  Status st = child.TryCharge(30);  // parent rejects
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(child.used(), 80);  // child's own ledger undone
+  EXPECT_EQ(parent.used(), 80);
+  child.Release(80);
+  EXPECT_EQ(parent.used(), 0);
+}
+
+// ---- Engine-level deadline / cancellation / degradation ----
+
+class CancellationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_OK(PopulateTpch(db_, config));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  void SetUp() override { db_->robustness().Reset(); }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  static constexpr const char* kGroupBy =
+      "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag";
+
+  static Database* db_;
+};
+
+Database* CancellationTest::db_ = nullptr;
+
+TEST_F(CancellationTest, DeadlineExpiryAtDop8ReturnsTimeoutWithWorkersJoined) {
+  // Every morsel sleeps 5ms; a 1ms budget is spent by the first check after
+  // the first sleep. All eight workers observe the shared context and stop;
+  // Session::Query returns only after the coordinator joined every future
+  // (run under TSan in CI to prove quiescence).
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "exec.slow_operator=always:sleep(5)"));
+  EngineOptions options = EngineOptions::WithDop(8);
+  options.limits.timeout_ms = 1;
+  Session session(db_, options);
+  Status st = session.Query(kGroupBy).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+  EXPECT_EQ(db_->robustness().deadline_timeouts, 1);
+  // A real expired deadline must not burn the transient-retry budget:
+  // every re-attempt would die at its first interrupt check.
+  EXPECT_EQ(db_->robustness().transient_retries, 0);
+}
+
+TEST_F(CancellationTest, PreCancelledContextStopsBeforeAnyWork) {
+  Session session(db_, EngineOptions::WithDop(8));
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect(kGroupBy));
+  ExecContext ctx = session.MakeContext();
+  QueryContext qc(/*timeout_ms=*/0, /*memory_limit_bytes=*/0,
+                  &db_->robustness());
+  qc.Cancel();
+  ctx.set_query_context(&qc);
+  Status st = session.engine().Execute(*stmt, ctx).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  EXPECT_EQ(db_->robustness().cancellations, 1);
+  // Cancellation is not retryable and must not be retried.
+  EXPECT_EQ(db_->robustness().transient_retries, 0);
+}
+
+TEST_F(CancellationTest, ConcurrentCancelStopsWorkersAndEngineStaysUsable) {
+  // Slow every morsel down, cancel from another thread mid-flight. The
+  // result is either a clean completion (the race is legal) or kCancelled —
+  // never a crash, a hang, or a poisoned engine.
+  ASSERT_OK(FailPoints::Instance().ArmFromString(
+      "exec.slow_operator=always:sleep(2)"));
+  Session session(db_, EngineOptions::WithDop(8));
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect(kGroupBy));
+  ExecContext ctx = session.MakeContext();
+  QueryContext qc(/*timeout_ms=*/0, /*memory_limit_bytes=*/0,
+                  &db_->robustness());
+  ctx.set_query_context(&qc);
+  Status status = Status::OK();
+  std::thread runner([&] {
+    status = session.engine().Execute(*stmt, ctx).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  qc.Cancel();
+  runner.join();
+  if (!status.ok()) {
+    EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  }
+  // The engine (and its plan cache) survives a cancelled execution.
+  FailPoints::Instance().DisarmAll();
+  ASSERT_OK_AND_ASSIGN(QueryResult again, session.Query(kGroupBy));
+  EXPECT_EQ(again.rows.size(), 3u);
+}
+
+TEST_F(CancellationTest, ProceduralLoopHonorsDeadline) {
+  // A pure-arithmetic WHILE loop never executes a query; the interpreter's
+  // per-iteration check is the only thing that can stop it.
+  EngineOptions options;
+  options.limits.timeout_ms = 5;
+  Session session(db_, options);
+  Status st = session
+                  .RunBlock("BEGIN DECLARE @i INT; SET @i = 0; "
+                            "WHILE 1 = 1 SET @i = @i + 1; END")
+                  .status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+}
+
+TEST_F(CancellationTest, InjectedChargeFailureDegradesBatchToRow) {
+  // First accountant charge (the batch scan's morsel buffer) fails; the
+  // ladder replans row-at-a-time and the query completes. Serial engine, so
+  // the times(1) budget cannot be raced away by sibling workers.
+  EngineOptions unlimited;  // serial, batch on, no budget: reference run
+  Session reference(db_, unlimited);
+  ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Query(kGroupBy));
+
+  ASSERT_OK(FailPoints::Instance().ArmFromString("mem.charge_fail=times(1)"));
+  EngineOptions options;
+  options.limits.memory_limit_bytes = 1LL << 30;  // accountant present, ample
+  Session session(db_, options);
+  ASSERT_OK_AND_ASSIGN(QueryResult degraded, session.Query(kGroupBy));
+  EXPECT_EQ(db_->robustness().degraded_batch_to_row, 1);
+  EXPECT_EQ(db_->robustness().degraded_parallel_to_serial, 0);
+  EXPECT_EQ(db_->robustness().resource_exhausted_failures, 0);
+  ASSERT_EQ(degraded.rows.size(), expected.rows.size());
+  for (size_t i = 0; i < expected.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(degraded.rows[i], expected.rows[i]));
+  }
+}
+
+TEST_F(CancellationTest, TightBudgetWalksFullLadderToSerialRowMode) {
+  // ~2KB fits the three serial hash-aggregate groups (~0.5KB) but neither
+  // the vectorized scan's morsel buffer (hundreds of KB) nor eight workers'
+  // partial-aggregation states. Both rungs fire; results are bit-identical
+  // to an unconstrained serial run.
+  EngineOptions unlimited;
+  Session reference(db_, unlimited);
+  ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Query(kGroupBy));
+
+  EngineOptions options = EngineOptions::WithDop(8);
+  options.limits.memory_limit_bytes = 2048;
+  Session session(db_, options);
+  ASSERT_OK_AND_ASSIGN(QueryResult degraded, session.Query(kGroupBy));
+  EXPECT_EQ(db_->robustness().degraded_batch_to_row, 1);
+  EXPECT_EQ(db_->robustness().degraded_parallel_to_serial, 1);
+  EXPECT_EQ(db_->robustness().resource_exhausted_failures, 0);
+  ASSERT_EQ(degraded.rows.size(), expected.rows.size());
+  for (size_t i = 0; i < expected.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(degraded.rows[i], expected.rows[i]));
+  }
+}
+
+TEST_F(CancellationTest, ImpossibleBudgetSurrendersWithResourceExhausted) {
+  EngineOptions options = EngineOptions::WithDop(8);
+  options.limits.memory_limit_bytes = 16;  // not even one group state
+  Session session(db_, options);
+  Status st = session.Query(kGroupBy).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(db_->robustness().degraded_batch_to_row, 1);
+  EXPECT_EQ(db_->robustness().degraded_parallel_to_serial, 1);
+  EXPECT_EQ(db_->robustness().resource_exhausted_failures, 1);
+  // kResourceExhausted is not retryable: degradation replans, never re-runs.
+  EXPECT_EQ(db_->robustness().transient_retries, 0);
+}
+
+// ---- Admission gate ----
+
+TEST(AdmissionGateTest, RejectsImmediatelyWhenFullAndNoWaitAllowed) {
+  RobustnessStats stats;
+  AdmissionGate gate;
+  ASSERT_OK(gate.Acquire(/*limit=*/1, /*wait_ms=*/0, &stats));
+  Status st = gate.Acquire(1, 0, &stats);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(stats.admission_rejections, 1);
+  EXPECT_EQ(stats.admission_waits, 0);
+  gate.Release();
+  EXPECT_OK(gate.Acquire(1, 0, &stats));
+  gate.Release();
+}
+
+TEST(AdmissionGateTest, QueuedArrivalIsAdmittedWhenSlotFrees) {
+  RobustnessStats stats;
+  AdmissionGate gate;
+  ASSERT_OK(gate.Acquire(/*limit=*/1, /*wait_ms=*/0, &stats));
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Status st = gate.Acquire(1, /*wait_ms=*/10000, &stats);
+    EXPECT_OK(st);
+    admitted.store(true);
+    gate.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(admitted.load());
+  gate.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(stats.admission_waits, 1);
+  EXPECT_EQ(stats.admission_rejections, 0);
+}
+
+class AdmissionStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    Session seed(db_.get());
+    ASSERT_OK(seed.RunSql(R"(
+      CREATE TABLE nums (v INT);
+      INSERT INTO nums VALUES (1), (2), (3), (4), (5), (6), (7), (8);
+    )"));
+    db_->robustness().Reset();
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AdmissionStressTest, AdmissionStressEightConcurrentQueries) {
+  // Eight threads hammer a gate of two. Arming exec.slow_operator (1ms
+  // default delay) keeps the gate contended; CI also runs this binary with
+  // AGGIFY_FAILPOINTS=exec.slow_operator from the environment. Every query
+  // must eventually be admitted and succeed — the wait budget is generous —
+  // and shared state (plan cache, robustness counters) must stay coherent
+  // under TSan.
+  ASSERT_OK(FailPoints::Instance().ArmFromString("exec.slow_operator"));
+  EngineOptions options;
+  options.limits.max_concurrent_queries = 2;
+  options.limits.admission_timeout_ms = 10000;
+  Session session(db_.get(), options);
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT SUM(v) FROM nums"));
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Private I/O stats: IoStats is not atomic; the shared Database copy
+      // must not be written from worker threads.
+      IoStats local_stats;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        ExecContext ctx = session.MakeContext();
+        ctx.set_stats_override(&local_stats);
+        auto result = session.engine().Execute(*stmt, ctx);
+        EXPECT_OK(result.status());
+        if (result.ok() && result->rows.size() == 1 &&
+            result->rows[0][0].int_value() == 36) {
+          ++successes;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), kThreads * kQueriesPerThread);
+  EXPECT_EQ(db_->robustness().admission_rejections, 0);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -118,15 +118,37 @@ TEST_F(FailPointTest, InjectedCodesRouteThroughStatusPredicates) {
 }
 
 TEST_F(FailPointTest, MalformedSpecArmsNothing) {
-  // Second entry is malformed: the whole list is rejected atomically.
-  Status st = FailPoints::Instance().ArmFromString("good.site=always;bad");
+  // Second entry is malformed (empty site name): the whole list is
+  // rejected atomically.
+  Status st = FailPoints::Instance().ArmFromString("good.site=always;=always");
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(FailPoints::AnyArmed());
   ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=every(0)").ok());
   ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=prob(1.5)").ok());
   ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=always:nocode").ok());
+  ASSERT_FALSE(FailPoints::Instance().ArmFromString("s=always:sleep(x)").ok());
   EXPECT_FALSE(FailPoints::AnyArmed());
+}
+
+TEST_F(FailPointTest, BareSiteArmsAsAlways) {
+  // `AGGIFY_FAILPOINTS=exec.slow_operator` (no '=') must work verbatim:
+  // a bare name arms the site with the `always` policy.
+  ASSERT_OK(FailPoints::Instance().ArmFromString("bare.site"));
+  EXPECT_TRUE(FailPoints::Instance().IsArmed("bare.site"));
+  EXPECT_FALSE(FailPoints::Check("bare.site").ok());
+  EXPECT_FALSE(FailPoints::Check("bare.site").ok());
+}
+
+TEST_F(FailPointTest, SleepSuffixDelaysInsteadOfFailing) {
+  ASSERT_OK(FailPoints::Instance().ArmFromString("slow.site=every(2):sleep(1)"));
+  // Fires on the 2nd and 4th checks only; the off checks cost no delay.
+  EXPECT_EQ(FailPoints::Instance().SleepIfFired("slow.site"), 0);
+  EXPECT_EQ(FailPoints::Instance().SleepIfFired("slow.site"), 1);
+  EXPECT_EQ(FailPoints::Instance().SleepIfFired("slow.site"), 0);
+  EXPECT_EQ(FailPoints::Instance().SleepIfFired("slow.site"), 1);
+  EXPECT_EQ(FailPoints::Instance().CheckCount("slow.site"), 4);
+  EXPECT_EQ(FailPoints::Instance().TriggerCount("slow.site"), 2);
 }
 
 TEST_F(FailPointTest, ArmFromEnvReadsVariable) {
@@ -210,8 +232,9 @@ TEST_F(FailPointEngineTest, EngineGivesUpOnPersistentFault) {
   Status st = session_->Query("SELECT SUM(v) FROM nums").status();
   ASSERT_FALSE(st.ok());
   EXPECT_TRUE(st.IsUnavailable());
-  // Initial run + kTransientRetries re-runs, all spent.
-  EXPECT_EQ(db_.robustness().transient_retries, QueryEngine::kTransientRetries);
+  // Initial run + the full configured retry budget, all spent.
+  EXPECT_EQ(db_.robustness().transient_retries,
+            EngineOptions{}.retry.transient_retries);
 }
 
 TEST_F(FailPointEngineTest, NonRetryableFaultIsNotRetried) {

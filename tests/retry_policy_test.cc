@@ -1,0 +1,75 @@
+// Tests of the client retry policy's backoff/jitter math and of which
+// status codes are (and are not) retryable.
+#include <gtest/gtest.h>
+
+#include "client/network.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+TEST(RetryPolicyTest, BackoffDoublesFromBase) {
+  RetryPolicy policy;  // base 1ms, max 64ms
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 1), 1.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 2), 2.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 3), 4.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 7), 64.0);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedAtPolicyMaximum) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 3.0;
+  policy.max_backoff_ms = 20.0;
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 1), 3.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 2), 6.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 3), 12.0);
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 4), 20.0);  // 24 clamps to 20
+  // No overflow for absurd attempt counts: the cap holds.
+  EXPECT_DOUBLE_EQ(RawBackoffMs(policy, 500), 20.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinHalfOpenBand) {
+  // A draw in [0, 1) must land the delay in [raw/2, raw): at least half
+  // the backoff is always honored, and the full value is never reached.
+  EXPECT_DOUBLE_EQ(JitteredBackoffMs(8.0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(JitteredBackoffMs(8.0, 0.5), 6.0);
+  EXPECT_LT(JitteredBackoffMs(8.0, 0.999999), 8.0);
+  RetryPolicy policy;
+  Random rng(policy.jitter_seed);
+  for (int i = 0; i < 1000; ++i) {
+    const double raw = RawBackoffMs(policy, 1 + i % 8);
+    const double jittered = JitteredBackoffMs(raw, rng.NextDouble());
+    EXPECT_GE(jittered, raw / 2.0);
+    EXPECT_LT(jittered, raw);
+  }
+}
+
+TEST(RetryPolicyTest, SeededJitterReplaysDeterministically) {
+  RetryPolicy policy;
+  Random a(policy.jitter_seed);
+  Random b(policy.jitter_seed);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double raw = RawBackoffMs(policy, attempt);
+    EXPECT_DOUBLE_EQ(JitteredBackoffMs(raw, a.NextDouble()),
+                     JitteredBackoffMs(raw, b.NextDouble()));
+  }
+}
+
+TEST(RetryPolicyTest, RetryabilityDistinguishesTimeoutFromExhaustion) {
+  // Deadline expiry is transient — a retry (or a fallback loop) may beat
+  // the clock next time. A blown memory budget or a cancellation is not:
+  // the same plan charges the same bytes, and the caller asked to stop.
+  EXPECT_TRUE(Status::Timeout("deadline").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("flaky link").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("budget").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("caller").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+
+  EXPECT_TRUE(Status::ResourceExhausted("budget").IsResourceExhausted());
+  EXPECT_TRUE(Status::Cancelled("caller").IsCancelled());
+}
+
+}  // namespace
+}  // namespace aggify

@@ -221,7 +221,10 @@ int main(int argc, char** argv) {
   bool keep_dead = false;
   bool print_sets = false;
   bool explain = false;
+  bool print_stats = false;
   int dop = 1;
+  int64_t timeout_ms = 0;
+  int64_t memory_limit_bytes = 0;
   bool lint = false;
   LintOptions lint_options;
   std::vector<std::string> targets;
@@ -240,6 +243,16 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--dop=", 6) == 0) {
       dop = std::atoi(argv[i] + 6);
       if (dop < 1) return Fail("--dop needs a positive integer");
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      timeout_ms = std::atoll(argv[i] + 13);
+      if (timeout_ms < 0) return Fail("--timeout-ms needs a non-negative integer");
+    } else if (std::strncmp(argv[i], "--memory-limit-bytes=", 21) == 0) {
+      memory_limit_bytes = std::atoll(argv[i] + 21);
+      if (memory_limit_bytes < 0) {
+        return Fail("--memory-limit-bytes needs a non-negative integer");
+      }
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--format=json") == 0) {
@@ -251,7 +264,8 @@ int main(int argc, char** argv) {
     } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
       return Fail(std::string("unknown option ") + argv[i] +
                   "\nusage: aggify_cli [--check-only] [--for-loops] "
-                  "[--keep-dead] [--sets] [--dop=N] [--explain] "
+                  "[--keep-dead] [--sets] [--dop=N] [--explain] [--stats] "
+                  "[--timeout-ms=N] [--memory-limit-bytes=N] "
                   "<script.sql | ->\n"
                   "       aggify_cli --lint [--format=json|text] [--werror] "
                   "<path | workloads-corpus>...");
@@ -287,6 +301,8 @@ int main(int argc, char** argv) {
   options.rewrite.convert_for_loops = for_loops;
   options.rewrite.remove_dead_declarations = !keep_dead;
   options.execution.degree_of_parallelism = dop;
+  options.limits.timeout_ms = timeout_ms;
+  options.limits.memory_limit_bytes = memory_limit_bytes;
 
   Database db;
   Session session(&db, options);
@@ -362,5 +378,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "aggify_cli: %d loop(s) found, %d rewritten\n",
                total_loops, total_rewritten);
+  if (print_stats) {
+    std::fprintf(stderr, "aggify_cli: robustness: %s\n",
+                 db.robustness().ToString().c_str());
+  }
   return total_loops == total_rewritten ? 0 : 2;
 }
