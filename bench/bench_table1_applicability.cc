@@ -53,6 +53,43 @@ int main() {
   }
   buckets.Print();
 
+  // Eligibility ladder: of the Aggify-able loops, how many earned a Merge —
+  // via the fold classifier's algebra, via homomorphism-calculus synthesis
+  // (shuffle-sweep certified), or not at all (serial plan only). The three
+  // buckets are mutually exclusive and must account for every rewrite.
+  std::printf("\nMerge eligibility ladder (parallel-eligible widening):\n");
+  TextTable ladder({"Workload", "Aggify-able", "Recognized fold",
+                    "Merge synthesized", "Serial-only", "Parallel-eligible"});
+  for (const auto& [name, stats] : all_stats) {
+    int accounted = stats.recognized_fold + stats.merge_synthesized +
+                    stats.serial_only;
+    if (accounted != stats.aggifyable) {
+      std::fprintf(stderr,
+                   "%s: ladder accounting broken: %d fold + %d synthesized + "
+                   "%d serial != %d aggifyable\n",
+                   name.c_str(), stats.recognized_fold,
+                   stats.merge_synthesized, stats.serial_only,
+                   stats.aggifyable);
+      return 1;
+    }
+    int eligible = stats.recognized_fold + stats.merge_synthesized;
+    char eligible_cell[64];
+    std::snprintf(eligible_cell, sizeof(eligible_cell), "%d (%.1f%%)",
+                  eligible, 100.0 * eligible / std::max(1, stats.aggifyable));
+    ladder.AddRow({name, std::to_string(stats.aggifyable),
+                   std::to_string(stats.recognized_fold),
+                   std::to_string(stats.merge_synthesized),
+                   std::to_string(stats.serial_only), eligible_cell});
+    std::printf(
+        "{\"bench\": \"table1_applicability\", \"metric\": "
+        "\"eligibility_ladder\", \"workload\": \"%s\", \"aggifyable\": %d, "
+        "\"recognized_fold\": %d, \"merge_synthesized\": %d, "
+        "\"serial_only\": %d}\n",
+        name.c_str(), stats.aggifyable, stats.recognized_fold,
+        stats.merge_synthesized, stats.serial_only);
+  }
+  ladder.Print();
+
   int64_t dbs = 5720;
   int64_t cursors = SimulateAzureCensus(dbs);
   std::printf(

@@ -1,0 +1,31 @@
+-- Multi-accumulator fold with a derived field: the body keeps a running
+-- sum and count and recomputes the average every iteration. The fold
+-- algebra rejects the division, but the homomorphism calculus merges the
+-- bases (@total, @n) field-wise and recomputes @avg over the merged state
+-- (AGG206 rule "derived"); the plan ships with a shuffle-sweep certificate
+-- (AGG207) and the loop becomes parallel-eligible (AGG205).
+CREATE TABLE readings (sensor INT, temp INT);
+INSERT INTO readings VALUES
+  (1, 18), (1, 22), (1, 20), (2, 31), (2, 29), (2, 30), (2, 34);
+
+CREATE FUNCTION avg_temp(@sensor INT) RETURNS INT AS
+BEGIN
+  DECLARE @t INT;
+  DECLARE @n INT = 0;
+  DECLARE @total INT = 0;
+  DECLARE @avg INT = 0;
+  DECLARE temp_cur CURSOR FOR
+    SELECT temp FROM readings WHERE sensor = @sensor;
+  OPEN temp_cur;
+  FETCH NEXT FROM temp_cur INTO @t;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @total = @total + @t;
+    SET @n = @n + 1;
+    SET @avg = @total / @n;
+    FETCH NEXT FROM temp_cur INTO @t;
+  END
+  CLOSE temp_cur;
+  DEALLOCATE temp_cur;
+  RETURN @avg;
+END

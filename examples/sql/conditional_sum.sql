@@ -1,0 +1,31 @@
+-- Guarded sum through branch-scoped scratch: the addend is staged in a
+-- local declared inside the IF. The fold algebra does not decompose the
+-- two-statement branch, but the calculus inlines the row-pure scratch in
+-- place and derives a guarded-sum Merge (AGG206 rule "guarded-sum"),
+-- certified by the shuffle sweep (AGG207) — the loop is parallel-eligible.
+CREATE TABLE line_items (invoice INT, amount INT);
+INSERT INTO line_items VALUES
+  (1, 5), (1, 1), (1, 9), (2, 2), (2, 40), (2, 3), (2, 11);
+
+CREATE FUNCTION big_item_total(@invoice INT) RETURNS INT AS
+BEGIN
+  DECLARE @amt INT;
+  DECLARE @total INT = 0;
+  DECLARE item_cur CURSOR FOR
+    SELECT amount FROM line_items WHERE invoice = @invoice;
+  OPEN item_cur;
+  FETCH NEXT FROM item_cur INTO @amt;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    IF (@amt > 4)
+    BEGIN
+      DECLARE @taxed INT;
+      SET @taxed = @amt * 2;
+      SET @total = @total + @taxed;
+    END
+    FETCH NEXT FROM item_cur INTO @amt;
+  END
+  CLOSE item_cur;
+  DEALLOCATE item_cur;
+  RETURN @total;
+END

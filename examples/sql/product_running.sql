@@ -1,0 +1,27 @@
+-- Running product: multiplication has an identity but no total inverse, so
+-- the merge is NOT @l * @r / @c (a zero baseline would divide by zero).
+-- The calculus augments the state with a factor image and a zero count
+-- (AGG206 rule "product-augmented") and merges by multiplying the local
+-- factor image into the other side's result; the shuffle sweep certifies
+-- the plan across zero and NULL baselines (AGG207).
+CREATE TABLE growth_factors (fund INT, factor INT);
+INSERT INTO growth_factors VALUES
+  (1, 2), (1, 3), (1, 1), (2, 5), (2, 0), (2, 4);
+
+CREATE FUNCTION compound_growth(@fund INT) RETURNS INT AS
+BEGIN
+  DECLARE @f INT;
+  DECLARE @acc INT = 1;
+  DECLARE factor_cur CURSOR FOR
+    SELECT factor FROM growth_factors WHERE fund = @fund;
+  OPEN factor_cur;
+  FETCH NEXT FROM factor_cur INTO @f;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @acc = @acc * @f;
+    FETCH NEXT FROM factor_cur INTO @f;
+  END
+  CLOSE factor_cur;
+  DEALLOCATE factor_cur;
+  RETURN @acc;
+END

@@ -1,7 +1,9 @@
 #include "aggify/loop_aggregate.h"
 
 #include <map>
+#include <set>
 
+#include "analysis/merge_synthesis.h"
 #include "common/failpoint.h"
 #include "exec/eval.h"
 #include "procedural/interpreter.h"
@@ -61,6 +63,117 @@ struct LoopAggState : AggregateState {
   bool done = false;  // BREAK executed; ignore further rows
 };
 
+/// The homomorphism-calculus plan, when one was synthesized AND survived;
+/// nullptr means the legacy fold-algebra switch governs Merge.
+const MergePlan* PlanOf(const BodyClassification& c) {
+  return c.merge_plan != nullptr && c.merge_plan->mergeable
+             ? c.merge_plan.get()
+             : nullptr;
+}
+
+/// Applies a product field's auxiliary-state updates after the body ran for
+/// one row. ctx->vars() must already point at the row environment; factors
+/// and guards only reference variables the body never writes, so evaluating
+/// them post-body observes the values the update itself saw.
+Status ApplyAuxUpdates(const MergePlan& plan, LoopAggState* s,
+                       ExecContext* ctx) {
+  for (const auto& fp : plan.fields) {
+    for (const auto& aux : fp.aux) {
+      bool fired = true;
+      for (const auto& g : aux.guards) {
+        ASSIGN_OR_RETURN(bool pass, EvalPredicate(*g.cond, *ctx));
+        if (pass == g.negated) {  // ELSE terms fire on false OR NULL
+          fired = false;
+          break;
+        }
+      }
+      if (!fired) continue;
+      ASSIGN_OR_RETURN(Value m, EvalExpr(*aux.factor, *ctx));
+      ASSIGN_OR_RETURN(Value cur, s->fields.Get(aux.name));
+      if (aux.kind == AuxUpdate::Kind::kFactorImage) {
+        // NULL factors poison the image exactly as they poison the serial
+        // product.
+        ASSIGN_OR_RETURN(Value next, Multiply(cur, m));
+        s->fields.Declare(aux.name, std::move(next));
+      } else {
+        bool is_zero = false;
+        if (!m.is_null()) {
+          ASSIGN_OR_RETURN(Value cmp, Compare(m, Value::Int(0)));
+          is_zero = cmp.int_value() == 0;
+        }
+        if (is_zero) {
+          ASSIGN_OR_RETURN(Value next, Add(cur, Value::Int(1)));
+          s->fields.Declare(aux.name, std::move(next));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Merges `o` into `s` by evaluating each field's synthesized MergeFn over
+/// the reserved names @l / @r / @c. Aux state combines first (images by
+/// multiplication, zero counts by addition) so product merge expressions see
+/// the combined image; derived fields recompute last, over the merged bases
+/// (plan.fields is ordered bases-then-derived).
+Status MergeWithPlan(const MergePlan& plan, LoopAggState* s, LoopAggState* o,
+                     ExecContext* ctx) {
+  std::set<std::string> merged_aux;
+  for (const auto& fp : plan.fields) {
+    for (const auto& aux : fp.aux) {
+      if (!merged_aux.insert(aux.name).second) continue;
+      ASSIGN_OR_RETURN(Value a, s->fields.Get(aux.name));
+      ASSIGN_OR_RETURN(Value b, o->fields.Get(aux.name));
+      Value next;
+      if (aux.kind == AuxUpdate::Kind::kFactorImage) {
+        ASSIGN_OR_RETURN(next, Multiply(a, b));
+      } else {
+        ASSIGN_OR_RETURN(next, Add(a, b));
+      }
+      s->fields.Declare(aux.name, std::move(next));
+    }
+  }
+  VariableEnv* saved_vars = ctx->vars();
+  for (const auto& fp : plan.fields) {
+    switch (fp.rule) {
+      case MergeRuleKind::kInvariant:
+        break;  // both sides still hold the shared baseline
+      case MergeRuleKind::kDerived: {
+        ctx->set_vars(&s->fields);
+        auto v = EvalExpr(*fp.recompute, *ctx);
+        ctx->set_vars(saved_vars);
+        RETURN_NOT_OK(v.status());
+        s->fields.Declare(fp.field, std::move(*v));
+        break;
+      }
+      default: {
+        if (fp.merge_expr == nullptr) {
+          return Status::Internal("merge plan for " + fp.field +
+                                  " has no merge expression");
+        }
+        ASSIGN_OR_RETURN(Value a, s->fields.Get(fp.field));
+        ASSIGN_OR_RETURN(Value b, o->fields.Get(fp.field));
+        Value c = Value::Null();
+        auto it = s->baseline.find(fp.field);
+        if (it != s->baseline.end()) c = it->second;
+        // Child env of the merged state so aux names (@__img<i>) resolve to
+        // their just-combined values.
+        VariableEnv merge_env(&s->fields);
+        merge_env.Declare("@l", std::move(a));
+        merge_env.Declare("@r", std::move(b));
+        merge_env.Declare("@c", std::move(c));
+        ctx->set_vars(&merge_env);
+        auto v = EvalExpr(*fp.merge_expr, *ctx);
+        ctx->set_vars(saved_vars);
+        RETURN_NOT_OK(v.status());
+        s->fields.Declare(fp.field, std::move(*v));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 LoopAggregate::LoopAggregate(std::string name,
@@ -109,6 +222,20 @@ Status LoopAggregate::Accumulate(AggregateState* state,
                         args[sets_.p_accum.size() + j]);
       s->baseline[sets_.v_extra_init[j]] = args[sets_.p_accum.size() + j];
     }
+    // Auxiliary merge state (merge synthesis): factor images seed 1, zero
+    // counts seed 0. Reserved @__ names never collide with script variables.
+    if (const MergePlan* plan = PlanOf(classification_)) {
+      for (const auto& fp : plan->fields) {
+        for (const auto& aux : fp.aux) {
+          if (!s->fields.Has(aux.name)) {
+            s->fields.Declare(aux.name,
+                              aux.kind == AuxUpdate::Kind::kFactorImage
+                                  ? Value::Int(1)
+                                  : Value::Int(0));
+          }
+        }
+      }
+    }
     s->initialized = true;
   }
   // Per-row scope: fetch variables bound to their arguments (matched by
@@ -136,6 +263,13 @@ Status LoopAggregate::Accumulate(AggregateState* state,
   ctx->set_frame(saved_frame);
   RETURN_NOT_OK(outcome.status());
   if (*outcome == Interpreter::LoopBodyOutcome::kBreak) s->done = true;
+  if (const MergePlan* plan = PlanOf(classification_)) {
+    VariableEnv* saved_vars = ctx->vars();
+    ctx->set_vars(&row_env);
+    Status aux_status = ApplyAuxUpdates(*plan, s, ctx);
+    ctx->set_vars(saved_vars);
+    RETURN_NOT_OK(aux_status);
+  }
   return Status::OK();
 }
 
@@ -160,6 +294,9 @@ Status LoopAggregate::Merge(AggregateState* state, AggregateState* other,
     s->baseline = o->baseline;
     s->initialized = true;
     return Status::OK();
+  }
+  if (const MergePlan* plan = PlanOf(classification_)) {
+    return MergeWithPlan(*plan, s, o, ctx);
   }
   for (const auto& fold : classification_.folds) {
     ASSIGN_OR_RETURN(Value a, s->fields.Get(fold.field));
@@ -259,7 +396,41 @@ std::string LoopAggregate::GenerateSource() const {
   out += "    -- loop body Δ (FETCH removed)\n";
   out += body_->ToString(2);
   out += "  END\n";
-  if (classification_.decomposable) {
+  if (const MergePlan* plan = PlanOf(classification_)) {
+    out += "  -- derived by the homomorphism-calculus merge synthesis;\n";
+    out += "  -- @l = this partial, @r = other partial, @c = shared "
+           "loop-entry baseline\n";
+    out += "  Merge(other) BEGIN\n";
+    std::set<std::string> rendered_aux;
+    for (const auto& fp : plan->fields) {
+      for (const auto& aux : fp.aux) {
+        if (!rendered_aux.insert(aux.name).second) continue;
+        if (aux.kind == AuxUpdate::Kind::kFactorImage) {
+          out += "    SET " + aux.name + " = " + aux.name + " * other." +
+                 aux.name + ";  -- factor image\n";
+        } else {
+          out += "    SET " + aux.name + " = " + aux.name + " + other." +
+                 aux.name + ";  -- zero count\n";
+        }
+      }
+    }
+    for (const auto& fp : plan->fields) {
+      switch (fp.rule) {
+        case MergeRuleKind::kInvariant:
+          break;
+        case MergeRuleKind::kDerived:
+          out += "    SET " + fp.field + " = " + fp.recompute->ToString() +
+                 ";  -- derived: recomputed from merged bases\n";
+          break;
+        default:
+          out += "    SET " + fp.field + " = " + fp.merge_expr->ToString() +
+                 ";  -- " + MergeRuleKindName(fp.rule) + " (@l=" + fp.field +
+                 ", @r=other." + fp.field + ", @c=init." + fp.field + ")\n";
+          break;
+      }
+    }
+    out += "  END\n";
+  } else if (classification_.decomposable) {
     out += "  -- derived from the decomposability proof (fold classifier)\n";
     out += "  Merge(other) BEGIN\n";
     for (const auto& fold : classification_.folds) {

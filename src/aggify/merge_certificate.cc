@@ -1,0 +1,202 @@
+#include "aggify/merge_certificate.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace aggify {
+
+namespace {
+
+/// Deterministic xorshift64* — the sweep must not depend on platform RNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A small integer domain (−5..5, 10% NULL): products stay far from
+/// overflow across 10 rows while still exercising sign flips, zeros
+/// (the zero-count augmentation), and NULL poisoning.
+Value RandomCell(Rng* rng) {
+  if (rng->Below(10) == 0) return Value::Null();
+  return Value::Int(static_cast<int64_t>(rng->Below(11)) - 5);
+}
+
+struct Trial {
+  /// One argument vector per row (p_accum + v_extra_init, fetch columns
+  /// varying per row, everything else trial-constant).
+  std::vector<std::vector<Value>> rows;
+};
+
+Result<Value> RunPartitioned(const LoopAggregate& agg, const Trial& trial,
+                             const std::vector<int>& assignment, int dop,
+                             ExecContext* ctx) {
+  std::vector<std::unique_ptr<AggregateState>> states;
+  states.reserve(dop);
+  for (int d = 0; d < dop; ++d) {
+    ASSIGN_OR_RETURN(auto st, agg.Init());
+    states.push_back(std::move(st));
+  }
+  for (size_t i = 0; i < trial.rows.size(); ++i) {
+    RETURN_NOT_OK(
+        agg.Accumulate(states[assignment[i]].get(), trial.rows[i], ctx));
+  }
+  // Left-fold merge into partition 0, mirroring ParallelPartialAggOp's
+  // coordinator join (zero-row partitions exercise the adopt path).
+  for (int d = 1; d < dop; ++d) {
+    RETURN_NOT_OK(agg.Merge(states[0].get(), states[d].get(), ctx));
+  }
+  return agg.Terminate(states[0].get(), ctx);
+}
+
+Result<Value> RunSerial(const LoopAggregate& agg, const Trial& trial,
+                        const std::vector<size_t>& order, ExecContext* ctx) {
+  ASSIGN_OR_RETURN(auto st, agg.Init());
+  for (size_t i : order) {
+    RETURN_NOT_OK(agg.Accumulate(st.get(), trial.rows[i], ctx));
+  }
+  return agg.Terminate(st.get(), ctx);
+}
+
+std::string ValueText(const Value& v) { return v.ToString(); }
+
+}  // namespace
+
+Result<std::string> RunShuffleSweepCertificate(const LoopAggregate& agg,
+                                               Database* db, uint64_t seed) {
+  if (!agg.ParallelSafe()) {
+    return Status::NotApplicable(
+        "shuffle sweep requires a parallel-safe body (engine-free "
+        "execution)");
+  }
+  Rng rng(seed);
+  ExecContext ctx(db);
+
+  const LoopSets& sets = agg.sets();
+  const size_t total_args = sets.p_accum.size() + sets.v_extra_init.size();
+  auto is_fetch = [&](const std::string& name) {
+    return std::find(sets.v_fetch.begin(), sets.v_fetch.end(), name) !=
+           sets.v_fetch.end();
+  };
+
+  // Loop-entry baselines to sweep: zero and NULL are the adversarial ones
+  // (NULL poisons sums; zero defeats the division-inverse product merge the
+  // calculus deliberately avoids).
+  const Value kBaselines[] = {Value::Int(0), Value::Null(), Value::Int(1),
+                              Value::Int(3), Value::Int(-2)};
+  constexpr int kTrials = 12;
+  constexpr int kDops[] = {2, 3, 4};
+  int executions = 0;
+  int compared = 0;
+  int skipped = 0;
+
+  for (int t = 0; t < kTrials; ++t) {
+    Trial trial;
+    const size_t n = rng.Below(11);  // 0..10 rows; n==0 checks zero-row merge
+    // Non-fetch arguments are loop-invariant: constant across the trial.
+    std::vector<Value> invariants(total_args);
+    for (size_t a = 0; a < total_args; ++a) {
+      const Value& pick = kBaselines[(t + a) % (sizeof(kBaselines) /
+                                                sizeof(kBaselines[0]))];
+      invariants[a] = pick;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Value> args(total_args);
+      for (size_t a = 0; a < sets.p_accum.size(); ++a) {
+        args[a] = is_fetch(sets.p_accum[a]) ? RandomCell(&rng)
+                                            : invariants[a];
+      }
+      for (size_t a = sets.p_accum.size(); a < total_args; ++a) {
+        args[a] = invariants[a];
+      }
+      trial.rows.push_back(std::move(args));
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    Result<Value> expected_or = RunSerial(agg, trial, order, &ctx);
+    if (!expected_or.ok()) {
+      // The body itself errors under this baseline draw (e.g. a derived
+      // division by a count that crosses zero). The serial rewrite
+      // preserves that error; there is no defined value to compare a
+      // partitioned run against, so the trial is skipped. The certificate
+      // quantifies over executions where the serial fold is defined — see
+      // the error-semantics caveat in docs/ANALYSIS.md.
+      ++skipped;
+      continue;
+    }
+    Value expected = std::move(expected_or).ValueOrDie();
+    ++compared;
+
+    auto check = [&](const Value& got, const std::string& what) -> Status {
+      ++executions;
+      if (!got.StructurallyEquals(expected)) {
+        return Status::ExecutionError(
+            "shuffle-sweep divergence (trial " + std::to_string(t) + ", " +
+            what + "): serial=" + ValueText(expected) +
+            " partitioned=" + ValueText(got));
+      }
+      return Status::OK();
+    };
+
+    // 1. Random permutation at DOP 1 (order-insensitivity).
+    std::vector<size_t> shuffled = order;
+    for (size_t i = n; i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+    }
+    ASSIGN_OR_RETURN(Value permuted, RunSerial(agg, trial, shuffled, &ctx));
+    RETURN_NOT_OK(check(permuted, "permutation"));
+
+    // 2. Round-robin interleave — exactly ParallelPartialAggOp's morsel →
+    //    partition i % dop assignment.
+    for (int dop : kDops) {
+      std::vector<int> assignment(n);
+      for (size_t i = 0; i < n; ++i) {
+        assignment[i] = static_cast<int>(i % dop);
+      }
+      ASSIGN_OR_RETURN(Value got,
+                       RunPartitioned(agg, trial, assignment, dop, &ctx));
+      RETURN_NOT_OK(check(got, "interleave dop " + std::to_string(dop)));
+    }
+
+    // 3. Random contiguous split (range partitioning).
+    {
+      const size_t k = rng.Below(n + 1);
+      std::vector<int> assignment(n);
+      for (size_t i = 0; i < n; ++i) assignment[i] = i < k ? 0 : 1;
+      ASSIGN_OR_RETURN(Value got,
+                       RunPartitioned(agg, trial, assignment, 2, &ctx));
+      RETURN_NOT_OK(check(got, "split at " + std::to_string(k)));
+    }
+  }
+
+  if (compared == 0) {
+    return Status::NotApplicable(
+        "shuffle sweep: the body errored on every trial baseline; no "
+        "partitioned execution could be compared");
+  }
+  std::string cert = "shuffle-sweep certificate: " + std::to_string(compared) +
+                     " trials x " + std::to_string(executions / compared) +
+                     " partitionings (permutation, dop 2/3/4 interleave, "
+                     "random split) == serial fold";
+  if (skipped > 0) {
+    cert += "; " + std::to_string(skipped) + " trials skipped (body error)";
+  }
+  return cert + "; seed=" + std::to_string(seed);
+}
+
+}  // namespace aggify

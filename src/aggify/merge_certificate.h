@@ -1,0 +1,39 @@
+// The shuffle-sweep certificate: analysis-time property validation of a
+// synthesized Merge (DESIGN.md invariant 11).
+//
+// A merge plan derived by the homomorphism calculus is only *syntactically*
+// verified. Before the rewriter ships it — flipping `parallel_eligible` so
+// the loop runs on ParallelPartialAggOp — the plan must also survive an
+// executable property check: for randomized row sets, every partitioned
+// execution (random row permutations, round-robin interleavings at DOP
+// 2/3/4 matching the parallel operator's morsel assignment, and random
+// contiguous splits) must Terminate bit-identically to the serial DOP 1
+// fold. The sweep drives the AggregateFunction contract directly
+// (Init / Accumulate / Merge / Terminate), exactly as the parallel operator
+// does, including zero-row partitions (the adopt path) and NULL / zero
+// loop-entry baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aggify/loop_aggregate.h"
+
+namespace aggify {
+
+class Database;
+
+/// Runs the sweep. Returns a one-line human-readable certificate on
+/// success; a descriptive error Status on the first divergence (the caller
+/// demotes the plan and records an AGG212 kCertificateFailed blocker).
+/// Trials where the serial reference itself errors (the body is partial —
+/// e.g. a derived division crossing zero under an adversarial baseline) are
+/// skipped: the certificate quantifies over executions where the serial
+/// fold is defined (error-semantics caveat, docs/ANALYSIS.md). NotApplicable
+/// when every trial errors. Deterministic for a given seed. Requires
+/// agg.ParallelSafe() (the sweep executes the body engine-free).
+Result<std::string> RunShuffleSweepCertificate(const LoopAggregate& agg,
+                                               Database* db,
+                                               uint64_t seed = 0xA991F4);
+
+}  // namespace aggify

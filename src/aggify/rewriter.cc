@@ -4,7 +4,9 @@
 #include <functional>
 #include <set>
 
+#include "aggify/merge_certificate.h"
 #include "analysis/absint.h"
+#include "analysis/merge_synthesis.h"
 #include "exec/eval.h"
 
 namespace aggify {
@@ -157,12 +159,39 @@ bool DetectNativeFold(const BlockStmt& stripped, const CursorLoopInfo& loop,
     return false;
   }
   const std::string& acc = sets.v_fields[0];
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+
+  // Widened by a certified merge plan: an unguarded unit-coefficient sum
+  // whose normalized row term is query-expressible lowers to SUM / COUNT
+  // even when the surface shape (affine arrangement, let-inlined scratch,
+  // multi-statement body with dead scratch writes) defeats the strict
+  // matcher below. The plan's row term already references original row
+  // values (substitution captures definitions transitively).
+  if (classification.merge_plan != nullptr &&
+      classification.merge_plan->mergeable) {
+    const FieldMergePlan* fp = classification.merge_plan->PlanFor(acc);
+    if (fp != nullptr && fp->row_term != nullptr && !fp->guarded &&
+        (fp->rule == MergeRuleKind::kAffineSum ||
+         fp->rule == MergeRuleKind::kFoldAlgebra) &&
+        RowExprEligible(*fp->row_term, acc, loop, fetch_set)) {
+      const bool is_literal = fp->row_term->kind == ExprKind::kLiteral;
+      const Value* lit =
+          is_literal ? &static_cast<const LiteralExpr&>(*fp->row_term).value
+                     : nullptr;
+      if (lit == nullptr || !lit->is_null()) {
+        out->op = BinaryOp::kAdd;  // subtraction is folded into the term
+        out->row_expr = fp->row_term.get();
+        out->builtin = lit != nullptr && lit->is_int() ? "count" : "sum";
+        return true;
+      }
+    }
+  }
+
   const FoldKind* kind = classification.FoldFor(acc);
   if (kind == nullptr) return false;
   if (stripped.statements.size() != 1) return false;
   const Stmt* s = SoleStatement(*stripped.statements[0]);
   if (s == nullptr) return false;
-  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
 
   auto is_acc_ref = [&](const Expr& e) {
     return e.kind == ExprKind::kVarRef &&
@@ -607,8 +636,9 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     // Synthesize the aggregate from the FETCH-stripped body.
     std::string agg_name =
         name_hint + "_agg" + std::to_string(db_->NextObjectId());
-    StmtPtr body_clone = loop.loop->body->Clone();
-    auto* body_block = static_cast<BlockStmt*>(body_clone.get());
+    std::shared_ptr<BlockStmt> shared_body(
+        static_cast<BlockStmt*>(loop.loop->body->Clone().release()));
+    BlockStmt* body_block = shared_body.get();
     StripFetches(body_block, loop.cursor_name);
 
     // Semantic analyses over the stripped body: order-sensitivity and
@@ -627,6 +657,60 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     BodyClassification classification =
         ClassifyLoopBody(*body_block, field_set, fetch_var_set, pure_call);
     if (!options_.rewrite.synthesize_merge) classification.decomposable = false;
+
+    // Homomorphism-calculus merge synthesis (analysis/merge_synthesis.h):
+    // where the fold algebra failed, try to *derive* a Merge. A plan ships
+    // only after the shuffle-sweep certificate proves it bit-identical to
+    // the serial fold under permutations, DOP 2/3/4 interleavings, and
+    // random splits (DESIGN.md invariant 11).
+    bool merge_synthesized = false;
+    std::string merge_certificate;
+    if (options_.rewrite.synthesize_merge && !classification.decomposable) {
+      auto plan =
+          SynthesizeMerge(*body_block, field_set, fetch_var_set, pure_call);
+      if (plan->mergeable) {
+        BodyClassification certified = classification;
+        certified.merge_plan = plan;
+        certified.decomposable = true;
+        // Every rule the calculus emits is commutative (sums, products,
+        // extremum) or a pure function of commutative bases (derived), so
+        // the proof also covers order-insensitivity; the certificate's
+        // permutation trials re-check this executably.
+        certified.order_insensitive = true;
+        LoopAggregate probe(agg_name, shared_body, sets, certified);
+        if (!probe.ParallelSafe()) {
+          classification.merge_reasons.push_back(
+              "synthesized merge withheld: body is not parallel-safe");
+        } else {
+          auto cert = RunShuffleSweepCertificate(probe, db_);
+          if (cert.ok()) {
+            merge_synthesized = true;
+            merge_certificate = *cert;
+            if (!classification.order_insensitive) {
+              certified.reasons = {
+                  "merge synthesis derived a commutative homomorphism for "
+                  "every accumulator"};
+            }
+            certified.merge_reasons.clear();
+            classification = std::move(certified);
+          } else {
+            report->notes.push_back(MakeDiagnostic(
+                DiagCode::kCertificateFailed, loc, cert.status().message()));
+            classification.merge_reasons.push_back(
+                "synthesized merge demoted: " + cert.status().message());
+          }
+        }
+      } else {
+        // Surface every typed blocker (AGG208–211) so lint shows all the
+        // reasons in one pass.
+        for (const auto& blocker : plan->blockers) {
+          Diagnostic d = blocker;
+          d.loc = loc;
+          report->notes.push_back(std::move(d));
+          classification.merge_reasons.push_back(blocker.message);
+        }
+      }
+    }
     bool elide_sort = sets.ordered && classification.order_insensitive &&
                       options_.rewrite.elide_order_insensitive_sort;
 
@@ -660,8 +744,6 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
       query = BuildLoweredQuery(loop, sets, fold, elide_sort,
                                 std::move(derived));
     } else {
-      std::shared_ptr<const BlockStmt> shared_body(
-          static_cast<BlockStmt*>(body_clone.release()));
       auto aggregate = std::make_shared<LoopAggregate>(agg_name, shared_body,
                                                        sets, classification);
       agg_parallel_safe =
@@ -705,6 +787,12 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     record.pruned_fetch_columns = pruned;
     record.parallel_eligible =
         (elide_sort || !sets.ordered) && agg_parallel_safe;
+    record.merge_synthesized = merge_synthesized;
+    record.merge_certificate = merge_certificate;
+    if (classification.merge_plan != nullptr &&
+        classification.merge_plan->mergeable) {
+      record.merge_rules = classification.merge_plan->DescribeRules();
+    }
     report->rewrites.push_back(std::move(record));
 
     report->notes.push_back(MakeDiagnostic(
@@ -732,7 +820,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     if (elide_sort) {
       report->notes.push_back(MakeDiagnostic(
           DiagCode::kSortElided, loc,
-          "body proven order-insensitive (" + classification.reason +
+          "body proven order-insensitive (" + classification.reason() +
               "); Eq. 6 sort elided"));
     } else if (sets.ordered) {
       report->notes.push_back(MakeDiagnostic(
@@ -740,12 +828,26 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
           "ordered cursor kept its sort: " +
               (classification.order_insensitive
                    ? std::string("elision disabled by options")
-                   : classification.reason)));
+                   : classification.reason())));
     }
     if (classification.decomposable && !lowered) {
       report->notes.push_back(MakeDiagnostic(
           DiagCode::kMergeSynthesized, loc,
-          "decomposability proof held; derived Merge attached"));
+          merge_synthesized
+              ? "homomorphism calculus derived a Merge; certified plan "
+                "attached"
+              : "decomposability proof held; derived Merge attached"));
+    }
+    if (merge_synthesized) {
+      std::string rules;
+      for (const auto& line : classification.merge_plan->DescribeRules()) {
+        if (!rules.empty()) rules += "; ";
+        rules += line;
+      }
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kMergeRule, loc, "synthesized merge rules: " + rules));
+      report->notes.push_back(
+          MakeDiagnostic(DiagCode::kMergeCertified, loc, merge_certificate));
     }
     if ((elide_sort || !sets.ordered) && agg_parallel_safe) {
       report->notes.push_back(MakeDiagnostic(

@@ -44,6 +44,13 @@ struct LoopRewrite {
   bool parallel_eligible = false;
   /// Aliases (c<j>) of cursor columns pruned from Q's projection (AGG302).
   std::vector<std::string> pruned_fetch_columns;
+  /// The Merge came from the homomorphism-calculus synthesis pass (not the
+  /// fold classifier's algebra) and passed the shuffle-sweep certificate.
+  bool merge_synthesized = false;
+  /// Per-field "field: rule [merged = ...]" lines when a plan is attached.
+  std::vector<std::string> merge_rules;
+  /// The passing shuffle-sweep certificate text (AGG207); empty otherwise.
+  std::string merge_certificate;
 };
 
 struct AggifyReport {

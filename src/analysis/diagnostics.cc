@@ -28,6 +28,13 @@ const char* DiagCodeSlug(DiagCode code) {
     case DiagCode::kMergeSynthesized: return "merge-synthesized";
     case DiagCode::kOrderEnforced: return "order-enforced";
     case DiagCode::kParallelEligible: return "parallel-eligible";
+    case DiagCode::kMergeRule: return "merge-rule";
+    case DiagCode::kMergeCertified: return "merge-certified";
+    case DiagCode::kNonCommutativeUpdate: return "non-commutative-update";
+    case DiagCode::kStatefulGuard: return "stateful-guard";
+    case DiagCode::kCrossAccumulatorDep: return "cross-accumulator-dep";
+    case DiagCode::kUnrecognizedUpdate: return "unrecognized-update";
+    case DiagCode::kCertificateFailed: return "certificate-failed";
     case DiagCode::kDeadStore: return "dead-store";
     case DiagCode::kUnusedFetchColumn: return "unused-fetch-column";
     case DiagCode::kConstantFalseBranch: return "constant-false-branch";
@@ -48,6 +55,13 @@ DiagSeverity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kMergeSynthesized:
     case DiagCode::kOrderEnforced:
     case DiagCode::kParallelEligible:
+    case DiagCode::kMergeRule:
+    case DiagCode::kMergeCertified:
+    case DiagCode::kNonCommutativeUpdate:
+    case DiagCode::kStatefulGuard:
+    case DiagCode::kCrossAccumulatorDep:
+    case DiagCode::kUnrecognizedUpdate:
+    case DiagCode::kCertificateFailed:
     case DiagCode::kLoweredToBuiltin:
     case DiagCode::kLoopInvariantGuard:
     case DiagCode::kStaticTripCount:

@@ -42,6 +42,18 @@ enum class DiagCode : uint16_t {
   kOrderEnforced = 204,        ///< body order-sensitive: Eq. 6 sort retained
   kParallelEligible = 205,     ///< rewrite may run as a parallel partial agg
 
+  // --- Merge synthesis (homomorphism calculus, analysis/merge_synthesis.h).
+  // 206/207 are positive facts; 208–212 explain why the calculus derived no
+  // Merge for a loop that the fold algebra also rejected. All are notes: a
+  // loop that stays serial is still rewritten correctly.
+  kMergeRule = 206,            ///< calculus rule that produced a field's Merge
+  kMergeCertified = 207,       ///< shuffle-sweep certificate passed
+  kNonCommutativeUpdate = 208, ///< update not commutative under partitioning
+  kStatefulGuard = 209,        ///< guard/branch state defeats reconstruction
+  kCrossAccumulatorDep = 210,  ///< accumulators entangled beyond derived rule
+  kUnrecognizedUpdate = 211,   ///< statement shape outside the calculus
+  kCertificateFailed = 212,    ///< synthesized Merge failed the shuffle sweep
+
   // --- Simplification pipeline (abstract interpretation / Δ pruning). ---
   kDeadStore = 301,            ///< SET whose value is never observed
   kUnusedFetchColumn = 302,    ///< cursor column fetched but unused in Δ

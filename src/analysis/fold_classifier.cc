@@ -77,7 +77,7 @@ class Classifier {
     BodyClassification result;
     for (const auto& [field, kind] : folds_) {
       result.folds.push_back(FieldFold{field, kind});
-      if (!failed_ && kind != FoldKind::kSum && kind != FoldKind::kProduct &&
+      if (kind != FoldKind::kSum && kind != FoldKind::kProduct &&
           kind != FoldKind::kGuardedMin && kind != FoldKind::kGuardedMax) {
         Fail("accumulator " + field + " is a " +
              std::string(FoldKindName(kind)) +
@@ -85,24 +85,24 @@ class Classifier {
       }
     }
     result.order_insensitive = !failed_;
-    result.reason = reason_;
+    result.reasons = reasons_;
     if (result.order_insensitive) {
-      result.reason = "every accumulator is a commutative fold:";
-      if (folds_.empty()) result.reason = "the body updates no accumulator";
+      std::string proof = "every accumulator is a commutative fold:";
+      if (folds_.empty()) proof = "the body updates no accumulator";
       for (const auto& [field, kind] : folds_) {
-        result.reason += " " + field + "=" + FoldKindName(kind);
+        proof += " " + field + "=" + FoldKindName(kind);
       }
+      result.reasons = {proof};
     }
     if (result.order_insensitive) {
       result.decomposable = true;
       for (const auto& [field, kind] : folds_) {
         if (kind == FoldKind::kProduct) {
           result.decomposable = false;
-          result.merge_reason =
+          result.merge_reasons.push_back(
               "accumulator " + field +
               " is a product fold: merging needs division by the entry "
-              "baseline, which may be zero";
-          break;
+              "baseline, which may be zero");
         }
       }
     }
@@ -110,11 +110,14 @@ class Classifier {
   }
 
  private:
+  /// Records a blocker. Every distinct blocker is kept (in body order), so
+  /// one lint pass reports everything that keeps the loop serial.
   void Fail(const std::string& why) {
-    if (!failed_) {
-      failed_ = true;
-      reason_ = why;
+    failed_ = true;
+    for (const auto& r : reasons_) {
+      if (r == why) return;
     }
+    reasons_.push_back(why);
   }
 
   /// True if `e` evaluates to the same value for a given row regardless of
@@ -346,7 +349,7 @@ class Classifier {
   std::set<std::string> assigned_;
   std::map<std::string, FoldKind> folds_;
   bool failed_ = false;
-  std::string reason_;
+  std::vector<std::string> reasons_;
 };
 
 }  // namespace

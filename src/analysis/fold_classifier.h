@@ -24,12 +24,17 @@
 //   kGuardedMin   merged = a if a <= b else b   (idempotent; c cancels)
 //   kGuardedMax   symmetric
 //
-// kProduct is order-insensitive but NOT decomposable here: the inverse
-// (a * b / c) divides by a possibly-zero baseline, so no Merge is derived.
+// kProduct is order-insensitive but NOT decomposable *here*: the inverse
+// (a * b / c) divides by a possibly-zero baseline, so this algebra derives
+// no Merge. The homomorphism-calculus synthesis pass on top of this
+// classifier (analysis/merge_synthesis.h) recovers it — and a much wider
+// class — by augmenting the state with a factor image and zero count
+// instead of using the unsafe division inverse.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,6 +42,8 @@
 #include "parser/statement.h"
 
 namespace aggify {
+
+struct MergePlan;  // analysis/merge_synthesis.h
 
 enum class FoldKind : uint8_t {
   kSum,         ///< order-insensitive, mergeable
@@ -61,16 +68,37 @@ struct BodyClassification {
   bool decomposable = false;
   /// Per-accumulator classification (sorted by field name).
   std::vector<FieldFold> folds;
-  /// First blocker of order-insensitivity (empty when insensitive).
-  std::string reason;
-  /// What blocks Merge when order-insensitive but not decomposable.
-  std::string merge_reason;
+  /// ALL order-insensitivity blockers, in body order (so `aggify_cli --lint`
+  /// reports every reason a loop stays serial in one pass). When the body is
+  /// order-insensitive this instead holds the single positive proof summary.
+  std::vector<std::string> reasons;
+  /// ALL Merge blockers when order-insensitive but not decomposable.
+  std::vector<std::string> merge_reasons;
+  /// The homomorphism-calculus merge plan (analysis/merge_synthesis.h) when
+  /// the synthesis pass derived one; null when the pass was not run or every
+  /// field defeated the calculus. Attached by the rewriter, not the
+  /// classifier.
+  std::shared_ptr<const MergePlan> merge_plan;
+
+  /// "; "-joined blocker (or proof) text — the pre-list-refactor `reason`.
+  std::string reason() const { return Join(reasons); }
+  std::string merge_reason() const { return Join(merge_reasons); }
 
   const FoldKind* FoldFor(const std::string& field) const {
     for (const auto& f : folds) {
       if (f.field == field) return &f.kind;
     }
     return nullptr;
+  }
+
+ private:
+  static std::string Join(const std::vector<std::string>& parts) {
+    std::string out;
+    for (const auto& p : parts) {
+      if (!out.empty()) out += "; ";
+      out += p;
+    }
+    return out;
   }
 };
 

@@ -1,0 +1,1007 @@
+#include "analysis/merge_synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "parser/expr.h"
+
+namespace aggify {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small expression helpers
+// ---------------------------------------------------------------------------
+
+ExprPtr IntLit(int64_t v) { return MakeLiteral(Value::Int(v)); }
+
+/// Treats null as the absent term (symbolic 0). True for integer literals.
+bool IsIntLiteral(const Expr* e, int64_t* out) {
+  if (e == nullptr) {
+    *out = 0;
+    return true;
+  }
+  if (e->kind != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(*e).value;
+  if (!v.is_int()) return false;
+  *out = v.int_value();
+  return true;
+}
+
+/// Symbolic-term addition: null means "term absent", literal ints fold.
+ExprPtr AddE(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  int64_t x, y;
+  if (IsIntLiteral(a.get(), &x) && IsIntLiteral(b.get(), &y)) {
+    return IntLit(x + y);
+  }
+  return MakeBinary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+
+ExprPtr NegE(ExprPtr a) {
+  if (a == nullptr) return nullptr;
+  int64_t x;
+  if (IsIntLiteral(a.get(), &x)) return IntLit(-x);
+  return MakeUnary(UnaryOp::kNeg, std::move(a));
+}
+
+ExprPtr SubE(ExprPtr a, ExprPtr b) {
+  if (b == nullptr) return a;
+  if (a == nullptr) return NegE(std::move(b));
+  int64_t x, y;
+  if (IsIntLiteral(a.get(), &x) && IsIntLiteral(b.get(), &y)) {
+    return IntLit(x - y);
+  }
+  return MakeBinary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+
+/// Symbolic-term scaling: an absent term stays absent. Only literal*literal
+/// and the unit are folded — a literal 0 is deliberately NOT folded away
+/// (0 * NULL is NULL in value arithmetic, not 0).
+ExprPtr MulE(ExprPtr a, ExprPtr b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  int64_t x, y;
+  bool ax = IsIntLiteral(a.get(), &x);
+  bool by = IsIntLiteral(b.get(), &y);
+  if (ax && by) return IntLit(x * y);
+  if (ax && x == 1) return b;
+  if (by && y == 1) return a;
+  return MakeBinary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+
+bool ContainsVar(const Expr& e, const std::string& name) {
+  std::vector<std::string> refs;
+  CollectVariableRefs(e, &refs);
+  return std::find(refs.begin(), refs.end(), name) != refs.end();
+}
+
+std::set<std::string> VarRefSet(const Expr& e) {
+  std::vector<std::string> refs;
+  CollectVariableRefs(e, &refs);
+  return std::set<std::string>(refs.begin(), refs.end());
+}
+
+/// Unwraps nested one-statement blocks; nullptr when a block has != 1
+/// statement.
+const Stmt* Sole(const Stmt& s) {
+  const Stmt* cur = &s;
+  while (cur->kind == StmtKind::kBlock) {
+    const auto& b = static_cast<const BlockStmt&>(*cur);
+    if (b.statements.size() != 1) return nullptr;
+    cur = b.statements[0].get();
+  }
+  return cur;
+}
+
+/// Replaces, in place, every VarRef for which `repl` returns non-null.
+/// Subquery bodies are not descended (substitution is only ever applied to
+/// expressions that row-purity later rejects if they hide a subquery).
+void RewriteVarRefs(ExprPtr* slot,
+                    const std::function<ExprPtr(const std::string&)>& repl) {
+  Expr* e = slot->get();
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kVarRef: {
+      ExprPtr r = repl(static_cast<const VarRefExpr&>(*e).name);
+      if (r != nullptr) *slot = std::move(r);
+      return;
+    }
+    case ExprKind::kUnary:
+      RewriteVarRefs(&static_cast<UnaryExpr*>(e)->operand, repl);
+      return;
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(e);
+      RewriteVarRefs(&b->left, repl);
+      RewriteVarRefs(&b->right, repl);
+      return;
+    }
+    case ExprKind::kFunctionCall:
+      for (auto& a : static_cast<FunctionCallExpr*>(e)->args) {
+        RewriteVarRefs(&a, repl);
+      }
+      return;
+    case ExprKind::kIsNull:
+      RewriteVarRefs(&static_cast<IsNullExpr*>(e)->operand, repl);
+      return;
+    case ExprKind::kCast:
+      RewriteVarRefs(&static_cast<CastExpr*>(e)->operand, repl);
+      return;
+    case ExprKind::kCaseWhen: {
+      auto* c = static_cast<CaseWhenExpr*>(e);
+      for (auto& arm : c->arms) {
+        RewriteVarRefs(&arm.condition, repl);
+        RewriteVarRefs(&arm.result, repl);
+      }
+      if (c->else_result != nullptr) RewriteVarRefs(&c->else_result, repl);
+      return;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(e);
+      RewriteVarRefs(&in->operand, repl);
+      for (auto& item : in->list) RewriteVarRefs(&item, repl);
+      return;
+    }
+    default:
+      return;  // literals, column refs, subqueries
+  }
+}
+
+/// The NULL-safe compare-and-keep merge:
+///   CASE WHEN @r IS NULL THEN @l WHEN @l IS NULL THEN @r
+///        WHEN @r < @l THEN @r ELSE @l END        (min; max uses >)
+ExprPtr ExtremumMergeExpr(bool is_min) {
+  std::vector<CaseWhenExpr::Arm> arms;
+  arms.push_back({std::make_unique<IsNullExpr>(MakeVarRef("@r"), false),
+                  MakeVarRef("@l")});
+  arms.push_back({std::make_unique<IsNullExpr>(MakeVarRef("@l"), false),
+                  MakeVarRef("@r")});
+  arms.push_back({MakeBinary(is_min ? BinaryOp::kLt : BinaryOp::kGt,
+                             MakeVarRef("@r"), MakeVarRef("@l")),
+                  MakeVarRef("@r")});
+  return std::make_unique<CaseWhenExpr>(std::move(arms), MakeVarRef("@l"));
+}
+
+/// merged = @l + (@r - @c): the baseline-subtracting sum.
+ExprPtr SumMergeExpr() {
+  return MakeBinary(BinaryOp::kAdd, MakeVarRef("@l"),
+                    MakeBinary(BinaryOp::kSub, MakeVarRef("@r"),
+                               MakeVarRef("@c")));
+}
+
+/// Every variable the body can write (mirrors the fold classifier's notion
+/// of loop-invariance: a name never written holds the same value each row).
+void CollectAssignedNames(const Stmt& stmt, std::set<std::string>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kSet:
+      out->insert(static_cast<const SetStmt&>(stmt).name);
+      break;
+    case StmtKind::kDeclareVar:
+      out->insert(static_cast<const DeclareVarStmt&>(stmt).name);
+      break;
+    case StmtKind::kFetch: {
+      const auto& f = static_cast<const FetchStmt&>(stmt);
+      out->insert(f.into.begin(), f.into.end());
+      break;
+    }
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectAssignedNames(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectAssignedNames(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectAssignedNames(*i.else_branch, out);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectAssignedNames(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      out->insert(f.var);
+      CollectAssignedNames(*f.body, out);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectAssignedNames(*tc.try_block, out);
+      CollectAssignedNames(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The synthesizer
+// ---------------------------------------------------------------------------
+
+class Synthesizer {
+ public:
+  Synthesizer(const std::set<std::string>& fields,
+              const std::set<std::string>& row_vars,
+              const std::function<bool(const std::string&)>& is_pure_call)
+      : fields_(fields), row_vars_(row_vars), is_pure_call_(is_pure_call) {}
+
+  std::shared_ptr<const MergePlan> Run(const BlockStmt& body) {
+    CollectAssignedNames(body, &assigned_);
+    for (const auto& s : body.statements) WalkStmt(*s);
+    return BuildPlan();
+  }
+
+ private:
+  struct Update {
+    enum class Form { kSum, kProduct, kExtremum, kDerived };
+    std::string field;
+    Form form = Form::kSum;
+    ExprPtr addend;     ///< kSum: normalized row addend (never null)
+    ExprPtr factor;     ///< kProduct: row-pure multiplicative factor
+    ExprPtr recompute;  ///< kDerived: g over base accumulators
+    bool strict_surface = false;  ///< matched the classifier's exact shape
+    bool is_min = false;
+    std::vector<GuardTerm> guards;
+    size_t position = 0;
+  };
+
+  /// The affine view of an update wrt one accumulator: coeff*acc + addend,
+  /// with null meaning the term is absent.
+  struct Affine {
+    bool ok = false;
+    ExprPtr coeff;
+    ExprPtr addend;
+  };
+
+  void Blocker(DiagCode code, const std::string& message) {
+    for (const auto& d : blockers_) {
+      if (d.code == code && d.message == message) return;
+    }
+    blockers_.push_back(MakeDiagnostic(code, /*loc=*/"", message));
+  }
+
+  /// Shape purity: no column refs, subqueries, aggregate calls, or impure
+  /// function calls anywhere.
+  bool ShapePure(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kVarRef:
+        return true;
+      case ExprKind::kUnary:
+      case ExprKind::kBinary:
+      case ExprKind::kIsNull:
+      case ExprKind::kCast:
+      case ExprKind::kCaseWhen: {
+        for (const Expr* c : e.Children()) {
+          if (!ShapePure(*c)) return false;
+        }
+        return true;
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& f = static_cast<const FunctionCallExpr&>(e);
+        if (!is_pure_call_ || !is_pure_call_(f.name)) return false;
+        for (const auto& a : f.args) {
+          if (!ShapePure(*a)) return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// Row-pure: same value for a given row on any iteration — only row
+  /// variables, loop invariants, literals, and pure calls over those.
+  /// Assumes locals were already substituted away.
+  bool RowPure(const Expr& e) const {
+    if (!ShapePure(e)) return false;
+    for (const auto& r : VarRefSet(e)) {
+      if (row_vars_.count(r) != 0) continue;
+      if (assigned_.count(r) == 0) continue;  // loop-invariant
+      return false;  // field or unresolved scratch
+    }
+    return true;
+  }
+
+  /// Reads only accumulator fields and loop invariants (a derived
+  /// recompute's legal population — no row variables, no scratch).
+  bool FieldsOnly(const Expr& e) const {
+    if (!ShapePure(e)) return false;
+    for (const auto& r : VarRefSet(e)) {
+      // Row variables are per-row even though the body never assigns them:
+      // an accumulator set from one is a last-value overwrite, not a
+      // derived recompute.
+      if (row_vars_.count(r) != 0) return false;
+      if (fields_.count(r) != 0) continue;
+      if (assigned_.count(r) == 0) continue;  // loop-invariant
+      return false;
+    }
+    return true;
+  }
+
+  /// Let-inlining: clone `e` with every substitutable scratch local replaced
+  /// by its (closed) defining expression. Tainted locals — assigned in a
+  /// branch whose scope ended — produce a blocker.
+  ExprPtr Substitute(const Expr& e) {
+    ExprPtr c = e.Clone();
+    RewriteVarRefs(&c, [this](const std::string& name) -> ExprPtr {
+      // Taint wins over any (stale, pre-branch) substitution: after a
+      // guarded reassignment the local's value is path-dependent even
+      // though the outer definition was restored.
+      if (tainted_.count(name) != 0) {
+        Blocker(DiagCode::kStatefulGuard,
+                "local " + name +
+                    " is assigned under a guard and read outside it, so it "
+                    "carries state across rows");
+        return nullptr;
+      }
+      auto it = subst_.find(name);
+      if (it != subst_.end()) return it->second->Clone();
+      return nullptr;
+    });
+    return c;
+  }
+
+  std::vector<GuardTerm> CloneGuards() const {
+    std::vector<GuardTerm> out;
+    out.reserve(guards_.size());
+    for (const auto& g : guards_) {
+      out.push_back(GuardTerm{g.cond->Clone(), g.negated});
+    }
+    return out;
+  }
+
+  void NoteWrite(const std::string& name) {
+    writes_[name].push_back(position_);
+  }
+
+  /// Decomposes `e` into coeff*acc + addend with literal folding. Fails
+  /// (ok=false) when acc sits under division, CASE, a call, or on both
+  /// sides of a multiplication.
+  Affine Decompose(const Expr& e, const std::string& acc) {
+    Affine r;
+    if (!ContainsVar(e, acc)) {
+      r.ok = true;
+      r.addend = e.Clone();
+      return r;
+    }
+    switch (e.kind) {
+      case ExprKind::kVarRef:
+        r.ok = true;
+        r.coeff = IntLit(1);
+        return r;
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        if (u.op != UnaryOp::kNeg) return r;
+        Affine a = Decompose(*u.operand, acc);
+        if (!a.ok) return r;
+        r.ok = true;
+        r.coeff = NegE(std::move(a.coeff));
+        r.addend = NegE(std::move(a.addend));
+        return r;
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.op == BinaryOp::kAdd || b.op == BinaryOp::kSub) {
+          Affine l = Decompose(*b.left, acc);
+          Affine rr = Decompose(*b.right, acc);
+          if (!l.ok || !rr.ok) return r;
+          r.ok = true;
+          if (b.op == BinaryOp::kAdd) {
+            r.coeff = AddE(std::move(l.coeff), std::move(rr.coeff));
+            r.addend = AddE(std::move(l.addend), std::move(rr.addend));
+          } else {
+            r.coeff = SubE(std::move(l.coeff), std::move(rr.coeff));
+            r.addend = SubE(std::move(l.addend), std::move(rr.addend));
+          }
+          return r;
+        }
+        if (b.op == BinaryOp::kMul) {
+          const Expr* scale = nullptr;
+          const Expr* inner = nullptr;
+          if (!ContainsVar(*b.left, acc)) {
+            scale = b.left.get();
+            inner = b.right.get();
+          } else if (!ContainsVar(*b.right, acc)) {
+            scale = b.right.get();
+            inner = b.left.get();
+          } else {
+            return r;  // acc on both sides: quadratic, not affine
+          }
+          Affine a = Decompose(*inner, acc);
+          if (!a.ok) return r;
+          r.ok = true;
+          r.coeff = MulE(scale->Clone(), std::move(a.coeff));
+          r.addend = MulE(scale->Clone(), std::move(a.addend));
+          return r;
+        }
+        return r;
+      }
+      default:
+        return r;
+    }
+  }
+
+  bool MatchesStrictSumSurface(const Expr& v, const std::string& acc) const {
+    if (v.kind != ExprKind::kBinary) return false;
+    const auto& b = static_cast<const BinaryExpr&>(v);
+    auto self = [&](const Expr& e) {
+      return e.kind == ExprKind::kVarRef &&
+             static_cast<const VarRefExpr&>(e).name == acc;
+    };
+    if (b.op == BinaryOp::kAdd) return self(*b.left) || self(*b.right);
+    if (b.op == BinaryOp::kSub) return self(*b.left);
+    return false;
+  }
+
+  void WalkStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+          WalkStmt(*s);
+        }
+        break;
+      case StmtKind::kDeclareVar: {
+        const auto& d = static_cast<const DeclareVarStmt&>(stmt);
+        ++position_;
+        NoteWrite(d.name);
+        // A branch-scoped DECLARE is fine on its own: WalkBranch taints the
+        // name on branch exit, so only reads that escape the branch block.
+        ExprPtr init = d.initializer != nullptr ? Substitute(*d.initializer)
+                                                : MakeLiteral(Value::Null());
+        if (RowPure(*init)) {
+          // A fresh definition shadows any earlier path-dependent value
+          // (branch exit re-taints if this one is itself branch-scoped).
+          tainted_.erase(d.name);
+          subst_[d.name] = std::shared_ptr<const Expr>(std::move(init));
+        } else {
+          Blocker(DiagCode::kCrossAccumulatorDep,
+                  "local " + d.name + " is initialized from accumulator state");
+          tainted_.insert(d.name);
+        }
+        break;
+      }
+      case StmtKind::kSet:
+        WalkSet(static_cast<const SetStmt&>(stmt));
+        break;
+      case StmtKind::kIf:
+        WalkIf(static_cast<const IfStmt&>(stmt));
+        break;
+      case StmtKind::kBreak:
+        Blocker(DiagCode::kUnrecognizedUpdate,
+                "BREAK exits the fold early; partial states over disjoint "
+                "partitions cannot reconstruct where it fired");
+        break;
+      case StmtKind::kContinue:
+        Blocker(DiagCode::kUnrecognizedUpdate,
+                "CONTINUE skips the remaining updates control-dependently");
+        break;
+      default:
+        Blocker(DiagCode::kUnrecognizedUpdate,
+                "statement shape is outside the merge calculus: " +
+                    stmt.ToString(0).substr(0, 60));
+        break;
+    }
+  }
+
+  void WalkSet(const SetStmt& s) {
+    ++position_;
+    NoteWrite(s.name);
+    ExprPtr value = Substitute(*s.value);
+    if (fields_.count(s.name) == 0) {
+      // Scratch local (or a reassigned row variable): substitutable while
+      // row-pure; the If walker taints branch-scoped definitions on exit.
+      if (RowPure(*value)) {
+        tainted_.erase(s.name);
+        subst_[s.name] = std::shared_ptr<const Expr>(std::move(value));
+      } else {
+        Blocker(DiagCode::kCrossAccumulatorDep,
+                "local " + s.name +
+                    " is computed from accumulator state; its value cannot "
+                    "be reconstructed when partitions merge");
+        tainted_.insert(s.name);
+        subst_.erase(s.name);
+      }
+      return;
+    }
+
+    Update u;
+    u.field = s.name;
+    u.position = position_;
+    u.guards = CloneGuards();
+
+    if (!ContainsVar(*value, s.name)) {
+      if (FieldsOnly(*value)) {
+        if (!guards_.empty()) {
+          Blocker(DiagCode::kStatefulGuard,
+                  "derived update of " + s.name +
+                      " is conditional; the merged value cannot be "
+                      "recomputed from the merged bases");
+          return;
+        }
+        u.form = Update::Form::kDerived;
+        u.recompute = std::move(value);
+        updates_.push_back(std::move(u));
+        return;
+      }
+      if (RowPure(*value)) {
+        Blocker(DiagCode::kNonCommutativeUpdate,
+                "accumulator " + s.name + " = " + s.value->ToString() +
+                    " is a last-value overwrite: the result depends on "
+                    "which row arrives last");
+        return;
+      }
+      Blocker(DiagCode::kCrossAccumulatorDep,
+              "update of " + s.name +
+                  " mixes row values with other accumulators; it is "
+                  "neither a fold nor a pure derived recompute");
+      return;
+    }
+
+    Affine a = Decompose(*value, s.name);
+    if (!a.ok) {
+      Blocker(DiagCode::kUnrecognizedUpdate,
+              "update " + s.name + " = " + s.value->ToString() +
+                  " does not decompose to coeff*" + s.name + " + row term");
+      return;
+    }
+    int64_t c0 = 0;
+    const bool coeff_const = IsIntLiteral(a.coeff.get(), &c0);
+    if (coeff_const && c0 == 1) {
+      if (a.addend != nullptr && !RowPure(*a.addend)) {
+        Blocker(DiagCode::kCrossAccumulatorDep,
+                "sum addend " + a.addend->ToString() + " of " + s.name +
+                    " reads other accumulators, so per-partition deltas "
+                    "are not independent");
+        return;
+      }
+      u.form = Update::Form::kSum;
+      u.addend = a.addend != nullptr ? std::move(a.addend) : IntLit(0);
+      u.strict_surface = MatchesStrictSumSurface(*s.value, s.name);
+      updates_.push_back(std::move(u));
+      return;
+    }
+    if (a.addend == nullptr && a.coeff != nullptr && RowPure(*a.coeff) &&
+        !(coeff_const && c0 == 0)) {
+      u.form = Update::Form::kProduct;
+      u.factor = std::move(a.coeff);
+      updates_.push_back(std::move(u));
+      return;
+    }
+    if (coeff_const && c0 == 0) {
+      Blocker(DiagCode::kNonCommutativeUpdate,
+              "the accumulator coefficient of " + s.name +
+                  " folds to 0: " + s.value->ToString() +
+                  " overwrites rather than folds");
+      return;
+    }
+    Blocker(DiagCode::kNonCommutativeUpdate,
+            "affine coefficient " +
+                (a.coeff != nullptr ? a.coeff->ToString() : std::string("0")) +
+                " of " + s.name +
+                " is not the literal 1; the update is not commutative "
+                "under interleaved morsel partitioning");
+  }
+
+  void WalkIf(const IfStmt& i) {
+    if (TryExtremum(i)) return;
+    ExprPtr cond = Substitute(*i.condition);
+    if (!RowPure(*cond)) {
+      Blocker(DiagCode::kStatefulGuard,
+              "guard " + i.condition->ToString() +
+                  " reads accumulator state outside the compare-and-keep "
+                  "extremum pattern");
+      // Keep walking so every additional blocker in the branches is still
+      // reported in this one pass (the plan is already dead).
+    }
+    const size_t gi = guards_.size();
+    guards_.push_back(GuardTerm{std::move(cond), false});
+    WalkBranch(*i.then_branch);
+    if (i.else_branch != nullptr) {
+      guards_[gi].negated = true;
+      WalkBranch(*i.else_branch);
+    }
+    guards_.pop_back();
+  }
+
+  /// Walks a branch with a scoped substitution map: locals (re)defined
+  /// inside the branch are tainted on exit — their value is path-dependent.
+  void WalkBranch(const Stmt& branch) {
+    auto saved = subst_;
+    WalkStmt(branch);
+    for (const auto& [name, expr] : subst_) {
+      auto it = saved.find(name);
+      if (it == saved.end() || it->second.get() != expr.get()) {
+        tainted_.insert(name);
+      }
+    }
+    subst_ = std::move(saved);
+  }
+
+  /// Matches `cond` as a compare of the accumulator against a candidate
+  /// equal (textually) to `assigned`. Fills is_min with the keep direction.
+  bool MatchCompareKeep(const Expr& cond_in, const std::string& acc,
+                        const Expr& assigned, bool allow_null_peel,
+                        bool* is_min, bool* null_peeled) const {
+    const Expr* cond = &cond_in;
+    *null_peeled = false;
+    if (allow_null_peel && cond->kind == ExprKind::kBinary &&
+        static_cast<const BinaryExpr&>(*cond).op == BinaryOp::kOr) {
+      const auto& orx = static_cast<const BinaryExpr&>(*cond);
+      auto is_null_guard = [&](const Expr& e) {
+        if (e.kind != ExprKind::kIsNull) return false;
+        const auto& n = static_cast<const IsNullExpr&>(e);
+        return !n.negated && n.operand->kind == ExprKind::kVarRef &&
+               static_cast<const VarRefExpr&>(*n.operand).name == acc;
+      };
+      if (is_null_guard(*orx.left)) {
+        cond = orx.right.get();
+        *null_peeled = true;
+      } else if (is_null_guard(*orx.right)) {
+        cond = orx.left.get();
+        *null_peeled = true;
+      } else {
+        return false;
+      }
+    }
+    if (cond->kind != ExprKind::kBinary) return false;
+    const auto& cmp = static_cast<const BinaryExpr&>(*cond);
+    auto is_acc = [&](const Expr& e) {
+      return e.kind == ExprKind::kVarRef &&
+             static_cast<const VarRefExpr&>(e).name == acc;
+    };
+    const Expr* candidate = nullptr;
+    bool acc_on_left = false;
+    if (is_acc(*cmp.left)) {
+      candidate = cmp.right.get();
+      acc_on_left = true;
+    } else if (is_acc(*cmp.right)) {
+      candidate = cmp.left.get();
+    } else {
+      return false;
+    }
+    if (candidate->ToString() != assigned.ToString()) return false;
+    switch (cmp.op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        *is_min = !acc_on_left;  // candidate < acc keeps smaller
+        return true;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        *is_min = acc_on_left;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// The two extremum shapes:
+  ///   A. IF (e < acc [OR acc IS NULL]) SET acc = e           (no ELSE)
+  ///   B. IF (acc IS NULL) SET acc = e ELSE IF (e < acc) SET acc = e
+  /// Form B is the common NULL-seeded extremum the classifier rejects.
+  bool TryExtremum(const IfStmt& i) {
+    // Form A.
+    if (i.else_branch == nullptr) {
+      const Stmt* then_s = Sole(*i.then_branch);
+      if (then_s == nullptr || then_s->kind != StmtKind::kSet) return false;
+      const auto& set = static_cast<const SetStmt&>(*then_s);
+      if (fields_.count(set.name) == 0) return false;
+      bool is_min = false, peeled = false;
+      if (!MatchCompareKeep(*i.condition, set.name, *set.value,
+                            /*allow_null_peel=*/true, &is_min, &peeled)) {
+        return false;
+      }
+      ExprPtr cand = Substitute(*set.value);
+      if (!RowPure(*cand)) return false;
+      RecordExtremum(set.name, is_min);
+      return true;
+    }
+    // Form B.
+    if (i.condition->kind != ExprKind::kIsNull) return false;
+    const auto& null_test = static_cast<const IsNullExpr&>(*i.condition);
+    if (null_test.negated || null_test.operand->kind != ExprKind::kVarRef) {
+      return false;
+    }
+    const std::string& acc =
+        static_cast<const VarRefExpr&>(*null_test.operand).name;
+    if (fields_.count(acc) == 0) return false;
+    const Stmt* seed_s = Sole(*i.then_branch);
+    if (seed_s == nullptr || seed_s->kind != StmtKind::kSet) return false;
+    const auto& seed = static_cast<const SetStmt&>(*seed_s);
+    if (seed.name != acc) return false;
+    const Stmt* else_s = Sole(*i.else_branch);
+    if (else_s == nullptr || else_s->kind != StmtKind::kIf) return false;
+    const auto& inner = static_cast<const IfStmt&>(*else_s);
+    if (inner.else_branch != nullptr) return false;
+    const Stmt* keep_s = Sole(*inner.then_branch);
+    if (keep_s == nullptr || keep_s->kind != StmtKind::kSet) return false;
+    const auto& keep = static_cast<const SetStmt&>(*keep_s);
+    if (keep.name != acc ||
+        keep.value->ToString() != seed.value->ToString()) {
+      return false;
+    }
+    bool is_min = false, peeled = false;
+    if (!MatchCompareKeep(*inner.condition, acc, *keep.value,
+                          /*allow_null_peel=*/false, &is_min, &peeled)) {
+      return false;
+    }
+    ExprPtr cand = Substitute(*seed.value);
+    if (!RowPure(*cand)) return false;
+    RecordExtremum(acc, is_min);
+    return true;
+  }
+
+  void RecordExtremum(const std::string& field, bool is_min) {
+    ++position_;
+    NoteWrite(field);
+    Update u;
+    u.field = field;
+    u.form = Update::Form::kExtremum;
+    u.is_min = is_min;
+    u.position = position_;
+    u.guards = CloneGuards();
+    updates_.push_back(std::move(u));
+  }
+
+  /// A product's factor and guards are re-evaluated against the row
+  /// environment AFTER the body ran. If the body ever writes a variable
+  /// they reference, the recorded expression would read the overwritten
+  /// value — reject.
+  void CheckFactorStability(const Update& u) {
+    std::set<std::string> refs = VarRefSet(*u.factor);
+    for (const auto& g : u.guards) {
+      std::set<std::string> gr = VarRefSet(*g.cond);
+      refs.insert(gr.begin(), gr.end());
+    }
+    for (const auto& r : refs) {
+      if (writes_.count(r) != 0) {
+        Blocker(DiagCode::kCrossAccumulatorDep,
+                "product factor of " + u.field + " reads " + r +
+                    ", which the body also assigns; the recorded factor "
+                    "would observe the overwritten value");
+        return;
+      }
+    }
+  }
+
+  std::shared_ptr<const MergePlan> BuildPlan() {
+    auto plan = std::make_shared<MergePlan>();
+    std::map<std::string, std::vector<const Update*>> by_field;
+    for (const auto& u : updates_) by_field[u.field].push_back(&u);
+
+    int aux_counter = 0;
+    std::vector<FieldMergePlan> bases;
+    std::vector<std::pair<FieldMergePlan, const Update*>> derived;
+    for (const auto& f : fields_) {
+      FieldMergePlan fp;
+      fp.field = f;
+      auto it = by_field.find(f);
+      if (it == by_field.end()) {
+        fp.rule = MergeRuleKind::kInvariant;
+        fp.note = "never updated; the shared baseline passes through";
+        bases.push_back(std::move(fp));
+        continue;
+      }
+      const auto& ups = it->second;
+      auto all_form = [&](Update::Form form) {
+        for (const Update* u : ups) {
+          if (u->form != form) return false;
+        }
+        return true;
+      };
+      if (all_form(Update::Form::kExtremum)) {
+        bool is_min = ups[0]->is_min;
+        bool mixed = false;
+        for (const Update* u : ups) {
+          if (u->is_min != is_min) mixed = true;
+        }
+        if (mixed) {
+          Blocker(DiagCode::kNonCommutativeUpdate,
+                  "accumulator " + f +
+                      " mixes min and max compare-and-keep updates");
+          continue;
+        }
+        fp.rule = MergeRuleKind::kExtremum;
+        fp.is_min = is_min;
+        for (const Update* u : ups) {
+          if (!u->guards.empty()) fp.guarded = true;
+        }
+        fp.merge_expr = ExtremumMergeExpr(is_min);
+        fp.note = std::string("compare-and-keep ") + (is_min ? "min" : "max") +
+                  ": idempotent NULL-safe merge";
+        bases.push_back(std::move(fp));
+        continue;
+      }
+      if (all_form(Update::Form::kSum)) {
+        bool guarded = false;
+        bool strict = true;
+        for (const Update* u : ups) {
+          if (!u->guards.empty()) guarded = true;
+          if (!u->strict_surface) strict = false;
+        }
+        fp.guarded = guarded;
+        fp.rule = guarded ? MergeRuleKind::kGuardedSum
+                          : (strict && ups.size() == 1
+                                 ? MergeRuleKind::kFoldAlgebra
+                                 : MergeRuleKind::kAffineSum);
+        if (ups.size() == 1) fp.row_term = ups[0]->addend->Clone();
+        fp.merge_expr = SumMergeExpr();
+        fp.note =
+            fp.rule == MergeRuleKind::kGuardedSum
+                ? "row-pure guards select rows; fired deltas merge by the "
+                  "baseline-subtracting sum"
+                : (fp.rule == MergeRuleKind::kAffineSum
+                       ? "affine update normalized to unit accumulator "
+                         "coefficient"
+                       : "strict commutative-fold sum");
+        bases.push_back(std::move(fp));
+        continue;
+      }
+      if (all_form(Update::Form::kProduct)) {
+        fp.rule = MergeRuleKind::kProductAugmented;
+        const std::string img = "@__img" + std::to_string(aux_counter);
+        const std::string zc = "@__zc" + std::to_string(aux_counter);
+        ++aux_counter;
+        for (const Update* u : ups) {
+          if (!u->guards.empty()) fp.guarded = true;
+          CheckFactorStability(*u);
+          AuxUpdate image;
+          image.name = img;
+          image.kind = AuxUpdate::Kind::kFactorImage;
+          image.factor = u->factor->Clone();
+          for (const auto& g : u->guards) {
+            image.guards.push_back(GuardTerm{g.cond->Clone(), g.negated});
+          }
+          AuxUpdate zero;
+          zero.name = zc;
+          zero.kind = AuxUpdate::Kind::kZeroCount;
+          zero.factor = u->factor->Clone();
+          for (const auto& g : u->guards) {
+            zero.guards.push_back(GuardTerm{g.cond->Clone(), g.negated});
+          }
+          fp.aux.push_back(std::move(image));
+          fp.aux.push_back(std::move(zero));
+        }
+        fp.merge_expr =
+            MakeBinary(BinaryOp::kMul, MakeVarRef("@c"), MakeVarRef(img));
+        fp.note = "product fold via state augmentation: merged = baseline * "
+                  "(" + img + "_l * " + img + "_r); " + zc +
+                  " counts zero factors, certifying the division-free merge";
+        bases.push_back(std::move(fp));
+        continue;
+      }
+      if (ups.size() == 1 && ups[0]->form == Update::Form::kDerived) {
+        fp.rule = MergeRuleKind::kDerived;
+        fp.recompute = ups[0]->recompute->Clone();
+        derived.emplace_back(std::move(fp), ups[0]);
+        continue;
+      }
+      if (all_form(Update::Form::kDerived)) {
+        Blocker(DiagCode::kCrossAccumulatorDep,
+                "accumulator " + f +
+                    " has multiple derived assignments; only a single "
+                    "final recompute is reconstructible");
+        continue;
+      }
+      Blocker(DiagCode::kNonCommutativeUpdate,
+              "accumulator " + f +
+                  " mixes update shapes that compose into no homomorphism");
+    }
+
+    // Derived fields: every dependency must be a non-derived base whose
+    // updates ALL precede the derived assignment in the body (otherwise the
+    // final derived value is not g(final bases)).
+    std::sort(derived.begin(), derived.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->position < b.second->position;
+              });
+    for (auto& [fp, u] : derived) {
+      bool ok = true;
+      std::string deps;
+      for (const auto& r : VarRefSet(*fp.recompute)) {
+        if (fields_.count(r) == 0) {
+          // A loop invariant passes FieldsOnly, but Merge only sees the
+          // aggregate state: the recompute could not be evaluated there.
+          Blocker(DiagCode::kCrossAccumulatorDep,
+                  "derived accumulator " + fp.field + " reads " + r +
+                      ", which is not part of the merged aggregate state");
+          ok = false;
+          continue;
+        }
+        if (!deps.empty()) deps += ", ";
+        deps += r;
+        const FieldMergePlan* dep = nullptr;
+        for (const auto& b : bases) {
+          if (b.field == r) dep = &b;
+        }
+        if (dep == nullptr) {
+          Blocker(DiagCode::kCrossAccumulatorDep,
+                  "derived accumulator " + fp.field + " reads " + r +
+                      ", which has no mergeable base plan");
+          ok = false;
+          continue;
+        }
+        auto wit = writes_.find(r);
+        if (wit != writes_.end()) {
+          for (size_t pos : wit->second) {
+            if (pos > u->position) {
+              Blocker(DiagCode::kCrossAccumulatorDep,
+                      "derived accumulator " + fp.field + " reads " + r +
+                          ", which is updated later in the body; the final "
+                          "value is not a function of the final bases");
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!ok) continue;
+      fp.note = "derived: recomputed from the merged bases (" +
+                (deps.empty() ? std::string("constants") : deps) + ")";
+      bases.push_back(std::move(fp));
+    }
+
+    plan->blockers = std::move(blockers_);
+    plan->mergeable = plan->blockers.empty();
+    if (plan->mergeable) plan->fields = std::move(bases);
+    return plan;
+  }
+
+  const std::set<std::string>& fields_;
+  const std::set<std::string>& row_vars_;
+  const std::function<bool(const std::string&)>& is_pure_call_;
+  std::set<std::string> assigned_;
+  /// Let-inlining map: scratch local -> closed row-pure definition.
+  std::map<std::string, std::shared_ptr<const Expr>> subst_;
+  /// Locals whose substitution became path-dependent (branch-scoped).
+  std::set<std::string> tainted_;
+  /// Active guard stack (conjunction of row-pure conditions).
+  std::vector<GuardTerm> guards_;
+  /// Every write position per variable name (1-based statement order).
+  std::map<std::string, std::vector<size_t>> writes_;
+  std::vector<Update> updates_;
+  std::vector<Diagnostic> blockers_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+const char* MergeRuleKindName(MergeRuleKind kind) {
+  switch (kind) {
+    case MergeRuleKind::kFoldAlgebra: return "fold-algebra";
+    case MergeRuleKind::kAffineSum: return "affine-sum";
+    case MergeRuleKind::kGuardedSum: return "guarded-sum";
+    case MergeRuleKind::kExtremum: return "extremum";
+    case MergeRuleKind::kProductAugmented: return "product-augmented";
+    case MergeRuleKind::kDerived: return "derived";
+    case MergeRuleKind::kInvariant: return "invariant";
+  }
+  return "invariant";
+}
+
+std::vector<std::string> MergePlan::DescribeRules() const {
+  std::vector<std::string> out;
+  for (const auto& f : fields) {
+    std::string line = f.field + ": " + MergeRuleKindName(f.rule);
+    if (f.merge_expr != nullptr) {
+      line += "  merged = " + f.merge_expr->ToString();
+    }
+    if (f.recompute != nullptr) {
+      line += "  recomputed = " + f.recompute->ToString();
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::shared_ptr<const MergePlan> SynthesizeMerge(
+    const BlockStmt& body, const std::set<std::string>& fields,
+    const std::set<std::string>& row_vars,
+    const std::function<bool(const std::string&)>& is_pure_call) {
+  Synthesizer synthesizer(fields, row_vars, is_pure_call);
+  return synthesizer.Run(body);
+}
+
+}  // namespace aggify

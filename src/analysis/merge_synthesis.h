@@ -1,0 +1,147 @@
+// Homomorphism-calculus Merge synthesis: deriving merge operators for loop
+// bodies far beyond the fold classifier's four-shape algebra.
+//
+// The fold classifier (analysis/fold_classifier.h) *recognizes* a fixed set
+// of update shapes. This pass *derives* a Merge by normalizing every
+// accumulator update into a compositional algebra over a symbolic state
+// vector, in the style of the homomorphism calculus for user-defined
+// aggregations (PAPERS.md):
+//
+//   1. Let-inlining: row-pure scratch locals are substituted into the
+//      expressions that read them, so `SET @d = @x*2; SET @s = @s + @d`
+//      normalizes to the direct fold `@s += @x*2`.
+//   2. Affine decomposition: each `SET acc = e` is decomposed (with literal
+//      coefficient folding) into `acc = coeff*acc + addend(row)`. A
+//      coefficient that folds to the literal 1 is a sum homomorphism no
+//      matter how the source arranged it (`@s = @x + @s + 1`,
+//      `@s = 2*@s - @s + @x`); a zero coefficient with a row-pure factor is
+//      a product; anything else (a non-unit constant, a row-dependent
+//      coefficient with a nonzero addend) is NOT commutative under the
+//      engine's interleaved morsel partitioning and is rejected with a
+//      typed AGG2xx blocker.
+//   3. Guarded folds: row-pure guards select rows; the guarded update must
+//      itself be homomorphic. The compare-and-keep extremum patterns —
+//      including the IF/ELSE NULL-seed form the classifier rejects — merge
+//      by NULL-safe compare.
+//   4. Product augmentation: `acc = acc * m` merges WITHOUT the unsafe
+//      division inverse by augmenting the state with a factor image
+//      (running product of fired row factors, seeded 1) merged by
+//      multiplication, plus a zero count certifying why no division is
+//      needed: merged = baseline * (image_l * image_r).
+//   5. Derived accumulators: an unconditional `acc = g(other accumulators)`
+//      positioned after every update of its dependencies (sum+count → avg)
+//      is not merged at all — it is recomputed from the merged bases.
+//
+// Every per-field verdict is either a MergeFn expression over the reserved
+// names @l/@r/@c (left partial, right partial, shared loop-entry baseline)
+// plus any aux state, or a typed blocker. A plan that clears synthesis must
+// additionally pass the shuffle-sweep certificate
+// (aggify/merge_certificate.h) before the rewriter ships it — see DESIGN.md
+// invariant 11.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+enum class MergeRuleKind : uint8_t {
+  /// Strict `acc = acc ± e` / extremum surface shape — PR 3's fold algebra
+  /// would also have recognized it (the synthesized plan subsumes it).
+  kFoldAlgebra,
+  /// Affine update whose accumulator coefficient folded to the literal 1.
+  kAffineSum,
+  /// Unit-coefficient sum under row-pure guards (filtered fold), possibly
+  /// via let-inlined branch-local scratch.
+  kGuardedSum,
+  /// Compare-and-keep min/max, including the IF/ELSE NULL-seed form.
+  kExtremum,
+  /// Multiplicative fold; merged via factor-image + zero-count aux state.
+  kProductAugmented,
+  /// acc = g(other accumulators): recomputed from the merged bases.
+  kDerived,
+  /// Never updated by the body: the shared baseline passes through.
+  kInvariant,
+};
+
+const char* MergeRuleKindName(MergeRuleKind kind);
+
+/// One conjunct of a guarded update's firing condition. `negated` records an
+/// ELSE branch: the term passes when the predicate evaluates false *or
+/// NULL* — exactly IF/ELSE semantics, which a syntactic `NOT p` would get
+/// wrong for NULL.
+struct GuardTerm {
+  ExprPtr cond;
+  bool negated = false;
+};
+
+/// A per-row auxiliary-state update attached to a product-augmented field.
+/// The factor image accumulates the product of every fired row factor
+/// (seeded 1, merged by multiplication); the zero count tallies fired
+/// factors equal to zero — the calculus' certificate that merging needs no
+/// division by a possibly-zero baseline.
+struct AuxUpdate {
+  enum class Kind : uint8_t { kFactorImage, kZeroCount };
+  std::string name;  ///< reserved state variable ("@__img0", "@__zc0")
+  Kind kind = Kind::kFactorImage;
+  ExprPtr factor;    ///< row factor m (row vars / loop invariants only)
+  std::vector<GuardTerm> guards;  ///< all must pass for the update to fire
+};
+
+struct FieldMergePlan {
+  std::string field;
+  MergeRuleKind rule = MergeRuleKind::kInvariant;
+  /// The synthesized MergeFn over the reserved names @l / @r / @c and this
+  /// field's aux names. Null for kDerived / kInvariant.
+  ExprPtr merge_expr;
+  /// kDerived only: g, re-evaluated over the merged base fields.
+  ExprPtr recompute;
+  /// Sum rules: the normalized row addend (drives native lowering and
+  /// --explain). Null for multi-update or non-sum fields.
+  ExprPtr row_term;
+  /// kGuardedSum / kProductAugmented: the update carries row-pure guards.
+  bool guarded = false;
+  /// kExtremum only: direction.
+  bool is_min = false;
+  std::vector<AuxUpdate> aux;
+  /// Which calculus step produced the rule, for --explain / lint notes.
+  std::string note;
+};
+
+struct MergePlan {
+  /// Every accumulator admits a homomorphic merge: the plan is usable.
+  bool mergeable = false;
+  /// Per-field plans in merge order: bases first, derived fields last (a
+  /// derived recompute must see its dependencies already merged).
+  std::vector<FieldMergePlan> fields;
+  /// Typed AGG2xx blockers — one per defeating construct, all of them, so
+  /// lint shows every reason in one pass. Empty iff mergeable.
+  std::vector<Diagnostic> blockers;
+
+  const FieldMergePlan* PlanFor(const std::string& field) const {
+    for (const auto& f : fields) {
+      if (f.field == field) return &f;
+    }
+    return nullptr;
+  }
+
+  /// One "field: rule [expr]" line per field, for --explain and
+  /// GenerateSource.
+  std::vector<std::string> DescribeRules() const;
+};
+
+/// Runs the calculus over a FETCH-stripped loop body. Parameters mirror
+/// ClassifyLoopBody. Always returns a plan: `mergeable` false with typed
+/// blockers when any field defeats the calculus.
+std::shared_ptr<const MergePlan> SynthesizeMerge(
+    const BlockStmt& body, const std::set<std::string>& fields,
+    const std::set<std::string>& row_vars,
+    const std::function<bool(const std::string&)>& is_pure_call = nullptr);
+
+}  // namespace aggify

@@ -23,6 +23,12 @@ struct CorpusStats {
   /// Deterministic census buckets: every skipped loop lands under exactly one
   /// diagnostic code (cursor_loops == aggifyable + sum of these counts).
   std::map<DiagCode, int> skip_codes;
+  /// Eligibility ladder over the rewritten loops: how each earned (or
+  /// missed) a Merge. recognized_fold + merge_synthesized + serial_only
+  /// == aggifyable.
+  int recognized_fold = 0;    ///< fold classifier's algebra proved the Merge
+  int merge_synthesized = 0;  ///< homomorphism calculus derived + certified it
+  int serial_only = 0;        ///< rewritten, but runs the serial plan only
   /// Every diagnostic the analyses emitted (rejections and proof notes),
   /// clang-tidy-renderable — what `aggify_cli --lint workloads-corpus` prints.
   std::vector<Diagnostic> diagnostics;

@@ -1,0 +1,224 @@
+// Randomized classifier ↔ synthesizer agreement fuzzing (ISSUE 8 satellite).
+//
+// A deterministic generator assembles loop bodies from fold / affine /
+// guard / product / derived / scratch templates over two accumulators and
+// two row variables. For every seeded case:
+//
+//   1. Agreement: if the fold classifier proves the body decomposable, the
+//      homomorphism calculus must also derive a plan (it subsumes the
+//      four-shape algebra).
+//   2. Soundness: ANY plan the calculus accepts must pass the shuffle-sweep
+//      certificate — partitioned execution at DOP 2/3/4, random
+//      permutations, and random splits all Terminate bit-identically to the
+//      serial fold. There is no "probably commutative": accepted means
+//      certified.
+//
+// The generator deliberately mixes accepted shapes with adversarial ones
+// (non-unit coefficients, last-value overwrites, stateful guards, mutated
+// row variables) so both verdict paths stay exercised.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aggify/merge_certificate.h"
+#include "analysis/fold_classifier.h"
+#include "analysis/merge_synthesis.h"
+#include "exec/eval.h"
+#include "parser/parser.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+/// Deterministic xorshift64* — mirrors the certificate harness RNG so the
+/// suite reproduces identically everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+const char* const kFields[] = {"@a", "@b"};
+const char* const kRowExprs[] = {"@x", "@y", "@x + 1", "@x * 2", "2",
+                                 "@x + @y", "0 - @x"};
+const char* const kGuards[] = {"@x > 0", "@y < 3", "@x + @y > 1"};
+
+std::string RowExpr(Rng* rng) {
+  return kRowExprs[rng->Below(sizeof(kRowExprs) / sizeof(kRowExprs[0]))];
+}
+
+std::string Guard(Rng* rng) {
+  return kGuards[rng->Below(sizeof(kGuards) / sizeof(kGuards[0]))];
+}
+
+/// One random statement. Templates 0–4 are (usually) homomorphic; 5–9 are
+/// adversarial. `scratch_declared` threads the one scratch local through
+/// multi-statement bodies.
+std::string RandomStmt(Rng* rng, bool* scratch_declared) {
+  const std::string f = kFields[rng->Below(2)];
+  switch (rng->Below(10)) {
+    case 0:
+      return "SET " + f + " = " + f + " + " + RowExpr(rng) + ";";
+    case 1:  // affine arrangement: row term on the left
+      return "SET " + f + " = " + RowExpr(rng) + " + " + f + ";";
+    case 2:
+      return "IF (" + Guard(rng) + ") SET " + f + " = " + f + " + " +
+             RowExpr(rng) + ";";
+    case 3:
+      return "SET " + f + " = " + f + " * " + RowExpr(rng) + ";";
+    case 4:
+      return "IF (@x < " + f + ") SET " + f + " = @x;";
+    case 5:  // last value — rejected
+      return "SET " + f + " = " + RowExpr(rng) + ";";
+    case 6:  // non-unit coefficient — rejected
+      return "SET " + f + " = 2 * " + f + " + " + RowExpr(rng) + ";";
+    case 7: {  // row-pure scratch, then a fold through it — accepted
+      if (*scratch_declared) {
+        return "SET " + f + " = " + f + " + @d;";
+      }
+      *scratch_declared = true;
+      return "DECLARE @d INT;\nSET @d = " + RowExpr(rng) + ";\nSET " + f +
+             " = " + f + " + @d;";
+    }
+    case 8:  // guard reads both accumulators — rejected (stateful)
+      return "IF (@a > @b) SET " + f + " = " + f + " + " + RowExpr(rng) +
+             ";";
+    default:  // derived-shaped: @b from @a; accepted iff ordered after
+              // every @a update, rejected otherwise
+      return "SET @b = @a + @a;";
+  }
+}
+
+std::string RandomBody(Rng* rng) {
+  const int n = 1 + static_cast<int>(rng->Below(3));
+  bool scratch_declared = false;
+  std::string body;
+  for (int i = 0; i < n; ++i) {
+    if (!body.empty()) body += "\n";
+    body += RandomStmt(rng, &scratch_declared);
+  }
+  return body;
+}
+
+TEST(MergeFuzzTest, ClassifierSynthesizerAgreementAndCertifiedSoundness) {
+  const std::set<std::string> fields = {"@a", "@b"};
+  const std::set<std::string> row_vars = {"@x", "@y"};
+  Database db;
+
+  constexpr int kCases = 500;
+  int accepted = 0, rejected = 0, classifier_decomposable = 0;
+
+  for (int seed = 1; seed <= kCases; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 0x9E3779B97F4A7C15ULL);
+    const std::string text = RandomBody(&rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ":\n" + text);
+
+    auto parsed = ParseStatements(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    std::shared_ptr<const BlockStmt> body(
+        static_cast<const BlockStmt*>(std::move(parsed).ValueOrDie().release()));
+
+    BodyClassification c =
+        ClassifyLoopBody(*body, fields, row_vars, IsScalarBuiltinName);
+    auto plan = SynthesizeMerge(*body, fields, row_vars, IsScalarBuiltinName);
+
+    // (1) The calculus subsumes the fold algebra.
+    if (c.decomposable) {
+      ++classifier_decomposable;
+      EXPECT_TRUE(plan->mergeable)
+          << "classifier proved decomposable but synthesis refused: "
+          << c.reason();
+    }
+
+    if (!plan->mergeable) {
+      ++rejected;
+      // A refusal must say why, with a typed code.
+      EXPECT_FALSE(plan->blockers.empty());
+      continue;
+    }
+    ++accepted;
+
+    // (2) Accepted means certified: run the very sweep the rewriter runs.
+    BodyClassification certified = c;
+    certified.merge_plan = plan;
+    certified.decomposable = true;
+    certified.order_insensitive = true;
+
+    LoopSets sets;
+    sets.v_fetch = {"@x", "@y"};
+    sets.v_fields = {"@a", "@b"};
+    sets.p_accum = {"@x", "@y", "@a", "@b"};
+    sets.v_init = {"@a", "@b"};
+    sets.v_term = {"@a", "@b"};
+    sets.ordered = false;
+    LoopAggregate agg("fuzz_agg", body, std::move(sets),
+                      std::move(certified));
+
+    auto cert =
+        RunShuffleSweepCertificate(agg, &db, static_cast<uint64_t>(seed));
+    EXPECT_TRUE(cert.ok()) << cert.status().ToString();
+  }
+
+  // The generator must keep both verdict paths alive, or the property is
+  // vacuous.
+  EXPECT_GT(accepted, 50) << "generator starved the accept path";
+  EXPECT_GT(rejected, 50) << "generator starved the reject path";
+  EXPECT_GT(classifier_decomposable, 10);
+  RecordProperty("accepted", accepted);
+  RecordProperty("rejected", rejected);
+}
+
+// Fixed adversarial regressions: shapes engineered to look homomorphic.
+TEST(MergeFuzzTest, AdversarialShapesAreRejectedOrCertified) {
+  const std::set<std::string> fields = {"@a", "@b"};
+  const std::set<std::string> row_vars = {"@x", "@y"};
+  struct Case {
+    const char* body;
+    bool expect_mergeable;
+  };
+  const Case kCases[] = {
+      // Affine-looking, not a homomorphism: coefficient depends on the row.
+      {"SET @a = @a * @x + @x;", false},
+      // Coefficient cancels to zero: an overwrite wearing a sum's clothes.
+      {"SET @a = @a - @a + @x;", false},
+      // Guard reads the other accumulator — but @b is never assigned here,
+      // so it is loop-invariant state and the guard is constant: accepted
+      // (and certified by the sweep across all @b baselines).
+      {"IF (@b > 0) SET @a = @a + @x;", true},
+      // Once @b actually accumulates, the same guard is stateful.
+      {"SET @b = @b + 1;\nIF (@b > 0) SET @a = @a + @x;", false},
+      // Product whose factor is mutated later in the body.
+      {"SET @a = @a * @x;\nSET @x = 0;", false},
+      // Derived field updated before its base.
+      {"SET @b = @a + @a;\nSET @a = @a + @x;", false},
+      // Zero-baseline-hostile product: must be accepted (augmentation, not
+      // division) and certified against 0/NULL baselines by the sweep.
+      {"SET @a = @a * @x;", true},
+      // Conditional product under a row-pure guard.
+      {"IF (@y > 0) SET @a = @a * @x;", true},
+  };
+  for (const Case& tc : kCases) {
+    SCOPED_TRACE(tc.body);
+    auto parsed = ParseStatements(tc.body);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    StmtPtr body = std::move(parsed).ValueOrDie();
+    auto plan = SynthesizeMerge(static_cast<const BlockStmt&>(*body), fields,
+                                row_vars, IsScalarBuiltinName);
+    EXPECT_EQ(plan->mergeable, tc.expect_mergeable);
+  }
+}
+
+}  // namespace
+}  // namespace aggify

@@ -1,0 +1,651 @@
+// Tests of the homomorphism-calculus Merge synthesis pass
+// (analysis/merge_synthesis.h), the shuffle-sweep certificate
+// (aggify/merge_certificate.h), and the end-to-end rewriter integration:
+// loops beyond the fold classifier's algebra become parallel-eligible with a
+// synthesized, certified Merge, and run bit-identically at DOP 4 and DOP 1.
+#include <gtest/gtest.h>
+
+#include "aggify/merge_certificate.h"
+#include "aggify/rewriter.h"
+#include "analysis/merge_synthesis.h"
+#include "exec/eval.h"
+#include "parser/parser.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+// ---- calculus unit tests -------------------------------------------------
+
+class SynthTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const MergePlan> Synthesize(
+      const std::string& body_text, std::set<std::string> fields = {"@s"},
+      std::set<std::string> row_vars = {"@x"}) {
+    auto parsed = ParseStatements(body_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    body_ = std::move(parsed).ValueOrDie();
+    return SynthesizeMerge(static_cast<const BlockStmt&>(*body_), fields,
+                           row_vars, IsScalarBuiltinName);
+  }
+
+  static bool HasBlocker(const MergePlan& plan, DiagCode code) {
+    for (const auto& d : plan.blockers) {
+      if (d.code == code) return true;
+    }
+    return false;
+  }
+
+  StmtPtr body_;
+};
+
+TEST_F(SynthTest, AffineRearrangementIsASumHomomorphism) {
+  // The classifier's strict `acc = acc + e` surface does not match, but the
+  // affine decomposition folds the accumulator coefficient to 1.
+  auto plan = Synthesize("SET @s = @x + @s + 1;");
+  ASSERT_TRUE(plan->mergeable) << plan->blockers.size();
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kAffineSum);
+  ASSERT_NE(f->merge_expr, nullptr);
+  std::string m = f->merge_expr->ToString();
+  EXPECT_NE(m.find("@l"), std::string::npos) << m;
+  EXPECT_NE(m.find("@r"), std::string::npos) << m;
+  EXPECT_NE(m.find("@c"), std::string::npos) << m;
+  ASSERT_NE(f->row_term, nullptr);
+  EXPECT_NE(f->row_term->ToString().find("@x"), std::string::npos);
+}
+
+TEST_F(SynthTest, CoefficientFoldsAcrossSubtraction) {
+  // 2*@s - @s + @x: the coefficient algebra must fold 2 - 1 to 1.
+  auto plan = Synthesize("SET @s = 2 * @s - @s + @x;");
+  ASSERT_TRUE(plan->mergeable);
+  EXPECT_EQ(plan->PlanFor("@s")->rule, MergeRuleKind::kAffineSum);
+}
+
+TEST_F(SynthTest, LetInlinedScratchNormalizesToDirectFold) {
+  auto plan = Synthesize(
+      "DECLARE @d INT;\n"
+      "SET @d = @x * 2;\n"
+      "SET @s = @s + @d;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  ASSERT_NE(f->row_term, nullptr);
+  // The scratch local was substituted away: the row term reads @x directly.
+  EXPECT_NE(f->row_term->ToString().find("@x"), std::string::npos);
+}
+
+TEST_F(SynthTest, BranchScopedScratchIsInlinedInPlace) {
+  // A local declared, assigned, and consumed inside one branch never
+  // carries state across rows: the calculus inlines it under the guard.
+  auto plan = Synthesize(
+      "IF (@x > 2)\n"
+      "BEGIN\n"
+      "  DECLARE @d INT;\n"
+      "  SET @d = @x * 2;\n"
+      "  SET @s = @s + @d;\n"
+      "END");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kGuardedSum);
+  EXPECT_TRUE(f->guarded);
+}
+
+TEST_F(SynthTest, ScratchEscapingItsBranchIsTainted) {
+  // @d's value after the IF depends on whether the guard fired: reading it
+  // outside the branch is path-dependent state.
+  auto plan = Synthesize(
+      "DECLARE @d INT;\n"
+      "IF (@x > 2) SET @d = @x;\n"
+      "SET @s = @s + @d;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kStatefulGuard));
+}
+
+TEST_F(SynthTest, GuardedSumIsMergeable) {
+  auto plan = Synthesize("IF (@x > 0) SET @s = @s + @x;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kGuardedSum);
+  EXPECT_TRUE(f->guarded);
+}
+
+TEST_F(SynthTest, ElseBranchSumMergesWithNegatedGuard) {
+  // ELSE fires on false OR NULL; the plan must still be a sum homomorphism
+  // (two guarded unit-coefficient updates on the same field).
+  auto plan = Synthesize(
+      "IF (@x > 0)\n"
+      "  SET @s = @s + @x;\n"
+      "ELSE\n"
+      "  SET @s = @s - 1;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kGuardedSum);
+}
+
+TEST_F(SynthTest, NullSeedExtremumFormIsRecognized) {
+  // The IF/ELSE NULL-seed min the fold classifier rejects.
+  auto plan = Synthesize(
+      "IF (@s IS NULL)\n"
+      "  SET @s = @x;\n"
+      "ELSE IF (@x < @s)\n"
+      "  SET @s = @x;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kExtremum);
+  EXPECT_TRUE(f->is_min);
+}
+
+TEST_F(SynthTest, ClassicCompareAndKeepMax) {
+  auto plan = Synthesize("IF (@x > @s) SET @s = @x;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kExtremum);
+  EXPECT_FALSE(f->is_min);
+}
+
+TEST_F(SynthTest, ProductMergesViaFactorImageAndZeroCount) {
+  auto plan = Synthesize("SET @s = @s * @x;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kProductAugmented);
+  // Factor image + zero count: the augmentation that avoids the division
+  // inverse entirely.
+  ASSERT_EQ(f->aux.size(), 2u);
+  EXPECT_EQ(f->aux[0].kind, AuxUpdate::Kind::kFactorImage);
+  EXPECT_EQ(f->aux[1].kind, AuxUpdate::Kind::kZeroCount);
+  ASSERT_NE(f->merge_expr, nullptr);
+  EXPECT_NE(f->merge_expr->ToString().find("@__img"), std::string::npos);
+}
+
+TEST_F(SynthTest, GuardedProductIsMergeable) {
+  auto plan = Synthesize("IF (@x > 0) SET @s = @s * @x;");
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@s");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kProductAugmented);
+  EXPECT_TRUE(f->guarded);
+}
+
+TEST_F(SynthTest, SumCountAvgIsDerivedRecompute) {
+  auto plan = Synthesize(
+      "SET @sum = @sum + @x;\n"
+      "SET @n = @n + 1;\n"
+      "SET @avg = @sum / @n;",
+      {"@sum", "@n", "@avg"});
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* f = plan->PlanFor("@avg");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->rule, MergeRuleKind::kDerived);
+  EXPECT_EQ(f->merge_expr, nullptr);
+  ASSERT_NE(f->recompute, nullptr);
+  // Bases merge before the derived field recomputes: @avg is planned last.
+  EXPECT_EQ(plan->fields.back().field, "@avg");
+}
+
+TEST_F(SynthTest, DerivedBeforeItsDependenciesIsBlocked) {
+  // @avg reads @sum/@n values from the *previous* iteration: not a pure
+  // function of the final bases.
+  auto plan = Synthesize(
+      "SET @avg = @sum / @n;\n"
+      "SET @sum = @sum + @x;\n"
+      "SET @n = @n + 1;",
+      {"@sum", "@n", "@avg"});
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kCrossAccumulatorDep));
+}
+
+TEST_F(SynthTest, UnusedFieldPlansAsInvariantPassThrough) {
+  auto plan = Synthesize("SET @s = @s + @x;", {"@s", "@k"});
+  ASSERT_TRUE(plan->mergeable);
+  const FieldMergePlan* k = plan->PlanFor("@k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->rule, MergeRuleKind::kInvariant);
+}
+
+// ---- adversarial cases ---------------------------------------------------
+
+TEST_F(SynthTest, NonUnitConstantCoefficientIsBlocked) {
+  // acc = 2*acc + x is affine but NOT commutative under interleaved
+  // partitioning: the coefficient compounds per row.
+  auto plan = Synthesize("SET @s = 2 * @s + @x;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+}
+
+TEST_F(SynthTest, RowDependentCoefficientWithAddendIsBlocked) {
+  // Looks affine (acc = x*acc + x) but is not a homomorphism.
+  auto plan = Synthesize("SET @s = @s * @x + @x;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+}
+
+TEST_F(SynthTest, CancelledCoefficientIsAnOverwriteNotASum) {
+  // @s - @s + @x folds the coefficient to 0: last-value in disguise.
+  auto plan = Synthesize("SET @s = @s - @s + @x;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+}
+
+TEST_F(SynthTest, LastValueIsBlocked) {
+  auto plan = Synthesize("SET @s = @x;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+}
+
+TEST_F(SynthTest, GuardReadingTwoAccumulatorsIsStateful) {
+  auto plan = Synthesize("IF (@a > @b) SET @a = @a + @x;", {"@a", "@b"});
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kStatefulGuard));
+}
+
+TEST_F(SynthTest, BreakDefeatsTheCalculus) {
+  auto plan = Synthesize("SET @s = @s + @x;\nIF (@s > 100) BREAK;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kUnrecognizedUpdate));
+}
+
+TEST_F(SynthTest, MixedShapesOnOneFieldAreBlocked) {
+  auto plan = Synthesize("SET @s = @s + @x;\nSET @s = @s * @x;");
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+}
+
+TEST_F(SynthTest, MutatedRowVariableDefeatsProductFactorStability) {
+  // The factor is re-evaluated after the body ran: a mutated @x would read
+  // the wrong value, so the plan must refuse.
+  auto plan = Synthesize("SET @s = @s * @x;\nSET @x = @x + 1;");
+  EXPECT_FALSE(plan->mergeable);
+}
+
+TEST_F(SynthTest, EveryBlockerIsReportedInOnePass) {
+  // One last-value field and one stateful guard: lint must see both.
+  auto plan = Synthesize(
+      "SET @s = @x;\n"
+      "IF (@s > 0) SET @t = @t + @x;",
+      {"@s", "@t"});
+  EXPECT_FALSE(plan->mergeable);
+  EXPECT_GE(plan->blockers.size(), 2u);
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kNonCommutativeUpdate));
+  EXPECT_TRUE(HasBlocker(*plan, DiagCode::kStatefulGuard));
+}
+
+TEST_F(SynthTest, DescribeRulesNamesEveryField) {
+  auto plan = Synthesize(
+      "SET @sum = @sum + @x;\n"
+      "SET @n = @n + 1;\n"
+      "SET @avg = @sum / @n;",
+      {"@sum", "@n", "@avg"});
+  ASSERT_TRUE(plan->mergeable);
+  std::vector<std::string> rules = plan->DescribeRules();
+  ASSERT_EQ(rules.size(), 3u);
+  std::string joined;
+  for (const auto& r : rules) joined += r + "\n";
+  EXPECT_NE(joined.find("@avg"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("derived"), std::string::npos) << joined;
+}
+
+// ---- shuffle-sweep certificate -------------------------------------------
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  /// Builds a LoopAggregate over a synthetic loop: fields + row vars with a
+  /// certified classification carrying the synthesized plan — exactly what
+  /// the rewriter constructs before running the sweep.
+  std::unique_ptr<LoopAggregate> MakeAggregate(
+      const std::string& body_text, std::vector<std::string> fields,
+      std::vector<std::string> row_vars,
+      std::shared_ptr<const MergePlan> plan = nullptr) {
+    auto parsed = ParseStatements(body_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (!parsed.ok()) return nullptr;
+    std::shared_ptr<const BlockStmt> body(
+        static_cast<const BlockStmt*>(std::move(parsed).ValueOrDie().release()));
+
+    std::set<std::string> field_set(fields.begin(), fields.end());
+    std::set<std::string> row_set(row_vars.begin(), row_vars.end());
+    if (plan == nullptr) {
+      plan = SynthesizeMerge(*body, field_set, row_set, IsScalarBuiltinName);
+      EXPECT_TRUE(plan->mergeable);
+    }
+
+    BodyClassification c =
+        ClassifyLoopBody(*body, field_set, row_set, IsScalarBuiltinName);
+    c.merge_plan = plan;
+    c.decomposable = true;
+    c.order_insensitive = true;
+
+    LoopSets sets;
+    sets.v_fetch = row_vars;
+    sets.v_fields = fields;
+    sets.p_accum = row_vars;
+    sets.p_accum.insert(sets.p_accum.end(), fields.begin(), fields.end());
+    sets.v_init = fields;
+    sets.v_term = fields;
+    sets.ordered = false;
+    return std::make_unique<LoopAggregate>("cert_test_agg", std::move(body),
+                                           std::move(sets), std::move(c));
+  }
+
+  Database db_;
+};
+
+TEST_F(CertificateTest, SumPlanPassesTheSweep) {
+  auto agg = MakeAggregate("SET @s = @x + @s + 1;", {"@s"}, {"@x"});
+  ASSERT_NE(agg, nullptr);
+  ASSERT_OK_AND_ASSIGN(std::string cert,
+                       RunShuffleSweepCertificate(*agg, &db_));
+  EXPECT_NE(cert.find("shuffle-sweep certificate"), std::string::npos);
+}
+
+TEST_F(CertificateTest, ProductPlanSurvivesZeroAndNullBaselines) {
+  // The sweep's baselines include 0 and NULL: the division-inverse merge
+  // would diverge; the factor-image augmentation must not.
+  auto agg = MakeAggregate("SET @p = @p * @x;", {"@p"}, {"@x"});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_OK(RunShuffleSweepCertificate(*agg, &db_).status());
+}
+
+TEST_F(CertificateTest, GuardedSumAndDerivedAvgPass) {
+  auto guarded =
+      MakeAggregate("IF (@x > 0) SET @s = @s + @x;", {"@s"}, {"@x"});
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_OK(RunShuffleSweepCertificate(*guarded, &db_).status());
+
+  auto avg = MakeAggregate(
+      "SET @sum = @sum + @x;\n"
+      "SET @n = @n + 1;\n"
+      "SET @avg = @sum / @n;",
+      {"@avg", "@n", "@sum"}, {"@x"});
+  ASSERT_NE(avg, nullptr);
+  EXPECT_OK(RunShuffleSweepCertificate(*avg, &db_).status());
+}
+
+TEST_F(CertificateTest, SweepCatchesABaselineDoubleCount) {
+  // Hand-craft a WRONG plan: merged = @l + @r double-counts the shared
+  // loop-entry baseline. The sweep must reject it — this is the property
+  // that makes invariant 11 more than a syntactic promise.
+  auto bad = std::make_shared<MergePlan>();
+  bad->mergeable = true;
+  FieldMergePlan f;
+  f.field = "@s";
+  f.rule = MergeRuleKind::kAffineSum;
+  f.merge_expr =
+      MakeBinary(BinaryOp::kAdd, MakeVarRef("@l"), MakeVarRef("@r"));
+  bad->fields.push_back(std::move(f));
+
+  auto agg = MakeAggregate("SET @s = @s + @x;", {"@s"}, {"@x"}, bad);
+  ASSERT_NE(agg, nullptr);
+  Status st = RunShuffleSweepCertificate(*agg, &db_).status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("divergence"), std::string::npos)
+      << st.ToString();
+}
+
+// ---- end-to-end: rewriter + parallel execution ---------------------------
+
+class MergeSynthesisE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_, EngineOptions::WithDop(4));
+    serial_ = std::make_unique<Session>(&db_);
+    ASSERT_OK(serial_->RunSql(R"(
+      CREATE TABLE m (g INT, v INT);
+      INSERT INTO m VALUES (1, 5), (1, 7), (1, NULL), (2, 3), (2, 0),
+                           (2, 4), (2, 6), (3, 2), (3, 100);
+    )"));
+  }
+
+  /// Rewrites `fn` at dop=4 and asserts the loop gained a synthesized,
+  /// certified Merge and parallel eligibility.
+  LoopRewrite RewriteExpectSynthesized(const std::string& fn) {
+    Aggify aggify(&db_, EngineOptions::WithDop(4));
+    auto report = aggify.RewriteFunction(fn);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (!report.ok()) return {};
+    EXPECT_EQ(report->loops_rewritten, 1) << fn;
+    if (report->rewrites.empty()) return {};
+    const LoopRewrite& rw = report->rewrites[0];
+    EXPECT_TRUE(rw.merge_synthesized) << fn;
+    EXPECT_TRUE(rw.parallel_eligible) << fn;
+    EXPECT_FALSE(rw.merge_rules.empty()) << fn;
+    EXPECT_NE(rw.merge_certificate.find("shuffle-sweep"), std::string::npos)
+        << fn << ": " << rw.merge_certificate;
+    return rw;
+  }
+
+  /// Calls `fn` through the dop=4 and serial sessions; results must be
+  /// bit-identical (DOP 4 ≡ DOP 1).
+  void ExpectDop4EqualsDop1(const std::string& fn) {
+    auto parallel = session_->Call(fn, {});
+    auto serial = serial_->Call(fn, {});
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_TRUE(parallel->StructurallyEquals(*serial))
+        << fn << ": dop4=" << parallel->ToString()
+        << " dop1=" << serial->ToString();
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;  // degree_of_parallelism = 4
+  std::unique_ptr<Session> serial_;   // degree_of_parallelism = 1
+};
+
+TEST_F(MergeSynthesisE2ETest, AffineUpdateBecomesParallelEligible) {
+  // `@s = @x + @s + 1` — rejected by the strict fold algebra, derived by the
+  // calculus, and narrow enough to lower natively (SUM over the row term).
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION affine_total() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT;
+      SET @s = 0;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE v IS NOT NULL;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @x + @s + 1;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  LoopRewrite rw = RewriteExpectSynthesized("affine_total");
+  EXPECT_TRUE(rw.lowered_to_builtin) << rw.aggregate_name;
+  ExpectDop4EqualsDop1("affine_total");
+  // 5+7+3+0+4+6+2+100 = 127, plus 1 per row (8 rows).
+  ASSERT_OK_AND_ASSIGN(Value v, serial_->Call("affine_total", {}));
+  EXPECT_EQ(v.int_value(), 135);
+}
+
+TEST_F(MergeSynthesisE2ETest, ConditionalSumRunsPartitioned) {
+  // Conditional sum through branch-scoped scratch: the fold classifier's
+  // algebra rejects the local, the calculus let-inlines it.
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION cond_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT;
+      SET @s = 0;
+      DECLARE c CURSOR FOR SELECT v FROM m;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@x > 2)
+        BEGIN
+          DECLARE @d INT;
+          SET @d = @x * 2;
+          SET @s = @s + @d;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  LoopRewrite rw = RewriteExpectSynthesized("cond_sum");
+  EXPECT_FALSE(rw.lowered_to_builtin);  // guarded: interpreted aggregate
+
+  // The rewritten query actually plans as a partitioned aggregation.
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect(rw.rewritten_query_sql));
+  ExecContext ctx = session_->MakeContext();
+  VariableEnv env;
+  for (const auto& name : rw.sets.v_fields) env.Declare(name, Value::Int(0));
+  ctx.set_vars(&env);
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       session_->engine().Explain(*stmt, ctx));
+  EXPECT_NE(plan.find("ParallelPartialAgg"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Gather"), std::string::npos) << plan;
+
+  ExpectDop4EqualsDop1("cond_sum");
+  // 2 * (5+7+3+4+6+100); the NULL, 0 and 2 rows fail the guard.
+  ASSERT_OK_AND_ASSIGN(Value v, serial_->Call("cond_sum", {}));
+  EXPECT_EQ(v.int_value(), 250);
+}
+
+TEST_F(MergeSynthesisE2ETest, ProductWithZeroTrackingRunsPartitioned) {
+  // Includes a 0 row and a NULL row: exactly the cases the division-inverse
+  // merge cannot survive and the NULL-poisoning semantics the interpreted
+  // aggregate must reproduce.
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION product_run() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @p INT;
+      SET @p = 1;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE v IS NOT NULL AND g = 2;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @p = @p * @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @p;
+    END
+  )"));
+  LoopRewrite rw = RewriteExpectSynthesized("product_run");
+  EXPECT_FALSE(rw.lowered_to_builtin);
+  ExpectDop4EqualsDop1("product_run");
+  ASSERT_OK_AND_ASSIGN(Value v, serial_->Call("product_run", {}));
+  EXPECT_EQ(v.int_value(), 0);  // 3 * 0 * 4 * 6
+}
+
+TEST_F(MergeSynthesisE2ETest, SumCountAvgMultiFoldRunsPartitioned) {
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION avg_v() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @sum INT;
+      DECLARE @n INT;
+      DECLARE @avg INT;
+      SET @sum = 0;
+      SET @n = 0;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE v IS NOT NULL;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @sum = @sum + @x;
+        SET @n = @n + 1;
+        SET @avg = @sum / @n;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @avg;
+    END
+  )"));
+  LoopRewrite rw = RewriteExpectSynthesized("avg_v");
+  // The derived rule must be named in the report.
+  std::string joined;
+  for (const auto& r : rw.merge_rules) joined += r + "\n";
+  EXPECT_NE(joined.find("derived"), std::string::npos) << joined;
+  EXPECT_NE(rw.aggregate_source.find("Merge"), std::string::npos);
+
+  ExpectDop4EqualsDop1("avg_v");
+  ASSERT_OK_AND_ASSIGN(Value v, serial_->Call("avg_v", {}));
+  EXPECT_EQ(v.int_value(), 127 / 8);
+}
+
+TEST_F(MergeSynthesisE2ETest, ReportCarriesCalculusNotes) {
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION noted_sum() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT;
+      SET @s = 0;
+      DECLARE c CURSOR FOR SELECT v FROM m;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        IF (@x > 0)
+        BEGIN
+          DECLARE @d INT;
+          SET @d = @x + 1;
+          SET @s = @s + @d;
+        END
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_, EngineOptions::WithDop(4));
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("noted_sum"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  bool saw_rule = false, saw_cert = false;
+  for (const auto& note : report.notes) {
+    if (note.code == DiagCode::kMergeRule) saw_rule = true;
+    if (note.code == DiagCode::kMergeCertified) saw_cert = true;
+  }
+  EXPECT_TRUE(saw_rule);
+  EXPECT_TRUE(saw_cert);
+}
+
+TEST_F(MergeSynthesisE2ETest, UncertifiableBodyStaysSerialWithTypedBlockers) {
+  // Last-value body: synthesis reports AGG2xx blockers, the loop is still
+  // rewritten (serial aggregate), and nothing claims parallel eligibility.
+  ASSERT_OK(serial_->RunSql(R"(
+    CREATE FUNCTION last_one() RETURNS INT AS
+    BEGIN
+      DECLARE @x INT;
+      DECLARE @s INT;
+      DECLARE c CURSOR FOR SELECT v FROM m WHERE v IS NOT NULL;
+      OPEN c;
+      FETCH NEXT FROM c INTO @x;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        SET @s = @x;
+        FETCH NEXT FROM c INTO @x;
+      END
+      CLOSE c; DEALLOCATE c;
+      RETURN @s;
+    END
+  )"));
+  Aggify aggify(&db_, EngineOptions::WithDop(4));
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("last_one"));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].merge_synthesized);
+  EXPECT_FALSE(report.rewrites[0].parallel_eligible);
+  bool saw_blocker = false;
+  for (const auto& note : report.notes) {
+    if (note.code == DiagCode::kNonCommutativeUpdate) saw_blocker = true;
+  }
+  EXPECT_TRUE(saw_blocker);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -203,7 +203,7 @@ TEST_F(ClassifierTest, ProductIsInsensitiveButNotDecomposable) {
   BodyClassification c = Classify("SET @s = @s * @x;");
   EXPECT_TRUE(c.order_insensitive);
   EXPECT_FALSE(c.decomposable);
-  EXPECT_NE(c.merge_reason.find("product"), std::string::npos);
+  EXPECT_NE(c.merge_reason().find("product"), std::string::npos);
 }
 
 TEST_F(ClassifierTest, GuardedMinAllSpellings) {
@@ -214,7 +214,7 @@ TEST_F(ClassifierTest, GuardedMinAllSpellings) {
            "IF (@x < @s) BEGIN SET @s = @x; END",
        }) {
     BodyClassification c = Classify(body);
-    EXPECT_TRUE(c.order_insensitive) << body << ": " << c.reason;
+    EXPECT_TRUE(c.order_insensitive) << body << ": " << c.reason();
     ASSERT_EQ(c.folds.size(), 1u) << body;
     EXPECT_EQ(c.folds[0].kind, FoldKind::kGuardedMin) << body;
   }
@@ -242,7 +242,7 @@ TEST_F(ClassifierTest, LastValueWinsIsOrderSensitive) {
   EXPECT_FALSE(c.order_insensitive);
   ASSERT_EQ(c.folds.size(), 1u);
   EXPECT_EQ(c.folds[0].kind, FoldKind::kLastValue);
-  EXPECT_NE(c.reason.find("last-value"), std::string::npos);
+  EXPECT_NE(c.reason().find("last-value"), std::string::npos);
 }
 
 TEST_F(ClassifierTest, BreakIsOrderSensitive) {

@@ -368,6 +368,18 @@ int main(int argc, char** argv) {
                         tree.status().ToString().c_str());
           }
         }
+        if (rewrite.merge_synthesized) {
+          std::printf("--   merge synthesized (homomorphism calculus):\n");
+          for (const std::string& rule : rewrite.merge_rules) {
+            std::printf("--     %s\n", rule.c_str());
+          }
+          std::printf("--   %s\n", rewrite.merge_certificate.c_str());
+        } else if (!rewrite.merge_rules.empty()) {
+          std::printf("--   merge rules (fold algebra):\n");
+          for (const std::string& rule : rewrite.merge_rules) {
+            std::printf("--     %s\n", rule.c_str());
+          }
+        }
       }
       std::printf("\n%s\n", rewrite.aggregate_source.c_str());
     }
