@@ -1,0 +1,29 @@
+-- Family b of the table-effect rewrite (docs/ANALYSIS.md §6): a cursor
+-- loop whose body folds each row into a persistent accumulator column via
+-- a key-equality UPDATE. Iterations touching different keys commute and
+-- same-key iterations reassociate (the column is integer-typed, so the
+-- regrouped addition is exact); the loop becomes ONE set-oriented UPDATE
+-- with a grouped correlated subquery (AGG402 note). A NULL amount poisons
+-- the balance exactly like the sequential loop would.
+CREATE TABLE balances (acct INT, bal INT);
+CREATE TABLE deposits (acct INT, amount INT);
+INSERT INTO balances VALUES (1, 1000), (2, 2000), (3, 500);
+INSERT INTO deposits VALUES
+  (1, 250), (2, 125), (1, 40), (3, 0), (1, 5), (9, 777);
+
+CREATE FUNCTION apply_deposits() RETURNS INT AS
+BEGIN
+  DECLARE @acct INT;
+  DECLARE @amt INT;
+  DECLARE dep_cur CURSOR FOR SELECT acct, amount FROM deposits;
+  OPEN dep_cur;
+  FETCH NEXT FROM dep_cur INTO @acct, @amt;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    UPDATE balances SET bal = bal + @amt WHERE acct = @acct;
+    FETCH NEXT FROM dep_cur INTO @acct, @amt;
+  END
+  CLOSE dep_cur;
+  DEALLOCATE dep_cur;
+  RETURN 0;
+END

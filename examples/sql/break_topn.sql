@@ -1,0 +1,30 @@
+-- Early-exit bounding (docs/ANALYSIS.md §6, AGG403): the loop BREAKs after
+-- three iterations through a monotone counter. The rewrite keeps the BREAK
+-- inside the synthesized aggregate (its exit latch already makes trailing
+-- rows no-ops) and ADDITIONALLY proves the counter/limit/step shape, so a
+-- TOP-N prefix bound is attached to the derived cursor query — the
+-- rewritten plan reads ~3 rows instead of the whole table.
+CREATE TABLE scores (player INT, score INT);
+INSERT INTO scores VALUES
+  (1, 82), (2, 97), (3, 54), (4, 91), (5, 67), (6, 88), (7, 73), (8, 99);
+
+CREATE FUNCTION top3_total() RETURNS INT AS
+BEGIN
+  DECLARE @s INT;
+  DECLARE @sum INT = 0;
+  DECLARE @n INT = 0;
+  DECLARE score_cur CURSOR FOR SELECT score FROM scores ORDER BY score DESC;
+  OPEN score_cur;
+  FETCH NEXT FROM score_cur INTO @s;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @sum = @sum + @s;
+    SET @n = @n + 1;
+    IF @n >= 3
+      BREAK;
+    FETCH NEXT FROM score_cur INTO @s;
+  END
+  CLOSE score_cur;
+  DEALLOCATE score_cur;
+  RETURN @sum;
+END

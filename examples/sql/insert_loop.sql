@@ -1,0 +1,29 @@
+-- Family a of the table-effect rewrite (docs/ANALYSIS.md §6): a cursor
+-- loop whose body is a single append-only INSERT ... VALUES. The
+-- interprocedural table-effect analysis proves the written table (order_log)
+-- disjoint from everything the cursor query reads (orders), so the whole
+-- loop collapses into one set-oriented INSERT ... SELECT (AGG401 note).
+-- The ORDER BY is kept so the inserted row order is bit-identical.
+CREATE TABLE orders (id INT, qty INT, price INT);
+CREATE TABLE order_log (order_id INT, total INT);
+INSERT INTO orders VALUES
+  (1, 3, 100), (2, 1, 250), (3, 7, 40), (4, 2, 99), (5, 5, 12);
+
+CREATE FUNCTION log_order_totals() RETURNS INT AS
+BEGIN
+  DECLARE @id INT;
+  DECLARE @q INT;
+  DECLARE @p INT;
+  DECLARE order_cur CURSOR FOR
+    SELECT id, qty, price FROM orders ORDER BY id;
+  OPEN order_cur;
+  FETCH NEXT FROM order_cur INTO @id, @q, @p;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    INSERT INTO order_log VALUES (@id, @q * @p);
+    FETCH NEXT FROM order_cur INTO @id, @q, @p;
+  END
+  CLOSE order_cur;
+  DEALLOCATE order_cur;
+  RETURN 0;
+END

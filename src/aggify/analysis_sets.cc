@@ -13,61 +13,76 @@ bool IsTempTableName(const std::string& name) {
   return !name.empty() && (name[0] == '@' || name[0] == '#');
 }
 
-Status CheckBodyStmt(const Stmt& stmt) {
+/// Appends one diagnostic (anchored at the offending statement's byte
+/// offset) per violation, without stopping at the first — the full list is
+/// what AggifyReport::skip_details and the DML-body recovery gate need.
+void CollectBodyDiags(const Stmt& stmt, std::vector<Diagnostic>* out) {
+  auto add = [&](DiagCode code, std::string message) {
+    Diagnostic d = MakeDiagnostic(code, "", std::move(message));
+    d.offset = stmt.source_offset;
+    out->push_back(std::move(d));
+  };
   switch (stmt.kind) {
     case StmtKind::kInsert: {
       const auto& s = static_cast<const InsertStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return NotApplicableDiag(
-            DiagCode::kPersistentInsert,
+        add(DiagCode::kPersistentInsert,
             "loop body INSERTs into persistent table '" + s.table + "'");
       }
-      return Status::OK();
+      break;
     }
     case StmtKind::kUpdate: {
       const auto& s = static_cast<const UpdateStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return NotApplicableDiag(
-            DiagCode::kPersistentUpdate,
+        add(DiagCode::kPersistentUpdate,
             "loop body UPDATEs persistent table '" + s.table + "'");
       }
-      return Status::OK();
+      break;
     }
     case StmtKind::kDelete: {
       const auto& s = static_cast<const DeleteStmt&>(stmt);
       if (!IsTempTableName(s.table)) {
-        return NotApplicableDiag(
-            DiagCode::kPersistentDelete,
+        add(DiagCode::kPersistentDelete,
             "loop body DELETEs from persistent table '" + s.table + "'");
       }
-      return Status::OK();
+      break;
     }
     case StmtKind::kReturn:
-      return NotApplicableDiag(
-          DiagCode::kReturnInLoop,
+      add(DiagCode::kReturnInLoop,
           "loop body contains RETURN (early function exit)");
+      break;
     case StmtKind::kBlock: {
       const auto& b = static_cast<const BlockStmt&>(stmt);
-      for (const auto& s : b.statements) RETURN_NOT_OK(CheckBodyStmt(*s));
-      return Status::OK();
+      for (const auto& s : b.statements) CollectBodyDiags(*s, out);
+      break;
     }
     case StmtKind::kIf: {
       const auto& i = static_cast<const IfStmt&>(stmt);
-      RETURN_NOT_OK(CheckBodyStmt(*i.then_branch));
-      if (i.else_branch != nullptr) RETURN_NOT_OK(CheckBodyStmt(*i.else_branch));
-      return Status::OK();
+      CollectBodyDiags(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectBodyDiags(*i.else_branch, out);
+      break;
     }
     case StmtKind::kWhile:
-      return CheckBodyStmt(*static_cast<const WhileStmt&>(stmt).body);
+      CollectBodyDiags(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kGuardedRewrite: {
+      // A previously rewritten inner DML loop is still a persistent write;
+      // an enclosing loop must not capture it into an aggregate body.
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      if (g.rewritten_dml != nullptr) CollectBodyDiags(*g.rewritten_dml, out);
+      break;
+    }
     case StmtKind::kFor:
-      return CheckBodyStmt(*static_cast<const ForStmt&>(stmt).body);
+      CollectBodyDiags(*static_cast<const ForStmt&>(stmt).body, out);
+      break;
     case StmtKind::kTryCatch: {
       const auto& tc = static_cast<const TryCatchStmt&>(stmt);
-      RETURN_NOT_OK(CheckBodyStmt(*tc.try_block));
-      return CheckBodyStmt(*tc.catch_block);
+      CollectBodyDiags(*tc.try_block, out);
+      CollectBodyDiags(*tc.catch_block, out);
+      break;
     }
     default:
-      return Status::OK();
+      break;
   }
 }
 
@@ -75,11 +90,17 @@ Status CheckBodyStmt(const Stmt& stmt) {
 /// calling a UDF can reach persistent-state DML interprocedurally, which the
 /// synthesized aggregate must not execute. The call graph's effect fixpoint
 /// decides; anything it cannot resolve is rejected too.
-Status CheckBodyCalls(const BlockStmt& body, const Catalog* catalog) {
+void CollectCallDiags(const BlockStmt& body, const Catalog* catalog,
+                      size_t anchor_offset, std::vector<Diagnostic>* out) {
   std::set<std::string> called;
   CollectCalledFunctions(body, &called);
-  if (called.empty()) return Status::OK();
+  if (called.empty()) return;
 
+  auto add = [&](DiagCode code, std::string message) {
+    Diagnostic d = MakeDiagnostic(code, "", std::move(message));
+    d.offset = anchor_offset;
+    out->push_back(std::move(d));
+  };
   CallGraph graph;
   if (catalog != nullptr) {
     graph = CallGraph::Build(*catalog, IsScalarBuiltinName);
@@ -87,40 +108,45 @@ Status CheckBodyCalls(const BlockStmt& body, const Catalog* catalog) {
   for (const std::string& name : called) {
     if (IsScalarBuiltinName(name)) continue;
     if (catalog == nullptr) {
-      return NotApplicableDiag(
-          DiagCode::kUnknownFunctionCall,
+      add(DiagCode::kUnknownFunctionCall,
           "loop body calls " + name +
               " and no catalog is available to prove it pure");
+      continue;
     }
     FunctionEffects effects = graph.EffectsOf(name);
     if (effects.level == EffectLevel::kWritesPersistentState) {
-      return NotApplicableDiag(
-          DiagCode::kImpureUdfCall,
+      add(DiagCode::kImpureUdfCall,
           "loop body calls " + name + ", which writes persistent state (" +
               effects.evidence + ")");
-    }
-    if (effects.level == EffectLevel::kUnknown) {
-      return NotApplicableDiag(
-          DiagCode::kUnknownFunctionCall,
+    } else if (effects.level == EffectLevel::kUnknown) {
+      add(DiagCode::kUnknownFunctionCall,
           "loop body calls " + name + ", whose effects are unknown (" +
               effects.evidence + ")");
     }
   }
-  return Status::OK();
 }
 
 }  // namespace
 
-Status CheckApplicability(const CursorLoopInfo& loop, const Catalog* catalog) {
+std::vector<Diagnostic> ApplicabilityDiagnostics(const CursorLoopInfo& loop,
+                                                 const Catalog* catalog) {
+  std::vector<Diagnostic> out;
+  auto add = [&](DiagCode code, std::string message, size_t offset) {
+    Diagnostic d = MakeDiagnostic(code, "", std::move(message));
+    d.offset = offset;
+    out.push_back(std::move(d));
+  };
+  const size_t declare_offset =
+      loop.declare != nullptr ? loop.declare->source_offset : 0;
   if (loop.query().select_star) {
-    return NotApplicableDiag(
-        DiagCode::kSelectStarCursor,
-        "cursor query uses SELECT *; the rewrite needs a named column list");
+    add(DiagCode::kSelectStarCursor,
+        "cursor query uses SELECT *; the rewrite needs a named column list",
+        declare_offset);
   }
   if (loop.priming_fetch->into.size() > loop.query().items.size()) {
-    return NotApplicableDiag(
-        DiagCode::kFetchArityMismatch,
-        "FETCH INTO has more variables than the cursor query projects");
+    add(DiagCode::kFetchArityMismatch,
+        "FETCH INTO has more variables than the cursor query projects",
+        declare_offset);
   }
   // The trailing fetch must assign the same variables as the priming fetch,
   // or the parameter binding would be ambiguous.
@@ -129,14 +155,23 @@ Status CheckApplicability(const CursorLoopInfo& loop, const Catalog* catalog) {
     if (s->kind == StmtKind::kFetch) {
       const auto& f = static_cast<const FetchStmt&>(*s);
       if (f.cursor == loop.cursor_name && f.into != loop.priming_fetch->into) {
-        return NotApplicableDiag(
-            DiagCode::kInconsistentFetchVars,
-            "FETCH statements on the cursor assign different variables");
+        add(DiagCode::kInconsistentFetchVars,
+            "FETCH statements on the cursor assign different variables",
+            s->source_offset);
+        break;  // one report per loop, matching the short-circuit check
       }
     }
   }
-  RETURN_NOT_OK(CheckBodyStmt(body));
-  return CheckBodyCalls(body, catalog);
+  CollectBodyDiags(body, &out);
+  CollectCallDiags(body, catalog,
+                   loop.loop != nullptr ? loop.loop->source_offset : 0, &out);
+  return out;
+}
+
+Status CheckApplicability(const CursorLoopInfo& loop, const Catalog* catalog) {
+  std::vector<Diagnostic> diags = ApplicabilityDiagnostics(loop, catalog);
+  if (diags.empty()) return Status::OK();
+  return NotApplicableDiag(diags.front().code, diags.front().message);
 }
 
 namespace {

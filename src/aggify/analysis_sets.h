@@ -48,6 +48,16 @@ struct LoopSets {
 Status CheckApplicability(const CursorLoopInfo& loop,
                           const Catalog* catalog = nullptr);
 
+/// \brief Non-short-circuiting variant of CheckApplicability: every
+/// violation in the loop, in source order (query shape, then body
+/// statements in traversal order, then calls). Empty means applicable.
+/// CheckApplicability() returns exactly the first entry of this list, so
+/// `skipped[i] == skip_details[i][0]` holds by construction in
+/// AggifyReport. Each diagnostic carries the offending statement's byte
+/// offset; `loc` is left empty for the caller to fill.
+std::vector<Diagnostic> ApplicabilityDiagnostics(
+    const CursorLoopInfo& loop, const Catalog* catalog = nullptr);
+
 /// \brief Runs CFG construction + data-flow analyses on the whole enclosing
 /// body and evaluates Eqs. 1–4 and V_term for `loop`.
 /// \param program_body the function/block containing the loop

@@ -6,7 +6,10 @@
 
 #include "aggify/merge_certificate.h"
 #include "analysis/absint.h"
+#include "analysis/early_exit.h"
 #include "analysis/merge_synthesis.h"
+#include "analysis/table_effects.h"
+#include "common/string_util.h"
 #include "exec/eval.h"
 
 namespace aggify {
@@ -500,6 +503,24 @@ std::unique_ptr<BlockStmt> BuildFallbackBlock(const CursorLoopInfo& loop,
   return fallback;
 }
 
+/// Container surgery shared by every rewrite family: replace the WHILE with
+/// `replacement` and delete the DECLARE CURSOR / OPEN / priming FETCH /
+/// CLOSE / DEALLOCATE statements of the matched region.
+void ReplaceLoopRegion(CursorLoopInfo& loop, StmtPtr replacement) {
+  auto& stmts = loop.container->statements;
+  stmts[loop.while_index] = std::move(replacement);
+  std::vector<size_t> to_erase{loop.declare_index, loop.open_index,
+                               loop.fetch_index};
+  if (loop.close_index != SIZE_MAX) to_erase.push_back(loop.close_index);
+  if (loop.deallocate_index != SIZE_MAX) {
+    to_erase.push_back(loop.deallocate_index);
+  }
+  std::sort(to_erase.rbegin(), to_erase.rend());
+  for (size_t idx : to_erase) {
+    stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
 /// Requires the loop to advance via exactly one FETCH, as the last top-level
 /// statement of the body (the canonical cursor-loop shape Definition 4.1's
 /// "one row at a time" evaluation assumes).
@@ -601,7 +622,253 @@ void CollectUsedVars(const Stmt& stmt, std::set<std::string>* used) {
   }
 }
 
+/// Variables a statement (transitively) assigns: SET/DECLARE targets, FETCH
+/// INTO lists, MultiAssign targets, and a guarded rewrite's restorable
+/// state. Used to tell observable loop *outputs* (which a DML-family
+/// replacement cannot reproduce) from loop-invariant inputs that merely
+/// appear in V_term because Eq. 1 counts every referenced variable.
+void CollectAssignedVars(const Stmt& stmt, std::set<std::string>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kSet:
+      out->insert(ToLower(static_cast<const SetStmt&>(stmt).name));
+      break;
+    case StmtKind::kDeclareVar:
+      out->insert(ToLower(static_cast<const DeclareVarStmt&>(stmt).name));
+      break;
+    case StmtKind::kFetch:
+      for (const auto& v : static_cast<const FetchStmt&>(stmt).into) {
+        out->insert(ToLower(v));
+      }
+      break;
+    case StmtKind::kMultiAssign:
+      for (const auto& v : static_cast<const MultiAssignStmt&>(stmt).targets) {
+        out->insert(ToLower(v));
+      }
+      break;
+    case StmtKind::kGuardedRewrite: {
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      for (const auto& v : g.state_vars) out->insert(ToLower(v));
+      if (g.rewritten != nullptr) CollectAssignedVars(*g.rewritten, out);
+      break;
+    }
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectAssignedVars(*s, out);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CollectAssignedVars(*i.then_branch, out);
+      if (i.else_branch != nullptr) CollectAssignedVars(*i.else_branch, out);
+      break;
+    }
+    case StmtKind::kWhile:
+      CollectAssignedVars(*static_cast<const WhileStmt&>(stmt).body, out);
+      break;
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      out->insert(ToLower(f.var));
+      CollectAssignedVars(*f.body, out);
+      break;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CollectAssignedVars(*tc.try_block, out);
+      CollectAssignedVars(*tc.catch_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 }  // namespace
+
+Result<bool> Aggify::TryRewriteDmlLoop(
+    BlockStmt* root, const std::vector<std::string>& params,
+    const std::set<std::string>* observable_vars, CursorLoopInfo& loop,
+    const std::string& loc, std::vector<Diagnostic>* detail,
+    AggifyReport* report) {
+  auto refuse = [&](const Status& st) {
+    Diagnostic d = DiagnosticFromStatus(st, loc);
+    d.offset = loop.loop->source_offset;
+    detail->push_back(std::move(d));
+    return false;
+  };
+
+  Status shape = CheckFetchShape(loop);
+  if (!shape.ok()) {
+    if (!shape.IsNotApplicable()) return shape;
+    return refuse(shape);
+  }
+  auto sets_result = ComputeLoopSets(*root, params, loop, observable_vars);
+  if (!sets_result.ok()) {
+    if (!sets_result.status().IsNotApplicable()) return sets_result.status();
+    return refuse(sets_result.status());
+  }
+  LoopSets sets = std::move(sets_result).ValueOrDie();
+  // A DML-family replacement assigns no variables, so the loop must leave
+  // no scalar state observable after it. Read-only V_term members (Eq. 1
+  // counts every referenced variable, so loop-invariant inputs like an
+  // outer loop's fetch variable land there too) keep their entry value on
+  // both paths and are fine.
+  {
+    std::set<std::string> assigned;
+    CollectAssignedVars(*loop.loop->body, &assigned);
+    std::string vars;
+    for (const auto& v : sets.v_term) {
+      if (assigned.count(v) == 0) continue;
+      if (!vars.empty()) vars += ", ";
+      vars += v;
+    }
+    if (!vars.empty()) {
+      return refuse(NotApplicableDiag(
+          DiagCode::kDmlShapeUnsupported,
+          "DML body leaves scalar state observable after the loop (" + vars +
+              "); outside both rewrite families"));
+    }
+  }
+
+  StmtPtr body_clone = loop.loop->body->Clone();
+  auto* body_block = static_cast<BlockStmt*>(body_clone.get());
+  StripFetches(body_block, loop.cursor_name);
+
+  TableEffectAnalysis fx =
+      TableEffectAnalysis::Build(&db_->catalog(), IsScalarBuiltinName);
+  auto plan_result = ClassifyDmlBody(*body_block, loop.query(), sets.v_fetch,
+                                     fx, &db_->catalog());
+  if (!plan_result.ok()) {
+    if (!plan_result.status().IsNotApplicable()) return plan_result.status();
+    return refuse(plan_result.status());
+  }
+  DmlBodyPlan plan = std::move(plan_result).ValueOrDie();
+
+  std::set<std::string> fetch_set(sets.v_fetch.begin(), sets.v_fetch.end());
+  auto mapped = [&](const Expr& e) {
+    ExprPtr clone = e.Clone();
+    MapFetchVarsToColumns(&clone, loop, fetch_set);
+    return clone;
+  };
+
+  StmtPtr dml;
+  std::string query_sql;
+  DiagCode note_code;
+  std::string note_msg;
+  if (plan.family == DmlFamily::kAppendInsert) {
+    // Family (a): INSERT ... SELECT — one projected row per (guard-passing)
+    // cursor row. Q' keeps its ORDER BY so rows land in the order the loop
+    // inserted them (table contents are bit-identical, not just set-equal).
+    auto select = std::make_unique<SelectStmt>();
+    const auto& values = plan.insert->values_rows[0];
+    for (size_t i = 0; i < values.size(); ++i) {
+      SelectItem item;
+      item.expr = mapped(*values[i]);
+      item.alias = "v" + std::to_string(i);
+      select->items.push_back(std::move(item));
+    }
+    select->from.push_back(
+        TableRef::Derived(CloneDerivedAliased(loop, /*elide_sort=*/false),
+                          "q"));
+    if (plan.guard != nullptr) select->where = mapped(*plan.guard->condition);
+    query_sql = select->ToString();
+    auto ins = std::make_unique<InsertStmt>();
+    ins->table = plan.insert->table;
+    ins->columns = plan.insert->columns;
+    ins->select = std::move(select);
+    dml = std::move(ins);
+    note_code = DiagCode::kDmlInsertRewritten;
+    note_msg = "append-only INSERT body rewritten to INSERT ... SELECT into " +
+               plan.table;
+  } else {
+    // Family (b): one set-oriented UPDATE. Per target row, the key-matched
+    // cursor rows' deltas are summed (integer accumulator: sequential
+    // additions and SUM are the same value), with the loop's NULL poisoning
+    // reproduced — COUNT(delta') < COUNT(*) means some matched delta was
+    // NULL, and the sequential `col ± NULL` would have gone (and stayed)
+    // NULL. Rows with no matching cursor row are untouched via EXISTS.
+    auto filtered_sub = [&](bool for_exists) {
+      auto sub = std::make_unique<SelectStmt>();
+      auto derived = CloneDerivedAliased(loop, /*elide_sort=*/false);
+      // Integer SUM is order-insensitive; dropping the sort keeps the
+      // per-row correlated scans cheap.
+      derived->order_by.clear();
+      sub->from.push_back(TableRef::Derived(std::move(derived), "q"));
+      ExprPtr match = MakeBinary(BinaryOp::kEq, mapped(*plan.key_expr),
+                                 MakeColumnRef(plan.key_column));
+      if (plan.guard != nullptr) {
+        match = MakeBinary(BinaryOp::kAnd, std::move(match),
+                           mapped(*plan.guard->condition));
+      }
+      sub->where = std::move(match);
+      SelectItem item;
+      if (for_exists) {
+        item.expr = MakeLiteral(Value::Int(1));
+        item.alias = "one";
+      } else {
+        auto agg = [&](const std::string& name) -> ExprPtr {
+          std::vector<ExprPtr> args;
+          args.push_back(mapped(*plan.delta_expr));
+          return std::make_unique<AggregateCallExpr>(name, std::move(args));
+        };
+        ExprPtr count_star = std::make_unique<AggregateCallExpr>(
+            "count", std::vector<ExprPtr>{}, /*star=*/true);
+        std::vector<CaseWhenExpr::Arm> arms;
+        arms.push_back(CaseWhenExpr::Arm{
+            MakeBinary(BinaryOp::kLt, agg("count"), std::move(count_star)),
+            MakeLiteral(Value::Null())});
+        item.expr =
+            std::make_unique<CaseWhenExpr>(std::move(arms), agg("sum"));
+        item.alias = "delta";
+      }
+      sub->items.push_back(std::move(item));
+      return sub;
+    };
+    query_sql = filtered_sub(/*for_exists=*/false)->ToString();
+    ExprPtr new_value = MakeBinary(
+        plan.subtract ? BinaryOp::kSub : BinaryOp::kAdd,
+        MakeColumnRef(plan.accum_column),
+        std::make_unique<ScalarSubqueryExpr>(filtered_sub(false)));
+    auto upd = std::make_unique<UpdateStmt>();
+    upd->table = plan.update->table;
+    upd->assignments.emplace_back(plan.accum_column, std::move(new_value));
+    upd->where =
+        std::make_unique<ExistsExpr>(filtered_sub(true), /*negated=*/false);
+    dml = std::move(upd);
+    note_code = DiagCode::kDmlUpdateRewritten;
+    note_msg =
+        "accumulating UPDATE body rewritten to one set-oriented UPDATE of " +
+        plan.table;
+  }
+
+  StmtPtr replacement;
+  if (options_.rewrite.guard_rewrites || options_.rewrite.verify_rewrite) {
+    auto fallback = BuildFallbackBlock(loop, sets);
+    std::set<std::string> state(sets.v_fetch.begin(), sets.v_fetch.end());
+    state.insert(sets.v_delta.begin(), sets.v_delta.end());
+    state.insert("@@fetch_status");
+    replacement = std::make_unique<GuardedRewriteStmt>(
+        std::move(dml), std::move(fallback),
+        std::vector<std::string>(state.begin(), state.end()),
+        options_.rewrite.verify_rewrite, /*agg=*/"");
+  } else {
+    replacement = std::move(dml);
+  }
+
+  LoopRewrite record;
+  record.sets = std::move(sets);
+  record.family = plan.family == DmlFamily::kAppendInsert
+                      ? RewriteFamily::kDmlInsert
+                      : RewriteFamily::kDmlUpdate;
+  record.dml_table = plan.table;
+  record.rewritten_statement = replacement->ToString(0);
+  record.rewritten_query_sql = std::move(query_sql);
+  report->rewrites.push_back(std::move(record));
+  report->notes.push_back(MakeDiagnostic(note_code, loc, note_msg));
+
+  ReplaceLoopRegion(loop, std::move(replacement));
+  ++report->loops_rewritten;
+  return true;
+}
 
 Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
                                     const std::vector<std::string>& params,
@@ -614,12 +881,40 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     if (skipped_loops->count(loop.loop) != 0) continue;
     std::string loc = name_hint + ":" + loop.cursor_name;
 
-    Status applicable = CheckApplicability(loop, &db_->catalog());
-    if (applicable.ok()) applicable = CheckFetchShape(loop);
-    if (!applicable.ok()) {
-      if (!applicable.IsNotApplicable()) return applicable;
+    std::vector<Diagnostic> detail =
+        ApplicabilityDiagnostics(loop, &db_->catalog());
+    for (Diagnostic& d : detail) d.loc = loc;
+    if (detail.empty()) {
+      Status shape = CheckFetchShape(loop);
+      if (!shape.ok()) {
+        if (!shape.IsNotApplicable()) return shape;
+        Diagnostic d = DiagnosticFromStatus(shape, loc);
+        d.offset = loop.loop->source_offset;
+        detail.push_back(std::move(d));
+      }
+    }
+    if (!detail.empty()) {
+      // DML-body recovery: when persistent DML is the ONLY blocker, the
+      // table-effect rewrite families (analysis/table_effects.h) may still
+      // replace the loop with one set-oriented statement.
+      bool dml_only = true;
+      for (const Diagnostic& d : detail) {
+        if (d.code != DiagCode::kPersistentInsert &&
+            d.code != DiagCode::kPersistentUpdate &&
+            d.code != DiagCode::kPersistentDelete) {
+          dml_only = false;
+          break;
+        }
+      }
+      if (dml_only && options_.rewrite.rewrite_dml_bodies) {
+        ASSIGN_OR_RETURN(bool recovered,
+                         TryRewriteDmlLoop(root, params, observable_vars,
+                                           loop, loc, &detail, report));
+        if (recovered) return true;
+      }
       skipped_loops->insert(loop.loop);
-      report->skipped.push_back(DiagnosticFromStatus(applicable, loc));
+      report->skipped.push_back(detail.front());
+      report->skip_details.push_back(std::move(detail));
       continue;
     }
 
@@ -629,6 +924,7 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
       skipped_loops->insert(loop.loop);
       report->skipped.push_back(
           DiagnosticFromStatus(sets_result.status(), loc));
+      report->skip_details.push_back({report->skipped.back()});
       continue;
     }
     LoopSets sets = std::move(sets_result).ValueOrDie();
@@ -726,6 +1022,14 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
                                    used);
     }
 
+    // Early-exit prefix bound (AGG403/406): a BREAK body is rewritten
+    // correctly regardless (the aggregate latches its exit and no-ops
+    // later rows); a proven monotone counted exit additionally lets the
+    // derived query stop producing rows past the static bound.
+    EarlyExitInfo early = AnalyzeEarlyExit(*body_block, sets.v_fetch);
+    const bool bound_exit = early.bounded && options_.rewrite.bound_early_exit;
+    if (bound_exit) derived->top_n = BuildPrefixBoundExpr(early);
+
     // Native-fold lowering (AGG304): when Δ is exactly one proven built-in
     // fold of the single live accumulator, call the builtin directly — no
     // interpreted Agg_Δ is registered at all.
@@ -785,8 +1089,11 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     record.lowered_to_builtin = lowered;
     record.rewritten_query_sql = std::move(query_sql);
     record.pruned_fetch_columns = pruned;
+    // A TOP-bounded plan is a prefix computation: partial-aggregation
+    // partitioning would not preserve which rows fall inside the prefix.
     record.parallel_eligible =
-        (elide_sort || !sets.ordered) && agg_parallel_safe;
+        (elide_sort || !sets.ordered) && agg_parallel_safe && !bound_exit;
+    record.early_exit_bounded = bound_exit;
     record.merge_synthesized = merge_synthesized;
     record.merge_certificate = merge_certificate;
     if (classification.merge_plan != nullptr &&
@@ -798,6 +1105,20 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
     report->notes.push_back(MakeDiagnostic(
         DiagCode::kRewritten, loc,
         "cursor loop rewritten into aggregate " + agg_name));
+    if (bound_exit) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kEarlyExitBounded, loc,
+          "BREAK proven monotone on counter " + early.counter + " (limit " +
+              std::to_string(early.limit) + ", step " +
+              std::to_string(early.step) +
+              "); TOP prefix bound attached to the derived query"));
+    } else if (early.has_break && !early.bounded) {
+      report->notes.push_back(MakeDiagnostic(
+          DiagCode::kNonMonotoneExit, loc,
+          "BREAK exit is not provably monotone (" + early.reason +
+              "); the rewritten query stays unbounded — still correct via "
+              "the aggregate's exit latch"));
+    }
     if (!pruned.empty()) {
       std::string cols;
       for (size_t i = 0; i < pruned.size(); ++i) {
@@ -849,28 +1170,14 @@ Result<bool> Aggify::RewriteOneLoop(BlockStmt* root,
       report->notes.push_back(
           MakeDiagnostic(DiagCode::kMergeCertified, loc, merge_certificate));
     }
-    if ((elide_sort || !sets.ordered) && agg_parallel_safe) {
+    if ((elide_sort || !sets.ordered) && agg_parallel_safe && !bound_exit) {
       report->notes.push_back(MakeDiagnostic(
           DiagCode::kParallelEligible, loc,
           "rewritten query is parallel-eligible: unordered plan with a "
           "mergeable, thread-safe aggregate"));
     }
 
-    // Surgery on the container block: replace the WHILE with the rewritten
-    // statement; delete DECLARE CURSOR / OPEN / priming FETCH / CLOSE /
-    // DEALLOCATE.
-    auto& stmts = loop.container->statements;
-    stmts[loop.while_index] = std::move(replacement);
-    std::vector<size_t> to_erase{loop.declare_index, loop.open_index,
-                                 loop.fetch_index};
-    if (loop.close_index != SIZE_MAX) to_erase.push_back(loop.close_index);
-    if (loop.deallocate_index != SIZE_MAX) {
-      to_erase.push_back(loop.deallocate_index);
-    }
-    std::sort(to_erase.rbegin(), to_erase.rend());
-    for (size_t idx : to_erase) {
-      stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(idx));
-    }
+    ReplaceLoopRegion(loop, std::move(replacement));
     ++report->loops_rewritten;
     return true;
   }

@@ -16,6 +16,17 @@
 
 namespace aggify {
 
+/// \brief Which rewrite produced the replacement statement.
+enum class RewriteFamily : uint8_t {
+  /// Eq. 5/6: the loop became a (custom or native) aggregate call.
+  kScalarAggregate,
+  /// Append-only INSERT body became INSERT ... SELECT (AGG401).
+  kDmlInsert,
+  /// Key-equality accumulating UPDATE became one set-oriented UPDATE
+  /// (AGG402).
+  kDmlUpdate,
+};
+
 /// \brief What happened to one loop.
 struct LoopRewrite {
   std::string aggregate_name;
@@ -51,6 +62,14 @@ struct LoopRewrite {
   std::vector<std::string> merge_rules;
   /// The passing shuffle-sweep certificate text (AGG207); empty otherwise.
   std::string merge_certificate;
+  /// Which rewrite family produced the replacement (table-effect recovery
+  /// for the DML families; analysis/table_effects.h).
+  RewriteFamily family = RewriteFamily::kScalarAggregate;
+  /// The early-exit analysis proved the BREAK monotone and a TOP-N prefix
+  /// bound was attached to the derived query (AGG403).
+  bool early_exit_bounded = false;
+  /// DML families: the persistent table the rewritten statement writes.
+  std::string dml_table;
 };
 
 struct AggifyReport {
@@ -59,6 +78,12 @@ struct AggifyReport {
   std::vector<LoopRewrite> rewrites;
   /// Why loops were left alone: one coded diagnostic per skipped loop.
   std::vector<Diagnostic> skipped;
+  /// Parallel to `skipped`: the FULL ordered rejection list for each
+  /// skipped loop — every applicability violation (not just the first) plus
+  /// any typed DML-recovery refusal (AGG404/405/407) appended by the
+  /// table-effect pass. Invariant: skip_details.size() == skipped.size()
+  /// and skip_details[i].front() == skipped[i] (no diagnostic is dropped).
+  std::vector<std::vector<Diagnostic>> skip_details;
   /// Facts proved about rewritten loops (sort elision, derived Merge, ...).
   std::vector<Diagnostic> notes;
   /// What the pre-inference simplification pipeline did (AGG301/303/305
@@ -90,6 +115,19 @@ class Aggify {
                               std::set<const WhileStmt*>* skipped_loops,
                               AggifyReport* report,
                               const std::string& name_hint);
+
+  /// DML-body recovery (options_.rewrite.rewrite_dml_bodies): attempts the
+  /// table-effect rewrite families on a loop whose applicability check
+  /// refused it *only* for persistent DML. Returns true after replacing the
+  /// loop (AGG401/402 note + LoopRewrite record); on a typed refusal
+  /// appends the AGG4xx diagnostic to `detail` and returns false, leaving
+  /// the primary skip in place.
+  Result<bool> TryRewriteDmlLoop(BlockStmt* root,
+                                 const std::vector<std::string>& params,
+                                 const std::set<std::string>* observable_vars,
+                                 CursorLoopInfo& loop, const std::string& loc,
+                                 std::vector<Diagnostic>* detail,
+                                 AggifyReport* report);
 
   Database* db_;
   EngineOptions options_;

@@ -71,9 +71,12 @@ void StatementDefs(const Stmt& stmt, std::vector<std::string>* defs) {
     }
     case StmtKind::kGuardedRewrite: {
       // Semantically the statement IS its MultiAssign; the fallback computes
-      // the same values, so its writes are not additional defs.
+      // the same values, so its writes are not additional defs. The DML form
+      // writes a table, not variables.
       const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
-      for (const auto& t : g.rewritten->targets) defs->push_back(t);
+      if (g.rewritten != nullptr) {
+        for (const auto& t : g.rewritten->targets) defs->push_back(t);
+      }
       break;
     }
     default:
@@ -133,11 +136,15 @@ void StatementUses(const Stmt& stmt, std::vector<std::string>* uses) {
       CollectSelectVars(static_cast<const MultiAssignStmt&>(stmt).query.get(),
                         uses);
       break;
-    case StmtKind::kGuardedRewrite:
-      CollectSelectVars(
-          static_cast<const GuardedRewriteStmt&>(stmt).rewritten->query.get(),
-          uses);
+    case StmtKind::kGuardedRewrite: {
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      if (g.rewritten_dml != nullptr) {
+        StatementUses(*g.rewritten_dml, uses);
+      } else {
+        CollectSelectVars(g.rewritten->query.get(), uses);
+      }
       break;
+    }
     default:
       break;
   }

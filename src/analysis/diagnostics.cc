@@ -1,8 +1,35 @@
 #include "analysis/diagnostics.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <tuple>
 
 namespace aggify {
+
+namespace {
+
+/// The file component of a lint location ("path/to.sql:fn:cursor" -> the
+/// path). Locations without a prefix sort under their whole string.
+std::string_view LocFile(const std::string& loc) {
+  size_t colon = loc.find(':');
+  return colon == std::string::npos
+             ? std::string_view(loc)
+             : std::string_view(loc.data(), colon);
+}
+
+}  // namespace
+
+void SortDiagnosticsBySource(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::make_tuple(LocFile(a.loc), a.offset,
+                                            static_cast<int>(a.code),
+                                            std::string_view(a.message)) <
+                            std::make_tuple(LocFile(b.loc), b.offset,
+                                            static_cast<int>(b.code),
+                                            std::string_view(b.message));
+                   });
+}
 
 std::string DiagCodeName(DiagCode code) {
   return "AGG" + std::to_string(static_cast<int>(code));
@@ -41,6 +68,13 @@ const char* DiagCodeSlug(DiagCode code) {
     case DiagCode::kLoweredToBuiltin: return "lowered-to-builtin";
     case DiagCode::kLoopInvariantGuard: return "loop-invariant-guard";
     case DiagCode::kStaticTripCount: return "static-trip-count";
+    case DiagCode::kDmlInsertRewritten: return "dml-insert-rewritten";
+    case DiagCode::kDmlUpdateRewritten: return "dml-update-rewritten";
+    case DiagCode::kEarlyExitBounded: return "early-exit-bounded";
+    case DiagCode::kSelfReadAfterWrite: return "self-read-after-write";
+    case DiagCode::kNonKeyDisjointUpdate: return "non-key-disjoint-update";
+    case DiagCode::kNonMonotoneExit: return "non-monotone-exit";
+    case DiagCode::kDmlShapeUnsupported: return "dml-shape-unsupported";
   }
   return "unknown";
 }
@@ -65,6 +99,14 @@ DiagSeverity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kLoweredToBuiltin:
     case DiagCode::kLoopInvariantGuard:
     case DiagCode::kStaticTripCount:
+    case DiagCode::kDmlInsertRewritten:
+    case DiagCode::kDmlUpdateRewritten:
+    case DiagCode::kEarlyExitBounded:
+    // A non-monotone exit keeps the (correct) unbounded rewrite — the loop
+    // is not lost, only the TOP-N prefix bound — so it is a note, like the
+    // merge-synthesis blockers. 404/405/407 fall through to warning: the
+    // loop stays a cursor loop.
+    case DiagCode::kNonMonotoneExit:
       return DiagSeverity::kNote;
     default:
       return DiagSeverity::kWarning;
@@ -81,7 +123,11 @@ const char* SeverityName(DiagSeverity severity) {
 }
 
 std::string Diagnostic::ToString() const {
-  std::string out = loc + ": " + SeverityName(severity) + ": " + message +
+  std::string where = loc;
+  // Clang-tidy-style position: the byte offset stands in for line:col
+  // (the dialect keeps offsets, not line tables). 0 = unknown/synthesized.
+  if (offset != 0) where += ":" + std::to_string(offset);
+  std::string out = where + ": " + SeverityName(severity) + ": " + message +
                     " [aggify-" + DiagCodeSlug(code) + "]";
   if (!fixit.empty()) out += "\n  fix-it: " + fixit;
   return out;
@@ -111,7 +157,7 @@ Diagnostic DiagnosticFromStatus(const Status& status, std::string loc,
     size_t close = msg.find(']');
     if (close != std::string::npos) {
       int n = std::atoi(msg.substr(4, close - 4).c_str());
-      if (n >= 101 && n <= 399) {
+      if (n >= 101 && n <= 499) {
         code = static_cast<DiagCode>(n);
         text = msg.substr(close + 1);
         if (!text.empty() && text[0] == ' ') text.erase(0, 1);

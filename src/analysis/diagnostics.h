@@ -61,6 +61,20 @@ enum class DiagCode : uint16_t {
   kLoweredToBuiltin = 304,     ///< Δ is a native fold: built-in agg emitted
   kLoopInvariantGuard = 305,   ///< guard reads only loop-invariant state
   kStaticTripCount = 306,      ///< FOR bounds constant: VALUES iteration
+
+  // --- Table-effect & early-exit dataflow (analysis/table_effects.h,
+  // analysis/early_exit.h). 401–403 are admitted facts about a recovered
+  // loop (notes); 404–407 are typed refusals explaining why a DML body or
+  // early exit stayed with the interpreted/unbounded plan. Refusals are
+  // warnings except where the primary applicability code already covers the
+  // loop (they then ride along in AggifyReport::skip_details).
+  kDmlInsertRewritten = 401,   ///< append-only INSERT became INSERT..SELECT
+  kDmlUpdateRewritten = 402,   ///< accumulating UPDATE became set-oriented
+  kEarlyExitBounded = 403,     ///< BREAK proven monotone: TOP-N prefix bound
+  kSelfReadAfterWrite = 404,   ///< Δ writes a table Q (or Δ) reads
+  kNonKeyDisjointUpdate = 405, ///< UPDATE not key-disjoint / accumulating
+  kNonMonotoneExit = 406,      ///< exit predicate not provably monotone
+  kDmlShapeUnsupported = 407,  ///< DML body outside the rewrite families
 };
 
 /// Stable identifier, e.g. "AGG104".
@@ -82,6 +96,10 @@ struct Diagnostic {
   DiagSeverity severity = DiagSeverity::kWarning;
   /// Where: "<function>:<cursor>" for loops, a file path for script errors.
   std::string loc;
+  /// Byte offset of the diagnosed statement in the originating script
+  /// (0 when unknown or synthesized). Secondary sort key for stable,
+  /// source-ordered lint output.
+  size_t offset = 0;
   std::string message;
   /// Optional remediation hint ("move the INSERT after the loop", ...).
   std::string fixit;
@@ -89,6 +107,12 @@ struct Diagnostic {
   /// "loc: warning: message [aggify-persistent-insert]" (+ fixit line).
   std::string ToString() const;
 };
+
+/// Stable source order for lint output: (loc's file prefix, byte offset,
+/// code, message). Discovery order — which follows the rewriter's analysis
+/// phases and the catalog's function-name iteration — is NOT source order;
+/// CI annotations and --format=json need the latter to be reproducible.
+void SortDiagnosticsBySource(std::vector<Diagnostic>* diags);
 
 /// Builds a Status::NotApplicable whose message carries the code prefix, so
 /// existing Status/Result plumbing transports structured diagnostics.

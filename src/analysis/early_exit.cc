@@ -1,0 +1,276 @@
+#include "analysis/early_exit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace aggify {
+
+namespace {
+
+/// Unwraps `{ s; }` single-statement blocks.
+const Stmt* SoleStatement(const Stmt& s) {
+  if (s.kind != StmtKind::kBlock) return &s;
+  const auto& b = static_cast<const BlockStmt&>(s);
+  return b.statements.size() == 1 ? b.statements[0].get() : nullptr;
+}
+
+void CountKind(const Stmt& stmt, StmtKind kind, int* count) {
+  if (stmt.kind == kind) ++*count;
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CountKind(*s, kind, count);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CountKind(*i.then_branch, kind, count);
+      if (i.else_branch != nullptr) CountKind(*i.else_branch, kind, count);
+      break;
+    }
+    case StmtKind::kWhile:
+      CountKind(*static_cast<const WhileStmt&>(stmt).body, kind, count);
+      break;
+    case StmtKind::kFor:
+      CountKind(*static_cast<const ForStmt&>(stmt).body, kind, count);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CountKind(*tc.try_block, kind, count);
+      CountKind(*tc.catch_block, kind, count);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Counts SET statements targeting `var` anywhere in the subtree.
+void CountWrites(const Stmt& stmt, const std::string& var, int* count) {
+  if (stmt.kind == StmtKind::kSet &&
+      static_cast<const SetStmt&>(stmt).name == var) {
+    ++*count;
+  }
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CountWrites(*s, var, count);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(stmt);
+      CountWrites(*i.then_branch, var, count);
+      if (i.else_branch != nullptr) CountWrites(*i.else_branch, var, count);
+      break;
+    }
+    case StmtKind::kWhile:
+      CountWrites(*static_cast<const WhileStmt&>(stmt).body, var, count);
+      break;
+    case StmtKind::kFor:
+      CountWrites(*static_cast<const ForStmt&>(stmt).body, var, count);
+      break;
+    case StmtKind::kTryCatch: {
+      const auto& tc = static_cast<const TryCatchStmt&>(stmt);
+      CountWrites(*tc.try_block, var, count);
+      CountWrites(*tc.catch_block, var, count);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Matches `@cnt OP K` / `K OP @cnt` where K is an integer literal and OP
+/// normalizes to "counter has reached at least the limit". Equality exits
+/// are refused: with any start value above K the predicate never fires and
+/// the loop legitimately consumes all of Q — no sound static bound exists.
+bool MatchExitPredicate(const Expr& cond, std::string* counter,
+                        int64_t* limit, std::string* why) {
+  if (cond.kind != ExprKind::kBinary) {
+    *why = "exit predicate is not a comparison";
+    return false;
+  }
+  const auto& cmp = static_cast<const BinaryExpr&>(cond);
+  const Expr* var_side = nullptr;
+  const Expr* lit_side = nullptr;
+  bool mirrored = false;  // literal OP @cnt
+  if (cmp.left->kind == ExprKind::kVarRef &&
+      cmp.right->kind == ExprKind::kLiteral) {
+    var_side = cmp.left.get();
+    lit_side = cmp.right.get();
+  } else if (cmp.right->kind == ExprKind::kVarRef &&
+             cmp.left->kind == ExprKind::kLiteral) {
+    var_side = cmp.right.get();
+    lit_side = cmp.left.get();
+    mirrored = true;
+  } else {
+    *why = "exit predicate does not compare a variable with a literal";
+    return false;
+  }
+  const bool reached =
+      mirrored ? (cmp.op == BinaryOp::kLe || cmp.op == BinaryOp::kLt)
+               : (cmp.op == BinaryOp::kGe || cmp.op == BinaryOp::kGt);
+  if (!reached) {
+    *why = cmp.op == BinaryOp::kEq
+               ? "equality exit is not monotone (a counter already past the "
+                 "limit never triggers it)"
+               : "exit predicate is not a reached-the-limit comparison";
+    return false;
+  }
+  const Value& k = static_cast<const LiteralExpr&>(*lit_side).value;
+  if (!k.is_int()) {
+    *why = "exit limit is not an integer literal";
+    return false;
+  }
+  *counter = static_cast<const VarRefExpr&>(*var_side).name;
+  *limit = k.int_value();
+  // Strict vs. non-strict needs no distinction: the strict form fires at
+  // most one iteration later, inside the +2 slack of the bound.
+  return true;
+}
+
+/// Matches a top-level `SET @cnt = @cnt + s` / `= s + @cnt` with s a
+/// positive integer literal. Returns the step or 0.
+int64_t MatchIncrement(const Stmt& stmt, const std::string& counter) {
+  if (stmt.kind != StmtKind::kSet) return 0;
+  const auto& set = static_cast<const SetStmt&>(stmt);
+  if (set.name != counter || set.value->kind != ExprKind::kBinary) return 0;
+  const auto& bin = static_cast<const BinaryExpr&>(*set.value);
+  if (bin.op != BinaryOp::kAdd) return 0;
+  auto is_counter = [&](const Expr& e) {
+    return e.kind == ExprKind::kVarRef &&
+           static_cast<const VarRefExpr&>(e).name == counter;
+  };
+  const Expr* step_side = nullptr;
+  if (is_counter(*bin.left)) {
+    step_side = bin.right.get();
+  } else if (is_counter(*bin.right)) {
+    step_side = bin.left.get();
+  }
+  if (step_side == nullptr || step_side->kind != ExprKind::kLiteral) return 0;
+  const Value& s = static_cast<const LiteralExpr&>(*step_side).value;
+  if (!s.is_int() || s.int_value() < 1) return 0;
+  return s.int_value();
+}
+
+EarlyExitInfo Unproven(std::string reason) {
+  EarlyExitInfo info;
+  info.has_break = true;
+  info.reason = std::move(reason);
+  return info;
+}
+
+}  // namespace
+
+EarlyExitInfo AnalyzeEarlyExit(const BlockStmt& body,
+                               const std::vector<std::string>& fetch_vars) {
+  int breaks = 0;
+  CountKind(body, StmtKind::kBreak, &breaks);
+  if (breaks == 0) return {};
+  if (breaks != 1) {
+    return Unproven("body has " + std::to_string(breaks) +
+                    " BREAK statements");
+  }
+  int continues = 0;
+  CountKind(body, StmtKind::kContinue, &continues);
+  if (continues != 0) {
+    return Unproven(
+        "CONTINUE can skip the counter update, so iterations need not "
+        "advance the exit predicate");
+  }
+
+  // The single BREAK must be the sole then-branch of a top-level IF with no
+  // ELSE; nested placement makes the exit conditional on non-counter state.
+  const IfStmt* guard = nullptr;
+  for (const auto& s : body.statements) {
+    const Stmt* top = SoleStatement(*s);
+    if (top == nullptr || top->kind != StmtKind::kIf) continue;
+    const auto& iff = static_cast<const IfStmt&>(*top);
+    const Stmt* then_s = SoleStatement(*iff.then_branch);
+    if (then_s != nullptr && then_s->kind == StmtKind::kBreak) {
+      guard = &iff;
+      break;
+    }
+  }
+  if (guard == nullptr) {
+    return Unproven(
+        "BREAK is not the sole then-branch of a top-level IF");
+  }
+  if (guard->else_branch != nullptr) {
+    return Unproven("exit IF has an ELSE branch");
+  }
+
+  EarlyExitInfo info;
+  info.has_break = true;
+  std::string why;
+  if (!MatchExitPredicate(*guard->condition, &info.counter, &info.limit,
+                          &why)) {
+    info.reason = std::move(why);
+    return info;
+  }
+  if (std::find(fetch_vars.begin(), fetch_vars.end(), info.counter) !=
+      fetch_vars.end()) {
+    info.reason = "exit counter " + info.counter +
+                  " is overwritten by FETCH each iteration";
+    return info;
+  }
+
+  // Exactly one write to the counter, top-level and of the canonical
+  // monotone increment form.
+  int writes = 0;
+  CountWrites(body, info.counter, &writes);
+  if (writes != 1) {
+    info.reason = "counter " + info.counter + " has " +
+                  std::to_string(writes) +
+                  " writes in the body; exactly one monotone increment is "
+                  "required";
+    return info;
+  }
+  info.step = 0;
+  for (const auto& s : body.statements) {
+    const Stmt* top = SoleStatement(*s);
+    if (top == nullptr) continue;
+    int64_t step = MatchIncrement(*top, info.counter);
+    if (step > 0) {
+      info.step = step;
+      break;
+    }
+  }
+  if (info.step <= 0) {
+    info.reason =
+        "the write to " + info.counter +
+        " is not an unconditional top-level `SET " + info.counter + " = " +
+        info.counter + " + <positive integer literal>`";
+    return info;
+  }
+  info.bounded = true;
+  return info;
+}
+
+ExprPtr BuildPrefixBoundExpr(const EarlyExitInfo& info) {
+  // CASE WHEN @cnt IS NULL THEN 9223372036854775807
+  //      WHEN (K - @cnt) < 1 THEN 2
+  //      ELSE (K - @cnt + (s-1)) / s + 2 END
+  auto remaining = [&]() {
+    return MakeBinary(BinaryOp::kSub, MakeLiteral(Value::Int(info.limit)),
+                      MakeVarRef(info.counter));
+  };
+  std::vector<CaseWhenExpr::Arm> arms;
+  arms.push_back(CaseWhenExpr::Arm{
+      std::make_unique<IsNullExpr>(MakeVarRef(info.counter), /*neg=*/false),
+      MakeLiteral(Value::Int(INT64_MAX))});
+  arms.push_back(CaseWhenExpr::Arm{
+      MakeBinary(BinaryOp::kLt, remaining(), MakeLiteral(Value::Int(1))),
+      MakeLiteral(Value::Int(2))});
+  ExprPtr bound = MakeBinary(
+      BinaryOp::kAdd,
+      MakeBinary(BinaryOp::kDiv,
+                 MakeBinary(BinaryOp::kAdd, remaining(),
+                            MakeLiteral(Value::Int(info.step - 1))),
+                 MakeLiteral(Value::Int(info.step))),
+      MakeLiteral(Value::Int(2)));
+  return std::make_unique<CaseWhenExpr>(std::move(arms), std::move(bound));
+}
+
+}  // namespace aggify

@@ -1,0 +1,65 @@
+// Early-exit (BREAK) monotonicity analysis (ROADMAP item 4,
+// docs/ANALYSIS.md §6).
+//
+// A cursor loop that BREAKs is already rewritten correctly: the synthesized
+// aggregate keeps the IF ... BREAK in its body and latches a `done` flag, so
+// Accumulate calls after the exit fires are no-ops. What the rewrite loses
+// is the *work bound* — the cursor stopped fetching, the aggregate still
+// consumes every row of Q.
+//
+// This analysis recovers the bound for the canonical counted-exit shape:
+//
+//   SET @cnt = @cnt + s;        -- s a positive integer literal, the only
+//                               -- write to @cnt, unconditional
+//   IF @cnt >= K BREAK;         -- K an integer literal; also >, and the
+//                               -- mirrored <= / < with @cnt on the right
+//
+// with no other BREAK, no CONTINUE, and @cnt not a fetch variable. The
+// counter then only grows, the exit predicate is monotone in it, and the
+// loop consumes at most a prefix of Q of provable length: processing stops
+// by iteration ceil((K - cnt0) / s) + 1, where cnt0 is the counter's value
+// at loop entry. The rewriter attaches TOP (that bound, evaluated against
+// @cnt at statement entry) to the derived cursor query — a pure
+// optimization riding on the aggregate's own exit latch, so the bound only
+// needs to be an over-approximation (never an under-count):
+//
+//   TOP (CASE WHEN @cnt IS NULL THEN 9223372036854775807  -- never exits
+//             WHEN (K - @cnt) < 1 THEN 2                  -- already past K
+//             ELSE (K - @cnt + (s-1)) / s + 2 END)
+//
+// The +2 slack absorbs both guard placements (test-before-increment needs
+// one more row than increment-before-test) and non-integer counter values
+// (TOP truncates toward zero, which can lose one more row vs. the exact
+// ceiling). Loops that BREAK on anything else stay unbounded and correct
+// (AGG406 note).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parser/expr.h"
+#include "parser/statement.h"
+
+namespace aggify {
+
+struct EarlyExitInfo {
+  /// The body contains at least one BREAK.
+  bool has_break = false;
+  /// The exit was proven monotone: a TOP-N prefix bound is sound (AGG403).
+  bool bounded = false;
+  std::string counter;  ///< "@cnt"
+  int64_t limit = 0;    ///< K
+  int64_t step = 1;     ///< s
+  /// When has_break && !bounded: why the proof refused (AGG406 message).
+  std::string reason;
+};
+
+/// Analyzes the FETCH-stripped loop body. `fetch_vars` are the FETCH INTO
+/// variables (a counter overwritten by FETCH is not monotone).
+EarlyExitInfo AnalyzeEarlyExit(const BlockStmt& stripped_body,
+                               const std::vector<std::string>& fetch_vars);
+
+/// Builds the TOP bound expression above. Precondition: info.bounded.
+ExprPtr BuildPrefixBoundExpr(const EarlyExitInfo& info);
+
+}  // namespace aggify

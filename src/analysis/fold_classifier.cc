@@ -27,7 +27,9 @@ void CollectAssigned(const Stmt& stmt, std::set<std::string>* out) {
     }
     case StmtKind::kGuardedRewrite: {
       const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
-      out->insert(g.rewritten->targets.begin(), g.rewritten->targets.end());
+      if (g.rewritten != nullptr) {  // DML form assigns no variables
+        out->insert(g.rewritten->targets.begin(), g.rewritten->targets.end());
+      }
       break;
     }
     case StmtKind::kBlock:

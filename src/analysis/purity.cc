@@ -183,12 +183,17 @@ void WalkStmt(const Stmt& stmt, EffectAccum* acc) {
     case StmtKind::kMultiAssign:
       WalkQuery(*static_cast<const MultiAssignStmt&>(stmt).query, acc);
       break;
-    case StmtKind::kGuardedRewrite:
-      // Semantically the statement IS its MultiAssign (see statement.h);
-      // the fallback clone re-states the original loop's effects.
-      WalkQuery(*static_cast<const GuardedRewriteStmt&>(stmt).rewritten->query,
-                acc);
+    case StmtKind::kGuardedRewrite: {
+      // Semantically the statement IS its MultiAssign / set-oriented DML
+      // (see statement.h); the fallback clone re-states the loop's effects.
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      if (g.rewritten_dml != nullptr) {
+        WalkStmt(*g.rewritten_dml, acc);
+      } else {
+        WalkQuery(*g.rewritten->query, acc);
+      }
       break;
+    }
     default:
       break;  // cursor control flow / BREAK / CONTINUE: no effects
   }

@@ -1,0 +1,584 @@
+#include "analysis/table_effects.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace aggify {
+
+namespace {
+
+bool IsTempName(const std::string& name) {
+  return !name.empty() && (name[0] == '@' || name[0] == '#');
+}
+
+/// Unwraps `{ s; }` single-statement blocks.
+const Stmt* SoleStatement(const Stmt& s) {
+  if (s.kind != StmtKind::kBlock) return &s;
+  const auto& b = static_cast<const BlockStmt&>(s);
+  return b.statements.size() == 1 ? b.statements[0].get() : nullptr;
+}
+
+std::string JoinNames(const std::set<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+void TableEffectSet::Join(const TableEffectSet& other) {
+  reads.insert(other.reads.begin(), other.reads.end());
+  writes.insert(other.writes.begin(), other.writes.end());
+  if (other.opaque && !opaque) {
+    opaque = true;
+    opaque_evidence = other.opaque_evidence;
+  }
+}
+
+std::string TableEffectSet::ToString() const {
+  std::string out = "reads{" + JoinNames(reads) + "} writes{" +
+                    JoinNames(writes) + "}";
+  if (opaque) out += " opaque(" + opaque_evidence + ")";
+  return out;
+}
+
+TableEffectAnalysis TableEffectAnalysis::Build(
+    const Catalog* catalog, CallGraph::BuiltinPredicate is_builtin) {
+  TableEffectAnalysis analysis;
+  analysis.is_builtin_ = std::move(is_builtin);
+  if (catalog == nullptr) return analysis;
+
+  // Seed every function with the bottom summary so intra-catalog calls
+  // resolve (optimistically empty) from round one, then iterate the
+  // transfer function to the least fixpoint. Summaries only grow, the
+  // powerset-of-tables lattice is finite, so this terminates — including
+  // for mutual recursion.
+  std::vector<std::string> names = catalog->FunctionNames();
+  for (const auto& name : names) {
+    analysis.per_function_[ToLower(name)] = TableEffectSet{};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& name : names) {
+      auto def = catalog->GetFunction(name);
+      if (!def.ok() || (*def)->body == nullptr) continue;
+      TableEffectSet next = analysis.OfStatement(*(*def)->body);
+      TableEffectSet& cur = analysis.per_function_[ToLower(name)];
+      if (next.reads != cur.reads || next.writes != cur.writes ||
+          next.opaque != cur.opaque) {
+        cur = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return analysis;
+}
+
+TableEffectSet TableEffectAnalysis::OfFunction(const std::string& name) const {
+  auto it = per_function_.find(ToLower(name));
+  if (it != per_function_.end()) return it->second;
+  TableEffectSet out;
+  if (is_builtin_ == nullptr || !is_builtin_(name)) {
+    out.opaque = true;
+    out.opaque_evidence = "calls unknown function " + name;
+  }
+  return out;
+}
+
+void TableEffectAnalysis::AddCallEffects(const std::string& callee,
+                                         TableEffectSet* out) const {
+  out->Join(OfFunction(callee));
+}
+
+TableEffectSet TableEffectAnalysis::OfStatement(const Stmt& stmt) const {
+  TableEffectSet out;
+  CollectStmt(stmt, &out);
+  return out;
+}
+
+TableEffectSet TableEffectAnalysis::OfQuery(const SelectStmt& query) const {
+  TableEffectSet out;
+  CollectQuery(query, &out);
+  return out;
+}
+
+TableEffectSet TableEffectAnalysis::OfExpr(const Expr& expr) const {
+  TableEffectSet out;
+  CollectExpr(expr, &out);
+  return out;
+}
+
+void TableEffectAnalysis::CollectExpr(const Expr& expr,
+                                      TableEffectSet* out) const {
+  switch (expr.kind) {
+    case ExprKind::kScalarSubquery:
+      CollectQuery(*static_cast<const ScalarSubqueryExpr&>(expr).query, out);
+      return;
+    case ExprKind::kExists:
+      CollectQuery(*static_cast<const ExistsExpr&>(expr).query, out);
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      CollectExpr(*in.operand, out);
+      for (const auto& e : in.list) CollectExpr(*e, out);
+      if (in.subquery != nullptr) CollectQuery(*in.subquery, out);
+      return;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      AddCallEffects(call.name, out);
+      for (const auto& a : call.args) CollectExpr(*a, out);
+      return;
+    }
+    default:
+      for (const Expr* c : expr.Children()) CollectExpr(*c, out);
+      return;
+  }
+}
+
+namespace {
+
+/// Collects base-table reads of a query, resolving CTE names lexically
+/// (a FROM reference to an in-scope CTE is not a base-table read).
+struct QueryWalker {
+  const TableEffectAnalysis* analysis;
+  TableEffectSet* out;
+  std::function<void(const Expr&)> expr_fn;
+
+  void WalkTableRef(const TableRef& ref, const std::set<std::string>& ctes) {
+    switch (ref.kind) {
+      case TableRef::Kind::kBaseTable: {
+        std::string lc = ToLower(ref.table_name);
+        if (!IsTempName(ref.table_name) && ctes.count(lc) == 0) {
+          out->reads.insert(lc);
+        }
+        return;
+      }
+      case TableRef::Kind::kSubquery:
+        Walk(*ref.subquery, ctes);
+        return;
+      case TableRef::Kind::kJoin:
+        WalkTableRef(*ref.left, ctes);
+        WalkTableRef(*ref.right, ctes);
+        if (ref.join_condition != nullptr) expr_fn(*ref.join_condition);
+        return;
+    }
+  }
+
+  void Walk(const SelectStmt& q, std::set<std::string> ctes) {
+    for (const auto& cte : q.ctes) {
+      // A recursive CTE's body may reference its own name.
+      std::set<std::string> inner = ctes;
+      inner.insert(ToLower(cte.name));
+      Walk(*cte.query, cte.recursive ? inner : ctes);
+      ctes.insert(ToLower(cte.name));
+    }
+    if (q.top_n != nullptr) expr_fn(*q.top_n);
+    for (const auto& item : q.items) expr_fn(*item.expr);
+    for (const auto& ref : q.from) WalkTableRef(*ref, ctes);
+    if (q.where != nullptr) expr_fn(*q.where);
+    for (const auto& g : q.group_by) expr_fn(*g);
+    if (q.having != nullptr) expr_fn(*q.having);
+    for (const auto& o : q.order_by) expr_fn(*o.expr);
+    if (q.union_all != nullptr) Walk(*q.union_all, ctes);
+  }
+};
+
+}  // namespace
+
+void TableEffectAnalysis::CollectQuery(const SelectStmt& query,
+                                       TableEffectSet* out) const {
+  QueryWalker walker;
+  walker.analysis = this;
+  walker.out = out;
+  walker.expr_fn = [this, out](const Expr& e) { CollectExpr(e, out); };
+  walker.Walk(query, {});
+}
+
+void TableEffectAnalysis::CollectStmt(const Stmt& stmt,
+                                      TableEffectSet* out) const {
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).statements) {
+        CollectStmt(*s, out);
+      }
+      return;
+    case StmtKind::kDeclareVar: {
+      const auto& s = static_cast<const DeclareVarStmt&>(stmt);
+      if (s.initializer != nullptr) CollectExpr(*s.initializer, out);
+      return;
+    }
+    case StmtKind::kSet:
+      CollectExpr(*static_cast<const SetStmt&>(stmt).value, out);
+      return;
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      CollectExpr(*s.condition, out);
+      CollectStmt(*s.then_branch, out);
+      if (s.else_branch != nullptr) CollectStmt(*s.else_branch, out);
+      return;
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      CollectExpr(*s.condition, out);
+      CollectStmt(*s.body, out);
+      return;
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      CollectExpr(*s.init, out);
+      CollectExpr(*s.bound, out);
+      if (s.step != nullptr) CollectExpr(*s.step, out);
+      CollectStmt(*s.body, out);
+      return;
+    }
+    case StmtKind::kDeclareCursor:
+      CollectQuery(*static_cast<const DeclareCursorStmt&>(stmt).query, out);
+      return;
+    case StmtKind::kReturn: {
+      const auto& s = static_cast<const ReturnStmt&>(stmt);
+      if (s.value != nullptr) CollectExpr(*s.value, out);
+      return;
+    }
+    case StmtKind::kInsert: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      if (!IsTempName(s.table)) out->writes.insert(ToLower(s.table));
+      for (const auto& row : s.values_rows) {
+        for (const auto& e : row) CollectExpr(*e, out);
+      }
+      if (s.select != nullptr) CollectQuery(*s.select, out);
+      return;
+    }
+    case StmtKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStmt&>(stmt);
+      if (!IsTempName(s.table)) out->writes.insert(ToLower(s.table));
+      for (const auto& a : s.assignments) CollectExpr(*a.second, out);
+      if (s.where != nullptr) CollectExpr(*s.where, out);
+      return;
+    }
+    case StmtKind::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      if (!IsTempName(s.table)) out->writes.insert(ToLower(s.table));
+      if (s.where != nullptr) CollectExpr(*s.where, out);
+      return;
+    }
+    case StmtKind::kTryCatch: {
+      const auto& s = static_cast<const TryCatchStmt&>(stmt);
+      CollectStmt(*s.try_block, out);
+      CollectStmt(*s.catch_block, out);
+      return;
+    }
+    case StmtKind::kExecQuery:
+      CollectQuery(*static_cast<const ExecQueryStmt&>(stmt).query, out);
+      return;
+    case StmtKind::kMultiAssign:
+      CollectQuery(*static_cast<const MultiAssignStmt&>(stmt).query, out);
+      return;
+    case StmtKind::kGuardedRewrite: {
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      if (g.rewritten_dml != nullptr) {
+        CollectStmt(*g.rewritten_dml, out);
+      } else {
+        CollectQuery(*g.rewritten->query, out);
+      }
+      return;
+    }
+    default:
+      return;  // cursor control flow, BREAK/CONTINUE: no table effects
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DML-body classification (rewrite families a / b).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Structural row-purity: the expression must evaluate identically whether
+/// run per-iteration by the interpreter or per-row inside the rewritten
+/// SELECT. Variables are fine (fetch vars map to cursor columns; everything
+/// else is loop-invariant in a single-DML body) except the per-iteration
+/// @@fetch_status. Column refs, subqueries, and aggregate calls are out —
+/// columns have no binding in the procedural body, and subqueries would
+/// re-read tables per row. Function calls pass structurally; their table
+/// effects are vetted separately by the caller.
+bool RowPure(const Expr& e, bool allow_column_refs, std::string* why) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      if (!allow_column_refs) {
+        *why = "references column " +
+               static_cast<const ColumnRefExpr&>(e).name;
+        return false;
+      }
+      return true;
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      if (v.name.rfind("@@", 0) == 0) {
+        *why = "references per-iteration state " + v.name;
+        return false;
+      }
+      return true;
+    }
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+      *why = "contains a subquery";
+      return false;
+    case ExprKind::kAggregateCall:
+      *why = "contains an aggregate call";
+      return false;
+    case ExprKind::kInList:
+      if (static_cast<const InListExpr&>(e).subquery != nullptr) {
+        *why = "contains a subquery";
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const Expr* c : e.Children()) {
+    if (!RowPure(*c, allow_column_refs, why)) return false;
+  }
+  return true;
+}
+
+Status Refuse(DiagCode code, const std::string& message) {
+  return NotApplicableDiag(code, message);
+}
+
+bool IsDerivedAliasName(const std::string& name) {
+  if (name.size() < 2 || (name[0] != 'c' && name[0] != 'C')) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DmlBodyPlan> ClassifyDmlBody(const BlockStmt& body,
+                                    const SelectStmt& cursor_query,
+                                    const std::vector<std::string>& fetch_vars,
+                                    const TableEffectAnalysis& fx,
+                                    const Catalog* catalog) {
+  // --- Shape: exactly one [guarded] DML statement. ---
+  if (body.statements.size() != 1) {
+    return Refuse(DiagCode::kDmlShapeUnsupported,
+                  "DML body has " + std::to_string(body.statements.size()) +
+                      " statements; the rewrite families cover a single "
+                      "(optionally IF-guarded) INSERT or UPDATE");
+  }
+  const Stmt* s = SoleStatement(*body.statements[0]);
+  if (s == nullptr) {
+    return Refuse(DiagCode::kDmlShapeUnsupported,
+                  "DML body is a multi-statement block");
+  }
+  DmlBodyPlan plan;
+  std::string why;
+  if (s->kind == StmtKind::kIf) {
+    const auto& iff = static_cast<const IfStmt&>(*s);
+    if (iff.else_branch != nullptr) {
+      return Refuse(DiagCode::kDmlShapeUnsupported,
+                    "guarded DML has an ELSE branch");
+    }
+    if (!RowPure(*iff.condition, /*allow_column_refs=*/false, &why)) {
+      return Refuse(DiagCode::kDmlShapeUnsupported,
+                    "DML guard is not row-pure: " + why);
+    }
+    plan.guard = &iff;
+    s = SoleStatement(*iff.then_branch);
+    if (s == nullptr) {
+      return Refuse(DiagCode::kDmlShapeUnsupported,
+                    "guarded branch is a multi-statement block");
+    }
+  }
+
+  // Effects of every expression the body evaluates per row (guard + DML
+  // arguments), accumulated for the disjointness certificate.
+  TableEffectSet row_effects;
+  if (plan.guard != nullptr) row_effects.Join(fx.OfExpr(*plan.guard->condition));
+
+  if (s->kind == StmtKind::kInsert) {
+    // --- Family a: append-only single-row INSERT ... VALUES. ---
+    const auto& ins = static_cast<const InsertStmt&>(*s);
+    if (ins.select != nullptr || ins.values_rows.size() != 1) {
+      return Refuse(DiagCode::kDmlShapeUnsupported,
+                    "INSERT body is not a single-row VALUES insert");
+    }
+    for (const auto& e : ins.values_rows[0]) {
+      if (!RowPure(*e, /*allow_column_refs=*/false, &why)) {
+        return Refuse(DiagCode::kDmlShapeUnsupported,
+                      "INSERT value is not row-pure: " + why);
+      }
+      row_effects.Join(fx.OfExpr(*e));
+    }
+    plan.family = DmlFamily::kAppendInsert;
+    plan.insert = &ins;
+    plan.table = ins.table;
+  } else if (s->kind == StmtKind::kUpdate) {
+    // --- Family b: key-equality accumulating UPDATE. ---
+    const auto& upd = static_cast<const UpdateStmt&>(*s);
+    if (upd.assignments.size() != 1) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE sets " + std::to_string(upd.assignments.size()) +
+                        " columns; the accumulating family covers exactly "
+                        "one `col = col +/- e` assignment");
+    }
+    const std::string& col = upd.assignments[0].first;
+    const Expr* rhs = upd.assignments[0].second.get();
+    if (rhs->kind != ExprKind::kBinary) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE assignment to " + col +
+                        " is not an accumulating `col = col +/- e` fold");
+    }
+    const auto& bin = static_cast<const BinaryExpr&>(*rhs);
+    auto is_col_ref = [&](const Expr& e) {
+      return e.kind == ExprKind::kColumnRef &&
+             EqualsIgnoreCase(static_cast<const ColumnRefExpr&>(e).name, col);
+    };
+    const Expr* delta = nullptr;
+    bool subtract = false;
+    if (bin.op == BinaryOp::kAdd && is_col_ref(*bin.left)) {
+      delta = bin.right.get();
+    } else if (bin.op == BinaryOp::kAdd && is_col_ref(*bin.right)) {
+      delta = bin.left.get();
+    } else if (bin.op == BinaryOp::kSub && is_col_ref(*bin.left)) {
+      delta = bin.right.get();
+      subtract = true;
+    }
+    if (delta == nullptr) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE assignment to " + col +
+                        " is not an accumulating `col = col +/- e` fold");
+    }
+    if (!RowPure(*delta, /*allow_column_refs=*/false, &why)) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE delta expression is not row-pure: " + why);
+    }
+    if (upd.where == nullptr || upd.where->kind != ExprKind::kBinary) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE WHERE is not a single key-column equality");
+    }
+    const auto& where = static_cast<const BinaryExpr&>(*upd.where);
+    const Expr* key_side = nullptr;
+    const Expr* key_expr = nullptr;
+    if (where.op == BinaryOp::kEq) {
+      if (where.left->kind == ExprKind::kColumnRef) {
+        key_side = where.left.get();
+        key_expr = where.right.get();
+      } else if (where.right->kind == ExprKind::kColumnRef) {
+        key_side = where.right.get();
+        key_expr = where.left.get();
+      }
+    }
+    if (key_side == nullptr) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE WHERE is not a single key-column equality");
+    }
+    const std::string& keycol =
+        static_cast<const ColumnRefExpr&>(*key_side).name;
+    if (EqualsIgnoreCase(keycol, col)) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE keys on the accumulated column " + col +
+                        " itself: iterations are not key-disjoint from the "
+                        "accumulation");
+    }
+    if (!RowPure(*key_expr, /*allow_column_refs=*/false, &why)) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE key expression is not row-pure: " + why);
+    }
+    if (IsDerivedAliasName(col) || IsDerivedAliasName(keycol)) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "target column name collides with the rewrite's derived-"
+                    "table aliases (c0, c1, ...)");
+    }
+    // Bit-identity restriction: the grouped rewrite regroups the additions
+    // (per-key subtotal added once vs. per-row sequential adds). Exact for
+    // 64-bit integers, not for binary doubles — so the accumulated column
+    // must be integer-typed, which needs the schema.
+    if (catalog == nullptr || !catalog->HasTable(upd.table)) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "table " + upd.table +
+                        " is not in the catalog; cannot verify the "
+                        "accumulator column type");
+    }
+    const Table* table = *catalog->GetTable(upd.table);
+    auto col_idx = table->schema().IndexOf(col);
+    auto key_idx = table->schema().IndexOf(keycol);
+    if (!col_idx.ok() || !key_idx.ok()) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "UPDATE references a column absent from " + upd.table);
+    }
+    if (table->schema().column(*col_idx).type.id != TypeId::kInt) {
+      return Refuse(DiagCode::kNonKeyDisjointUpdate,
+                    "accumulated column " + col +
+                        " is not integer-typed; regrouped floating-point "
+                        "addition is not bit-identical to the loop");
+    }
+    row_effects.Join(fx.OfExpr(*delta));
+    row_effects.Join(fx.OfExpr(*key_expr));
+    plan.family = DmlFamily::kAccumUpdate;
+    plan.update = &upd;
+    plan.table = upd.table;
+    plan.accum_column = col;
+    plan.key_column = keycol;
+    plan.key_expr = key_expr;
+    plan.delta_expr = delta;
+    plan.subtract = subtract;
+  } else {
+    return Refuse(DiagCode::kDmlShapeUnsupported,
+                  "DML body statement is not an INSERT or UPDATE");
+  }
+
+  // Fetch-variable sanity: FETCH must not target @@-vars (never does) and
+  // the DML must not reference variables assigned elsewhere in the body —
+  // guaranteed structurally by the single-statement shape.
+  (void)fetch_vars;
+
+  // --- Effects: called functions must not write, and everything read must
+  // be disjoint from the written table (Halloween certificate). ---
+  const std::string target = ToLower(plan.table);
+  TableEffectSet query_effects = fx.OfQuery(cursor_query);
+  if (row_effects.opaque || query_effects.opaque) {
+    return Refuse(DiagCode::kSelfReadAfterWrite,
+                  "read/write disjointness is unprovable: " +
+                      (row_effects.opaque ? row_effects.opaque_evidence
+                                          : query_effects.opaque_evidence));
+  }
+  if (!row_effects.writes.empty()) {
+    std::set<std::string> overlap = row_effects.writes;
+    overlap.insert(target);
+    bool self = row_effects.writes.count(target) != 0 ||
+                query_effects.Reads(target);
+    for (const auto& w : row_effects.writes) {
+      if (query_effects.Reads(w) || row_effects.reads.count(w) != 0) {
+        self = true;
+      }
+    }
+    if (self) {
+      return Refuse(DiagCode::kSelfReadAfterWrite,
+                    "a called function writes " +
+                        JoinNames(row_effects.writes) +
+                        ", which the loop also reads or writes");
+    }
+    return Refuse(DiagCode::kDmlShapeUnsupported,
+                  "a called function writes table(s) " +
+                      JoinNames(row_effects.writes) +
+                      "; the body's write set is not a single append/"
+                      "accumulate target");
+  }
+  if (query_effects.Reads(target) || row_effects.reads.count(target) != 0) {
+    return Refuse(
+        DiagCode::kSelfReadAfterWrite,
+        "loop writes " + plan.table +
+            ", which the cursor query or the body also reads; the "
+            "set-oriented rewrite would observe its own writes");
+  }
+  return plan;
+}
+
+}  // namespace aggify

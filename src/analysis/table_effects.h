@@ -1,0 +1,160 @@
+// Interprocedural table-effect dataflow (ROADMAP item 4, docs/ANALYSIS.md §6).
+//
+// For each catalog function the analysis computes the set of persistent
+// tables it may READ (query evaluation, subqueries, cursor queries) and the
+// set it may WRITE (INSERT / UPDATE / DELETE), closed under calls via the
+// purity call graph's edges:
+//
+//   reads(f)  = local_reads(f)  ∪  ⋃ over g ∈ callees(f) reads(g)
+//   writes(f) = local_writes(f) ∪  ⋃ over g ∈ callees(f) writes(g)
+//
+// computed as a least fixpoint (finite powerset lattice, monotone transfer,
+// so iteration converges even for mutual recursion). Calls the graph cannot
+// resolve make the summary *opaque* — the function may touch any table —
+// which every consumer must treat as "effects on everything" (sound, never
+// optimistic).
+//
+// On top of the per-function summaries sit the cursor-loop judgments that
+// unlock DML-body rewrites (AGG401/402 vs. AGG404/405/407):
+//
+//   - read/write disjointness: the tables Δ writes must be disjoint from
+//     the tables Q (and the rest of Δ) reads, or the set-oriented rewrite
+//     would observe its own writes (the Halloween self-dependence the
+//     cursor evaluation never exhibits) → AGG404;
+//   - write-shape classification: the body must be one of the two rewrite
+//     families — an append-only single-row INSERT (family a) or a
+//     key-equality accumulating UPDATE (family b) → AGG405 / AGG407
+//     otherwise.
+//
+// Temp tables / table variables ('@t', '#t') are invisible here: their DML
+// already flows through the scalar-aggregate path (analysis_sets.cc).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/purity.h"
+#include "parser/query_ast.h"
+#include "parser/statement.h"
+#include "storage/catalog.h"
+
+namespace aggify {
+
+/// \brief Which persistent tables a statement tree / query / function may
+/// touch. Names are lowercased (the catalog is case-insensitive).
+struct TableEffectSet {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  /// A call to something the analysis cannot see (unknown function, or a
+  /// function absent from the catalog): the summary is a lower bound only
+  /// and consumers must assume effects on every table.
+  bool opaque = false;
+  /// What made the summary opaque ("calls unknown function f", ...).
+  std::string opaque_evidence;
+
+  void Join(const TableEffectSet& other);
+  bool Touches(const std::string& lowercase_table) const {
+    return opaque || reads.count(lowercase_table) != 0 ||
+           writes.count(lowercase_table) != 0;
+  }
+  bool Reads(const std::string& lowercase_table) const {
+    return opaque || reads.count(lowercase_table) != 0;
+  }
+  std::string ToString() const;
+};
+
+/// \brief Per-function table-effect summaries over a catalog, queryable for
+/// arbitrary statement trees (cursor-loop bodies) and queries.
+class TableEffectAnalysis {
+ public:
+  /// Builds the per-function fixpoint over every function registered in
+  /// `catalog`. `is_builtin` marks pure built-in scalars (no table effects);
+  /// with nullptr every non-catalog call is opaque. `catalog` may be null
+  /// (no functions resolvable: every call is opaque).
+  static TableEffectAnalysis Build(const Catalog* catalog,
+                                   CallGraph::BuiltinPredicate is_builtin =
+                                       nullptr);
+
+  /// Effects of a statement tree evaluated against the summaries: local
+  /// table accesses joined with the (interprocedural) effects of every
+  /// function it calls, including calls nested in subqueries.
+  TableEffectSet OfStatement(const Stmt& stmt) const;
+
+  /// Effects of a query (reads of every base table in FROM / CTEs /
+  /// subqueries, plus called functions' effects).
+  TableEffectSet OfQuery(const SelectStmt& query) const;
+
+  /// Effects of a scalar expression (subqueries and function calls).
+  TableEffectSet OfExpr(const Expr& expr) const;
+
+  /// Interprocedural summary of the named function. Built-ins are empty;
+  /// unknown names are opaque.
+  TableEffectSet OfFunction(const std::string& name) const;
+
+ private:
+  void AddCallEffects(const std::string& callee, TableEffectSet* out) const;
+  void CollectStmt(const Stmt& stmt, TableEffectSet* out) const;
+  void CollectQuery(const SelectStmt& query, TableEffectSet* out) const;
+  void CollectExpr(const Expr& expr, TableEffectSet* out) const;
+
+  std::map<std::string, TableEffectSet> per_function_;
+  CallGraph::BuiltinPredicate is_builtin_;
+};
+
+/// \brief The two set-oriented DML rewrite families.
+enum class DmlFamily : uint8_t {
+  kAppendInsert,  ///< single-row INSERT VALUES → INSERT ... SELECT
+  kAccumUpdate,   ///< key-equality accumulating UPDATE → grouped-sum UPDATE
+};
+
+/// \brief A classified DML loop body: which family it falls in and the
+/// pieces the rewriter needs. Pointers alias the analyzed body.
+struct DmlBodyPlan {
+  DmlFamily family = DmlFamily::kAppendInsert;
+  /// DML target table (as written in the body).
+  std::string table;
+  const InsertStmt* insert = nullptr;  ///< family a
+  const UpdateStmt* update = nullptr;  ///< family b
+  /// Optional row-pure IF guard wrapping the DML (no ELSE); null when the
+  /// DML is unconditional.
+  const IfStmt* guard = nullptr;
+  /// family b: the accumulated column, the key column, the key expression
+  /// (aliases into `update`), and whether the fold is `col = col - e`.
+  std::string accum_column;
+  std::string key_column;
+  const Expr* key_expr = nullptr;
+  const Expr* delta_expr = nullptr;  ///< e in `col = col ± e`
+  bool subtract = false;
+};
+
+/// \brief Classifies the FETCH-stripped body of a cursor loop whose
+/// applicability check refused it for persistent DML, deciding whether the
+/// set-oriented rewrite families apply.
+///
+/// Admission requires (1) the body to match a family shape structurally,
+/// (2) every expression feeding the DML to be row-pure (fetch variables,
+/// loop-invariant variables, literals; calls only when their table effects
+/// resolve and write nothing), and (3) the disjointness certificate: the
+/// written table must not be read by the cursor query or by anything else
+/// the body evaluates — including transitively through called functions.
+///
+/// \param body the FETCH-stripped loop body
+/// \param cursor_query Q (reads feed the disjointness check)
+/// \param fetch_vars FETCH INTO variables, positional
+/// \param fx table-effect summaries over the enclosing catalog
+/// \param catalog for the UPDATE family's column-type check; may be null
+///   (the UPDATE family is then refused — the int-only restriction cannot
+///   be verified)
+/// \returns the plan, or NotApplicable carrying AGG404 (self-read-after-
+///   write), AGG405 (UPDATE not key-disjoint/accumulating), or AGG407
+///   (shape outside both families).
+Result<DmlBodyPlan> ClassifyDmlBody(const BlockStmt& body,
+                                    const SelectStmt& cursor_query,
+                                    const std::vector<std::string>& fetch_vars,
+                                    const TableEffectAnalysis& fx,
+                                    const Catalog* catalog);
+
+}  // namespace aggify

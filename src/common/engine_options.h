@@ -132,6 +132,17 @@ struct EngineOptions {
     /// Largest constant trip count materialized as a literal chain; larger
     /// (or non-constant) iteration spaces keep the recursive CTE.
     int max_static_trips = 256;
+    /// Recover loops the applicability check refused for persistent DML
+    /// when the table-effect analysis proves read/write disjointness and
+    /// the body matches a rewrite family: append-only INSERT bodies become
+    /// INSERT ... SELECT, accumulating key-equality UPDATEs become one
+    /// set-oriented UPDATE (AGG401/402; analysis/table_effects.h).
+    bool rewrite_dml_bodies = true;
+    /// Attach a TOP-N prefix bound to the rewritten query when the
+    /// early-exit analysis proves the BREAK predicate monotone (AGG403;
+    /// analysis/early_exit.h). Correctness never depends on this — the
+    /// aggregate's own exit latch already no-ops rows past the BREAK.
+    bool bound_early_exit = true;
   };
 
   Planner planner;
@@ -177,6 +188,8 @@ struct EngineOptions {
     b(rewrite.prune_fetch_columns);
     b(rewrite.lower_native_folds);
     b(rewrite.static_trip_values);
+    b(rewrite.rewrite_dml_bodies);
+    b(rewrite.bound_early_exit);
     fp += ',';
     fp += std::to_string(rewrite.max_static_trips);
     // Limits are deliberately excluded: deadlines, memory budgets, and

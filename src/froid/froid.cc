@@ -293,11 +293,16 @@ Status ExecSymbolic(const Stmt& stmt, SymbolicEnv* env, ExprPtr* result) {
       return Status::OK();
     }
 
-    case StmtKind::kGuardedRewrite:
+    case StmtKind::kGuardedRewrite: {
       // Semantically identical to its MultiAssign; the fallback is runtime
-      // recovery machinery and does not affect the symbolic result.
-      return ExecSymbolic(*static_cast<const GuardedRewriteStmt&>(stmt).rewritten,
-                          env, result);
+      // recovery machinery and does not affect the symbolic result. The DML
+      // form has table effects, which Froid inlining cannot represent.
+      const auto& g = static_cast<const GuardedRewriteStmt&>(stmt);
+      if (g.rewritten_dml != nullptr) {
+        return Status::NotApplicable("guarded DML rewrite in body");
+      }
+      return ExecSymbolic(*g.rewritten, env, result);
+    }
 
     case StmtKind::kReturn: {
       const auto& r = static_cast<const ReturnStmt&>(stmt);

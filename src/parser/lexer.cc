@@ -46,16 +46,19 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
   size_t i = 0;
   const size_t n = sql.size();
 
+  size_t tok_start = 0;
   auto push = [&](TokenKind k, std::string text) {
     Token t;
     t.kind = k;
     t.text = std::move(text);
     t.line = line;
+    t.offset = tok_start;
     tokens.push_back(std::move(t));
   };
 
   while (i < n) {
     char c = sql[i];
+    tok_start = i;
     if (c == '\n') {
       ++line;
       ++i;
@@ -144,6 +147,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       std::string text = sql.substr(start, i - start);
       Token t;
       t.line = line;
+      t.offset = start;
       t.text = text;
       if (is_float) {
         t.kind = TokenKind::kFloatLiteral;
@@ -227,6 +231,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
                                   "' at line " + std::to_string(line));
     }
   }
+  tok_start = n;
   push(TokenKind::kEof, "");
   return tokens;
 }

@@ -28,6 +28,7 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0.0;
   int line = 1;
+  size_t offset = 0;  ///< byte offset of the token's first character
 
   bool IsKeyword(std::string_view kw) const;
   std::string Describe() const;

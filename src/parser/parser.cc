@@ -576,6 +576,13 @@ class ParserImpl {
   // ---------- procedural statements ----------
 
   Result<StmtPtr> ParseStatement() {
+    const size_t offset = Peek().offset;
+    ASSIGN_OR_RETURN(StmtPtr s, ParseStatementImpl());
+    s->source_offset = offset;
+    return s;
+  }
+
+  Result<StmtPtr> ParseStatementImpl() {
     const Token& t = Peek();
     if (t.kind != TokenKind::kIdent) {
       return Error("expected statement, got " + t.Describe());

@@ -8,7 +8,7 @@ std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
 
 // ---- BlockStmt ----
 
-StmtPtr BlockStmt::Clone() const {
+StmtPtr BlockStmt::CloneImpl() const {
   auto b = std::make_unique<BlockStmt>();
   for (const auto& s : statements) b->statements.push_back(s->Clone());
   return b;
@@ -23,7 +23,7 @@ std::string BlockStmt::ToString(int indent) const {
 
 // ---- DeclareVarStmt ----
 
-StmtPtr DeclareVarStmt::Clone() const {
+StmtPtr DeclareVarStmt::CloneImpl() const {
   return std::make_unique<DeclareVarStmt>(
       name, type, initializer ? initializer->Clone() : nullptr);
 }
@@ -36,7 +36,7 @@ std::string DeclareVarStmt::ToString(int indent) const {
 
 // ---- SetStmt ----
 
-StmtPtr SetStmt::Clone() const {
+StmtPtr SetStmt::CloneImpl() const {
   return std::make_unique<SetStmt>(name, value->Clone());
 }
 
@@ -46,7 +46,7 @@ std::string SetStmt::ToString(int indent) const {
 
 // ---- IfStmt ----
 
-StmtPtr IfStmt::Clone() const {
+StmtPtr IfStmt::CloneImpl() const {
   return std::make_unique<IfStmt>(condition->Clone(), then_branch->Clone(),
                                   else_branch ? else_branch->Clone() : nullptr);
 }
@@ -62,7 +62,7 @@ std::string IfStmt::ToString(int indent) const {
 
 // ---- WhileStmt ----
 
-StmtPtr WhileStmt::Clone() const {
+StmtPtr WhileStmt::CloneImpl() const {
   return std::make_unique<WhileStmt>(condition->Clone(), body->Clone());
 }
 
@@ -73,7 +73,7 @@ std::string WhileStmt::ToString(int indent) const {
 
 // ---- ForStmt ----
 
-StmtPtr ForStmt::Clone() const {
+StmtPtr ForStmt::CloneImpl() const {
   return std::make_unique<ForStmt>(var, init->Clone(), bound->Clone(),
                                    step ? step->Clone() : nullptr,
                                    body->Clone());
@@ -88,7 +88,7 @@ std::string ForStmt::ToString(int indent) const {
 
 // ---- Cursor statements ----
 
-StmtPtr DeclareCursorStmt::Clone() const {
+StmtPtr DeclareCursorStmt::CloneImpl() const {
   return std::make_unique<DeclareCursorStmt>(name, query->Clone());
 }
 
@@ -97,7 +97,7 @@ std::string DeclareCursorStmt::ToString(int indent) const {
          ";\n";
 }
 
-StmtPtr OpenCursorStmt::Clone() const {
+StmtPtr OpenCursorStmt::CloneImpl() const {
   return std::make_unique<OpenCursorStmt>(name);
 }
 
@@ -105,7 +105,7 @@ std::string OpenCursorStmt::ToString(int indent) const {
   return Ind(indent) + "OPEN " + name + ";\n";
 }
 
-StmtPtr FetchStmt::Clone() const {
+StmtPtr FetchStmt::CloneImpl() const {
   return std::make_unique<FetchStmt>(cursor, into);
 }
 
@@ -118,7 +118,7 @@ std::string FetchStmt::ToString(int indent) const {
   return out + ";\n";
 }
 
-StmtPtr CloseCursorStmt::Clone() const {
+StmtPtr CloseCursorStmt::CloneImpl() const {
   return std::make_unique<CloseCursorStmt>(name);
 }
 
@@ -126,7 +126,7 @@ std::string CloseCursorStmt::ToString(int indent) const {
   return Ind(indent) + "CLOSE " + name + ";\n";
 }
 
-StmtPtr DeallocateCursorStmt::Clone() const {
+StmtPtr DeallocateCursorStmt::CloneImpl() const {
   return std::make_unique<DeallocateCursorStmt>(name);
 }
 
@@ -136,7 +136,7 @@ std::string DeallocateCursorStmt::ToString(int indent) const {
 
 // ---- ReturnStmt / BreakStmt / ContinueStmt ----
 
-StmtPtr ReturnStmt::Clone() const {
+StmtPtr ReturnStmt::CloneImpl() const {
   return std::make_unique<ReturnStmt>(value ? value->Clone() : nullptr);
 }
 
@@ -146,19 +146,19 @@ std::string ReturnStmt::ToString(int indent) const {
   return out + ";\n";
 }
 
-StmtPtr BreakStmt::Clone() const { return std::make_unique<BreakStmt>(); }
+StmtPtr BreakStmt::CloneImpl() const { return std::make_unique<BreakStmt>(); }
 std::string BreakStmt::ToString(int indent) const {
   return Ind(indent) + "BREAK;\n";
 }
 
-StmtPtr ContinueStmt::Clone() const { return std::make_unique<ContinueStmt>(); }
+StmtPtr ContinueStmt::CloneImpl() const { return std::make_unique<ContinueStmt>(); }
 std::string ContinueStmt::ToString(int indent) const {
   return Ind(indent) + "CONTINUE;\n";
 }
 
 // ---- DeclareTempTableStmt ----
 
-StmtPtr DeclareTempTableStmt::Clone() const {
+StmtPtr DeclareTempTableStmt::CloneImpl() const {
   return std::make_unique<DeclareTempTableStmt>(name, schema);
 }
 
@@ -173,7 +173,7 @@ std::string DeclareTempTableStmt::ToString(int indent) const {
 
 // ---- DML statements ----
 
-StmtPtr InsertStmt::Clone() const {
+StmtPtr InsertStmt::CloneImpl() const {
   auto s = std::make_unique<InsertStmt>();
   s->table = table;
   s->columns = columns;
@@ -213,7 +213,7 @@ std::string InsertStmt::ToString(int indent) const {
   return out + ";\n";
 }
 
-StmtPtr UpdateStmt::Clone() const {
+StmtPtr UpdateStmt::CloneImpl() const {
   auto s = std::make_unique<UpdateStmt>();
   s->table = table;
   for (const auto& [col, e] : assignments) {
@@ -233,7 +233,7 @@ std::string UpdateStmt::ToString(int indent) const {
   return out + ";\n";
 }
 
-StmtPtr DeleteStmt::Clone() const {
+StmtPtr DeleteStmt::CloneImpl() const {
   auto s = std::make_unique<DeleteStmt>();
   s->table = table;
   if (where != nullptr) s->where = where->Clone();
@@ -248,7 +248,7 @@ std::string DeleteStmt::ToString(int indent) const {
 
 // ---- TryCatchStmt ----
 
-StmtPtr TryCatchStmt::Clone() const {
+StmtPtr TryCatchStmt::CloneImpl() const {
   return std::make_unique<TryCatchStmt>(try_block->Clone(),
                                         catch_block->Clone());
 }
@@ -261,7 +261,7 @@ std::string TryCatchStmt::ToString(int indent) const {
 
 // ---- ExecQueryStmt ----
 
-StmtPtr ExecQueryStmt::Clone() const {
+StmtPtr ExecQueryStmt::CloneImpl() const {
   return std::make_unique<ExecQueryStmt>(query->Clone());
 }
 
@@ -271,7 +271,7 @@ std::string ExecQueryStmt::ToString(int indent) const {
 
 // ---- MultiAssignStmt ----
 
-StmtPtr MultiAssignStmt::Clone() const {
+StmtPtr MultiAssignStmt::CloneImpl() const {
   return std::make_unique<MultiAssignStmt>(targets, query->Clone());
 }
 
@@ -290,21 +290,27 @@ std::string MultiAssignStmt::ToString(int indent) const {
   return out + " = (" + query->ToString() + ");\n";
 }
 
-StmtPtr GuardedRewriteStmt::Clone() const {
-  auto r = std::unique_ptr<MultiAssignStmt>(
-      static_cast<MultiAssignStmt*>(rewritten->Clone().release()));
+StmtPtr GuardedRewriteStmt::CloneImpl() const {
   auto f = std::unique_ptr<BlockStmt>(
       static_cast<BlockStmt*>(fallback->Clone().release()));
+  if (rewritten_dml) {
+    return std::make_unique<GuardedRewriteStmt>(rewritten_dml->Clone(),
+                                                std::move(f), state_vars,
+                                                verify, aggregate_name);
+  }
+  auto r = std::unique_ptr<MultiAssignStmt>(
+      static_cast<MultiAssignStmt*>(rewritten->Clone().release()));
   return std::make_unique<GuardedRewriteStmt>(std::move(r), std::move(f),
                                               state_vars, verify,
                                               aggregate_name);
 }
 
 std::string GuardedRewriteStmt::ToString(int indent) const {
-  // Renders as the MultiAssign it stands for (plus a marker comment). The
+  // Renders as the statement it stands for (plus a marker comment). The
   // fallback is recovery machinery, not program text: printing it would make
   // the removed loop reappear in every rendering of the rewritten function.
-  std::string out = rewritten->ToString(indent);
+  std::string out =
+      rewritten_dml ? rewritten_dml->ToString(indent) : rewritten->ToString(indent);
   if (!out.empty() && out.back() == '\n') out.pop_back();
   out += "  -- guarded: cursor-loop fallback";
   if (verify) out += " (verify)";

@@ -52,9 +52,23 @@ struct Stmt {
   explicit Stmt(StmtKind k) : kind(k) {}
   virtual ~Stmt() = default;
   StmtKind kind;
+  /// Byte offset of the statement's first token in the originating script
+  /// (0 for synthesized statements). Diagnostics key on it so lint output
+  /// can be emitted in source order regardless of analysis order.
+  size_t source_offset = 0;
 
-  virtual StmtPtr Clone() const = 0;
+  /// Clones the node, preserving `source_offset` (CloneImpl implementations
+  /// construct fresh nodes and would otherwise drop it — and rewriter
+  /// diagnostics are produced against cloned function bodies).
+  StmtPtr Clone() const {
+    StmtPtr copy = CloneImpl();
+    copy->source_offset = source_offset;
+    return copy;
+  }
   virtual std::string ToString(int indent = 0) const = 0;
+
+ protected:
+  virtual StmtPtr CloneImpl() const = 0;
 };
 
 struct BlockStmt : Stmt {
@@ -62,7 +76,7 @@ struct BlockStmt : Stmt {
   explicit BlockStmt(std::vector<StmtPtr> s)
       : Stmt(StmtKind::kBlock), statements(std::move(s)) {}
   std::vector<StmtPtr> statements;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -76,7 +90,7 @@ struct DeclareVarStmt : Stmt {
   std::string name;  ///< lowercase with '@'
   DataType type;
   ExprPtr initializer;  // may be null (=> NULL)
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -86,7 +100,7 @@ struct SetStmt : Stmt {
       : Stmt(StmtKind::kSet), name(std::move(n)), value(std::move(v)) {}
   std::string name;
   ExprPtr value;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -99,7 +113,7 @@ struct IfStmt : Stmt {
   ExprPtr condition;
   StmtPtr then_branch;
   StmtPtr else_branch;  // may be null
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -108,7 +122,7 @@ struct WhileStmt : Stmt {
       : Stmt(StmtKind::kWhile), condition(std::move(c)), body(std::move(b)) {}
   ExprPtr condition;
   StmtPtr body;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -126,7 +140,7 @@ struct ForStmt : Stmt {
   ExprPtr bound;
   ExprPtr step;  // may be null (=> 1)
   StmtPtr body;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -136,7 +150,7 @@ struct DeclareCursorStmt : Stmt {
       : Stmt(StmtKind::kDeclareCursor), name(std::move(n)), query(std::move(q)) {}
   std::string name;
   std::unique_ptr<SelectStmt> query;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -144,7 +158,7 @@ struct OpenCursorStmt : Stmt {
   explicit OpenCursorStmt(std::string n)
       : Stmt(StmtKind::kOpenCursor), name(std::move(n)) {}
   std::string name;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -154,7 +168,7 @@ struct FetchStmt : Stmt {
       : Stmt(StmtKind::kFetch), cursor(std::move(c)), into(std::move(vars)) {}
   std::string cursor;
   std::vector<std::string> into;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -162,7 +176,7 @@ struct CloseCursorStmt : Stmt {
   explicit CloseCursorStmt(std::string n)
       : Stmt(StmtKind::kCloseCursor), name(std::move(n)) {}
   std::string name;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -170,7 +184,7 @@ struct DeallocateCursorStmt : Stmt {
   explicit DeallocateCursorStmt(std::string n)
       : Stmt(StmtKind::kDeallocateCursor), name(std::move(n)) {}
   std::string name;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -178,19 +192,19 @@ struct ReturnStmt : Stmt {
   explicit ReturnStmt(ExprPtr v)
       : Stmt(StmtKind::kReturn), value(std::move(v)) {}
   ExprPtr value;  // may be null (procedures)
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
 struct BreakStmt : Stmt {
   BreakStmt() : Stmt(StmtKind::kBreak) {}
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
 struct ContinueStmt : Stmt {
   ContinueStmt() : Stmt(StmtKind::kContinue) {}
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -200,7 +214,7 @@ struct DeclareTempTableStmt : Stmt {
       : Stmt(StmtKind::kDeclareTempTable), name(std::move(n)), schema(std::move(s)) {}
   std::string name;  ///< '@t' or '#t'
   Schema schema;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -211,7 +225,7 @@ struct InsertStmt : Stmt {
   std::vector<std::string> columns;               // optional
   std::vector<std::vector<ExprPtr>> values_rows;  // VALUES form
   std::unique_ptr<SelectStmt> select;             // SELECT form
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -220,7 +234,7 @@ struct UpdateStmt : Stmt {
   std::string table;
   std::vector<std::pair<std::string, ExprPtr>> assignments;
   ExprPtr where;  // may be null
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -228,7 +242,7 @@ struct DeleteStmt : Stmt {
   DeleteStmt() : Stmt(StmtKind::kDelete) {}
   std::string table;
   ExprPtr where;  // may be null
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -237,7 +251,7 @@ struct TryCatchStmt : Stmt {
       : Stmt(StmtKind::kTryCatch), try_block(std::move(t)), catch_block(std::move(c)) {}
   StmtPtr try_block;
   StmtPtr catch_block;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -246,7 +260,7 @@ struct ExecQueryStmt : Stmt {
   explicit ExecQueryStmt(std::unique_ptr<SelectStmt> q)
       : Stmt(StmtKind::kExecQuery), query(std::move(q)) {}
   std::unique_ptr<SelectStmt> query;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -262,7 +276,7 @@ struct MultiAssignStmt : Stmt {
       : Stmt(StmtKind::kMultiAssign), targets(std::move(t)), query(std::move(q)) {}
   std::vector<std::string> targets;
   std::unique_ptr<SelectStmt> query;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 
@@ -292,7 +306,22 @@ struct GuardedRewriteStmt : Stmt {
         state_vars(std::move(state)),
         verify(v),
         aggregate_name(std::move(agg)) {}
-  std::unique_ptr<MultiAssignStmt> rewritten;
+  /// DML-body form (table_effects.h families): the rewrite is a set-oriented
+  /// INSERT..SELECT / UPDATE instead of a MultiAssign. Exactly one of
+  /// `rewritten` / `rewritten_dml` is non-null.
+  GuardedRewriteStmt(StmtPtr dml, std::unique_ptr<BlockStmt> f,
+                     std::vector<std::string> state, bool v, std::string agg)
+      : Stmt(StmtKind::kGuardedRewrite),
+        rewritten_dml(std::move(dml)),
+        fallback(std::move(f)),
+        state_vars(std::move(state)),
+        verify(v),
+        aggregate_name(std::move(agg)) {}
+  std::unique_ptr<MultiAssignStmt> rewritten;  // scalar-aggregate form
+  /// Set-oriented InsertStmt/UpdateStmt for DML-body rewrites; null for the
+  /// scalar-aggregate form. Analyses treat the statement as this DML (it
+  /// writes a table, not variables).
+  StmtPtr rewritten_dml;
   std::unique_ptr<BlockStmt> fallback;
   /// Every variable either path may write (targets, fetch vars, body-local
   /// scratch, @@fetch_status): snapshotted before the rewritten query runs so
@@ -302,7 +331,7 @@ struct GuardedRewriteStmt : Stmt {
   bool verify = false;
   /// Name of the synthesized aggregate (diagnostics).
   std::string aggregate_name;
-  StmtPtr Clone() const override;
+  StmtPtr CloneImpl() const override;
   std::string ToString(int indent) const override;
 };
 

@@ -554,7 +554,40 @@ Result<Interpreter::Flow> Interpreter::ExecGuardedRewrite(
     return Status::OK();
   };
 
-  Status rewritten_st = ExecMultiAssign(*g.rewritten, frame, ctx);
+  // DML-form rewrites (INSERT..SELECT / set-oriented UPDATE from the
+  // table-effect families) mutate a persistent table instead of assigning
+  // variables: snapshot the target's rows too, so fallback and verify can
+  // replay the loop against the pre-statement table state.
+  Table* dml_table = nullptr;
+  std::vector<Row> dml_snapshot;
+  if (g.rewritten_dml != nullptr) {
+    std::string target;
+    switch (g.rewritten_dml->kind) {
+      case StmtKind::kInsert:
+        target = static_cast<const InsertStmt&>(*g.rewritten_dml).table;
+        break;
+      case StmtKind::kUpdate:
+        target = static_cast<const UpdateStmt&>(*g.rewritten_dml).table;
+        break;
+      case StmtKind::kDelete:
+        target = static_cast<const DeleteStmt&>(*g.rewritten_dml).table;
+        break;
+      default:
+        return Status::Internal("guarded DML rewrite wraps a non-DML statement");
+    }
+    ASSIGN_OR_RETURN(dml_table, ctx.catalog().GetTable(target));
+    dml_snapshot = dml_table->SnapshotRows();
+  }
+  auto exec_rewritten = [&]() -> Status {
+    if (g.rewritten_dml != nullptr) {
+      ASSIGN_OR_RETURN(Flow f, ExecStmt(*g.rewritten_dml, frame, ctx));
+      AGGIFY_UNUSED(f);  // DML statements always flow normally
+      return Status::OK();
+    }
+    return ExecMultiAssign(*g.rewritten, frame, ctx);
+  };
+
+  Status rewritten_st = exec_rewritten();
 
   if (!g.verify) {
     if (rewritten_st.ok()) return Flow::kNormal;
@@ -563,6 +596,9 @@ Result<Interpreter::Flow> Interpreter::ExecGuardedRewrite(
     ++stats.rewrite_exec_failures;
     ++stats.fallbacks_taken;
     RETURN_NOT_OK(restore());
+    // A failed set-oriented DML may have applied a prefix of its writes;
+    // rewind the table before the loop replays them.
+    if (dml_table != nullptr) dml_table->RestoreRows(dml_snapshot);
     ASSIGN_OR_RETURN(Flow flow, ExecBlockStmts(*g.fallback, frame, ctx));
     ++stats.fallback_successes;
     return flow;
@@ -576,18 +612,47 @@ Result<Interpreter::Flow> Interpreter::ExecGuardedRewrite(
     return rewritten_st;
   }
   std::vector<Value> rewritten_out;
+  std::vector<Row> rewritten_rows;
   if (rewritten_st.ok()) {
-    for (const auto& t : g.rewritten->targets) {
-      ASSIGN_OR_RETURN(Value v, frame->env->Get(t));
-      rewritten_out.push_back(std::move(v));
+    if (g.rewritten_dml != nullptr) {
+      rewritten_rows = dml_table->SnapshotRows();
+    } else {
+      for (const auto& t : g.rewritten->targets) {
+        ASSIGN_OR_RETURN(Value v, frame->env->Get(t));
+        rewritten_out.push_back(std::move(v));
+      }
     }
   } else {
     ++stats.rewrite_exec_failures;
   }
   RETURN_NOT_OK(restore());
+  if (dml_table != nullptr) dml_table->RestoreRows(dml_snapshot);
   ASSIGN_OR_RETURN(Flow flow, ExecBlockStmts(*g.fallback, frame, ctx));
   bool mismatch = !rewritten_st.ok();
-  for (size_t i = 0; rewritten_st.ok() && i < g.rewritten->targets.size();
+  if (rewritten_st.ok() && g.rewritten_dml != nullptr) {
+    // Bit-identity over the written table: same row count, same values in
+    // the same order (the loop's rows are authoritative and stay in place).
+    std::vector<Row> loop_rows = dml_table->SnapshotRows();
+    if (loop_rows.size() != rewritten_rows.size()) {
+      mismatch = true;
+    } else {
+      for (size_t i = 0; !mismatch && i < loop_rows.size(); ++i) {
+        if (loop_rows[i].size() != rewritten_rows[i].size()) {
+          mismatch = true;
+          break;
+        }
+        for (size_t j = 0; j < loop_rows[i].size(); ++j) {
+          if (!loop_rows[i][j].StructurallyEquals(rewritten_rows[i][j])) {
+            mismatch = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (size_t i = 0;
+       rewritten_st.ok() && g.rewritten_dml == nullptr &&
+       i < g.rewritten->targets.size();
        ++i) {
     ASSIGN_OR_RETURN(Value loop_v, frame->env->Get(g.rewritten->targets[i]));
     if (!loop_v.StructurallyEquals(rewritten_out[i])) {

@@ -126,6 +126,20 @@ void Table::Clear() {
   indexes_.clear();
 }
 
+void Table::RestoreRows(std::vector<Row> rows) {
+  rows_ = std::move(rows);
+  std::vector<std::unique_ptr<HashIndex>> rebuilt;
+  rebuilt.reserve(indexes_.size());
+  for (const auto& idx : indexes_) {
+    auto fresh = std::make_unique<HashIndex>(idx->name(), idx->column_index());
+    for (int64_t i = 0; i < num_rows(); ++i) {
+      fresh->Insert(rows_[i][fresh->column_index()], i);
+    }
+    rebuilt.push_back(std::move(fresh));
+  }
+  indexes_ = std::move(rebuilt);
+}
+
 Status Table::CreateIndex(const std::string& index_name,
                           const std::string& column_name) {
   ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column_name));

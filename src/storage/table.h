@@ -101,6 +101,15 @@ class Table {
   /// Removes all rows (cursor worktable reuse).
   void Clear();
 
+  /// Copy of the current row set. Guarded DML rewrites snapshot the target
+  /// table before running the set-oriented statement so a runtime failure
+  /// (or a verify-mode comparison) can restore loop-entry state.
+  std::vector<Row> SnapshotRows() const { return rows_; }
+
+  /// Replaces the row set with `rows` and rebuilds every index (row ids
+  /// change, so existing indexes would dangle).
+  void RestoreRows(std::vector<Row> rows);
+
   /// Creates a hash index on `column_name`. Errors: NotFound.
   Status CreateIndex(const std::string& index_name,
                      const std::string& column_name);

@@ -29,6 +29,14 @@ struct CorpusStats {
   int recognized_fold = 0;    ///< fold classifier's algebra proved the Merge
   int merge_synthesized = 0;  ///< homomorphism calculus derived + certified it
   int serial_only = 0;        ///< rewritten, but runs the serial plan only
+  /// Table-effect / early-exit recovery: loops whose bodies are persistent
+  /// DML yet still rewritten (families a/b of docs/ANALYSIS.md §6), and
+  /// BREAK loops that earned a TOP-N prefix bound. The DML counters slice
+  /// `aggifyable` (every such loop is also counted there); the bound
+  /// counter is orthogonal to the ladder.
+  int dml_insert_recovered = 0;  ///< INSERT body became INSERT...SELECT
+  int dml_update_recovered = 0;  ///< UPDATE body became one set UPDATE
+  int early_exit_bounded = 0;    ///< monotone BREAK proved a prefix bound
   /// Every diagnostic the analyses emitted (rejections and proof notes),
   /// clang-tidy-renderable — what `aggify_cli --lint workloads-corpus` prints.
   std::vector<Diagnostic> diagnostics;

@@ -3,6 +3,7 @@
 // order-sensitivity / decomposability fold classifier.
 #include <gtest/gtest.h>
 
+#include "aggify/rewriter.h"
 #include "analysis/diagnostics.h"
 #include "analysis/fold_classifier.h"
 #include "analysis/purity.h"
@@ -306,6 +307,187 @@ TEST_F(ClassifierTest, SubqueryOperandsAreNotRowPure) {
   BodyClassification c =
       Classify("SET @s = @s + (SELECT COUNT(*) FROM t WHERE v < @x);");
   EXPECT_FALSE(c.order_insensitive);
+}
+
+// ---- skip_details: the full rejection list is never truncated ----
+
+TEST(SkipDetailsTest, EveryViolationCollectedInSourceOrderNoneDropped) {
+  // One loop, four distinct violations: UPDATE, INSERT, RETURN (body
+  // traversal order), then the impure-call diagnostic. The report must keep
+  // the whole list; `skipped` is exactly its head.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT, v INT);"
+                        "CREATE TABLE orders (id INT, total INT);"
+                        "CREATE TABLE audit (x INT);"
+                        "CREATE FUNCTION log_row(@x INT) RETURNS INT AS BEGIN "
+                        "INSERT INTO audit VALUES (@x); RETURN @x; END "
+                        "CREATE FUNCTION victim(@p INT) RETURNS INT AS BEGIN "
+                        "  DECLARE @k INT; DECLARE @v INT; DECLARE @s INT = 0;"
+                        "  DECLARE c CURSOR FOR SELECT k, v FROM src;"
+                        "  OPEN c; FETCH NEXT FROM c INTO @k, @v;"
+                        "  WHILE @@FETCH_STATUS = 0 BEGIN"
+                        "    UPDATE orders SET total = total + @v WHERE id = @k;"
+                        "    INSERT INTO audit VALUES (@k);"
+                        "    IF @v < 0 RETURN @s;"
+                        "    SET @s = @s + log_row(@v);"
+                        "    FETCH NEXT FROM c INTO @k, @v;"
+                        "  END CLOSE c; DEALLOCATE c;"
+                        "  RETURN @s; END")
+                .status());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("victim"));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  ASSERT_EQ(report.skip_details.size(), report.skipped.size());
+  const std::vector<Diagnostic>& detail = report.skip_details[0];
+  // No violation dropped, and `skipped` is the head of the full list.
+  ASSERT_GE(detail.size(), 4u);
+  EXPECT_EQ(detail.front().code, report.skipped[0].code);
+  EXPECT_EQ(detail.front().message, report.skipped[0].message);
+  std::vector<DiagCode> codes;
+  for (const auto& d : detail) codes.push_back(d.code);
+  EXPECT_EQ(codes[0], DiagCode::kPersistentUpdate);
+  EXPECT_EQ(codes[1], DiagCode::kPersistentInsert);
+  EXPECT_EQ(codes[2], DiagCode::kReturnInLoop);
+  EXPECT_TRUE(std::find(codes.begin(), codes.end(),
+                        DiagCode::kImpureUdfCall) != codes.end());
+  // Body-anchored diagnostics carry nondecreasing byte offsets (source
+  // order), so lint output can be sorted reproducibly.
+  EXPECT_GT(detail[0].offset, 0u);
+  EXPECT_LE(detail[0].offset, detail[1].offset);
+  EXPECT_LE(detail[1].offset, detail[2].offset);
+}
+
+// ---- lint ordering: (file, byte offset, code) source order ----
+
+TEST(LintOrderTest, SortIsByFileThenOffsetThenCode) {
+  std::vector<Diagnostic> diags;
+  Diagnostic d1 = MakeDiagnostic(DiagCode::kPersistentUpdate, "b.sql:f:c",
+                                 "late in b");
+  d1.offset = 500;
+  Diagnostic d2 = MakeDiagnostic(DiagCode::kPersistentInsert, "b.sql:g:c",
+                                 "early in b");
+  d2.offset = 10;
+  Diagnostic d3 = MakeDiagnostic(DiagCode::kReturnInLoop, "a.sql:h:c",
+                                 "in a");
+  d3.offset = 900;
+  // Same position: the lower code wins the tie.
+  Diagnostic d4 = MakeDiagnostic(DiagCode::kPersistentDelete, "b.sql:g:c",
+                                 "same offset as d2");
+  d4.offset = 10;
+  diags = {d1, d2, d3, d4};
+  SortDiagnosticsBySource(&diags);
+  EXPECT_EQ(diags[0].message, "in a");            // a.sql before b.sql
+  EXPECT_EQ(diags[1].message, "early in b");      // offset 10, AGG104
+  EXPECT_EQ(diags[2].message, "same offset as d2");  // offset 10, AGG106
+  EXPECT_EQ(diags[3].message, "late in b");       // offset 500
+}
+
+TEST(LintOrderTest, ToStringIncludesByteOffsetWhenKnown) {
+  Diagnostic d = MakeDiagnostic(DiagCode::kPersistentInsert, "x.sql:f:c",
+                                "body INSERTs into t");
+  EXPECT_EQ(d.ToString().rfind("x.sql:f:c: warning:", 0), 0u);
+  d.offset = 42;
+  EXPECT_EQ(d.ToString().rfind("x.sql:f:c:42: warning:", 0), 0u);
+}
+
+TEST(LintOrderTest, ScriptDiagnosticsSortIntoSourceOrder) {
+  // Catalog iteration is name-ordered ("alpha_late" before "zulu_early"),
+  // the source defines zulu_early FIRST — the lint regression: emission
+  // must follow byte offsets, not discovery order.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(
+      session
+          .RunSql("CREATE TABLE src (k INT, v INT);"
+                  "CREATE TABLE t1 (x INT);"
+                  "CREATE TABLE t2 (x INT);"
+                  "CREATE FUNCTION zulu_early() RETURNS INT AS BEGIN "
+                  "  DECLARE @v INT;"
+                  "  DECLARE c CURSOR FOR SELECT k FROM src;"
+                  "  OPEN c; FETCH NEXT FROM c INTO @v;"
+                  "  WHILE @@FETCH_STATUS = 0 BEGIN"
+                  "    INSERT INTO t1 VALUES (@v);"
+                  "    INSERT INTO t1 VALUES (@v + 1);"
+                  "    FETCH NEXT FROM c INTO @v;"
+                  "  END CLOSE c; DEALLOCATE c; RETURN 0; END "
+                  "CREATE FUNCTION alpha_late() RETURNS INT AS BEGIN "
+                  "  DECLARE @v INT;"
+                  "  DECLARE c CURSOR FOR SELECT k FROM src;"
+                  "  OPEN c; FETCH NEXT FROM c INTO @v;"
+                  "  WHILE @@FETCH_STATUS = 0 BEGIN"
+                  "    UPDATE t2 SET x = 1 WHERE x = @v;"
+                  "    FETCH NEXT FROM c INTO @v;"
+                  "  END CLOSE c; DEALLOCATE c; RETURN 0; END")
+          .status());
+  Aggify aggify(&db);
+  // Mirror the CLI's LintScript collection: all skip_details + notes,
+  // label-prefixed, then source-sorted.
+  std::vector<Diagnostic> collected;
+  for (const std::string& name : db.catalog().FunctionNames()) {
+    ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction(name));
+    for (const auto& detail : report.skip_details) {
+      for (Diagnostic d : detail) {
+        d.loc = "script.sql:" + d.loc;
+        collected.push_back(std::move(d));
+      }
+    }
+  }
+  // Discovery order leads with alpha_late (catalog is name-ordered).
+  ASSERT_GE(collected.size(), 3u);
+  EXPECT_NE(collected[0].loc.find("alpha_late"), std::string::npos);
+  SortDiagnosticsBySource(&collected);
+  // Source order restores zulu_early's diagnostics (smaller byte offsets)
+  // ahead of every alpha_late one, and keeps offsets nondecreasing.
+  EXPECT_NE(collected[0].loc.find("zulu_early"), std::string::npos);
+  bool seen_alpha = false;
+  for (size_t i = 0; i < collected.size(); ++i) {
+    if (collected[i].loc.find("alpha_late") != std::string::npos) {
+      seen_alpha = true;
+    } else {
+      EXPECT_FALSE(seen_alpha)
+          << "zulu_early diagnostic emitted after alpha_late: "
+          << collected[i].ToString();
+    }
+    if (i > 0) EXPECT_LE(collected[i - 1].offset, collected[i].offset);
+  }
+  // The two INSERT violations stay in statement order before the UPDATE.
+  std::vector<DiagCode> dml_codes;
+  for (const auto& d : collected) {
+    if (d.code == DiagCode::kPersistentInsert ||
+        d.code == DiagCode::kPersistentUpdate) {
+      dml_codes.push_back(d.code);
+    }
+  }
+  ASSERT_EQ(dml_codes.size(), 3u);
+  EXPECT_EQ(dml_codes[0], DiagCode::kPersistentInsert);
+  EXPECT_EQ(dml_codes[1], DiagCode::kPersistentInsert);
+  EXPECT_EQ(dml_codes[2], DiagCode::kPersistentUpdate);
+}
+
+TEST(SkipDetailsTest, RewrittenLoopsContributeNoSkipEntries) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT, v INT);"
+                        "INSERT INTO src VALUES (1, 2), (3, 4);"
+                        "CREATE FUNCTION total() RETURNS INT AS BEGIN "
+                        "  DECLARE @v INT; DECLARE @s INT = 0;"
+                        "  DECLARE c CURSOR FOR SELECT v FROM src;"
+                        "  OPEN c; FETCH NEXT FROM c INTO @v;"
+                        "  WHILE @@FETCH_STATUS = 0 BEGIN"
+                        "    SET @s = @s + @v;"
+                        "    FETCH NEXT FROM c INTO @v;"
+                        "  END CLOSE c; DEALLOCATE c;"
+                        "  RETURN @s; END")
+                .status());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteFunction("total"));
+  EXPECT_EQ(report.loops_rewritten, 1);
+  EXPECT_TRUE(report.skipped.empty());
+  EXPECT_TRUE(report.skip_details.empty());
 }
 
 }  // namespace

@@ -1,0 +1,838 @@
+// Table-effect & early-exit dataflow (analysis/table_effects.h,
+// analysis/early_exit.h) and the DML-body / BREAK-bound rewrite families
+// they unlock (AGG401–407).
+//
+// Adversarial cases: Δ inserting into a table Q reads (Halloween
+// self-dependence), a UDF that transitively reads the write target, a UDF
+// with persistent writes (full skip_details list, nothing dropped), a BREAK
+// on a non-monotone predicate, and a nested cursor loop with DML in the
+// inner body. Equivalence sweeps run one loop per family — append INSERT,
+// accumulating UPDATE, counted early exit — interpreted vs. rewritten, and
+// require bit-identical results (environment, row counts, and full target-
+// table contents) across {batch on/off} x {DOP 1/4}.
+#include <gtest/gtest.h>
+
+#include "aggify/rewriter.h"
+#include "analysis/early_exit.h"
+#include "analysis/table_effects.h"
+#include "procedural/session.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+struct Axis {
+  bool batch;
+  int dop;
+};
+
+const Axis kAxes[] = {{false, 1}, {true, 1}, {false, 4}, {true, 4}};
+
+EngineOptions OptionsFor(const Axis& axis) {
+  EngineOptions options;
+  options.execution.enable_batch = axis.batch;
+  options.execution.degree_of_parallelism = axis.dop;
+  return options;
+}
+
+std::string AxisName(const Axis& axis) {
+  return std::string("batch=") + (axis.batch ? "on" : "off") +
+         " dop=" + std::to_string(axis.dop);
+}
+
+/// AggifyReport's no-drop invariant: the full per-loop rejection lists are
+/// parallel to `skipped` and lead with the primary diagnostic.
+void AssertNoDroppedDiagnostics(const AggifyReport& report) {
+  ASSERT_EQ(report.skip_details.size(), report.skipped.size());
+  for (size_t i = 0; i < report.skipped.size(); ++i) {
+    ASSERT_FALSE(report.skip_details[i].empty());
+    EXPECT_EQ(report.skip_details[i].front().code, report.skipped[i].code);
+    EXPECT_EQ(report.skip_details[i].front().message,
+              report.skipped[i].message);
+  }
+}
+
+bool HasNote(const AggifyReport& report, DiagCode code) {
+  for (const auto& d : report.notes) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+bool DetailHas(const std::vector<Diagnostic>& detail, DiagCode code) {
+  for (const auto& d : detail) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+Result<std::shared_ptr<VariableEnv>> RunBlockStmt(Session* session,
+                                                  const BlockStmt& block) {
+  auto env = std::make_shared<VariableEnv>();
+  ExecContext ctx = session->MakeContext();
+  ctx.set_vars(env.get());
+  Interpreter interp(&session->engine());
+  RETURN_NOT_OK(interp.ExecuteBlock(block, env.get(), ctx).status());
+  return env;
+}
+
+std::vector<Row> RowsOf(Database* db, const std::string& table) {
+  auto t = db->catalog().GetTable(table);
+  EXPECT_TRUE(t.ok()) << table;
+  return t.ok() ? (*t)->SnapshotRows() : std::vector<Row>{};
+}
+
+void ExpectSameRows(const std::vector<Row>& expected,
+                    const std::vector<Row>& actual, const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what << ": row count differs";
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].size(), actual[i].size()) << what << " row " << i;
+    for (size_t j = 0; j < expected[i].size(); ++j) {
+      EXPECT_TRUE(expected[i][j].StructurallyEquals(actual[i][j]))
+          << what << " row " << i << " col " << j << ": "
+          << expected[i][j].ToString() << " vs " << actual[i][j].ToString();
+    }
+  }
+}
+
+void ExpectSameEnv(const VariableEnv& expected, VariableEnv& actual,
+                   const std::set<std::string>& dead_fetch_vars) {
+  for (const std::string& name : expected.LocalNames()) {
+    // Fetch variables are dead after the loop by the applicability contract
+    // (AGG109) — the rewrite does not reproduce their final values, exactly
+    // as in the scalar-aggregate path.
+    if (name.rfind("@@", 0) == 0 || dead_fetch_vars.count(name) != 0) {
+      continue;
+    }
+    auto before = expected.Get(name);
+    ASSERT_OK(before.status());
+    ASSERT_TRUE(actual.Has(name)) << name;
+    auto after = actual.Get(name);
+    ASSERT_OK(after.status());
+    EXPECT_TRUE(before->StructurallyEquals(*after))
+        << name << ": " << before->ToString() << " vs " << after->ToString();
+  }
+}
+
+/// One interpreted-vs-rewritten equivalence run: seeds a fresh database with
+/// `setup`, runs `program` as-is, restores every table in `tables` to its
+/// seeded contents, rewrites the block, runs the rewritten copy, and
+/// requires bit-identical environment and table contents. Returns the
+/// rewrite report for family/note assertions.
+AggifyReport RunEquivalence(const Axis& axis, const std::string& setup,
+                            const std::string& program,
+                            const std::vector<std::string>& tables,
+                            const std::set<std::string>& fetch_vars) {
+  SCOPED_TRACE(AxisName(axis));
+  EngineOptions options = OptionsFor(axis);
+  Database db;
+  Session session(&db, options);
+  EXPECT_OK(session.RunSql(setup).status());
+
+  std::vector<std::vector<Row>> seeded;
+  for (const auto& t : tables) seeded.push_back(RowsOf(&db, t));
+
+  auto parsed = ParseStatements(program);
+  EXPECT_OK(parsed.status());
+  auto* block = static_cast<BlockStmt*>(parsed->get());
+  StmtPtr rewritten_owner = block->Clone();
+  auto* rewritten = static_cast<BlockStmt*>(rewritten_owner.get());
+
+  auto original_env = RunBlockStmt(&session, *block);
+  EXPECT_OK(original_env.status());
+  std::vector<std::vector<Row>> original_rows;
+  for (const auto& t : tables) original_rows.push_back(RowsOf(&db, t));
+
+  // Reset persistent state to loop-entry contents before the rewritten run.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    auto t = db.catalog().GetTable(tables[i]);
+    EXPECT_OK(t.status());
+    (*t)->RestoreRows(seeded[i]);
+  }
+
+  Aggify aggify(&db, options);
+  auto report = aggify.RewriteBlock(rewritten);
+  EXPECT_OK(report.status());
+  AssertNoDroppedDiagnostics(*report);
+
+  auto rewritten_env = RunBlockStmt(&session, *rewritten);
+  EXPECT_OK(rewritten_env.status());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    ExpectSameRows(original_rows[i], RowsOf(&db, tables[i]), tables[i]);
+  }
+  ExpectSameEnv(**original_env, **rewritten_env, fetch_vars);
+  return *report;
+}
+
+// ---------------------------------------------------------------------------
+// Family a: append-only INSERT body -> INSERT ... SELECT.
+// ---------------------------------------------------------------------------
+
+constexpr char kInsertSetup[] = R"(
+  CREATE TABLE src (k INT, v INT);
+  CREATE TABLE sink (a INT, b INT);
+  INSERT INTO src VALUES (1, 10), (2, -3), (3, 25), (4, 0), (5, 25), (6, 7);
+  INSERT INTO sink VALUES (99, 99);
+)";
+
+constexpr char kInsertLoop[] = R"(
+  DECLARE @k INT;
+  DECLARE @v INT;
+  DECLARE c CURSOR FOR SELECT k, v FROM src WHERE v >= 0 ORDER BY k;
+  OPEN c;
+  FETCH NEXT FROM c INTO @k, @v;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    INSERT INTO sink VALUES (@k, @v * 2 + 1);
+    FETCH NEXT FROM c INTO @k, @v;
+  END
+  CLOSE c;
+  DEALLOCATE c;
+)";
+
+TEST(TableEffectsRewrite, InsertLoopBitIdenticalAcrossAxes) {
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kInsertSetup, kInsertLoop, {"src", "sink"},
+                       {"@k", "@v"});
+    ASSERT_EQ(report.loops_rewritten, 1)
+        << (report.skipped.empty() ? "no skip recorded"
+                                   : report.skipped[0].ToString());
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kDmlInsert);
+    EXPECT_EQ(report.rewrites[0].dml_table, "sink");
+    EXPECT_TRUE(HasNote(report, DiagCode::kDmlInsertRewritten));
+  }
+}
+
+TEST(TableEffectsRewrite, GuardedInsertLoopBitIdentical) {
+  // The IF guard becomes a WHERE predicate on the rewritten SELECT.
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT k, v FROM src ORDER BY k;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k, @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      IF @v > 5
+        INSERT INTO sink VALUES (@k, @v - @k);
+      FETCH NEXT FROM c INTO @k, @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kInsertSetup, program, {"src", "sink"},
+                       {"@k", "@v"});
+    ASSERT_EQ(report.loops_rewritten, 1);
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kDmlInsert);
+    EXPECT_TRUE(HasNote(report, DiagCode::kDmlInsertRewritten));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family b: key-equality accumulating UPDATE -> one set-oriented UPDATE.
+// ---------------------------------------------------------------------------
+
+constexpr char kUpdateSetup[] = R"(
+  CREATE TABLE acct (id INT, bal INT);
+  CREATE TABLE txn (acct_id INT, amt INT);
+  INSERT INTO acct VALUES (1, 100), (2, 200), (3, 300), (4, 400);
+  INSERT INTO txn VALUES (1, 10), (2, -5), (1, 7), (3, 0), (1, 2),
+                         (7, 999), (2, NULL);
+)";
+
+constexpr char kUpdateLoop[] = R"(
+  DECLARE @i INT;
+  DECLARE @a INT;
+  DECLARE c CURSOR FOR SELECT acct_id, amt FROM txn;
+  OPEN c;
+  FETCH NEXT FROM c INTO @i, @a;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    UPDATE acct SET bal = bal + @a WHERE id = @i;
+    FETCH NEXT FROM c INTO @i, @a;
+  END
+  CLOSE c;
+  DEALLOCATE c;
+)";
+
+TEST(TableEffectsRewrite, UpdateLoopBitIdenticalAcrossAxes) {
+  // Exercises repeated keys (accumulation over id 1), an unmatched key
+  // (id 7 updates nothing), and a NULL delta (id 2's balance is poisoned to
+  // NULL exactly as the sequential loop leaves it).
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kUpdateSetup, kUpdateLoop, {"acct", "txn"},
+                       {"@i", "@a"});
+    ASSERT_EQ(report.loops_rewritten, 1)
+        << (report.skipped.empty() ? "no skip recorded"
+                                   : report.skipped[0].ToString());
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kDmlUpdate);
+    EXPECT_EQ(report.rewrites[0].dml_table, "acct");
+    EXPECT_TRUE(HasNote(report, DiagCode::kDmlUpdateRewritten));
+  }
+}
+
+TEST(TableEffectsRewrite, SubtractingUpdateLoopBitIdentical) {
+  std::string program = R"(
+    DECLARE @i INT;
+    DECLARE @a INT;
+    DECLARE c CURSOR FOR SELECT acct_id, amt FROM txn WHERE amt IS NOT NULL;
+    OPEN c;
+    FETCH NEXT FROM c INTO @i, @a;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      UPDATE acct SET bal = bal - @a WHERE id = @i;
+      FETCH NEXT FROM c INTO @i, @a;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kUpdateSetup, program, {"acct", "txn"},
+                       {"@i", "@a"});
+    ASSERT_EQ(report.loops_rewritten, 1);
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kDmlUpdate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Early exit: counted BREAK -> TOP-N prefix bound on the derived query.
+// ---------------------------------------------------------------------------
+
+constexpr char kEarlyExitSetup[] = R"(
+  CREATE TABLE data (k INT, v INT);
+  INSERT INTO data VALUES (1, 50), (2, 40), (3, 60), (4, 10), (5, 70),
+                          (6, 20), (7, 30), (8, 80);
+)";
+
+constexpr char kEarlyExitLoop[] = R"(
+  DECLARE @s INT = 0;
+  DECLARE @n INT = 0;
+  DECLARE @v INT;
+  DECLARE c CURSOR FOR SELECT v FROM data ORDER BY v DESC;
+  OPEN c;
+  FETCH NEXT FROM c INTO @v;
+  WHILE @@FETCH_STATUS = 0
+  BEGIN
+    SET @s = @s + @v;
+    SET @n = @n + 1;
+    IF @n >= 3
+      BREAK;
+    FETCH NEXT FROM c INTO @v;
+  END
+  CLOSE c;
+  DEALLOCATE c;
+)";
+
+TEST(EarlyExitRewrite, CountedBreakBoundedAndBitIdentical) {
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kEarlyExitSetup, kEarlyExitLoop, {"data"}, {"@v"});
+    ASSERT_EQ(report.loops_rewritten, 1)
+        << (report.skipped.empty() ? "no skip recorded"
+                                   : report.skipped[0].ToString());
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kScalarAggregate);
+    EXPECT_TRUE(report.rewrites[0].early_exit_bounded);
+    // A prefix-bounded scan is inherently serial.
+    EXPECT_FALSE(report.rewrites[0].parallel_eligible);
+    EXPECT_TRUE(HasNote(report, DiagCode::kEarlyExitBounded));
+  }
+}
+
+TEST(EarlyExitRewrite, BoundCanBeDisabledByOption) {
+  EngineOptions options;
+  options.rewrite.bound_early_exit = false;
+  Database db;
+  Session session(&db, options);
+  ASSERT_OK(session.RunSql(kEarlyExitSetup).status());
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(kEarlyExitLoop));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  ASSERT_EQ(report.loops_rewritten, 1);
+  EXPECT_FALSE(report.rewrites[0].early_exit_bounded);
+  EXPECT_FALSE(HasNote(report, DiagCode::kEarlyExitBounded));
+}
+
+TEST(EarlyExitRewrite, NonMonotoneBreakStaysUnboundedButRewritten) {
+  // Equality exit: a NULL or skipped-over counter value would never fire
+  // under TOP truncation, so the proof refuses (AGG406) and the loop is
+  // rewritten without a bound — still bit-identical, the aggregate's exit
+  // latch handles the BREAK.
+  std::string program = R"(
+    DECLARE @s INT = 0;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT v FROM data ORDER BY v;
+    OPEN c;
+    FETCH NEXT FROM c INTO @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @s = @s + 1;
+      IF @s = 3
+        BREAK;
+      FETCH NEXT FROM c INTO @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kEarlyExitSetup, program, {"data"}, {"@v"});
+    ASSERT_EQ(report.loops_rewritten, 1);
+    EXPECT_FALSE(report.rewrites[0].early_exit_bounded);
+    EXPECT_TRUE(HasNote(report, DiagCode::kNonMonotoneExit));
+    EXPECT_FALSE(HasNote(report, DiagCode::kEarlyExitBounded));
+  }
+}
+
+TEST(EarlyExitRewrite, ConditionalIncrementRefusesBound) {
+  // The counter only grows on some iterations: the per-iteration step is
+  // not a provable lower bound, so no prefix length is sound.
+  std::string program = R"(
+    DECLARE @s INT = 0;
+    DECLARE @n INT = 0;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT v FROM data ORDER BY v;
+    OPEN c;
+    FETCH NEXT FROM c INTO @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      SET @s = @s + @v;
+      IF @v > 30
+        SET @n = @n + 1;
+      IF @n >= 2
+        BREAK;
+      FETCH NEXT FROM c INTO @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  for (const Axis& axis : kAxes) {
+    AggifyReport report =
+        RunEquivalence(axis, kEarlyExitSetup, program, {"data"}, {"@v"});
+    ASSERT_EQ(report.loops_rewritten, 1);
+    EXPECT_FALSE(report.rewrites[0].early_exit_bounded);
+    EXPECT_TRUE(HasNote(report, DiagCode::kNonMonotoneExit));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial refusals: the analysis must prove, not pattern-match.
+// ---------------------------------------------------------------------------
+
+TEST(TableEffectsRefusal, InsertIntoScannedTableRefusedAsSelfRead) {
+  // Halloween self-dependence: Δ writes the table Q reads. Re-executing Q
+  // set-orientedly would observe the loop's own inserts.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE t (k INT, v INT);"
+                        "INSERT INTO t VALUES (1, 10), (2, 20);")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT k, v FROM t;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k, @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      INSERT INTO t VALUES (@k + 100, @v);
+      FETCH NEXT FROM c INTO @k, @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert);
+  EXPECT_TRUE(DetailHas(report.skip_details[0], DiagCode::kSelfReadAfterWrite))
+      << "recovery refusal missing from skip_details";
+}
+
+TEST(TableEffectsRefusal, UdfTransitivelyReadingTargetRefused) {
+  // The INSERT's value calls a read-only UDF; purity admits it, but its
+  // read set (resolved through the call-graph fixpoint) includes the write
+  // target — the set-oriented rewrite would observe its own inserts.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT, v INT);"
+                        "CREATE TABLE sink (a INT, b INT);"
+                        "INSERT INTO src VALUES (1, 10), (2, 20);"
+                        "CREATE FUNCTION sink_count(@x INT) RETURNS INT AS "
+                        "BEGIN RETURN (SELECT COUNT(*) FROM sink WHERE a < "
+                        "@x); END")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT k, v FROM src;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k, @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      INSERT INTO sink VALUES (@k, sink_count(@v));
+      FETCH NEXT FROM c INTO @k, @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert);
+  EXPECT_TRUE(DetailHas(report.skip_details[0], DiagCode::kSelfReadAfterWrite))
+      << "transitive self-read through the UDF was not detected";
+}
+
+TEST(TableEffectsRefusal, WritingUdfKeepsFullRejectionList) {
+  // A UDF with (transitive) persistent DML fails the purity gate, so the
+  // loop is not DML-only and recovery never runs — but skip_details must
+  // still carry BOTH violations in source order.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT, v INT);"
+                        "CREATE TABLE sink (a INT, b INT);"
+                        "CREATE TABLE audit (x INT);"
+                        "INSERT INTO src VALUES (1, 10);"
+                        "CREATE FUNCTION log_it(@x INT) RETURNS INT AS BEGIN "
+                        "INSERT INTO audit VALUES (@x); RETURN @x; END "
+                        "CREATE FUNCTION wrap(@x INT) RETURNS INT AS BEGIN "
+                        "RETURN log_it(@x) + 1; END")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE @v INT;
+    DECLARE c CURSOR FOR SELECT k, v FROM src;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k, @v;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      INSERT INTO sink VALUES (@k, wrap(@v));
+      FETCH NEXT FROM c INTO @k, @v;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert);
+  EXPECT_TRUE(DetailHas(report.skip_details[0], DiagCode::kImpureUdfCall))
+      << "the impure-call violation was dropped from skip_details";
+  EXPECT_GE(report.skip_details[0].size(), 2u);
+}
+
+TEST(TableEffectsRefusal, DeleteBodyRefusedWithTypedShape) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT);"
+                        "CREATE TABLE sink (a INT);"
+                        "INSERT INTO src VALUES (1), (2);"
+                        "INSERT INTO sink VALUES (1), (2), (3);")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE c CURSOR FOR SELECT k FROM src;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      DELETE FROM sink WHERE a = @k;
+      FETCH NEXT FROM c INTO @k;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentDelete);
+  EXPECT_TRUE(DetailHas(report.skip_details[0], DiagCode::kDmlShapeUnsupported))
+      << "DELETE bodies are outside both rewrite families";
+}
+
+TEST(TableEffectsRefusal, NonAccumulatingUpdateRefusedKeyDisjoint) {
+  // Overwrite (bal = @a) rather than fold (bal = bal + @a): last-writer-wins
+  // depends on iteration order, which the grouped rewrite cannot reproduce.
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE acct (id INT, bal INT);"
+                        "CREATE TABLE txn (acct_id INT, amt INT);"
+                        "INSERT INTO acct VALUES (1, 100);"
+                        "INSERT INTO txn VALUES (1, 10), (1, 20);")
+                .status());
+  std::string program = R"(
+    DECLARE @i INT;
+    DECLARE @a INT;
+    DECLARE c CURSOR FOR SELECT acct_id, amt FROM txn;
+    OPEN c;
+    FETCH NEXT FROM c INTO @i, @a;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      UPDATE acct SET bal = @a WHERE id = @i;
+      FETCH NEXT FROM c INTO @i, @a;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentUpdate);
+  EXPECT_TRUE(
+      DetailHas(report.skip_details[0], DiagCode::kNonKeyDisjointUpdate));
+}
+
+TEST(TableEffectsRefusal, NestedDmlLoopInnerRecoveredOuterRefused) {
+  // Innermost-first: the inner INSERT loop is recovered (family a); the
+  // outer loop's body then holds a guarded persistent write, which the
+  // applicability check must still see (it is not an aggregate body), and
+  // the recovery pass refuses the non-DML shape. End-to-end results stay
+  // bit-identical because the inner rewrite is executed per outer row.
+  for (const Axis& axis : kAxes) {
+    std::string setup = R"(
+      CREATE TABLE outer_t (g INT);
+      CREATE TABLE inner_t (k INT, v INT);
+      CREATE TABLE sink (a INT, b INT);
+      INSERT INTO outer_t VALUES (1), (2), (3);
+      INSERT INTO inner_t VALUES (10, 1), (20, 2);
+    )";
+    std::string program = R"(
+      DECLARE @g INT;
+      DECLARE @k INT;
+      DECLARE @v INT;
+      DECLARE oc CURSOR FOR SELECT g FROM outer_t;
+      OPEN oc;
+      FETCH NEXT FROM oc INTO @g;
+      WHILE @@FETCH_STATUS = 0
+      BEGIN
+        DECLARE ic CURSOR FOR SELECT k, v FROM inner_t;
+        OPEN ic;
+        FETCH NEXT FROM ic INTO @k, @v;
+        WHILE @@FETCH_STATUS = 0
+        BEGIN
+          INSERT INTO sink VALUES (@k * @g, @v + @g);
+          FETCH NEXT FROM ic INTO @k, @v;
+        END
+        CLOSE ic;
+        DEALLOCATE ic;
+        FETCH NEXT FROM oc INTO @g;
+      END
+      CLOSE oc;
+      DEALLOCATE oc;
+    )";
+    AggifyReport report = RunEquivalence(
+        axis, setup, program, {"outer_t", "inner_t", "sink"}, {"@k", "@v"});
+    ASSERT_EQ(report.loops_rewritten, 1);
+    EXPECT_EQ(report.rewrites[0].family, RewriteFamily::kDmlInsert);
+    EXPECT_EQ(report.rewrites[0].dml_table, "sink");
+    ASSERT_EQ(report.skipped.size(), 1u);
+    EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert)
+        << "outer loop must still be flagged for the guarded inner write";
+    EXPECT_TRUE(
+        DetailHas(report.skip_details[0], DiagCode::kDmlShapeUnsupported));
+  }
+}
+
+TEST(TableEffectsRefusal, MultiStatementDmlBodyRefused) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT);"
+                        "CREATE TABLE sink (a INT);"
+                        "INSERT INTO src VALUES (1), (2);")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE c CURSOR FOR SELECT k FROM src;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      INSERT INTO sink VALUES (@k);
+      INSERT INTO sink VALUES (@k + 1);
+      FETCH NEXT FROM c INTO @k;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  AssertNoDroppedDiagnostics(report);
+  EXPECT_TRUE(
+      DetailHas(report.skip_details[0], DiagCode::kDmlShapeUnsupported));
+}
+
+TEST(TableEffectsRefusal, RecoveryDisabledByOption) {
+  Database db;
+  EngineOptions options;
+  options.rewrite.rewrite_dml_bodies = false;
+  Session session(&db, options);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE src (k INT);"
+                        "CREATE TABLE sink (a INT);"
+                        "INSERT INTO src VALUES (1), (2);")
+                .status());
+  std::string program = R"(
+    DECLARE @k INT;
+    DECLARE c CURSOR FOR SELECT k FROM src;
+    OPEN c;
+    FETCH NEXT FROM c INTO @k;
+    WHILE @@FETCH_STATUS = 0
+    BEGIN
+      INSERT INTO sink VALUES (@k);
+      FETCH NEXT FROM c INTO @k;
+    END
+    CLOSE c;
+    DEALLOCATE c;
+  )";
+  ASSERT_OK_AND_ASSIGN(StmtPtr parsed, ParseStatements(program));
+  auto* block = static_cast<BlockStmt*>(parsed.get());
+  Aggify aggify(&db, options);
+  ASSERT_OK_AND_ASSIGN(AggifyReport report, aggify.RewriteBlock(block));
+  EXPECT_EQ(report.loops_rewritten, 0);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].code, DiagCode::kPersistentInsert);
+  AssertNoDroppedDiagnostics(report);
+}
+
+// ---------------------------------------------------------------------------
+// TableEffectAnalysis unit behavior: call-graph fixpoint and opacity.
+// ---------------------------------------------------------------------------
+
+TEST(TableEffectAnalysis, TransitiveEffectsReachFixpoint) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE audit (x INT);"
+                        "CREATE TABLE base (y INT);"
+                        "CREATE FUNCTION leaf(@x INT) RETURNS INT AS BEGIN "
+                        "INSERT INTO audit VALUES (@x); RETURN @x; END "
+                        "CREATE FUNCTION mid(@x INT) RETURNS INT AS BEGIN "
+                        "RETURN leaf(@x) + (SELECT COUNT(*) FROM base); END "
+                        "CREATE FUNCTION top_fn(@x INT) RETURNS INT AS BEGIN "
+                        "RETURN mid(@x); END")
+                .status());
+  TableEffectAnalysis fx = TableEffectAnalysis::Build(&db.catalog(), nullptr);
+  TableEffectSet leaf = fx.OfFunction("leaf");
+  EXPECT_EQ(leaf.writes.count("audit"), 1u);
+  TableEffectSet top = fx.OfFunction("top_fn");
+  EXPECT_EQ(top.writes.count("audit"), 1u)
+      << "writes must propagate through two call levels";
+  EXPECT_EQ(top.reads.count("base"), 1u);
+  EXPECT_FALSE(top.opaque);
+}
+
+TEST(TableEffectAnalysis, UnknownFunctionIsOpaque) {
+  Database db;
+  TableEffectAnalysis fx = TableEffectAnalysis::Build(&db.catalog(), nullptr);
+  TableEffectSet unknown = fx.OfFunction("mystery");
+  EXPECT_TRUE(unknown.opaque);
+}
+
+TEST(TableEffectAnalysis, RecursiveFunctionsTerminate) {
+  Database db;
+  Session session(&db);
+  ASSERT_OK(session
+                .RunSql("CREATE TABLE t (x INT);"
+                        "CREATE FUNCTION ping(@x INT) RETURNS INT AS BEGIN "
+                        "IF @x <= 0 RETURN (SELECT COUNT(*) FROM t); "
+                        "RETURN pong(@x - 1); END "
+                        "CREATE FUNCTION pong(@x INT) RETURNS INT AS BEGIN "
+                        "RETURN ping(@x); END")
+                .status());
+  TableEffectAnalysis fx = TableEffectAnalysis::Build(&db.catalog(), nullptr);
+  TableEffectSet ping = fx.OfFunction("ping");
+  EXPECT_EQ(ping.reads.count("t"), 1u);
+  EXPECT_TRUE(ping.writes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzeEarlyExit unit behavior on parsed bodies.
+// ---------------------------------------------------------------------------
+
+Result<const BlockStmt*> LoopBodyOf(const StmtPtr& parsed) {
+  const auto* block = static_cast<const BlockStmt*>(parsed.get());
+  for (const auto& s : block->statements) {
+    if (s->kind == StmtKind::kWhile) {
+      return static_cast<const BlockStmt*>(
+          static_cast<const WhileStmt&>(*s).body.get());
+    }
+  }
+  return Status::NotFound("no WHILE in parsed program");
+}
+
+TEST(AnalyzeEarlyExitUnit, CanonicalCountedExitIsBounded) {
+  ASSERT_OK_AND_ASSIGN(
+      StmtPtr parsed,
+      ParseStatements("WHILE 1 = 1 BEGIN SET @n = @n + 2; "
+                      "IF @n >= 10 BREAK; END"));
+  ASSERT_OK_AND_ASSIGN(const BlockStmt* body, LoopBodyOf(parsed));
+  EarlyExitInfo info = AnalyzeEarlyExit(*body, {});
+  EXPECT_TRUE(info.has_break);
+  EXPECT_TRUE(info.bounded) << info.reason;
+  EXPECT_EQ(info.counter, "@n");
+  EXPECT_EQ(info.limit, 10);
+  EXPECT_EQ(info.step, 2);
+}
+
+TEST(AnalyzeEarlyExitUnit, FetchVarCounterRefused) {
+  ASSERT_OK_AND_ASSIGN(
+      StmtPtr parsed,
+      ParseStatements("WHILE 1 = 1 BEGIN SET @n = @n + 1; "
+                      "IF @n >= 10 BREAK; END"));
+  ASSERT_OK_AND_ASSIGN(const BlockStmt* body, LoopBodyOf(parsed));
+  EarlyExitInfo info = AnalyzeEarlyExit(*body, {"@n"});
+  EXPECT_TRUE(info.has_break);
+  EXPECT_FALSE(info.bounded)
+      << "a FETCH-overwritten counter is not monotone";
+}
+
+TEST(AnalyzeEarlyExitUnit, EqualityExitRefused) {
+  ASSERT_OK_AND_ASSIGN(
+      StmtPtr parsed,
+      ParseStatements("WHILE 1 = 1 BEGIN SET @n = @n + 1; "
+                      "IF @n = 10 BREAK; END"));
+  ASSERT_OK_AND_ASSIGN(const BlockStmt* body, LoopBodyOf(parsed));
+  EarlyExitInfo info = AnalyzeEarlyExit(*body, {});
+  EXPECT_TRUE(info.has_break);
+  EXPECT_FALSE(info.bounded);
+  EXPECT_FALSE(info.reason.empty());
+}
+
+}  // namespace
+}  // namespace aggify

@@ -186,16 +186,39 @@ TEST(CorpusTest, Table1CountsMatchThePaper) {
   EXPECT_EQ(rubis.total_while_loops, 16);
   EXPECT_EQ(rubis.cursor_loops, 14);
   EXPECT_EQ(rubis.aggifyable, 14);
+  EXPECT_EQ(rubis.dml_insert_recovered, 1);
+  EXPECT_EQ(rubis.dml_update_recovered, 0);
+  EXPECT_EQ(rubis.early_exit_bounded, 1);
 
   ASSERT_OK_AND_ASSIGN(CorpusStats rubbos, AnalyzeCorpus(corpora[1]));
   EXPECT_EQ(rubbos.total_while_loops, 41);
   EXPECT_EQ(rubbos.cursor_loops, 14);
   EXPECT_EQ(rubbos.aggifyable, 14);
+  EXPECT_EQ(rubbos.dml_insert_recovered, 0);
+  EXPECT_EQ(rubbos.dml_update_recovered, 1);
+  EXPECT_EQ(rubbos.early_exit_bounded, 1);
 
   ASSERT_OK_AND_ASSIGN(CorpusStats adempiere, AnalyzeCorpus(corpora[2]));
   EXPECT_EQ(adempiere.total_while_loops, 127);
   EXPECT_EQ(adempiere.cursor_loops, 109);
   EXPECT_GT(adempiere.aggifyable, 80);
+  EXPECT_EQ(adempiere.aggifyable, 96);
+  EXPECT_EQ(adempiere.dml_insert_recovered, 2);
+  EXPECT_EQ(adempiere.dml_update_recovered, 2);
+  EXPECT_EQ(adempiere.early_exit_bounded, 2);
+  // The 13 refused loops insert into their own scan table: the primary skip
+  // is the persistent-insert check, and DML recovery must NOT reclaim them
+  // (self-read-after-write breaks both rewrite families).
+  ASSERT_EQ(adempiere.skip_codes.size(), 1u);
+  EXPECT_EQ(adempiere.skip_codes.at(DiagCode::kPersistentInsert), 13);
+  // Ladder + recovery accounting: every bucket covers `aggifyable`, and the
+  // recovered loops are a subset of the serial-only rewrites.
+  EXPECT_EQ(adempiere.recognized_fold + adempiere.merge_synthesized +
+                adempiere.serial_only,
+            adempiere.aggifyable);
+  EXPECT_LE(adempiere.dml_insert_recovered + adempiere.dml_update_recovered +
+                adempiere.early_exit_bounded,
+            adempiere.serial_only);
 }
 
 TEST(CorpusTest, AzureCensusScale) {

@@ -105,20 +105,20 @@ struct LintTally {
   }
 
   /// One machine-readable document on stdout:
-  /// {"diagnostics": [{code, slug, severity, loc, message, fixit}...],
-  ///  "errors": E, "warnings": W, "notes": N}
+  /// {"diagnostics": [{code, slug, severity, loc, offset, message,
+  ///  fixit}...], "errors": E, "warnings": W, "notes": N}
   void PrintJson() const {
     std::printf("{\n  \"diagnostics\": [");
     for (size_t i = 0; i < collected.size(); ++i) {
       const Diagnostic& d = collected[i];
       std::printf(
           "%s\n    {\"code\": \"%s\", \"slug\": \"aggify-%s\", "
-          "\"severity\": \"%s\", \"loc\": \"%s\", \"message\": \"%s\", "
-          "\"fixit\": \"%s\"}",
+          "\"severity\": \"%s\", \"loc\": \"%s\", \"offset\": %zu, "
+          "\"message\": \"%s\", \"fixit\": \"%s\"}",
           i > 0 ? "," : "", DiagCodeName(d.code).c_str(),
           DiagCodeSlug(d.code), SeverityName(d.severity),
-          JsonEscape(d.loc).c_str(), JsonEscape(d.message).c_str(),
-          JsonEscape(d.fixit).c_str());
+          JsonEscape(d.loc).c_str(), d.offset,
+          JsonEscape(d.message).c_str(), JsonEscape(d.fixit).c_str());
     }
     std::printf("\n  ],\n  \"errors\": %d,\n  \"warnings\": %d,\n  "
                 "\"notes\": %d\n}\n",
@@ -128,6 +128,11 @@ struct LintTally {
 
 /// Lints one dialect script: loads it into a scratch database, rewrites
 /// every registered function and reports each diagnostic against `label`.
+/// Every violation of every skipped loop is reported (the full
+/// skip_details list, not just the primary rejection), and the script's
+/// diagnostics are emitted in source order — (file, byte offset, code) —
+/// rather than the rewriter's discovery order, so output is reproducible
+/// for CI annotations.
 void LintScript(const std::string& label, const std::string& source,
                 LintTally* tally) {
   Database db;
@@ -140,22 +145,28 @@ void LintScript(const std::string& label, const std::string& source,
     return;
   }
   Aggify aggify(&db);
+  std::vector<Diagnostic> script_diags;
   for (const std::string& name : db.catalog().FunctionNames()) {
     auto report = aggify.RewriteFunction(name);
     if (!report.ok()) {
-      tally->Emit(MakeDiagnostic(DiagCode::kScriptError, label + ":" + name,
-                                 report.status().ToString()));
+      script_diags.push_back(
+          MakeDiagnostic(DiagCode::kScriptError, label + ":" + name,
+                         report.status().ToString()));
       continue;
     }
-    for (Diagnostic d : report->skipped) {
-      d.loc = label + ":" + d.loc;
-      tally->Emit(d);
+    for (const auto& detail : report->skip_details) {
+      for (Diagnostic d : detail) {
+        d.loc = label + ":" + d.loc;
+        script_diags.push_back(std::move(d));
+      }
     }
     for (Diagnostic d : report->notes) {
       d.loc = label + ":" + d.loc;
-      tally->Emit(d);
+      script_diags.push_back(std::move(d));
     }
   }
+  SortDiagnosticsBySource(&script_diags);
+  for (const Diagnostic& d : script_diags) tally->Emit(d);
 }
 
 struct LintOptions {
