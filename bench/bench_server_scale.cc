@@ -1,0 +1,125 @@
+// Server concurrency scaling: N simulated clients (1/4/16/64) drive one
+// Server through the text protocol with a mixed QUERY + DECLARE/FETCH/CLOSE
+// workload over TPC-H lineitem. Reports throughput (requests/s, rows/s) per
+// client count, plan-cache hit rate across sessions, and verifies the
+// zero-leak invariant: after every run the cursor registry and session
+// table are empty again.
+//
+// All sessions open with identical plan-affecting options, so the shared
+// plan cache should serve most statements from cache after warmup — the
+// cross-session reuse the PR 10 API split exists for.
+#include <chrono>
+
+#include "bench_util.h"
+#include "tpch/tpch_gen.h"
+#include "workloads/multi_client_harness.h"
+
+using namespace aggify;
+using namespace aggify::bench;
+
+namespace {
+
+std::string FormatDouble(double v, int places) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  TpchConfig config;
+  config.scale_factor = GetScaleFactor(QuickMode() ? 0.002 : 0.01);
+  Database db;
+  RequireOk(PopulateTpch(&db, config), "PopulateTpch");
+
+  EngineOptions options;
+  options.limits.max_concurrent_queries = 8;
+  options.limits.admission_timeout_ms = 10'000;
+  EngineService service(&db, options);
+
+  MultiClientConfig base;
+  base.requests_per_client = QuickMode() ? 4 : 8;
+  base.declare_every = 2;
+  base.fetch_rows = 16;
+  base.statements = {
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10",
+      "SELECT l_orderkey, SUM(l_extendedprice) FROM lineitem "
+      "WHERE l_quantity > 25 GROUP BY l_orderkey",
+      "SELECT MAX(l_extendedprice) FROM lineitem",
+      "SELECT l_linenumber, COUNT(*) FROM lineitem GROUP BY l_linenumber",
+  };
+  base.open_options = "dop=2 batch=1";
+
+  std::printf("server scaling, mixed QUERY + cursor workload "
+              "(sf=%.3f, %d requests/client)\n\n",
+              config.scale_factor, base.requests_per_client);
+  TextTable table({"clients", "requests", "rows", "req/s", "errors",
+                   "cache hit%", "leaked cursors"});
+
+  const int counts[] = {1, 4, 16, 64};
+  for (int clients : counts) {
+    // Fresh server per point: session/cursor counters start at zero, but
+    // the plan cache persists in the service — later points inherit the
+    // earlier warmup, exactly like a long-lived server would.
+    Server::Config server_config;
+    server_config.sessions.max_sessions = 128;
+    server_config.cursors.max_cursors = 256;
+    Server server(&service, server_config);
+
+    MultiClientConfig run = base;
+    run.clients = clients;
+    run.seed = 0xC11E27 + clients;
+    MultiClientHarness harness(&server, run);
+    MultiClientReport report = RequireOk(harness.Run(), "harness run");
+
+    ServerStatsSnapshot stats = server.Stats();
+    int64_t leaked = server.cursors().open_cursors();
+    double hit_rate =
+        stats.plan_cache_hits + stats.plan_cache_misses > 0
+            ? 100.0 * stats.plan_cache_hits /
+                  (stats.plan_cache_hits + stats.plan_cache_misses)
+            : 0.0;
+    double rps = report.wall_seconds > 0
+                     ? report.requests / report.wall_seconds
+                     : 0.0;
+
+    table.AddRow({std::to_string(clients), std::to_string(report.requests),
+                  std::to_string(report.rows_received),
+                  FormatDouble(rps, 1), std::to_string(report.errors),
+                  FormatDouble(hit_rate, 1), std::to_string(leaked)});
+
+    std::printf("{\"bench\": \"server_scale\", \"metric\": "
+                "\"requests_per_second\", \"clients\": %d, \"value\": %.2f}\n",
+                clients, rps);
+    std::printf("{\"bench\": \"server_scale\", \"metric\": "
+                "\"rows_per_second\", \"clients\": %d, \"value\": %.2f}\n",
+                clients,
+                report.wall_seconds > 0
+                    ? report.rows_received / report.wall_seconds
+                    : 0.0);
+    std::printf("{\"bench\": \"server_scale\", \"metric\": "
+                "\"plan_cache_hit_rate\", \"clients\": %d, \"value\": %.4f}\n",
+                clients, hit_rate / 100.0);
+    std::printf("{\"bench\": \"server_scale\", \"metric\": "
+                "\"leaked_cursors\", \"clients\": %d, \"value\": %d}\n",
+                clients, static_cast<int>(leaked));
+
+    if (leaked != 0 || server.sessions().open_sessions() != 0) {
+      std::fprintf(stderr, "FATAL: leak after %d-client run (cursors=%lld "
+                           "sessions=%lld)\n",
+                   clients, static_cast<long long>(leaked),
+                   static_cast<long long>(server.sessions().open_sessions()));
+      return 1;
+    }
+    if (report.clients_completed != clients) {
+      std::fprintf(stderr, "FATAL: %d of %d clients completed\n",
+                   report.clients_completed, clients);
+      return 1;
+    }
+  }
+
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -22,16 +22,10 @@ Result<ClientRunResult> ClientApp::Run(const BlockStmt& program) {
   ClientRunResult result;
   result.env = std::make_shared<VariableEnv>();
 
-  ExecContext ctx = engine_.MakeContext();
-  ctx.set_udf_invoker([this](const std::string& name,
-                             const std::vector<Value>& args,
-                             ExecContext& inner) -> Result<Value> {
-    // UDFs invoked from within queries run server-side: plain interpreter
-    // semantics, no network accounting.
-    ASSIGN_OR_RETURN(auto def, inner.catalog().GetFunction(name));
-    Interpreter server_side(&engine_);
-    return server_side.CallFunction(*def, args, inner);
-  });
+  // UDFs invoked from within queries run server-side: plain interpreter
+  // semantics, no network accounting — so the wired context routes them
+  // through a server-side interpreter, not the remote one.
+  ExecContext ctx = MakeWiredContext(engine_, &server_interpreter_);
   ctx.set_vars(result.env.get());
 
   interpreter_.stats().Reset();

@@ -9,6 +9,7 @@
 
 #include "client/remote_interpreter.h"
 #include "parser/parser.h"
+#include "procedural/context_factory.h"
 
 namespace aggify {
 
@@ -31,7 +32,8 @@ class ClientApp {
       : db_(db),
         model_(model),
         engine_(db, options),
-        interpreter_(&engine_, model) {}
+        interpreter_(&engine_, model),
+        server_interpreter_(&engine_) {}
 
   Database* db() const { return db_; }
   const QueryEngine& engine() const { return engine_; }
@@ -48,6 +50,8 @@ class ClientApp {
   NetworkModel model_;
   QueryEngine engine_;
   RemoteInterpreter interpreter_;
+  /// Serves UDF invocations reached from inside queries (server-side).
+  Interpreter server_interpreter_;
 };
 
 }  // namespace aggify

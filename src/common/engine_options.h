@@ -83,6 +83,12 @@ struct EngineOptions {
     /// How long an arrival may queue at a full admission gate before
     /// rejection. 0 = reject immediately.
     int64_t admission_timeout_ms = 100;
+    /// Byte budget for a whole ClientSession: every query and cursor of the
+    /// session chains its per-invocation accountant to the session's, so
+    /// concurrent cursors + queries of one client share one budget.
+    /// 0 = track usage without a limit. (Like the rest of Limits, excluded
+    /// from PlanFingerprint.)
+    int64_t session_memory_limit_bytes = 0;
   };
 
   // --- rewrite: the Aggify driver (Algorithm 1) ---------------------------

@@ -122,7 +122,7 @@ bool TableRefHasNestedWith(const TableRef& ref) {
 
 }  // namespace
 
-ExecContext QueryEngine::MakeContext() const {
+ExecContext QueryEngine::MakeBaseContext() const {
   ExecContext ctx(db_);
   ctx.set_subquery_executor(
       [this](const SelectStmt& stmt, ExecContext& inner) {
@@ -381,10 +381,164 @@ Result<QueryResult> QueryEngine::RunPlanWithRetry(
   return result;
 }
 
-Result<QueryResult> QueryEngine::ExecuteSql(const std::string& sql) const {
-  ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
-  ExecContext ctx = MakeContext();
-  return Execute(*stmt, ctx);
+namespace {
+
+/// Scoped admission for one cursor step (open or fetch): acquires the gate
+/// when the effective options configure one, releases on scope exit. Cursor
+/// steps are root-level work — the cursor's context runs at depth 1, so
+/// nested subqueries inside the plan never re-enter the gate.
+class ScopedCursorAdmission {
+ public:
+  ScopedCursorAdmission(AdmissionGate* gate, const EngineOptions& options,
+                        RobustnessStats* stats) {
+    if (options.limits.max_concurrent_queries > 0) {
+      status_ = gate->Acquire(options.limits.max_concurrent_queries,
+                              options.limits.admission_timeout_ms, stats);
+      gate_ = status_.ok() ? gate : nullptr;
+    }
+  }
+  ~ScopedCursorAdmission() {
+    if (gate_ != nullptr) gate_->Release();
+  }
+  ScopedCursorAdmission(const ScopedCursorAdmission&) = delete;
+  ScopedCursorAdmission& operator=(const ScopedCursorAdmission&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionGate* gate_ = nullptr;
+  Status status_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QueryCursor>> QueryEngine::OpenCursor(
+    const SelectStmt& stmt, const ExecContext& base_ctx,
+    std::unique_ptr<QueryContext> governance,
+    const EngineOptions* override_options) const {
+  const EngineOptions& options =
+      override_options != nullptr ? *override_options : options_;
+  // The cursor owns its whole execution environment: a context copied from
+  // the caller's wiring (hooks, stats override), a private variable scope,
+  // and the governance token. new-ed because the paused plan keeps raw
+  // pointers into all three across an unbounded number of Fetch calls.
+  std::unique_ptr<QueryCursor> cursor(new QueryCursor());
+  cursor->engine_ = this;
+  cursor->options_ = options;
+  cursor->ctx_ = std::make_unique<ExecContext>(base_ctx);
+  cursor->vars_ = std::make_unique<VariableEnv>();
+  if (cursor->ctx_->vars() == nullptr) {
+    cursor->ctx_->set_vars(cursor->vars_.get());
+  }
+  cursor->governance_ = std::move(governance);
+  if (cursor->governance_ != nullptr) {
+    cursor->ctx_->set_query_context(cursor->governance_.get());
+  }
+  // Depth 1 = "inside a root execution": nested subqueries and CTE parts
+  // executed through the context see depth >= 2 and skip the admission
+  // gate, exactly as they would inside QueryEngine::Execute.
+  cursor->ctx_->depth = 1;
+  ExecContext& ctx = *cursor->ctx_;
+  ++ctx.stats().queries_executed;
+
+  ScopedCursorAdmission admission(&admission_, options, &ctx.robustness());
+  RETURN_NOT_OK(admission.status());
+
+  RETURN_NOT_OK(BindCtes(stmt, ctx, &cursor->bound_ctes_,
+                         &cursor->cte_keepalive_));
+  Planner planner(&ctx, options);
+  auto plan = planner.Plan(stmt);
+  if (!plan.ok()) {
+    for (const auto& name : cursor->bound_ctes_) ctx.UnbindCte(name);
+    cursor->bound_ctes_.clear();
+    return plan.status();
+  }
+  cursor->plan_ = std::move(*plan);
+  cursor->schema_ = cursor->plan_->schema();
+
+  MemoryAccountant* acc = ctx.accountant();
+  cursor->memory_mark_ = acc != nullptr ? acc->used() : 0;
+  Status st = cursor->plan_->Open(ctx);
+  if (!st.ok()) {
+    // Leave teardown (plan Close, CTE unbind, memory rollback) to Close();
+    // open_ stays false so Close skips the plan but reclaims the rest.
+    if (acc != nullptr) acc->ReleaseTo(cursor->memory_mark_);
+    cursor->done_ = true;
+    cursor->Close();
+    return st;
+  }
+  cursor->open_ = true;
+  return cursor;
+}
+
+Result<QueryPage> QueryCursor::Fetch(int64_t n) {
+  if (n < 1) return Status::InvalidArgument("FETCH size must be >= 1");
+  QueryPage page;
+  page.first_row_index = rows_fetched_;
+  if (done_) {
+    page.done = true;
+    return page;
+  }
+  ExecContext& ctx = *ctx_;
+  ScopedCursorAdmission admission(&engine_->admission_, options_,
+                                  &ctx.robustness());
+  if (!admission.status().ok()) {
+    // Admission rejection is a property of this fetch attempt, not of the
+    // paused plan — the cursor survives and the client may retry.
+    return admission.status();
+  }
+  Status st = ctx.CheckInterrupts();
+  Row row;
+  while (st.ok() && static_cast<int64_t>(page.rows.size()) < n) {
+    auto more = plan_->Next(ctx, &row);
+    if (!more.ok()) {
+      st = more.status();
+      break;
+    }
+    if (!*more) {
+      page.done = true;
+      break;
+    }
+    page.rows.push_back(std::move(row));
+  }
+  rows_fetched_ += static_cast<int64_t>(page.rows.size());
+  if (!st.ok()) {
+    done_ = true;
+    Close();
+    return st;
+  }
+  if (page.done) {
+    done_ = true;
+    RETURN_NOT_OK(Close());
+  }
+  return page;
+}
+
+Result<QueryResult> QueryCursor::Drain(int64_t page_rows) {
+  QueryResult result;
+  result.schema = schema_;
+  for (;;) {
+    ASSIGN_OR_RETURN(QueryPage page, Fetch(page_rows));
+    for (auto& r : page.rows) result.rows.push_back(std::move(r));
+    if (page.done) return result;
+  }
+}
+
+Status QueryCursor::Close() {
+  Status st;
+  if (open_) {
+    open_ = false;
+    st = plan_->Close(*ctx_);
+    // Whatever the paused execution still held (group states, sort
+    // buffers, batch windows) must return to the session's budget even if
+    // an operator's Close under-released.
+    MemoryAccountant* acc = ctx_->accountant();
+    if (acc != nullptr) acc->ReleaseTo(memory_mark_);
+  }
+  done_ = true;
+  for (const auto& name : bound_ctes_) ctx_->UnbindCte(name);
+  bound_ctes_.clear();
+  return st;
 }
 
 Result<std::string> QueryEngine::Explain(

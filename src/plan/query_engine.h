@@ -7,8 +7,11 @@
 #pragma once
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "plan/planner.h"
 
@@ -132,6 +135,88 @@ class AdmissionGate {
   int running_ = 0;
 };
 
+class QueryEngine;
+
+/// \brief One increment of a paginated execution: up to `n` rows pulled from
+/// a paused plan. `done` is sticky — once true, the producing cursor has
+/// closed its plan and every further Fetch returns an empty, done page.
+/// `first_row_index` is the 0-based position of rows.front() in the full
+/// result, so a client can reassemble (and verify) the one-shot order.
+struct QueryPage {
+  std::vector<Row> rows;
+  bool done = false;
+  int64_t first_row_index = 0;
+};
+
+/// \brief A paused, incrementally-drained execution of one SELECT — the
+/// engine half of the server's cursor protocol (docs/SERVER.md), modeled on
+/// RediSearch's coordinator cursors (`aggregate/cursor.c` runCursor): the
+/// plan stays open between FETCHes, each Fetch(n) re-enters the engine,
+/// pulls up to n rows through the ordinary Volcano Next() path, and pauses
+/// again. Because rows come off the very same operator tree a one-shot
+/// execution would drain, an incremental drain is bit-identical to
+/// QueryEngine::Execute by construction (DESIGN.md invariant 13).
+///
+/// The cursor owns everything its paused plan needs to stay alive between
+/// fetches: a private ExecContext (depth pre-set to 1 so nested subqueries
+/// never re-enter the admission gate), an optional governing QueryContext
+/// (per-cursor deadline + memory, chained to a session accountant), CTE
+/// keepalive rows, and the plan itself. Cursor plans are planned fresh and
+/// never enter the shared PlanCache — a cached plan's operator state cannot
+/// be pinned across an unbounded client pause.
+///
+/// Admission: each Fetch (and the Open inside QueryEngine::OpenCursor)
+/// acquires the engine's AdmissionGate like a root statement and releases
+/// it before pausing, so an idle cursor never holds an execution slot.
+///
+/// Not thread-safe: one Fetch at a time (the server's CursorRegistry
+/// enforces this with a busy checkout).
+class QueryCursor {
+ public:
+  ~QueryCursor() { Close(); }
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+
+  /// Pulls up to `n` rows (n >= 1). On exhaustion the final page has
+  /// done=true (possibly with rows) and the plan is closed. Errors
+  /// (cancellation, deadline expiry, admission rejection, operator
+  /// failure) close the cursor permanently and surface the status.
+  Result<QueryPage> Fetch(int64_t n);
+
+  /// Drains the remaining pages into one materialized result — what a
+  /// one-shot execution would have returned from this point on.
+  Result<QueryResult> Drain(int64_t page_rows = 1024);
+
+  /// Closes the plan early and releases any memory the paused execution
+  /// still holds. Idempotent; called by the destructor.
+  Status Close();
+
+  const Schema& schema() const { return schema_; }
+  bool done() const { return done_; }
+  /// Rows delivered so far (== first_row_index of the next page).
+  int64_t rows_fetched() const { return rows_fetched_; }
+  /// The governing context (cancel/deadline token), or nullptr.
+  QueryContext* query_context() { return governance_.get(); }
+
+ private:
+  friend class QueryEngine;
+  QueryCursor() = default;
+
+  const QueryEngine* engine_ = nullptr;
+  EngineOptions options_;
+  std::unique_ptr<ExecContext> ctx_;
+  std::unique_ptr<VariableEnv> vars_;
+  std::unique_ptr<QueryContext> governance_;
+  std::vector<std::string> bound_ctes_;
+  std::vector<std::shared_ptr<std::vector<Row>>> cte_keepalive_;
+  OperatorPtr plan_;
+  Schema schema_;
+  int64_t memory_mark_ = 0;
+  int64_t rows_fetched_ = 0;
+  bool open_ = false;   ///< plan_->Open succeeded and Close not yet run
+  bool done_ = false;   ///< exhausted or failed; every Fetch is a no-op
+};
+
 class QueryEngine {
  public:
   explicit QueryEngine(Database* db, const EngineOptions& options = {})
@@ -140,9 +225,11 @@ class QueryEngine {
   Database* db() const { return db_; }
   const EngineOptions& options() const { return options_; }
 
-  /// \brief Creates a context wired to this engine (subquery executor
-  /// installed; UDF invoker installed separately by the Session).
-  ExecContext MakeContext() const;
+  /// \brief Building block for procedural/context_factory.h — a context
+  /// with only the subquery executor wired. A base context has NO UDF
+  /// invoker and will fail on the first scalar UDF call; production code
+  /// must go through MakeWiredContext (or Session/ClientSession, which do).
+  ExecContext MakeBaseContext() const;
 
   /// \brief Executes a SELECT to completion. `ctx` supplies variables,
   /// correlation frames, and CTE bindings. A non-null `override_options`
@@ -154,8 +241,20 @@ class QueryEngine {
                               const EngineOptions* override_options =
                                   nullptr) const;
 
-  /// Parses and executes (test/demo convenience; fresh context).
-  Result<QueryResult> ExecuteSql(const std::string& sql) const;
+  /// \brief Opens a paused, incrementally-fetchable execution of `stmt` —
+  /// the engine primitive behind the server's DECLARE/FETCH protocol.
+  /// `base_ctx` supplies the hook wiring (subquery executor, UDF invoker)
+  /// and is copied; the cursor's private context outlives this call.
+  /// `governance` (may be null) becomes the cursor's deadline/cancel/memory
+  /// token for its whole lifetime — pass a QueryContext chained to the
+  /// session accountant to charge the paused plan's state to the session.
+  /// CTEs are materialized eagerly at open (their rows live in the cursor),
+  /// the plan is built fresh (never cached — see QueryCursor), and Open runs
+  /// under the admission gate. Errors surface here, not on the first Fetch.
+  Result<std::unique_ptr<QueryCursor>> OpenCursor(
+      const SelectStmt& stmt, const ExecContext& base_ctx,
+      std::unique_ptr<QueryContext> governance = nullptr,
+      const EngineOptions* override_options = nullptr) const;
 
   /// \brief Returns the physical plan tree rendering (EXPLAIN), honoring a
   /// per-query options override like Execute.
@@ -166,6 +265,9 @@ class QueryEngine {
   const PlanCache& plan_cache() const { return cache_; }
 
  private:
+  /// Cursor fetches re-enter the admission gate like root statements.
+  friend class QueryCursor;
+
   /// One planning+execution attempt at the given effective options: cache
   /// lookup (when `allow_cache`), CTE binding, planning, RunPlanWithRetry.
   /// The degradation ladder in Execute re-invokes this with progressively

@@ -1,0 +1,40 @@
+// The ONE ExecContext factory (PR 10 API redesign).
+//
+// Before this existed there were two context factories with different
+// wiring: QueryEngine::MakeContext installed only the subquery executor,
+// and Session::MakeContext additionally installed the UDF invoker. Callers
+// that picked the engine's version got contexts that executed nested
+// queries fine but failed (or silently skipped) UDF invocation — a
+// half-wired context. Every production entry point — Session, ClientSession,
+// the server, ClientApp — now builds contexts here, with both hooks wired
+// explicitly; the engine's own MakeBaseContext is documented as a building
+// block, not an entry point.
+#pragma once
+
+#include "plan/query_engine.h"
+#include "procedural/interpreter.h"
+
+namespace aggify {
+
+/// \brief Builds a fully wired ExecContext: the subquery executor routes
+/// nested SELECTs back through `engine` (admission, limits, plan cache and
+/// all), and the UDF invoker routes scalar function calls through
+/// `interpreter`. Both referents must outlive every use of the returned
+/// context — the hooks capture raw pointers.
+///
+/// `interpreter` may not be null: a context without a UDF invoker is
+/// exactly the half-wired object this factory exists to abolish. Callers
+/// that genuinely execute no UDFs still get a working invoker for free.
+inline ExecContext MakeWiredContext(const QueryEngine& engine,
+                                    Interpreter* interpreter) {
+  ExecContext ctx = engine.MakeBaseContext();
+  ctx.set_udf_invoker([interpreter](const std::string& name,
+                                    const std::vector<Value>& args,
+                                    ExecContext& inner) -> Result<Value> {
+    ASSIGN_OR_RETURN(auto def, inner.catalog().GetFunction(name));
+    return interpreter->CallFunction(*def, args, inner);
+  });
+  return ctx;
+}
+
+}  // namespace aggify

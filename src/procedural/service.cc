@@ -1,0 +1,132 @@
+#include "procedural/service.h"
+
+namespace aggify {
+
+EngineService::EngineService(Database* db, const EngineOptions& options)
+    : db_(db),
+      engine_(db, options),
+      interpreter_(std::make_unique<Interpreter>(&engine_)) {}
+
+void EngineService::set_interpreter(std::unique_ptr<Interpreter> interp) {
+  interpreter_ = std::move(interp);
+}
+
+ExecContext EngineService::MakeContext() const {
+  return MakeWiredContext(engine_, interpreter_.get());
+}
+
+Result<std::vector<QueryResult>> EngineService::RunScript(
+    const Script& script) {
+  std::vector<QueryResult> results;
+  for (const auto& cmd : script.commands) {
+    switch (cmd.kind) {
+      case ScriptCommand::Kind::kCreateTable: {
+        ASSIGN_OR_RETURN(Table * t,
+                         db_->catalog().CreateTable(cmd.table_name, cmd.schema));
+        AGGIFY_UNUSED(t);
+        break;
+      }
+      case ScriptCommand::Kind::kCreateIndex: {
+        ASSIGN_OR_RETURN(Table * t, db_->catalog().GetTable(cmd.on_table));
+        RETURN_NOT_OK(t->CreateIndex(cmd.index_name, cmd.on_column));
+        break;
+      }
+      case ScriptCommand::Kind::kCreateFunction:
+        db_->catalog().RegisterFunction(cmd.function->name, cmd.function);
+        break;
+      case ScriptCommand::Kind::kInsert: {
+        ExecContext ctx = MakeContext();
+        ScopedInvocationLimits limits(engine_.options(), &ctx);
+        VariableEnv env;
+        ctx.set_vars(&env);
+        BlockStmt wrapper;
+        wrapper.statements.push_back(cmd.statement->Clone());
+        ASSIGN_OR_RETURN(Value v,
+                         interpreter_->ExecuteBlock(wrapper, &env, ctx));
+        AGGIFY_UNUSED(v);
+        break;
+      }
+      case ScriptCommand::Kind::kSelect: {
+        ExecContext ctx = MakeContext();
+        VariableEnv env;
+        ctx.set_vars(&env);
+        ASSIGN_OR_RETURN(QueryResult r, engine_.Execute(*cmd.select, ctx));
+        results.push_back(std::move(r));
+        break;
+      }
+      case ScriptCommand::Kind::kBlock: {
+        ExecContext ctx = MakeContext();
+        ScopedInvocationLimits limits(engine_.options(), &ctx);
+        VariableEnv env;
+        ctx.set_vars(&env);
+        ASSIGN_OR_RETURN(
+            Value v,
+            interpreter_->ExecuteBlock(
+                static_cast<const BlockStmt&>(*cmd.statement), &env, ctx));
+        AGGIFY_UNUSED(v);
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+Result<std::vector<QueryResult>> EngineService::RunSql(
+    const std::string& sql) {
+  ASSIGN_OR_RETURN(Script script, ParseScript(sql));
+  return RunScript(script);
+}
+
+ClientSession::ClientSession(EngineService* service,
+                             const EngineOptions& options, uint64_t id)
+    : service_(service),
+      options_(options),
+      id_(id),
+      accountant_(options.limits.session_memory_limit_bytes) {}
+
+ExecContext ClientSession::MakeContext() {
+  ExecContext ctx = service_->MakeContext();
+  ctx.set_stats_override(&io_stats_);
+  return ctx;
+}
+
+std::unique_ptr<QueryContext> ClientSession::MakeGovernance(
+    int64_t deadline_ms) {
+  const auto& limits = options_.limits;
+  const int64_t timeout =
+      deadline_ms > 0 ? deadline_ms : limits.timeout_ms;
+  // Always chained to the session accountant: even a session with no
+  // per-statement limit tracks (and bounds, if session_memory_limit_bytes
+  // is set) the sum of its live executions.
+  return std::make_unique<QueryContext>(timeout, limits.memory_limit_bytes,
+                                        &service_->db()->robustness(),
+                                        &accountant_);
+}
+
+Result<QueryResult> ClientSession::Query(const std::string& sql) {
+  ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  ExecContext ctx = MakeContext();
+  VariableEnv env;
+  ctx.set_vars(&env);
+  std::unique_ptr<QueryContext> qc = MakeGovernance(0);
+  ctx.set_query_context(qc.get());
+  auto result = service_->engine().Execute(*stmt, ctx, &options_);
+  if (result.ok()) {
+    ++queries_served_;
+    rows_served_ += static_cast<int64_t>(result->rows.size());
+  }
+  return result;
+}
+
+Result<std::unique_ptr<QueryCursor>> ClientSession::Declare(
+    const std::string& sql, int64_t deadline_ms) {
+  ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  ExecContext ctx = MakeContext();
+  auto cursor = service_->engine().OpenCursor(*stmt, ctx,
+                                              MakeGovernance(deadline_ms),
+                                              &options_);
+  if (cursor.ok()) ++queries_served_;
+  return cursor;
+}
+
+}  // namespace aggify

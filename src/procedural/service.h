@@ -1,0 +1,157 @@
+// EngineService + ClientSession: the service-grade split of the old Session
+// (PR 10 API redesign, docs/SERVER.md).
+//
+// The old Session conflated three roles: ownership of the shared engine
+// state (catalog, plan cache, admission gate, interpreter), per-invocation
+// state (variable environments, deadlines), and the execution entry points.
+// That was fine for one caller; a server multiplexing many clients needs
+// the roles separated:
+//
+//   EngineService  — ONE per database: the QueryEngine (shared concurrent
+//                    plan cache + admission gate), the interpreter, and the
+//                    bootstrap path that loads DDL/data. After Bootstrap the
+//                    catalog is treated as immutable; everything the service
+//                    exposes from then on is safe to share across threads.
+//   ClientSession  — MANY, cheap (one options copy + counters): a client's
+//                    handle with per-session EngineOptions overrides, a
+//                    private IoStats (the shared Database counters are not
+//                    atomic), and a session MemoryAccountant every query and
+//                    cursor of the session charges into.
+//
+// Session (session.h) remains as the single-caller convenience wrapper over
+// one EngineService — existing tests, benches, and tools keep working.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parser/parser.h"
+#include "procedural/context_factory.h"
+#include "procedural/interpreter.h"
+
+namespace aggify {
+
+/// \brief One deadline / memory budget per user-level invocation. Installed
+/// before the interpreter runs, so every statement a procedure body executes
+/// — cursor FETCHes, rewritten aggregates, fallback loops — draws down the
+/// same clock and the same byte budget instead of each getting a fresh one.
+/// Plain SELECTs through Session::Query need no help here: QueryEngine
+/// installs a root QueryContext itself when none is present.
+class ScopedInvocationLimits {
+ public:
+  ScopedInvocationLimits(const EngineOptions& options, ExecContext* ctx) {
+    const auto& limits = options.limits;
+    if (ctx->query_context() == nullptr &&
+        (limits.timeout_ms > 0 || limits.memory_limit_bytes > 0)) {
+      qc_.emplace(limits.timeout_ms, limits.memory_limit_bytes,
+                  &ctx->robustness());
+      ctx->set_query_context(&*qc_);
+      ctx_ = ctx;
+    }
+  }
+  ~ScopedInvocationLimits() {
+    if (ctx_ != nullptr) ctx_->set_query_context(nullptr);
+  }
+  ScopedInvocationLimits(const ScopedInvocationLimits&) = delete;
+  ScopedInvocationLimits& operator=(const ScopedInvocationLimits&) = delete;
+
+ private:
+  std::optional<QueryContext> qc_;
+  ExecContext* ctx_ = nullptr;
+};
+
+class EngineService {
+ public:
+  /// Creates the shared service over `db` (not owned). `options` are the
+  /// engine-wide defaults; sessions override per-session.
+  explicit EngineService(Database* db, const EngineOptions& options = {});
+
+  Database* db() const { return db_; }
+  const QueryEngine& engine() const { return engine_; }
+  Interpreter& interpreter() { return *interpreter_; }
+  const EngineOptions& options() const { return engine_.options(); }
+
+  /// Installs a different interpreter (e.g. the client-side remote
+  /// interpreter). Single-threaded phase only — sessions capture the
+  /// interpreter pointer in their context hooks.
+  void set_interpreter(std::unique_ptr<Interpreter> interp);
+
+  /// \brief One fully wired ExecContext (context_factory.h): subquery
+  /// executor through the shared engine, UDF invoker through the shared
+  /// interpreter.
+  ExecContext MakeContext() const;
+
+  /// \brief Bootstrap: runs a full script (CREATE TABLE/INDEX/FUNCTION,
+  /// INSERT, SELECT, anonymous blocks). DDL mutates the catalog, so this is
+  /// the single-threaded loading phase — finish before serving sessions.
+  Result<std::vector<QueryResult>> RunScript(const Script& script);
+
+  /// Parses and runs a bootstrap script.
+  Result<std::vector<QueryResult>> RunSql(const std::string& sql);
+
+ private:
+  Database* db_;
+  QueryEngine engine_;
+  std::unique_ptr<Interpreter> interpreter_;
+};
+
+/// \brief A cheap per-client handle over a shared EngineService. Not
+/// thread-safe itself (one client drives one session); different sessions
+/// are safe concurrently — they share only the thread-safe pieces (plan
+/// cache, admission gate, robustness counters, parent accountants) and keep
+/// private IoStats.
+class ClientSession {
+ public:
+  /// `options` are this session's effective EngineOptions (plan-affecting
+  /// fields key the shared plan cache via PlanFingerprint, so two sessions
+  /// with identical options share plans). The session accountant's limit is
+  /// `options.limits.session_memory_limit_bytes` (0 = track only).
+  ClientSession(EngineService* service, const EngineOptions& options,
+                uint64_t id = 0);
+
+  uint64_t id() const { return id_; }
+  EngineService* service() const { return service_; }
+  const EngineOptions& options() const { return options_; }
+  IoStats& io_stats() { return io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+  /// Every query and cursor of this session charges its memory here (via a
+  /// per-invocation QueryContext chained to this parent).
+  MemoryAccountant& accountant() { return accountant_; }
+
+  /// \brief A fully wired context that accounts I/O into this session's
+  /// private counters instead of the shared (non-atomic) Database ones.
+  ExecContext MakeContext();
+
+  /// \brief One-shot SELECT under this session's options: admission,
+  /// deadline, memory budget (chained to the session accountant), the
+  /// degradation ladder, and the shared plan cache all apply.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// \brief Opens an incremental-fetch cursor over a SELECT (DECLARE). A
+  /// positive `deadline_ms` bounds the cursor's whole lifetime (it wins
+  /// over the session's per-statement timeout); the cursor's plan state is
+  /// charged to the session accountant and released on close/eviction.
+  Result<std::unique_ptr<QueryCursor>> Declare(const std::string& sql,
+                                               int64_t deadline_ms = 0);
+
+  /// Queries executed + rows returned by this session (protocol STATS).
+  int64_t queries_served() const { return queries_served_; }
+  int64_t rows_served() const { return rows_served_; }
+
+ private:
+  /// Builds the per-invocation governance token for this session.
+  std::unique_ptr<QueryContext> MakeGovernance(int64_t deadline_ms);
+
+  EngineService* service_;
+  EngineOptions options_;
+  uint64_t id_;
+  IoStats io_stats_;
+  MemoryAccountant accountant_;
+  int64_t queries_served_ = 0;
+  int64_t rows_served_ = 0;
+};
+
+}  // namespace aggify

@@ -1,148 +1,31 @@
 #include "procedural/session.h"
 
-#include <optional>
-
-#include "parser/parser.h"
-
 namespace aggify {
-
-namespace {
-
-/// \brief One deadline / memory budget per user-level invocation. Installed
-/// before the interpreter runs, so every statement a procedure body executes
-/// — cursor FETCHes, rewritten aggregates, fallback loops — draws down the
-/// same clock and the same byte budget instead of each getting a fresh one.
-/// Plain SELECTs through Session::Query need no help here: QueryEngine
-/// installs a root QueryContext itself when none is present.
-class ScopedInvocationLimits {
- public:
-  ScopedInvocationLimits(const EngineOptions& options, ExecContext* ctx) {
-    const auto& limits = options.limits;
-    if (ctx->query_context() == nullptr &&
-        (limits.timeout_ms > 0 || limits.memory_limit_bytes > 0)) {
-      qc_.emplace(limits.timeout_ms, limits.memory_limit_bytes,
-                  &ctx->robustness());
-      ctx->set_query_context(&*qc_);
-      ctx_ = ctx;
-    }
-  }
-  ~ScopedInvocationLimits() {
-    if (ctx_ != nullptr) ctx_->set_query_context(nullptr);
-  }
-  ScopedInvocationLimits(const ScopedInvocationLimits&) = delete;
-  ScopedInvocationLimits& operator=(const ScopedInvocationLimits&) = delete;
-
- private:
-  std::optional<QueryContext> qc_;
-  ExecContext* ctx_ = nullptr;
-};
-
-}  // namespace
-
-Session::Session(Database* db, const EngineOptions& options)
-    : db_(db),
-      engine_(db, options),
-      interpreter_(std::make_unique<Interpreter>(&engine_)) {}
-
-void Session::SetInterpreter(std::unique_ptr<Interpreter> interp) {
-  interpreter_ = std::move(interp);
-}
-
-ExecContext Session::MakeContext() {
-  ExecContext ctx = engine_.MakeContext();
-  ctx.set_udf_invoker([this](const std::string& name,
-                             const std::vector<Value>& args,
-                             ExecContext& inner) -> Result<Value> {
-    ASSIGN_OR_RETURN(auto def, inner.catalog().GetFunction(name));
-    return interpreter_->CallFunction(*def, args, inner);
-  });
-  return ctx;
-}
-
-Result<std::vector<QueryResult>> Session::RunScript(const Script& script) {
-  std::vector<QueryResult> results;
-  for (const auto& cmd : script.commands) {
-    switch (cmd.kind) {
-      case ScriptCommand::Kind::kCreateTable: {
-        ASSIGN_OR_RETURN(Table * t,
-                         db_->catalog().CreateTable(cmd.table_name, cmd.schema));
-        AGGIFY_UNUSED(t);
-        break;
-      }
-      case ScriptCommand::Kind::kCreateIndex: {
-        ASSIGN_OR_RETURN(Table * t, db_->catalog().GetTable(cmd.on_table));
-        RETURN_NOT_OK(t->CreateIndex(cmd.index_name, cmd.on_column));
-        break;
-      }
-      case ScriptCommand::Kind::kCreateFunction:
-        db_->catalog().RegisterFunction(cmd.function->name, cmd.function);
-        break;
-      case ScriptCommand::Kind::kInsert: {
-        ExecContext ctx = MakeContext();
-        ScopedInvocationLimits limits(engine_.options(), &ctx);
-        VariableEnv env;
-        ctx.set_vars(&env);
-        BlockStmt wrapper;
-        wrapper.statements.push_back(cmd.statement->Clone());
-        ASSIGN_OR_RETURN(Value v,
-                         interpreter_->ExecuteBlock(wrapper, &env, ctx));
-        AGGIFY_UNUSED(v);
-        break;
-      }
-      case ScriptCommand::Kind::kSelect: {
-        ExecContext ctx = MakeContext();
-        VariableEnv env;
-        ctx.set_vars(&env);
-        ASSIGN_OR_RETURN(QueryResult r, engine_.Execute(*cmd.select, ctx));
-        results.push_back(std::move(r));
-        break;
-      }
-      case ScriptCommand::Kind::kBlock: {
-        ExecContext ctx = MakeContext();
-        ScopedInvocationLimits limits(engine_.options(), &ctx);
-        VariableEnv env;
-        ctx.set_vars(&env);
-        ASSIGN_OR_RETURN(
-            Value v,
-            interpreter_->ExecuteBlock(
-                static_cast<const BlockStmt&>(*cmd.statement), &env, ctx));
-        AGGIFY_UNUSED(v);
-        break;
-      }
-    }
-  }
-  return results;
-}
-
-Result<std::vector<QueryResult>> Session::RunSql(const std::string& sql) {
-  ASSIGN_OR_RETURN(Script script, ParseScript(sql));
-  return RunScript(script);
-}
 
 Result<QueryResult> Session::Query(const std::string& sql) {
   ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
   ExecContext ctx = MakeContext();
   VariableEnv env;
   ctx.set_vars(&env);
-  return engine_.Execute(*stmt, ctx);
+  return engine().Execute(*stmt, ctx);
 }
 
 Result<Value> Session::Call(const std::string& name,
                             const std::vector<Value>& args) {
-  ASSIGN_OR_RETURN(auto def, db_->catalog().GetFunction(name));
+  ASSIGN_OR_RETURN(auto def, db()->catalog().GetFunction(name));
   ExecContext ctx = MakeContext();
-  ScopedInvocationLimits limits(engine_.options(), &ctx);
-  return interpreter_->CallFunction(*def, args, ctx);
+  ScopedInvocationLimits limits(engine().options(), &ctx);
+  return interpreter().CallFunction(*def, args, ctx);
 }
 
 Result<std::shared_ptr<VariableEnv>> Session::RunBlock(const std::string& sql) {
   ASSIGN_OR_RETURN(StmtPtr block, ParseStatements(sql));
   auto env = std::make_shared<VariableEnv>();
   ExecContext ctx = MakeContext();
-  ScopedInvocationLimits limits(engine_.options(), &ctx);
+  ScopedInvocationLimits limits(engine().options(), &ctx);
   ctx.set_vars(env.get());
   ASSIGN_OR_RETURN(Value v,
-                   interpreter_->ExecuteBlock(
+                   interpreter().ExecuteBlock(
                        static_cast<const BlockStmt&>(*block), env.get(), ctx));
   AGGIFY_UNUSED(v);
   return env;

@@ -1,37 +1,51 @@
-// Session: the top-level user-facing handle — a Database plus a QueryEngine
-// plus an Interpreter, wired so queries can call UDFs and UDF bodies can run
-// queries. This is what examples, tests, benches, and the Aggify driver use.
+// Session: the single-caller convenience wrapper over one EngineService —
+// what examples, tests, benches, and the Aggify driver use when they don't
+// need multi-client session management (the server does; see
+// procedural/service.h and src/server/).
+//
+// The heavy lifting — catalog ownership, the shared QueryEngine, the
+// interpreter, context wiring — lives in EngineService; Session adds only
+// the historical one-caller entry points (RunScript, Query, Call, RunBlock)
+// with their invocation-scoped limits.
 #pragma once
 
 #include "parser/parser.h"
-#include "procedural/interpreter.h"
+#include "procedural/service.h"
 
 namespace aggify {
 
 class Session {
  public:
   /// Creates a session over `db`. The session does not own the database.
-  explicit Session(Database* db, const EngineOptions& options = {});
+  explicit Session(Database* db, const EngineOptions& options = {})
+      : service_(db, options) {}
 
-  Database* db() const { return db_; }
-  const QueryEngine& engine() const { return engine_; }
-  Interpreter& interpreter() { return *interpreter_; }
+  Database* db() const { return service_.db(); }
+  const QueryEngine& engine() const { return service_.engine(); }
+  Interpreter& interpreter() { return service_.interpreter(); }
+  EngineService& service() { return service_; }
 
   /// Installs a different interpreter (e.g. the client/ remote interpreter).
   /// The session keeps using it for UDF invocation and block execution.
-  void SetInterpreter(std::unique_ptr<Interpreter> interp);
+  void SetInterpreter(std::unique_ptr<Interpreter> interp) {
+    service_.set_interpreter(std::move(interp));
+  }
 
   /// \brief Builds an ExecContext wired with both hooks (subquery executor
-  /// and UDF invoker).
-  ExecContext MakeContext();
+  /// and UDF invoker) — delegates to the one context factory.
+  ExecContext MakeContext() { return service_.MakeContext(); }
 
   /// \brief Runs a full script: CREATE TABLE/INDEX/FUNCTION, INSERT, SELECT
   /// and anonymous blocks. Results of top-level SELECTs are returned in
   /// order.
-  Result<std::vector<QueryResult>> RunScript(const Script& script);
+  Result<std::vector<QueryResult>> RunScript(const Script& script) {
+    return service_.RunScript(script);
+  }
 
   /// Parses and runs a script.
-  Result<std::vector<QueryResult>> RunSql(const std::string& sql);
+  Result<std::vector<QueryResult>> RunSql(const std::string& sql) {
+    return service_.RunSql(sql);
+  }
 
   /// \brief Executes one SELECT.
   Result<QueryResult> Query(const std::string& sql);
@@ -44,9 +58,7 @@ class Session {
   Result<std::shared_ptr<VariableEnv>> RunBlock(const std::string& sql);
 
  private:
-  Database* db_;
-  QueryEngine engine_;
-  std::unique_ptr<Interpreter> interpreter_;
+  EngineService service_;
 };
 
 }  // namespace aggify

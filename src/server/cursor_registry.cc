@@ -1,0 +1,159 @@
+#include "server/cursor_registry.h"
+
+#include <vector>
+
+namespace aggify {
+
+void CursorRegistry::Lease::Checkin() {
+  if (registry_ == nullptr) return;
+  registry_->CheckinLocked(id_, cursor_);
+  registry_ = nullptr;
+  cursor_ = nullptr;
+}
+
+Result<uint64_t> CursorRegistry::Insert(uint64_t session_id,
+                                        std::unique_ptr<QueryCursor> cursor,
+                                        int64_t now_ms) {
+  std::unique_ptr<QueryCursor> reject;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (config_.max_cursors > 0 &&
+        static_cast<int>(entries_.size()) >= config_.max_cursors) {
+      ++counters_.rejected;
+      reject = std::move(cursor);
+    } else {
+      uint64_t id = next_id_++;
+      Entry& entry = entries_[id];
+      entry.cursor = std::move(cursor);
+      entry.session_id = session_id;
+      entry.last_used_ms = now_ms;
+      ++counters_.opened;
+      return id;
+    }
+  }
+  return Status::ResourceExhausted(
+      "cursor registry full (" + std::to_string(config_.max_cursors) +
+      " open cursors); CLOSE or drain one first");
+}
+
+Result<CursorRegistry::Lease> CursorRegistry::Checkout(uint64_t cursor_id,
+                                                       uint64_t session_id,
+                                                       int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cursor_id);
+  if (it == entries_.end() || it->second.session_id != session_id) {
+    return Status::NotFound("no such cursor: " + std::to_string(cursor_id));
+  }
+  Entry& entry = it->second;
+  if (entry.busy) {
+    return Status::ExecutionError("cursor " + std::to_string(cursor_id) +
+                                  " is busy (one FETCH at a time)");
+  }
+  entry.busy = true;
+  entry.last_used_ms = now_ms;
+  ++counters_.fetches;
+  return Lease(this, cursor_id, entry.cursor.get());
+}
+
+void CursorRegistry::CheckinLocked(uint64_t id, QueryCursor* cursor) {
+  std::unique_ptr<QueryCursor> dead;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;  // unreachable: busy entries stay put
+    Entry& entry = it->second;
+    entry.busy = false;
+    if (entry.doomed || cursor->done()) {
+      dead = std::move(entry.cursor);
+      entries_.erase(it);
+      ++counters_.closed;
+    }
+  }
+}
+
+Status CursorRegistry::Close(uint64_t cursor_id, uint64_t session_id) {
+  std::unique_ptr<QueryCursor> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(cursor_id);
+    if (it == entries_.end() || it->second.session_id != session_id) {
+      return Status::NotFound("no such cursor: " + std::to_string(cursor_id));
+    }
+    Entry& entry = it->second;
+    if (entry.busy) {
+      entry.doomed = true;
+      if (entry.cursor->query_context() != nullptr) {
+        entry.cursor->query_context()->Cancel();
+      }
+    } else {
+      dead = std::move(entry.cursor);
+      entries_.erase(it);
+      ++counters_.closed;
+    }
+  }
+  return Status::OK();
+}
+
+int64_t CursorRegistry::CloseSession(uint64_t session_id) {
+  std::vector<std::unique_ptr<QueryCursor>> dead;
+  int64_t torn_down = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      Entry& entry = it->second;
+      if (entry.session_id != session_id) {
+        ++it;
+        continue;
+      }
+      ++torn_down;
+      if (entry.busy) {
+        entry.doomed = true;
+        if (entry.cursor->query_context() != nullptr) {
+          entry.cursor->query_context()->Cancel();
+        }
+        ++it;
+      } else {
+        dead.push_back(std::move(entry.cursor));
+        it = entries_.erase(it);
+        ++counters_.evicted;
+      }
+    }
+  }
+  return torn_down;
+}
+
+int64_t CursorRegistry::SweepExpired(int64_t now_ms) {
+  if (config_.idle_ttl_ms <= 0) return 0;
+  std::vector<std::unique_ptr<QueryCursor>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      Entry& entry = it->second;
+      if (entry.busy || now_ms - entry.last_used_ms < config_.idle_ttl_ms) {
+        ++it;
+        continue;
+      }
+      dead.push_back(std::move(entry.cursor));
+      it = entries_.erase(it);
+      ++counters_.evicted;
+    }
+  }
+  return static_cast<int64_t>(dead.size());
+}
+
+int64_t CursorRegistry::open_cursors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+CursorRegistry::Counters CursorRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void CursorRegistry::RecordFetch(int64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.rows_streamed += rows;
+}
+
+}  // namespace aggify

@@ -1,0 +1,133 @@
+// CursorRegistry: the server's table of live incremental-fetch cursors —
+// the RediSearch coordinator-cursor model (`aggregate/cursor.c`): bounded
+// count, per-cursor idle TTL, lazy sweeping, id-keyed lookup that verifies
+// session ownership (a cursor is only ever visible to the session that
+// declared it, and never outlives it — DESIGN.md invariant 13).
+//
+// Concurrency: the map and counters are mutex-guarded; the fetch itself is
+// not. A cursor is used through a busy *checkout* (Lease): while checked
+// out it cannot be checked out again, closed-and-destroyed, or swept —
+// closing or evicting a busy cursor marks it doomed (and cancels its
+// QueryContext so a slow fetch stops cooperatively); the lease destroys it
+// at check-in. This is the same discipline PlanCache uses for in-use plans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "plan/query_engine.h"
+
+namespace aggify {
+
+class CursorRegistry {
+ public:
+  struct Config {
+    /// Bound on concurrently open cursors across all sessions; DECLARE
+    /// beyond it is rejected with kResourceExhausted (client closes or
+    /// drains something first).
+    int max_cursors = 64;
+    /// A cursor idle (no FETCH) this long is evicted by the sweep. <= 0
+    /// disables TTL eviction.
+    int64_t idle_ttl_ms = 30'000;
+  };
+
+  /// Monotonic totals for STATS (open count is derived from the map).
+  struct Counters {
+    int64_t opened = 0;
+    int64_t closed = 0;    ///< client CLOSE or drained to completion
+    int64_t evicted = 0;   ///< TTL sweep or session teardown
+    int64_t rejected = 0;  ///< DECLAREs refused at capacity
+    int64_t fetches = 0;
+    int64_t rows_streamed = 0;
+  };
+
+  explicit CursorRegistry(Config config) : config_(config) {}
+
+  /// \brief Busy checkout of one cursor. Movable, not copyable; check-in on
+  /// destruction updates the idle clock and destroys the cursor if it
+  /// finished (done), failed, or was doomed while checked out.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { *this = std::move(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        Checkin();
+        registry_ = o.registry_;
+        id_ = o.id_;
+        cursor_ = o.cursor_;
+        o.registry_ = nullptr;
+        o.cursor_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Checkin(); }
+
+    explicit operator bool() const { return cursor_ != nullptr; }
+    QueryCursor* cursor() const { return cursor_; }
+    QueryCursor* operator->() const { return cursor_; }
+
+   private:
+    friend class CursorRegistry;
+    Lease(CursorRegistry* registry, uint64_t id, QueryCursor* cursor)
+        : registry_(registry), id_(id), cursor_(cursor) {}
+    void Checkin();
+
+    CursorRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+    QueryCursor* cursor_ = nullptr;
+  };
+
+  /// Registers a freshly opened cursor for `session_id`. Errors:
+  /// ResourceExhausted at the configured bound.
+  Result<uint64_t> Insert(uint64_t session_id,
+                          std::unique_ptr<QueryCursor> cursor, int64_t now_ms);
+
+  /// Checks the cursor out for one fetch. Errors: NotFound for an unknown,
+  /// evicted, or foreign-session cursor; ExecutionError if it is already
+  /// checked out (one fetch at a time).
+  Result<Lease> Checkout(uint64_t cursor_id, uint64_t session_id,
+                         int64_t now_ms);
+
+  /// Client CLOSE. A busy cursor is doomed (cancelled + destroyed at
+  /// check-in); an idle one is destroyed here. Errors: NotFound.
+  Status Close(uint64_t cursor_id, uint64_t session_id);
+
+  /// Session teardown: destroys (or dooms) every cursor of the session.
+  /// Returns how many were torn down.
+  int64_t CloseSession(uint64_t session_id);
+
+  /// Evicts idle-expired cursors (busy ones are skipped; they re-arm their
+  /// TTL at check-in). Returns how many were evicted.
+  int64_t SweepExpired(int64_t now_ms);
+
+  /// Live cursors right now (includes busy ones).
+  int64_t open_cursors() const;
+  Counters counters() const;
+  /// Records rows streamed out of a fetch (for STATS; called by the server
+  /// after a successful FETCH).
+  void RecordFetch(int64_t rows);
+
+ private:
+  struct Entry {
+    std::unique_ptr<QueryCursor> cursor;
+    uint64_t session_id = 0;
+    int64_t last_used_ms = 0;
+    bool busy = false;
+    bool doomed = false;
+  };
+
+  void CheckinLocked(uint64_t id, QueryCursor* cursor);
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  uint64_t next_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace aggify

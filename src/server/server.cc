@@ -1,0 +1,271 @@
+#include "server/server.h"
+
+#include <cctype>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace aggify {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "resource exhausted" -> "resource_exhausted": a single ERR code token.
+std::string ErrCode(StatusCode code) {
+  std::string out(StatusCodeToString(code));
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+std::string ErrReply(const Status& status) {
+  return "ERR " + ErrCode(status.code()) + " " + status.message() + "\n";
+}
+
+/// Splits off the first whitespace-delimited token; `rest` gets the
+/// remainder with leading whitespace stripped.
+std::string TakeToken(const std::string& input, std::string* rest) {
+  size_t start = input.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    rest->clear();
+    return "";
+  }
+  size_t end = input.find_first_of(" \t", start);
+  std::string token = input.substr(start, end - start);
+  if (end == std::string::npos) {
+    rest->clear();
+  } else {
+    size_t next = input.find_first_not_of(" \t", end);
+    *rest = next == std::string::npos ? "" : input.substr(next);
+  }
+  return token;
+}
+
+Result<uint64_t> ParseId(const std::string& token, const char* what) {
+  if (token.empty()) {
+    return Status::InvalidArgument(std::string("missing ") + what);
+  }
+  uint64_t value = 0;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(std::string("bad ") + what + ": " +
+                                     token);
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Result<int64_t> ParseI64(const std::string& token, const char* what) {
+  ASSIGN_OR_RETURN(uint64_t v, ParseId(token, what));
+  return static_cast<int64_t>(v);
+}
+
+std::string RenderRow(const Row& row) {
+  std::string out = "ROW";
+  for (const Value& v : row) {
+    out += '\t';
+    out += v.ToString();
+  }
+  out += '\n';
+  return out;
+}
+
+std::string RenderSchema(const Schema& schema) {
+  std::string out = "SCHEMA";
+  for (const auto& col : schema.columns()) {
+    out += '\t';
+    out += col.name;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+Server::Server(EngineService* service, Config config)
+    : service_(service),
+      config_(std::move(config)),
+      clock_(config_.clock_ms ? config_.clock_ms : SteadyNowMs),
+      sessions_(config_.sessions),
+      cursors_(config_.cursors) {}
+
+void Server::Sweep(int64_t now_ms) {
+  for (uint64_t sid : sessions_.SweepIdle(now_ms)) {
+    cursors_.CloseSession(sid);
+  }
+  cursors_.SweepExpired(now_ms);
+}
+
+std::string Server::Handle(const std::string& request) {
+  int64_t now_ms = clock_();
+  Sweep(now_ms);
+
+  std::string args;
+  std::string command = TakeToken(request, &args);
+  for (char& c : command) c = std::toupper(static_cast<unsigned char>(c));
+
+  if (command == "OPEN") return HandleOpen(args, now_ms);
+  if (command == "QUERY") return HandleQuery(args, now_ms);
+  if (command == "DECLARE") return HandleDeclare(args, now_ms);
+  if (command == "FETCH") return HandleFetch(args, now_ms);
+  if (command == "CLOSE") return HandleClose(args, now_ms);
+  if (command == "STATS") return HandleStats(args);
+  return ErrReply(
+      Status::InvalidArgument("unknown command: " + command));
+}
+
+std::string Server::HandleOpen(const std::string& args, int64_t now_ms) {
+  EngineOptions options = service_->options();
+  std::string rest = args;
+  while (!rest.empty()) {
+    std::string token = TakeToken(rest, &rest);
+    if (token.empty()) break;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return ErrReply(Status::InvalidArgument("bad OPEN option: " + token));
+    }
+    std::string key = token.substr(0, eq);
+    auto value = ParseI64(token.substr(eq + 1), key.c_str());
+    if (!value.ok()) return ErrReply(value.status());
+    if (key == "dop") {
+      options.execution.degree_of_parallelism = static_cast<int>(*value);
+    } else if (key == "batch") {
+      options.execution.enable_batch = *value != 0;
+    } else if (key == "timeout_ms") {
+      options.limits.timeout_ms = *value;
+    } else if (key == "memory_limit_bytes") {
+      options.limits.memory_limit_bytes = *value;
+    } else if (key == "session_memory_limit_bytes") {
+      options.limits.session_memory_limit_bytes = *value;
+    } else {
+      return ErrReply(Status::InvalidArgument("unknown OPEN option: " + key));
+    }
+  }
+  auto session = sessions_.Open(service_, options, now_ms);
+  if (!session.ok()) return ErrReply(session.status());
+  return "OK " + std::to_string((*session)->id) + "\n";
+}
+
+std::string Server::HandleQuery(const std::string& args, int64_t now_ms) {
+  std::string sql;
+  std::string sid_token = TakeToken(args, &sql);
+  auto sid = ParseId(sid_token, "session id");
+  if (!sid.ok()) return ErrReply(sid.status());
+  if (sql.empty()) {
+    return ErrReply(Status::InvalidArgument("QUERY needs a statement"));
+  }
+  auto session = sessions_.Find(*sid, now_ms);
+  if (!session.ok()) return ErrReply(session.status());
+
+  std::lock_guard<std::mutex> lock((*session)->mu);
+  auto result = (*session)->client.Query(sql);
+  if (!result.ok()) return ErrReply(result.status());
+
+  std::string out = RenderSchema(result->schema);
+  for (const Row& row : result->rows) out += RenderRow(row);
+  out += "OK " + std::to_string(result->rows.size()) + "\n";
+  return out;
+}
+
+std::string Server::HandleDeclare(const std::string& args, int64_t now_ms) {
+  std::string sql;
+  std::string sid_token = TakeToken(args, &sql);
+  auto sid = ParseId(sid_token, "session id");
+  if (!sid.ok()) return ErrReply(sid.status());
+  if (sql.empty()) {
+    return ErrReply(Status::InvalidArgument("DECLARE needs a statement"));
+  }
+  auto session = sessions_.Find(*sid, now_ms);
+  if (!session.ok()) return ErrReply(session.status());
+
+  std::lock_guard<std::mutex> lock((*session)->mu);
+  auto cursor = (*session)->client.Declare(sql, config_.cursor_deadline_ms);
+  if (!cursor.ok()) return ErrReply(cursor.status());
+  auto cid = cursors_.Insert(*sid, std::move(*cursor), now_ms);
+  if (!cid.ok()) return ErrReply(cid.status());
+  return "CURSOR " + std::to_string(*cid) + "\n";
+}
+
+std::string Server::HandleFetch(const std::string& args, int64_t now_ms) {
+  std::string rest;
+  auto sid = ParseId(TakeToken(args, &rest), "session id");
+  if (!sid.ok()) return ErrReply(sid.status());
+  auto cid = ParseId(TakeToken(rest, &rest), "cursor id");
+  if (!cid.ok()) return ErrReply(cid.status());
+  int64_t n = config_.default_fetch_rows;
+  std::string n_token = TakeToken(rest, &rest);
+  if (!n_token.empty()) {
+    auto parsed = ParseI64(n_token, "fetch count");
+    if (!parsed.ok()) return ErrReply(parsed.status());
+    n = *parsed;
+  }
+  auto session = sessions_.Find(*sid, now_ms);
+  if (!session.ok()) return ErrReply(session.status());
+
+  std::lock_guard<std::mutex> lock((*session)->mu);
+  auto lease = cursors_.Checkout(*cid, *sid, now_ms);
+  if (!lease.ok()) return ErrReply(lease.status());
+
+  auto page = (*lease)->Fetch(n);
+  if (!page.ok()) return ErrReply(page.status());
+
+  cursors_.RecordFetch(static_cast<int64_t>(page->rows.size()));
+  std::string out;
+  for (const Row& row : page->rows) out += RenderRow(row);
+  if (page->done) {
+    out += "DONE " + std::to_string((*lease)->rows_fetched()) + "\n";
+  } else {
+    out += "MORE " + std::to_string(page->rows.size()) + "\n";
+  }
+  return out;
+}
+
+std::string Server::HandleClose(const std::string& args, int64_t now_ms) {
+  std::string rest;
+  auto sid = ParseId(TakeToken(args, &rest), "session id");
+  if (!sid.ok()) return ErrReply(sid.status());
+
+  std::string cid_token = TakeToken(rest, &rest);
+  if (!cid_token.empty()) {
+    auto cid = ParseId(cid_token, "cursor id");
+    if (!cid.ok()) return ErrReply(cid.status());
+    // Validate the session exists (and touch it) before closing the cursor.
+    auto session = sessions_.Find(*sid, now_ms);
+    if (!session.ok()) return ErrReply(session.status());
+    Status status = cursors_.Close(*cid, *sid);
+    if (!status.ok()) return ErrReply(status);
+    return "OK\n";
+  }
+
+  cursors_.CloseSession(*sid);
+  Status status = sessions_.Close(*sid);
+  if (!status.ok()) return ErrReply(status);
+  return "OK\n";
+}
+
+std::string Server::HandleStats(const std::string& args) {
+  std::string rest;
+  std::string mode = TakeToken(args, &rest);
+  ServerStatsSnapshot snapshot = Stats();
+  if (mode == "json") return RenderStatsJson(snapshot) + "\n";
+  if (!mode.empty()) {
+    return ErrReply(Status::InvalidArgument("bad STATS mode: " + mode));
+  }
+  return RenderStatsText(snapshot);
+}
+
+ServerStatsSnapshot Server::Stats() const {
+  return SnapshotServerStats(service_->db()->robustness(),
+                             service_->engine().plan_cache(), &sessions_,
+                             &cursors_);
+}
+
+}  // namespace aggify

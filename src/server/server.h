@@ -1,0 +1,84 @@
+// Server: the multi-client front end. One instance multiplexes many
+// concurrent client sessions over a shared EngineService, driven by a small
+// line-oriented text protocol (docs/SERVER.md):
+//
+//   OPEN [dop=N] [batch=0|1] [timeout_ms=N] [memory_limit_bytes=N]
+//        [session_memory_limit_bytes=N]            -> OK <sid>
+//   QUERY <sid> <sql>                 -> SCHEMA ... / ROW ... / OK <rows>
+//   DECLARE <sid> <sql>               -> CURSOR <cid>
+//   FETCH <sid> <cid> [n]             -> ROW ... / MORE <n> | DONE <total>
+//   CLOSE <sid> [<cid>]               -> OK
+//   STATS [json]                      -> the shared ServerStatsSnapshot
+//   any failure                       -> ERR <code> <message>
+//
+// Handle() is thread-safe: each call is one client request, and callers on
+// different threads model different connections. Commands of one session
+// serialize on the session's mutex; different sessions run concurrently
+// through the engine's shared plan cache and admission gate. Every Handle
+// also lazily sweeps idle sessions (tearing down their cursors — invariant
+// 13: a cursor never outlives its session) and TTL-expired cursors.
+//
+// Serving is read-only: the catalog is loaded once via
+// EngineService::RunScript before serving starts, and the protocol only
+// accepts SELECTs. (Catalog mutation is not thread-safe; a serving DDL path
+// would need a catalog lock this PR does not add.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "server/cursor_registry.h"
+#include "server/server_stats.h"
+#include "server/session_manager.h"
+
+namespace aggify {
+
+class Server {
+ public:
+  struct Config {
+    SessionManager::Config sessions;
+    CursorRegistry::Config cursors;
+    /// Rows per FETCH when the client omits the count.
+    int64_t default_fetch_rows = 16;
+    /// Lifetime deadline installed on every DECLAREd cursor (0 = only the
+    /// session's per-statement timeout applies).
+    int64_t cursor_deadline_ms = 0;
+    /// Injectable monotonic clock for deterministic TTL tests; null uses
+    /// std::chrono::steady_clock.
+    std::function<int64_t()> clock_ms;
+  };
+
+  explicit Server(EngineService* service) : Server(service, Config()) {}
+  Server(EngineService* service, Config config);
+
+  /// \brief Serves one protocol request, returning the full reply (possibly
+  /// multi-line, '\n'-separated). Thread-safe; never throws protocol errors
+  /// — they come back as "ERR <code> <message>".
+  std::string Handle(const std::string& request);
+
+  ServerStatsSnapshot Stats() const;
+
+  EngineService* service() const { return service_; }
+  SessionManager& sessions() { return sessions_; }
+  CursorRegistry& cursors() { return cursors_; }
+  int64_t NowMs() const { return clock_(); }
+
+ private:
+  std::string HandleOpen(const std::string& args, int64_t now_ms);
+  std::string HandleQuery(const std::string& args, int64_t now_ms);
+  std::string HandleDeclare(const std::string& args, int64_t now_ms);
+  std::string HandleFetch(const std::string& args, int64_t now_ms);
+  std::string HandleClose(const std::string& args, int64_t now_ms);
+  std::string HandleStats(const std::string& args);
+  /// Evicts idle sessions (and their cursors) and expired cursors.
+  void Sweep(int64_t now_ms);
+
+  EngineService* service_;
+  Config config_;
+  std::function<int64_t()> clock_;
+  SessionManager sessions_;
+  CursorRegistry cursors_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,121 @@
+#include "server/server_stats.h"
+
+#include <utility>
+#include <vector>
+
+#include "server/cursor_registry.h"
+#include "server/session_manager.h"
+
+namespace aggify {
+
+namespace {
+
+// Single field table drives both renderers, so text and JSON can never
+// disagree on names or coverage.
+std::vector<std::pair<const char*, int64_t>> Fields(
+    const ServerStatsSnapshot& s) {
+  return {
+      {"rewrite_exec_failures", s.rewrite_exec_failures},
+      {"fallbacks_taken", s.fallbacks_taken},
+      {"fallback_successes", s.fallback_successes},
+      {"verify_runs", s.verify_runs},
+      {"verify_mismatches", s.verify_mismatches},
+      {"transient_retries", s.transient_retries},
+      {"cancellations", s.cancellations},
+      {"deadline_timeouts", s.deadline_timeouts},
+      {"degraded_batch_to_row", s.degraded_batch_to_row},
+      {"degraded_parallel_to_serial", s.degraded_parallel_to_serial},
+      {"resource_exhausted_failures", s.resource_exhausted_failures},
+      {"admission_waits", s.admission_waits},
+      {"admission_rejections", s.admission_rejections},
+      {"plan_cache_hits", s.plan_cache_hits},
+      {"plan_cache_misses", s.plan_cache_misses},
+      {"plan_cache_size", s.plan_cache_size},
+      {"sessions_open", s.sessions_open},
+      {"sessions_opened", s.sessions_opened},
+      {"sessions_closed", s.sessions_closed},
+      {"sessions_evicted", s.sessions_evicted},
+      {"sessions_rejected", s.sessions_rejected},
+      {"cursors_open", s.cursors_open},
+      {"cursors_opened", s.cursors_opened},
+      {"cursors_closed", s.cursors_closed},
+      {"cursors_evicted", s.cursors_evicted},
+      {"cursors_rejected", s.cursors_rejected},
+      {"cursor_fetches", s.cursor_fetches},
+      {"cursor_rows_streamed", s.cursor_rows_streamed},
+  };
+}
+
+}  // namespace
+
+ServerStatsSnapshot SnapshotServerStats(const RobustnessStats& robustness,
+                                        const PlanCache& plan_cache,
+                                        const SessionManager* sessions,
+                                        const CursorRegistry* cursors) {
+  ServerStatsSnapshot s;
+  s.rewrite_exec_failures = robustness.rewrite_exec_failures.load();
+  s.fallbacks_taken = robustness.fallbacks_taken.load();
+  s.fallback_successes = robustness.fallback_successes.load();
+  s.verify_runs = robustness.verify_runs.load();
+  s.verify_mismatches = robustness.verify_mismatches.load();
+  s.transient_retries = robustness.transient_retries.load();
+  s.cancellations = robustness.cancellations.load();
+  s.deadline_timeouts = robustness.deadline_timeouts.load();
+  s.degraded_batch_to_row = robustness.degraded_batch_to_row.load();
+  s.degraded_parallel_to_serial = robustness.degraded_parallel_to_serial.load();
+  s.resource_exhausted_failures = robustness.resource_exhausted_failures.load();
+  s.admission_waits = robustness.admission_waits.load();
+  s.admission_rejections = robustness.admission_rejections.load();
+
+  s.plan_cache_hits = plan_cache.hits();
+  s.plan_cache_misses = plan_cache.misses();
+  s.plan_cache_size = static_cast<int64_t>(plan_cache.size());
+
+  if (sessions != nullptr) {
+    auto c = sessions->counters();
+    s.sessions_open = sessions->open_sessions();
+    s.sessions_opened = c.opened;
+    s.sessions_closed = c.closed;
+    s.sessions_evicted = c.evicted;
+    s.sessions_rejected = c.rejected;
+  }
+  if (cursors != nullptr) {
+    auto c = cursors->counters();
+    s.cursors_open = cursors->open_cursors();
+    s.cursors_opened = c.opened;
+    s.cursors_closed = c.closed;
+    s.cursors_evicted = c.evicted;
+    s.cursors_rejected = c.rejected;
+    s.cursor_fetches = c.fetches;
+    s.cursor_rows_streamed = c.rows_streamed;
+  }
+  return s;
+}
+
+std::string RenderStatsText(const ServerStatsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : Fields(snapshot)) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderStatsJson(const ServerStatsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : Fields(snapshot)) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aggify

@@ -1,0 +1,71 @@
+// ServerStatsSnapshot: one plain-integer copy of every observability
+// counter the engine keeps — robustness outcomes, plan-cache hit rate,
+// session/cursor lifecycle. The server's STATS command and `aggify_cli
+// stats` render this same struct (text or JSON), so the two surfaces can
+// never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/robustness_stats.h"
+#include "plan/query_engine.h"
+
+namespace aggify {
+
+class SessionManager;
+class CursorRegistry;
+
+struct ServerStatsSnapshot {
+  // RobustnessStats (atomics copied to plain ints — the snapshot is not
+  // itself a consistent cut, same as RobustnessStats::ToString).
+  int64_t rewrite_exec_failures = 0;
+  int64_t fallbacks_taken = 0;
+  int64_t fallback_successes = 0;
+  int64_t verify_runs = 0;
+  int64_t verify_mismatches = 0;
+  int64_t transient_retries = 0;
+  int64_t cancellations = 0;
+  int64_t deadline_timeouts = 0;
+  int64_t degraded_batch_to_row = 0;
+  int64_t degraded_parallel_to_serial = 0;
+  int64_t resource_exhausted_failures = 0;
+  int64_t admission_waits = 0;
+  int64_t admission_rejections = 0;
+
+  // Plan cache.
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_size = 0;
+
+  // Sessions (zero when no server is running, e.g. `aggify_cli stats`).
+  int64_t sessions_open = 0;
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t sessions_evicted = 0;
+  int64_t sessions_rejected = 0;
+
+  // Cursors.
+  int64_t cursors_open = 0;
+  int64_t cursors_opened = 0;
+  int64_t cursors_closed = 0;
+  int64_t cursors_evicted = 0;
+  int64_t cursors_rejected = 0;
+  int64_t cursor_fetches = 0;
+  int64_t cursor_rows_streamed = 0;
+};
+
+/// Copies the live counters. `sessions` / `cursors` may be null (one-shot
+/// CLI use): their fields stay zero.
+ServerStatsSnapshot SnapshotServerStats(const RobustnessStats& robustness,
+                                        const PlanCache& plan_cache,
+                                        const SessionManager* sessions,
+                                        const CursorRegistry* cursors);
+
+/// `key=value` lines grouped by section — the human form.
+std::string RenderStatsText(const ServerStatsSnapshot& snapshot);
+
+/// One flat JSON object, keys identical to the text form.
+std::string RenderStatsJson(const ServerStatsSnapshot& snapshot);
+
+}  // namespace aggify

@@ -1,0 +1,72 @@
+#include "server/session_manager.h"
+
+namespace aggify {
+
+Result<std::shared_ptr<ServerSession>> SessionManager::Open(
+    EngineService* service, const EngineOptions& options, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.max_sessions > 0 &&
+      static_cast<int>(sessions_.size()) >= config_.max_sessions) {
+    ++counters_.rejected;
+    return Status::ResourceExhausted(
+        "session table full (" + std::to_string(config_.max_sessions) +
+        " open sessions)");
+  }
+  uint64_t id = next_id_++;
+  auto session = std::make_shared<ServerSession>(id, service, options);
+  session->last_used_ms.store(now_ms, std::memory_order_relaxed);
+  sessions_[id] = session;
+  ++counters_.opened;
+  return session;
+}
+
+Result<std::shared_ptr<ServerSession>> SessionManager::Find(
+    uint64_t session_id, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  it->second->last_used_ms.store(now_ms, std::memory_order_relaxed);
+  return it->second;
+}
+
+Status SessionManager::Close(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  sessions_.erase(it);
+  ++counters_.closed;
+  return Status::OK();
+}
+
+std::vector<uint64_t> SessionManager::SweepIdle(int64_t now_ms) {
+  std::vector<uint64_t> evicted;
+  if (config_.idle_ttl_ms <= 0) return evicted;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    int64_t last = it->second->last_used_ms.load(std::memory_order_relaxed);
+    if (now_ms - last < config_.idle_ttl_ms) {
+      ++it;
+      continue;
+    }
+    evicted.push_back(it->first);
+    it = sessions_.erase(it);
+    ++counters_.evicted;
+  }
+  return evicted;
+}
+
+int64_t SessionManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+SessionManager::Counters SessionManager::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace aggify

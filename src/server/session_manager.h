@@ -1,0 +1,81 @@
+// SessionManager: id-keyed table of connected clients. Each session wraps a
+// ClientSession (cheap handle onto the shared EngineService) with a
+// per-session mutex — the server holds it across QUERY/DECLARE/FETCH so one
+// client's commands serialize while different clients run concurrently —
+// and an idle clock for TTL eviction. Bounded capacity: OPEN beyond
+// `max_sessions` is rejected with kResourceExhausted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "procedural/service.h"
+
+namespace aggify {
+
+/// One connected client as the server sees it. Lifetime is shared_ptr so a
+/// command already executing survives a concurrent eviction of its session.
+struct ServerSession {
+  uint64_t id = 0;
+  ClientSession client;
+  /// Serializes this session's commands; never held while another session's
+  /// mutex is held (no lock order between sessions).
+  std::mutex mu;
+  /// Atomic so the sweep can read it without taking `mu` (which a slow
+  /// command may hold for a while).
+  std::atomic<int64_t> last_used_ms{0};
+
+  ServerSession(uint64_t session_id, EngineService* service,
+                const EngineOptions& options)
+      : id(session_id), client(service, options, session_id) {}
+};
+
+class SessionManager {
+ public:
+  struct Config {
+    int max_sessions = 256;
+    /// A session idle this long is evicted by the sweep. <= 0 disables.
+    int64_t idle_ttl_ms = 60'000;
+  };
+
+  struct Counters {
+    int64_t opened = 0;
+    int64_t closed = 0;
+    int64_t evicted = 0;
+    int64_t rejected = 0;
+  };
+
+  explicit SessionManager(Config config) : config_(config) {}
+
+  /// Errors: ResourceExhausted at the configured bound.
+  Result<std::shared_ptr<ServerSession>> Open(EngineService* service,
+                                              const EngineOptions& options,
+                                              int64_t now_ms);
+
+  /// Looks the session up and touches its idle clock. Errors: NotFound.
+  Result<std::shared_ptr<ServerSession>> Find(uint64_t session_id,
+                                              int64_t now_ms);
+
+  /// Client CLOSE. Errors: NotFound.
+  Status Close(uint64_t session_id);
+
+  /// Evicts idle-expired sessions; returns their ids so the caller can tear
+  /// down their cursors in the registry.
+  std::vector<uint64_t> SweepIdle(int64_t now_ms);
+
+  int64_t open_sessions() const;
+  Counters counters() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
+  uint64_t next_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,205 @@
+#include "workloads/multi_client_harness.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+
+namespace aggify {
+
+namespace {
+
+/// How many "ROW" lines a reply carries.
+int64_t CountRows(const std::string& reply) {
+  int64_t rows = 0;
+  size_t pos = 0;
+  while (pos < reply.size()) {
+    if (reply.compare(pos, 4, "ROW\t") == 0 ||
+        reply.compare(pos, 4, "ROW\n") == 0) {
+      ++rows;
+    }
+    pos = reply.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return rows;
+}
+
+bool IsErr(const std::string& reply) { return reply.compare(0, 4, "ERR ") == 0; }
+
+/// One client's view of the wire: seeded drop draws, retry with simulated
+/// backoff, byte/row accounting. Mirrors RemoteInterpreter's discipline.
+class Wire {
+ public:
+  Wire(Server* server, const NetworkModel& model, const RetryPolicy& retry,
+       uint64_t client_salt, MultiClientReport* report)
+      : server_(server),
+        model_(model.Clamped()),
+        retry_(retry),
+        fault_rng_(model_.fault_seed ^ client_salt),
+        jitter_rng_(retry_.jitter_seed ^ client_salt),
+        report_(report) {
+    if (retry_.max_attempts < 1) retry_.max_attempts = 1;
+  }
+
+  /// Sends one request, retrying dropped sends. Empty optional-style
+  /// return: an empty string means the retry budget is exhausted (the
+  /// conversation is abandoned and counted as undelivered).
+  std::string Send(const std::string& request) {
+    NetworkStats& net = report_->network;
+    for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++net.retries;
+        net.backoff_ms += JitteredBackoffMs(RawBackoffMs(retry_, attempt),
+                                            jitter_rng_.NextDouble());
+      }
+      ++report_->requests;
+      ++net.round_trips;
+      ++net.statements_sent;
+      net.bytes_to_server +=
+          static_cast<int64_t>(request.size()) + model_.per_message_bytes;
+      if (model_.drop_probability > 0.0 &&
+          fault_rng_.NextDouble() < model_.drop_probability) {
+        // Lost in flight: the server never saw it; re-send is idempotent.
+        ++net.drops;
+        ++net.timeouts;
+        continue;
+      }
+      std::string reply = server_->Handle(request);
+      net.bytes_to_client +=
+          static_cast<int64_t>(reply.size()) + model_.per_message_bytes;
+      int64_t rows = CountRows(reply);
+      net.rows_transferred += rows;
+      report_->rows_received += rows;
+      if (IsErr(reply)) ++report_->errors;
+      return reply;
+    }
+    ++report_->undelivered;
+    return "";
+  }
+
+ private:
+  Server* server_;
+  NetworkModel model_;
+  RetryPolicy retry_;
+  Random fault_rng_;
+  Random jitter_rng_;
+  MultiClientReport* report_;
+};
+
+/// First line's second token ("OK 3" -> "3", "CURSOR 7" -> "7").
+std::string SecondToken(const std::string& reply) {
+  size_t sp = reply.find(' ');
+  if (sp == std::string::npos) return "";
+  size_t end = reply.find_first_of(" \n", sp + 1);
+  return reply.substr(sp + 1, end - sp - 1);
+}
+
+}  // namespace
+
+std::string MultiClientReport::ToString() const {
+  return "clients=" + std::to_string(clients_completed) +
+         " requests=" + std::to_string(requests) +
+         " queries=" + std::to_string(queries_sent) +
+         " cursors=" + std::to_string(cursors_opened) +
+         " rows=" + std::to_string(rows_received) +
+         " errors=" + std::to_string(errors) +
+         " undelivered=" + std::to_string(undelivered) + " " +
+         network.ToString();
+}
+
+MultiClientReport MultiClientHarness::RunClient(int client_index) {
+  MultiClientReport report;
+  uint64_t salt = config_.seed + 0x9E3779B9ull * (client_index + 1);
+  Wire wire(server_, config_.network, config_.retry, salt, &report);
+  Random pick(salt);
+
+  std::string open = "OPEN";
+  if (!config_.open_options.empty()) open += " " + config_.open_options;
+  std::string reply = wire.Send(open);
+  if (reply.empty() || IsErr(reply)) {
+    report.clients_completed = 1;  // completed (by failing to connect)
+    return report;
+  }
+  std::string sid = SecondToken(reply);
+
+  for (int i = 0; i < config_.requests_per_client; ++i) {
+    const std::string& sql =
+        config_.statements[pick.Uniform(config_.statements.size())];
+    bool use_cursor =
+        config_.declare_every > 0 && i % config_.declare_every == 0;
+    if (!use_cursor) {
+      ++report.queries_sent;
+      wire.Send("QUERY " + sid + " " + sql);
+      continue;
+    }
+    reply = wire.Send("DECLARE " + sid + " " + sql);
+    if (reply.empty() || IsErr(reply)) continue;
+    ++report.cursors_opened;
+    std::string cid = SecondToken(reply);
+    std::string fetch = "FETCH " + sid + " " + cid + " " +
+                        std::to_string(config_.fetch_rows);
+    bool done = false;
+    while (!done) {
+      reply = wire.Send(fetch);
+      if (reply.empty() || IsErr(reply)) {
+        // A failed FETCH closed the cursor server-side (or the request
+        // never arrived) — CLOSE to be sure, ignoring "no such cursor".
+        wire.Send("CLOSE " + sid + " " + cid);
+        break;
+      }
+      done = reply.find("DONE ") != std::string::npos;
+    }
+  }
+
+  wire.Send("CLOSE " + sid);
+  report.clients_completed = 1;
+  return report;
+}
+
+Result<MultiClientReport> MultiClientHarness::Run() {
+  if (config_.clients < 1) {
+    return Status::InvalidArgument("clients must be >= 1");
+  }
+  if (config_.statements.empty()) {
+    return Status::InvalidArgument("statement pool is empty");
+  }
+
+  std::vector<MultiClientReport> reports(config_.clients);
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config_.clients);
+    for (int c = 0; c < config_.clients; ++c) {
+      threads.emplace_back(
+          [this, c, &reports] { reports[c] = RunClient(c); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  MultiClientReport total;
+  for (const auto& r : reports) {
+    total.clients_completed += r.clients_completed;
+    total.requests += r.requests;
+    total.errors += r.errors;
+    total.undelivered += r.undelivered;
+    total.rows_received += r.rows_received;
+    total.cursors_opened += r.cursors_opened;
+    total.queries_sent += r.queries_sent;
+    total.network.round_trips += r.network.round_trips;
+    total.network.bytes_to_client += r.network.bytes_to_client;
+    total.network.bytes_to_server += r.network.bytes_to_server;
+    total.network.rows_transferred += r.network.rows_transferred;
+    total.network.statements_sent += r.network.statements_sent;
+    total.network.retries += r.network.retries;
+    total.network.drops += r.network.drops;
+    total.network.timeouts += r.network.timeouts;
+    total.network.backoff_ms += r.network.backoff_ms;
+  }
+  total.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return total;
+}
+
+}  // namespace aggify

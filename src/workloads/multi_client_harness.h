@@ -1,0 +1,80 @@
+// MultiClientHarness: N simulated concurrent clients driving one Server
+// through its text protocol, each from its own thread — the measurement and
+// stress rig behind bench_server_scale and the server concurrency tests.
+//
+// Each client OPENs a session, then issues a seeded mix of one-shot QUERYs
+// and DECLARE / FETCH-until-DONE / CLOSE cursor conversations, and finally
+// CLOSEs its session. The simulated network sits between client and server:
+// every request is a round trip whose loss is a deterministic seeded draw
+// from the NetworkModel's drop_probability; a lost request is re-sent under
+// the RetryPolicy (exponential backoff with jitter, accounted into
+// NetworkStats like RemoteInterpreter does — simulated, not slept). Drops
+// are drawn before the request reaches the server, so a retry is an
+// idempotent re-send and cursor positions never skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/network.h"
+#include "server/server.h"
+
+namespace aggify {
+
+struct MultiClientConfig {
+  int clients = 4;
+  /// Protocol conversations per client (a cursor conversation counts once).
+  int requests_per_client = 8;
+  /// Every `declare_every`-th conversation is a DECLARE/FETCH loop; the
+  /// rest are one-shot QUERYs. 0 = one-shot only.
+  int declare_every = 2;
+  /// Rows per FETCH in cursor conversations.
+  int64_t fetch_rows = 8;
+  /// Statement pool each client samples from (seeded, per-client stream).
+  /// All clients share the pool so the plan cache sees cross-session hits.
+  std::vector<std::string> statements;
+  /// OPEN options appended verbatim (e.g. "dop=4 batch=1").
+  std::string open_options;
+  NetworkModel network;
+  RetryPolicy retry;
+  uint64_t seed = 0xC11E27;
+};
+
+struct MultiClientReport {
+  int clients_completed = 0;
+  /// Protocol requests sent (including re-sends).
+  int64_t requests = 0;
+  /// Requests that came back "ERR ..." (admission rejections, registry
+  /// bounds, deadlines — protocol-level failures, not harness bugs).
+  int64_t errors = 0;
+  /// Requests abandoned after the retry budget (all attempts dropped).
+  int64_t undelivered = 0;
+  int64_t rows_received = 0;
+  int64_t cursors_opened = 0;
+  int64_t queries_sent = 0;
+  NetworkStats network;
+  double wall_seconds = 0;
+
+  std::string ToString() const;
+};
+
+class MultiClientHarness {
+ public:
+  MultiClientHarness(Server* server, MultiClientConfig config)
+      : server_(server), config_(std::move(config)) {}
+
+  /// Runs all clients to completion (one thread each) and aggregates their
+  /// reports. Errors: InvalidArgument on an empty statement pool or a
+  /// non-positive client count.
+  Result<MultiClientReport> Run();
+
+ private:
+  /// One client's whole life; merged into the aggregate report by Run().
+  MultiClientReport RunClient(int client_index);
+
+  Server* server_;
+  MultiClientConfig config_;
+};
+
+}  // namespace aggify

@@ -1,0 +1,305 @@
+// Cursor-session lifecycle tests over the server stack (PR 10): incremental
+// FETCH vs one-shot bit-identity across the batch and DOP axes, TTL
+// eviction under an injected clock, bounded-capacity rejection, mid-fetch
+// cancellation and deadlines, session teardown (invariant 13: a cursor
+// never outlives its session), and cross-session plan-cache reuse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "test_util.h"
+
+namespace aggify {
+namespace {
+
+/// 120 rows with repeating groups — enough for multi-page fetches and
+/// non-trivial aggregation.
+std::string DataScript() {
+  std::string script = "CREATE TABLE t (k INT, v INT, s VARCHAR);\n";
+  for (int i = 0; i < 120; ++i) {
+    script += "INSERT INTO t VALUES (" + std::to_string(i % 7) + ", " +
+              std::to_string(i * 3 + 1) + ", 'r" + std::to_string(i % 11) +
+              "');\n";
+  }
+  return script;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<EngineService>(&db_);
+    ASSERT_OK(service_->RunSql(DataScript()));
+  }
+
+  /// A server over the shared service whose clock is `now_ms_` (advanced by
+  /// tests to trigger TTL sweeps deterministically).
+  Server MakeServer(Server::Config config = Server::Config()) {
+    config.clock_ms = [this] { return now_ms_; };
+    return Server(service_.get(), config);
+  }
+
+  Database db_;
+  std::unique_ptr<EngineService> service_;
+  int64_t now_ms_ = 0;
+};
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(a.rows[i], b.rows[i]))
+        << "row " << i << ": " << RowToString(a.rows[i]) << " vs "
+        << RowToString(b.rows[i]);
+  }
+}
+
+// ---- incremental fetch == one-shot, across the batch and DOP axes ----
+
+TEST_F(ServerTest, FetchAllIsBitIdenticalToOneShot) {
+  const char* queries[] = {
+      "SELECT k, v, s FROM t WHERE v > 40",
+      "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k ORDER BY k",
+      "SELECT s, MAX(v) FROM t WHERE k < 5 GROUP BY s ORDER BY s",
+  };
+  for (bool batch : {false, true}) {
+    for (int dop : {1, 4}) {
+      EngineOptions options;
+      options.execution.enable_batch = batch;
+      options.execution.degree_of_parallelism = dop;
+      ClientSession oneshot(service_.get(), options);
+      ClientSession paged(service_.get(), options);
+      for (const char* sql : queries) {
+        SCOPED_TRACE(std::string(sql) + " batch=" + std::to_string(batch) +
+                     " dop=" + std::to_string(dop));
+        ASSERT_OK_AND_ASSIGN(QueryResult direct, oneshot.Query(sql));
+        ASSERT_OK_AND_ASSIGN(auto cursor, paged.Declare(sql));
+        // Tiny pages force many FETCH increments.
+        ASSERT_OK_AND_ASSIGN(QueryResult drained, cursor->Drain(7));
+        ExpectSameResult(direct, drained);
+      }
+    }
+  }
+}
+
+TEST_F(ServerTest, FetchPagesArriveInOrderWithExactCounts) {
+  ClientSession session(service_.get(), EngineOptions());
+  ASSERT_OK_AND_ASSIGN(auto cursor,
+                       session.Declare("SELECT v FROM t ORDER BY v"));
+  int64_t seen = 0;
+  int64_t last = -1;
+  while (!cursor->done()) {
+    ASSERT_OK_AND_ASSIGN(QueryPage page, cursor->Fetch(13));
+    EXPECT_EQ(page.first_row_index, seen);
+    for (const Row& row : page.rows) {
+      EXPECT_GT(row[0].int_value(), last);
+      last = row[0].int_value();
+    }
+    seen += static_cast<int64_t>(page.rows.size());
+  }
+  EXPECT_EQ(seen, 120);
+  EXPECT_EQ(cursor->rows_fetched(), 120);
+  // The exhausted cursor reports a sticky done page.
+  ASSERT_OK_AND_ASSIGN(QueryPage after, cursor->Fetch(5));
+  EXPECT_TRUE(after.done);
+  EXPECT_TRUE(after.rows.empty());
+}
+
+// ---- TTL eviction under the injected clock ----
+
+TEST_F(ServerTest, IdleCursorIsEvictedAfterTtl) {
+  Server::Config config;
+  config.cursors.idle_ttl_ms = 1000;
+  Server server = MakeServer(config);
+
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  std::string reply = server.Handle("DECLARE 1 SELECT v FROM t");
+  ASSERT_EQ(reply, "CURSOR 1\n");
+
+  // Keep the cursor warm past one TTL: FETCHes re-arm the idle clock.
+  now_ms_ += 900;
+  EXPECT_EQ(server.Handle("FETCH 1 1 4").substr(0, 4), "ROW\t");
+  now_ms_ += 900;
+  EXPECT_EQ(server.Handle("FETCH 1 1 4").substr(0, 4), "ROW\t");
+
+  // Now let it expire; the next request's sweep evicts it.
+  now_ms_ += 1001;
+  reply = server.Handle("FETCH 1 1 4");
+  EXPECT_EQ(reply.substr(0, 14), "ERR not_found ") << reply;
+  EXPECT_EQ(server.cursors().counters().evicted, 1);
+  EXPECT_EQ(server.cursors().open_cursors(), 0);
+}
+
+TEST_F(ServerTest, IdleSessionEvictionTearsDownItsCursors) {
+  Server::Config config;
+  config.sessions.idle_ttl_ms = 1000;
+  config.cursors.idle_ttl_ms = 0;  // only the session TTL is in play
+  Server server = MakeServer(config);
+
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  ASSERT_EQ(server.Handle("DECLARE 1 SELECT v FROM t"), "CURSOR 1\n");
+  ASSERT_EQ(server.sessions().open_sessions(), 1);
+  ASSERT_EQ(server.cursors().open_cursors(), 1);
+
+  // Invariant 13: evicting the session destroys its cursor too.
+  now_ms_ += 1001;
+  std::string reply = server.Handle("STATS");
+  EXPECT_EQ(server.sessions().open_sessions(), 0);
+  EXPECT_EQ(server.cursors().open_cursors(), 0);
+  EXPECT_EQ(server.Handle("FETCH 1 1 4").substr(0, 14), "ERR not_found ");
+}
+
+// ---- bounded capacity ----
+
+TEST_F(ServerTest, CursorRegistryRejectsBeyondCapacityUntilClose) {
+  Server::Config config;
+  config.cursors.max_cursors = 2;
+  Server server = MakeServer(config);
+
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  ASSERT_EQ(server.Handle("DECLARE 1 SELECT v FROM t"), "CURSOR 1\n");
+  ASSERT_EQ(server.Handle("DECLARE 1 SELECT k FROM t"), "CURSOR 2\n");
+  std::string reply = server.Handle("DECLARE 1 SELECT s FROM t");
+  EXPECT_EQ(reply.substr(0, 23), "ERR resource_exhausted ") << reply;
+  EXPECT_EQ(server.cursors().counters().rejected, 1);
+
+  ASSERT_EQ(server.Handle("CLOSE 1 1"), "OK\n");
+  EXPECT_EQ(server.Handle("DECLARE 1 SELECT s FROM t"), "CURSOR 3\n");
+}
+
+TEST_F(ServerTest, SessionTableRejectsBeyondCapacity) {
+  Server::Config config;
+  config.sessions.max_sessions = 1;
+  Server server = MakeServer(config);
+
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  std::string reply = server.Handle("OPEN");
+  EXPECT_EQ(reply.substr(0, 23), "ERR resource_exhausted ") << reply;
+  EXPECT_EQ(server.sessions().counters().rejected, 1);
+  ASSERT_EQ(server.Handle("CLOSE 1"), "OK\n");
+  EXPECT_EQ(server.Handle("OPEN"), "OK 2\n");
+}
+
+// ---- cancellation and deadlines mid-fetch ----
+
+TEST_F(ServerTest, CancelBetweenFetchesStopsTheCursor) {
+  ClientSession session(service_.get(), EngineOptions());
+  ASSERT_OK_AND_ASSIGN(auto cursor, session.Declare("SELECT v FROM t"));
+  ASSERT_OK_AND_ASSIGN(QueryPage first, cursor->Fetch(10));
+  EXPECT_EQ(first.rows.size(), 10u);
+
+  cursor->query_context()->Cancel();
+  auto page = cursor->Fetch(10);
+  ASSERT_FALSE(page.ok());
+  EXPECT_TRUE(page.status().IsCancelled()) << page.status().ToString();
+  // The failed fetch closed the cursor; it stays done.
+  EXPECT_TRUE(cursor->done());
+}
+
+TEST_F(ServerTest, CursorDeadlineExpiresMidFetch) {
+  ClientSession session(service_.get(), EngineOptions());
+  ASSERT_OK_AND_ASSIGN(auto cursor,
+                       session.Declare("SELECT v FROM t", /*deadline_ms=*/5));
+  ASSERT_OK_AND_ASSIGN(QueryPage first, cursor->Fetch(10));
+  EXPECT_FALSE(first.done);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto page = cursor->Fetch(10);
+  ASSERT_FALSE(page.ok());
+  EXPECT_TRUE(page.status().IsTimeout()) << page.status().ToString();
+}
+
+TEST_F(ServerTest, ClosingABusyCursorDoomsItWithoutDestroying) {
+  Server::Config config;
+  Server server = MakeServer(config);
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  ASSERT_EQ(server.Handle("DECLARE 1 SELECT v FROM t"), "CURSOR 1\n");
+
+  // Simulate the mid-fetch state directly on the registry.
+  ASSERT_OK_AND_ASSIGN(auto lease, server.cursors().Checkout(1, 1, now_ms_));
+  // A second checkout of a busy cursor is refused.
+  ASSERT_NOT_OK(server.cursors().Checkout(1, 1, now_ms_));
+  // CLOSE while busy dooms it (and cancels its governance token).
+  ASSERT_OK(server.cursors().Close(1, 1));
+  EXPECT_TRUE(lease->query_context()->cancelled());
+  EXPECT_EQ(server.cursors().open_cursors(), 1);  // still alive while leased
+  lease = CursorRegistry::Lease();                // check-in destroys it
+  EXPECT_EQ(server.cursors().open_cursors(), 0);
+}
+
+// ---- cross-session plan-cache reuse ----
+
+TEST_F(ServerTest, SessionsWithSameOptionsShareCachedPlans) {
+  Server server = MakeServer();
+  ASSERT_EQ(server.Handle("OPEN dop=2 batch=1"), "OK 1\n");
+  ASSERT_EQ(server.Handle("OPEN dop=2 batch=1"), "OK 2\n");
+
+  const std::string sql = "SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k";
+  int64_t hits_before = service_->engine().plan_cache().hits();
+  std::string first = server.Handle("QUERY 1 " + sql);
+  std::string second = server.Handle("QUERY 2 " + sql);
+  EXPECT_EQ(first, second);  // including byte-identical row rendering
+  EXPECT_GT(service_->engine().plan_cache().hits(), hits_before);
+
+  // A plan-affecting option difference must NOT share (Limits are excluded
+  // from the fingerprint, so dop matters and timeout does not).
+  ASSERT_EQ(server.Handle("OPEN dop=4 batch=1 timeout_ms=5000"), "OK 3\n");
+  int64_t misses_before = service_->engine().plan_cache().misses();
+  server.Handle("QUERY 3 " + sql);
+  EXPECT_GT(service_->engine().plan_cache().misses(), misses_before);
+}
+
+// ---- protocol surface ----
+
+TEST_F(ServerTest, ProtocolErrorsAreTyped) {
+  Server server = MakeServer();
+  EXPECT_EQ(server.Handle("FROB").substr(0, 21), "ERR invalid_argument ");
+  EXPECT_EQ(server.Handle("QUERY 99 SELECT 1").substr(0, 14),
+            "ERR not_found ");
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  EXPECT_EQ(server.Handle("QUERY 1 SELEKT 1").substr(0, 16),
+            "ERR parse_error ");
+  EXPECT_EQ(server.Handle("FETCH 1 7 4").substr(0, 14), "ERR not_found ");
+  EXPECT_EQ(server.Handle("OPEN frobs=1").substr(0, 21),
+            "ERR invalid_argument ");
+  // One client's parse error never kills the session.
+  EXPECT_EQ(server.Handle("QUERY 1 SELECT COUNT(*) FROM t").substr(0, 6),
+            "SCHEMA");
+}
+
+TEST_F(ServerTest, StatsRenderBothFormsWithSameCounters) {
+  Server server = MakeServer();
+  ASSERT_EQ(server.Handle("OPEN"), "OK 1\n");
+  server.Handle("QUERY 1 SELECT COUNT(*) FROM t");
+  std::string text = server.Handle("STATS");
+  std::string json = server.Handle("STATS json");
+  EXPECT_NE(text.find("sessions_open=1"), std::string::npos) << text;
+  EXPECT_NE(json.find("\"sessions_open\": 1"), std::string::npos) << json;
+  ServerStatsSnapshot snapshot = server.Stats();
+  EXPECT_EQ(snapshot.sessions_open, 1);
+  EXPECT_EQ(snapshot.sessions_opened, 1);
+}
+
+// ---- session memory budget ----
+
+TEST_F(ServerTest, SessionMemoryBudgetBoundsConcurrentCursors) {
+  EngineOptions options;
+  options.limits.session_memory_limit_bytes = 1;  // absurdly small
+  ClientSession session(service_.get(), options);
+  // The cursor's plan state (scan batches, sort buffers) must charge the
+  // session accountant and trip the budget.
+  auto cursor = session.Declare("SELECT v FROM t ORDER BY v");
+  Status st;
+  if (cursor.ok()) {
+    auto page = (*cursor)->Fetch(10);
+    st = page.status();
+  } else {
+    st = cursor.status();
+  }
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  // And the failure released everything it charged.
+  EXPECT_EQ(session.accountant().used(), 0);
+}
+
+}  // namespace
+}  // namespace aggify

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/result.h"
+#include "procedural/session.h"
 
 namespace aggify {
 namespace testing_internal {
@@ -16,6 +19,17 @@ Status GetStatus(const Result<T>& r) {
 }
 
 }  // namespace testing_internal
+
+/// \brief TEST-ONLY convenience: parse and execute one SELECT through the
+/// session. This replaces the removed QueryEngine::ExecuteSql — that
+/// fresh-context shortcut silently skipped the session's UDF invoker and
+/// invocation limits, so production callers must go through
+/// Session/ClientSession; tests that just want "run this SQL" use this.
+inline Result<QueryResult> TestOnlyExecuteSql(Session* session,
+                                              const std::string& sql) {
+  return session->Query(sql);
+}
+
 }  // namespace aggify
 
 #define ASSERT_OK(expr)                                        \

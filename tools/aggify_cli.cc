@@ -2,34 +2,47 @@
 // described in this paper can be implemented either inside a DBMS or as an
 // external tool").
 //
-// Reads a dialect script (CREATE TABLE / CREATE INDEX / INSERT / CREATE
-// FUNCTION ...), applies Algorithm 1 to every function, and emits the
-// rewritten functions together with the synthesized aggregate definitions.
+// Subcommands (one shared option parser; `aggify_cli <subcommand> --help`
+// lists what each accepts):
 //
-// Usage:
-//   aggify_cli [options] <script.sql>
-//     --check-only    report applicability per loop, don't print rewrites
-//     --for-loops     also convert FOR loops (§8.1) before rewriting
-//     --keep-dead     keep declarations the rewrite rendered dead (§6.2)
-//     --sets          print the Eq. 1-4 analysis sets per loop
-//     --dop=N         plan rewritten queries with N-way parallelism
-//     --explain       print the physical plan of each rewritten query
-//                     (with --dop=N, parallel fragments show up as
-//                     Gather(dop=N) over ParallelPartialAgg)
-//   reads stdin when <script.sql> is '-'.
+//   aggify_cli run [options] <script.sql | ->
+//     Reads a dialect script (CREATE TABLE / CREATE INDEX / INSERT /
+//     CREATE FUNCTION ...), applies Algorithm 1 to every function, and
+//     emits the rewritten functions with the synthesized aggregates.
+//       --check-only    report applicability per loop, don't print rewrites
+//       --for-loops     also convert FOR loops (§8.1) before rewriting
+//       --keep-dead     keep declarations the rewrite rendered dead (§6.2)
+//       --sets          print the Eq. 1-4 analysis sets per loop
+//       --dop=N         plan rewritten queries with N-way parallelism
+//       --explain       print the physical plan of each rewritten query
+//       --stats         append the engine stats snapshot (same struct the
+//                       server's STATS command renders; --format picks
+//                       text or json)
 //
-//   aggify_cli --lint [--format=json|text] [--werror] <path | workloads-corpus>...
+//   aggify_cli lint [--format=json|text] [--werror] <path | workloads-corpus>...
 //     clang-tidy-style diagnostics over dialect scripts: every skipped loop
 //     is reported with its stable AGG1xx code, every proved fact (rewrite,
 //     sort elision, derived Merge) as an AGG2xx note, and the
-//     simplification pipeline's findings as AGG3xx (dead stores, unused
-//     fetch columns, constant branches; native-fold lowering and static
-//     trip counts as notes). Paths may be .sql files or directories
-//     (scanned recursively); the literal keyword `workloads-corpus` lints
-//     the bundled Table-1 corpora. `--format=json` emits one machine-
-//     readable document on stdout (CI consumes it for annotations). Exit
-//     status is 1 iff any error-severity diagnostic was emitted —
-//     `--werror` promotes warnings into that failure condition too.
+//     simplification pipeline's findings as AGG3xx. Exit status is 1 iff
+//     any error-severity diagnostic was emitted — `--werror` promotes
+//     warnings into that failure condition too.
+//
+//   aggify_cli serve [options] <script.sql>
+//     Bootstraps an EngineService from the script, then speaks the server
+//     protocol (docs/SERVER.md: OPEN/QUERY/DECLARE/FETCH/CLOSE/STATS) over
+//     stdin/stdout, one request per line, until EOF or QUIT.
+//       --dop=N --timeout-ms=N --memory-limit-bytes=N   session defaults
+//       --max-sessions=N --max-cursors=N                capacity bounds
+//       --session-ttl-ms=N --cursor-ttl-ms=N            idle eviction
+//       --fetch-rows=N                                  default FETCH size
+//
+//   aggify_cli stats [--format=json|text] <script.sql | ->
+//     Loads and runs a script, then renders the engine stats snapshot —
+//     the same ServerStatsSnapshot the server's STATS command returns, so
+//     the offline and serving surfaces cannot drift apart.
+//
+// Legacy spellings remain: no subcommand means `run`, and `--lint` selects
+// the lint subcommand (CI invokes that form).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,15 +54,142 @@
 
 #include "aggify/rewriter.h"
 #include "procedural/session.h"
+#include "server/server.h"
 #include "workloads/corpus.h"
 
 using namespace aggify;
 
 namespace {
 
+constexpr const char* kUsage =
+    "usage: aggify_cli [run] [--check-only] [--for-loops] [--keep-dead] "
+    "[--sets] [--dop=N] [--explain] [--stats] [--format=json|text] "
+    "[--timeout-ms=N] [--memory-limit-bytes=N] <script.sql | ->\n"
+    "       aggify_cli lint [--format=json|text] [--werror] "
+    "<path | workloads-corpus>...   (legacy: aggify_cli --lint ...)\n"
+    "       aggify_cli serve [--dop=N] [--timeout-ms=N] "
+    "[--memory-limit-bytes=N] [--max-sessions=N] [--max-cursors=N] "
+    "[--session-ttl-ms=N] [--cursor-ttl-ms=N] [--fetch-rows=N] <script.sql>\n"
+    "       aggify_cli stats [--format=json|text] <script.sql | ->";
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "aggify_cli: %s\n", message.c_str());
   return 1;
+}
+
+/// Every option of every subcommand, parsed by the one shared parser.
+/// Subcommands read the fields they care about and ignore the rest.
+struct CliOptions {
+  // run
+  bool check_only = false;
+  bool for_loops = false;
+  bool keep_dead = false;
+  bool print_sets = false;
+  bool explain = false;
+  bool print_stats = false;
+  // run + serve: engine configuration
+  int dop = 1;
+  int64_t timeout_ms = 0;
+  int64_t memory_limit_bytes = 0;
+  // lint + stats + run --stats: output form
+  bool json = false;
+  bool werror = false;
+  bool lint = false;  ///< legacy --lint flag selects the lint subcommand
+  // serve
+  int max_sessions = 256;
+  int max_cursors = 64;
+  int64_t session_ttl_ms = 60'000;
+  int64_t cursor_ttl_ms = 30'000;
+  int64_t fetch_rows = 16;
+
+  EngineOptions ToEngineOptions() const {
+    EngineOptions options;
+    options.rewrite.convert_for_loops = for_loops;
+    options.rewrite.remove_dead_declarations = !keep_dead;
+    options.execution.degree_of_parallelism = dop;
+    options.limits.timeout_ms = timeout_ms;
+    options.limits.memory_limit_bytes = memory_limit_bytes;
+    return options;
+  }
+};
+
+/// Parses one "--name" / "--name=value" option into `opts`. Returns OK,
+/// or an error naming the bad option/value. Shared by all subcommands so a
+/// flag never means two things.
+Status ParseOption(const char* arg, CliOptions* opts) {
+  auto int_value = [&](const char* prefix, int64_t min, int64_t* out) {
+    const char* v = arg + std::strlen(prefix);
+    int64_t parsed = std::atoll(v);
+    if (parsed < min || (*v == '\0')) {
+      return Status::InvalidArgument(std::string(prefix) +
+                                     " needs an integer >= " +
+                                     std::to_string(min));
+    }
+    *out = parsed;
+    return Status::OK();
+  };
+
+  if (std::strcmp(arg, "--check-only") == 0) {
+    opts->check_only = true;
+  } else if (std::strcmp(arg, "--for-loops") == 0) {
+    opts->for_loops = true;
+  } else if (std::strcmp(arg, "--keep-dead") == 0) {
+    opts->keep_dead = true;
+  } else if (std::strcmp(arg, "--sets") == 0) {
+    opts->print_sets = true;
+  } else if (std::strcmp(arg, "--explain") == 0) {
+    opts->explain = true;
+  } else if (std::strcmp(arg, "--stats") == 0) {
+    opts->print_stats = true;
+  } else if (std::strcmp(arg, "--lint") == 0) {
+    opts->lint = true;
+  } else if (std::strcmp(arg, "--werror") == 0) {
+    opts->werror = true;
+  } else if (std::strcmp(arg, "--format=json") == 0) {
+    opts->json = true;
+  } else if (std::strcmp(arg, "--format=text") == 0) {
+    opts->json = false;
+  } else if (std::strncmp(arg, "--dop=", 6) == 0) {
+    int64_t v = 0;
+    RETURN_NOT_OK(int_value("--dop=", 1, &v));
+    opts->dop = static_cast<int>(v);
+  } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
+    RETURN_NOT_OK(int_value("--timeout-ms=", 0, &opts->timeout_ms));
+  } else if (std::strncmp(arg, "--memory-limit-bytes=", 21) == 0) {
+    RETURN_NOT_OK(
+        int_value("--memory-limit-bytes=", 0, &opts->memory_limit_bytes));
+  } else if (std::strncmp(arg, "--max-sessions=", 15) == 0) {
+    int64_t v = 0;
+    RETURN_NOT_OK(int_value("--max-sessions=", 1, &v));
+    opts->max_sessions = static_cast<int>(v);
+  } else if (std::strncmp(arg, "--max-cursors=", 14) == 0) {
+    int64_t v = 0;
+    RETURN_NOT_OK(int_value("--max-cursors=", 1, &v));
+    opts->max_cursors = static_cast<int>(v);
+  } else if (std::strncmp(arg, "--session-ttl-ms=", 17) == 0) {
+    RETURN_NOT_OK(int_value("--session-ttl-ms=", 0, &opts->session_ttl_ms));
+  } else if (std::strncmp(arg, "--cursor-ttl-ms=", 16) == 0) {
+    RETURN_NOT_OK(int_value("--cursor-ttl-ms=", 0, &opts->cursor_ttl_ms));
+  } else if (std::strncmp(arg, "--fetch-rows=", 13) == 0) {
+    RETURN_NOT_OK(int_value("--fetch-rows=", 1, &opts->fetch_rows));
+  } else {
+    return Status::InvalidArgument(std::string("unknown option ") + arg +
+                                   "\n" + kUsage);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadSource(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
 }
 
 std::string JoinNames(const std::vector<std::string>& names) {
@@ -82,6 +222,21 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// The engine-side counters as the shared snapshot — identical struct and
+/// renderers as the server's STATS command (server_stats.h), with no
+/// session/cursor section when no server is attached.
+void PrintStatsSnapshot(const Database& db, const QueryEngine& engine,
+                        const Server* server, bool json) {
+  ServerStatsSnapshot snapshot =
+      server != nullptr
+          ? server->Stats()
+          : SnapshotServerStats(db.robustness(), engine.plan_cache(), nullptr,
+                                nullptr);
+  std::string rendered =
+      json ? RenderStatsJson(snapshot) + "\n" : RenderStatsText(snapshot);
+  std::fputs(rendered.c_str(), stdout);
 }
 
 struct LintTally {
@@ -169,15 +324,12 @@ void LintScript(const std::string& label, const std::string& source,
   for (const Diagnostic& d : script_diags) tally->Emit(d);
 }
 
-struct LintOptions {
-  bool json = false;    ///< --format=json: one JSON document on stdout
-  bool werror = false;  ///< --werror: warnings also fail the lint (exit 1)
-};
-
-int RunLint(const std::vector<std::string>& targets,
-            const LintOptions& options) {
+int RunLint(const std::vector<std::string>& targets, const CliOptions& opts) {
+  if (targets.empty()) {
+    return Fail("lint needs at least one path or 'workloads-corpus'");
+  }
   LintTally tally;
-  tally.json = options.json;
+  tally.json = opts.json;
   for (const std::string& target : targets) {
     if (target == "workloads-corpus") {
       for (const Corpus& corpus : ApplicabilityCorpora()) {
@@ -217,107 +369,27 @@ int RunLint(const std::vector<std::string>& targets,
     }
   }
   if (tally.json) tally.PrintJson();
-  std::fprintf(stderr, "aggify_cli: lint: %d error(s), %d warning(s), %d note(s)\n",
+  std::fprintf(stderr,
+               "aggify_cli: lint: %d error(s), %d warning(s), %d note(s)\n",
                tally.errors, tally.warnings, tally.notes);
   if (tally.errors > 0) return 1;
-  if (options.werror && tally.warnings > 0) return 1;
+  if (opts.werror && tally.warnings > 0) return 1;
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bool check_only = false;
-  bool for_loops = false;
-  bool keep_dead = false;
-  bool print_sets = false;
-  bool explain = false;
-  bool print_stats = false;
-  int dop = 1;
-  int64_t timeout_ms = 0;
-  int64_t memory_limit_bytes = 0;
-  bool lint = false;
-  LintOptions lint_options;
-  std::vector<std::string> targets;
-  const char* path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--check-only") == 0) {
-      check_only = true;
-    } else if (std::strcmp(argv[i], "--for-loops") == 0) {
-      for_loops = true;
-    } else if (std::strcmp(argv[i], "--keep-dead") == 0) {
-      keep_dead = true;
-    } else if (std::strcmp(argv[i], "--sets") == 0) {
-      print_sets = true;
-    } else if (std::strcmp(argv[i], "--explain") == 0) {
-      explain = true;
-    } else if (std::strncmp(argv[i], "--dop=", 6) == 0) {
-      dop = std::atoi(argv[i] + 6);
-      if (dop < 1) return Fail("--dop needs a positive integer");
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      print_stats = true;
-    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
-      timeout_ms = std::atoll(argv[i] + 13);
-      if (timeout_ms < 0) return Fail("--timeout-ms needs a non-negative integer");
-    } else if (std::strncmp(argv[i], "--memory-limit-bytes=", 21) == 0) {
-      memory_limit_bytes = std::atoll(argv[i] + 21);
-      if (memory_limit_bytes < 0) {
-        return Fail("--memory-limit-bytes needs a non-negative integer");
-      }
-    } else if (std::strcmp(argv[i], "--lint") == 0) {
-      lint = true;
-    } else if (std::strcmp(argv[i], "--format=json") == 0) {
-      lint_options.json = true;
-    } else if (std::strcmp(argv[i], "--format=text") == 0) {
-      lint_options.json = false;
-    } else if (std::strcmp(argv[i], "--werror") == 0) {
-      lint_options.werror = true;
-    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
-      return Fail(std::string("unknown option ") + argv[i] +
-                  "\nusage: aggify_cli [--check-only] [--for-loops] "
-                  "[--keep-dead] [--sets] [--dop=N] [--explain] [--stats] "
-                  "[--timeout-ms=N] [--memory-limit-bytes=N] "
-                  "<script.sql | ->\n"
-                  "       aggify_cli --lint [--format=json|text] [--werror] "
-                  "<path | workloads-corpus>...");
-    } else {
-      path = argv[i];
-      targets.emplace_back(argv[i]);
-    }
+int RunRewrite(const std::vector<std::string>& targets,
+               const CliOptions& opts) {
+  if (targets.size() != 1) {
+    return Fail(std::string("run needs exactly one input script") +
+                (targets.empty() ? " (use '-' for stdin)" : ""));
   }
-  if (lint) {
-    if (targets.empty()) {
-      return Fail("--lint needs at least one path or 'workloads-corpus'");
-    }
-    return RunLint(targets, lint_options);
-  }
-  if (path == nullptr) {
-    return Fail("no input script (use '-' for stdin)");
-  }
+  auto source = ReadSource(targets[0]);
+  if (!source.ok()) return Fail(source.status().message());
 
-  std::string source;
-  if (std::strcmp(path, "-") == 0) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    source = buffer.str();
-  } else {
-    std::ifstream file(path);
-    if (!file) return Fail(std::string("cannot open ") + path);
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    source = buffer.str();
-  }
-
-  EngineOptions options;
-  options.rewrite.convert_for_loops = for_loops;
-  options.rewrite.remove_dead_declarations = !keep_dead;
-  options.execution.degree_of_parallelism = dop;
-  options.limits.timeout_ms = timeout_ms;
-  options.limits.memory_limit_bytes = memory_limit_bytes;
-
+  EngineOptions options = opts.ToEngineOptions();
   Database db;
   Session session(&db, options);
-  auto load = session.RunSql(source);
+  auto load = session.RunSql(*source);
   if (!load.ok()) {
     return Fail("script failed to load: " + load.status().ToString());
   }
@@ -345,10 +417,10 @@ int main(int argc, char** argv) {
       std::printf("--   note [%s]: %s\n", DiagCodeName(d.code).c_str(),
                   d.message.c_str());
     }
-    if (check_only) continue;
+    if (opts.check_only) continue;
 
     for (const auto& rewrite : report->rewrites) {
-      if (print_sets) {
+      if (opts.print_sets) {
         std::printf("--   V_fetch  = %s\n",
                     JoinNames(rewrite.sets.v_fetch).c_str());
         std::printf("--   V_F      = %s (+ isInitialized)\n",
@@ -362,7 +434,7 @@ int main(int argc, char** argv) {
                     rewrite.sets.ordered ? "  [ORDER BY: Eq. 6 streaming]"
                                          : "");
       }
-      if (explain && !rewrite.rewritten_query_sql.empty()) {
+      if (opts.explain && !rewrite.rewritten_query_sql.empty()) {
         auto stmt = ParseSelect(rewrite.rewritten_query_sql);
         if (stmt.ok()) {
           ExecContext ctx = session.MakeContext();
@@ -401,9 +473,95 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "aggify_cli: %d loop(s) found, %d rewritten\n",
                total_loops, total_rewritten);
-  if (print_stats) {
-    std::fprintf(stderr, "aggify_cli: robustness: %s\n",
-                 db.robustness().ToString().c_str());
+  if (opts.print_stats) {
+    PrintStatsSnapshot(db, session.engine(), nullptr, opts.json);
   }
   return total_loops == total_rewritten ? 0 : 2;
+}
+
+int RunServe(const std::vector<std::string>& targets, const CliOptions& opts) {
+  if (targets.size() != 1 || targets[0] == "-") {
+    return Fail("serve needs one script file (stdin carries the protocol)");
+  }
+  auto source = ReadSource(targets[0]);
+  if (!source.ok()) return Fail(source.status().message());
+
+  Database db;
+  EngineService service(&db, opts.ToEngineOptions());
+  auto load = service.RunSql(*source);
+  if (!load.ok()) {
+    return Fail("bootstrap script failed: " + load.status().ToString());
+  }
+
+  Server::Config config;
+  config.sessions.max_sessions = opts.max_sessions;
+  config.sessions.idle_ttl_ms = opts.session_ttl_ms;
+  config.cursors.max_cursors = opts.max_cursors;
+  config.cursors.idle_ttl_ms = opts.cursor_ttl_ms;
+  config.default_fetch_rows = opts.fetch_rows;
+  Server server(&service, config);
+
+  std::fprintf(stderr, "aggify_cli: serving %s (max %d sessions, %d cursors); "
+                       "QUIT or EOF ends the session\n",
+               targets[0].c_str(), opts.max_sessions, opts.max_cursors);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "QUIT" || line == "EXIT") break;
+    std::string reply = server.Handle(line);
+    std::fputs(reply.c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int RunStats(const std::vector<std::string>& targets, const CliOptions& opts) {
+  if (targets.size() != 1) {
+    return Fail("stats needs exactly one input script (use '-' for stdin)");
+  }
+  auto source = ReadSource(targets[0]);
+  if (!source.ok()) return Fail(source.status().message());
+
+  Database db;
+  Session session(&db, opts.ToEngineOptions());
+  auto load = session.RunSql(*source);
+  if (!load.ok()) {
+    return Fail("script failed to load: " + load.status().ToString());
+  }
+  PrintStatsSnapshot(db, session.engine(), nullptr, opts.json);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Subcommand dispatch: an explicit first word, or the legacy spellings —
+  // a bare invocation is `run`, `--lint` anywhere selects `lint`.
+  std::string command;
+  int first_arg = 1;
+  if (argc >= 2 && argv[1][0] != '-') {
+    std::string word = argv[1];
+    if (word == "run" || word == "lint" || word == "serve" ||
+        word == "stats") {
+      command = word;
+      first_arg = 2;
+    }
+  }
+
+  CliOptions opts;
+  std::vector<std::string> targets;
+  for (int i = first_arg; i < argc; ++i) {
+    if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      Status st = ParseOption(argv[i], &opts);
+      if (!st.ok()) return Fail(st.message());
+    } else {
+      targets.emplace_back(argv[i]);
+    }
+  }
+  if (command.empty()) command = opts.lint ? "lint" : "run";
+
+  if (command == "lint") return RunLint(targets, opts);
+  if (command == "serve") return RunServe(targets, opts);
+  if (command == "stats") return RunStats(targets, opts);
+  return RunRewrite(targets, opts);
 }
